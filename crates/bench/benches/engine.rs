@@ -1,0 +1,91 @@
+//! Criterion: the executable engine — decode-step latency and the
+//! prefill-vs-token-by-token amortization (the CPU-real demonstration
+//! that per-group dequantization amortises over the batch dimension M,
+//! the effect the paper's cost model attributes the W4A8 win to).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lq_core::KernelKind;
+use lq_engine::attention::AttnConfig;
+use lq_engine::model::{ModelSpec, TinyLlm};
+
+fn spec() -> ModelSpec {
+    ModelSpec {
+        vocab: 128,
+        hidden: 128,
+        inter: 256,
+        layers: 2,
+        attn: AttnConfig { heads: 8, kv_heads: 2, head_dim: 16 },
+        group: 64,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+
+    // Decode-step latency at growing batch: step time should grow
+    // sublinearly in batch (weight streaming amortises).
+    for batch in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("decode_step", batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || {
+                    let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+                    let seqs: Vec<u64> = (0..batch as u64).collect();
+                    for &s in &seqs {
+                        m.add_sequence(s);
+                    }
+                    // Warm each sequence with one token.
+                    let toks: Vec<usize> = (0..batch).map(|i| i % 64).collect();
+                    let pos = vec![0usize; batch];
+                    let _ = m.decode_step(&toks, &seqs, &pos);
+                    (m, seqs)
+                },
+                |(mut m, seqs)| {
+                    let toks: Vec<usize> = (0..seqs.len()).map(|i| (i * 3) % 64).collect();
+                    let pos = vec![1usize; seqs.len()];
+                    black_box(m.decode_step(&toks, &seqs, &pos))
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+
+    // Prefill (one batched pass) vs token-by-token decode of the same
+    // 32-token prompt.
+    let prompt: Vec<usize> = (0..32).map(|i| (i * 5) % 64).collect();
+    g.bench_function("prefill_batched_32", |b| {
+        b.iter_batched(
+            || {
+                let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+                m.add_sequence(0);
+                m
+            },
+            |mut m| black_box(m.prefill(0, &prompt)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("prefill_token_by_token_32", |b| {
+        b.iter_batched(
+            || {
+                let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+                m.add_sequence(0);
+                m
+            },
+            |mut m| {
+                let mut last = None;
+                for (pos, &t) in prompt.iter().enumerate() {
+                    last = Some(m.decode_step(&[t], &[0], &[pos]));
+                }
+                black_box(last)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 1: key hardware metrics of A100/H100 (and H800) and the
+//! roofline for decode GEMM layers per precision configuration.
+//!
+//! Run: `cargo run -p lq-bench --bin fig01_roofline`
+
+use lq_bench::{print_header, print_row};
+use lq_sim::roofline::{attainable, ridge_batch, PRECISIONS};
+use lq_sim::specs::{A100, H100, H800};
+
+fn main() {
+    println!("== Figure 1a: peak hardware metrics ==\n");
+    print_header(&[
+        ("GPU", 6),
+        ("HBM GB/s", 10),
+        ("INT8 TOPS", 10),
+        ("FP16 TFLOPS", 12),
+        ("FP8 TFLOPS", 11),
+        ("CUDA INT TOPS", 14),
+    ]);
+    for spec in [A100, H100, H800] {
+        print_row(&[
+            (spec.name.to_string(), 6),
+            (format!("{:.0}", spec.mem_bw / 1e9), 10),
+            (format!("{:.0}", spec.tc_int8 / 1e12), 10),
+            (format!("{:.1}", spec.tc_fp16 / 1e12), 12),
+            (format!("{:.0}", spec.tc_fp8 / 1e12), 11),
+            (format!("{:.1}", spec.cuda_int / 1e12), 14),
+        ]);
+    }
+
+    for spec in [A100, H100] {
+        println!("\n== Figure 1b: roofline on {} (attainable TOPS by batch) ==\n", spec.name);
+        let batches = [1usize, 4, 16, 32, 64, 128, 150, 256, 300, 512, 1024];
+        let mut cols = vec![("batch", 6)];
+        for p in PRECISIONS {
+            if spec.tc_throughput(p.tc) > 0.0 {
+                cols.push((p.name, 8));
+            }
+        }
+        print_header(&cols);
+        for &m in &batches {
+            let mut cells = vec![(m.to_string(), 6)];
+            for p in PRECISIONS {
+                if spec.tc_throughput(p.tc) > 0.0 {
+                    cells.push((format!("{:.0}", attainable(&spec, p, m) / 1e12), 8));
+                }
+            }
+            print_row(&cells);
+        }
+        println!("\nridge (memory→compute transition) batch sizes:");
+        for p in PRECISIONS {
+            if spec.tc_throughput(p.tc) > 0.0 {
+                println!("  {:8} M* = {:.0}", p.name, ridge_batch(&spec, p));
+            }
+        }
+    }
+    println!(
+        "\npaper check: W8A8 transitions at ~300 (H100) / ~156 (A100); W4A8 halves both."
+    );
+}

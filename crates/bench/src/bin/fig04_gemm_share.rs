@@ -1,0 +1,54 @@
+//! Figure 4: share of end-to-end inference time spent in (FFN + PROJ)
+//! GEMMs for LLaMA2-7B and Mixtral-8×7B, input lengths 128 and 1024,
+//! batch 4–256.
+//!
+//! Run: `cargo run -p lq-bench --bin fig04_gemm_share`
+
+use lq_bench::{print_header, print_row, BATCH_SWEEP};
+use lq_models::configs::{LLAMA2_7B, MIXTRAL_8X7B};
+use lq_models::ModelConfig;
+use lq_serving::decode::{decode_step, prefill_time, step_gemm_time};
+use lq_serving::system::{ServingSystem, SystemId};
+use lq_sim::specs::H800;
+
+/// GEMM share of a whole request (prefill + all decode steps).
+fn gemm_share(sys: &ServingSystem, cfg: &ModelConfig, batch: usize, in_len: usize, out_len: usize) -> f64 {
+    let mean_ctx = in_len + out_len / 2;
+    let step = decode_step(sys, &H800, cfg, batch, mean_ctx);
+    let decode_total = step.total() * out_len as f64;
+    let decode_gemm = step.gemm * out_len as f64;
+    let prefill_total = prefill_time(sys, &H800, cfg, batch, in_len);
+    let prefill_gemm = step_gemm_time(sys, &H800, cfg, batch * in_len);
+    (decode_gemm + prefill_gemm) / (decode_total + prefill_total)
+}
+
+fn main() {
+    // The paper measures the baseline systems here (W8A8 for LLaMA2-7B,
+    // FP8 for Mixtral) — this is the motivation figure.
+    let cases = [
+        (&LLAMA2_7B, SystemId::TrtW8A8, "W8A8"),
+        (&MIXTRAL_8X7B, SystemId::TrtFp8, "FP8"),
+    ];
+    for (in_len, out_len) in [(128usize, 128usize), (1024, 512)] {
+        println!("\n== Figure 4: GEMM share of inference, in:{in_len} out:{out_len} ==\n");
+        let mut cols = vec![("batch", 6)];
+        for (cfg, _, prec) in &cases {
+            cols.push((Box::leak(format!("{} ({prec})", cfg.name).into_boxed_str()), 18));
+        }
+        print_header(&cols);
+        for &b in &BATCH_SWEEP {
+            let mut cells = vec![(b.to_string(), 6)];
+            for (cfg, id, _) in &cases {
+                let sys = ServingSystem::of(*id);
+                let share = gemm_share(&sys, cfg, b, in_len, out_len);
+                cells.push((format!("{:.0}%", share * 100.0), 18));
+            }
+            print_row(&cells);
+        }
+    }
+    println!(
+        "\npaper shape: GEMM dominates at small batch; stays >20% at large batch with\n\
+         long sequences on LLaMA2-7B; remains the primary contributor on Mixtral\n\
+         (per-expert GEMMs)."
+    );
+}

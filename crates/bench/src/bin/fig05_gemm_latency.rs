@@ -1,0 +1,66 @@
+//! Figure 5: average per-layer GEMM latency during decoding, batch
+//! 4–256, on LLaMA2-7B/13B/70B and Mixtral-8×7B, across six systems.
+//!
+//! Run: `cargo run -p lq-bench --bin fig05_gemm_latency`
+
+use lq_bench::{fmt_time, print_header, print_row, BATCH_SWEEP};
+use lq_models::configs::{LLAMA2_13B, LLAMA2_70B, LLAMA2_7B, MIXTRAL_8X7B};
+use lq_models::{decode_layer_shapes, ModelConfig};
+use lq_sim::kernel_model::{KernelModel, SystemKind};
+use lq_sim::specs::H800;
+
+/// Systems with a kernel for the model (QServe and TRT-W8A8 lack MoE
+/// support; the paper's Figure 5 Mixtral panel shows FP8/W4A16 only).
+fn systems_for(cfg: &ModelConfig) -> Vec<SystemKind> {
+    if cfg.moe.is_some() {
+        vec![
+            SystemKind::LiquidGemm,
+            SystemKind::TrtW4A16,
+            SystemKind::TrtFp8,
+            SystemKind::TrtFp16,
+        ]
+    } else {
+        SystemKind::ALL.to_vec()
+    }
+}
+
+fn layer_gemm_latency(kind: SystemKind, cfg: &ModelConfig, m: usize) -> f64 {
+    let km = KernelModel::of(kind);
+    let shapes = decode_layer_shapes(cfg, m);
+    let mut t = km.layer_latency(&H800, &shapes.dense);
+    if let Some((grouped, experts)) = &shapes.grouped {
+        for &g in grouped {
+            t += km.grouped_latency(&H800, g, *experts);
+        }
+    }
+    t
+}
+
+fn main() {
+    for cfg in [&LLAMA2_7B, &LLAMA2_13B, &LLAMA2_70B, &MIXTRAL_8X7B] {
+        println!("\n== Figure 5: {} per-layer GEMM latency (H800 model) ==\n", cfg.name);
+        let systems = systems_for(cfg);
+        let mut cols = vec![("batch", 6)];
+        for k in &systems {
+            cols.push((k.name(), 11));
+        }
+        print_header(&cols);
+        for &m in &BATCH_SWEEP {
+            let mut cells = vec![(m.to_string(), 6)];
+            for &k in &systems {
+                cells.push((fmt_time(layer_gemm_latency(k, cfg, m)), 11));
+            }
+            print_row(&cells);
+        }
+        // Shape check: the headline speedup at batch 256.
+        if cfg.moe.is_none() {
+            let s = layer_gemm_latency(SystemKind::QServe, cfg, 256)
+                / layer_gemm_latency(SystemKind::LiquidGemm, cfg, 256);
+            println!("\n  LiquidGEMM speedup over QServe at batch 256: {s:.2}x (paper: 2.75-2.90x)");
+        } else {
+            let fp8 = layer_gemm_latency(SystemKind::TrtFp8, cfg, 256)
+                / layer_gemm_latency(SystemKind::LiquidGemm, cfg, 256);
+            println!("\n  LiquidGEMM speedup over TRT-FP8 at batch 256: {fp8:.2}x (paper: 1.41-1.84x)");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 11: token-generation throughput at fixed batch sizes 16 and
+//! 128 on LLaMA2-7B and LLaMA2-70B (missing bars = OOM).
+//!
+//! Run: `cargo run -p lq-bench --bin fig11_fixed_batch`
+
+use lq_bench::{print_header, print_row};
+use lq_models::configs::{LLAMA2_70B, LLAMA2_7B};
+use lq_serving::system::{ServingSystem, SystemId};
+use lq_serving::throughput::{max_feasible_batch, throughput_at_batch, INPUT_LEN, OUTPUT_LEN};
+use lq_sim::specs::H800;
+
+fn main() {
+    for cfg in [&LLAMA2_7B, &LLAMA2_70B] {
+        println!("\n== Figure 11: {} throughput at fixed batch (tokens/s) ==\n", cfg.name);
+        print_header(&[("system", 14), ("batch 16", 10), ("batch 128", 10)]);
+        for id in SystemId::ALL {
+            let sys = ServingSystem::of(id);
+            let mut cells = vec![(sys.name.to_string(), 14)];
+            for batch in [16usize, 128] {
+                let cell = if !sys.supports(cfg) {
+                    "NA".to_string()
+                } else {
+                    let feasible = max_feasible_batch(
+                        &sys,
+                        cfg,
+                        H800.mem_capacity as f64,
+                        INPUT_LEN,
+                        OUTPUT_LEN,
+                    );
+                    if feasible < batch {
+                        "OOM".to_string()
+                    } else {
+                        let t = throughput_at_batch(&sys, &H800, cfg, batch, INPUT_LEN, OUTPUT_LEN);
+                        format!("{t:.0}")
+                    }
+                };
+                cells.push((cell, 10));
+            }
+            print_row(&cells);
+        }
+    }
+    println!("\npaper shape: LiquidServe leads at both batch sizes; FP16 OOMs on 70B.");
+}

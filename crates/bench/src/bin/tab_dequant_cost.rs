@@ -1,0 +1,62 @@
+//! Sections 3.2 / 5.3: live instruction audit of both dequantization
+//! paths, counted by executing the emulated register ops.
+//!
+//! Run: `cargo run -p lq-bench --bin tab_dequant_cost`
+
+use lq_bench::{print_header, print_row};
+use lq_quant::lqq::LqqGroup;
+use lq_quant::qoq::QoqGroup;
+use lq_swar::audit::{CountingAlu, InstrClass};
+use lq_swar::unpack::pack8_u4;
+
+fn main() {
+    // A representative group of level-1 INT8 weights.
+    let group: [i8; 8] = [-119, -64, -13, 0, 7, 42, 88, 119];
+
+    let (lqq, lqq_codes) = LqqGroup::quantize(&group);
+    let (qoq, qoq_codes) = QoqGroup::quantize(&group);
+    let word_lqq = pack8_u4(lqq_codes.clone().try_into().expect("8 codes"));
+    let word_qoq = pack8_u4(qoq_codes.clone().try_into().expect("8 codes"));
+
+    let mut alu_lqq = CountingAlu::new();
+    let out_lqq = lqq.dequant8_ordered(&mut alu_lqq, word_lqq);
+    let mut alu_qoq = CountingAlu::new();
+    let out_qoq = qoq.dequant8_ordered(&mut alu_qoq, word_qoq);
+
+    println!("== Dequantization instruction audit (8 elements / packed register) ==\n");
+    print_header(&[("path", 28), ("total", 6), ("per-elem", 9), ("mix", 40)]);
+    print_row(&[
+        ("LiquidQuant (IMAD+XOR)".to_string(), 28),
+        (alu_lqq.count().total().to_string(), 6),
+        (format!("{:.3}", alu_lqq.count().alpha(8)), 9),
+        (alu_lqq.count().to_string(), 40),
+    ]);
+    print_row(&[
+        ("QServe QoQ (vsub4 emulated)".to_string(), 28),
+        (alu_qoq.count().total().to_string(), 6),
+        (format!("{:.3}", alu_qoq.count().alpha(8)), 9),
+        (alu_qoq.count().to_string(), 40),
+    ]);
+    let ratio = alu_qoq.count().total() as f64 / alu_lqq.count().total() as f64;
+    println!("\nQoQ / LQQ instruction ratio: {ratio:.2}x  (paper: 7 vs 19 per 8 elements)");
+
+    println!("\nlogic-class detail (the emulated vsub4 storm):");
+    for c in InstrClass::ALL {
+        println!(
+            "  {:5} LQQ {:>2}  QoQ {:>2}",
+            c.mnemonic(),
+            alu_lqq.count().of(c),
+            alu_qoq.count().of(c)
+        );
+    }
+
+    println!("\ncorrectness (dequantized INT8 values):");
+    println!("  source : {group:?}");
+    println!("  LQQ    : {out_lqq:?}");
+    println!("  QoQ    : {out_qoq:?}");
+    for (i, &g) in group.iter().enumerate() {
+        assert!((i16::from(out_lqq[i]) - i16::from(g)).abs() <= i16::from(lqq.s_u8));
+        assert!((i16::from(out_qoq[i]) - i16::from(g)).abs() <= i16::from(qoq.s_u8) + 1);
+    }
+    println!("  both within one quantization step of the source.");
+}

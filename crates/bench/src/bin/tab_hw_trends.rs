@@ -1,0 +1,38 @@
+//! Section 3.3 "Implication on LLM Serving": hardware-trend projection
+//! of the memory→compute transitions and the dequantization budget.
+//!
+//! Run: `cargo run -p lq-bench --bin tab_hw_trends`
+
+use lq_bench::{print_header, print_row};
+use lq_sim::specs::{A100, H100, H800};
+use lq_sim::trends::{scaled_gpu, trend_row};
+
+fn main() {
+    println!("== Hardware-trend projection (paper §3.3) ==\n");
+    let next = scaled_gpu(&H100, "Next(2.5x/1.5x)", 2.5, 1.5);
+    let nextnext = scaled_gpu(&H100, "Next2(6x/2.2x)", 6.0, 2.2);
+    print_header(&[
+        ("GPU", 16),
+        ("W8A8 M*", 9),
+        ("W4A8 M*", 9),
+        ("alpha budget", 13),
+        ("LQQ headroom", 13),
+    ]);
+    for spec in [A100, H100, H800, next, nextnext] {
+        let r = trend_row(&spec);
+        print_row(&[
+            (r.name.to_string(), 16),
+            (format!("{:.0}", r.w8a8_transition), 9),
+            (format!("{:.0}", r.w4a8_transition), 9),
+            (format!("{:.2}", r.alpha_budget), 13),
+            (format!("{:.1}x", r.lqq_headroom), 13),
+        ]);
+    }
+    println!(
+        "\nreading: tensor-core throughput outgrows HBM generation over generation,\n\
+         pushing the batch needed to saturate compute ever higher (A100: 156 → H100:\n\
+         295 → projected 492+). W4A8 halves every threshold, and LiquidQuant's\n\
+         α = 0.875 keeps a >4x margin under the overlap budget on every projected\n\
+         part — the paper's case for hardware-efficient W4A8 as a durable design."
+    );
+}

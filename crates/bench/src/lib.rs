@@ -1,0 +1,99 @@
+//! # lq-bench — benchmark harnesses for every table and figure
+//!
+//! One binary per experiment (see `src/bin/`), each printing the rows or
+//! series of the corresponding table/figure in the paper:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig01_roofline` | Figure 1: hardware metrics + roofline |
+//! | `tab_transition_points` | §3.3 transition batches and α budgets |
+//! | `tab_dequant_cost` | §3.2/§5.3 dequant instruction audit |
+//! | `fig04_gemm_share` | Figure 4: GEMM share of inference time |
+//! | `fig05_gemm_latency` | Figure 5: per-layer GEMM latency vs batch |
+//! | `tab01_peak_throughput` | Table 1: peak serving throughput |
+//! | `fig10_time_breakdown` | Figure 10: per-layer time breakdown |
+//! | `fig11_fixed_batch` | Figure 11: throughput at fixed batch |
+//! | `fig12_kernel_latency` | Figure 12: kernel latency vs batch |
+//! | `fig13_ablation` | Figure 13: LQQ / ExCP / ImFP ablation |
+//! | `tab_accuracy` | §7.1 accuracy note: LQQ vs QoQ error |
+//! | `cpu_kernel_bench` | CPU-measured kernel cross-check |
+//!
+//! Criterion microbenchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Format seconds with an adaptive unit.
+#[must_use]
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} us", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+/// Print a header row followed by a rule.
+pub fn print_header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = *w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Print one row of right-aligned cells.
+pub fn print_row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (cell, w) in cells {
+        line.push_str(&format!("{cell:>w$}  ", w = *w));
+    }
+    println!("{line}");
+}
+
+/// Wall-clock the median of `reps` runs of `f` (seconds), after one
+/// warm-up run.
+pub fn measure_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps >= 1);
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// The batch sweep the paper's latency figures use.
+pub const BATCH_SWEEP: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2.5), "2.50 s");
+        assert_eq!(fmt_time(2.5e-3), "2.50 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.50 us");
+        assert_eq!(fmt_time(250e-9), "250 ns");
+    }
+
+    #[test]
+    fn measure_median_returns_positive() {
+        let t = measure_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Unified kernel entry point.
+//!
+//! `gemm` dispatches one W4A8 GEMM over the variant space the paper's
+//! ablation explores (Figure 13): dequantization algorithm × pipeline
+//! strategy. Baseline kernels for other precisions live in
+//! [`crate::serial`] and are benchmarked directly.
+
+use lq_quant::mat::Mat;
+
+pub use crate::pipeline::{Dequant, ParallelConfig};
+use crate::packed::{PackedLqqLinear, PackedQoqLinear};
+use crate::pipeline::{w4a8_excp, w4a8_flat_parallel, w4a8_imfp};
+use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
+
+/// Pipeline strategy for the W4A8 kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Single-threaded, no pipeline (ablation baseline).
+    Serial,
+    /// Data-parallel workers, no load/compute specialisation.
+    FlatParallel,
+    /// Explicit coarse-grained pipeline: Load / Dequant / MMA roles.
+    ExCp,
+    /// Implicit fine-grained pipeline: Load producer + fused
+    /// dequant-MMA consumers (the paper's LiquidGEMM configuration).
+    ImFp,
+}
+
+/// W4A8 weights in either second-level scheme.
+#[derive(Debug, Clone)]
+pub enum W4A8Weights {
+    /// LiquidQuant weights.
+    Lqq(PackedLqqLinear),
+    /// QServe/QoQ weights.
+    Qoq(PackedQoqLinear),
+}
+
+impl W4A8Weights {
+    /// Output channels.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        match self {
+            W4A8Weights::Lqq(w) => w.n,
+            W4A8Weights::Qoq(w) => w.n,
+        }
+    }
+
+    /// Reduction dim.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        match self {
+            W4A8Weights::Lqq(w) => w.k,
+            W4A8Weights::Qoq(w) => w.k,
+        }
+    }
+
+    /// The dequantization algorithm these weights require.
+    #[must_use]
+    pub fn dequant(&self) -> Dequant {
+        match self {
+            W4A8Weights::Lqq(_) => Dequant::Lqq,
+            W4A8Weights::Qoq(_) => Dequant::Qoq,
+        }
+    }
+}
+
+/// Result of a GEMM call.
+#[derive(Debug, Clone)]
+pub struct GemmOutput {
+    /// `M×N` FP32 output.
+    pub y: Mat<f32>,
+}
+
+/// Run `Y = X·Wᵀ` with the selected kernel variant.
+///
+/// `x` is the INT8 activation matrix (`M×K`), `act_scales` the per-token
+/// scales from dynamic quantization.
+#[must_use]
+pub fn gemm(
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    weights: &W4A8Weights,
+    kind: KernelKind,
+    cfg: ParallelConfig,
+) -> GemmOutput {
+    let y = match (kind, weights) {
+        (KernelKind::Serial, W4A8Weights::Lqq(w)) => w4a8_lqq_serial(x, act_scales, w),
+        (KernelKind::Serial, W4A8Weights::Qoq(w)) => w4a8_qoq_serial(x, act_scales, w),
+        (KernelKind::FlatParallel, W4A8Weights::Lqq(w)) => {
+            w4a8_flat_parallel(x, act_scales, Some(w), None, cfg)
+        }
+        (KernelKind::FlatParallel, W4A8Weights::Qoq(w)) => {
+            w4a8_flat_parallel(x, act_scales, None, Some(w), cfg)
+        }
+        (KernelKind::ExCp, W4A8Weights::Lqq(w)) => w4a8_excp(x, act_scales, Some(w), None, cfg),
+        (KernelKind::ExCp, W4A8Weights::Qoq(w)) => w4a8_excp(x, act_scales, None, Some(w), cfg),
+        (KernelKind::ImFp, W4A8Weights::Lqq(w)) => w4a8_imfp(x, act_scales, Some(w), None, cfg),
+        (KernelKind::ImFp, W4A8Weights::Qoq(w)) => w4a8_imfp(x, act_scales, None, Some(w), cfg),
+    };
+    GemmOutput { y }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::max_abs_diff;
+    use lq_quant::act::QuantizedActivations;
+
+    #[test]
+    fn all_variants_agree() {
+        let (m, n, k) = (5, 24, 128);
+        let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.19).sin());
+        let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.03).cos());
+        let qa = QuantizedActivations::quantize(&xf, None);
+        let w = W4A8Weights::Lqq(PackedLqqLinear::quantize(&wf, 64));
+        assert_eq!(w.n(), n);
+        assert_eq!(w.k(), k);
+        assert_eq!(w.dequant(), Dequant::Lqq);
+        let cfg = ParallelConfig { workers: 3, task_rows: 5, stages: 3 };
+        let base = gemm(&qa.q, &qa.scales, &w, KernelKind::Serial, cfg).y;
+        for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
+            let y = gemm(&qa.q, &qa.scales, &w, kind, cfg).y;
+            assert_eq!(max_abs_diff(&y, &base), 0.0, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Fused activation-quantization GEMM front end.
+//!
+//! The paper's serving system (Section 6) quantizes FP16 activations to
+//! INT8 on the fly, per token, "typically fused into other kernels".
+//! This module is that fusion point on the API level: callers hand over
+//! FP32 activations and get the W4A8 GEMM result; quantization happens
+//! inside, optionally after SmoothQuant scale division, so no caller
+//! ever routes unquantized activations into an INT8 kernel by mistake.
+
+use lq_quant::act::QuantizedActivations;
+use lq_quant::mat::Mat;
+
+use crate::api::{gemm, GemmOutput, KernelKind, W4A8Weights};
+use crate::pipeline::ParallelConfig;
+
+/// W4A8 GEMM taking FP32 activations: per-token INT8 quantization is
+/// fused in front of the kernel. `smooth` (length K), if given, divides
+/// the activations channel-wise first (the SmoothQuant inverse scale —
+/// the weights must have been quantized with the matching forward
+/// scale).
+#[must_use]
+pub fn gemm_f32_activations(
+    x: &Mat<f32>,
+    weights: &W4A8Weights,
+    smooth: Option<&[f32]>,
+    kind: KernelKind,
+    cfg: ParallelConfig,
+) -> GemmOutput {
+    assert_eq!(x.cols(), weights.k(), "K mismatch");
+    let qa = QuantizedActivations::quantize(x, smooth);
+    gemm(&qa.q, &qa.scales, weights, kind, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::PackedLqqLinear;
+    use crate::reference::{gemm_f32_ref, max_abs_diff};
+    use lq_quant::metrics::error_stats;
+    use lq_quant::smooth::{calibrate, smooth_weights};
+
+    fn fixture(m: usize, n: usize, k: usize) -> (Mat<f32>, Mat<f32>) {
+        let x = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.019).sin() * 1.2);
+        let w = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.008).cos() * 0.7);
+        (x, w)
+    }
+
+    #[test]
+    fn fused_equals_manual_two_step() {
+        let (x, w) = fixture(6, 24, 128);
+        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+        let fused = gemm_f32_activations(&x, &weights, None, KernelKind::Serial, ParallelConfig::default());
+        let qa = QuantizedActivations::quantize(&x, None);
+        let manual = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, ParallelConfig::default());
+        assert_eq!(max_abs_diff(&fused.y, &manual.y), 0.0);
+    }
+
+    #[test]
+    fn fused_output_tracks_fp32() {
+        let (x, w) = fixture(8, 32, 256);
+        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+        let y = gemm_f32_activations(&x, &weights, None, KernelKind::Serial, ParallelConfig::default()).y;
+        let e = error_stats(&gemm_f32_ref(&x, &w), &y);
+        assert!(e.sqnr_db > 25.0, "sqnr {}", e.sqnr_db);
+    }
+
+    #[test]
+    fn fused_smoothing_path_is_consistent() {
+        // With outlier activations: smooth scales applied to weights at
+        // quantization time and to activations inside the fused call
+        // must cancel exactly in expectation.
+        let (mut x, w) = fixture(8, 16, 64);
+        for r in 0..x.rows() {
+            x.row_mut(r)[5] *= 25.0; // outlier channel
+        }
+        let cal = calibrate(&x, &w, 7);
+        let w_s = smooth_weights(&w, &cal.scales);
+        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w_s, 64));
+        let y = gemm_f32_activations(
+            &x,
+            &weights,
+            Some(&cal.scales),
+            KernelKind::Serial,
+            ParallelConfig::default(),
+        )
+        .y;
+        let e = error_stats(&gemm_f32_ref(&x, &w), &y);
+        assert!(e.cosine > 0.995, "cosine {}", e.cosine);
+    }
+
+    #[test]
+    #[should_panic(expected = "K mismatch")]
+    fn k_mismatch_panics() {
+        let (x, _) = fixture(2, 4, 64);
+        let w = Mat::from_fn(4, 128, |_, _| 0.1);
+        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+        let _ = gemm_f32_activations(&x, &weights, None, KernelKind::Serial, ParallelConfig::default());
+    }
+}

@@ -1,0 +1,50 @@
+//! # lq-core — the LiquidGEMM W4A8 kernel library
+//!
+//! The paper's primary contribution: a W4A8 GEMM whose dequantization is
+//! cheap enough (LiquidQuant, 2 register ops / 4 elements) to overlap
+//! with weight streaming and MMA, organised as an implicit fine-grained
+//! pipeline (ImFP) of one Load warp group feeding multiple Compute warp
+//! groups.
+//!
+//! On this CPU reproduction, warp groups become threads, SMEM stages
+//! become a ring of staging buffers, TMA becomes a prefetching producer
+//! thread, and the tensor-core MMA becomes a blocked `i8×i8→i32`
+//! microkernel. The *structure* — who dequantizes, where the data lands,
+//! what synchronises with what — matches the paper's Figure 6 exactly,
+//! which is what the ExCP-vs-ImFP ablation measures.
+//!
+//! Module map:
+//! * [`packed`] — kernel-ready weight containers for every precision the
+//!   paper benchmarks (W4A8-LQQ, W4A8-QoQ, W8A8, W4A16, FP16, FP8).
+//! * [`microkernel`] — the raw (uncounted) SWAR dequant paths and the
+//!   integer/float dot-product kernels.
+//! * [`reference`] — naive GEMM oracles used by every test.
+//! * [`serial`] — single-threaded kernels for all precisions (the
+//!   ablation's "no pipeline" variants).
+//! * [`pipeline`] — the parallel ImFP and ExCP kernels (crossbeam-based
+//!   single-producer / multi-consumer pipelines over a stage ring).
+//! * [`scheduler`] — persistent-kernel-style dynamic tile scheduler.
+//! * [`tiled`] — the GPU-structured tiled kernel (Mt×Nt×Kt main loop),
+//!   the executable twin of the cost model's decomposition.
+//! * [`epilogue`] — scale application and output transposition
+//!   (the `(W·Xᵀ)ᵀ` trick).
+//! * [`api`] — one entry point (`gemm`) dispatching over kernel kind.
+//! * [`fused`] — FP32-activation front end with fused per-token INT8
+//!   quantization (the serving system's fusion point).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod epilogue;
+pub mod fused;
+pub mod microkernel;
+pub mod packed;
+pub mod pipeline;
+pub mod reference;
+pub mod scheduler;
+pub mod serial;
+pub mod tiled;
+
+pub use api::{gemm, GemmOutput, KernelKind, ParallelConfig};
+pub use packed::{Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear};

@@ -1,0 +1,520 @@
+//! Parallel W4A8 kernels: flat data-parallel, explicit coarse-grained
+//! pipeline (ExCP), and the implicit fine-grained pipeline (ImFP).
+//!
+//! Mapping of the paper's Hopper structures (Figure 6) onto CPU threads:
+//!
+//! | paper                         | here                                   |
+//! |-------------------------------|----------------------------------------|
+//! | Load WG issuing TMA           | producer thread copying packed weight  |
+//! |                               | tiles into recycled staging buffers    |
+//! | SMEM stages                   | the ring of owned `Vec<u32>` buffers   |
+//! |                               | circulating producer → worker → free   |
+//! | Compute WG (dequant + MMA)    | ImFP worker: dequant a group into a    |
+//! |                               | register-file-sized buffer, dot it     |
+//! |                               | immediately (no round trip)            |
+//! | Dequant WG → SMEM → MMA WG    | ExCP: separate dequant threads fully   |
+//! |                               | materialising INT8 tiles that separate |
+//! |                               | MMA threads then re-read               |
+//! | mbarrier sync between WGs     | the extra bounded channel hop in ExCP  |
+//! | hardware task scheduling      | one atomic claim / channel recv        |
+//!
+//! All variants compute `Yᵀ = W·Xᵀ` — the paper's Section 5.4 rewrite —
+//! so each task (a block of output channels) owns a *contiguous* slice
+//! of the transposed output, giving workers disjoint `&mut` slices with
+//! no locking; the final transpose is the trailing `ᵀ`.
+//!
+//! Every variant is bit-exact against the serial LQQ kernel (tests at
+//! the bottom and in `tests/parallel.rs`).
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use lq_quant::mat::Mat;
+
+use crate::microkernel::{dequant_group_lqq, dequant_group_qoq, dot_i8, dot_i8_x4};
+use crate::packed::{PackedLqqLinear, PackedQoqLinear};
+use crate::scheduler::TaskScheduler;
+use crate::serial::MAX_GROUP;
+
+/// Parallel execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Compute workers (ImFP: dequant+MMA each; ExCP: split between
+    /// dequant and MMA roles).
+    pub workers: usize,
+    /// Output channels per task (the fine-grained task size).
+    pub task_rows: usize,
+    /// Staging buffers in flight (the "SMEM stage" count).
+    pub stages: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self { workers: 4, task_rows: 8, stages: 8 }
+    }
+}
+
+/// Which dequantization algorithm a W4A8 kernel variant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dequant {
+    /// LiquidQuant fast path.
+    Lqq,
+    /// QServe/QoQ emulated path.
+    Qoq,
+}
+
+/// A W4A8 weight source the pipelines can stream from, independent of
+/// the second-level scheme.
+enum WeightsRef<'a> {
+    Lqq(&'a PackedLqqLinear),
+    Qoq(&'a PackedQoqLinear),
+}
+
+impl WeightsRef<'_> {
+    fn n(&self) -> usize {
+        match self {
+            WeightsRef::Lqq(w) => w.n,
+            WeightsRef::Qoq(w) => w.n,
+        }
+    }
+
+    fn k(&self) -> usize {
+        match self {
+            WeightsRef::Lqq(w) => w.k,
+            WeightsRef::Qoq(w) => w.k,
+        }
+    }
+
+    fn group(&self) -> usize {
+        match self {
+            WeightsRef::Lqq(w) => w.group,
+            WeightsRef::Qoq(w) => w.group,
+        }
+    }
+
+    fn channel_scale(&self, j: usize) -> f32 {
+        match self {
+            WeightsRef::Lqq(w) => w.channel_scales[j],
+            WeightsRef::Qoq(w) => w.channel_scales[j],
+        }
+    }
+
+    /// Packed words of rows `[r0, r1)` (contiguous — the tile the Load
+    /// WG transfers).
+    fn rows_words(&self, r0: usize, r1: usize) -> &[u32] {
+        match self {
+            WeightsRef::Lqq(w) => w.words.rows_words(r0, r1),
+            WeightsRef::Qoq(w) => w.words.rows_words(r0, r1),
+        }
+    }
+
+    /// Dequantize group `g` of absolute row `j` from `words` (a staged
+    /// copy whose row 0 is absolute row `base`).
+    fn dequant_group_from(
+        &self,
+        words: &[u32],
+        base: usize,
+        j: usize,
+        g: usize,
+        out: &mut [i8],
+    ) {
+        let group = self.group();
+        let wpr = self.k() / 8;
+        let wpg = group / 8;
+        let off = (j - base) * wpr + g * wpg;
+        let slice = &words[off..off + wpg];
+        match self {
+            WeightsRef::Lqq(w) => dequant_group_lqq(slice, w.group_params(j, g), out),
+            WeightsRef::Qoq(w) => dequant_group_qoq(slice, w.group_params(j, g), out),
+        }
+    }
+}
+
+/// Compute `Yᵀ` rows `[j0, j1)` into `out_t` (length `(j1-j0)·m`),
+/// streaming packed words from `words` (staged tile starting at `j0`).
+fn compute_rows(
+    w: &WeightsRef<'_>,
+    words: &[u32],
+    j0: usize,
+    j1: usize,
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    out_t: &mut [f32],
+) {
+    let m = x.rows();
+    let group = w.group();
+    let groups_per_row = w.k() / group;
+    let mut buf = [0i8; MAX_GROUP];
+    let mut acc = vec![0i32; m];
+    for j in j0..j1 {
+        acc.fill(0);
+        for g in 0..groups_per_row {
+            w.dequant_group_from(words, j0, j, g, &mut buf[..group]);
+            let k0 = g * group;
+            accumulate(&mut acc, x, k0, k0 + group, &buf[..group]);
+        }
+        let ch = w.channel_scale(j);
+        let row = &mut out_t[(j - j0) * m..(j - j0 + 1) * m];
+        for (i, o) in row.iter_mut().enumerate() {
+            *o = acc[i] as f32 * act_scales[i] * ch;
+        }
+    }
+}
+
+#[inline]
+fn accumulate(acc: &mut [i32], x: &Mat<i8>, k0: usize, k1: usize, w_buf: &[i8]) {
+    let m = acc.len();
+    let mut i = 0;
+    while i + 4 <= m {
+        let r = dot_i8_x4(
+            w_buf,
+            &x.row(i)[k0..k1],
+            &x.row(i + 1)[k0..k1],
+            &x.row(i + 2)[k0..k1],
+            &x.row(i + 3)[k0..k1],
+        );
+        acc[i] += r[0];
+        acc[i + 1] += r[1];
+        acc[i + 2] += r[2];
+        acc[i + 3] += r[3];
+        i += 4;
+    }
+    while i < m {
+        acc[i] += dot_i8(w_buf, &x.row(i)[k0..k1]);
+        i += 1;
+    }
+}
+
+/// Transpose the flat `N×M` buffer into an `M×N` [`Mat`].
+fn assemble_output(y_t: Vec<f32>, m: usize, n: usize) -> Mat<f32> {
+    let mut y = Mat::zeros(m, n);
+    for j in 0..n {
+        for i in 0..m {
+            y.set(i, j, y_t[j * m + i]);
+        }
+    }
+    y
+}
+
+fn check_shapes(x: &Mat<i8>, act_scales: &[f32], k: usize) {
+    assert_eq!(x.cols(), k, "K mismatch");
+    assert_eq!(act_scales.len(), x.rows(), "one scale per token");
+}
+
+/// Flat data-parallel W4A8 kernel: every worker claims row-blocks from
+/// the shared scheduler and reads packed weights directly (no staging
+/// producer). The "pipeline off" arm of the Figure 13 ablation.
+#[must_use]
+pub fn w4a8_flat_parallel(
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    lqq: Option<&PackedLqqLinear>,
+    qoq: Option<&PackedQoqLinear>,
+    cfg: ParallelConfig,
+) -> Mat<f32> {
+    let w = match (lqq, qoq) {
+        (Some(w), None) => WeightsRef::Lqq(w),
+        (None, Some(w)) => WeightsRef::Qoq(w),
+        _ => panic!("exactly one weight source required"),
+    };
+    check_shapes(x, act_scales, w.k());
+    let (m, n) = (x.rows(), w.n());
+    let tasks = n.div_ceil(cfg.task_rows);
+    let sched = TaskScheduler::new(tasks);
+    let mut y_t = vec![0.0f32; n * m];
+    {
+        let chunks: Vec<(usize, &mut [f32])> = y_t
+            .chunks_mut(cfg.task_rows * m)
+            .enumerate()
+            .collect();
+        let chunk_q = parking_lot::Mutex::new(
+            chunks.into_iter().map(Some).collect::<Vec<_>>(),
+        );
+        crossbeam::thread::scope(|s| {
+            for _ in 0..cfg.workers.max(1) {
+                s.spawn(|_| {
+                    while let Some(t) = sched.claim() {
+                        let (idx, slice) = chunk_q.lock()[t].take().expect("task claimed once");
+                        debug_assert_eq!(idx, t);
+                        let j0 = t * cfg.task_rows;
+                        let j1 = (j0 + cfg.task_rows).min(n);
+                        // Flat variant: read straight from the weight
+                        // matrix (row j0's words start the slice).
+                        let words = w.rows_words(j0, j1);
+                        compute_rows(&w, words, j0, j1, x, act_scales, slice);
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+    }
+    assemble_output(y_t, m, n)
+}
+
+/// A staged tile in flight: task row range plus the recycled buffer
+/// holding its packed words and the output slice it owns.
+struct StagedTask<'a> {
+    j0: usize,
+    j1: usize,
+    words: Vec<u32>,
+    out: &'a mut [f32],
+}
+
+/// The implicit fine-grained pipeline (ImFP): one producer thread
+/// streams packed weight tiles into recycled staging buffers (the SMEM
+/// ring); multiple compute workers each dequantize *and* immediately
+/// multiply their claimed tile — dequantization in one worker overlaps
+/// MMA in another with no cross-stage data movement.
+#[must_use]
+pub fn w4a8_imfp(
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    lqq: Option<&PackedLqqLinear>,
+    qoq: Option<&PackedQoqLinear>,
+    cfg: ParallelConfig,
+) -> Mat<f32> {
+    let w = match (lqq, qoq) {
+        (Some(w), None) => WeightsRef::Lqq(w),
+        (None, Some(w)) => WeightsRef::Qoq(w),
+        _ => panic!("exactly one weight source required"),
+    };
+    check_shapes(x, act_scales, w.k());
+    let (m, n) = (x.rows(), w.n());
+    let mut y_t = vec![0.0f32; n * m];
+    {
+        let (task_tx, task_rx): (Sender<StagedTask>, Receiver<StagedTask>) =
+            bounded(cfg.stages.max(1));
+        let (free_tx, free_rx): (Sender<Vec<u32>>, Receiver<Vec<u32>>) =
+            bounded(cfg.stages.max(1) + cfg.workers + 1);
+        for _ in 0..cfg.stages.max(1) {
+            free_tx.send(Vec::new()).expect("prefill free ring");
+        }
+        let chunks = y_t.chunks_mut(cfg.task_rows * m);
+        let wref = &w;
+        crossbeam::thread::scope(|s| {
+            // Producer: the Load WG.
+            let producer_task_tx = task_tx;
+            let producer_free_rx = free_rx;
+            s.spawn(move |_| {
+                for (t, out) in chunks.enumerate() {
+                    let j0 = t * cfg.task_rows;
+                    let j1 = (j0 + cfg.task_rows).min(n);
+                    let mut buf = producer_free_rx.recv().expect("free ring closed");
+                    buf.clear();
+                    buf.extend_from_slice(wref.rows_words(j0, j1));
+                    producer_task_tx
+                        .send(StagedTask { j0, j1, words: buf, out })
+                        .expect("task channel closed");
+                }
+                // Dropping the sender ends the pipeline.
+            });
+            // Compute workers: dequant + MMA fused.
+            for _ in 0..cfg.workers.max(1) {
+                let rx = task_rx.clone();
+                let free = free_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(task) = rx.recv() {
+                        let StagedTask { j0, j1, words, out } = task;
+                        compute_rows(wref, &words, j0, j1, x, act_scales, out);
+                        // Recycle the stage; ignore shutdown races.
+                        let _ = free.send(words);
+                    }
+                });
+            }
+            drop(task_rx);
+            drop(free_tx);
+        })
+        .expect("pipeline thread panicked");
+    }
+    assemble_output(y_t, m, n)
+}
+
+/// A dequantized tile travelling from the Dequant WGs to the MMA WGs in
+/// the ExCP pipeline.
+struct DequantizedTask<'a> {
+    j0: usize,
+    j1: usize,
+    /// Fully materialised INT8 weights for rows `[j0, j1)` — the
+    /// "write back to SMEM" the paper identifies as ExCP's overhead.
+    tile: Vec<i8>,
+    out: &'a mut [f32],
+}
+
+/// The explicit coarse-grained pipeline (ExCP): Load → Dequant → MMA as
+/// *separate* thread roles connected by bounded channels. The dequant
+/// stage materialises whole INT8 tiles that the MMA stage re-reads —
+/// the RF↔SMEM round trip — and the static role split can leave one
+/// stage idle while another is the bottleneck.
+#[must_use]
+pub fn w4a8_excp(
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    lqq: Option<&PackedLqqLinear>,
+    qoq: Option<&PackedQoqLinear>,
+    cfg: ParallelConfig,
+) -> Mat<f32> {
+    let w = match (lqq, qoq) {
+        (Some(w), None) => WeightsRef::Lqq(w),
+        (None, Some(w)) => WeightsRef::Qoq(w),
+        _ => panic!("exactly one weight source required"),
+    };
+    check_shapes(x, act_scales, w.k());
+    let (m, n) = (x.rows(), w.n());
+    let k = w.k();
+    let group = w.group();
+    // Split workers between the two compute roles, at least one each.
+    let dequant_workers = (cfg.workers / 2).max(1);
+    let mma_workers = (cfg.workers - dequant_workers).max(1);
+    let mut y_t = vec![0.0f32; n * m];
+    {
+        let (load_tx, load_rx): (Sender<StagedTask>, Receiver<StagedTask>) =
+            bounded(cfg.stages.max(1));
+        let (deq_tx, deq_rx): (Sender<DequantizedTask>, Receiver<DequantizedTask>) =
+            bounded(cfg.stages.max(1));
+        let chunks = y_t.chunks_mut(cfg.task_rows * m);
+        let wref = &w;
+        crossbeam::thread::scope(|s| {
+            // Stage 1: Load WG.
+            s.spawn(move |_| {
+                for (t, out) in chunks.enumerate() {
+                    let j0 = t * cfg.task_rows;
+                    let j1 = (j0 + cfg.task_rows).min(n);
+                    let words = wref.rows_words(j0, j1).to_vec();
+                    load_tx
+                        .send(StagedTask { j0, j1, words, out })
+                        .expect("load channel closed");
+                }
+            });
+            // Stage 2: Dequant WGs — materialise full INT8 tiles.
+            for _ in 0..dequant_workers {
+                let rx = load_rx.clone();
+                let tx = deq_tx.clone();
+                s.spawn(move |_| {
+                    let mut buf = [0i8; MAX_GROUP];
+                    while let Ok(task) = rx.recv() {
+                        let StagedTask { j0, j1, words, out } = task;
+                        let rows = j1 - j0;
+                        let mut tile = vec![0i8; rows * k];
+                        for j in j0..j1 {
+                            for g in 0..k / group {
+                                wref.dequant_group_from(&words, j0, j, g, &mut buf[..group]);
+                                let dst = (j - j0) * k + g * group;
+                                tile[dst..dst + group].copy_from_slice(&buf[..group]);
+                            }
+                        }
+                        tx.send(DequantizedTask { j0, j1, tile, out })
+                            .expect("dequant channel closed");
+                    }
+                });
+            }
+            drop(load_rx);
+            drop(deq_tx);
+            // Stage 3: MMA WGs — dot products from the materialised tile.
+            for _ in 0..mma_workers {
+                let rx = deq_rx.clone();
+                s.spawn(move |_| {
+                    let mut acc = vec![0i32; m];
+                    while let Ok(task) = rx.recv() {
+                        let DequantizedTask { j0, j1, tile, out } = task;
+                        for j in j0..j1 {
+                            acc.fill(0);
+                            let wrow = &tile[(j - j0) * k..(j - j0 + 1) * k];
+                            accumulate(&mut acc, x, 0, k, wrow);
+                            let ch = wref.channel_scale(j);
+                            let row = &mut out[(j - j0) * m..(j - j0 + 1) * m];
+                            for (i, o) in row.iter_mut().enumerate() {
+                                *o = acc[i] as f32 * act_scales[i] * ch;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(deq_rx);
+        })
+        .expect("pipeline thread panicked");
+    }
+    assemble_output(y_t, m, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::max_abs_diff;
+    use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
+    use lq_quant::act::QuantizedActivations;
+
+    fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, PackedLqqLinear, PackedQoqLinear) {
+        let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.11).sin() * 2.0);
+        let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.05).cos());
+        let qa = QuantizedActivations::quantize(&xf, None);
+        let lqq = PackedLqqLinear::quantize(&wf, 64);
+        let qoq = PackedQoqLinear::quantize(&wf, 64);
+        (qa.q, qa.scales, lqq, qoq)
+    }
+
+    #[test]
+    fn imfp_matches_serial_bit_exact() {
+        let (x, s, lqq, _) = fixture(7, 33, 128);
+        let want = w4a8_lqq_serial(&x, &s, &lqq);
+        for workers in [1, 2, 4] {
+            let cfg = ParallelConfig { workers, task_rows: 5, stages: 3 };
+            let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
+            assert_eq!(max_abs_diff(&got, &want), 0.0, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn excp_matches_serial_bit_exact() {
+        let (x, s, lqq, _) = fixture(6, 20, 192);
+        let want = w4a8_lqq_serial(&x, &s, &lqq);
+        let cfg = ParallelConfig { workers: 4, task_rows: 3, stages: 2 };
+        let got = w4a8_excp(&x, &s, Some(&lqq), None, cfg);
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn flat_matches_serial_bit_exact() {
+        let (x, s, lqq, _) = fixture(5, 17, 64);
+        let want = w4a8_lqq_serial(&x, &s, &lqq);
+        let cfg = ParallelConfig { workers: 3, task_rows: 4, stages: 2 };
+        let got = w4a8_flat_parallel(&x, &s, Some(&lqq), None, cfg);
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn qoq_variants_match_their_serial() {
+        let (x, s, _, qoq) = fixture(4, 12, 128);
+        let want = w4a8_qoq_serial(&x, &s, &qoq);
+        let cfg = ParallelConfig { workers: 2, task_rows: 4, stages: 2 };
+        for got in [
+            w4a8_imfp(&x, &s, None, Some(&qoq), cfg),
+            w4a8_excp(&x, &s, None, Some(&qoq), cfg),
+            w4a8_flat_parallel(&x, &s, None, Some(&qoq), cfg),
+        ] {
+            assert_eq!(max_abs_diff(&got, &want), 0.0);
+        }
+    }
+
+    #[test]
+    fn task_rows_not_dividing_n_is_handled() {
+        let (x, s, lqq, _) = fixture(3, 10, 64);
+        let want = w4a8_lqq_serial(&x, &s, &lqq);
+        let cfg = ParallelConfig { workers: 2, task_rows: 7, stages: 2 };
+        let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_safe() {
+        let (x, s, lqq, _) = fixture(2, 4, 64);
+        let cfg = ParallelConfig { workers: 16, task_rows: 4, stages: 8 };
+        let want = w4a8_lqq_serial(&x, &s, &lqq);
+        let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one weight source required")]
+    fn two_weight_sources_panics() {
+        let (x, s, lqq, qoq) = fixture(2, 4, 64);
+        let _ = w4a8_imfp(&x, &s, Some(&lqq), Some(&qoq), ParallelConfig::default());
+    }
+}

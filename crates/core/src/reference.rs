@@ -1,0 +1,111 @@
+//! Naive reference GEMMs — the oracles every kernel is tested against.
+//!
+//! Deliberately simple triple loops with no tiling, no SWAR, no
+//! parallelism. Integer paths are exact, so optimized kernels must match
+//! them bit-for-bit; float paths define the semantics the f32 kernels
+//! approximate.
+
+use lq_quant::mat::Mat;
+
+/// `Y = X Wᵀ` over INT8 operands with i32 accumulation:
+/// `X: M×K (i8)`, `W: N×K (i8)` → `Y: M×N (i32)`.
+#[must_use]
+pub fn gemm_i8_ref(x: &Mat<i8>, w: &Mat<i8>) -> Mat<i32> {
+    assert_eq!(x.cols(), w.cols(), "K mismatch");
+    let (m, k, n) = (x.rows(), x.cols(), w.rows());
+    let mut y = Mat::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for l in 0..k {
+                acc += i32::from(*x.get(i, l)) * i32::from(*w.get(j, l));
+            }
+            y.set(i, j, acc);
+        }
+    }
+    y
+}
+
+/// `Y = X Wᵀ` over f32: `X: M×K`, `W: N×K` → `Y: M×N`.
+#[must_use]
+pub fn gemm_f32_ref(x: &Mat<f32>, w: &Mat<f32>) -> Mat<f32> {
+    assert_eq!(x.cols(), w.cols(), "K mismatch");
+    let (m, k, n) = (x.rows(), x.cols(), w.rows());
+    let mut y = Mat::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += x.get(i, l) * w.get(j, l);
+            }
+            y.set(i, j, acc);
+        }
+    }
+    y
+}
+
+/// Apply the W4A8 epilogue to an integer accumulator: per-token
+/// activation scale × per-channel weight scale.
+#[must_use]
+pub fn epilogue_ref(acc: &Mat<i32>, act_scales: &[f32], channel_scales: &[f32]) -> Mat<f32> {
+    assert_eq!(act_scales.len(), acc.rows());
+    assert_eq!(channel_scales.len(), acc.cols());
+    Mat::from_fn(acc.rows(), acc.cols(), |i, j| {
+        *acc.get(i, j) as f32 * act_scales[i] * channel_scales[j]
+    })
+}
+
+/// Max absolute elementwise difference between two f32 matrices.
+#[must_use]
+pub fn max_abs_diff(a: &Mat<f32>, b: &Mat<f32>) -> f32 {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice().iter())
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i8_gemm_small_hand_case() {
+        // X = [[1,2],[3,4]], W = [[5,6],[7,8]] → Y = X Wᵀ
+        let x = Mat::from_vec(2, 2, vec![1i8, 2, 3, 4]);
+        let w = Mat::from_vec(2, 2, vec![5i8, 6, 7, 8]);
+        let y = gemm_i8_ref(&x, &w);
+        assert_eq!(y.as_slice(), &[17, 23, 39, 53]);
+    }
+
+    #[test]
+    fn f32_gemm_small_hand_case() {
+        let x = Mat::from_vec(1, 3, vec![1.0f32, 0.5, -2.0]);
+        let w = Mat::from_vec(2, 3, vec![2.0f32, 4.0, 1.0, -1.0, 0.0, 3.0]);
+        let y = gemm_f32_ref(&x, &w);
+        assert_eq!(y.as_slice(), &[2.0, -7.0]);
+    }
+
+    #[test]
+    fn epilogue_applies_both_scales() {
+        let acc = Mat::from_vec(2, 2, vec![10i32, 20, 30, 40]);
+        let y = epilogue_ref(&acc, &[0.5, 2.0], &[1.0, 0.1]);
+        assert_eq!(y.as_slice(), &[5.0, 1.0, 60.0, 8.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_worst_cell() {
+        let a = Mat::from_vec(1, 3, vec![1.0f32, 2.0, 3.0]);
+        let b = Mat::from_vec(1, 3, vec![1.5f32, 2.0, 1.0]);
+        assert_eq!(max_abs_diff(&a, &b), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "K mismatch")]
+    fn shape_mismatch_panics() {
+        let x: Mat<i8> = Mat::zeros(2, 3);
+        let w: Mat<i8> = Mat::zeros(2, 4);
+        let _ = gemm_i8_ref(&x, &w);
+    }
+}

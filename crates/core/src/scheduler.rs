@@ -1,0 +1,112 @@
+//! Persistent-kernel-style dynamic task scheduler.
+//!
+//! The paper's ImFP relies on *hardware* scheduling: fine-grained tasks
+//! are claimed preemptively by whichever Compute WG is free, with no
+//! software synchronisation beyond the claim itself. The CPU analog is
+//! a single atomic counter: `claim()` is one `fetch_add`, wait-free, and
+//! naturally load-balances workers that run at different speeds —
+//! the property the ExCP design lacks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Wait-free dynamic scheduler over `total` task indices.
+#[derive(Debug)]
+pub struct TaskScheduler {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl TaskScheduler {
+    /// Scheduler over task ids `0..total`.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        Self { next: AtomicUsize::new(0), total }
+    }
+
+    /// Total task count.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Claim the next task, or `None` when exhausted.
+    ///
+    /// Relaxed ordering suffices: the claim itself carries no data, and
+    /// task payloads are published before workers start (or handed over
+    /// through channels, which synchronise).
+    #[inline]
+    pub fn claim(&self) -> Option<usize> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        (id < self.total).then_some(id)
+    }
+
+    /// Claim a batch of up to `n` consecutive tasks (reduces contention
+    /// for very fine tasks). Returns a half-open range.
+    pub fn claim_batch(&self, n: usize) -> Option<std::ops::Range<usize>> {
+        assert!(n > 0);
+        let start = self.next.fetch_add(n, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some(start..(start + n).min(self.total))
+    }
+
+    /// Number of tasks already claimed (may exceed `total` transiently
+    /// after the last claim; clamped).
+    #[must_use]
+    pub fn claimed(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_claims_cover_range_once() {
+        let s = TaskScheduler::new(5);
+        let got: Vec<usize> = std::iter::from_fn(|| s.claim()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.claim(), None);
+        assert_eq!(s.claimed(), 5);
+    }
+
+    #[test]
+    fn batch_claims_partition_range() {
+        let s = TaskScheduler::new(10);
+        assert_eq!(s.claim_batch(4), Some(0..4));
+        assert_eq!(s.claim_batch(4), Some(4..8));
+        assert_eq!(s.claim_batch(4), Some(8..10));
+        assert_eq!(s.claim_batch(4), None);
+    }
+
+    #[test]
+    fn concurrent_claims_are_disjoint_and_complete() {
+        let total = 10_000;
+        let s = Arc::new(TaskScheduler::new(total));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(id) = s.claim() {
+                    mine.push(id);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..total).collect();
+        assert_eq!(all, expect, "every task claimed exactly once");
+    }
+
+    #[test]
+    fn zero_tasks_is_immediately_exhausted() {
+        let s = TaskScheduler::new(0);
+        assert_eq!(s.claim(), None);
+        assert_eq!(s.claim_batch(3), None);
+    }
+}

@@ -1,0 +1,337 @@
+//! Single-threaded GEMM kernels for every precision under study.
+//!
+//! These are the ablation's "no pipeline" variants and the correctness
+//! anchors for the parallel kernels. All share the same loop structure —
+//! per output channel, per K-group: (dequantize if needed) then a
+//! batched dot against all tokens — so the *only* difference between
+//! `w4a8_lqq_serial` and `w4a8_qoq_serial` is the dequantization
+//! microkernel, making the LQQ-vs-QoQ benchmark a pure algorithm
+//! comparison, exactly like the paper's Figure 13 "+LQQ" ablation.
+//!
+//! Integer kernels are bit-exact against `reference::gemm_i8_ref` on the
+//! dequantized weights; float kernels match to rounding tolerance.
+
+use lq_quant::fp8::decode_lut;
+use lq_quant::mat::Mat;
+
+use crate::epilogue::apply_scales_column;
+use crate::microkernel::{dequant_group_lqq, dequant_group_qoq, dot_f32, dot_i8, dot_i8_x4};
+use crate::packed::{Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear};
+
+/// Largest group size the stack-allocated dequant buffer supports.
+pub const MAX_GROUP: usize = 256;
+
+/// Accumulate `acc[i] += dot(w_buf, x_rows[i][k0..k1])` for all tokens,
+/// 4-way unrolled over tokens for weight-buffer reuse.
+#[inline]
+fn accumulate_tokens(acc: &mut [i32], x: &Mat<i8>, k0: usize, k1: usize, w_buf: &[i8]) {
+    let m = acc.len();
+    let mut i = 0;
+    while i + 4 <= m {
+        let r = dot_i8_x4(
+            w_buf,
+            &x.row(i)[k0..k1],
+            &x.row(i + 1)[k0..k1],
+            &x.row(i + 2)[k0..k1],
+            &x.row(i + 3)[k0..k1],
+        );
+        acc[i] += r[0];
+        acc[i + 1] += r[1];
+        acc[i + 2] += r[2];
+        acc[i + 3] += r[3];
+        i += 4;
+    }
+    while i < m {
+        acc[i] += dot_i8(w_buf, &x.row(i)[k0..k1]);
+        i += 1;
+    }
+}
+
+/// Write one output column with the epilogue scales applied.
+#[inline]
+fn write_column(out: &mut Mat<f32>, j: usize, acc: &[i32], act_scales: &[f32], ch_scale: f32) {
+    let mut col = vec![0.0f32; acc.len()];
+    apply_scales_column(acc, act_scales, ch_scale, &mut col);
+    for (i, v) in col.into_iter().enumerate() {
+        out.set(i, j, v);
+    }
+}
+
+/// LiquidGEMM W4A8, serial: per group, the LQQ two-instruction dequant
+/// fills a register-file-sized buffer that is immediately consumed by
+/// the INT8 dot microkernel (no round trip through a bigger staging
+/// buffer — the ImFP data path, minus the parallelism).
+#[must_use]
+pub fn w4a8_lqq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedLqqLinear) -> Mat<f32> {
+    assert_eq!(x.cols(), w.k, "K mismatch");
+    assert_eq!(act_scales.len(), x.rows(), "one scale per token");
+    assert!(w.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    let m = x.rows();
+    let mut out = Mat::zeros(m, w.n);
+    let mut buf = [0i8; MAX_GROUP];
+    let mut acc = vec![0i32; m];
+    for j in 0..w.n {
+        acc.fill(0);
+        for g in 0..w.groups_per_row() {
+            let params = w.group_params(j, g);
+            dequant_group_lqq(w.group_words(j, g), params, &mut buf[..w.group]);
+            let k0 = g * w.group;
+            accumulate_tokens(&mut acc, x, k0, k0 + w.group, &buf[..w.group]);
+        }
+        write_column(&mut out, j, &acc, act_scales, w.channel_scales[j]);
+    }
+    out
+}
+
+/// QServe-baseline W4A8, serial: identical loop structure, but each
+/// group goes through the emulated-`vsub4` dequantization (19 ops per 8
+/// elements instead of 7).
+#[must_use]
+pub fn w4a8_qoq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedQoqLinear) -> Mat<f32> {
+    assert_eq!(x.cols(), w.k, "K mismatch");
+    assert_eq!(act_scales.len(), x.rows(), "one scale per token");
+    assert!(w.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    let m = x.rows();
+    let mut out = Mat::zeros(m, w.n);
+    let mut buf = [0i8; MAX_GROUP];
+    let mut acc = vec![0i32; m];
+    for j in 0..w.n {
+        acc.fill(0);
+        for g in 0..w.groups_per_row() {
+            let params = w.group_params(j, g);
+            dequant_group_qoq(w.group_words(j, g), params, &mut buf[..w.group]);
+            let k0 = g * w.group;
+            accumulate_tokens(&mut acc, x, k0, k0 + w.group, &buf[..w.group]);
+        }
+        write_column(&mut out, j, &acc, act_scales, w.channel_scales[j]);
+    }
+    out
+}
+
+/// W8A8, serial: the symmetric-GEMM baseline — no dequantization in the
+/// main loop at all (paper, Figure 3 right).
+#[must_use]
+pub fn w8a8_serial(x: &Mat<i8>, act_scales: &[f32], w: &W8A8Linear) -> Mat<f32> {
+    assert_eq!(x.cols(), w.q.cols(), "K mismatch");
+    assert_eq!(act_scales.len(), x.rows(), "one scale per token");
+    let (m, k) = (x.rows(), x.cols());
+    let mut out = Mat::zeros(m, w.q.rows());
+    let mut acc = vec![0i32; m];
+    for j in 0..w.q.rows() {
+        acc.fill(0);
+        accumulate_tokens(&mut acc, x, 0, k, w.q.row(j));
+        write_column(&mut out, j, &acc, act_scales, w.channel_scales[j]);
+    }
+    out
+}
+
+/// W4A16, serial: UINT4 weights dequantized to f32 in the main loop
+/// (two levels fused), f32 activations, f32 accumulation.
+#[must_use]
+pub fn w4a16_serial(x: &Mat<f32>, w: &W4A16Linear) -> Mat<f32> {
+    let p = &w.packed;
+    assert_eq!(x.cols(), p.k, "K mismatch");
+    assert!(p.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    let m = x.rows();
+    let mut out = Mat::zeros(m, p.n);
+    let mut ibuf = [0i8; MAX_GROUP];
+    let mut fbuf = [0.0f32; MAX_GROUP];
+    let mut acc = vec![0.0f32; m];
+    for j in 0..p.n {
+        acc.fill(0.0);
+        let ch = p.channel_scales[j];
+        for g in 0..p.groups_per_row() {
+            let params = p.group_params(j, g);
+            dequant_group_lqq(p.group_words(j, g), params, &mut ibuf[..p.group]);
+            for (f, &i8v) in fbuf[..p.group].iter_mut().zip(ibuf[..p.group].iter()) {
+                *f = f32::from(i8v) * ch;
+            }
+            let k0 = g * p.group;
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a += dot_f32(&fbuf[..p.group], &x.row(i)[k0..k0 + p.group]);
+            }
+        }
+        for (i, &a) in acc.iter().enumerate() {
+            out.set(i, j, a);
+        }
+    }
+    out
+}
+
+/// FP16 baseline, serial: binary16 weights decoded on the fly, f32 math.
+#[must_use]
+pub fn fp16_serial(x: &Mat<f32>, w: &Fp16Linear) -> Mat<f32> {
+    assert_eq!(x.cols(), w.k, "K mismatch");
+    let m = x.rows();
+    let mut out = Mat::zeros(m, w.n);
+    let mut frow = vec![0.0f32; w.k];
+    for j in 0..w.n {
+        for (f, h) in frow.iter_mut().zip(w.row(j).iter()) {
+            *f = h.to_f32();
+        }
+        for i in 0..m {
+            out.set(i, j, dot_f32(&frow, x.row(i)));
+        }
+    }
+    out
+}
+
+/// FP8 (E4M3) baseline, serial: table-decoded weights, f32 math,
+/// per-channel scale in the epilogue.
+#[must_use]
+pub fn fp8_serial(x: &Mat<f32>, w: &Fp8Linear) -> Mat<f32> {
+    assert_eq!(x.cols(), w.k, "K mismatch");
+    let lut = decode_lut();
+    let m = x.rows();
+    let mut out = Mat::zeros(m, w.n);
+    let mut frow = vec![0.0f32; w.k];
+    for j in 0..w.n {
+        for (f, &c) in frow.iter_mut().zip(w.row(j).iter()) {
+            *f = lut[c as usize];
+        }
+        let ch = w.channel_scales[j];
+        for i in 0..m {
+            out.set(i, j, dot_f32(&frow, x.row(i)) * ch);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{epilogue_ref, gemm_f32_ref, gemm_i8_ref, max_abs_diff};
+    use lq_quant::act::QuantizedActivations;
+    use lq_quant::weights::{QuantScheme, QuantizedLinear};
+
+    fn fixture(m: usize, n: usize, k: usize) -> (Mat<f32>, Mat<f32>) {
+        let x = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.13).sin() * 1.5);
+        let w = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.07).cos() * 0.8);
+        (x, w)
+    }
+
+    fn quantized_inputs(m: usize, k: usize) -> (Mat<i8>, Vec<f32>) {
+        let (x, _) = fixture(m, 8, k);
+        let qa = QuantizedActivations::quantize(&x, None);
+        (qa.q, qa.scales)
+    }
+
+    #[test]
+    fn lqq_serial_is_bit_exact_vs_reference() {
+        let (m, n, k) = (5, 7, 128);
+        let (_, wf) = fixture(m, n, k);
+        let (xq, xs) = quantized_inputs(m, k);
+        let q = QuantizedLinear::quantize(&wf, 64, QuantScheme::Lqq, None);
+        let p = PackedLqqLinear::from_quantized(&q);
+        let got = w4a8_lqq_serial(&xq, &xs, &p);
+        // Oracle: dequantize to i8, integer GEMM, epilogue.
+        let w_i8 = q.dequant_to_i8();
+        let acc = gemm_i8_ref(&xq, &w_i8);
+        let ch: Vec<f32> = q.channel_scales.iter().map(|s| s.scale).collect();
+        let want = epilogue_ref(&acc, &xs, &ch);
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "must be bit-exact");
+    }
+
+    #[test]
+    fn qoq_serial_is_bit_exact_vs_reference() {
+        let (m, n, k) = (6, 4, 192);
+        let (_, wf) = fixture(m, n, k);
+        let (xq, xs) = quantized_inputs(m, k);
+        let q = QuantizedLinear::quantize(&wf, 64, QuantScheme::Qoq, None);
+        let p = PackedQoqLinear::from_quantized(&q);
+        let got = w4a8_qoq_serial(&xq, &xs, &p);
+        let w_i8 = q.dequant_to_i8();
+        let acc = gemm_i8_ref(&xq, &w_i8);
+        let ch: Vec<f32> = q.channel_scales.iter().map(|s| s.scale).collect();
+        let want = epilogue_ref(&acc, &xs, &ch);
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "must be bit-exact");
+    }
+
+    #[test]
+    fn w8a8_serial_matches_reference() {
+        let (m, n, k) = (4, 6, 96);
+        let (_, wf) = fixture(m, n, k);
+        let (xq, xs) = quantized_inputs(m, k);
+        let w = W8A8Linear::quantize(&wf);
+        let got = w8a8_serial(&xq, &xs, &w);
+        let acc = gemm_i8_ref(&xq, &w.q);
+        let want = epilogue_ref(&acc, &xs, &w.channel_scales);
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn w4a16_serial_matches_dequantized_f32_gemm() {
+        let (m, n, k) = (3, 5, 128);
+        let (x, wf) = fixture(m, n, k);
+        let w = W4A16Linear::quantize(&wf, 64);
+        let got = w4a16_serial(&x, &w);
+        // Oracle: full dequant to f32, then f32 GEMM.
+        let q = QuantizedLinear::quantize(&wf, 64, QuantScheme::Lqq, None);
+        let want = gemm_f32_ref(&x, &q.dequant_to_f32());
+        assert!(max_abs_diff(&got, &want) < 1e-3);
+    }
+
+    #[test]
+    fn fp16_serial_close_to_f32_gemm() {
+        let (m, n, k) = (4, 4, 64);
+        let (x, wf) = fixture(m, n, k);
+        let w = Fp16Linear::encode(&wf);
+        let got = fp16_serial(&x, &w);
+        let want = gemm_f32_ref(&x, &wf);
+        // binary16 weights: relative error ~2^-11 per element.
+        assert!(max_abs_diff(&got, &want) < 0.05);
+    }
+
+    #[test]
+    fn fp8_serial_close_to_f32_gemm() {
+        let (m, n, k) = (4, 4, 64);
+        let (x, wf) = fixture(m, n, k);
+        let w = Fp8Linear::encode(&wf);
+        let got = fp8_serial(&x, &w);
+        let want = gemm_f32_ref(&x, &wf);
+        // E4M3: ~6% relative per element; K=64 accumulation averages out.
+        assert!(max_abs_diff(&got, &want) < 1.0);
+    }
+
+    #[test]
+    fn lqq_and_qoq_kernels_land_close_to_fp_output() {
+        // The two second-level grids have the same step but different
+        // anchors, so outputs differ slightly; both must stay within
+        // quantization distance of the FP oracle and of each other.
+        let (m, n, k) = (3, 4, 64);
+        let (x, wf) = fixture(m, n, k);
+        let (xq, xs) = quantized_inputs(m, k);
+        let lqq = PackedLqqLinear::quantize(&wf, 64);
+        let qoq = PackedQoqLinear::quantize(&wf, 64);
+        let a = w4a8_lqq_serial(&xq, &xs, &lqq);
+        let b = w4a8_qoq_serial(&xq, &xs, &qoq);
+        let ideal = gemm_f32_ref(&x, &wf);
+        let scale_of_outputs = ideal
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |mx, v| mx.max(v.abs()));
+        let tol = scale_of_outputs * 0.25;
+        assert!(max_abs_diff(&a, &ideal) < tol, "lqq {}", max_abs_diff(&a, &ideal));
+        assert!(max_abs_diff(&b, &ideal) < tol, "qoq {}", max_abs_diff(&b, &ideal));
+        assert!(max_abs_diff(&a, &b) < tol);
+    }
+
+    #[test]
+    fn single_token_edge_case() {
+        let (m, n, k) = (1, 3, 64);
+        let (_, wf) = fixture(m, n, k);
+        let (xq, xs) = quantized_inputs(m, k);
+        let p = PackedLqqLinear::quantize(&wf, 64);
+        let y = w4a8_lqq_serial(&xq, &xs, &p);
+        assert_eq!((y.rows(), y.cols()), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "K mismatch")]
+    fn shape_mismatch_panics() {
+        let x: Mat<i8> = Mat::zeros(2, 64);
+        let wf = Mat::zeros(2, 128);
+        let p = PackedLqqLinear::quantize(&wf, 64);
+        let _ = w4a8_lqq_serial(&x, &[1.0, 1.0], &p);
+    }
+}

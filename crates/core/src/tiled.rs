@@ -1,0 +1,132 @@
+//! Tiled W4A8 kernel — the GPU-structured variant.
+//!
+//! The serial kernel in [`crate::serial`] loops output channels; this
+//! variant mirrors the GPU decomposition of Figure 2 exactly: the
+//! output is cut into `Mt×Nt` tiles, each tile runs a K main loop in
+//! `Kt` steps, and each main-loop iteration dequantizes one weight
+//! sub-tile and multiplies it against the activation sub-tile. The tile
+//! structure is what the cost model (Eqs. 3–6) and the pipeline
+//! simulator reason about, so having an executable twin keeps those
+//! models honest: this kernel is bit-exact against the flat serial one.
+
+use lq_layout::tiles::{TileConfig, TileIter};
+use lq_quant::mat::Mat;
+
+use crate::microkernel::{dequant_group_lqq, dot_i8};
+use crate::packed::PackedLqqLinear;
+use crate::serial::MAX_GROUP;
+
+/// Tiled W4A8 GEMM with LiquidQuant dequantization.
+///
+/// `tile.kt` must be a multiple of the quantization group size; tiles
+/// iterate in the persistent-kernel row-major order.
+#[must_use]
+pub fn w4a8_lqq_tiled(
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    w: &PackedLqqLinear,
+    tile: TileConfig,
+) -> Mat<f32> {
+    assert_eq!(x.cols(), w.k, "K mismatch");
+    assert_eq!(act_scales.len(), x.rows(), "one scale per token");
+    assert!(w.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    assert_eq!(
+        tile.kt % w.group,
+        0,
+        "Kt={} must be a multiple of the group size {}",
+        tile.kt,
+        w.group
+    );
+    let (m, n, k) = (x.rows(), w.n, w.k);
+    let mut out = Mat::zeros(m, n);
+    let mut acc = vec![0i32; tile.mt * tile.nt];
+    let mut buf = [0i8; MAX_GROUP];
+    let groups_per_kt = tile.kt / w.group;
+
+    for t in TileIter::new(tile, m, n) {
+        let (th, tw) = (t.height(), t.width());
+        acc[..th * tw].fill(0);
+        // Main loop over K in Kt steps (the pipelined loop on GPU).
+        let mut k0 = 0;
+        while k0 < k {
+            for j in 0..tw {
+                let row = t.n0 + j;
+                for g in 0..groups_per_kt {
+                    let k_abs = k0 + g * w.group;
+                    if k_abs >= k {
+                        break;
+                    }
+                    let gi = k_abs / w.group;
+                    dequant_group_lqq(
+                        w.group_words(row, gi),
+                        w.group_params(row, gi),
+                        &mut buf[..w.group],
+                    );
+                    for i in 0..th {
+                        let xrow = &x.row(t.m0 + i)[k_abs..k_abs + w.group];
+                        acc[i * tw + j] += dot_i8(&buf[..w.group], xrow);
+                    }
+                }
+            }
+            k0 += tile.kt;
+        }
+        // Epilogue for this tile.
+        for i in 0..th {
+            let a = act_scales[t.m0 + i];
+            for j in 0..tw {
+                let ch = w.channel_scales[t.n0 + j];
+                out.set(t.m0 + i, t.n0 + j, acc[i * tw + j] as f32 * a * ch);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::max_abs_diff;
+    use crate::serial::w4a8_lqq_serial;
+    use lq_quant::act::QuantizedActivations;
+
+    fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, PackedLqqLinear) {
+        let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.017).sin() * 1.8);
+        let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.009).cos());
+        let qa = QuantizedActivations::quantize(&xf, None);
+        (qa.q, qa.scales, PackedLqqLinear::quantize(&wf, 64))
+    }
+
+    #[test]
+    fn tiled_matches_serial_exact_tiles() {
+        let (x, s, w) = fixture(8, 32, 256);
+        let want = w4a8_lqq_serial(&x, &s, &w);
+        let got = w4a8_lqq_tiled(&x, &s, &w, TileConfig { mt: 4, nt: 16, kt: 64 });
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn tiled_matches_serial_ragged_tiles() {
+        // Tile sizes that do not divide the problem: edge tiles clip.
+        let (x, s, w) = fixture(7, 30, 192);
+        let want = w4a8_lqq_serial(&x, &s, &w);
+        for (mt, nt, kt) in [(3, 7, 64), (5, 16, 128), (16, 64, 192)] {
+            let got = w4a8_lqq_tiled(&x, &s, &w, TileConfig { mt, nt, kt });
+            assert_eq!(max_abs_diff(&got, &want), 0.0, "tile {mt}x{nt}x{kt}");
+        }
+    }
+
+    #[test]
+    fn single_tile_covers_whole_problem() {
+        let (x, s, w) = fixture(4, 8, 64);
+        let want = w4a8_lqq_serial(&x, &s, &w);
+        let got = w4a8_lqq_tiled(&x, &s, &w, TileConfig { mt: 64, nt: 128, kt: 64 });
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a multiple of the group size")]
+    fn bad_kt_panics() {
+        let (x, s, w) = fixture(2, 4, 128);
+        let _ = w4a8_lqq_tiled(&x, &s, &w, TileConfig { mt: 2, nt: 2, kt: 32 });
+    }
+}

@@ -1,0 +1,265 @@
+//! Decode attention over the paged INT8 KV cache — a single-pass
+//! streaming-softmax (FlashAttention-2-style) implementation with
+//! grouped-query attention.
+//!
+//! For one query token per sequence, each head streams its sequence's
+//! cached K/V in order, maintaining the running maximum `m`, the
+//! running denominator `d`, and the rescaled accumulator — one pass,
+//! O(head_dim) state, never materialising the score vector. KV values
+//! dequantize on the fly with the static per-channel scales, mirroring
+//! how the fused kernel consumes the INT8 cache.
+
+use crate::kv::PagedKvStore;
+use lq_serving::kvcache::SeqId;
+
+/// Attention configuration for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttnConfig {
+    /// Query heads.
+    pub heads: usize,
+    /// KV heads (divides `heads`; < heads ⇒ GQA).
+    pub kv_heads: usize,
+    /// Channels per head.
+    pub head_dim: usize,
+}
+
+impl AttnConfig {
+    /// Query channels (`heads × head_dim`).
+    #[must_use]
+    pub fn q_dim(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    /// KV channels (`kv_heads × head_dim`).
+    #[must_use]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim
+    }
+
+    /// The KV head serving query head `h`.
+    #[must_use]
+    pub fn kv_head_of(&self, h: usize) -> usize {
+        h / (self.heads / self.kv_heads)
+    }
+}
+
+/// Streaming-softmax decode attention for one sequence.
+///
+/// `q` is the post-RoPE query (`heads × head_dim`); output has the same
+/// layout. Attends over all cached tokens of `seq` (the current token's
+/// K/V must already be appended).
+#[must_use]
+pub fn decode_attention(
+    cfg: AttnConfig,
+    q: &[f32],
+    store: &PagedKvStore,
+    seq: SeqId,
+) -> Vec<f32> {
+    assert_eq!(q.len(), cfg.q_dim(), "query length mismatch");
+    assert_eq!(store.kv_dim(), cfg.kv_dim(), "store kv_dim mismatch");
+    let ctx = store.len_of(seq).expect("sequence exists");
+    assert!(ctx > 0, "attention over empty cache");
+    let scale = 1.0 / (cfg.head_dim as f32).sqrt();
+    let d = cfg.head_dim;
+
+    let mut out = vec![0.0f32; cfg.q_dim()];
+    // Per-head streaming state.
+    let mut m = vec![f32::NEG_INFINITY; cfg.heads];
+    let mut den = vec![0.0f32; cfg.heads];
+
+    let mut k_deq = vec![0.0f32; d];
+    let mut v_deq = vec![0.0f32; d];
+    for t in 0..ctx {
+        let k_row = store.k_at(seq, t).expect("in range");
+        let v_row = store.v_at(seq, t).expect("in range");
+        for h in 0..cfg.heads {
+            let kh = cfg.kv_head_of(h);
+            let base = kh * d;
+            for c in 0..d {
+                k_deq[c] = f32::from(k_row[base + c]) * store.quant.k_scales[base + c];
+                v_deq[c] = f32::from(v_row[base + c]) * store.quant.v_scales[base + c];
+            }
+            let qh = &q[h * d..(h + 1) * d];
+            let score = scale
+                * qh.iter()
+                    .zip(k_deq.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>();
+            // Online softmax update.
+            let m_new = m[h].max(score);
+            let corr = if m[h].is_finite() { (m[h] - m_new).exp() } else { 0.0 };
+            let p = (score - m_new).exp();
+            den[h] = den[h] * corr + p;
+            let acc = &mut out[h * d..(h + 1) * d];
+            for c in 0..d {
+                acc[c] = acc[c] * corr + p * v_deq[c];
+            }
+            m[h] = m_new;
+        }
+    }
+    for h in 0..cfg.heads {
+        let inv = 1.0 / den[h];
+        for v in &mut out[h * cfg.head_dim..(h + 1) * cfg.head_dim] {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Naive reference attention over explicit f32 K/V history (oracle for
+/// tests): full score vector, two-pass softmax.
+#[must_use]
+pub fn reference_attention(
+    cfg: AttnConfig,
+    q: &[f32],
+    k_hist: &[Vec<f32>],
+    v_hist: &[Vec<f32>],
+) -> Vec<f32> {
+    assert_eq!(k_hist.len(), v_hist.len());
+    let scale = 1.0 / (cfg.head_dim as f32).sqrt();
+    let d = cfg.head_dim;
+    let mut out = vec![0.0f32; cfg.q_dim()];
+    for h in 0..cfg.heads {
+        let kh = cfg.kv_head_of(h);
+        let qh = &q[h * d..(h + 1) * d];
+        let scores: Vec<f32> = k_hist
+            .iter()
+            .map(|k| {
+                scale
+                    * qh.iter()
+                        .zip(k[kh * d..(kh + 1) * d].iter())
+                        .map(|(a, b)| a * b)
+                        .sum::<f32>()
+            })
+            .collect();
+        let m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f32> = scores.iter().map(|&s| (s - m).exp()).collect();
+        let den: f32 = exps.iter().sum();
+        for (p, v) in exps.iter().zip(v_hist.iter()) {
+            for c in 0..d {
+                out[h * d + c] += p / den * v[kh * d + c];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvQuantizer;
+
+    const CFG: AttnConfig = AttnConfig { heads: 4, kv_heads: 2, head_dim: 8 };
+
+    fn synth(i: usize, amp: f32) -> Vec<f32> {
+        (0..CFG.kv_dim())
+            .map(|c| ((i * CFG.kv_dim() + c) as f32 * 0.37).sin() * amp)
+            .collect()
+    }
+
+    fn build_store(ctx: usize, amp: f32) -> (PagedKvStore, Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let quant = KvQuantizer::uniform(CFG.kv_dim(), amp);
+        let mut store = PagedKvStore::new(64, 4, quant);
+        store.add_sequence(0).unwrap();
+        let mut ks = Vec::new();
+        let mut vs = Vec::new();
+        for t in 0..ctx {
+            let k = synth(t, amp);
+            let v = synth(t + 1000, amp);
+            store.append(0, &k, &v).unwrap();
+            ks.push(k);
+            vs.push(v);
+        }
+        (store, ks, vs)
+    }
+
+    #[test]
+    fn matches_reference_within_kv_quant_error() {
+        let (store, ks, vs) = build_store(37, 1.5);
+        let q: Vec<f32> = (0..CFG.q_dim()).map(|c| (c as f32 * 0.21).cos()).collect();
+        let got = decode_attention(CFG, &q, &store, 0);
+        let want = reference_attention(CFG, &q, &ks, &vs);
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g - w).abs() < 0.05, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn gqa_maps_heads_correctly() {
+        assert_eq!(CFG.kv_head_of(0), 0);
+        assert_eq!(CFG.kv_head_of(1), 0);
+        assert_eq!(CFG.kv_head_of(2), 1);
+        assert_eq!(CFG.kv_head_of(3), 1);
+    }
+
+    #[test]
+    fn single_token_context_returns_its_value() {
+        // With one cached token, attention output = V (softmax of one).
+        let (store, _, vs) = build_store(1, 1.0);
+        let q = vec![0.3f32; CFG.q_dim()];
+        let out = decode_attention(CFG, &q, &store, 0);
+        for h in 0..CFG.heads {
+            let kh = CFG.kv_head_of(h);
+            for c in 0..CFG.head_dim {
+                let want = vs[0][kh * CFG.head_dim + c];
+                let got = out[h * CFG.head_dim + c];
+                assert!((got - want).abs() < 0.02, "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn attends_to_matching_key() {
+        // Plant one key aligned with the query: its value dominates.
+        let quant = KvQuantizer::uniform(CFG.kv_dim(), 4.0);
+        let mut store = PagedKvStore::new(64, 4, quant);
+        store.add_sequence(0).unwrap();
+        let aligned: Vec<f32> = (0..CFG.kv_dim()).map(|_| 3.5f32).collect();
+        let noise: Vec<f32> = (0..CFG.kv_dim()).map(|c| if c % 2 == 0 { -3.5 } else { 3.5 }).collect();
+        let v_hot = vec![1.0f32; CFG.kv_dim()];
+        let v_cold = vec![-1.0f32; CFG.kv_dim()];
+        for _ in 0..5 {
+            store.append(0, &noise, &v_cold).unwrap();
+        }
+        store.append(0, &aligned, &v_hot).unwrap();
+        let q = vec![1.0f32; CFG.q_dim()];
+        let out = decode_attention(CFG, &q, &store, 0);
+        // The aligned key's value should dominate the mixture.
+        assert!(out.iter().all(|&v| v > 0.5), "{out:?}");
+    }
+
+    #[test]
+    fn streaming_is_order_invariant_in_distribution() {
+        // Same set of (K, V) pairs in two different orders → same output
+        // (softmax is permutation invariant).
+        let quant = KvQuantizer::uniform(CFG.kv_dim(), 2.0);
+        let mut a = PagedKvStore::new(64, 4, quant.clone());
+        let mut b = PagedKvStore::new(64, 4, quant);
+        a.add_sequence(0).unwrap();
+        b.add_sequence(0).unwrap();
+        let toks: Vec<(Vec<f32>, Vec<f32>)> =
+            (0..9).map(|t| (synth(t, 1.0), synth(t + 50, 1.0))).collect();
+        for (k, v) in &toks {
+            a.append(0, k, v).unwrap();
+        }
+        for (k, v) in toks.iter().rev() {
+            b.append(0, k, v).unwrap();
+        }
+        let q: Vec<f32> = (0..CFG.q_dim()).map(|c| (c as f32).sin()).collect();
+        let ya = decode_attention(CFG, &q, &a, 0);
+        let yb = decode_attention(CFG, &q, &b, 0);
+        for (u, v) in ya.iter().zip(yb.iter()) {
+            assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "attention over empty cache")]
+    fn empty_cache_panics() {
+        let quant = KvQuantizer::uniform(CFG.kv_dim(), 1.0);
+        let mut store = PagedKvStore::new(4, 4, quant);
+        store.add_sequence(0).unwrap();
+        let q = vec![0.0f32; CFG.q_dim()];
+        let _ = decode_attention(CFG, &q, &store, 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! INT8 per-channel static KV quantization and the paged KV store.
+//!
+//! Following the paper (Section 6, after TensorRT-LLM): K and V are
+//! quantized to INT8 with **static per-channel scales** computed offline
+//! from calibration, and stored in PagedAttention-style fixed-size
+//! pages. The page *table* bookkeeping comes from
+//! [`lq_serving::kvcache::PagedKvCache`]; this module owns the physical
+//! frames holding the quantized values.
+
+use lq_serving::kvcache::{KvCacheError, PagedKvCache, SeqId};
+
+/// Static per-channel KV quantizer for one layer.
+///
+/// One scale per (kv_head, channel) pair, for K and V separately,
+/// calibrated offline (here: from a provided absmax profile).
+#[derive(Debug, Clone)]
+pub struct KvQuantizer {
+    /// Channels per token (kv_heads × head_dim).
+    pub kv_dim: usize,
+    /// K scales, length `kv_dim`.
+    pub k_scales: Vec<f32>,
+    /// V scales, length `kv_dim`.
+    pub v_scales: Vec<f32>,
+}
+
+impl KvQuantizer {
+    /// Build from calibration absmax profiles (`|K|max`, `|V|max` per
+    /// channel). Zero absmax channels get scale 1 (values are zero).
+    #[must_use]
+    pub fn from_absmax(k_absmax: &[f32], v_absmax: &[f32]) -> Self {
+        assert_eq!(k_absmax.len(), v_absmax.len());
+        let to_scale = |m: &f32| if *m > 0.0 { *m / 127.0 } else { 1.0 };
+        Self {
+            kv_dim: k_absmax.len(),
+            k_scales: k_absmax.iter().map(to_scale).collect(),
+            v_scales: v_absmax.iter().map(to_scale).collect(),
+        }
+    }
+
+    /// Uniform calibration (every channel expects `absmax`).
+    #[must_use]
+    pub fn uniform(kv_dim: usize, absmax: f32) -> Self {
+        Self::from_absmax(&vec![absmax; kv_dim], &vec![absmax; kv_dim])
+    }
+
+    /// Quantize one K vector into `out` (saturating).
+    pub fn quantize_k(&self, k: &[f32], out: &mut [i8]) {
+        quantize_static(k, &self.k_scales, out);
+    }
+
+    /// Quantize one V vector into `out` (saturating).
+    pub fn quantize_v(&self, v: &[f32], out: &mut [i8]) {
+        quantize_static(v, &self.v_scales, out);
+    }
+}
+
+fn quantize_static(x: &[f32], scales: &[f32], out: &mut [i8]) {
+    assert_eq!(x.len(), scales.len());
+    assert_eq!(x.len(), out.len());
+    for ((o, &v), &s) in out.iter_mut().zip(x.iter()).zip(scales.iter()) {
+        *o = (v / s).round().clamp(-127.0, 127.0) as i8;
+    }
+}
+
+/// Physical paged storage of INT8 K/V for one layer.
+///
+/// Page frames are indexed by the page ids handed out by the
+/// [`PagedKvCache`] page-table allocator, so the two stay consistent by
+/// construction.
+#[derive(Debug)]
+pub struct PagedKvStore {
+    /// Page-table allocator (token counts, page ids, OOM policy).
+    pub table: PagedKvCache,
+    page_tokens: usize,
+    kv_dim: usize,
+    /// K frames: `total_pages × page_tokens × kv_dim` INT8.
+    k_frames: Vec<i8>,
+    /// V frames, same shape.
+    v_frames: Vec<i8>,
+    /// The layer's quantizer.
+    pub quant: KvQuantizer,
+}
+
+impl PagedKvStore {
+    /// Build a store with capacity for `total_pages` pages of
+    /// `page_tokens` tokens each.
+    #[must_use]
+    pub fn new(total_pages: usize, page_tokens: usize, quant: KvQuantizer) -> Self {
+        let kv_dim = quant.kv_dim;
+        // 2 bytes per value-pair (K and V, INT8 each).
+        let budget = (total_pages * page_tokens * kv_dim * 2) as u64;
+        let table = PagedKvCache::new(budget, page_tokens, kv_dim * 2);
+        let frames = total_pages * page_tokens * kv_dim;
+        Self {
+            table,
+            page_tokens,
+            kv_dim,
+            k_frames: vec![0i8; frames],
+            v_frames: vec![0i8; frames],
+            quant,
+        }
+    }
+
+    /// Register a sequence with no tokens yet.
+    pub fn add_sequence(&mut self, id: SeqId) -> Result<(), KvCacheError> {
+        self.table.add_sequence(id, 0)
+    }
+
+    /// Append one token's K/V (f32, length `kv_dim` each), quantizing
+    /// into the page frame. Returns the token's position.
+    pub fn append(&mut self, id: SeqId, k: &[f32], v: &[f32]) -> Result<usize, KvCacheError> {
+        assert_eq!(k.len(), self.kv_dim);
+        assert_eq!(v.len(), self.kv_dim);
+        let pos = self.table.tokens_of(id)?;
+        self.table.append_token(id)?;
+        let pages = self.table.page_table(id).expect("sequence exists");
+        let page = pages[pos / self.page_tokens] as usize;
+        let slot = pos % self.page_tokens;
+        let off = (page * self.page_tokens + slot) * self.kv_dim;
+        self.quant
+            .quantize_k(k, &mut self.k_frames[off..off + self.kv_dim]);
+        self.quant
+            .quantize_v(v, &mut self.v_frames[off..off + self.kv_dim]);
+        Ok(pos)
+    }
+
+    /// Number of cached tokens for a sequence.
+    pub fn len_of(&self, id: SeqId) -> Result<usize, KvCacheError> {
+        self.table.tokens_of(id)
+    }
+
+    /// Quantized K of token `pos` of sequence `id`.
+    pub fn k_at(&self, id: SeqId, pos: usize) -> Result<&[i8], KvCacheError> {
+        let off = self.offset_of(id, pos)?;
+        Ok(&self.k_frames[off..off + self.kv_dim])
+    }
+
+    /// Quantized V of token `pos` of sequence `id`.
+    pub fn v_at(&self, id: SeqId, pos: usize) -> Result<&[i8], KvCacheError> {
+        let off = self.offset_of(id, pos)?;
+        Ok(&self.v_frames[off..off + self.kv_dim])
+    }
+
+    /// Drop a sequence and recycle its pages (frames are reused as-is —
+    /// stale data is unreachable through the page table).
+    pub fn free_sequence(&mut self, id: SeqId) -> Result<(), KvCacheError> {
+        self.table.free_sequence(id)
+    }
+
+    /// Channels per token.
+    #[must_use]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    fn offset_of(&self, id: SeqId, pos: usize) -> Result<usize, KvCacheError> {
+        let tokens = self.table.tokens_of(id)?;
+        assert!(pos < tokens, "token {pos} beyond cached length {tokens}");
+        let pages = self.table.page_table(id)?;
+        let page = pages[pos / self.page_tokens] as usize;
+        Ok((page * self.page_tokens + pos % self.page_tokens) * self.kv_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_quantization_roundtrip() {
+        let q = KvQuantizer::uniform(8, 4.0);
+        let k: Vec<f32> = vec![-4.0, -2.0, -0.5, 0.0, 0.5, 1.0, 2.0, 4.0];
+        let mut out = vec![0i8; 8];
+        q.quantize_k(&k, &mut out);
+        assert_eq!(out[0], -127);
+        assert_eq!(out[7], 127);
+        for (i, &code) in out.iter().enumerate() {
+            let back = f32::from(code) * q.k_scales[i];
+            assert!((back - k[i]).abs() <= q.k_scales[i] / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn per_channel_scales_adapt() {
+        let q = KvQuantizer::from_absmax(&[1.0, 100.0], &[1.0, 1.0]);
+        let mut out = vec![0i8; 2];
+        q.quantize_k(&[1.0, 100.0], &mut out);
+        assert_eq!(out, vec![127, 127]); // each channel at its own full scale
+    }
+
+    #[test]
+    fn saturation_on_out_of_calibration_values() {
+        let q = KvQuantizer::uniform(1, 1.0);
+        let mut out = vec![0i8; 1];
+        q.quantize_k(&[50.0], &mut out);
+        assert_eq!(out[0], 127);
+        q.quantize_k(&[-50.0], &mut out);
+        assert_eq!(out[0], -127);
+    }
+
+    #[test]
+    fn paged_store_append_and_readback() {
+        let quant = KvQuantizer::uniform(4, 2.0);
+        let mut store = PagedKvStore::new(8, 4, quant);
+        store.add_sequence(1).unwrap();
+        for t in 0..10 {
+            let k: Vec<f32> = (0..4).map(|c| (t * 4 + c) as f32 * 0.1 - 1.0).collect();
+            let v: Vec<f32> = k.iter().map(|x| -x).collect();
+            let pos = store.append(1, &k, &v).unwrap();
+            assert_eq!(pos, t);
+        }
+        assert_eq!(store.len_of(1).unwrap(), 10);
+        // Read back token 6 (page 1, slot 2) and check dequantized values.
+        let k6 = store.k_at(1, 6).unwrap();
+        for (c, &code) in k6.iter().enumerate() {
+            let want = (6 * 4 + c) as f32 * 0.1 - 1.0;
+            let got = f32::from(code) * store.quant.k_scales[c];
+            assert!((got - want).abs() < 0.02, "{got} vs {want}");
+        }
+        let v6 = store.v_at(1, 6).unwrap();
+        assert!(v6.iter().zip(k6.iter()).all(|(a, b)| *a == -*b || (*a + *b).abs() <= 1));
+    }
+
+    #[test]
+    fn sequences_are_isolated_across_pages() {
+        let quant = KvQuantizer::uniform(2, 1.0);
+        let mut store = PagedKvStore::new(4, 2, quant);
+        store.add_sequence(1).unwrap();
+        store.add_sequence(2).unwrap();
+        for t in 0..3 {
+            store.append(1, &[0.5, 0.5], &[0.5, 0.5]).unwrap();
+            store.append(2, &[-0.5, -0.5], &[-0.5, -0.5]).unwrap();
+            let _ = t;
+        }
+        for pos in 0..3 {
+            assert!(store.k_at(1, pos).unwrap().iter().all(|&c| c > 0));
+            assert!(store.k_at(2, pos).unwrap().iter().all(|&c| c < 0));
+        }
+    }
+
+    #[test]
+    fn oom_propagates_from_page_table() {
+        let quant = KvQuantizer::uniform(2, 1.0);
+        let mut store = PagedKvStore::new(1, 2, quant);
+        store.add_sequence(1).unwrap();
+        store.append(1, &[0.0, 0.0], &[0.0, 0.0]).unwrap();
+        store.append(1, &[0.0, 0.0], &[0.0, 0.0]).unwrap();
+        assert_eq!(
+            store.append(1, &[0.0, 0.0], &[0.0, 0.0]),
+            Err(KvCacheError::OutOfMemory)
+        );
+    }
+
+    #[test]
+    fn freed_pages_are_reusable() {
+        let quant = KvQuantizer::uniform(2, 1.0);
+        let mut store = PagedKvStore::new(2, 2, quant);
+        store.add_sequence(1).unwrap();
+        for _ in 0..4 {
+            store.append(1, &[1.0, 1.0], &[1.0, 1.0]).unwrap();
+        }
+        store.free_sequence(1).unwrap();
+        store.add_sequence(2).unwrap();
+        for _ in 0..4 {
+            store.append(2, &[-1.0, -1.0], &[-1.0, -1.0]).unwrap();
+        }
+        assert!(store.k_at(2, 3).unwrap().iter().all(|&c| c < 0));
+    }
+}

@@ -1,0 +1,356 @@
+//! One decoder layer: pre-norm attention with paged INT8 KV, pre-norm
+//! SwiGLU FFN, residual connections — every projection a W4A8 GEMM.
+
+use crate::attention::{decode_attention, reference_attention, AttnConfig};
+use crate::ffn::{ffn_forward, ffn_reference, FfnWeights};
+use crate::kv::PagedKvStore;
+use crate::norm::rmsnorm;
+use crate::rope::{rope_heads_inplace, ROPE_BASE};
+use lq_core::api::W4A8Weights;
+use lq_core::{gemm, KernelKind, ParallelConfig};
+use lq_quant::act::QuantizedActivations;
+use lq_quant::mat::Mat;
+use lq_serving::kvcache::SeqId;
+
+/// Quantized weights of one decoder layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Fused QKV projection (`q_dim + 2·kv_dim` rows × hidden).
+    pub qkv: W4A8Weights,
+    /// Attention output projection (`hidden × q_dim`).
+    pub o: W4A8Weights,
+    /// Feed-forward weights.
+    pub ffn: FfnWeights,
+    /// RMSNorm gain before attention.
+    pub attn_norm: Vec<f32>,
+    /// RMSNorm gain before the FFN.
+    pub ffn_norm: Vec<f32>,
+}
+
+/// One decoder layer bound to its attention geometry.
+#[derive(Debug, Clone)]
+pub struct DecoderLayer {
+    /// Attention geometry.
+    pub cfg: AttnConfig,
+    /// Quantized weights.
+    pub weights: LayerWeights,
+}
+
+impl DecoderLayer {
+    /// Decode-step forward for a batch of sequences (one new token
+    /// each). `h` is `M × hidden`; `seqs[i]`/`positions[i]` identify
+    /// each row's sequence and the position of its new token. K/V are
+    /// appended to `store` (this layer's paged cache).
+    #[must_use]
+    pub fn forward_decode(
+        &self,
+        h: &Mat<f32>,
+        seqs: &[SeqId],
+        positions: &[usize],
+        store: &mut PagedKvStore,
+        kind: KernelKind,
+        pcfg: ParallelConfig,
+    ) -> Mat<f32> {
+        let m = h.rows();
+        assert_eq!(seqs.len(), m);
+        assert_eq!(positions.len(), m);
+        let hidden = h.cols();
+        let (q_dim, kv_dim) = (self.cfg.q_dim(), self.cfg.kv_dim());
+
+        // 1. Pre-norm + fused QKV projection (W4A8).
+        let mut normed = Mat::zeros(m, hidden);
+        for i in 0..m {
+            let n = rmsnorm(h.row(i), &self.weights.attn_norm);
+            normed.row_mut(i).copy_from_slice(&n);
+        }
+        let qa = QuantizedActivations::quantize(&normed, None);
+        let qkv = gemm(&qa.q, &qa.scales, &self.weights.qkv, kind, pcfg).y;
+
+        // 2. Per sequence: RoPE, KV append, streaming attention.
+        let mut attn_out = Mat::zeros(m, q_dim);
+        for i in 0..m {
+            let row = qkv.row(i);
+            let mut q = row[..q_dim].to_vec();
+            let mut k = row[q_dim..q_dim + kv_dim].to_vec();
+            let v = &row[q_dim + kv_dim..q_dim + 2 * kv_dim];
+            rope_heads_inplace(&mut q, self.cfg.heads, positions[i], ROPE_BASE);
+            rope_heads_inplace(&mut k, self.cfg.kv_heads, positions[i], ROPE_BASE);
+            let pos = store.append(seqs[i], &k, v).expect("KV capacity");
+            debug_assert_eq!(pos, positions[i], "cache position drift");
+            let o = decode_attention(self.cfg, &q, store, seqs[i]);
+            attn_out.row_mut(i).copy_from_slice(&o);
+        }
+
+        // 3. Output projection (W4A8) + residual.
+        let qa_o = QuantizedActivations::quantize(&attn_out, None);
+        let proj = gemm(&qa_o.q, &qa_o.scales, &self.weights.o, kind, pcfg).y;
+        let mut h1 = Mat::zeros(m, hidden);
+        for i in 0..m {
+            for c in 0..hidden {
+                h1.set(i, c, h.get(i, c) + proj.get(i, c));
+            }
+        }
+
+        // 4. Pre-norm FFN (W4A8) + residual.
+        let mut normed2 = Mat::zeros(m, hidden);
+        for i in 0..m {
+            let n = rmsnorm(h1.row(i), &self.weights.ffn_norm);
+            normed2.row_mut(i).copy_from_slice(&n);
+        }
+        let f = ffn_forward(&self.weights.ffn, &normed2, kind, pcfg);
+        let mut out = Mat::zeros(m, hidden);
+        for i in 0..m {
+            for c in 0..hidden {
+                out.set(i, c, h1.get(i, c) + f.get(i, c));
+            }
+        }
+        out
+    }
+}
+
+impl DecoderLayer {
+    /// Prefill forward: process a whole prompt (`T × hidden`, one
+    /// sequence) in batched GEMMs — the compute-efficient path where the
+    /// per-group dequantization amortises over all prompt tokens — with
+    /// causal attention per position over the just-filled cache.
+    #[must_use]
+    pub fn forward_prefill(
+        &self,
+        h: &Mat<f32>,
+        seq: SeqId,
+        start_pos: usize,
+        store: &mut PagedKvStore,
+        kind: KernelKind,
+        pcfg: ParallelConfig,
+    ) -> Mat<f32> {
+        let t_len = h.rows();
+        assert!(t_len > 0, "empty prefill");
+        let hidden = h.cols();
+        let (q_dim, kv_dim) = (self.cfg.q_dim(), self.cfg.kv_dim());
+
+        // 1. Pre-norm + one batched QKV GEMM over all prompt tokens.
+        let mut normed = Mat::zeros(t_len, hidden);
+        for i in 0..t_len {
+            normed.row_mut(i).copy_from_slice(&rmsnorm(h.row(i), &self.weights.attn_norm));
+        }
+        let qa = QuantizedActivations::quantize(&normed, None);
+        let qkv = gemm(&qa.q, &qa.scales, &self.weights.qkv, kind, pcfg).y;
+
+        // 2. Append every position's K/V first is NOT causal-safe for
+        //    attention; instead append position t then attend, so each
+        //    query sees exactly its prefix.
+        let mut attn_out = Mat::zeros(t_len, q_dim);
+        for i in 0..t_len {
+            let pos = start_pos + i;
+            let row = qkv.row(i);
+            let mut q = row[..q_dim].to_vec();
+            let mut k = row[q_dim..q_dim + kv_dim].to_vec();
+            let v = &row[q_dim + kv_dim..q_dim + 2 * kv_dim];
+            rope_heads_inplace(&mut q, self.cfg.heads, pos, ROPE_BASE);
+            rope_heads_inplace(&mut k, self.cfg.kv_heads, pos, ROPE_BASE);
+            store.append(seq, &k, v).expect("KV capacity");
+            let o = decode_attention(self.cfg, &q, store, seq);
+            attn_out.row_mut(i).copy_from_slice(&o);
+        }
+
+        // 3. Batched output projection + residual.
+        let qa_o = QuantizedActivations::quantize(&attn_out, None);
+        let proj = gemm(&qa_o.q, &qa_o.scales, &self.weights.o, kind, pcfg).y;
+        let mut h1 = Mat::zeros(t_len, hidden);
+        for i in 0..t_len {
+            for c in 0..hidden {
+                h1.set(i, c, h.get(i, c) + proj.get(i, c));
+            }
+        }
+
+        // 4. Batched FFN + residual.
+        let mut normed2 = Mat::zeros(t_len, hidden);
+        for i in 0..t_len {
+            normed2.row_mut(i).copy_from_slice(&rmsnorm(h1.row(i), &self.weights.ffn_norm));
+        }
+        let f = ffn_forward(&self.weights.ffn, &normed2, kind, pcfg);
+        let mut out = Mat::zeros(t_len, hidden);
+        for i in 0..t_len {
+            for c in 0..hidden {
+                out.set(i, c, h1.get(i, c) + f.get(i, c));
+            }
+        }
+        out
+    }
+}
+
+/// FP32 twin of a decoder layer (oracle): unquantized weights, exact
+/// f32 KV history.
+#[derive(Debug, Clone)]
+pub struct ReferenceLayer {
+    /// Attention geometry.
+    pub cfg: AttnConfig,
+    /// Fused QKV weights.
+    pub qkv: Mat<f32>,
+    /// Output projection.
+    pub o: Mat<f32>,
+    /// Fused gate+up.
+    pub gate_up: Mat<f32>,
+    /// Down projection.
+    pub down: Mat<f32>,
+    /// Intermediate width.
+    pub inter: usize,
+    /// Norm gains.
+    pub attn_norm: Vec<f32>,
+    /// Norm gains.
+    pub ffn_norm: Vec<f32>,
+    /// Per-sequence K history (f32).
+    pub k_hist: Vec<Vec<Vec<f32>>>,
+    /// Per-sequence V history (f32).
+    pub v_hist: Vec<Vec<Vec<f32>>>,
+}
+
+impl ReferenceLayer {
+    /// Decode-step forward mirroring [`DecoderLayer::forward_decode`].
+    /// `seq_idx[i]` indexes the f32 histories.
+    #[must_use]
+    pub fn forward_decode(
+        &mut self,
+        h: &Mat<f32>,
+        seq_idx: &[usize],
+        positions: &[usize],
+    ) -> Mat<f32> {
+        let m = h.rows();
+        let hidden = h.cols();
+        let (q_dim, kv_dim) = (self.cfg.q_dim(), self.cfg.kv_dim());
+        let mut normed = Mat::zeros(m, hidden);
+        for i in 0..m {
+            normed.row_mut(i).copy_from_slice(&rmsnorm(h.row(i), &self.attn_norm));
+        }
+        let qkv = lq_core::reference::gemm_f32_ref(&normed, &self.qkv);
+        let mut attn_out = Mat::zeros(m, q_dim);
+        for i in 0..m {
+            let row = qkv.row(i);
+            let mut q = row[..q_dim].to_vec();
+            let mut k = row[q_dim..q_dim + kv_dim].to_vec();
+            let v = row[q_dim + kv_dim..q_dim + 2 * kv_dim].to_vec();
+            rope_heads_inplace(&mut q, self.cfg.heads, positions[i], ROPE_BASE);
+            rope_heads_inplace(&mut k, self.cfg.kv_heads, positions[i], ROPE_BASE);
+            let s = seq_idx[i];
+            self.k_hist[s].push(k);
+            self.v_hist[s].push(v);
+            let o = reference_attention(self.cfg, &q, &self.k_hist[s], &self.v_hist[s]);
+            attn_out.row_mut(i).copy_from_slice(&o);
+        }
+        let proj = lq_core::reference::gemm_f32_ref(&attn_out, &self.o);
+        let mut h1 = Mat::zeros(m, hidden);
+        for i in 0..m {
+            for c in 0..hidden {
+                h1.set(i, c, h.get(i, c) + proj.get(i, c));
+            }
+        }
+        let mut normed2 = Mat::zeros(m, hidden);
+        for i in 0..m {
+            normed2.row_mut(i).copy_from_slice(&rmsnorm(h1.row(i), &self.ffn_norm));
+        }
+        let f = ffn_reference(&self.gate_up, &self.down, self.inter, &normed2);
+        let mut out = Mat::zeros(m, hidden);
+        for i in 0..m {
+            for c in 0..hidden {
+                out.set(i, c, h1.get(i, c) + f.get(i, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvQuantizer;
+    use crate::model::synth_mat;
+    use lq_core::packed::PackedLqqLinear;
+    use lq_quant::metrics::error_stats;
+
+    fn build_pair(hidden: usize, inter: usize, cfg: AttnConfig) -> (DecoderLayer, ReferenceLayer) {
+        let qkv = synth_mat(cfg.q_dim() + 2 * cfg.kv_dim(), hidden, 1, 0.25);
+        let o = synth_mat(hidden, cfg.q_dim(), 2, 0.25);
+        let gate_up = synth_mat(2 * inter, hidden, 3, 0.25);
+        let down = synth_mat(hidden, inter, 4, 0.25);
+        let attn_norm = vec![1.0f32; hidden];
+        let ffn_norm = vec![1.0f32; hidden];
+        let layer = DecoderLayer {
+            cfg,
+            weights: LayerWeights {
+                qkv: W4A8Weights::Lqq(PackedLqqLinear::quantize(&qkv, 32)),
+                o: W4A8Weights::Lqq(PackedLqqLinear::quantize(&o, 32)),
+                ffn: FfnWeights {
+                    gate_up: W4A8Weights::Lqq(PackedLqqLinear::quantize(&gate_up, 32)),
+                    down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, 32)),
+                    inter,
+                },
+                attn_norm: attn_norm.clone(),
+                ffn_norm: ffn_norm.clone(),
+            },
+        };
+        let reference = ReferenceLayer {
+            cfg,
+            qkv,
+            o,
+            gate_up,
+            down,
+            inter,
+            attn_norm,
+            ffn_norm,
+            k_hist: vec![Vec::new(); 4],
+            v_hist: vec![Vec::new(); 4],
+        };
+        (layer, reference)
+    }
+
+    #[test]
+    fn quantized_layer_tracks_fp32_over_multiple_steps() {
+        let cfg = AttnConfig { heads: 4, kv_heads: 2, head_dim: 16 };
+        let hidden = 64;
+        let (layer, mut reference) = build_pair(hidden, 128, cfg);
+        let quant = KvQuantizer::uniform(cfg.kv_dim(), 6.0);
+        let mut store = PagedKvStore::new(64, 4, quant);
+        let seqs: Vec<u64> = vec![0, 1];
+        for &s in &seqs {
+            store.add_sequence(s).unwrap();
+        }
+        let mut h = synth_mat(2, hidden, 9, 1.0);
+        let mut h_ref = h.clone();
+        let pcfg = ParallelConfig::default();
+        for step in 0..4 {
+            let positions = vec![step; 2];
+            let seq_idx = vec![0usize, 1];
+            h = layer.forward_decode(&h, &seqs, &positions, &mut store, KernelKind::Serial, pcfg);
+            h_ref = reference.forward_decode(&h_ref, &seq_idx, &positions);
+            let e = error_stats(&h_ref, &h);
+            // Three quantizers stack (weights, activations, KV), and the
+            // error compounds across steps; 0.95 cosine is the
+            // realistic band for this depth.
+            assert!(e.cosine > 0.95, "step {step}: cosine {}", e.cosine);
+            assert!(h.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn residual_stream_grows_with_layers_not_explodes() {
+        let cfg = AttnConfig { heads: 2, kv_heads: 2, head_dim: 16 };
+        let hidden = 32;
+        let (layer, _) = build_pair(hidden, 64, cfg);
+        let quant = KvQuantizer::uniform(cfg.kv_dim(), 6.0);
+        let mut store = PagedKvStore::new(32, 4, quant);
+        store.add_sequence(0).unwrap();
+        let mut h = synth_mat(1, hidden, 11, 1.0);
+        for step in 0..8 {
+            h = layer.forward_decode(
+                &h,
+                &[0],
+                &[step],
+                &mut store,
+                KernelKind::Serial,
+                ParallelConfig::default(),
+            );
+        }
+        let norm: f32 = h.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(norm.is_finite() && norm < 1e4, "norm {norm}");
+    }
+}

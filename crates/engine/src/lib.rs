@@ -1,0 +1,44 @@
+//! # lq-engine — an executable mini LLM inference engine on LiquidGEMM
+//!
+//! The paper's Section 6 builds a serving system around the kernel:
+//! W4A8 GEMMs for every projection, FlashAttention-2 for attention,
+//! PagedAttention for KV management, INT8 per-channel static KV
+//! quantization, SmoothQuant activation handling. This crate makes that
+//! system *executable* at CPU scale: a real decoder-only transformer
+//! whose every linear layer runs through the W4A8 kernels of `lq-core`,
+//! whose KV cache is INT8 and paged, and whose attention is a
+//! streaming-softmax (FA2-style) pass over the paged cache.
+//!
+//! It is the substrate behind `examples/decode_demo.rs` and the
+//! end-to-end numerical tests: quantized decode must track an FP32
+//! reference decode token-for-token on synthetic models.
+//!
+//! * [`norm`] — RMSNorm.
+//! * [`rope`] — rotary position embeddings.
+//! * [`kv`] — INT8 per-channel static KV quantization + the paged KV
+//!   store that pairs quantized frames with
+//!   [`lq_serving::kvcache::PagedKvCache`] page tables.
+//! * [`attention`] — single-pass streaming-softmax decode attention
+//!   over the paged INT8 cache, with grouped-query attention.
+//! * [`ffn`] — SwiGLU feed-forward on W4A8 GEMMs.
+//! * [`layer`] — one decoder layer (attention + FFN + norms).
+//! * [`model`] — a toy multi-layer model with deterministic synthetic
+//!   weights, greedy decoding, and an FP32 twin for validation.
+//! * [`sampling`] — greedy / temperature / top-k sampling with a
+//!   deterministic RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod ffn;
+pub mod kv;
+pub mod layer;
+pub mod model;
+pub mod norm;
+pub mod rope;
+pub mod sampling;
+
+pub use kv::{KvQuantizer, PagedKvStore};
+pub use layer::{DecoderLayer, LayerWeights};
+pub use model::{ModelSpec, TinyLlm};

@@ -1,0 +1,457 @@
+//! A toy multi-layer decoder-only model with deterministic synthetic
+//! weights — the end-to-end vehicle for validating the full W4A8 stack
+//! (embed → L × decoder layer → norm → LM head → greedy sample).
+
+use crate::attention::AttnConfig;
+use crate::ffn::FfnWeights;
+use crate::kv::{KvQuantizer, PagedKvStore};
+use crate::layer::{DecoderLayer, LayerWeights, ReferenceLayer};
+use crate::norm::rmsnorm;
+use lq_core::api::W4A8Weights;
+use lq_core::packed::PackedLqqLinear;
+use lq_core::{gemm, KernelKind, ParallelConfig};
+use lq_quant::act::QuantizedActivations;
+use lq_quant::mat::Mat;
+use lq_serving::kvcache::SeqId;
+
+/// Architecture of the toy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// FFN intermediate width.
+    pub inter: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Attention geometry.
+    pub attn: AttnConfig,
+    /// Quantization group size along K.
+    pub group: usize,
+}
+
+impl ModelSpec {
+    /// A small config suited to tests (runs in milliseconds).
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            vocab: 96,
+            hidden: 64,
+            inter: 128,
+            layers: 2,
+            attn: AttnConfig { heads: 4, kv_heads: 2, head_dim: 16 },
+            group: 32,
+        }
+    }
+}
+
+/// Deterministic synthetic weight matrix (splitmix-style hash → ~N(0,σ)).
+#[must_use]
+pub fn synth_mat(rows: usize, cols: usize, seed: u64, sigma: f32) -> Mat<f32> {
+    Mat::from_fn(rows, cols, |r, c| {
+        let mut z = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((r * cols + c) as u64 + 1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Sum of 4 uniforms ≈ gaussian (Irwin–Hall), centred.
+        let u = |k: u64| ((z >> (k * 16)) & 0xFFFF) as f32 / 65536.0;
+        (u(0) + u(1) + u(2) + u(3) - 2.0) * sigma * 1.7
+    })
+}
+
+/// The quantized model plus per-layer paged KV stores.
+pub struct TinyLlm {
+    /// Architecture.
+    pub spec: ModelSpec,
+    /// Token embedding table (`vocab × hidden`, FP16-equivalent kept f32).
+    pub embed: Mat<f32>,
+    /// Decoder layers.
+    pub layers: Vec<DecoderLayer>,
+    /// Final norm gain.
+    pub final_norm: Vec<f32>,
+    /// LM head (`vocab × hidden`), W4A8.
+    pub lm_head: W4A8Weights,
+    /// Per-layer KV stores.
+    pub kv: Vec<PagedKvStore>,
+    kind: KernelKind,
+    pcfg: ParallelConfig,
+}
+
+impl TinyLlm {
+    /// Build with deterministic synthetic weights.
+    #[must_use]
+    pub fn synthetic(spec: ModelSpec, pages: usize, kind: KernelKind) -> Self {
+        let a = spec.attn;
+        let mut layers = Vec::with_capacity(spec.layers);
+        for l in 0..spec.layers as u64 {
+            let qkv = synth_mat(a.q_dim() + 2 * a.kv_dim(), spec.hidden, 10 + l, 0.2);
+            let o = synth_mat(spec.hidden, a.q_dim(), 20 + l, 0.2);
+            let gate_up = synth_mat(2 * spec.inter, spec.hidden, 30 + l, 0.2);
+            let down = synth_mat(spec.hidden, spec.inter, 40 + l, 0.2);
+            layers.push(DecoderLayer {
+                cfg: a,
+                weights: LayerWeights {
+                    qkv: W4A8Weights::Lqq(PackedLqqLinear::quantize(&qkv, spec.group)),
+                    o: W4A8Weights::Lqq(PackedLqqLinear::quantize(&o, spec.group)),
+                    ffn: FfnWeights {
+                        gate_up: W4A8Weights::Lqq(PackedLqqLinear::quantize(&gate_up, spec.group)),
+                        down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, spec.group)),
+                        inter: spec.inter,
+                    },
+                    attn_norm: vec![1.0; spec.hidden],
+                    ffn_norm: vec![1.0; spec.hidden],
+                },
+            });
+        }
+        let lm_head_f = synth_mat(spec.vocab, spec.hidden, 99, 0.2);
+        let kv = (0..spec.layers)
+            .map(|_| PagedKvStore::new(pages, 16, KvQuantizer::uniform(a.kv_dim(), 4.0)))
+            .collect();
+        Self {
+            spec,
+            embed: synth_mat(spec.vocab, spec.hidden, 7, 0.7),
+            layers,
+            final_norm: vec![1.0; spec.hidden],
+            lm_head: W4A8Weights::Lqq(PackedLqqLinear::quantize(&lm_head_f, spec.group)),
+            kv,
+            kind,
+            pcfg: ParallelConfig::default(),
+        }
+    }
+
+    /// FP32 twin with the same synthetic weights (for validation).
+    #[must_use]
+    pub fn reference_twin(&self, max_seqs: usize) -> ReferenceLlm {
+        let spec = self.spec;
+        let a = spec.attn;
+        let layers = (0..spec.layers as u64)
+            .map(|l| ReferenceLayer {
+                cfg: a,
+                qkv: synth_mat(a.q_dim() + 2 * a.kv_dim(), spec.hidden, 10 + l, 0.2),
+                o: synth_mat(spec.hidden, a.q_dim(), 20 + l, 0.2),
+                gate_up: synth_mat(2 * spec.inter, spec.hidden, 30 + l, 0.2),
+                down: synth_mat(spec.hidden, spec.inter, 40 + l, 0.2),
+                inter: spec.inter,
+                attn_norm: vec![1.0; spec.hidden],
+                ffn_norm: vec![1.0; spec.hidden],
+                k_hist: vec![Vec::new(); max_seqs],
+                v_hist: vec![Vec::new(); max_seqs],
+            })
+            .collect();
+        ReferenceLlm {
+            spec,
+            embed: synth_mat(spec.vocab, spec.hidden, 7, 0.7),
+            layers,
+            final_norm: vec![1.0; spec.hidden],
+            lm_head: synth_mat(spec.vocab, spec.hidden, 99, 0.2),
+        }
+    }
+
+    /// Offline KV-scale calibration (paper, Section 6: "per-channel
+    /// static quantization, with scale factors computed offline").
+    ///
+    /// Runs the FP32 twin over `sample` calibration tokens, collects the
+    /// per-channel |K|/|V| maxima each layer produced, and rebuilds each
+    /// layer's KV store with the measured scales. Call before serving;
+    /// resets all KV state.
+    pub fn calibrate_kv(&mut self, sample: &[usize], pages: usize) {
+        assert!(!sample.is_empty(), "need calibration tokens");
+        let mut twin = self.reference_twin(1);
+        for (pos, &t) in sample.iter().enumerate() {
+            let _ = twin.decode_step(&[t], &[0], &[pos]);
+        }
+        let kv_dim = self.spec.attn.kv_dim();
+        for (l, layer) in twin.layers.iter().enumerate() {
+            let mut k_absmax = vec![0.0f32; kv_dim];
+            let mut v_absmax = vec![0.0f32; kv_dim];
+            for k in &layer.k_hist[0] {
+                for (m, &v) in k_absmax.iter_mut().zip(k.iter()) {
+                    *m = m.max(v.abs());
+                }
+            }
+            for v in &layer.v_hist[0] {
+                for (m, &x) in v_absmax.iter_mut().zip(v.iter()) {
+                    *m = m.max(x.abs());
+                }
+            }
+            // 10% headroom over the calibration maxima.
+            for m in k_absmax.iter_mut().chain(v_absmax.iter_mut()) {
+                *m *= 1.1;
+            }
+            self.kv[l] = PagedKvStore::new(
+                pages,
+                16,
+                KvQuantizer::from_absmax(&k_absmax, &v_absmax),
+            );
+        }
+    }
+
+    /// Register a new sequence in every layer's KV store.
+    pub fn add_sequence(&mut self, id: SeqId) {
+        for store in &mut self.kv {
+            store.add_sequence(id).expect("KV capacity for new sequence");
+        }
+    }
+
+    /// One decode step: token ids (one per sequence) → logits
+    /// (`M × vocab`). `positions[i]` is each token's position.
+    #[must_use]
+    pub fn decode_step(&mut self, tokens: &[usize], seqs: &[SeqId], positions: &[usize]) -> Mat<f32> {
+        let m = tokens.len();
+        assert_eq!(seqs.len(), m);
+        assert_eq!(positions.len(), m);
+        let mut h = Mat::zeros(m, self.spec.hidden);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.spec.vocab, "token id out of vocab");
+            h.row_mut(i).copy_from_slice(self.embed.row(t));
+        }
+        for (layer, store) in self.layers.iter().zip(self.kv.iter_mut()) {
+            h = layer.forward_decode(&h, seqs, positions, store, self.kind, self.pcfg);
+        }
+        let mut normed = Mat::zeros(m, self.spec.hidden);
+        for i in 0..m {
+            normed.row_mut(i).copy_from_slice(&rmsnorm(h.row(i), &self.final_norm));
+        }
+        let qa = QuantizedActivations::quantize(&normed, None);
+        gemm(&qa.q, &qa.scales, &self.lm_head, self.kind, self.pcfg).y
+    }
+
+    /// Batched prefill of a whole prompt for one sequence: one pass of
+    /// M = prompt-length GEMMs per layer (the compute-efficient path),
+    /// returning the logits after the last prompt token.
+    #[must_use]
+    pub fn prefill(&mut self, seq: SeqId, prompt: &[usize]) -> Mat<f32> {
+        assert!(!prompt.is_empty(), "empty prompt");
+        let t_len = prompt.len();
+        let mut h = Mat::zeros(t_len, self.spec.hidden);
+        for (i, &t) in prompt.iter().enumerate() {
+            assert!(t < self.spec.vocab, "token id out of vocab");
+            h.row_mut(i).copy_from_slice(self.embed.row(t));
+        }
+        for (layer, store) in self.layers.iter().zip(self.kv.iter_mut()) {
+            h = layer.forward_prefill(&h, seq, 0, store, self.kind, self.pcfg);
+        }
+        // Only the last position's logits matter for generation.
+        let last = rmsnorm(h.row(t_len - 1), &self.final_norm);
+        let last_m = Mat::from_vec(1, self.spec.hidden, last);
+        let qa = QuantizedActivations::quantize(&last_m, None);
+        gemm(&qa.q, &qa.scales, &self.lm_head, self.kind, self.pcfg).y
+    }
+
+    /// Chunked prefill: process the prompt in chunks of `chunk` tokens
+    /// (bounding peak activation memory, as production serving does).
+    /// Numerically identical to [`TinyLlm::prefill`] — causality is
+    /// per-token either way.
+    #[must_use]
+    pub fn prefill_chunked(&mut self, seq: SeqId, prompt: &[usize], chunk: usize) -> Mat<f32> {
+        assert!(!prompt.is_empty(), "empty prompt");
+        assert!(chunk > 0, "chunk must be positive");
+        let mut logits = Mat::zeros(1, self.spec.vocab);
+        let mut start = 0usize;
+        while start < prompt.len() {
+            let end = (start + chunk).min(prompt.len());
+            let piece = &prompt[start..end];
+            let mut h = Mat::zeros(piece.len(), self.spec.hidden);
+            for (i, &t) in piece.iter().enumerate() {
+                assert!(t < self.spec.vocab, "token id out of vocab");
+                h.row_mut(i).copy_from_slice(self.embed.row(t));
+            }
+            for (layer, store) in self.layers.iter().zip(self.kv.iter_mut()) {
+                h = layer.forward_prefill(&h, seq, start, store, self.kind, self.pcfg);
+            }
+            if end == prompt.len() {
+                let last = rmsnorm(h.row(piece.len() - 1), &self.final_norm);
+                let last_m = Mat::from_vec(1, self.spec.hidden, last);
+                let qa = QuantizedActivations::quantize(&last_m, None);
+                logits = gemm(&qa.q, &qa.scales, &self.lm_head, self.kind, self.pcfg).y;
+            }
+            start = end;
+        }
+        logits
+    }
+
+    /// Greedy generation for one sequence starting from `prompt`.
+    #[must_use]
+    pub fn generate_greedy(&mut self, seq: SeqId, prompt: &[usize], new_tokens: usize) -> Vec<usize> {
+        assert!(!prompt.is_empty());
+        self.add_sequence(seq);
+        let mut logits = self.prefill(seq, prompt);
+        let mut pos = prompt.len();
+        let mut out = Vec::with_capacity(new_tokens);
+        for _ in 0..new_tokens {
+            let next = argmax(logits.row(0));
+            out.push(next);
+            logits = self.decode_step(&[next], &[seq], &[pos]);
+            pos += 1;
+        }
+        out
+    }
+}
+
+/// FP32 reference model.
+pub struct ReferenceLlm {
+    /// Architecture.
+    pub spec: ModelSpec,
+    /// Embedding table.
+    pub embed: Mat<f32>,
+    /// Reference layers (own their f32 KV histories).
+    pub layers: Vec<ReferenceLayer>,
+    /// Final norm gain.
+    pub final_norm: Vec<f32>,
+    /// LM head.
+    pub lm_head: Mat<f32>,
+}
+
+impl ReferenceLlm {
+    /// One decode step (mirrors [`TinyLlm::decode_step`]); `seq_idx`
+    /// indexes the preallocated histories.
+    #[must_use]
+    pub fn decode_step(&mut self, tokens: &[usize], seq_idx: &[usize], positions: &[usize]) -> Mat<f32> {
+        let m = tokens.len();
+        let mut h = Mat::zeros(m, self.spec.hidden);
+        for (i, &t) in tokens.iter().enumerate() {
+            h.row_mut(i).copy_from_slice(self.embed.row(t));
+        }
+        for layer in &mut self.layers {
+            h = layer.forward_decode(&h, seq_idx, positions);
+        }
+        let mut normed = Mat::zeros(m, self.spec.hidden);
+        for i in 0..m {
+            normed.row_mut(i).copy_from_slice(&rmsnorm(h.row(i), &self.final_norm));
+        }
+        lq_core::reference::gemm_f32_ref(&normed, &self.lm_head)
+    }
+}
+
+/// Index of the maximum logit.
+#[must_use]
+pub fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_mat_is_deterministic_and_centred() {
+        let a = synth_mat(32, 32, 5, 0.5);
+        let b = synth_mat(32, 32, 5, 0.5);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let mean: f32 = a.as_slice().iter().sum::<f32>() / 1024.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        let c = synth_mat(32, 32, 6, 0.5);
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn decode_step_produces_finite_logits() {
+        let mut m = TinyLlm::synthetic(ModelSpec::tiny(), 64, KernelKind::Serial);
+        m.add_sequence(0);
+        let logits = m.decode_step(&[3], &[0], &[0]);
+        assert_eq!((logits.rows(), logits.cols()), (1, 96));
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let spec = ModelSpec::tiny();
+        let mut m1 = TinyLlm::synthetic(spec, 64, KernelKind::Serial);
+        let mut m2 = TinyLlm::synthetic(spec, 64, KernelKind::Serial);
+        let a = m1.generate_greedy(0, &[1, 2, 3], 6);
+        let b = m2.generate_greedy(0, &[1, 2, 3], 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|&t| t < spec.vocab));
+    }
+
+    #[test]
+    fn quantized_model_matches_fp32_argmax_mostly() {
+        // Token-level agreement between the W4A8 model and its FP32
+        // twin over a short greedy rollout — the engine-level analogue
+        // of "LQQ preserves accuracy".
+        let spec = ModelSpec::tiny();
+        let mut q = TinyLlm::synthetic(spec, 64, KernelKind::Serial);
+        let mut r = q.reference_twin(1);
+        q.add_sequence(0);
+        let prompt = [5usize, 17, 40];
+        let mut agree = 0usize;
+        let steps = 8;
+        let mut pos = 0usize;
+        let mut lq = Mat::zeros(1, spec.vocab);
+        let mut lr = Mat::zeros(1, spec.vocab);
+        for &t in &prompt {
+            lq = q.decode_step(&[t], &[0], &[pos]);
+            lr = r.decode_step(&[t], &[0], &[pos]);
+            pos += 1;
+        }
+        // Teacher-forced continuation: both models follow the FP32
+        // argmax so disagreement does not compound. Synthetic random
+        // weights give near-uniform logits, so exact-argmax agreement
+        // is a weak signal — require logit-vector cosine similarity
+        // every step plus majority argmax agreement.
+        use lq_quant::metrics::error_stats;
+        for _ in 0..steps {
+            let e = error_stats(&lr, &lq);
+            // Logits of a random synthetic model are near-uniform, so
+            // this cosine is a stress metric (quantized K/V histories
+            // also drift apart over steps even when teacher-forced);
+            // the trained-model regime (peaked logits) is far more
+            // forgiving.
+            assert!(e.cosine > 0.80, "logit cosine {}", e.cosine);
+            if argmax(lq.row(0)) == argmax(lr.row(0)) {
+                agree += 1;
+            }
+            let next = argmax(lr.row(0));
+            lq = q.decode_step(&[next], &[0], &[pos]);
+            lr = r.decode_step(&[next], &[0], &[pos]);
+            pos += 1;
+        }
+        assert!(agree * 2 >= steps, "agreement {agree}/{steps}");
+    }
+
+    #[test]
+    fn batched_decode_keeps_sequences_independent() {
+        // Decoding (a) two sequences in one batch and (b) the same two
+        // sequences in separate models must give identical logits.
+        let spec = ModelSpec::tiny();
+        let mut both = TinyLlm::synthetic(spec, 64, KernelKind::Serial);
+        both.add_sequence(0);
+        both.add_sequence(1);
+        let mut solo = TinyLlm::synthetic(spec, 64, KernelKind::Serial);
+        solo.add_sequence(7);
+        let tok_a = [2usize, 9];
+        let tok_b = [50usize, 61];
+        let mut batch_logits = Mat::zeros(2, spec.vocab);
+        let mut solo_logits = Mat::zeros(1, spec.vocab);
+        for step in 0..2 {
+            batch_logits = both.decode_step(&[tok_a[step], tok_b[step]], &[0, 1], &[step, step]);
+            solo_logits = solo.decode_step(&[tok_a[step]], &[7], &[step]);
+        }
+        for c in 0..spec.vocab {
+            let d = (batch_logits.get(0, c) - solo_logits.get(0, c)).abs();
+            assert!(d < 1e-4, "col {c}: {d}");
+        }
+    }
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[0.1, 3.0, -2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "token id out of vocab")]
+    fn out_of_vocab_panics() {
+        let mut m = TinyLlm::synthetic(ModelSpec::tiny(), 16, KernelKind::Serial);
+        m.add_sequence(0);
+        let _ = m.decode_step(&[9999], &[0], &[0]);
+    }
+}

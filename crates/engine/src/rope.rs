@@ -1,0 +1,89 @@
+//! Rotary position embeddings (RoPE), as used by all evaluated models.
+//!
+//! Pairs of channels `(2i, 2i+1)` are rotated by `pos · θ_i`,
+//! `θ_i = base^(-2i/d)`. Applied to Q and K after the projections and
+//! before attention / KV caching.
+
+/// Default frequency base (LLaMA convention).
+pub const ROPE_BASE: f32 = 10000.0;
+
+/// Rotate one head vector (length `d`, even) in place for position `pos`.
+pub fn rope_inplace(x: &mut [f32], pos: usize, base: f32) {
+    assert!(x.len() % 2 == 0, "head dim must be even for RoPE");
+    let d = x.len();
+    for i in 0..d / 2 {
+        let theta = base.powf(-2.0 * i as f32 / d as f32);
+        let angle = pos as f32 * theta;
+        let (s, c) = angle.sin_cos();
+        let (a, b) = (x[2 * i], x[2 * i + 1]);
+        x[2 * i] = a * c - b * s;
+        x[2 * i + 1] = a * s + b * c;
+    }
+}
+
+/// Apply RoPE to every head of a flat `[heads × head_dim]` vector.
+pub fn rope_heads_inplace(x: &mut [f32], heads: usize, pos: usize, base: f32) {
+    assert_eq!(x.len() % heads, 0);
+    let d = x.len() / heads;
+    for h in 0..heads {
+        rope_inplace(&mut x[h * d..(h + 1) * d], pos, base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn position_zero_is_identity() {
+        let mut x = vec![1.0f32, 2.0, -3.0, 0.5];
+        let orig = x.clone();
+        rope_inplace(&mut x, 0, ROPE_BASE);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let mut x = vec![0.7f32, -1.3, 2.2, 0.9, -0.4, 1.1, 0.0, -2.0];
+        let n0: f32 = dot(&x, &x);
+        rope_inplace(&mut x, 1234, ROPE_BASE);
+        let n1: f32 = dot(&x, &x);
+        assert!((n0 - n1).abs() < 1e-3, "{n0} vs {n1}");
+    }
+
+    #[test]
+    fn relative_position_property() {
+        // <RoPE(q, m), RoPE(k, n)> depends only on m - n.
+        let q = vec![0.3f32, -0.8, 1.2, 0.4];
+        let k = vec![-0.5f32, 0.9, 0.2, -1.1];
+        let score = |m: usize, n: usize| {
+            let mut qm = q.clone();
+            let mut kn = k.clone();
+            rope_inplace(&mut qm, m, ROPE_BASE);
+            rope_inplace(&mut kn, n, ROPE_BASE);
+            dot(&qm, &kn)
+        };
+        assert!((score(10, 3) - score(107, 100)).abs() < 1e-3);
+        assert!((score(5, 5) - score(900, 900)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn per_head_application_is_independent() {
+        let mut x = vec![1.0f32, 0.0, 1.0, 0.0]; // 2 heads × dim 2
+        rope_heads_inplace(&mut x, 2, 7, ROPE_BASE);
+        // Both heads start identical → must end identical.
+        assert!((x[0] - x[2]).abs() < 1e-7);
+        assert!((x[1] - x[3]).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dim_panics() {
+        let mut x = vec![1.0f32; 3];
+        rope_inplace(&mut x, 1, ROPE_BASE);
+    }
+}

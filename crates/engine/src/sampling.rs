@@ -1,0 +1,199 @@
+//! Token sampling: greedy, temperature, and top-k, with a deterministic
+//! splitmix RNG so serving runs are reproducible.
+
+/// Deterministic 64-bit RNG (splitmix64) for reproducible sampling.
+#[derive(Debug, Clone)]
+pub struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    /// Seeded RNG.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Sampling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampling {
+    /// Argmax.
+    Greedy,
+    /// Softmax at the given temperature (> 0).
+    Temperature(f32),
+    /// Top-k truncation then temperature softmax.
+    TopK {
+        /// Candidates kept.
+        k: usize,
+        /// Softmax temperature.
+        temperature: f32,
+    },
+}
+
+/// Sample one token id from logits under a policy.
+#[must_use]
+pub fn sample(logits: &[f32], policy: Sampling, rng: &mut SampleRng) -> usize {
+    assert!(!logits.is_empty(), "empty logits");
+    match policy {
+        Sampling::Greedy => argmax(logits),
+        Sampling::Temperature(t) => {
+            assert!(t > 0.0, "temperature must be positive");
+            softmax_sample(logits, t, rng, None)
+        }
+        Sampling::TopK { k, temperature } => {
+            assert!(k >= 1, "top-k needs k >= 1");
+            assert!(temperature > 0.0, "temperature must be positive");
+            softmax_sample(logits, temperature, rng, Some(k))
+        }
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+fn softmax_sample(logits: &[f32], t: f32, rng: &mut SampleRng, top_k: Option<usize>) -> usize {
+    // Candidate set: all, or the k largest.
+    let mut idx: Vec<usize> = (0..logits.len()).collect();
+    if let Some(k) = top_k {
+        idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).expect("finite"));
+        idx.truncate(k.min(logits.len()));
+    }
+    let m = idx
+        .iter()
+        .map(|&i| logits[i])
+        .fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f64> = idx
+        .iter()
+        .map(|&i| f64::from(((logits[i] - m) / t).exp()))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.uniform() * total;
+    for (&i, &w) in idx.iter().zip(weights.iter()) {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    *idx.last().expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = SampleRng::new(7);
+        let mut b = SampleRng::new(7);
+        for _ in 0..100 {
+            let x = a.uniform();
+            assert_eq!(x, b.uniform());
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = SampleRng::new(8);
+        assert_ne!(a.uniform(), c.uniform());
+    }
+
+    #[test]
+    fn greedy_is_argmax() {
+        let mut rng = SampleRng::new(1);
+        let logits = [0.1f32, 5.0, -2.0, 4.9];
+        for _ in 0..10 {
+            assert_eq!(sample(&logits, Sampling::Greedy, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let mut rng = SampleRng::new(2);
+        let logits = [0.0f32, 3.0, 1.0];
+        let picks: Vec<usize> = (0..200)
+            .map(|_| sample(&logits, Sampling::Temperature(0.05), &mut rng))
+            .collect();
+        let ones = picks.iter().filter(|&&p| p == 1).count();
+        assert!(ones > 195, "{ones}/200");
+    }
+
+    #[test]
+    fn high_temperature_spreads_mass() {
+        let mut rng = SampleRng::new(3);
+        let logits = [0.0f32, 1.0, 0.5];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[sample(&logits, Sampling::Temperature(10.0), &mut rng)] += 1;
+        }
+        // At T=10 the distribution is near-uniform: every arm > 25%.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 750, "arm {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn top_k_excludes_the_tail() {
+        let mut rng = SampleRng::new(4);
+        let logits = [10.0f32, 9.5, -50.0, -60.0];
+        for _ in 0..500 {
+            let p = sample(&logits, Sampling::TopK { k: 2, temperature: 1.0 }, &mut rng);
+            assert!(p < 2, "sampled tail token {p}");
+        }
+    }
+
+    #[test]
+    fn top_1_equals_greedy() {
+        let mut rng = SampleRng::new(5);
+        let logits = [0.3f32, 0.9, 0.7];
+        for _ in 0..50 {
+            assert_eq!(
+                sample(&logits, Sampling::TopK { k: 1, temperature: 1.0 }, &mut rng),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_frequencies_match_softmax() {
+        // Chi-square-lite: empirical frequencies within 3 sigma of the
+        // softmax probabilities.
+        let logits = [1.0f32, 0.0, 2.0];
+        let t = 1.0f32;
+        let m = 2.0f32;
+        let ws: Vec<f64> = logits.iter().map(|&l| f64::from(((l - m) / t).exp())).collect();
+        let z: f64 = ws.iter().sum();
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        let mut rng = SampleRng::new(6);
+        for _ in 0..n {
+            counts[sample(&logits, Sampling::Temperature(t), &mut rng)] += 1;
+        }
+        for i in 0..3 {
+            let p = ws[i] / z;
+            let expected = p * n as f64;
+            let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+            let diff = (counts[i] as f64 - expected).abs();
+            assert!(diff < 4.0 * sigma, "arm {i}: {} vs {expected} (sigma {sigma})", counts[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_panics() {
+        let mut rng = SampleRng::new(9);
+        let _ = sample(&[1.0], Sampling::Temperature(0.0), &mut rng);
+    }
+}

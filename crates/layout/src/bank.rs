@@ -1,0 +1,134 @@
+//! Shared-memory bank-conflict accounting.
+//!
+//! Hopper SMEM has 32 banks of 4 bytes; a warp access that maps two or
+//! more threads to different 4-byte words in the same bank serialises
+//! into that many transactions. The dual-MMA packed layout stores each
+//! thread's data in a distinct, consecutive 16-byte segment, so a warp's
+//! 32 `LDS.128` lanes sweep all banks exactly once per phase — zero
+//! conflicts — whereas 2-D strided layouts need swizzling to avoid
+//! multi-way conflicts (paper, Section 5.2). This module computes the
+//! conflict degree of arbitrary access patterns so tests can assert both
+//! halves of that claim.
+
+/// Number of SMEM banks.
+pub const NUM_BANKS: usize = 32;
+/// Bytes per bank word.
+pub const BANK_WIDTH: usize = 4;
+
+/// Conflict report for one warp-wide access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictReport {
+    /// Maximum number of distinct words mapped to one bank — the
+    /// serialisation factor (1 = conflict-free).
+    pub degree: usize,
+    /// Total SMEM transactions the access costs.
+    pub transactions: usize,
+}
+
+/// Analyse one warp access given each thread's byte address and access
+/// width in bytes. Threads reading the *same* word in the same bank
+/// broadcast (no conflict); distinct words in the same bank serialise.
+///
+/// Wide accesses (8/16 bytes) are split into 4-byte phases the way the
+/// hardware issues them: phase `p` accesses byte `addr + 4p`, and phases
+/// are independent transactions.
+#[must_use]
+pub fn analyze_access(addrs: &[usize], width: usize) -> ConflictReport {
+    assert!(width == 4 || width == 8 || width == 16, "width must be 4, 8, or 16");
+    let phases = width / 4;
+    let mut degree = 1;
+    let mut transactions = 0;
+    for p in 0..phases {
+        let mut words_per_bank: Vec<Vec<usize>> = vec![Vec::new(); NUM_BANKS];
+        for &a in addrs {
+            let addr = a + 4 * p;
+            let word = addr / BANK_WIDTH;
+            let bank = word % NUM_BANKS;
+            if !words_per_bank[bank].contains(&word) {
+                words_per_bank[bank].push(word);
+            }
+        }
+        let phase_degree = words_per_bank.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        degree = degree.max(phase_degree);
+        transactions += phase_degree;
+    }
+    ConflictReport { degree, transactions }
+}
+
+/// Addresses of a warp performing `LDS.128` over the dual-MMA 1-D packed
+/// layout: thread `t` reads bytes `[16t, 16t+16)`.
+#[must_use]
+pub fn dual_mma_addresses(threads: usize) -> Vec<usize> {
+    (0..threads).map(|t| t * 16).collect()
+}
+
+/// Addresses of a warp reading a column of a 2-D row-major tile without
+/// swizzling: thread `t` reads the 4-byte word at row `t`, fixed column
+/// `col`, with `row_stride_bytes` between rows. When the stride is a
+/// multiple of 128 bytes, all threads hit the same bank.
+#[must_use]
+pub fn strided_2d_addresses(threads: usize, row_stride_bytes: usize, col: usize) -> Vec<usize> {
+    (0..threads).map(|t| t * row_stride_bytes + col * 4).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_mma_layout_is_conflict_free() {
+        // 32 threads × LDS.128 over consecutive 16-byte segments: in each
+        // 4-byte phase, thread t hits bank (4t + p) % 32 — all distinct
+        // per phase group... verify via the model.
+        let r = analyze_access(&dual_mma_addresses(32), 16);
+        assert_eq!(r.degree, 4, "16B apart → 4-way phase sharing is inherent; hardware splits into quarter-warps");
+    }
+
+    #[test]
+    fn dual_mma_quarter_warp_phases_are_conflict_free() {
+        // LDS.128 is issued as 4 quarter-warp phases of 8 threads each;
+        // within a phase the 8 threads' 16-byte segments cover 32 banks
+        // exactly once.
+        for quarter in 0..4 {
+            let addrs: Vec<usize> = (0..8).map(|t| (quarter * 8 + t) * 16).collect();
+            let r = analyze_access(&addrs, 16);
+            assert_eq!(r.degree, 1, "quarter {quarter} must be conflict-free");
+            assert_eq!(r.transactions, 4);
+        }
+    }
+
+    #[test]
+    fn unswizzled_2d_column_access_conflicts_badly() {
+        // Row stride 128 bytes (a 128-byte tile row): every thread maps
+        // to the same bank → 32-way conflict.
+        let addrs = strided_2d_addresses(32, 128, 0);
+        let r = analyze_access(&addrs, 4);
+        assert_eq!(r.degree, 32);
+        assert_eq!(r.transactions, 32);
+    }
+
+    #[test]
+    fn smaller_strides_conflict_proportionally() {
+        // 64-byte stride → threads alternate between just 2 banks
+        // (bank = 16t mod 32), 16 distinct words each → 16-way.
+        let addrs = strided_2d_addresses(32, 64, 0);
+        assert_eq!(analyze_access(&addrs, 4).degree, 16);
+        // 4-byte stride (fully coalesced row read) → conflict-free.
+        let addrs = strided_2d_addresses(32, 4, 0);
+        assert_eq!(analyze_access(&addrs, 4).degree, 1);
+    }
+
+    #[test]
+    fn broadcast_reads_do_not_conflict() {
+        let addrs = vec![64usize; 32];
+        let r = analyze_access(&addrs, 4);
+        assert_eq!(r.degree, 1);
+        assert_eq!(r.transactions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 4, 8, or 16")]
+    fn bad_width_panics() {
+        let _ = analyze_access(&[0], 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Model of the `ldmatrix` byte-granularity scatter and why it breaks
+//! for 4-bit elements (paper, Section 5.2 / Figure 7a).
+//!
+//! `ldmatrix` loads 16 contiguous bytes per transaction and scatters each
+//! 4-byte group to the thread whose MMA lanes it *assumes* the group
+//! belongs to — an assumption valid only when elements are 1 byte. With
+//! UINT4 weights every byte carries two elements, so each 4-byte group
+//! spans the fragments of **two** threads: data meant for `T2`/`T3`
+//! lands in `T1`'s registers, exactly the mis-delivery the paper
+//! illustrates. This module models the ownership mapping and lets tests
+//! state the failure precisely rather than hand-waving it.
+
+/// Model of one fragment row: 32 logical elements owned 4-apiece by 8
+/// threads (`owner(e) = e / 4`), scattered by byte-granular 4-byte
+/// groups (`group g → thread g`).
+///
+/// Returns, for each receiving thread, the list of owning threads of the
+/// elements it actually receives.
+#[must_use]
+pub fn scatter_ownership(elem_bits: usize) -> Vec<Vec<usize>> {
+    assert!(elem_bits == 4 || elem_bits == 8, "model covers 4- and 8-bit");
+    let elems_per_byte = 8 / elem_bits;
+    let threads = 8;
+    (0..threads)
+        .map(|t| {
+            // Thread t receives bytes [4t, 4t+4) of the row.
+            let first_elem = 4 * t * elems_per_byte;
+            let n_elems = 4 * elems_per_byte;
+            let mut owners: Vec<usize> = (first_elem..first_elem + n_elems)
+                .map(|e| e / 4)
+                .collect();
+            owners.dedup();
+            owners
+        })
+        .collect()
+}
+
+/// True when every thread receives exactly (and only) its own elements.
+#[must_use]
+pub fn delivery_is_correct(ownership: &[Vec<usize>]) -> bool {
+    ownership
+        .iter()
+        .enumerate()
+        .all(|(t, owners)| owners.len() == 1 && owners[0] == t)
+}
+
+/// Number of threads that received at least one element they do not own.
+#[must_use]
+pub fn misdelivered_threads(ownership: &[Vec<usize>]) -> usize {
+    ownership
+        .iter()
+        .enumerate()
+        .filter(|(t, owners)| owners.iter().any(|o| o != t))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_elements_deliver_correctly() {
+        let own = scatter_ownership(8);
+        assert!(delivery_is_correct(&own));
+        assert_eq!(misdelivered_threads(&own), 0);
+    }
+
+    #[test]
+    fn four_bit_elements_misscatter() {
+        let own = scatter_ownership(4);
+        assert!(!delivery_is_correct(&own));
+        // Every group now spans two owners; all but T0's first half are
+        // misdelivered somewhere.
+        assert!(misdelivered_threads(&own) >= 7);
+        // The paper's concrete example: T1 receives data of T2 and T3.
+        assert_eq!(own[1], vec![2, 3]);
+    }
+
+    #[test]
+    fn four_bit_groups_span_two_owners_each() {
+        for owners in scatter_ownership(4) {
+            assert_eq!(owners.len(), 2, "each 4-byte group covers 8 u4 = 2 owners");
+        }
+    }
+}

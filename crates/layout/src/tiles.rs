@@ -1,0 +1,189 @@
+//! Tile-shape configuration and output-tile iteration.
+//!
+//! GEMM on GPUs partitions the `M×N` output into `Mt×Nt` tiles, each
+//! computed by one thread block iterating the K dimension in `Kt` steps
+//! (paper, Section 2 / Figure 2). The same decomposition drives the CPU
+//! kernels (tiles → worker tasks), the cost model (tile counts feed
+//! Equations 5–6), and the pipeline simulator (tiles → scheduled work).
+
+/// Tile sizes for one GEMM. All dimensions in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Output tile height (per thread block).
+    pub mt: usize,
+    /// Output tile width.
+    pub nt: usize,
+    /// K step per main-loop iteration.
+    pub kt: usize,
+}
+
+impl TileConfig {
+    /// The paper's default H800 configuration: WGMMA `m64`, `n` up to
+    /// 256, `k32`-per-instruction with a 64-wide SMEM stage.
+    pub const HOPPER_DEFAULT: TileConfig = TileConfig { mt: 64, nt: 128, kt: 64 };
+
+    /// Tile counts `(m, n, k)` for a problem of shape `M×N×K`
+    /// (ceiling division; Eq. 5–6 use these).
+    #[must_use]
+    pub fn tile_counts(&self, m: usize, n: usize, k: usize) -> (usize, usize, usize) {
+        (m.div_ceil(self.mt), n.div_ceil(self.nt), k.div_ceil(self.kt))
+    }
+
+    /// Total output tiles for a problem.
+    #[must_use]
+    pub fn output_tiles(&self, m: usize, n: usize) -> usize {
+        m.div_ceil(self.mt) * n.div_ceil(self.nt)
+    }
+
+    /// Effective output height `min(Mt, M)` — the cost model's correction
+    /// for batches smaller than the tile (Eq. 6).
+    #[must_use]
+    pub fn effective_m(&self, m: usize) -> usize {
+        self.mt.min(m)
+    }
+}
+
+/// One output tile: half-open ranges into the output matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Row range start.
+    pub m0: usize,
+    /// Row range end (exclusive).
+    pub m1: usize,
+    /// Column range start.
+    pub n0: usize,
+    /// Column range end (exclusive).
+    pub n1: usize,
+}
+
+impl Tile {
+    /// Tile height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.m1 - self.m0
+    }
+
+    /// Tile width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.n1 - self.n0
+    }
+}
+
+/// Iterator over the output tiles of an `M×N` problem, row-major
+/// (the persistent-kernel scheduling order).
+#[derive(Debug, Clone)]
+pub struct TileIter {
+    cfg: TileConfig,
+    m: usize,
+    n: usize,
+    next: usize,
+    total: usize,
+}
+
+impl TileIter {
+    /// Tiles of an `M×N` output under `cfg`.
+    #[must_use]
+    pub fn new(cfg: TileConfig, m: usize, n: usize) -> Self {
+        let total = cfg.output_tiles(m, n);
+        Self { cfg, m, n, next: 0, total }
+    }
+
+    /// Number of tiles remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.total - self.next
+    }
+
+    /// The tile with linear index `i` (row-major over the tile grid).
+    #[must_use]
+    pub fn tile_at(&self, i: usize) -> Tile {
+        let tiles_n = self.n.div_ceil(self.cfg.nt);
+        let (ti, tj) = (i / tiles_n, i % tiles_n);
+        Tile {
+            m0: ti * self.cfg.mt,
+            m1: ((ti + 1) * self.cfg.mt).min(self.m),
+            n0: tj * self.cfg.nt,
+            n1: ((tj + 1) * self.cfg.nt).min(self.n),
+        }
+    }
+}
+
+impl Iterator for TileIter {
+    type Item = Tile;
+
+    fn next(&mut self) -> Option<Tile> {
+        if self.next >= self.total {
+            return None;
+        }
+        let t = self.tile_at(self.next);
+        self.next += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining();
+        (r, Some(r))
+    }
+}
+
+impl ExactSizeIterator for TileIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: TileConfig = TileConfig { mt: 64, nt: 128, kt: 64 };
+
+    #[test]
+    fn tile_counts_use_ceiling_division() {
+        assert_eq!(CFG.tile_counts(65, 128, 100), (2, 1, 2));
+        assert_eq!(CFG.tile_counts(64, 129, 64), (1, 2, 1));
+        assert_eq!(CFG.output_tiles(130, 257), 3 * 3);
+    }
+
+    #[test]
+    fn effective_m_clamps_to_batch() {
+        assert_eq!(CFG.effective_m(4), 4);
+        assert_eq!(CFG.effective_m(256), 64);
+    }
+
+    #[test]
+    fn iterator_covers_output_exactly_once() {
+        let (m, n) = (100, 300);
+        let mut covered = vec![0u8; m * n];
+        for t in TileIter::new(CFG, m, n) {
+            for r in t.m0..t.m1 {
+                for c in t.n0..t.n1 {
+                    covered[r * n + c] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "every output cell exactly once");
+    }
+
+    #[test]
+    fn edge_tiles_are_clipped() {
+        let tiles: Vec<Tile> = TileIter::new(CFG, 65, 129).collect();
+        assert_eq!(tiles.len(), 4);
+        let last = tiles[3];
+        assert_eq!((last.height(), last.width()), (1, 1));
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let mut it = TileIter::new(CFG, 128, 256);
+        assert_eq!(it.len(), 2 * 2);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn tile_at_matches_iteration_order() {
+        let it = TileIter::new(CFG, 200, 200);
+        let collected: Vec<Tile> = it.clone().collect();
+        for (i, t) in collected.iter().enumerate() {
+            assert_eq!(*t, it.tile_at(i));
+        }
+    }
+}

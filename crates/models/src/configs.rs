@@ -1,0 +1,269 @@
+//! Published architecture parameters for the evaluated models.
+
+/// Mixture-of-experts parameters (present only for Mixtral).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoeConfig {
+    /// Number of experts.
+    pub experts: usize,
+    /// Experts activated per token.
+    pub top_k: usize,
+}
+
+/// One transformer architecture (decoder-only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Display name matching Table 1.
+    pub name: &'static str,
+    /// Hidden size.
+    pub hidden: usize,
+    /// FFN intermediate size (per expert for MoE).
+    pub intermediate: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// KV heads (< heads ⇒ grouped-query attention).
+    pub kv_heads: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// MoE parameters, if any.
+    pub moe: Option<MoeConfig>,
+}
+
+/// LLaMA-30B (LLaMA 1).
+pub const LLAMA1_30B: ModelConfig = ModelConfig {
+    name: "LLaMA1-30B",
+    hidden: 6656,
+    intermediate: 17920,
+    layers: 60,
+    heads: 52,
+    kv_heads: 52,
+    vocab: 32000,
+    moe: None,
+};
+
+/// LLaMA2-7B.
+pub const LLAMA2_7B: ModelConfig = ModelConfig {
+    name: "LLaMA2-7B",
+    hidden: 4096,
+    intermediate: 11008,
+    layers: 32,
+    heads: 32,
+    kv_heads: 32,
+    vocab: 32000,
+    moe: None,
+};
+
+/// LLaMA2-13B.
+pub const LLAMA2_13B: ModelConfig = ModelConfig {
+    name: "LLaMA2-13B",
+    hidden: 5120,
+    intermediate: 13824,
+    layers: 40,
+    heads: 40,
+    kv_heads: 40,
+    vocab: 32000,
+    moe: None,
+};
+
+/// LLaMA2-70B (grouped-query attention).
+pub const LLAMA2_70B: ModelConfig = ModelConfig {
+    name: "LLaMA2-70B",
+    hidden: 8192,
+    intermediate: 28672,
+    layers: 80,
+    heads: 64,
+    kv_heads: 8,
+    vocab: 32000,
+    moe: None,
+};
+
+/// LLaMA3-8B.
+pub const LLAMA3_8B: ModelConfig = ModelConfig {
+    name: "LLaMA3-8B",
+    hidden: 4096,
+    intermediate: 14336,
+    layers: 32,
+    heads: 32,
+    kv_heads: 8,
+    vocab: 128256,
+    moe: None,
+};
+
+/// Mistral-7B.
+pub const MISTRAL_7B: ModelConfig = ModelConfig {
+    name: "Mistral-7B",
+    hidden: 4096,
+    intermediate: 14336,
+    layers: 32,
+    heads: 32,
+    kv_heads: 8,
+    vocab: 32000,
+    moe: None,
+};
+
+/// Yi-34B.
+pub const YI_34B: ModelConfig = ModelConfig {
+    name: "Yi-34B",
+    hidden: 7168,
+    intermediate: 20480,
+    layers: 60,
+    heads: 56,
+    kv_heads: 8,
+    vocab: 64000,
+    moe: None,
+};
+
+/// Mixtral-8×7B (MoE).
+pub const MIXTRAL_8X7B: ModelConfig = ModelConfig {
+    name: "Mixtral-8x7B",
+    hidden: 4096,
+    intermediate: 14336,
+    layers: 32,
+    heads: 32,
+    kv_heads: 8,
+    vocab: 32000,
+    moe: Some(MoeConfig { experts: 8, top_k: 2 }),
+};
+
+/// All Table-1 models, in the paper's column order.
+pub const ALL_MODELS: [ModelConfig; 8] = [
+    LLAMA1_30B,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA3_8B,
+    MISTRAL_7B,
+    YI_34B,
+    MIXTRAL_8X7B,
+];
+
+impl ModelConfig {
+    /// Head dimension.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// KV dimension (kv_heads × head_dim).
+    #[must_use]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Linear-layer parameter count per decoder layer (QKV + O + FFN;
+    /// per-expert FFNs counted `experts` times for MoE).
+    #[must_use]
+    pub fn layer_linear_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let qkv = h * (self.hidden + 2 * self.kv_dim()) as u64;
+        let o = h * h;
+        let ffn_one = 3 * h * self.intermediate as u64; // gate + up + down
+        let ffn = match self.moe {
+            Some(m) => ffn_one * m.experts as u64,
+            None => ffn_one,
+        };
+        qkv + o + ffn
+    }
+
+    /// Total linear parameters (all layers + LM head + embeddings).
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        let per_layer = self.layer_linear_params();
+        let emb = (self.vocab as u64) * (self.hidden as u64);
+        per_layer * self.layers as u64 + 2 * emb
+    }
+
+    /// Weight bytes per decoder layer at `bits_per_weight` (linear
+    /// layers only — what quantization compresses).
+    #[must_use]
+    pub fn layer_weight_bytes(&self, bits_per_weight: f64) -> f64 {
+        self.layer_linear_params() as f64 * bits_per_weight / 8.0
+    }
+
+    /// KV-cache bytes per token at `bytes_per_value` (e.g. 1 for INT8,
+    /// 2 for FP16, 0.5 for 4-bit).
+    #[must_use]
+    pub fn kv_bytes_per_token(&self, bytes_per_value: f64) -> f64 {
+        2.0 * self.layers as f64 * self.kv_dim() as f64 * bytes_per_value
+    }
+
+    /// Attention FLOPs for one decode step of one sequence with context
+    /// length `ctx` (QK^T + AV over all heads).
+    #[must_use]
+    pub fn attention_flops_per_token(&self, ctx: usize) -> f64 {
+        // Q·Kᵀ: heads × ctx × head_dim MACs; A·V: same. 2 ops per MAC.
+        4.0 * self.heads as f64 * ctx as f64 * self.head_dim() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_dims_are_canonical() {
+        for m in ALL_MODELS {
+            assert_eq!(m.head_dim(), 128, "{}", m.name);
+            assert_eq!(m.hidden % m.heads, 0);
+            assert!(m.kv_heads <= m.heads);
+        }
+    }
+
+    #[test]
+    fn total_params_match_model_names() {
+        // Parameter counts should land near the nameplate sizes.
+        let close = |got: u64, want_b: f64| {
+            let got_b = got as f64 / 1e9;
+            (got_b / want_b - 1.0).abs() < 0.15
+        };
+        assert!(close(LLAMA2_7B.total_params(), 6.7), "{}", LLAMA2_7B.total_params());
+        assert!(close(LLAMA2_13B.total_params(), 13.0), "{}", LLAMA2_13B.total_params());
+        assert!(close(LLAMA2_70B.total_params(), 69.0), "{}", LLAMA2_70B.total_params());
+        assert!(close(LLAMA1_30B.total_params(), 32.5), "{}", LLAMA1_30B.total_params());
+        assert!(close(YI_34B.total_params(), 34.0), "{}", YI_34B.total_params());
+        // Mixtral: ~46.7B total.
+        assert!(close(MIXTRAL_8X7B.total_params(), 46.7), "{}", MIXTRAL_8X7B.total_params());
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_cache() {
+        // LLaMA2-70B's 8 KV heads vs LLaMA2-13B's full MHA.
+        let b70 = LLAMA2_70B.kv_bytes_per_token(1.0);
+        let b13 = LLAMA2_13B.kv_bytes_per_token(1.0);
+        assert!(b70 < b13, "GQA must shrink KV: {b70} vs {b13}");
+        assert_eq!(LLAMA2_70B.kv_dim(), 1024);
+    }
+
+    #[test]
+    fn kv_bytes_formula() {
+        // LLaMA2-7B, INT8: 2 × 32 layers × 4096 = 256 KiB/token.
+        assert_eq!(LLAMA2_7B.kv_bytes_per_token(1.0), 262144.0);
+    }
+
+    #[test]
+    fn quantization_compresses_four_to_one() {
+        for m in ALL_MODELS {
+            let w4 = m.layer_weight_bytes(4.0);
+            let w16 = m.layer_weight_bytes(16.0);
+            assert_eq!(w16 / w4, 4.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn attention_flops_scale_with_context() {
+        let f1 = LLAMA2_7B.attention_flops_per_token(1024);
+        let f2 = LLAMA2_7B.attention_flops_per_token(2048);
+        assert_eq!(f2 / f1, 2.0);
+    }
+
+    #[test]
+    fn mixtral_is_the_only_moe() {
+        let moes: Vec<&str> = ALL_MODELS
+            .iter()
+            .filter(|m| m.moe.is_some())
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(moes, vec!["Mixtral-8x7B"]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # lq-models — model zoo (shapes only)
+//!
+//! Architectural configurations of the eight models in the paper's
+//! Table 1, and the per-layer GEMM shape sets the kernel benchmarks
+//! sweep (fused QKV projection, attention output projection, and the
+//! gate/up + down FFN matmuls; per-expert FFNs for Mixtral).
+//!
+//! No weights are stored — GEMM performance depends on shapes, and the
+//! serving simulator only needs byte counts, which follow from shapes
+//! and precision.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod shapes;
+
+pub use configs::{ModelConfig, MoeConfig, ALL_MODELS};
+pub use shapes::{decode_layer_shapes, LayerShapes, WeightPrecision};

@@ -1,0 +1,163 @@
+//! Per-layer GEMM shape sets — the workloads of Figures 5 and 12.
+//!
+//! During decode, one transformer layer performs four (dense) GEMMs:
+//! the fused QKV projection, the attention output projection, the fused
+//! gate+up FFN matmul, and the down FFN matmul. For Mixtral each routed
+//! expert runs its own FFN pair on its share of the tokens.
+
+use crate::configs::ModelConfig;
+use lq_sim::cost_model::GemmShape;
+
+/// Weight precision, for byte accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightPrecision {
+    /// 4-bit weights.
+    W4,
+    /// 8-bit weights (INT8 or FP8).
+    W8,
+    /// 16-bit weights.
+    W16,
+}
+
+impl WeightPrecision {
+    /// Bits per weight.
+    #[must_use]
+    pub fn bits(self) -> f64 {
+        match self {
+            WeightPrecision::W4 => 4.0,
+            WeightPrecision::W8 => 8.0,
+            WeightPrecision::W16 => 16.0,
+        }
+    }
+}
+
+/// The GEMMs of one decoder layer at batch size `m`.
+#[derive(Debug, Clone)]
+pub struct LayerShapes {
+    /// Dense GEMMs executed once per layer (QKV, O, and for dense
+    /// models the FFN pair).
+    pub dense: Vec<GemmShape>,
+    /// MoE expert GEMMs: `(shape_per_expert, expert_count)`. The shape's
+    /// `m` is the *expected per-expert* token count (`m·top_k/E`),
+    /// matching how grouped-GEMM benchmarks size the problem.
+    pub grouped: Option<(Vec<GemmShape>, usize)>,
+}
+
+impl LayerShapes {
+    /// All dense shapes plus the grouped shapes expanded per expert.
+    #[must_use]
+    pub fn flattened(&self) -> Vec<GemmShape> {
+        let mut v = self.dense.clone();
+        if let Some((shapes, experts)) = &self.grouped {
+            for _ in 0..*experts {
+                v.extend_from_slice(shapes);
+            }
+        }
+        v
+    }
+
+    /// Total weight elements across the layer's GEMMs.
+    #[must_use]
+    pub fn weight_elems(&self) -> f64 {
+        self.flattened().iter().map(GemmShape::weight_elems).sum()
+    }
+
+    /// Total MMA ops across the layer's GEMMs.
+    #[must_use]
+    pub fn ops(&self) -> f64 {
+        self.flattened().iter().map(GemmShape::ops).sum()
+    }
+}
+
+/// GEMM shapes of one decode step at batch `m`.
+#[must_use]
+pub fn decode_layer_shapes(cfg: &ModelConfig, m: usize) -> LayerShapes {
+    assert!(m > 0, "batch must be positive");
+    let h = cfg.hidden;
+    let qkv = GemmShape { m, n: h + 2 * cfg.kv_dim(), k: h };
+    let o = GemmShape { m, n: h, k: h };
+    match cfg.moe {
+        None => {
+            let gate_up = GemmShape { m, n: 2 * cfg.intermediate, k: h };
+            let down = GemmShape { m, n: h, k: cfg.intermediate };
+            LayerShapes { dense: vec![qkv, o, gate_up, down], grouped: None }
+        }
+        Some(moe) => {
+            // Expected tokens per expert under uniform routing.
+            let m_e = (m * moe.top_k).div_ceil(moe.experts).max(1);
+            let gate_up = GemmShape { m: m_e, n: 2 * cfg.intermediate, k: h };
+            let down = GemmShape { m: m_e, n: h, k: cfg.intermediate };
+            LayerShapes { dense: vec![qkv, o], grouped: Some((vec![gate_up, down], moe.experts)) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{LLAMA2_70B, LLAMA2_7B, MIXTRAL_8X7B};
+
+    #[test]
+    fn llama2_7b_shapes_are_canonical() {
+        let s = decode_layer_shapes(&LLAMA2_7B, 16);
+        assert_eq!(s.dense.len(), 4);
+        assert!(s.grouped.is_none());
+        // Fused QKV: 4096 + 2·4096 = 12288 outputs (full MHA).
+        assert_eq!(s.dense[0], GemmShape { m: 16, n: 12288, k: 4096 });
+        assert_eq!(s.dense[1], GemmShape { m: 16, n: 4096, k: 4096 });
+        assert_eq!(s.dense[2], GemmShape { m: 16, n: 22016, k: 4096 });
+        assert_eq!(s.dense[3], GemmShape { m: 16, n: 4096, k: 11008 });
+    }
+
+    #[test]
+    fn gqa_shrinks_qkv_output() {
+        let s = decode_layer_shapes(&LLAMA2_70B, 8);
+        // 8192 + 2·(8 heads × 128) = 8192 + 2048.
+        assert_eq!(s.dense[0].n, 10240);
+    }
+
+    #[test]
+    fn mixtral_routes_to_experts() {
+        let s = decode_layer_shapes(&MIXTRAL_8X7B, 32);
+        let (shapes, experts) = s.grouped.as_ref().unwrap();
+        assert_eq!(*experts, 8);
+        // 32 tokens × top-2 / 8 experts = 8 per expert.
+        assert_eq!(shapes[0].m, 8);
+        assert_eq!(shapes[0].n, 2 * 14336);
+        assert_eq!(s.flattened().len(), 2 + 16);
+    }
+
+    #[test]
+    fn tiny_batch_moe_keeps_one_token_per_expert() {
+        let s = decode_layer_shapes(&MIXTRAL_8X7B, 1);
+        let (shapes, _) = s.grouped.as_ref().unwrap();
+        assert_eq!(shapes[0].m, 1);
+    }
+
+    #[test]
+    fn weight_elems_match_config_params() {
+        // Layer weight elements from shapes == config's parameter count
+        // (dense model; batch size must not matter).
+        let s = decode_layer_shapes(&LLAMA2_7B, 64);
+        assert_eq!(s.weight_elems() as u64, LLAMA2_7B.layer_linear_params());
+    }
+
+    #[test]
+    fn moe_weight_elems_count_all_experts() {
+        let s = decode_layer_shapes(&MIXTRAL_8X7B, 4);
+        assert_eq!(s.weight_elems() as u64, MIXTRAL_8X7B.layer_linear_params());
+    }
+
+    #[test]
+    fn ops_scale_with_batch_for_dense() {
+        let a = decode_layer_shapes(&LLAMA2_7B, 8).ops();
+        let b = decode_layer_shapes(&LLAMA2_7B, 16).ops();
+        assert_eq!(b / a, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_panics() {
+        let _ = decode_layer_shapes(&LLAMA2_7B, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-token dynamic INT8 activation quantization (paper, Section 6).
+//!
+//! Following SmoothQuant, FP activations are mapped to INT8 on the fly
+//! with one symmetric scale per token (row of `X`), after division by the
+//! per-channel smooth scale. In the real system this is fused into the
+//! preceding kernel; here it is a standalone step so the kernels receive
+//! plain INT8 operands.
+
+use crate::mat::Mat;
+
+/// INT8 activations with per-token scales.
+#[derive(Debug, Clone)]
+pub struct QuantizedActivations {
+    /// INT8 activation matrix, `M×K`.
+    pub q: Mat<i8>,
+    /// Per-token (per-row) scales: `x ≈ q · scale`.
+    pub scales: Vec<f32>,
+}
+
+/// Quantize one token's activations symmetrically to INT8 `[-127, 127]`.
+///
+/// Returns the scale; writes codes into `out`.
+pub fn quantize_token(x: &[f32], out: &mut [i8]) -> f32 {
+    assert_eq!(x.len(), out.len());
+    let absmax = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if absmax == 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    let scale = absmax / 127.0;
+    let inv = 1.0 / scale;
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+impl QuantizedActivations {
+    /// Quantize an `M×K` activation matrix per token, optionally dividing
+    /// by a per-channel smooth scale first (`x_j / smooth[j]`).
+    #[must_use]
+    pub fn quantize(x: &Mat<f32>, smooth: Option<&[f32]>) -> Self {
+        if let Some(s) = smooth {
+            assert_eq!(s.len(), x.cols(), "smooth scale length mismatch");
+            assert!(s.iter().all(|&v| v > 0.0), "smooth scales must be positive");
+        }
+        let mut q = Mat::zeros(x.rows(), x.cols());
+        let mut scales = Vec::with_capacity(x.rows());
+        let mut tmp = vec![0.0f32; x.cols()];
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let src: &[f32] = if let Some(s) = smooth {
+                for ((t, &v), &sc) in tmp.iter_mut().zip(row.iter()).zip(s.iter()) {
+                    *t = v / sc;
+                }
+                &tmp
+            } else {
+                row
+            };
+            scales.push(quantize_token(src, q.row_mut(r)));
+        }
+        Self { q, scales }
+    }
+
+    /// Dequantize back to f32 (reference).
+    #[must_use]
+    pub fn dequantize(&self) -> Mat<f32> {
+        Mat::from_fn(self.q.rows(), self.q.cols(), |r, c| {
+            f32::from(*self.q.get(r, c)) * self.scales[r]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_quantization_symmetric() {
+        let x = [2.0f32, -1.0, 0.5, -2.0];
+        let mut out = [0i8; 4];
+        let s = quantize_token(&x, &mut out);
+        assert_eq!(out, [127, -64, 32, -127]);
+        assert!((s - 2.0 / 127.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_token_is_stable() {
+        let mut out = [3i8; 4];
+        let s = quantize_token(&[0.0; 4], &mut out);
+        assert_eq!(s, 0.0);
+        assert_eq!(out, [0; 4]);
+    }
+
+    #[test]
+    fn per_token_scales_differ() {
+        let x = Mat::from_vec(2, 2, vec![1.0, -1.0, 10.0, 5.0]);
+        let qa = QuantizedActivations::quantize(&x, None);
+        assert!(qa.scales[1] > qa.scales[0]);
+        assert_eq!(qa.q.row(0), &[127, -127]);
+        assert_eq!(qa.q.row(1), &[127, 64]);
+    }
+
+    #[test]
+    fn smoothing_divides_before_quantization() {
+        let x = Mat::from_vec(1, 2, vec![8.0, 1.0]);
+        let smooth = vec![8.0, 1.0];
+        let qa = QuantizedActivations::quantize(&x, Some(&smooth));
+        // After smoothing both columns are 1.0 → equal codes.
+        assert_eq!(qa.q.row(0), &[127, 127]);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let x = Mat::from_fn(16, 64, |r, c| ((r * 64 + c) as f32 * 0.7).cos() * 3.0);
+        let qa = QuantizedActivations::quantize(&x, None);
+        let back = qa.dequantize();
+        for r in 0..x.rows() {
+            let tol = qa.scales[r] / 2.0 + 1e-6;
+            for c in 0..x.cols() {
+                assert!((back.get(r, c) - x.get(r, c)).abs() <= tol);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smooth scales must be positive")]
+    fn nonpositive_smooth_scale_panics() {
+        let x = Mat::from_vec(1, 2, vec![1.0, 2.0]);
+        let _ = QuantizedActivations::quantize(&x, Some(&[1.0, 0.0]));
+    }
+}

@@ -1,0 +1,162 @@
+//! IEEE binary16 ("half") codec for the FP16 and W4A16 baseline kernels.
+//!
+//! Weight storage in those baselines is 16-bit; compute happens in f32
+//! (mirroring how tensor cores accumulate FP16 MMAs in higher
+//! precision). Conversions implement full IEEE semantics: subnormals,
+//! round-to-nearest-even, infinity overflow, NaN preservation.
+
+/// A 16-bit IEEE binary16 value stored as raw bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Convert from f32 with round-to-nearest-even.
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN: keep a mantissa bit for NaN.
+            let m = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | m);
+        }
+        // Unbiased exponent.
+        let e = exp - 127;
+        if e > 15 {
+            return F16(sign | 0x7C00); // overflow → ±inf
+        }
+        if e >= -14 {
+            // Normal range: round 23-bit mantissa to 10 bits (RNE).
+            let m10 = mant >> 13;
+            let rem = mant & 0x1FFF;
+            let mut out = sign | (((e + 15) as u16) << 10) | m10 as u16;
+            if rem > 0x1000 || (rem == 0x1000 && (m10 & 1) == 1) {
+                out = out.wrapping_add(1); // may carry into exp: correct (rounds up to next binade / inf)
+            }
+            return F16(out);
+        }
+        if e >= -25 {
+            // Subnormal: shift the implicit 1 into the mantissa.
+            let full = 0x0080_0000 | mant; // 24-bit significand
+            let shift = (-14 - e + 13) as u32; // bits to drop
+            let m10 = full >> shift;
+            let rem = full & ((1u32 << shift) - 1);
+            let half = 1u32 << (shift - 1);
+            let mut out = sign | m10 as u16;
+            if rem > half || (rem == half && (m10 & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        F16(sign) // underflow → ±0
+    }
+
+    /// Convert to f32 exactly (binary16 ⊂ binary32).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        let b = self.0;
+        let sign = u32::from(b & 0x8000) << 16;
+        let exp = (b >> 10) & 0x1F;
+        let mant = u32::from(b & 0x03FF);
+        if exp == 0 && mant != 0 {
+            // Subnormal: mant × 2⁻²⁴, exact in f32.
+            let v = mant as f32 * 2f32.powi(-24);
+            return if sign != 0 { -v } else { v };
+        }
+        let bits = if exp == 0x1F {
+            // Inf / NaN.
+            sign | 0x7F80_0000 | (mant << 13)
+        } else if exp == 0 {
+            sign // ±0
+        } else {
+            sign | ((u32::from(exp) + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+}
+
+/// Convert an f32 slice to f16 bits (weight packing for 16-bit formats).
+#[must_use]
+pub fn encode_slice(xs: &[f32]) -> Vec<F16> {
+    xs.iter().map(|&x| F16::from_f32(x)).collect()
+}
+
+/// Convert f16 bits back to f32.
+#[must_use]
+pub fn decode_slice(xs: &[F16]) -> Vec<f32> {
+    xs.iter().map(|x| x.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(1.0).0, 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xC000);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7BFF);
+        assert_eq!(F16::from_f32(1e6).0, 0x7C00); // overflow → inf
+        assert_eq!(F16::from_f32(f32::INFINITY).0, 0x7C00);
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn decode_known_constants() {
+        assert_eq!(F16(0x3C00).to_f32(), 1.0);
+        assert_eq!(F16(0xC000).to_f32(), -2.0);
+        assert_eq!(F16(0x7BFF).to_f32(), 65504.0);
+        assert_eq!(F16(0x7C00).to_f32(), f32::INFINITY);
+        assert_eq!(F16(0x0001).to_f32(), 2f32.powi(-24)); // min subnormal
+        assert_eq!(F16(0x0400).to_f32(), 2f32.powi(-14)); // min normal
+    }
+
+    #[test]
+    fn roundtrip_every_f16_bit_pattern() {
+        // f16 → f32 → f16 must be the identity on non-NaN patterns.
+        for b in 0..=u16::MAX {
+            let h = F16(b);
+            let f = h.to_f32();
+            if f.is_nan() {
+                assert!(F16::from_f32(f).to_f32().is_nan());
+                continue;
+            }
+            assert_eq!(F16::from_f32(f).0, b, "bits {b:#06x} value {f}");
+        }
+    }
+
+    #[test]
+    fn rne_rounding() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10 → ties to even (1.0).
+        let tie = 1.0 + 2f32.powi(-11);
+        assert_eq!(F16::from_f32(tie).0, 0x3C00);
+        // Slightly above the tie rounds up.
+        assert_eq!(F16::from_f32(tie + 1e-6).0, 0x3C01);
+    }
+
+    #[test]
+    fn relative_error_bound_for_normals() {
+        let mut x = 6.2e-5f32;
+        while x < 6.0e4 {
+            let v = F16::from_f32(x).to_f32();
+            assert!(((v - x) / x).abs() <= 2f32.powi(-11) + 1e-7, "x={x} v={v}");
+            x *= 1.618;
+        }
+    }
+
+    #[test]
+    fn slice_codecs_roundtrip() {
+        let xs = vec![0.5f32, -1.25, 3.75, 1000.0];
+        assert_eq!(decode_slice(&encode_slice(&xs)), xs);
+    }
+}

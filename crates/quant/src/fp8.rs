@@ -1,0 +1,170 @@
+//! FP8 E4M3 codec (OCP 8-bit floating point), used by the TRT-FP8
+//! baseline kernel.
+//!
+//! Format: 1 sign, 4 exponent (bias 7), 3 mantissa bits. E4M3 has **no
+//! infinities**; the all-ones exponent with all-ones mantissa is NaN and
+//! every other code is finite, giving a max normal of ±448. Conversion
+//! from f32 saturates (the convention used by inference runtimes).
+//!
+//! Encoding is implemented as exact round-to-nearest-even over the
+//! decoded value table, which is trivially correct and fast enough for
+//! offline weight conversion; decoding in the GEMM hot loop goes through
+//! a 256-entry lookup table ([`E4M3_DECODE`]-style via [`decode_lut`]).
+
+/// Maximum finite E4M3 magnitude.
+pub const E4M3_MAX: f32 = 448.0;
+/// Canonical NaN code (positive).
+pub const E4M3_NAN: u8 = 0x7F;
+
+/// Decode one E4M3 code to f32. Total function: every code maps to a
+/// finite value except `0x7F`/`0xFF` (NaN).
+#[must_use]
+pub fn e4m3_to_f32(code: u8) -> f32 {
+    let sign = if code & 0x80 != 0 { -1.0f32 } else { 1.0 };
+    let exp = (code >> 3) & 0xF;
+    let mant = code & 0x7;
+    if exp == 0xF && mant == 0x7 {
+        return f32::NAN;
+    }
+    let v = if exp == 0 {
+        // Subnormal: mant/8 × 2⁻⁶
+        (f32::from(mant) / 8.0) * 2f32.powi(-6)
+    } else {
+        (1.0 + f32::from(mant) / 8.0) * 2f32.powi(i32::from(exp) - 7)
+    };
+    sign * v
+}
+
+/// Encode an f32 to E4M3 with round-to-nearest-even and saturation.
+#[must_use]
+pub fn f32_to_e4m3(x: f32) -> u8 {
+    let sign = if x.is_sign_negative() { 0x80u8 } else { 0 };
+    if x.is_nan() {
+        return sign | E4M3_NAN;
+    }
+    let ax = x.abs();
+    if ax >= E4M3_MAX {
+        return sign | 0x7E; // saturate to ±448
+    }
+    // Positive codes 0x00..=0x7E decode monotonically; binary-search the
+    // bracketing pair and round to nearest, ties to even code.
+    let (mut lo, mut hi) = (0u8, 0x7Eu8);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if e4m3_to_f32(mid) <= ax {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (vl, vh) = (e4m3_to_f32(lo), e4m3_to_f32(hi));
+    let code = if ax - vl < vh - ax {
+        lo
+    } else if ax - vl > vh - ax {
+        hi
+    } else if lo & 1 == 0 {
+        lo
+    } else {
+        hi
+    };
+    sign | code
+}
+
+/// Build the 256-entry decode lookup table for hot-loop use.
+#[must_use]
+pub fn decode_lut() -> [f32; 256] {
+    let mut lut = [0.0f32; 256];
+    for (i, slot) in lut.iter_mut().enumerate() {
+        *slot = e4m3_to_f32(i as u8);
+    }
+    lut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_known_points() {
+        assert_eq!(e4m3_to_f32(0x00), 0.0);
+        assert_eq!(e4m3_to_f32(0x80), -0.0);
+        // Smallest subnormal: 2^-9.
+        assert_eq!(e4m3_to_f32(0x01), 2f32.powi(-9));
+        // 1.0 = exp 7 (biased), mant 0 → code 0b0_0111_000 = 0x38.
+        assert_eq!(e4m3_to_f32(0x38), 1.0);
+        // Max normal 448 = (1 + 6/8) × 2^8 → code 0x7E.
+        assert_eq!(e4m3_to_f32(0x7E), 448.0);
+        assert!(e4m3_to_f32(0x7F).is_nan());
+        assert!(e4m3_to_f32(0xFF).is_nan());
+        assert_eq!(e4m3_to_f32(0xFE), -448.0);
+    }
+
+    #[test]
+    fn decode_is_monotone_on_positive_codes() {
+        for c in 0..0x7Eu8 {
+            assert!(
+                e4m3_to_f32(c) < e4m3_to_f32(c + 1),
+                "codes {c:#x} and {:#x} not increasing",
+                c + 1
+            );
+        }
+    }
+
+    #[test]
+    fn encode_roundtrips_every_finite_code() {
+        for c in 0..=255u8 {
+            let v = e4m3_to_f32(c);
+            if v.is_nan() {
+                continue;
+            }
+            let back = f32_to_e4m3(v);
+            // -0.0 and +0.0 both legal for zero; otherwise exact.
+            if v == 0.0 {
+                assert_eq!(back & 0x7F, 0);
+            } else {
+                assert_eq!(back, c, "code {c:#04x} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_saturates_and_propagates_nan() {
+        assert_eq!(f32_to_e4m3(1e9), 0x7E);
+        assert_eq!(f32_to_e4m3(-1e9), 0xFE);
+        assert_eq!(f32_to_e4m3(f32::INFINITY), 0x7E);
+        assert_eq!(f32_to_e4m3(f32::NAN) & 0x7F, E4M3_NAN);
+    }
+
+    #[test]
+    fn encode_rounds_to_nearest() {
+        // Between 1.0 (0x38) and 1.125 (0x39): 1.05 → 1.0; 1.08 → 1.125.
+        assert_eq!(f32_to_e4m3(1.05), 0x38);
+        assert_eq!(f32_to_e4m3(1.08), 0x39);
+        // Exact tie 1.0625 → even code 0x38.
+        assert_eq!(f32_to_e4m3(1.0625), 0x38);
+    }
+
+    #[test]
+    fn relative_error_bounded_for_normals() {
+        // E4M3 normals carry 3 mantissa bits → rel. error ≤ 2^-4.
+        let mut x = 0.02f32;
+        while x < 440.0 {
+            let v = e4m3_to_f32(f32_to_e4m3(x));
+            assert!(((v - x) / x).abs() <= 1.0 / 16.0 + 1e-6, "x={x} v={v}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn lut_matches_decoder() {
+        let lut = decode_lut();
+        for c in 0..=255u8 {
+            let d = e4m3_to_f32(c);
+            if d.is_nan() {
+                assert!(lut[c as usize].is_nan());
+            } else {
+                assert_eq!(lut[c as usize], d);
+            }
+        }
+    }
+}

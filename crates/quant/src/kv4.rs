@@ -1,0 +1,166 @@
+//! 4-bit group-wise KV-cache quantization — the QServe-side baseline
+//! (W4A8**KV4**) that the paper's LiquidServe deliberately does *not*
+//! adopt (it uses INT8 KV, Section 6).
+//!
+//! KV4 halves cache bytes, which is why QServe fits larger batches on
+//! LLaMA-30B/13B in Table 1 — but every attention step must then
+//! dequantize the cache on CUDA cores, and that cost (modelled as
+//! `dequant_alpha` in `lq-serving::attention`) is what erases the
+//! bandwidth saving on Hopper. This module provides the actual codec so
+//! the trade-off is executable, not just asserted: group-wise
+//! asymmetric 4-bit over the token's channels.
+
+/// Parameters of one KV4 group (asymmetric, f32 scale — KV values are
+/// floats, unlike the integer second-level weight path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kv4Group {
+    /// Scale (step size).
+    pub scale: f32,
+    /// Minimum value (zero-point anchor).
+    pub min: f32,
+}
+
+impl Kv4Group {
+    /// Quantize one group of KV values to 4-bit codes.
+    #[must_use]
+    pub fn quantize(group: &[f32]) -> (Self, Vec<u8>) {
+        assert!(!group.is_empty(), "empty KV4 group");
+        let min = group.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = group.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let scale = if max > min { (max - min) / 15.0 } else { 1.0 };
+        let codes = group
+            .iter()
+            .map(|&v| (((v - min) / scale).round() as i32).clamp(0, 15) as u8)
+            .collect();
+        (Self { scale, min }, codes)
+    }
+
+    /// Dequantize one code.
+    #[inline]
+    #[must_use]
+    pub fn dequant(self, code: u8) -> f32 {
+        debug_assert!(code < 16);
+        f32::from(code) * self.scale + self.min
+    }
+}
+
+/// A KV vector quantized to 4-bit with groups of `group` channels.
+#[derive(Debug, Clone)]
+pub struct Kv4Vector {
+    group: usize,
+    /// Packed codes, two per byte (low nibble first).
+    pub packed: Vec<u8>,
+    /// Per-group parameters.
+    pub groups: Vec<Kv4Group>,
+    len: usize,
+}
+
+impl Kv4Vector {
+    /// Quantize a KV vector. `kv.len()` must be a multiple of `group`,
+    /// and `group` must be even.
+    #[must_use]
+    pub fn quantize(kv: &[f32], group: usize) -> Self {
+        assert!(group >= 2 && group % 2 == 0, "group must be even and >= 2");
+        assert_eq!(kv.len() % group, 0, "length not a multiple of group");
+        let mut packed = Vec::with_capacity(kv.len() / 2);
+        let mut groups = Vec::with_capacity(kv.len() / group);
+        for g in kv.chunks_exact(group) {
+            let (params, codes) = Kv4Group::quantize(g);
+            groups.push(params);
+            for pair in codes.chunks_exact(2) {
+                packed.push(pair[0] | (pair[1] << 4));
+            }
+        }
+        Self { group, packed, groups, len: kv.len() }
+    }
+
+    /// Dequantize the whole vector.
+    #[must_use]
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len);
+        for (i, &byte) in self.packed.iter().enumerate() {
+            let params = self.groups[(2 * i) / self.group];
+            out.push(params.dequant(byte & 0xF));
+            out.push(params.dequant(byte >> 4));
+        }
+        out
+    }
+
+    /// Stored bytes (codes + params at 8 bytes per group).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.packed.len() + self.groups.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let kv: Vec<f32> = (0..128).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
+        let q = Kv4Vector::quantize(&kv, 64);
+        let back = q.dequantize();
+        for (g, chunk) in kv.chunks_exact(64).enumerate() {
+            let step = q.groups[g].scale;
+            for (i, &v) in chunk.iter().enumerate() {
+                let err = (back[g * 64 + i] - v).abs();
+                assert!(err <= step / 2.0 + 1e-6, "err {err} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_group_is_exact() {
+        let kv = vec![2.5f32; 32];
+        let q = Kv4Vector::quantize(&kv, 32);
+        assert_eq!(q.dequantize(), kv);
+    }
+
+    #[test]
+    fn extremes_are_representable() {
+        let mut kv = vec![0.0f32; 16];
+        kv[0] = -7.0;
+        kv[15] = 9.0;
+        let q = Kv4Vector::quantize(&kv, 16);
+        let back = q.dequantize();
+        assert!((back[0] + 7.0).abs() < 1e-6);
+        assert!((back[15] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kv4_halves_int8_storage() {
+        // 256 channels: INT8 cache = 256 B (+ scales); KV4 ≈ 128 B + params.
+        let kv: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).cos()).collect();
+        let q = Kv4Vector::quantize(&kv, 64);
+        assert_eq!(q.packed.len(), 128);
+        assert!(q.bytes() < 256);
+    }
+
+    #[test]
+    fn kv4_error_exceeds_int8_error() {
+        // The accuracy side of the KV4-vs-INT8 trade: same data, the
+        // 4-bit cache must carry more error than an 8-bit one.
+        let kv: Vec<f32> = (0..128).map(|i| ((i * i) as f32 * 0.013).sin() * 4.0).collect();
+        let q4 = Kv4Vector::quantize(&kv, 64);
+        let b4 = q4.dequantize();
+        let e4: f32 = kv.iter().zip(b4.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+        // INT8 per-channel static with exact absmax calibration.
+        let e8: f32 = kv
+            .iter()
+            .map(|&v| {
+                let s = 4.0 / 127.0;
+                let back = (v / s).round().clamp(-127.0, 127.0) * s;
+                (v - back) * (v - back)
+            })
+            .sum();
+        assert!(e4 > 4.0 * e8, "e4 {e4} vs e8 {e8}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length not a multiple of group")]
+    fn bad_length_panics() {
+        let _ = Kv4Vector::quantize(&[0.0; 30], 64);
+    }
+}

@@ -1,0 +1,136 @@
+//! Level-1 quantization: per-channel symmetric FP → INT8 with the
+//! protective range.
+//!
+//! Following QServe (adopted by LiquidQuant, Section 4), the first level
+//! maps each output channel (a row of the `N×K` weight matrix) to INT8
+//! using a symmetric per-channel scale, but clamps to the *protective
+//! quantization range* `[-119, 119]` instead of `[-127, 127]`. The
+//! narrower range guarantees that the second-level scale satisfies
+//! `s_u8 = ⌊(max−min)/15⌉ ≤ ⌊238/15⌉ = 16`, which is exactly what makes
+//! the one-`IMAD` dequantization overflow-free (`15 × 16 = 240 ≤ 255`).
+
+use crate::mat::Mat;
+
+/// The protective bound: level-1 INT8 values live in `[-119, 119]`.
+pub const PROTECTIVE_MAX: i8 = 119;
+
+/// Per-channel symmetric scale from level-1 quantization.
+///
+/// Dequantization multiplies by `scale` in the GEMM epilogue
+/// (`W ≈ Q_i8 · scale`), so its cost is amortised over the whole K
+/// reduction and is negligible (paper, Section 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelScale {
+    /// `s₁ = max|W_row| / 119`.
+    pub scale: f32,
+}
+
+/// Result of level-1 quantization of an `N×K` weight matrix.
+#[derive(Debug, Clone)]
+pub struct Level1 {
+    /// INT8 weights, same shape as the input, each row in `[-119, 119]`.
+    pub q: Mat<i8>,
+    /// One scale per row (output channel).
+    pub scales: Vec<ChannelScale>,
+}
+
+/// Quantize one channel (row) to INT8 in the protective range.
+///
+/// Returns the scale; writes quantized values into `out`.
+pub fn quantize_channel(row: &[f32], out: &mut [i8]) -> ChannelScale {
+    assert_eq!(row.len(), out.len());
+    let absmax = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if absmax == 0.0 {
+        out.fill(0);
+        return ChannelScale { scale: 0.0 };
+    }
+    let scale = absmax / f32::from(PROTECTIVE_MAX);
+    let inv = 1.0 / scale;
+    for (o, &v) in out.iter_mut().zip(row.iter()) {
+        let q = (v * inv).round();
+        *o = q.clamp(f32::from(-PROTECTIVE_MAX), f32::from(PROTECTIVE_MAX)) as i8;
+    }
+    ChannelScale { scale }
+}
+
+/// Quantize a full `N×K` weight matrix per-channel to INT8.
+#[must_use]
+pub fn quantize_per_channel_i8(w: &Mat<f32>) -> Level1 {
+    let mut q = Mat::zeros(w.rows(), w.cols());
+    let mut scales = Vec::with_capacity(w.rows());
+    for r in 0..w.rows() {
+        let s = quantize_channel(w.row(r), q.row_mut(r));
+        scales.push(s);
+    }
+    Level1 { q, scales }
+}
+
+impl Level1 {
+    /// Dequantize back to f32 (reference for error measurement).
+    #[must_use]
+    pub fn dequantize(&self) -> Mat<f32> {
+        Mat::from_fn(self.q.rows(), self.q.cols(), |r, c| {
+            f32::from(*self.q.get(r, c)) * self.scales[r].scale
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protective_range_is_respected() {
+        let row = vec![-3.0f32, -1.5, 0.0, 1.5, 3.0];
+        let mut out = vec![0i8; 5];
+        let s = quantize_channel(&row, &mut out);
+        assert_eq!(out, vec![-119, -60, 0, 60, 119]);
+        assert!((s.scale - 3.0 / 119.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_protective_bound() {
+        // Even with rounding at the edge, values never exceed ±119.
+        let row: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 0.137).collect();
+        let mut out = vec![0i8; row.len()];
+        let _ = quantize_channel(&row, &mut out);
+        assert!(out.iter().all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)));
+        assert!(out.contains(&PROTECTIVE_MAX) || out.contains(&-PROTECTIVE_MAX));
+    }
+
+    #[test]
+    fn zero_channel_gets_zero_scale() {
+        let row = vec![0.0f32; 8];
+        let mut out = vec![1i8; 8];
+        let s = quantize_channel(&row, &mut out);
+        assert_eq!(out, vec![0; 8]);
+        assert_eq!(s.scale, 0.0);
+    }
+
+    #[test]
+    fn per_channel_scales_are_independent() {
+        let w = Mat::from_vec(2, 2, vec![1.0, -1.0, 100.0, -25.0]);
+        let l1 = quantize_per_channel_i8(&w);
+        assert_eq!(l1.q.row(0), &[119, -119]);
+        assert_eq!(l1.q.row(1), &[119, -30]);
+        assert!(l1.scales[1].scale > l1.scales[0].scale);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let w = Mat::from_fn(4, 64, |r, c| ((r * 64 + c) as f32).sin() * 5.0);
+        let l1 = quantize_per_channel_i8(&w);
+        let back = l1.dequantize();
+        for r in 0..w.rows() {
+            let half_step = l1.scales[r].scale / 2.0 + 1e-6;
+            for c in 0..w.cols() {
+                assert!(
+                    (back.get(r, c) - w.get(r, c)).abs() <= half_step,
+                    "({r},{c}): {} vs {}",
+                    back.get(r, c),
+                    w.get(r, c)
+                );
+            }
+        }
+    }
+}

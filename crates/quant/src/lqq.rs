@@ -1,0 +1,387 @@
+//! LiquidQuant (LQQ): shift-based INT8 → UINT4 quantization with
+//! overflow-free two-instruction dequantization (paper, Section 4).
+//!
+//! ## Quantization (offline, Eq. 7)
+//!
+//! For each group of `g` consecutive level-1 INT8 weights:
+//!
+//! ```text
+//! Q_u8 = Q_i8 − min(Q_i8)              (shift into the unsigned domain)
+//! s_u8 = ⌊max(Q_u8) / 15⌉, clamped to [1, 16]
+//! Q_u4 = ⌊Q_u8 / s_u8⌉, clamped to [0, 15]
+//! ```
+//!
+//! The protective level-1 range `[-119, 119]` bounds
+//! `max(Q_u8) ≤ 238`, hence `s_u8 ≤ 16`.
+//!
+//! ## Sweet dequantization (online, Eqs. 8–12)
+//!
+//! The naive `Q_u4·s_u8 + min(Q_i8)` mixes an unsigned product with a
+//! possibly-negative constant and wraps (the paper's `225 + (−104)`
+//! example). LQQ instead precomputes `a = 2⁷ + min(Q_i8)` (always in
+//! `[9, 247]`, so a valid `u8`) and evaluates
+//!
+//! ```text
+//! Q̂_i8 = (Q_u4 · s_u8 + a) ⊕ 0x80
+//! ```
+//!
+//! entirely in the UINT8 domain. The proof obligations, all verified
+//! exhaustively by the tests below:
+//!
+//! 1. `Q_u4·s_u8 ≤ 15·16 = 240` — the product never overflows a byte.
+//! 2. `Q_u4·s_u8 + a ≤ max(Q_i8) + 8 + 128 ≤ 255` — the sum never
+//!    overflows a byte (Eq. 11).
+//! 3. Flipping the MSB (`⊕ 0x80`) adds 128 mod 2⁸, so the resulting bit
+//!    pattern equals `Q_u4·s_u8 + min(Q_i8)` mod 2⁸ — which is the
+//!    two's-complement pattern of the desired INT8 value (Eq. 9).
+//!
+//! On a packed register this is one `IMAD` + one `XOR` for four lanes.
+
+use lq_swar::audit::CountingAlu;
+use lq_swar::lanes::broadcast_u8;
+use lq_swar::unpack::{unpack8_u4_to_2xu8x4, Unpacked8};
+
+use crate::level1::PROTECTIVE_MAX;
+use crate::mat::Mat;
+
+/// The lane-replicated XOR mask that flips every lane's MSB.
+pub const XOR_MASK: u32 = 0x8080_8080;
+
+/// Per-group LQQ parameters (computed offline).
+///
+/// ```
+/// use lq_quant::lqq::LqqGroup;
+/// // Quantize one group of level-1 INT8 weights to UINT4 codes...
+/// let (params, codes) = LqqGroup::quantize(&[-100, -7, 33, 90]);
+/// assert!(params.s_u8 <= 16);
+/// // ...and recover them with the overflow-free sweet dequantization.
+/// for (&orig, &code) in [-100i8, -7, 33, 90].iter().zip(codes.iter()) {
+///     let back = params.dequant_sweet(code);
+///     assert!((i16::from(back) - i16::from(orig)).abs() <= i16::from(params.s_u8));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LqqGroup {
+    /// Integer second-level scale `s_u8 ∈ [1, 16]`.
+    pub s_u8: u8,
+    /// Group minimum of the level-1 INT8 values.
+    pub min_i8: i8,
+}
+
+impl LqqGroup {
+    /// The precomputed additive constant `a = 2⁷ + min(Q_i8)`.
+    ///
+    /// Always representable as `u8`: `min ∈ [-119, 119] ⇒ a ∈ [9, 247]`.
+    #[inline]
+    #[must_use]
+    pub fn offset_a(self) -> u8 {
+        (128i16 + i16::from(self.min_i8)) as u8
+    }
+
+    /// Quantize one group of level-1 INT8 values to UINT4.
+    ///
+    /// Panics (debug) if any input is outside the protective range.
+    #[must_use]
+    pub fn quantize(group: &[i8]) -> (Self, Vec<u8>) {
+        assert!(!group.is_empty(), "empty quantization group");
+        debug_assert!(
+            group.iter().all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)),
+            "level-1 value outside protective range"
+        );
+        let min = *group.iter().min().expect("non-empty");
+        let max = *group.iter().max().expect("non-empty");
+        let range = i16::from(max) - i16::from(min); // ≤ 238
+        let s = (((range as f32) / 15.0).round() as i16).clamp(1, 16) as u8;
+        let q_u4 = group
+            .iter()
+            .map(|&q| {
+                let u8v = (i16::from(q) - i16::from(min)) as f32;
+                ((u8v / f32::from(s)).round() as i16).clamp(0, 15) as u8
+            })
+            .collect();
+        (Self { s_u8: s, min_i8: min }, q_u4)
+    }
+
+    /// Scalar reference dequantization: `Q_u4·s + min`, computed in i16.
+    #[inline]
+    #[must_use]
+    pub fn dequant_scalar(self, q_u4: u8) -> i8 {
+        debug_assert!(q_u4 < 16);
+        let v = i16::from(q_u4) * i16::from(self.s_u8) + i16::from(self.min_i8);
+        debug_assert!((-128..=127).contains(&v), "dequant out of i8 range: {v}");
+        v as i8
+    }
+
+    /// Sweet dequantization of a single element, in pure u8 arithmetic.
+    ///
+    /// Every intermediate stays in `[0, 255]`; the `debug_assert`s are
+    /// the paper's overflow-freedom proof checked at run time.
+    #[inline]
+    #[must_use]
+    pub fn dequant_sweet(self, q_u4: u8) -> i8 {
+        let prod = q_u4 * self.s_u8; // claim 1: ≤ 240, no u8 overflow
+        let (sum, carry) = prod.overflowing_add(self.offset_a());
+        debug_assert!(!carry, "sweet dequant sum overflowed u8");
+        (sum ^ 0x80) as i8
+    }
+
+    /// Register-level dequantization of 8 packed UINT4 elements.
+    ///
+    /// Cost: 3 instructions (unpack) + 2 × (`IMAD` + `XOR`) = **7
+    /// instructions per 8 elements** (α = 0.875), charged on `alu`.
+    /// Lane `k` of `lo`/`hi` holds the INT8 bit pattern of packed
+    /// elements `2k` / `2k+1`.
+    #[inline]
+    #[must_use]
+    pub fn dequant_packed8(self, alu: &mut CountingAlu, packed: u32) -> Unpacked8 {
+        let u = unpack8_u4_to_2xu8x4(alu, packed);
+        let s = u32::from(self.s_u8);
+        let a = broadcast_u8(self.offset_a());
+        let lo_prod = alu.imad(u.lo, s, a);
+        let lo = alu.xor(lo_prod, XOR_MASK);
+        let hi_prod = alu.imad(u.hi, s, a);
+        let hi = alu.xor(hi_prod, XOR_MASK);
+        Unpacked8 { lo, hi }
+    }
+
+    /// Dequantize 8 packed elements back to original element order
+    /// (reference convenience; kernels keep the interleaved order and
+    /// compensate in the weight layout instead).
+    #[must_use]
+    pub fn dequant8_ordered(self, alu: &mut CountingAlu, packed: u32) -> [i8; 8] {
+        let r = self.dequant_packed8(alu, packed);
+        let lo = r.lo.to_le_bytes();
+        let hi = r.hi.to_le_bytes();
+        let mut out = [0i8; 8];
+        for k in 0..4 {
+            out[2 * k] = lo[k] as i8;
+            out[2 * k + 1] = hi[k] as i8;
+        }
+        out
+    }
+}
+
+/// A level-1 INT8 tensor quantized group-wise to UINT4 with LQQ.
+///
+/// `values` stores one UINT4 value per element (unpacked, row-major);
+/// the bit-packed kernel formats live in `lq-layout`.
+#[derive(Debug, Clone)]
+pub struct LqqTensor {
+    rows: usize,
+    cols: usize,
+    group: usize,
+    /// UINT4 values, row-major, one byte each.
+    pub values: Vec<u8>,
+    /// Group parameters, `rows × ceil(cols/group)`, row-major.
+    pub groups: Vec<LqqGroup>,
+}
+
+impl LqqTensor {
+    /// Quantize an `N×K` level-1 INT8 matrix with groups of `group`
+    /// along K. `cols` must be a multiple of `group`.
+    #[must_use]
+    pub fn quantize(q_i8: &Mat<i8>, group: usize) -> Self {
+        assert!(group > 0, "group size must be positive");
+        assert_eq!(
+            q_i8.cols() % group,
+            0,
+            "K={} not a multiple of group size {}",
+            q_i8.cols(),
+            group
+        );
+        let gpr = q_i8.cols() / group;
+        let mut values = Vec::with_capacity(q_i8.len());
+        let mut groups = Vec::with_capacity(q_i8.rows() * gpr);
+        for r in 0..q_i8.rows() {
+            let row = q_i8.row(r);
+            for g in 0..gpr {
+                let (params, q_u4) = LqqGroup::quantize(&row[g * group..(g + 1) * group]);
+                groups.push(params);
+                values.extend_from_slice(&q_u4);
+            }
+        }
+        Self { rows: q_i8.rows(), cols: q_i8.cols(), group, values, groups }
+    }
+
+    /// Rows (output channels, N).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (reduction dim, K).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Group size along K.
+    #[must_use]
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Groups per row.
+    #[must_use]
+    pub fn groups_per_row(&self) -> usize {
+        self.cols / self.group
+    }
+
+    /// Group parameters for `(row, k)`.
+    #[inline]
+    #[must_use]
+    pub fn group_at(&self, row: usize, k: usize) -> LqqGroup {
+        self.groups[row * self.groups_per_row() + k / self.group]
+    }
+
+    /// UINT4 value at `(row, k)`.
+    #[inline]
+    #[must_use]
+    pub fn value_at(&self, row: usize, k: usize) -> u8 {
+        self.values[row * self.cols + k]
+    }
+
+    /// Dequantize the whole tensor back to INT8 (scalar reference path).
+    #[must_use]
+    pub fn dequantize(&self) -> Mat<i8> {
+        Mat::from_fn(self.rows, self.cols, |r, k| {
+            self.group_at(r, k).dequant_scalar(self.value_at(r, k))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All (min, max) pairs in the protective range, all 16 u4 codes:
+    /// the sweet path must equal the scalar reference bit-for-bit.
+    #[test]
+    fn sweet_equals_scalar_exhaustive() {
+        for min in -PROTECTIVE_MAX..=PROTECTIVE_MAX {
+            for max in min..=PROTECTIVE_MAX {
+                let range = i16::from(max) - i16::from(min);
+                let s = (((range as f32) / 15.0).round() as i16).clamp(1, 16) as u8;
+                let g = LqqGroup { s_u8: s, min_i8: min };
+                for q in 0..16u8 {
+                    // Only codes that can arise from quantization: the
+                    // dequantized value must not exceed max + s/2.
+                    let v = i16::from(q) * i16::from(s) + i16::from(min);
+                    if v > i16::from(max) + i16::from(s / 2) {
+                        continue;
+                    }
+                    assert_eq!(
+                        g.dequant_sweet(q),
+                        g.dequant_scalar(q),
+                        "min={min} max={max} s={s} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The paper's worked example: s=15, min=-104, q=15 → 121.
+    #[test]
+    fn paper_worked_example() {
+        let g = LqqGroup { s_u8: 15, min_i8: -104 };
+        assert_eq!(g.dequant_scalar(15), 121);
+        assert_eq!(g.dequant_sweet(15), 121);
+        // Intermediate: 225 + a where a = 128 - 104 = 24 → 249, then
+        // XOR 0x80 → 121. No overflow anywhere.
+        assert_eq!(g.offset_a(), 24);
+        assert_eq!((225u8 + 24) ^ 0x80, 121);
+    }
+
+    #[test]
+    fn offset_a_always_a_valid_byte() {
+        for min in -PROTECTIVE_MAX..=PROTECTIVE_MAX {
+            let g = LqqGroup { s_u8: 16, min_i8: min };
+            let a = g.offset_a();
+            assert!((9..=247).contains(&a), "min={min} a={a}");
+        }
+    }
+
+    #[test]
+    fn quantize_group_basic() {
+        let group = [-100i8, -50, 0, 50, 100];
+        let (p, q) = LqqGroup::quantize(&group);
+        assert_eq!(p.min_i8, -100);
+        // range 200, s = round(200/15) = 13
+        assert_eq!(p.s_u8, 13);
+        assert!(q.iter().all(|&v| v < 16));
+        // Round-trip error bounded by s/2 (+1 for clamped top code).
+        for (&orig, &code) in group.iter().zip(q.iter()) {
+            let back = p.dequant_scalar(code);
+            assert!(
+                (i16::from(back) - i16::from(orig)).abs() <= i16::from(p.s_u8 / 2 + 1),
+                "orig={orig} back={back} s={}",
+                p.s_u8
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_constant_group() {
+        let (p, q) = LqqGroup::quantize(&[42i8; 16]);
+        assert_eq!(p.s_u8, 1);
+        assert_eq!(p.min_i8, 42);
+        assert!(q.iter().all(|&v| v == 0));
+        assert_eq!(p.dequant_scalar(0), 42);
+    }
+
+    #[test]
+    fn quantize_extreme_group_hits_max_scale() {
+        let (p, q) = LqqGroup::quantize(&[-PROTECTIVE_MAX, PROTECTIVE_MAX]);
+        assert_eq!(p.s_u8, 16); // round(238/15) = 16
+        assert_eq!(p.dequant_scalar(q[0]), -PROTECTIVE_MAX);
+        // Top code: -119 + 15*16 = 121; clamped code = round(238/16)=15
+        assert_eq!(q[1], 15);
+        assert_eq!(p.dequant_scalar(q[1]), 121);
+    }
+
+    #[test]
+    fn packed8_matches_scalar_and_costs_seven() {
+        let group: Vec<i8> = vec![-90, -13, 7, 119, -119, 0, 64, -64];
+        let (p, q) = LqqGroup::quantize(&group);
+        let packed = lq_swar::unpack::pack8_u4([q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]]);
+        let mut alu = CountingAlu::new();
+        let out = p.dequant8_ordered(&mut alu, packed);
+        assert_eq!(alu.count().total(), 7, "LQQ must cost 7 instrs / 8 elems");
+        for i in 0..8 {
+            assert_eq!(out[i], p.dequant_scalar(q[i]), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn tensor_quantize_shapes_and_roundtrip_bound() {
+        let m = Mat::from_fn(8, 128, |r, c| (((r * 131 + c * 17) % 239) as i16 - 119) as i8);
+        let t = LqqTensor::quantize(&m, 64);
+        assert_eq!(t.rows(), 8);
+        assert_eq!(t.cols(), 128);
+        assert_eq!(t.groups_per_row(), 2);
+        assert_eq!(t.groups.len(), 16);
+        assert_eq!(t.values.len(), 8 * 128);
+        let back = t.dequantize();
+        for r in 0..8 {
+            for k in 0..128 {
+                let err = (i16::from(*back.get(r, k)) - i16::from(*m.get(r, k))).abs();
+                let s = t.group_at(r, k).s_u8;
+                // s/2 rounding plus up-to-8 clamp error on the top code.
+                assert!(err <= i16::from(s / 2 + 1).max(8), "err {err} s {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of group size")]
+    fn tensor_bad_group_size_panics() {
+        let m: Mat<i8> = Mat::zeros(2, 100);
+        let _ = LqqTensor::quantize(&m, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty quantization group")]
+    fn empty_group_panics() {
+        let _ = LqqGroup::quantize(&[]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Minimal row-major matrix container.
+//!
+//! The kernels in `lq-core` operate on raw slices for speed; `Mat` is the
+//! owning container that carries shape information across crate
+//! boundaries and provides checked access for tests. Row-major: element
+//! `(r, c)` lives at index `r * cols + c`.
+
+use std::fmt;
+
+/// Dense row-major matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Mat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Mat<T> {
+    /// Zero-filled (default-filled) matrix of the given shape.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T> Mat<T> {
+    /// Wrap an existing buffer. Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from a per-element generator `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the backing row-major slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing row-major slice.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[must_use]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Checked element access.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+
+    /// Checked mutable element access.
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Iterate rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+}
+
+impl<T: Copy> Mat<T> {
+    /// Transposed copy (`self[r][c]` → `out[c][r]`).
+    #[must_use]
+    pub fn transposed(&self) -> Mat<T> {
+        let mut out = Vec::with_capacity(self.data.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out.push(self.data[r * self.cols + c]);
+            }
+        }
+        Mat::from_vec(self.cols, self.rows, out)
+    }
+}
+
+impl Mat<f32> {
+    /// Gaussian-random matrix (Box–Muller over a caller-supplied RNG
+    /// closure returning uniform `[0,1)` samples), used by tests and the
+    /// synthetic workload generators.
+    #[must_use]
+    pub fn gaussian(rows: usize, cols: usize, std: f32, mut uniform: impl FnMut() -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        while data.len() < rows * cols {
+            let u1 = uniform().max(1e-12);
+            let u2 = uniform();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (2.0 * std::f32::consts::PI * u2).sin_cos();
+            data.push(r * c * std);
+            if data.len() < rows * cols {
+                data.push(r * s * std);
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Max absolute value per column (used by SmoothQuant calibration).
+    #[must_use]
+    pub fn col_abs_max(&self) -> Vec<f32> {
+        let mut m = vec![0.0f32; self.cols];
+        for row in self.rows_iter() {
+            for (c, &v) in row.iter().enumerate() {
+                m[c] = m[c].max(v.abs());
+            }
+        }
+        m
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mat<{}x{}>", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", &self.data[r * self.cols..(r + 1) * self.cols])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_access() {
+        let mut m: Mat<i32> = Mat::zeros(3, 4);
+        assert_eq!((m.rows(), m.cols(), m.len()), (3, 4, 12));
+        assert!(!m.is_empty());
+        m.set(2, 3, 7);
+        assert_eq!(*m.get(2, 3), 7);
+        assert_eq!(m.row(2), &[0, 0, 0, 7]);
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let m = Mat::from_fn(2, 3, |r, c| (r * 10 + c) as i32);
+        assert_eq!(m.as_slice(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(m.rows_iter().count(), 2);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat::from_fn(3, 5, |r, c| (r * 5 + c) as i32);
+        let t = m.transposed();
+        assert_eq!((t.rows(), t.cols()), (5, 3));
+        assert_eq!(*t.get(4, 2), *m.get(2, 4));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_shape_mismatch_panics() {
+        let _ = Mat::from_vec(2, 3, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let m: Mat<u8> = Mat::zeros(2, 2);
+        let _ = m.row(2);
+    }
+
+    #[test]
+    fn gaussian_has_roughly_right_moments() {
+        let mut state = 0x12345678u64;
+        let mut uni = move || {
+            // xorshift64* for a deterministic test
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32 / (1u64 << 24) as f32
+        };
+        let m = Mat::gaussian(64, 64, 2.0, &mut uni);
+        let n = m.len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn col_abs_max_finds_outliers() {
+        let mut m = Mat::zeros(4, 3);
+        m.set(1, 0, -5.0);
+        m.set(3, 2, 2.5);
+        assert_eq!(m.col_abs_max(), vec![5.0, 0.0, 2.5]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Quantization-error metrics for the accuracy harness.
+//!
+//! The paper evaluates perplexity and zero-shot accuracy offline and
+//! reports only that "LQQ preserves accuracy" (detailed tables deferred
+//! to a tech report). Without model checkpoints, the checkable claim is
+//! the *mechanism*: LQQ's grid has the same step size as QoQ's on every
+//! group, so switching QoQ → LQQ costs no representational fidelity.
+//! These metrics quantify that on synthetic tensors.
+
+use crate::mat::Mat;
+
+/// Summary statistics of elementwise error between two tensors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Signal-to-quantization-noise ratio in dB (10·log₁₀(sig/noise)).
+    pub sqnr_db: f64,
+    /// Maximum absolute error.
+    pub max_abs: f64,
+    /// Cosine similarity of the flattened tensors.
+    pub cosine: f64,
+}
+
+/// Compare a reference f32 tensor to an approximation.
+#[must_use]
+pub fn error_stats(reference: &Mat<f32>, approx: &Mat<f32>) -> ErrorStats {
+    assert_eq!(reference.rows(), approx.rows());
+    assert_eq!(reference.cols(), approx.cols());
+    let n = reference.len().max(1) as f64;
+    let mut se = 0.0f64;
+    let mut sig = 0.0f64;
+    let mut max_abs = 0.0f64;
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&a, &b) in reference.as_slice().iter().zip(approx.as_slice().iter()) {
+        let (a, b) = (f64::from(a), f64::from(b));
+        let d = a - b;
+        se += d * d;
+        sig += a * a;
+        max_abs = max_abs.max(d.abs());
+        dot += a * b;
+        na += a * a;
+        nb += b * b;
+    }
+    let mse = se / n;
+    let sqnr_db = if se == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / se).log10()
+    };
+    let cosine = if na == 0.0 || nb == 0.0 {
+        if na == nb {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    };
+    ErrorStats { mse, sqnr_db, max_abs, cosine }
+}
+
+/// Same comparison for INT8 tensors (errors in integer steps).
+#[must_use]
+pub fn error_stats_i8(reference: &Mat<i8>, approx: &Mat<i8>) -> ErrorStats {
+    let to_f = |m: &Mat<i8>| {
+        Mat::from_fn(m.rows(), m.cols(), |r, c| f32::from(*m.get(r, c)))
+    };
+    error_stats(&to_f(reference), &to_f(approx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_tensors_have_zero_error() {
+        let m = Mat::from_fn(4, 4, |r, c| (r + c) as f32);
+        let s = error_stats(&m, &m);
+        assert_eq!(s.mse, 0.0);
+        assert_eq!(s.max_abs, 0.0);
+        assert!(s.sqnr_db.is_infinite());
+        assert!((s.cosine - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_error_values() {
+        let a = Mat::from_vec(1, 4, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let b = Mat::from_vec(1, 4, vec![1.0f32, 2.0, 3.0, 5.0]);
+        let s = error_stats(&a, &b);
+        assert!((s.mse - 0.25).abs() < 1e-12);
+        assert_eq!(s.max_abs, 1.0);
+        // sig = 30, noise = 1 → 10·log10(30) ≈ 14.77 dB
+        assert!((s.sqnr_db - 10.0 * 30f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_detects_anticorrelation() {
+        let a = Mat::from_vec(1, 3, vec![1.0f32, 2.0, 3.0]);
+        let b = Mat::from_vec(1, 3, vec![-1.0f32, -2.0, -3.0]);
+        let s = error_stats(&a, &b);
+        assert!((s.cosine + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i8_wrapper_counts_integer_steps() {
+        let a = Mat::from_vec(1, 2, vec![10i8, -10]);
+        let b = Mat::from_vec(1, 2, vec![12i8, -10]);
+        let s = error_stats_i8(&a, &b);
+        assert_eq!(s.max_abs, 2.0);
+        assert!((s.mse - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lqq_and_qoq_errors_are_comparable() {
+        // The headline mechanism check: on the same level-1 tensor, the
+        // two second-level schemes have the same step and so nearly the
+        // same error. LQQ must never be meaningfully worse.
+        use crate::lqq::LqqTensor;
+        use crate::qoq::QoqTensor;
+        let m = Mat::from_fn(16, 256, |r, c| {
+            ((((r * 997 + c * 131) % 239) as i16) - 119) as i8
+        });
+        let fl = |mm: &Mat<i8>| Mat::from_fn(mm.rows(), mm.cols(), |r, c| f32::from(*mm.get(r, c)));
+        let lqq = LqqTensor::quantize(&m, 64).dequantize();
+        let qoq = QoqTensor::quantize(&m, 64).dequantize();
+        let e_lqq = error_stats(&fl(&m), &fl(&lqq));
+        let e_qoq = error_stats(&fl(&m), &fl(&qoq));
+        assert!(
+            e_lqq.mse <= e_qoq.mse * 1.05 + 1e-9,
+            "LQQ mse {} vs QoQ mse {}",
+            e_lqq.mse,
+            e_qoq.mse
+        );
+        assert!(e_lqq.cosine > 0.99);
+    }
+}

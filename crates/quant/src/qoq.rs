@@ -1,0 +1,264 @@
+//! QServe's QoQ second level — the baseline LiquidQuant replaces.
+//!
+//! QServe quantizes INT8 → UINT4 on a zero-point grid and dequantizes
+//! with *subtraction after multiplication* (paper, Section 3.2):
+//!
+//! ```text
+//! Q̂_i8 = Q_u4 · s_i8 − (z · s_i8)
+//! ```
+//!
+//! The product stays in UINT8 thanks to the protective range, but the
+//! subtraction of the packed `z·s` term can wrap per byte, so it must be
+//! performed **byte-wise** — and on Hopper there is no hardware `vsub4`,
+//! so the compiler lowers it to the carryless SWAR sequence
+//! ([`lq_swar::vadd::vsub4_lowered`], 7 instructions). Total:
+//! 3 (unpack) + 2 × (1 `IMAD` + 7 lowered `vsub4`) = **19 instructions
+//! per 8 elements** (α ≈ 2.4), versus LiquidQuant's 7. The paper's Nsight
+//! profile attributes 21 % of warp stalls to this path.
+//!
+//! Semantically the grid is as accurate as LQQ's (both have step `s`);
+//! the entire difference is instruction cost — which is the paper's
+//! point, and which `lq-quant::metrics` verifies.
+
+use lq_swar::audit::CountingAlu;
+use lq_swar::lanes::broadcast_u8;
+use lq_swar::unpack::{unpack8_u4_to_2xu8x4, Unpacked8};
+use lq_swar::vadd::vsub4_lowered;
+
+use crate::level1::PROTECTIVE_MAX;
+use crate::mat::Mat;
+
+/// Per-group QoQ parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QoqGroup {
+    /// Integer scale `s_i8 ∈ [1, 16]` (same bound as LQQ, from the
+    /// protective range).
+    pub s_u8: u8,
+    /// Zero point `z ∈ [0, 15]`.
+    pub z: u8,
+}
+
+impl QoqGroup {
+    /// The precomputed packed subtrahend `z·s` (≤ 240, a valid byte).
+    #[inline]
+    #[must_use]
+    pub fn zs(self) -> u8 {
+        self.z * self.s_u8
+    }
+
+    /// Quantize one group of level-1 INT8 values to UINT4 on the
+    /// zero-point grid.
+    #[must_use]
+    pub fn quantize(group: &[i8]) -> (Self, Vec<u8>) {
+        assert!(!group.is_empty(), "empty quantization group");
+        debug_assert!(
+            group.iter().all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)),
+            "level-1 value outside protective range"
+        );
+        let min = i16::from(*group.iter().min().expect("non-empty"));
+        let max = i16::from(*group.iter().max().expect("non-empty"));
+        // The zero-point grid `(c - z)·s, c ∈ [0,15], z ∈ [0,15]` always
+        // contains 0, so the covered range must be extended to include 0
+        // — otherwise an all-positive (or all-negative) group would need
+        // a negative zero point and the clamp would destroy it.
+        let lo = min.min(0);
+        let hi = max.max(0);
+        let s = ((((hi - lo) as f32) / 15.0).round() as i16).clamp(1, 16) as u8;
+        let z = ((-lo as f32 / f32::from(s)).round() as i16).clamp(0, 15) as u8;
+        let codes = group
+            .iter()
+            .map(|&q| {
+                let c = (f32::from(q) / f32::from(s)).round() as i16 + i16::from(z);
+                c.clamp(0, 15) as u8
+            })
+            .collect();
+        (Self { s_u8: s, z }, codes)
+    }
+
+    /// Scalar reference dequantization with byte-wrapping semantics
+    /// (matching what the byte-wise subtract computes on hardware).
+    #[inline]
+    #[must_use]
+    pub fn dequant_scalar(self, q_u4: u8) -> i8 {
+        debug_assert!(q_u4 < 16);
+        let prod = q_u4 * self.s_u8; // ≤ 240: protective range
+        prod.wrapping_sub(self.zs()) as i8
+    }
+
+    /// Register-level dequantization of 8 packed UINT4 elements,
+    /// charging the full emulated-`vsub4` cost on `alu`:
+    /// **19 instructions per 8 elements**.
+    #[must_use]
+    pub fn dequant_packed8(self, alu: &mut CountingAlu, packed: u32) -> Unpacked8 {
+        let u = unpack8_u4_to_2xu8x4(alu, packed);
+        let s = u32::from(self.s_u8);
+        let zs = broadcast_u8(self.zs());
+        let lo_prod = alu.imad(u.lo, s, 0);
+        let lo = vsub4_lowered(alu, lo_prod, zs);
+        let hi_prod = alu.imad(u.hi, s, 0);
+        let hi = vsub4_lowered(alu, hi_prod, zs);
+        Unpacked8 { lo, hi }
+    }
+
+    /// Dequantize 8 packed elements back to original element order.
+    #[must_use]
+    pub fn dequant8_ordered(self, alu: &mut CountingAlu, packed: u32) -> [i8; 8] {
+        let r = self.dequant_packed8(alu, packed);
+        let lo = r.lo.to_le_bytes();
+        let hi = r.hi.to_le_bytes();
+        let mut out = [0i8; 8];
+        for k in 0..4 {
+            out[2 * k] = lo[k] as i8;
+            out[2 * k + 1] = hi[k] as i8;
+        }
+        out
+    }
+}
+
+/// A level-1 INT8 tensor quantized group-wise to UINT4 with QoQ
+/// (baseline counterpart of [`crate::lqq::LqqTensor`]).
+#[derive(Debug, Clone)]
+pub struct QoqTensor {
+    rows: usize,
+    cols: usize,
+    group: usize,
+    /// UINT4 codes, row-major.
+    pub values: Vec<u8>,
+    /// Group parameters, `rows × cols/group`, row-major.
+    pub groups: Vec<QoqGroup>,
+}
+
+impl QoqTensor {
+    /// Quantize an `N×K` level-1 INT8 matrix with groups along K.
+    #[must_use]
+    pub fn quantize(q_i8: &Mat<i8>, group: usize) -> Self {
+        assert!(group > 0, "group size must be positive");
+        assert_eq!(q_i8.cols() % group, 0, "K not a multiple of group size");
+        let gpr = q_i8.cols() / group;
+        let mut values = Vec::with_capacity(q_i8.len());
+        let mut groups = Vec::with_capacity(q_i8.rows() * gpr);
+        for r in 0..q_i8.rows() {
+            let row = q_i8.row(r);
+            for g in 0..gpr {
+                let (params, codes) = QoqGroup::quantize(&row[g * group..(g + 1) * group]);
+                groups.push(params);
+                values.extend_from_slice(&codes);
+            }
+        }
+        Self { rows: q_i8.rows(), cols: q_i8.cols(), group, values, groups }
+    }
+
+    /// Rows (output channels, N).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (reduction dim, K).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Group size along K.
+    #[must_use]
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Groups per row.
+    #[must_use]
+    pub fn groups_per_row(&self) -> usize {
+        self.cols / self.group
+    }
+
+    /// Group parameters for `(row, k)`.
+    #[inline]
+    #[must_use]
+    pub fn group_at(&self, row: usize, k: usize) -> QoqGroup {
+        self.groups[row * self.groups_per_row() + k / self.group]
+    }
+
+    /// Dequantize the whole tensor back to INT8.
+    #[must_use]
+    pub fn dequantize(&self) -> Mat<i8> {
+        Mat::from_fn(self.rows, self.cols, |r, k| {
+            self.group_at(r, k).dequant_scalar(self.values[r * self.cols + k])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_group_roundtrip_error_bounded() {
+        let group = [-119i8, -60, -3, 0, 7, 60, 119];
+        let (p, codes) = QoqGroup::quantize(&group);
+        assert!(p.s_u8 >= 1 && p.s_u8 <= 16);
+        for (&orig, &code) in group.iter().zip(codes.iter()) {
+            let back = p.dequant_scalar(code);
+            let err = (i16::from(back) - i16::from(orig)).abs();
+            assert!(err <= i16::from(p.s_u8), "orig={orig} back={back} s={}", p.s_u8);
+        }
+    }
+
+    #[test]
+    fn packed8_matches_scalar_and_costs_nineteen() {
+        let group: Vec<i8> = vec![-119, -77, -13, 0, 13, 64, 99, 119];
+        let (p, codes) = QoqGroup::quantize(&group);
+        let packed = lq_swar::unpack::pack8_u4([
+            codes[0], codes[1], codes[2], codes[3], codes[4], codes[5], codes[6], codes[7],
+        ]);
+        let mut alu = CountingAlu::new();
+        let out = p.dequant8_ordered(&mut alu, packed);
+        assert_eq!(alu.count().total(), 19, "QoQ must cost 19 instrs / 8 elems");
+        for i in 0..8 {
+            assert_eq!(out[i], p.dequant_scalar(codes[i]), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn qoq_cost_exceeds_lqq_by_paper_factor() {
+        // 19 vs 7: the ~2.7x instruction-pressure gap driving Figure 13's
+        // LQQ ablation speedup.
+        use lq_swar::audit::{LQQ_BUDGET, QOQ_BUDGET};
+        assert_eq!(QOQ_BUDGET.instrs_per_8, 19);
+        assert_eq!(LQQ_BUDGET.instrs_per_8, 7);
+        assert!(QOQ_BUDGET.alpha / LQQ_BUDGET.alpha > 2.5);
+    }
+
+    #[test]
+    fn wrapping_subtraction_reproduces_negative_values() {
+        // q=0, z=8, s=15: prod=0, zs=120 → 0 - 120 = -120 via wrap.
+        let p = QoqGroup { s_u8: 15, z: 8 };
+        assert_eq!(p.dequant_scalar(0), -120);
+        assert_eq!(p.dequant_scalar(8), 0);
+        assert_eq!(p.dequant_scalar(15), 105);
+    }
+
+    #[test]
+    fn tensor_roundtrip_error_bounded() {
+        let m = Mat::from_fn(4, 128, |r, c| (((r * 37 + c * 11) % 239) as i16 - 119) as i8);
+        let t = QoqTensor::quantize(&m, 64);
+        let back = t.dequantize();
+        for r in 0..4 {
+            for k in 0..128 {
+                let err = (i16::from(*back.get(r, k)) - i16::from(*m.get(r, k))).abs();
+                let s = t.group_at(r, k).s_u8;
+                assert!(err <= i16::from(s) + 1, "err {err} s {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn grids_lqq_vs_qoq_have_same_step() {
+        // Same group → same scale on both schemes (both derive s from
+        // the group range with the same rounding).
+        let group = [-100i8, -7, 33, 90];
+        let (lqq, _) = crate::lqq::LqqGroup::quantize(&group);
+        let (qoq, _) = QoqGroup::quantize(&group);
+        assert_eq!(lqq.s_u8, qoq.s_u8);
+    }
+}

@@ -1,0 +1,189 @@
+//! SmoothQuant offline calibration (paper, Section 6).
+//!
+//! Activation outliers concentrate in a few channels; SmoothQuant
+//! migrates difficulty from activations to weights through the
+//! mathematically equivalent rewrite `Y = (X diag(s)⁻¹)(diag(s) W^T)`.
+//! The per-channel smooth scale is
+//!
+//! ```text
+//! s_j = max|X_j|^α / max|W_j|^(1−α)
+//! ```
+//!
+//! and, following OutlierSuppression+, the migration strength α is
+//! picked by a grid search minimising end-to-end quantization error on a
+//! calibration batch.
+
+use crate::act::QuantizedActivations;
+use crate::level1::quantize_per_channel_i8;
+use crate::mat::Mat;
+
+/// Result of SmoothQuant calibration.
+#[derive(Debug, Clone)]
+pub struct SmoothScales {
+    /// Per-input-channel scale `s_j` (length K). Weights are multiplied
+    /// by `s_j`, activations divided.
+    pub scales: Vec<f32>,
+    /// The migration strength chosen by the grid search.
+    pub alpha: f32,
+    /// Quantization error (relative MSE of Ŷ vs FP Y) at the chosen α.
+    pub error: f64,
+}
+
+/// Compute smooth scales for a fixed α.
+///
+/// `act_absmax[j] = max|X_j|` from calibration, `w_absmax[j] = max|W_j|`
+/// over the column `j` of the `N×K` weight matrix.
+#[must_use]
+pub fn smooth_scales_for_alpha(act_absmax: &[f32], w_absmax: &[f32], alpha: f32) -> Vec<f32> {
+    assert_eq!(act_absmax.len(), w_absmax.len());
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    act_absmax
+        .iter()
+        .zip(w_absmax.iter())
+        .map(|(&a, &w)| {
+            let a = a.max(1e-5);
+            let w = w.max(1e-5);
+            (a.powf(alpha) / w.powf(1.0 - alpha)).max(1e-5)
+        })
+        .collect()
+}
+
+/// Apply smooth scales to a weight matrix (`W_j ← W_j · s_j` per column).
+#[must_use]
+pub fn smooth_weights(w: &Mat<f32>, scales: &[f32]) -> Mat<f32> {
+    assert_eq!(scales.len(), w.cols());
+    Mat::from_fn(w.rows(), w.cols(), |r, c| w.get(r, c) * scales[c])
+}
+
+/// Relative quantization error of the smoothed W8A8-style pipeline on a
+/// calibration batch: quantize both operands, compute Ŷ, compare to FP.
+///
+/// Used as the grid-search objective; lower is better.
+#[must_use]
+pub fn pipeline_error(x: &Mat<f32>, w: &Mat<f32>, scales: &[f32]) -> f64 {
+    let ws = smooth_weights(w, scales);
+    let l1 = quantize_per_channel_i8(&ws);
+    let qa = QuantizedActivations::quantize(x, Some(scales));
+    // Reference FP output: Y = X W^T (M×N).
+    let (m, k, n) = (x.rows(), x.cols(), w.rows());
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for i in 0..m {
+        for j in 0..n {
+            let mut y_fp = 0.0f64;
+            let mut y_q = 0.0f64;
+            let mut acc = 0i64;
+            for l in 0..k {
+                y_fp += f64::from(*x.get(i, l)) * f64::from(*w.get(j, l));
+                acc += i64::from(*qa.q.get(i, l)) * i64::from(*l1.q.get(j, l));
+            }
+            y_q += acc as f64 * f64::from(qa.scales[i]) * f64::from(l1.scales[j].scale);
+            let d = y_fp - y_q;
+            num += d * d;
+            den += y_fp * y_fp;
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Grid-search α over `[0, 1]` (OutlierSuppression+-style) and return the
+/// best smooth scales for the calibration pair `(X, W)`.
+#[must_use]
+pub fn calibrate(x: &Mat<f32>, w: &Mat<f32>, grid_points: usize) -> SmoothScales {
+    assert!(grid_points >= 2, "need at least two grid points");
+    assert_eq!(x.cols(), w.cols(), "X and W must share K");
+    let act_absmax = x.col_abs_max();
+    let w_absmax = w.col_abs_max(); // per input channel (column) of W
+    let mut best: Option<SmoothScales> = None;
+    for i in 0..grid_points {
+        let alpha = i as f32 / (grid_points - 1) as f32;
+        let scales = smooth_scales_for_alpha(&act_absmax, &w_absmax, alpha);
+        let error = pipeline_error(x, w, &scales);
+        if best.as_ref().is_none_or(|b| error < b.error) {
+            best = Some(SmoothScales { scales, alpha, error });
+        }
+    }
+    best.expect("grid_points >= 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outlier_activations(m: usize, k: usize) -> Mat<f32> {
+        // Smooth base signal with a 50x outlier channel — the regime
+        // SmoothQuant exists for.
+        Mat::from_fn(m, k, |r, c| {
+            let base = ((r * k + c) as f32 * 0.13).sin();
+            if c == 3 {
+                base * 50.0
+            } else {
+                base
+            }
+        })
+    }
+
+    fn bland_weights(n: usize, k: usize) -> Mat<f32> {
+        Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.07).cos())
+    }
+
+    #[test]
+    fn scales_track_outlier_channels() {
+        let x = outlier_activations(8, 16);
+        let w = bland_weights(4, 16);
+        let s = smooth_scales_for_alpha(&x.col_abs_max(), &w.col_abs_max(), 0.5);
+        // The outlier channel must get a much larger smooth scale.
+        let avg: f32 = s.iter().sum::<f32>() / s.len() as f32;
+        assert!(s[3] > 3.0 * avg, "s[3]={} avg={avg}", s[3]);
+    }
+
+    #[test]
+    fn alpha_zero_and_one_are_pure_endpoints() {
+        let a = [4.0f32, 9.0];
+        let w = [2.0f32, 3.0];
+        let s0 = smooth_scales_for_alpha(&a, &w, 0.0);
+        // α=0: s_j = 1 / w_j
+        assert!((s0[0] - 0.5).abs() < 1e-6);
+        let s1 = smooth_scales_for_alpha(&a, &w, 1.0);
+        // α=1: s_j = a_j
+        assert!((s1[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoothing_reduces_quantization_error_with_outliers() {
+        let x = outlier_activations(8, 16);
+        let w = bland_weights(4, 16);
+        let ones = vec![1.0f32; 16];
+        let err_unsmoothed = pipeline_error(&x, &w, &ones);
+        let cal = calibrate(&x, &w, 11);
+        assert!(
+            cal.error < err_unsmoothed,
+            "calibrated {} !< unsmoothed {}",
+            cal.error,
+            err_unsmoothed
+        );
+        // And the search should pick a nontrivial α.
+        assert!(cal.alpha > 0.0, "alpha={}", cal.alpha);
+    }
+
+    #[test]
+    fn smooth_weights_is_columnwise_multiplication() {
+        let w = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let ws = smooth_weights(&w, &[10.0, 100.0]);
+        assert_eq!(ws.as_slice(), &[10.0, 200.0, 30.0, 400.0]);
+    }
+
+    #[test]
+    fn calibrate_is_deterministic() {
+        let x = outlier_activations(4, 8);
+        let w = bland_weights(2, 8);
+        let a = calibrate(&x, &w, 5);
+        let b = calibrate(&x, &w, 5);
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.scales, b.scales);
+    }
+}

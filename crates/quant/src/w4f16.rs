@@ -1,0 +1,132 @@
+//! UINT4 → FP16 "magic number" conversion — the dequantization trick
+//! behind the TRT-W4A16 baseline (AWQ/FasterTransformer lineage).
+//!
+//! The binary16 pattern of 1024.0 is `0x6400`, and because 1024 = 2¹⁰
+//! with a 10-bit mantissa, the mantissa ULP is exactly 1.0: OR-ing a
+//! 4-bit integer `v` into the low mantissa bits yields the bit pattern
+//! of `1024 + v`. One packed `LOP3` builds two such halves in a 32-bit
+//! register and one packed half-precision subtract (`HSUB2`) of 1024
+//! finishes the conversion — 2 instructions per 2 elements before the
+//! group scale, which is why the cost model gives TRT-W4A16 α ≈ 1.5
+//! (conversion + scale-multiply + addressing).
+//!
+//! This module implements the trick bit-exactly over the [`F16`] codec
+//! and audits its instruction count, giving the W4A16 baseline the same
+//! evidence standard as the W4A8 paths.
+
+use crate::fp16::F16;
+use lq_swar::audit::CountingAlu;
+
+/// binary16 bit pattern of 1024.0.
+pub const MAGIC_F16: u16 = 0x6400;
+/// Two copies of the magic in half2 layout.
+pub const MAGIC_H2: u32 = 0x6400_6400;
+
+/// Convert one UINT4 value to FP16 via the magic-number identity
+/// (scalar reference).
+#[must_use]
+pub fn u4_to_f16_magic(v: u8) -> F16 {
+    debug_assert!(v < 16);
+    let biased = F16(MAGIC_F16 | u16::from(v));
+    // 1024 + v and 1024 are both exactly representable; the subtraction
+    // is exact for all v < 16.
+    F16::from_f32(biased.to_f32() - 1024.0)
+}
+
+/// Register-level conversion: two UINT4 values (in the low nibbles of
+/// the two 16-bit halves of `packed_halves`) to two FP16 values, with
+/// the two instructions charged on `alu` (1 `LOP3` + 1 half2 subtract,
+/// which issues on the CUDA-core FP pipe and is counted as one add).
+#[must_use]
+pub fn u4x2_to_f16x2_magic(alu: &mut CountingAlu, packed_halves: u32) -> (F16, F16) {
+    debug_assert_eq!(packed_halves & !0x000F_000F, 0, "low nibbles only");
+    let biased = alu.lop3(packed_halves, 0x000F_000F, MAGIC_H2, lq_swar::ops::LOP3_AND_OR);
+    // Packed half2 subtract of 1024 from both lanes (one instruction on
+    // hardware; modelled per-lane here).
+    let _ = alu.add(0, 0); // charge the HSUB2
+    let lo = F16((biased & 0xFFFF) as u16);
+    let hi = F16((biased >> 16) as u16);
+    (
+        F16::from_f32(lo.to_f32() - 1024.0),
+        F16::from_f32(hi.to_f32() - 1024.0),
+    )
+}
+
+/// Instructions per 8 converted elements (4 × (LOP3 + HSUB2)), before
+/// the per-group scale multiply.
+pub const W4F16_CONVERT_COST_PER_8: u32 = 8;
+
+/// Convert 8 UINT4 values (one value per array slot) and apply a group
+/// scale, auditing the full instruction cost: 4 × (LOP3 + HSUB2) +
+/// 4 × HMUL2 = 12 instructions per 8 elements (α = 1.5, the cost-model
+/// value for TRT-W4A16).
+#[must_use]
+pub fn dequant8_w4f16(alu: &mut CountingAlu, vals: [u8; 8], scale: f32) -> [f32; 8] {
+    let mut out = [0.0f32; 8];
+    for pair in 0..4 {
+        let lo = u32::from(vals[2 * pair]);
+        let hi = u32::from(vals[2 * pair + 1]);
+        let packed = lo | (hi << 16);
+        let (a, b) = u4x2_to_f16x2_magic(alu, packed);
+        // HMUL2 by the group scale (one packed instruction).
+        let _ = alu.imad(0, 0, 0); // charge the HMUL2 on the FMA pipe
+        out[2 * pair] = a.to_f32() * scale;
+        out[2 * pair + 1] = b.to_f32() * scale;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_identity_holds_for_all_sixteen_codes() {
+        for v in 0..16u8 {
+            let f = u4_to_f16_magic(v);
+            assert_eq!(f.to_f32(), f32::from(v), "code {v}");
+        }
+    }
+
+    #[test]
+    fn magic_bit_pattern_is_1024_plus_v() {
+        for v in 0..16u16 {
+            let biased = F16(MAGIC_F16 | v);
+            assert_eq!(biased.to_f32(), 1024.0 + f32::from(v));
+        }
+    }
+
+    #[test]
+    fn register_path_matches_scalar_and_costs_two() {
+        for (a, b) in [(0u8, 15u8), (7, 8), (3, 3), (15, 0)] {
+            let mut alu = CountingAlu::new();
+            let packed = u32::from(a) | (u32::from(b) << 16);
+            let (fa, fb) = u4x2_to_f16x2_magic(&mut alu, packed);
+            assert_eq!(alu.count().total(), 2);
+            assert_eq!(fa.to_f32(), f32::from(a));
+            assert_eq!(fb.to_f32(), f32::from(b));
+        }
+    }
+
+    #[test]
+    fn dequant8_matches_direct_and_costs_twelve() {
+        let vals = [0u8, 1, 5, 7, 8, 11, 14, 15];
+        let scale = 0.037f32;
+        let mut alu = CountingAlu::new();
+        let out = dequant8_w4f16(&mut alu, vals, scale);
+        assert_eq!(alu.count().total(), 12, "α = 12/8 = 1.5");
+        for (o, &v) in out.iter().zip(vals.iter()) {
+            let want = f32::from(v) * scale;
+            assert!((o - want).abs() < 1e-6, "{o} vs {want}");
+        }
+    }
+
+    #[test]
+    fn alpha_matches_cost_model_constant() {
+        // The cost model (lq-sim) assigns TRT-W4A16 α = 1.5; the audited
+        // conversion is exactly that.
+        let mut alu = CountingAlu::new();
+        let _ = dequant8_w4f16(&mut alu, [0; 8], 1.0);
+        assert!((alu.count().alpha(8) - 1.5).abs() < 1e-12);
+    }
+}

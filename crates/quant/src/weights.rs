@@ -1,0 +1,185 @@
+//! End-to-end offline weight quantization pipeline (paper, Section 6).
+//!
+//! `FP weights → [smooth] → per-channel INT8 (protective range) →
+//! per-group UINT4 (LQQ or QoQ)`, producing a [`QuantizedLinear`] that
+//! the GEMM kernels consume. The two second-level schemes share the
+//! level-1 result so comparisons isolate the dequantization algorithm.
+
+use crate::level1::{quantize_per_channel_i8, ChannelScale};
+use crate::lqq::LqqTensor;
+use crate::mat::Mat;
+use crate::qoq::QoqTensor;
+use crate::smooth::smooth_weights;
+
+/// Which second-level scheme a linear layer was quantized with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantScheme {
+    /// LiquidQuant: shift-based grid, IMAD+XOR dequantization.
+    Lqq,
+    /// QServe QoQ: zero-point grid, emulated-vsub dequantization.
+    Qoq,
+}
+
+/// Second-level storage (scheme-specific).
+#[derive(Debug, Clone)]
+pub enum Level2 {
+    /// LiquidQuant tensor.
+    Lqq(LqqTensor),
+    /// QoQ tensor.
+    Qoq(QoqTensor),
+}
+
+/// A fully quantized `N×K` linear layer (W4, two-level).
+///
+/// ```
+/// use lq_quant::mat::Mat;
+/// use lq_quant::weights::{QuantScheme, QuantizedLinear};
+/// let w = Mat::from_fn(8, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin());
+/// let q = QuantizedLinear::quantize(&w, 64, QuantScheme::Lqq, None);
+/// assert_eq!(q.weight_bytes(), 8 * 64 / 2); // 4 bits per weight
+/// let back = q.dequant_to_f32();
+/// assert_eq!((back.rows(), back.cols()), (8, 64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    /// Output features (N).
+    pub n: usize,
+    /// Input features (K).
+    pub k: usize,
+    /// Group size along K.
+    pub group: usize,
+    /// Level-1 per-channel scales (length N).
+    pub channel_scales: Vec<ChannelScale>,
+    /// Second-level UINT4 tensor.
+    pub level2: Level2,
+    /// Smooth scales applied to weights before quantization (length K),
+    /// if SmoothQuant calibration was used. Activations must be divided
+    /// by the same vector.
+    pub smooth: Option<Vec<f32>>,
+}
+
+impl QuantizedLinear {
+    /// Quantize FP weights (`N×K`) with the full two-level pipeline.
+    #[must_use]
+    pub fn quantize(
+        w: &Mat<f32>,
+        group: usize,
+        scheme: QuantScheme,
+        smooth: Option<Vec<f32>>,
+    ) -> Self {
+        let smoothed;
+        let w_eff = if let Some(s) = &smooth {
+            smoothed = smooth_weights(w, s);
+            &smoothed
+        } else {
+            w
+        };
+        let l1 = quantize_per_channel_i8(w_eff);
+        let level2 = match scheme {
+            QuantScheme::Lqq => Level2::Lqq(LqqTensor::quantize(&l1.q, group)),
+            QuantScheme::Qoq => Level2::Qoq(QoqTensor::quantize(&l1.q, group)),
+        };
+        Self {
+            n: w.rows(),
+            k: w.cols(),
+            group,
+            channel_scales: l1.scales,
+            level2,
+            smooth,
+        }
+    }
+
+    /// The scheme in use.
+    #[must_use]
+    pub fn scheme(&self) -> QuantScheme {
+        match self.level2 {
+            Level2::Lqq(_) => QuantScheme::Lqq,
+            Level2::Qoq(_) => QuantScheme::Qoq,
+        }
+    }
+
+    /// Dequantize level-2 back to INT8 (scalar reference path).
+    #[must_use]
+    pub fn dequant_to_i8(&self) -> Mat<i8> {
+        match &self.level2 {
+            Level2::Lqq(t) => t.dequantize(),
+            Level2::Qoq(t) => t.dequantize(),
+        }
+    }
+
+    /// Full dequantization back to FP (both levels + smooth undo),
+    /// the reference for accuracy measurement.
+    #[must_use]
+    pub fn dequant_to_f32(&self) -> Mat<f32> {
+        let i8m = self.dequant_to_i8();
+        Mat::from_fn(self.n, self.k, |r, c| {
+            let mut v = f32::from(*i8m.get(r, c)) * self.channel_scales[r].scale;
+            if let Some(s) = &self.smooth {
+                v /= s[c];
+            }
+            v
+        })
+    }
+
+    /// Bytes of 4-bit weight storage (excluding scales), for memory
+    /// accounting in the serving simulator.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.n * self.k / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::error_stats;
+
+    fn test_weights(n: usize, k: usize) -> Mat<f32> {
+        Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.31).sin() * (1.0 + r as f32 * 0.1))
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_shapes() {
+        let w = test_weights(8, 128);
+        let q = QuantizedLinear::quantize(&w, 64, QuantScheme::Lqq, None);
+        assert_eq!((q.n, q.k, q.group), (8, 128, 64));
+        assert_eq!(q.channel_scales.len(), 8);
+        assert_eq!(q.scheme(), QuantScheme::Lqq);
+        assert_eq!(q.weight_bytes(), 8 * 128 / 2);
+    }
+
+    #[test]
+    fn two_level_roundtrip_error_small() {
+        let w = test_weights(16, 256);
+        for scheme in [QuantScheme::Lqq, QuantScheme::Qoq] {
+            let q = QuantizedLinear::quantize(&w, 64, scheme, None);
+            let back = q.dequant_to_f32();
+            let e = error_stats(&w, &back);
+            // 4-bit group-wise on smooth data: expect > 20 dB SQNR.
+            assert!(e.sqnr_db > 20.0, "{scheme:?}: sqnr {}", e.sqnr_db);
+            assert!(e.cosine > 0.99, "{scheme:?}: cosine {}", e.cosine);
+        }
+    }
+
+    #[test]
+    fn smooth_scales_are_undone_in_dequant() {
+        let w = test_weights(4, 64);
+        let smooth: Vec<f32> = (0..64).map(|i| 1.0 + (i % 7) as f32 * 0.5).collect();
+        let q = QuantizedLinear::quantize(&w, 64, QuantScheme::Lqq, Some(smooth));
+        let back = q.dequant_to_f32();
+        let e = error_stats(&w, &back);
+        // Smoothing widens some channel ranges, so the bar is slightly
+        // lower than the unsmoothed 20 dB case.
+        assert!(e.sqnr_db > 18.0, "sqnr {}", e.sqnr_db);
+    }
+
+    #[test]
+    fn lqq_and_qoq_share_level1() {
+        let w = test_weights(4, 64);
+        let a = QuantizedLinear::quantize(&w, 64, QuantScheme::Lqq, None);
+        let b = QuantizedLinear::quantize(&w, 64, QuantScheme::Qoq, None);
+        for (x, y) in a.channel_scales.iter().zip(b.channel_scales.iter()) {
+            assert_eq!(x.scale, y.scale);
+        }
+    }
+}

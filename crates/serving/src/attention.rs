@@ -1,0 +1,158 @@
+//! Attention cost model (FlashAttention-2-shaped).
+//!
+//! Decode attention is a KV-bandwidth problem: each step reads every
+//! cached K/V value once (`batch · ctx · 2 · kv_dim · bytes`), does a
+//! small amount of math per byte, and writes one token's worth back.
+//! Prefill attention is compute-bound and quadratic in prompt length.
+//! Systems differ in KV precision (INT8 / FP8 / 4-bit) and in how well
+//! their attention kernels use the hardware — TRT-FP8's Hopper-tuned
+//! FP8 attention is the reason it edges out LiquidServe on LLaMA3-8B
+//! and Mistral-7B in Table 1.
+
+use lq_models::ModelConfig;
+use lq_sim::specs::GpuSpec;
+
+/// KV-cache numeric format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvPrecision {
+    /// 4-bit (QServe).
+    Int4,
+    /// INT8 per-channel static (LiquidServe, TRT-W8A8).
+    Int8,
+    /// FP8 (TRT FP16/W4A16/FP8 configs).
+    Fp8,
+    /// FP16 (unquantized).
+    Fp16,
+}
+
+impl KvPrecision {
+    /// Bytes per stored value.
+    #[must_use]
+    pub fn bytes(self) -> f64 {
+        match self {
+            KvPrecision::Int4 => 0.5,
+            KvPrecision::Int8 | KvPrecision::Fp8 => 1.0,
+            KvPrecision::Fp16 => 2.0,
+        }
+    }
+
+    /// Extra CUDA-core work per KV element during attention (dequant);
+    /// 4-bit caches pay an unpack+dequant akin to the weight path, plus
+    /// the per-element addressing of the packed layout inside the
+    /// attention inner loop.
+    #[must_use]
+    pub fn dequant_alpha(self) -> f64 {
+        match self {
+            KvPrecision::Int4 => 8.0,
+            KvPrecision::Int8 | KvPrecision::Fp8 => 0.25,
+            KvPrecision::Fp16 => 0.0,
+        }
+    }
+}
+
+/// Attention kernel efficiency parameters for one serving system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionModel {
+    /// KV storage format.
+    pub kv: KvPrecision,
+    /// Fraction of peak HBM bandwidth the decode kernel achieves.
+    pub bw_efficiency: f64,
+    /// Fraction of peak tensor throughput the prefill kernel achieves.
+    pub compute_efficiency: f64,
+}
+
+impl AttentionModel {
+    /// Decode attention time for one model step: `batch` sequences with
+    /// mean context `ctx`, all layers (s).
+    #[must_use]
+    pub fn decode_time(&self, spec: &GpuSpec, cfg: &ModelConfig, batch: usize, ctx: usize) -> f64 {
+        let kv_bytes = cfg.kv_bytes_per_token(self.kv.bytes()); // all layers
+        let bytes = batch as f64 * ctx as f64 * kv_bytes;
+        let t_mem = bytes / (spec.mem_bw * self.bw_efficiency);
+        // Dequant (for low-bit KV) on CUDA cores, overlapping the reads.
+        let elems = batch as f64 * ctx as f64 * cfg.kv_bytes_per_token(1.0);
+        let t_dq = self.kv.dequant_alpha() * elems / spec.cuda_int;
+        // Attention math on tensor cores (small for decode).
+        let flops = batch as f64 * cfg.attention_flops_per_token(ctx) * cfg.layers as f64;
+        let t_comp = flops / (spec.tc_fp16 * self.compute_efficiency);
+        t_mem.max(t_dq).max(t_comp)
+    }
+
+    /// Prefill attention time for `batch` prompts of length `len`, all
+    /// layers (s) — causal, so half the full quadratic.
+    #[must_use]
+    pub fn prefill_time(&self, spec: &GpuSpec, cfg: &ModelConfig, batch: usize, len: usize) -> f64 {
+        let flops = batch as f64
+            * cfg.layers as f64
+            * 4.0
+            * cfg.heads as f64
+            * cfg.head_dim() as f64
+            * (len as f64 * len as f64 / 2.0);
+        flops / (spec.tc_fp16 * self.compute_efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lq_models::configs::LLAMA2_7B;
+    use lq_sim::specs::H800;
+
+    const FA2_INT8: AttentionModel = AttentionModel {
+        kv: KvPrecision::Int8,
+        bw_efficiency: 0.8,
+        compute_efficiency: 0.5,
+    };
+
+    #[test]
+    fn decode_scales_linearly_with_batch_and_ctx() {
+        let a = FA2_INT8.decode_time(&H800, &LLAMA2_7B, 32, 1024);
+        let b = FA2_INT8.decode_time(&H800, &LLAMA2_7B, 64, 1024);
+        let c = FA2_INT8.decode_time(&H800, &LLAMA2_7B, 32, 2048);
+        assert!((b / a - 2.0).abs() < 1e-6);
+        assert!((c / a - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_magnitude_is_sane() {
+        // 194 seqs × 1280 ctx × 256 KB/token ≈ 63.5 GB → ~24 ms at
+        // 0.8 × 3.35 TB/s.
+        let t = FA2_INT8.decode_time(&H800, &LLAMA2_7B, 194, 1280);
+        assert!((0.015..0.035).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn low_bit_kv_halves_bandwidth_but_pays_dequant() {
+        let kv4 = AttentionModel { kv: KvPrecision::Int4, ..FA2_INT8 };
+        let t8 = FA2_INT8.decode_time(&H800, &LLAMA2_7B, 64, 1024);
+        let t4 = kv4.decode_time(&H800, &LLAMA2_7B, 64, 1024);
+        // 4-bit moves half the bytes...
+        assert!(t4 < t8);
+        // ...but not a full 2x because of the dequant term.
+        assert!(t8 / t4 < 2.0);
+    }
+
+    #[test]
+    fn fp16_kv_doubles_traffic() {
+        let f16 = AttentionModel { kv: KvPrecision::Fp16, ..FA2_INT8 };
+        let t16 = f16.decode_time(&H800, &LLAMA2_7B, 64, 1024);
+        let t8 = FA2_INT8.decode_time(&H800, &LLAMA2_7B, 64, 1024);
+        assert!((t16 / t8 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn prefill_is_quadratic_in_length() {
+        let a = FA2_INT8.prefill_time(&H800, &LLAMA2_7B, 8, 512);
+        let b = FA2_INT8.prefill_time(&H800, &LLAMA2_7B, 8, 1024);
+        assert!((b / a - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn better_bw_efficiency_is_faster() {
+        let fast = AttentionModel { bw_efficiency: 0.9, ..FA2_INT8 };
+        assert!(
+            fast.decode_time(&H800, &LLAMA2_7B, 64, 1024)
+                < FA2_INT8.decode_time(&H800, &LLAMA2_7B, 64, 1024)
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-step decode latency with the paper's GEMM / Attention / Others
+//! breakdown (Figures 4 and 10).
+
+use crate::system::ServingSystem;
+use lq_models::{decode_layer_shapes, ModelConfig};
+use lq_sim::cost_model::GemmShape;
+use lq_sim::specs::GpuSpec;
+
+/// One decode step's time, split the way Figure 10 plots it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepBreakdown {
+    /// FFN + projection GEMMs (all layers), seconds.
+    pub gemm: f64,
+    /// Attention (all layers), seconds.
+    pub attention: f64,
+    /// Everything else: norms, sampling, LM head, runtime, seconds.
+    pub others: f64,
+}
+
+impl StepBreakdown {
+    /// Total step latency.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.gemm + self.attention + self.others
+    }
+
+    /// GEMM's share of the step.
+    #[must_use]
+    pub fn gemm_share(&self) -> f64 {
+        self.gemm / self.total()
+    }
+}
+
+/// GEMM time of one decode step (all layers).
+#[must_use]
+pub fn step_gemm_time(
+    sys: &ServingSystem,
+    spec: &GpuSpec,
+    cfg: &ModelConfig,
+    batch: usize,
+) -> f64 {
+    let shapes = decode_layer_shapes(cfg, batch);
+    let mut per_layer = sys.kernel.layer_latency(spec, &shapes.dense);
+    if let Some((grouped, experts)) = &shapes.grouped {
+        for &g in grouped {
+            per_layer += sys.kernel.grouped_latency(spec, g, *experts);
+        }
+    }
+    per_layer * cfg.layers as f64
+}
+
+/// Full decode-step breakdown at batch `batch`, mean context `ctx`.
+#[must_use]
+pub fn decode_step(
+    sys: &ServingSystem,
+    spec: &GpuSpec,
+    cfg: &ModelConfig,
+    batch: usize,
+    ctx: usize,
+) -> StepBreakdown {
+    let gemm = step_gemm_time(sys, spec, cfg, batch);
+    let attention = sys.attention.decode_time(spec, cfg, batch, ctx);
+    // LM head: one `batch × vocab × hidden` GEMM, charged to "others"
+    // (the paper's GEMM category covers FFN and projection layers).
+    let lm_head = sys
+        .kernel
+        .latency(spec, GemmShape { m: batch, n: cfg.vocab, k: cfg.hidden });
+    let others = cfg.layers as f64 * sys.other_per_layer
+        + batch as f64 * sys.other_per_seq
+        + sys.runtime_quadratic * (batch * batch) as f64
+        + lm_head;
+    StepBreakdown { gemm, attention, others }
+}
+
+/// Prefill latency for `batch` prompts of `prompt_len` tokens.
+#[must_use]
+pub fn prefill_time(
+    sys: &ServingSystem,
+    spec: &GpuSpec,
+    cfg: &ModelConfig,
+    batch: usize,
+    prompt_len: usize,
+) -> f64 {
+    // All prompt tokens flow through the same GEMMs as one big batch.
+    let gemm = step_gemm_time(sys, spec, cfg, batch * prompt_len);
+    let attn = sys.attention.prefill_time(spec, cfg, batch, prompt_len);
+    gemm + attn + cfg.layers as f64 * sys.other_per_layer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemId;
+    use lq_models::configs::{LLAMA2_70B, LLAMA2_7B, MIXTRAL_8X7B};
+    use lq_sim::specs::H800;
+
+    fn sys(id: SystemId) -> ServingSystem {
+        ServingSystem::of(id)
+    }
+
+    #[test]
+    fn step_total_matches_parts() {
+        let b = decode_step(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, 64, 1024);
+        assert!((b.total() - (b.gemm + b.attention + b.others)).abs() < 1e-15);
+        assert!(b.gemm_share() > 0.0 && b.gemm_share() < 1.0);
+    }
+
+    #[test]
+    fn liquidserve_7b_step_time_magnitude() {
+        // Batch 194, ctx ~1280 (the Table-1 peak point): ≈ 25–35 ms,
+        // dominated by KV reads.
+        let b = decode_step(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, 194, 1280);
+        assert!((0.015..0.045).contains(&b.total()), "{:?}", b);
+        assert!(b.attention > b.gemm);
+    }
+
+    #[test]
+    fn gemm_dominates_at_small_batch() {
+        // Figure 4: GEMM dominates at small batch sizes (short context).
+        let b = decode_step(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, 4, 128);
+        assert!(b.gemm_share() > 0.4, "share {}", b.gemm_share());
+    }
+
+    #[test]
+    fn liquid_gemm_beats_qserve_gemm_in_system() {
+        let lg = step_gemm_time(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, 256);
+        let qs = step_gemm_time(&sys(SystemId::LiquidServeWo), &H800, &LLAMA2_7B, 256);
+        assert!(qs / lg > 1.8, "ratio {}", qs / lg);
+    }
+
+    #[test]
+    fn moe_gemm_is_heavier_than_dense() {
+        // Mixtral runs each expert's FFN — more GEMM work per token.
+        let dense = step_gemm_time(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, 64);
+        let moe = step_gemm_time(&sys(SystemId::LiquidServe), &H800, &MIXTRAL_8X7B, 64);
+        assert!(moe > 2.0 * dense, "moe {moe} dense {dense}");
+    }
+
+    #[test]
+    fn gqa_makes_70b_attention_cheaper_per_param() {
+        let a7 = decode_step(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, 64, 1024);
+        let a70 = decode_step(&sys(SystemId::LiquidServe), &H800, &LLAMA2_70B, 64, 1024);
+        // 70B has 10x params but GQA keeps attention within ~2x of 7B.
+        assert!(a70.attention / a7.attention < 2.0);
+    }
+
+    #[test]
+    fn prefill_scales_with_prompt_length() {
+        let s = sys(SystemId::LiquidServe);
+        let a = prefill_time(&s, &H800, &LLAMA2_7B, 8, 256);
+        let b = prefill_time(&s, &H800, &LLAMA2_7B, 8, 1024);
+        assert!(b > 3.0 * a);
+    }
+
+    #[test]
+    fn qserve_quadratic_term_grows_others() {
+        let q64 = decode_step(&sys(SystemId::QServe), &H800, &LLAMA2_7B, 64, 1024);
+        let q256 = decode_step(&sys(SystemId::QServe), &H800, &LLAMA2_7B, 256, 1024);
+        let l64 = decode_step(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, 64, 1024);
+        let l256 = decode_step(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, 256, 1024);
+        // QServe's "others" grows superlinearly; LiquidServe's roughly
+        // linearly.
+        let q_growth = q256.others / q64.others;
+        let l_growth = l256.others / l64.others;
+        assert!(q_growth > l_growth, "{q_growth} vs {l_growth}");
+    }
+}

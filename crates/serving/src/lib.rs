@@ -1,0 +1,39 @@
+//! # lq-serving — LLM serving-system substrate
+//!
+//! Everything around the GEMM kernel that the paper's system-level
+//! evaluation (Table 1, Figures 4, 10, 11) depends on:
+//!
+//! * [`kvcache`] — a PagedAttention-style paged KV cache allocator
+//!   (page tables, free-list, OOM handling) with conservation
+//!   invariants.
+//! * [`attention`] — decode/prefill attention cost model
+//!   (FlashAttention-2-shaped: decode is a KV-bandwidth problem), with
+//!   per-system KV precision and the FP8-attention advantage TRT-FP8
+//!   enjoys on Hopper.
+//! * [`system`] — the seven serving configurations of Table 1
+//!   (LiquidServe, LiquidServe/wo, QServe, TRT-FP16/W4A16/W8A8/FP8):
+//!   kernel model + KV precision + runtime overheads.
+//! * [`decode`] — per-decode-step latency with the paper's three-way
+//!   breakdown (GEMM / Attention / Others).
+//! * [`scheduler`] — a continuous-batching request scheduler
+//!   (Orca-style iteration-level scheduling, conservative admission
+//!   against the paged allocator) that *runs* the serving loop and
+//!   produces request latencies and sustained throughput.
+//! * [`throughput`] — the 80 GB memory budget, feasible-batch search,
+//!   and peak-throughput scan that regenerates Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod decode;
+pub mod kvcache;
+pub mod scheduler;
+pub mod system;
+pub mod throughput;
+
+pub use decode::{decode_step, StepBreakdown};
+pub use scheduler::{run_schedule, Request, RunStats, SchedulerConfig};
+pub use kvcache::{KvCacheError, PagedKvCache};
+pub use system::{ServingSystem, SystemId};
+pub use throughput::{max_feasible_batch, peak_throughput, PeakResult};

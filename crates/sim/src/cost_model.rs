@@ -1,0 +1,323 @@
+//! The paper's cost model (Section 3.2, Equations 3–6).
+//!
+//! Per main-loop iteration a thread block loads a weight tile
+//! (Eq. 3), dequantizes it on CUDA cores and multiplies on tensor cores
+//! (Eq. 4); the pipelined single-tile time is dominated by
+//! `max(T_LD, T_COMP)` (Eq. 5); summing over the tile grid and dividing
+//! by the device's concurrency gives Eq. 6:
+//!
+//! ```text
+//! T = ⌈M/Mt⌉ · max( N·K·b/Φ_BD ,  α·N·K/Φ_CUDA  +  min(Mt,M)·2·N·K/Φ_TC )
+//!            └────── T_LD ─────┘ └──── T_DQ ───┘  └────── T_MMA ──────┘
+//! ```
+//!
+//! The dequant term either *adds to* the MMA term (serial execution, the
+//! QServe situation) or *maxes with* it (overlapped execution, the
+//! LiquidGEMM pipeline) — that single switch is the paper's entire
+//! performance story, and [`CostBreakdown`] exposes it.
+
+use crate::specs::{GpuSpec, TcKind};
+
+/// One GEMM problem: `Y(M×N) = X(M×K) · Wᵀ(K×N)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Batch / token dimension.
+    pub m: usize,
+    /// Output features.
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Total MAC count × 2 (ops).
+    #[must_use]
+    pub fn ops(&self) -> f64 {
+        2.0 * self.m as f64 * self.n as f64 * self.k as f64
+    }
+
+    /// Weight elements.
+    #[must_use]
+    pub fn weight_elems(&self) -> f64 {
+        self.n as f64 * self.k as f64
+    }
+}
+
+/// Precision/algorithm parameters entering the cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionCfg {
+    /// Weight bytes per element (0.5 for W4).
+    pub weight_bytes: f64,
+    /// Tensor-core type executing the MMA.
+    pub tc: TcKind,
+    /// Dequantization instructions per weight element on CUDA cores
+    /// (including unpacking and address arithmetic).
+    pub alpha: f64,
+    /// Whether dequantization overlaps MMA (pipelined kernels) or
+    /// serialises with it.
+    pub overlap_dq: bool,
+    /// Maximum effective output-tile height the kernel can use
+    /// (bounded by SMEM; the `(W·Xᵀ)ᵀ` trick raises it).
+    pub mt_max: usize,
+}
+
+impl PrecisionCfg {
+    /// W4A8 with LiquidQuant under the ImFP pipeline.
+    pub const LIQUID_W4A8: PrecisionCfg = PrecisionCfg {
+        weight_bytes: 0.5,
+        tc: TcKind::Int8,
+        alpha: 7.0 / 8.0 + 0.25, // LQQ + dual-MMA-layout address cost
+        overlap_dq: true,
+        mt_max: 256,
+    };
+
+    /// W4A8 with the QoQ dequantization, serial with MMA (QServe).
+    pub const QSERVE_W4A8: PrecisionCfg = PrecisionCfg {
+        weight_bytes: 0.5,
+        tc: TcKind::Int8,
+        alpha: 19.0 / 8.0 + 1.5, // emulated vsub4 + strided-address cost
+        overlap_dq: false,
+        mt_max: 64, // Ampere-style tile, no WGMMA
+    };
+
+    /// Symmetric W8A8 (no in-loop dequantization).
+    pub const W8A8: PrecisionCfg = PrecisionCfg {
+        weight_bytes: 1.0,
+        tc: TcKind::Int8,
+        alpha: 0.0,
+        overlap_dq: true,
+        mt_max: 256,
+    };
+
+    /// FP8 symmetric GEMM.
+    pub const FP8: PrecisionCfg = PrecisionCfg {
+        weight_bytes: 1.0,
+        tc: TcKind::Fp8,
+        alpha: 0.0,
+        overlap_dq: true,
+        mt_max: 256,
+    };
+
+    /// FP16 (no quantization).
+    pub const FP16: PrecisionCfg = PrecisionCfg {
+        weight_bytes: 2.0,
+        tc: TcKind::Fp16,
+        alpha: 0.0,
+        overlap_dq: true,
+        mt_max: 256,
+    };
+
+    /// W4A16: 4-bit weights converted to FP16 in-loop (TRT/AWQ-style
+    /// LOP3 conversion, reasonably cheap and overlapped).
+    pub const W4A16: PrecisionCfg = PrecisionCfg {
+        weight_bytes: 0.5,
+        tc: TcKind::Fp16,
+        alpha: 1.5,
+        overlap_dq: true,
+        mt_max: 256,
+    };
+}
+
+/// The three terms of Eq. 6 plus the composed total, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Weight-loading time per m-tile row.
+    pub t_ld: f64,
+    /// Dequantization time per m-tile row.
+    pub t_dq: f64,
+    /// Tensor-core time per m-tile row.
+    pub t_mma: f64,
+    /// Number of m-tile rows (`⌈M/Mt⌉`).
+    pub m_tiles: usize,
+    /// Total GEMM time.
+    pub total: f64,
+}
+
+impl CostBreakdown {
+    /// Whether the kernel is memory-bound at this point.
+    #[must_use]
+    pub fn memory_bound(&self) -> bool {
+        self.t_ld >= self.t_comp()
+    }
+
+    /// The compute term (dequant composed with MMA per the overlap flag
+    /// used at construction — stored pre-composed in `total`; this
+    /// recomputes the serial interpretation for reporting).
+    #[must_use]
+    pub fn t_comp(&self) -> f64 {
+        self.total / self.m_tiles as f64
+    }
+}
+
+/// Evaluate Eq. 6 for one GEMM.
+///
+/// ```
+/// use lq_sim::cost_model::{gemm_cost, GemmShape, PrecisionCfg};
+/// use lq_sim::specs::H800;
+/// let shape = GemmShape { m: 8, n: 4096, k: 4096 };
+/// let c = gemm_cost(&H800, shape, PrecisionCfg::LIQUID_W4A8);
+/// assert!(c.memory_bound()); // decode at batch 8 is bandwidth-limited
+/// let w8 = gemm_cost(&H800, shape, PrecisionCfg::W8A8);
+/// assert!(c.total < w8.total); // half the weight bytes
+/// ```
+#[must_use]
+pub fn gemm_cost(spec: &GpuSpec, shape: GemmShape, cfg: PrecisionCfg) -> CostBreakdown {
+    assert!(shape.m > 0 && shape.n > 0 && shape.k > 0, "degenerate shape");
+    let tc = spec.tc_throughput(cfg.tc);
+    assert!(tc > 0.0, "{} lacks {:?} tensor cores", spec.name, cfg.tc);
+    let nk = shape.weight_elems();
+    let mt = cfg.mt_max.min(shape.m.max(1));
+    let m_tiles = shape.m.div_ceil(cfg.mt_max.max(1)).max(1);
+    let t_ld = nk * cfg.weight_bytes / spec.mem_bw;
+    let t_dq = cfg.alpha * nk / spec.cuda_int;
+    let t_mma = mt as f64 * 2.0 * nk / tc;
+    let t_comp = if cfg.overlap_dq { t_dq.max(t_mma) } else { t_dq + t_mma };
+    let total = m_tiles as f64 * t_ld.max(t_comp);
+    CostBreakdown { t_ld, t_dq, t_mma, m_tiles, total }
+}
+
+/// Wave-quantization factor: a launch of `tiles` thread blocks over
+/// `slots = SMs × blocks/SM` executes in `⌈tiles/slots⌉` waves, and the
+/// final partial wave wastes `⌈w⌉/w − 1` of the machine. Persistent
+/// kernels (LiquidGEMM's tile scheduler, Section 5.4) keep all SMs fed
+/// by work-stealing tiles, eliminating the effect — which is why the
+/// factor is reported separately rather than baked into the calibrated
+/// latency model.
+#[must_use]
+pub fn wave_quantization_factor(
+    spec: &GpuSpec,
+    shape: GemmShape,
+    mt: usize,
+    nt: usize,
+) -> f64 {
+    assert!(mt > 0 && nt > 0);
+    let tiles = shape.m.div_ceil(mt) * shape.n.div_ceil(nt);
+    let slots = (spec.sms * spec.blocks_per_sm).max(1);
+    let waves = tiles as f64 / slots as f64;
+    if waves == 0.0 {
+        return 1.0;
+    }
+    waves.ceil() / waves
+}
+
+/// Solve `T_LD = T_MMA` for M (the memory→compute transition of Eq. 6,
+/// ignoring dequant): `M* = Φ_TC · b / (2 · Φ_BD)`.
+#[must_use]
+pub fn transition_batch(spec: &GpuSpec, cfg: PrecisionCfg) -> f64 {
+    spec.transition_batch(cfg.tc, cfg.weight_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::H100;
+
+    const SHAPE: GemmShape = GemmShape { m: 256, n: 4096, k: 4096 };
+
+    #[test]
+    fn w4a8_loads_half_of_w8a8() {
+        let a = gemm_cost(&H100, SHAPE, PrecisionCfg::LIQUID_W4A8);
+        let b = gemm_cost(&H100, SHAPE, PrecisionCfg::W8A8);
+        assert!((a.t_ld * 2.0 - b.t_ld).abs() < 1e-12);
+    }
+
+    #[test]
+    fn liquid_tracks_w8a8_when_compute_bound() {
+        // Paper, Section 3.3: without dequant overhead W4A8 ≈ W8A8 in
+        // the compute-bound regime (same INT8 MMA). At M = 256 W8A8 is
+        // still just below its transition (295), so LiquidGEMM holds a
+        // small memory-side edge; the two must be within ~30%.
+        let a = gemm_cost(&H100, SHAPE, PrecisionCfg::LIQUID_W4A8);
+        let b = gemm_cost(&H100, SHAPE, PrecisionCfg::W8A8);
+        let ratio = b.total / a.total;
+        assert!((1.0..1.3).contains(&ratio), "{} vs {}", a.total, b.total);
+        // Both saturate tensor cores at very large effective batch:
+        // compare the pure MMA terms.
+        assert!((a.t_mma - b.t_mma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qserve_is_about_2x_slower_at_large_batch() {
+        // The observed gap motivating the paper (Section 3.1): QServe
+        // W4A8 runs ~2x slower than W8A8 at M ≥ 128.
+        let q = gemm_cost(&H100, SHAPE, PrecisionCfg::QSERVE_W4A8);
+        let w8 = gemm_cost(&H100, SHAPE, PrecisionCfg::W8A8);
+        let ratio = q.total / w8.total;
+        assert!((1.8..3.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn liquid_beats_qserve_by_paper_factor_at_256() {
+        // Figure 12: 2.75–2.90x at batch 256.
+        let l = gemm_cost(&H100, SHAPE, PrecisionCfg::LIQUID_W4A8);
+        let q = gemm_cost(&H100, SHAPE, PrecisionCfg::QSERVE_W4A8);
+        let speedup = q.total / l.total;
+        assert!((2.3..3.3).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn w4a8_wins_when_memory_bound() {
+        let small = GemmShape { m: 8, ..SHAPE };
+        let a = gemm_cost(&H100, small, PrecisionCfg::LIQUID_W4A8);
+        let b = gemm_cost(&H100, small, PrecisionCfg::W8A8);
+        assert!(a.memory_bound());
+        assert!(a.total < b.total);
+        assert!((b.total / a.total - 2.0).abs() < 0.2, "{}", b.total / a.total);
+    }
+
+    #[test]
+    fn overlap_flag_composes_dequant_correctly() {
+        let serial = PrecisionCfg { overlap_dq: false, ..PrecisionCfg::LIQUID_W4A8 };
+        let over = gemm_cost(&H100, SHAPE, PrecisionCfg::LIQUID_W4A8);
+        let ser = gemm_cost(&H100, SHAPE, serial);
+        assert!(ser.total > over.total);
+        assert!((ser.t_comp() - (ser.t_dq + ser.t_mma)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_nk() {
+        let double_n = GemmShape { n: SHAPE.n * 2, ..SHAPE };
+        let a = gemm_cost(&H100, SHAPE, PrecisionCfg::W8A8);
+        let b = gemm_cost(&H100, double_n, PrecisionCfg::W8A8);
+        assert!((b.total / a.total - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn m_tiling_is_ceiling() {
+        let m257 = GemmShape { m: 257, ..SHAPE };
+        let c = gemm_cost(&H100, m257, PrecisionCfg::W8A8);
+        assert_eq!(c.m_tiles, 2);
+    }
+
+    #[test]
+    fn transition_matches_spec_helper() {
+        let t = transition_batch(&H100, PrecisionCfg::W8A8);
+        assert!((t - 295.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn wave_quantization_bounds() {
+        // One tile → one wave on a 132-SM machine: factor 132 (the
+        // pathological small-grid case the persistent kernel fixes).
+        let tiny = GemmShape { m: 64, n: 128, k: 4096 };
+        let f = wave_quantization_factor(&H100, tiny, 64, 128);
+        assert!((f - 132.0).abs() < 1e-9, "{f}");
+        // Exactly filling all slots → factor 1.
+        let full = GemmShape { m: 64, n: 128 * 132, k: 4096 };
+        assert_eq!(wave_quantization_factor(&H100, full, 64, 128), 1.0);
+        // Slightly over → almost 2x tail waste.
+        let over = GemmShape { m: 64, n: 128 * 133, k: 4096 };
+        let f = wave_quantization_factor(&H100, over, 64, 128);
+        assert!(f > 1.9, "{f}");
+        // Many waves → factor approaches 1.
+        let many = GemmShape { m: 64 * 40, n: 128 * 132, k: 4096 };
+        let f = wave_quantization_factor(&H100, many, 64, 128);
+        assert!(f < 1.05, "{f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate shape")]
+    fn zero_shape_panics() {
+        let _ = gemm_cost(&H100, GemmShape { m: 0, n: 1, k: 1 }, PrecisionCfg::W8A8);
+    }
+}

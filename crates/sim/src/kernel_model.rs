@@ -1,0 +1,303 @@
+//! Per-system GEMM latency models (drives Figures 5 and 12).
+//!
+//! Wraps the cost model with the per-kernel realities the paper's
+//! benchmarks expose: launch overhead (persistent kernels amortise it),
+//! small-batch memory efficiency (TRT ships specialised GEMV kernels
+//! that LiquidGEMM and QServe lack below M ≈ 32), and grouped-GEMM
+//! pipelining for MoE experts (ImFP pipelines across the per-expert
+//! GEMMs; launch-per-expert kernels pay E launches).
+//!
+//! Calibration targets from the paper:
+//! * Fig. 12, batch 256: LiquidGEMM 2.75–2.90× over QServe on LLaMA2
+//!   models; 1.41–1.84× over TRT-FP8 and 1.12–2.53× over TRT-W4A16 on
+//!   Mixtral above batch 32.
+//! * Fig. 12, batch < 32, Mixtral: TRT-W4A16 / TRT-FP8 *beat* LiquidGEMM
+//!   (GEMV specialisation).
+//! * Fig. 5: QServe ≈ W8A8 at M ≤ 64, ~2× slower at M ≥ 128.
+
+use crate::cost_model::{gemm_cost, GemmShape, PrecisionCfg};
+use crate::specs::GpuSpec;
+
+/// The systems compared in the paper's kernel benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// This paper's kernel.
+    LiquidGemm,
+    /// QServe's W4A8 kernel.
+    QServe,
+    /// TensorRT-LLM W4A16 (AWQ-style).
+    TrtW4A16,
+    /// TensorRT-LLM W8A8 (SmoothQuant-style).
+    TrtW8A8,
+    /// TensorRT-LLM FP8.
+    TrtFp8,
+    /// TensorRT-LLM FP16.
+    TrtFp16,
+}
+
+impl SystemKind {
+    /// All systems, in the paper's legend order.
+    pub const ALL: [SystemKind; 6] = [
+        SystemKind::LiquidGemm,
+        SystemKind::QServe,
+        SystemKind::TrtW4A16,
+        SystemKind::TrtW8A8,
+        SystemKind::TrtFp8,
+        SystemKind::TrtFp16,
+    ];
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::LiquidGemm => "LiquidGEMM",
+            SystemKind::QServe => "QServe",
+            SystemKind::TrtW4A16 => "TRT-W4A16",
+            SystemKind::TrtW8A8 => "TRT-W8A8",
+            SystemKind::TrtFp8 => "TRT-FP8",
+            SystemKind::TrtFp16 => "TRT-FP16",
+        }
+    }
+}
+
+/// A calibrated kernel latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelModel {
+    /// Which system this models.
+    pub kind: SystemKind,
+    /// Cost-model parameters.
+    pub precision: PrecisionCfg,
+    /// Fixed overhead per kernel launch (s).
+    pub launch_overhead: f64,
+    /// Has a specialised small-batch GEMV path.
+    pub gemv_small_batch: bool,
+    /// Pipelines grouped (MoE expert) GEMMs inside one launch.
+    pub grouped_pipeline: bool,
+    /// Fraction of peak memory bandwidth reached in the steady state.
+    pub mem_efficiency: f64,
+    /// Fraction of peak tensor-core throughput reached in the steady
+    /// state (kernel quality: persistent ping-pong scheduling and full
+    /// operand overlap push LiquidGEMM above the stock kernels —
+    /// Figure 12's 1.12–1.63x compute-bound gap).
+    pub mma_efficiency: f64,
+}
+
+/// Batch size below which GEMV specialisation matters.
+pub const GEMV_THRESHOLD: usize = 32;
+
+impl KernelModel {
+    /// The calibrated model for one system.
+    #[must_use]
+    pub fn of(kind: SystemKind) -> Self {
+        match kind {
+            SystemKind::LiquidGemm => Self {
+                kind,
+                precision: PrecisionCfg::LIQUID_W4A8,
+                launch_overhead: 3.0e-6, // persistent kernel
+                gemv_small_batch: false,
+                grouped_pipeline: true,
+                mem_efficiency: 0.85,
+                mma_efficiency: 0.92,
+            },
+            SystemKind::QServe => Self {
+                kind,
+                precision: PrecisionCfg::QSERVE_W4A8,
+                launch_overhead: 8.0e-6,
+                gemv_small_batch: false,
+                grouped_pipeline: false,
+                mem_efficiency: 0.80,
+                mma_efficiency: 0.80,
+            },
+            SystemKind::TrtW4A16 => Self {
+                kind,
+                precision: PrecisionCfg::W4A16,
+                launch_overhead: 5.0e-6,
+                gemv_small_batch: true,
+                grouped_pipeline: false,
+                mem_efficiency: 0.85,
+                mma_efficiency: 0.78,
+            },
+            SystemKind::TrtW8A8 => Self {
+                kind,
+                precision: PrecisionCfg::W8A8,
+                launch_overhead: 5.0e-6,
+                gemv_small_batch: false,
+                grouped_pipeline: false,
+                mem_efficiency: 0.85,
+                mma_efficiency: 0.78,
+            },
+            SystemKind::TrtFp8 => Self {
+                kind,
+                precision: PrecisionCfg::FP8,
+                launch_overhead: 5.0e-6,
+                gemv_small_batch: true,
+                grouped_pipeline: false,
+                mem_efficiency: 0.85,
+                mma_efficiency: 0.78,
+            },
+            SystemKind::TrtFp16 => Self {
+                kind,
+                precision: PrecisionCfg::FP16,
+                launch_overhead: 5.0e-6,
+                gemv_small_batch: true,
+                grouped_pipeline: false,
+                mem_efficiency: 0.85,
+                mma_efficiency: 0.78,
+            },
+        }
+    }
+
+    /// Effective memory efficiency at batch `m`: generic tiled kernels
+    /// lose bandwidth at tiny batches (partial tiles, low occupancy)
+    /// and ramp smoothly back to steady state by m ≈ 64;
+    /// GEMV-specialised kernels hold ~92 % up to the GEMV threshold.
+    #[must_use]
+    pub fn mem_eff_at(&self, m: usize) -> f64 {
+        if self.gemv_small_batch && m <= GEMV_THRESHOLD {
+            return 0.92;
+        }
+        let fill = (m.min(64) as f64 / 64.0).max(0.25);
+        self.mem_efficiency * (0.80 + 0.20 * fill)
+    }
+
+    /// Latency of one dense GEMM (s).
+    #[must_use]
+    pub fn latency(&self, spec: &GpuSpec, shape: GemmShape) -> f64 {
+        let c = gemm_cost(spec, shape, self.precision);
+        let eff = self.mem_eff_at(shape.m);
+        let t_ld = c.t_ld / eff;
+        // Dequant rides CUDA cores (unaffected); MMA pays the kernel's
+        // achieved tensor-core efficiency.
+        let t_mma = c.t_mma / self.mma_efficiency;
+        let t_comp = if self.precision.overlap_dq { c.t_dq.max(t_mma) } else { c.t_dq + t_mma };
+        c.m_tiles as f64 * t_ld.max(t_comp) + self.launch_overhead
+    }
+
+    /// Latency of a set of GEMMs executed for one layer (s) — fused QKV,
+    /// attention output, and the FFN matmuls (Figures 5 and 12 benchmark
+    /// exactly this set).
+    #[must_use]
+    pub fn layer_latency(&self, spec: &GpuSpec, shapes: &[GemmShape]) -> f64 {
+        shapes.iter().map(|&s| self.latency(spec, s)).sum()
+    }
+
+    /// Latency of a grouped (MoE) GEMM: `experts` GEMMs of shape
+    /// `shape`. A grouped-pipeline kernel issues them in one persistent
+    /// launch and overlaps their tails; launch-per-expert kernels pay
+    /// the full sum.
+    #[must_use]
+    pub fn grouped_latency(&self, spec: &GpuSpec, shape: GemmShape, experts: usize) -> f64 {
+        assert!(experts > 0);
+        let one = self.latency(spec, shape) - self.launch_overhead;
+        if self.grouped_pipeline {
+            // Single launch; inter-GEMM pipelining hides ~15% of each
+            // expert's fill/drain. But with only a handful of tokens per
+            // expert the persistent grouped kernel's tile grid starves —
+            // a few huge-N tile columns per expert leave most SMs idle
+            // while TRT's dedicated per-expert GEMV kernels stay fed.
+            // This is why TRT-W4A16/FP8 win below batch 32 on Mixtral
+            // (paper, Figure 12) despite LiquidGEMM's byte advantage.
+            let imbalance = if shape.m < 8 { 2.4 } else { 1.0 };
+            self.launch_overhead + one * experts as f64 * 0.85 * imbalance
+        } else {
+            (self.launch_overhead + one) * experts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::H800;
+
+    const FFN: GemmShape = GemmShape { m: 256, n: 11008, k: 4096 };
+
+    fn lat(kind: SystemKind, m: usize) -> f64 {
+        let shape = GemmShape { m, ..FFN };
+        KernelModel::of(kind).latency(&H800, shape)
+    }
+
+    #[test]
+    fn figure12_liquid_vs_qserve_at_256() {
+        let speedup = lat(SystemKind::QServe, 256) / lat(SystemKind::LiquidGemm, 256);
+        assert!((2.3..3.3).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn figure5_qserve_competitive_small_batch() {
+        // At M ≤ 64 QServe ≈ W8A8 (both memory-bound; QServe moves half
+        // the bytes but wastes CUDA cores).
+        let q = lat(SystemKind::QServe, 16);
+        let w8 = lat(SystemKind::TrtW8A8, 16);
+        assert!(q < w8 * 1.2, "QServe {q} vs W8A8 {w8}");
+    }
+
+    #[test]
+    fn figure5_qserve_collapses_large_batch() {
+        let q = lat(SystemKind::QServe, 256);
+        let w8 = lat(SystemKind::TrtW8A8, 256);
+        assert!(q > 1.7 * w8, "QServe {q} vs W8A8 {w8}");
+    }
+
+    #[test]
+    fn liquid_beats_all_trt_at_large_batch() {
+        // Paper abstract: 1.12–1.63x over TRT kernels.
+        let l = lat(SystemKind::LiquidGemm, 256);
+        for kind in [SystemKind::TrtW4A16, SystemKind::TrtW8A8, SystemKind::TrtFp8, SystemKind::TrtFp16] {
+            let t = lat(kind, 256);
+            assert!(t / l > 0.95, "{:?}: ratio {}", kind, t / l);
+        }
+        let fp16_ratio = lat(SystemKind::TrtFp16, 256) / l;
+        assert!(fp16_ratio > 1.5, "FP16 should lose clearly: {fp16_ratio}");
+    }
+
+    #[test]
+    fn liquid_wins_memory_bound_region() {
+        let l = lat(SystemKind::LiquidGemm, 8);
+        let w8 = lat(SystemKind::TrtW8A8, 8);
+        let f16 = lat(SystemKind::TrtFp16, 8);
+        assert!(l < w8);
+        assert!(l < f16);
+        assert!((f16 / l) > 2.5, "fp16/liquid {}", f16 / l);
+    }
+
+    #[test]
+    fn gemv_systems_win_tiny_moe_batches() {
+        // Mixtral regime: per-expert batch below the GEMV threshold.
+        let shape = GemmShape { m: 4, n: 14336, k: 4096 };
+        let l = KernelModel::of(SystemKind::LiquidGemm).latency(&H800, shape);
+        let w4a16 = KernelModel::of(SystemKind::TrtW4A16).latency(&H800, shape);
+        assert!(w4a16 < l, "TRT-W4A16 {w4a16} must beat LiquidGEMM {l} at m=4");
+    }
+
+    #[test]
+    fn liquid_wins_moe_above_threshold() {
+        let shape = GemmShape { m: 64, n: 14336, k: 4096 };
+        let l = KernelModel::of(SystemKind::LiquidGemm).grouped_latency(&H800, shape, 8);
+        let fp8 = KernelModel::of(SystemKind::TrtFp8).grouped_latency(&H800, shape, 8);
+        let w4a16 = KernelModel::of(SystemKind::TrtW4A16).grouped_latency(&H800, shape, 8);
+        assert!(fp8 / l > 1.2, "fp8/liquid {}", fp8 / l);
+        assert!(w4a16 / l > 1.0, "w4a16/liquid {}", w4a16 / l);
+    }
+
+    #[test]
+    fn layer_latency_sums_shapes() {
+        let shapes = [
+            GemmShape { m: 64, n: 12288, k: 4096 },
+            GemmShape { m: 64, n: 4096, k: 4096 },
+        ];
+        let m = KernelModel::of(SystemKind::LiquidGemm);
+        let total = m.layer_latency(&H800, &shapes);
+        let sum: f64 = shapes.iter().map(|&s| m.latency(&H800, s)).sum();
+        assert!((total - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn grouped_pipeline_saves_vs_per_expert_launches() {
+        let shape = GemmShape { m: 32, n: 14336, k: 4096 };
+        let l = KernelModel::of(SystemKind::LiquidGemm);
+        let grouped = l.grouped_latency(&H800, shape, 8);
+        let naive = 8.0 * l.latency(&H800, shape);
+        assert!(grouped < naive);
+    }
+}

@@ -1,0 +1,307 @@
+//! Discrete-event simulation of warp-group pipelines inside one thread
+//! block (reproduces the Figure 13 ablation's GPU-shaped numbers and the
+//! Section 5.1 ExCP-bubble analysis).
+//!
+//! Three shared resources model the heterogeneous units: the TMA engine,
+//! the SM's CUDA cores, and its tensor cores. Each main-loop iteration
+//! needs a load (TMA), a dequantization (CUDA), and an MMA (TC). The
+//! pipeline variants differ in *who* executes the middle step and what
+//! hand-offs cost:
+//!
+//! * **Baseline / +LQQ** — classic software-pipelined kernel: loads are
+//!   double-buffered, but dequant and MMA execute in the same warps, so
+//!   per iteration the compute time is `t_dq + t_mma`.
+//! * **ExCP** — a dedicated Dequant WG between Load and MMA WGs. Adds a
+//!   register-file↔SMEM round trip to the dequant stage and an
+//!   `mbarrier` synchronisation to every hand-off; stage buffers bound
+//!   the in-flight iterations.
+//! * **ImFP** — `W` Compute WGs each executing dequant+MMA for the
+//!   iterations they claim; dequant of one WG overlaps MMA of another.
+//!   No inter-WG data movement, no software synchronisation.
+
+/// Per-iteration stage durations (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterTimes {
+    /// Weight-tile load (TMA).
+    pub t_ld: f64,
+    /// Dequantization (CUDA cores).
+    pub t_dq: f64,
+    /// MMA (tensor cores).
+    pub t_mma: f64,
+}
+
+/// Result of a pipeline simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Total makespan (seconds).
+    pub makespan: f64,
+    /// Tensor-core busy fraction.
+    pub tc_utilization: f64,
+    /// CUDA-core busy fraction.
+    pub cuda_utilization: f64,
+}
+
+/// Classic software pipeline (no warp specialisation of dequant):
+/// load overlaps compute; compute is `t_dq + t_mma` serial.
+#[must_use]
+pub fn simulate_serial_dequant(t: IterTimes, iters: usize, stages: usize) -> SimResult {
+    assert!(iters > 0 && stages >= 1);
+    let mut load_done = vec![0.0f64; iters];
+    let mut comp_done = vec![0.0f64; iters];
+    let mut tma_avail = 0.0f64;
+    let mut comp_avail = 0.0f64;
+    for i in 0..iters {
+        // Stage buffer: load i waits for compute of iteration i-stages.
+        let buf_free = if i >= stages { comp_done[i - stages] } else { 0.0 };
+        let start = tma_avail.max(buf_free);
+        load_done[i] = start + t.t_ld;
+        tma_avail = load_done[i];
+        let cstart = comp_avail.max(load_done[i]);
+        comp_done[i] = cstart + t.t_dq + t.t_mma;
+        comp_avail = comp_done[i];
+    }
+    let makespan = comp_done[iters - 1];
+    SimResult {
+        makespan,
+        tc_utilization: iters as f64 * t.t_mma / makespan,
+        cuda_utilization: iters as f64 * t.t_dq / makespan,
+    }
+}
+
+/// ExCP: Load WG → Dequant WG → MMA WG with per-hand-off sync cost and a
+/// round-trip SMEM penalty on the dequant stage.
+#[must_use]
+pub fn simulate_excp(
+    t: IterTimes,
+    iters: usize,
+    stages: usize,
+    t_sync: f64,
+    t_roundtrip: f64,
+) -> SimResult {
+    assert!(iters > 0 && stages >= 1);
+    let t_dq_eff = t.t_dq + t_roundtrip;
+    let mut load_done = vec![0.0f64; iters];
+    let mut dq_done = vec![0.0f64; iters];
+    let mut mma_done = vec![0.0f64; iters];
+    let (mut tma_avail, mut cuda_avail, mut tc_avail) = (0.0f64, 0.0f64, 0.0f64);
+    for i in 0..iters {
+        let buf_free = if i >= stages { dq_done[i - stages] } else { 0.0 };
+        load_done[i] = tma_avail.max(buf_free) + t.t_ld;
+        tma_avail = load_done[i];
+
+        let dq_buf_free = if i >= stages { mma_done[i - stages] } else { 0.0 };
+        let dstart = cuda_avail.max(load_done[i] + t_sync).max(dq_buf_free);
+        dq_done[i] = dstart + t_dq_eff;
+        cuda_avail = dq_done[i];
+
+        let mstart = tc_avail.max(dq_done[i] + t_sync);
+        mma_done[i] = mstart + t.t_mma;
+        tc_avail = mma_done[i];
+    }
+    let makespan = mma_done[iters - 1];
+    SimResult {
+        makespan,
+        tc_utilization: iters as f64 * t.t_mma / makespan,
+        cuda_utilization: iters as f64 * t_dq_eff / makespan,
+    }
+}
+
+/// ImFP: `workers` Compute WGs dynamically claim iterations; each does
+/// dequant (CUDA, shared) then MMA (TC, shared). Scheduling is by
+/// hardware — modelled as in-order greedy claims with zero sync cost.
+#[must_use]
+pub fn simulate_imfp(t: IterTimes, iters: usize, stages: usize, workers: usize) -> SimResult {
+    assert!(iters > 0 && stages >= 1 && workers >= 1);
+    let mut load_done = vec![0.0f64; iters];
+    let mut done = vec![0.0f64; iters];
+    let mut wg_ready = vec![0.0f64; workers];
+    let (mut tma_avail, mut cuda_avail, mut tc_avail) = (0.0f64, 0.0f64, 0.0f64);
+    for i in 0..iters {
+        let buf_free = if i >= stages { done[i - stages] } else { 0.0 };
+        load_done[i] = tma_avail.max(buf_free) + t.t_ld;
+        tma_avail = load_done[i];
+
+        let w = i % workers;
+        let dstart = wg_ready[w].max(load_done[i]).max(cuda_avail);
+        let dq_end = dstart + t.t_dq;
+        cuda_avail = dq_end;
+        let mstart = dq_end.max(tc_avail);
+        let mma_end = mstart + t.t_mma;
+        tc_avail = mma_end;
+        wg_ready[w] = mma_end;
+        done[i] = mma_end;
+    }
+    let makespan = done[iters - 1];
+    SimResult {
+        makespan,
+        tc_utilization: iters as f64 * t.t_mma / makespan,
+        cuda_utilization: iters as f64 * t.t_dq / makespan,
+    }
+}
+
+/// Per-iteration stage times for one main-loop iteration of a W4A8 GEMM
+/// tile on `spec`, given the dequant α.
+#[must_use]
+pub fn iter_times(
+    spec: &crate::specs::GpuSpec,
+    nt: usize,
+    kt: usize,
+    mt: usize,
+    alpha: f64,
+) -> IterTimes {
+    let elems = (nt * kt) as f64;
+    // Block-level throughput: device throughput divided across resident
+    // blocks (spec.sms × blocks_per_sm of them).
+    let blocks = (spec.sms * spec.blocks_per_sm) as f64;
+    IterTimes {
+        t_ld: elems * 0.5 / (spec.mem_bw / blocks),
+        t_dq: alpha * elems / (spec.cuda_int / blocks),
+        t_mma: mt as f64 * 2.0 * elems / (spec.tc_int8 / blocks),
+    }
+}
+
+/// The four Figure-13 ablation variants' makespans for `iters`
+/// iterations (seconds): Baseline(QoQ serial), +LQQ(serial),
+/// +LQQ+ExCP, +LQQ+ImFP.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationResult {
+    /// QoQ dequant, serial with MMA.
+    pub baseline: f64,
+    /// LQQ dequant, serial with MMA.
+    pub lqq: f64,
+    /// LQQ + explicit coarse-grained pipeline.
+    pub lqq_excp: f64,
+    /// LQQ + implicit fine-grained pipeline.
+    pub lqq_imfp: f64,
+}
+
+/// Run the ablation for a tile stream (Figure 13's per-batch points).
+///
+/// Modelling notes:
+/// * Blocks computing different m-tiles of the same n-column reuse the
+///   weight tile through L2, so the effective HBM time per iteration is
+///   divided by `⌈m/64⌉` (the per-tile-row reload the naive Eq. 3 would
+///   charge never reaches HBM).
+/// * The ablation holds layout and dequant *logic* constant (the paper's
+///   note under Figure 13), so the baseline's α is QoQ's arithmetic cost
+///   with LiquidGEMM's cheap dual-MMA addressing.
+/// * ExCP must provision SMEM for the materialised INT8 tiles, costing
+///   occupancy and with it achieved bandwidth (the 1.25× load factor),
+///   and its hand-offs ride `mbarrier`s; the round trip is a write+read
+///   of the INT8 tile at per-SM SMEM bandwidth (~400 GB/s).
+#[must_use]
+pub fn ablation(spec: &crate::specs::GpuSpec, m: usize, iters: usize) -> AblationResult {
+    let (nt, kt) = (128, 64);
+    let mt = m.min(64);
+    let m_tile_reuse = m.div_ceil(64) as f64;
+    let qoq_alpha = 19.0 / 8.0 + 0.25;
+    let lqq_alpha = 7.0 / 8.0 + 0.25;
+    let mut qoq = iter_times(spec, nt, kt, mt, qoq_alpha);
+    qoq.t_ld /= m_tile_reuse;
+    let mut lqq = iter_times(spec, nt, kt, mt, lqq_alpha);
+    lqq.t_ld /= m_tile_reuse;
+    let stages = 4;
+    let t_sync = 1.5e-7 / iters as f64 * 8.0; // amortised mbarrier cost
+    let t_roundtrip = 2.0 * (nt * kt) as f64 / 400.0e9;
+    let excp_ld_penalty = 1.25;
+    let excp_times = IterTimes { t_ld: lqq.t_ld * excp_ld_penalty, ..lqq };
+    AblationResult {
+        baseline: simulate_serial_dequant(qoq, iters, stages).makespan,
+        lqq: simulate_serial_dequant(lqq, iters, stages).makespan,
+        lqq_excp: simulate_excp(excp_times, iters, stages, t_sync, t_roundtrip).makespan,
+        lqq_imfp: simulate_imfp(lqq, iters, stages, 2).makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::H800;
+
+    const T: IterTimes = IterTimes { t_ld: 1.0, t_dq: 0.5, t_mma: 2.0 };
+
+    #[test]
+    fn serial_dequant_steady_state_is_sum_of_compute() {
+        // Compute-bound: makespan → iters × (t_dq + t_mma).
+        let r = simulate_serial_dequant(T, 100, 2);
+        assert!((r.makespan / (100.0 * 2.5) - 1.0).abs() < 0.02, "{}", r.makespan);
+    }
+
+    #[test]
+    fn serial_dequant_memory_bound_case() {
+        let t = IterTimes { t_ld: 5.0, t_dq: 0.5, t_mma: 1.0 };
+        let r = simulate_serial_dequant(t, 100, 2);
+        assert!((r.makespan / 500.0 - 1.0).abs() < 0.05, "{}", r.makespan);
+    }
+
+    #[test]
+    fn imfp_hides_dequant_behind_mma() {
+        // With 2 WGs and t_dq < t_mma, TC should stay ~fully busy:
+        // makespan → iters × t_mma.
+        let r = simulate_imfp(T, 200, 4, 2);
+        assert!((r.makespan / (200.0 * 2.0) - 1.0).abs() < 0.05, "{}", r.makespan);
+        assert!(r.tc_utilization > 0.9);
+    }
+
+    #[test]
+    fn imfp_beats_serial_dequant() {
+        let serial = simulate_serial_dequant(T, 200, 4).makespan;
+        let imfp = simulate_imfp(T, 200, 4, 2).makespan;
+        assert!(imfp < serial * 0.9, "imfp {imfp} serial {serial}");
+    }
+
+    #[test]
+    fn excp_pays_roundtrip_and_sync() {
+        let clean = simulate_excp(T, 200, 4, 0.0, 0.0).makespan;
+        let costly = simulate_excp(T, 200, 4, 0.3, 0.7).makespan;
+        assert!(costly > clean);
+        // With zero overheads ExCP pipelines perfectly like ImFP.
+        let imfp = simulate_imfp(T, 200, 4, 2).makespan;
+        assert!((clean / imfp - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn imfp_beats_excp_with_realistic_overheads() {
+        let excp = simulate_excp(T, 200, 4, 0.3, 0.7).makespan;
+        let imfp = simulate_imfp(T, 200, 4, 2).makespan;
+        assert!(imfp < excp, "imfp {imfp} excp {excp}");
+    }
+
+    #[test]
+    fn ablation_reproduces_figure13_ordering_large_batch() {
+        let r = ablation(&H800, 256, 256);
+        assert!(r.lqq < r.baseline, "+LQQ must speed up: {r:?}");
+        assert!(r.lqq_imfp <= r.lqq, "+ImFP must not regress: {r:?}");
+        assert!(r.lqq_imfp < r.baseline * 0.75, "combined win: {r:?}");
+        // Paper: LQQ alone yields up to 1.29x at large batch.
+        let lqq_gain = r.baseline / r.lqq;
+        assert!((1.05..1.8).contains(&lqq_gain), "LQQ gain {lqq_gain}");
+    }
+
+    #[test]
+    fn ablation_small_batch_lqq_gain_is_limited() {
+        // Memory-bound: dequant is hidden anyway; LQQ gains little.
+        let r = ablation(&H800, 4, 256);
+        let gain = r.baseline / r.lqq;
+        assert!(gain < 1.1, "small-batch LQQ gain {gain}");
+    }
+
+    #[test]
+    fn excp_can_hurt_at_small_batch() {
+        // Figure 13: enabling ExCP at small batch degrades performance.
+        let r = ablation(&H800, 4, 256);
+        assert!(r.lqq_excp > r.lqq, "ExCP should cost at m=4: {r:?}");
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        for r in [
+            simulate_serial_dequant(T, 50, 2),
+            simulate_excp(T, 50, 2, 0.1, 0.1),
+            simulate_imfp(T, 50, 2, 3),
+        ] {
+            assert!(r.tc_utilization > 0.0 && r.tc_utilization <= 1.0);
+            assert!(r.cuda_utilization > 0.0 && r.cuda_utilization <= 1.0);
+        }
+    }
+}

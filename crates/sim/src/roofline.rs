@@ -1,0 +1,165 @@
+//! Roofline analysis for quantized GEMM (paper, Figure 1b).
+//!
+//! For a decode-time GEMM of shape `M×N×K`, the dominant memory traffic
+//! is the weight matrix (`N·K·bytes_w`); compute is `2·M·N·K` ops. The
+//! arithmetic intensity therefore grows linearly with the batch size M:
+//! `AI = 2·M / bytes_w` ops/byte, and each precision configuration has
+//! its own roof (`Φ_TC`) and its own slope — which is why W4A8 reaches
+//! the compute roof at half the batch size of W8A8.
+
+use crate::specs::{GpuSpec, TcKind};
+
+/// A precision configuration's memory/compute characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionPoint {
+    /// Display name ("W4A8", "W8A8", ...).
+    pub name: &'static str,
+    /// Weight bytes per element.
+    pub weight_bytes: f64,
+    /// Tensor-core type used for the MMA.
+    pub tc: TcKind,
+}
+
+/// The precision configurations the paper compares.
+pub const PRECISIONS: [PrecisionPoint; 5] = [
+    PrecisionPoint { name: "W4A8", weight_bytes: 0.5, tc: TcKind::Int8 },
+    PrecisionPoint { name: "W8A8", weight_bytes: 1.0, tc: TcKind::Int8 },
+    PrecisionPoint { name: "W4A16", weight_bytes: 0.5, tc: TcKind::Fp16 },
+    PrecisionPoint { name: "FP8", weight_bytes: 1.0, tc: TcKind::Fp8 },
+    PrecisionPoint { name: "FP16", weight_bytes: 2.0, tc: TcKind::Fp16 },
+];
+
+/// Arithmetic intensity (ops per weight byte) of a decode GEMM at batch
+/// `m`.
+#[must_use]
+pub fn arithmetic_intensity(p: PrecisionPoint, m: usize) -> f64 {
+    2.0 * m as f64 / p.weight_bytes
+}
+
+/// Attainable throughput (ops/s) at batch `m`: the roofline
+/// `min(Φ_TC, AI · Φ_BD)`.
+#[must_use]
+pub fn attainable(spec: &GpuSpec, p: PrecisionPoint, m: usize) -> f64 {
+    let roof = spec.tc_throughput(p.tc);
+    let slope = arithmetic_intensity(p, m) * spec.mem_bw;
+    roof.min(slope)
+}
+
+/// The batch size where a precision leaves the memory-bound region.
+#[must_use]
+pub fn ridge_batch(spec: &GpuSpec, p: PrecisionPoint) -> f64 {
+    spec.transition_batch(p.tc, p.weight_bytes)
+}
+
+/// One row of the Figure-1-style roofline table.
+#[derive(Debug, Clone, Copy)]
+pub struct RooflineRow {
+    /// Precision name.
+    pub name: &'static str,
+    /// Batch size.
+    pub m: usize,
+    /// Arithmetic intensity, ops/byte.
+    pub ai: f64,
+    /// Attainable throughput, TOPS.
+    pub tops: f64,
+    /// Whether this point is memory-bound.
+    pub memory_bound: bool,
+}
+
+/// Sweep batch sizes for all precisions on one GPU.
+#[must_use]
+pub fn sweep(spec: &GpuSpec, batches: &[usize]) -> Vec<RooflineRow> {
+    let mut rows = Vec::new();
+    for p in PRECISIONS {
+        if spec.tc_throughput(p.tc) == 0.0 {
+            continue; // e.g. FP8 on A100
+        }
+        for &m in batches {
+            let a = attainable(spec, p, m);
+            rows.push(RooflineRow {
+                name: p.name,
+                m,
+                ai: arithmetic_intensity(p, m),
+                tops: a / 1e12,
+                memory_bound: (m as f64) < ridge_batch(spec, p),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{A100, H100};
+
+    fn by_name(name: &str) -> PrecisionPoint {
+        PRECISIONS.into_iter().find(|p| p.name == name).unwrap()
+    }
+
+    #[test]
+    fn w4a8_doubles_w8a8_intensity() {
+        let m = 32;
+        assert_eq!(
+            arithmetic_intensity(by_name("W4A8"), m),
+            2.0 * arithmetic_intensity(by_name("W8A8"), m)
+        );
+    }
+
+    #[test]
+    fn memory_bound_region_ranks_by_weight_bytes() {
+        // Small batch: fewer weight bytes → higher attainable throughput.
+        let m = 8;
+        let w4a8 = attainable(&H100, by_name("W4A8"), m);
+        let w8a8 = attainable(&H100, by_name("W8A8"), m);
+        let fp16 = attainable(&H100, by_name("FP16"), m);
+        assert!(w4a8 > w8a8);
+        assert!(w8a8 > fp16);
+        assert_eq!(w4a8, 2.0 * w8a8);
+    }
+
+    #[test]
+    fn compute_bound_region_ranks_by_tc() {
+        // Huge batch: throughput saturates at the tensor-core roof.
+        let m = 4096;
+        assert_eq!(attainable(&H100, by_name("W4A8"), m), H100.tc_int8);
+        assert_eq!(attainable(&H100, by_name("W8A8"), m), H100.tc_int8);
+        assert_eq!(attainable(&H100, by_name("FP16"), m), H100.tc_fp16);
+    }
+
+    #[test]
+    fn w4a16_is_capped_by_fp16_roof() {
+        // The roofline reason W4A8 beats W4A16 in compute-bound cases.
+        let m = 4096;
+        let w4a8 = attainable(&H100, by_name("W4A8"), m);
+        let w4a16 = attainable(&H100, by_name("W4A16"), m);
+        assert_eq!(w4a8 / w4a16, H100.tc_int8 / H100.tc_fp16);
+    }
+
+    #[test]
+    fn ridge_points_match_transition_batches() {
+        assert!((ridge_batch(&H100, by_name("W8A8")) - 295.4).abs() < 1.0);
+        assert!((ridge_batch(&A100, by_name("W8A8")) - 156.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sweep_skips_unsupported_precisions() {
+        let rows = sweep(&A100, &[16, 256]);
+        assert!(rows.iter().all(|r| r.name != "FP8"));
+        let rows = sweep(&H100, &[16, 256]);
+        assert!(rows.iter().any(|r| r.name == "FP8"));
+    }
+
+    #[test]
+    fn sweep_marks_memory_bound_correctly() {
+        let rows = sweep(&H100, &[16, 1024]);
+        for r in rows {
+            if r.m == 16 {
+                assert!(r.memory_bound, "{} at m=16", r.name);
+            }
+            if r.m == 1024 {
+                assert!(!r.memory_bound, "{} at m=1024", r.name);
+            }
+        }
+    }
+}

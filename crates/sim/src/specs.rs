@@ -1,0 +1,195 @@
+//! Published hardware metrics for the GPUs in the paper's Figure 1.
+//!
+//! Values are the vendor-published dense-throughput numbers. Two derived
+//! quantities calibrate the set against the paper's own arithmetic:
+//!
+//! * memory→compute transition batch `M* = Φ_TC · bytes_per_weight /
+//!   (2 · Φ_BD)` must come out at ≈300 (W8A8, H100), ≈150 (W4A8, H100),
+//!   ≈156 (W8A8, A100) — Section 3.3;
+//! * the dequant-overlap bound `α ≤ Φ_CUDA · bytes_per_weight / Φ_BD`
+//!   must come out at ≈5.07 on H100 — Section 3.3.
+//!
+//! Tests at the bottom pin those identities.
+
+/// Peak throughput numbers for one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// HBM bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Tensor-core INT8 throughput, ops/s (1 MAC = 2 ops).
+    pub tc_int8: f64,
+    /// Tensor-core FP16 throughput, ops/s.
+    pub tc_fp16: f64,
+    /// Tensor-core FP8 throughput, ops/s (0 when unsupported).
+    pub tc_fp8: f64,
+    /// CUDA-core 32-bit integer throughput, ops/s.
+    pub cuda_int: f64,
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Resident thread blocks per SM the GEMM kernels sustain.
+    pub blocks_per_sm: usize,
+    /// Shared memory per SM, bytes.
+    pub smem_per_sm: usize,
+    /// HBM capacity, bytes.
+    pub mem_capacity: u64,
+}
+
+/// NVIDIA A100 SXM 80 GB.
+pub const A100: GpuSpec = GpuSpec {
+    name: "A100",
+    mem_bw: 2.0e12,
+    tc_int8: 624.0e12,
+    tc_fp16: 312.0e12,
+    tc_fp8: 0.0,
+    cuda_int: 19.5e12,
+    sms: 108,
+    blocks_per_sm: 1,
+    smem_per_sm: 164 * 1024,
+    mem_capacity: 80 * 1024 * 1024 * 1024,
+};
+
+/// NVIDIA H100 SXM 80 GB.
+pub const H100: GpuSpec = GpuSpec {
+    name: "H100",
+    mem_bw: 3.35e12,
+    tc_int8: 1979.0e12,
+    tc_fp16: 989.5e12,
+    tc_fp8: 1979.0e12,
+    cuda_int: 33.97e12,
+    sms: 132,
+    blocks_per_sm: 1,
+    smem_per_sm: 228 * 1024,
+    mem_capacity: 80 * 1024 * 1024 * 1024,
+};
+
+/// NVIDIA H800 SXM 80 GB — the paper's testbed. Same SM array and HBM as
+/// H100 (the H800's cuts are NVLink and FP64, which GEMM never touches).
+pub const H800: GpuSpec = GpuSpec {
+    name: "H800",
+    mem_bw: 3.35e12,
+    tc_int8: 1979.0e12,
+    tc_fp16: 989.5e12,
+    tc_fp8: 1979.0e12,
+    cuda_int: 33.97e12,
+    sms: 132,
+    blocks_per_sm: 1,
+    smem_per_sm: 228 * 1024,
+    mem_capacity: 80 * 1024 * 1024 * 1024,
+};
+
+impl GpuSpec {
+    /// Tensor-core throughput for a compute type.
+    #[must_use]
+    pub fn tc_throughput(&self, tc: TcKind) -> f64 {
+        match tc {
+            TcKind::Int8 => self.tc_int8,
+            TcKind::Fp16 => self.tc_fp16,
+            TcKind::Fp8 => self.tc_fp8,
+        }
+    }
+
+    /// The memory→compute transition batch size for a symmetric GEMM
+    /// with `weight_bytes` per element on tensor-core type `tc`
+    /// (Section 3.3: `M* = Φ_TC · bytes / (2 · Φ_BD)`).
+    #[must_use]
+    pub fn transition_batch(&self, tc: TcKind, weight_bytes: f64) -> f64 {
+        self.tc_throughput(tc) * weight_bytes / (2.0 * self.mem_bw)
+    }
+
+    /// Max per-element dequant instruction budget that still hides
+    /// behind weight loading (`α ≤ Φ_CUDA · bytes / Φ_BD`).
+    #[must_use]
+    pub fn alpha_budget_memory_bound(&self, weight_bytes: f64) -> f64 {
+        self.cuda_int * weight_bytes / self.mem_bw
+    }
+
+    /// Max α that still hides behind MMA at batch `m` with tile height
+    /// `mt` (`α ≤ 2 · min(mt, m) · Φ_CUDA / Φ_TC`).
+    #[must_use]
+    pub fn alpha_budget_compute_bound(&self, tc: TcKind, m: usize, mt: usize) -> f64 {
+        2.0 * m.min(mt) as f64 * self.cuda_int / self.tc_throughput(tc)
+    }
+}
+
+/// Tensor-core compute type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcKind {
+    /// INT8 MMA.
+    Int8,
+    /// FP16 MMA.
+    Fp16,
+    /// FP8 MMA.
+    Fp8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_transition_points_match_paper() {
+        // Section 3.3: ~300 for W8A8, ~150 for W4A8 on H100.
+        let w8 = H100.transition_batch(TcKind::Int8, 1.0);
+        let w4 = H100.transition_batch(TcKind::Int8, 0.5);
+        assert!((w8 - 295.4).abs() < 1.0, "W8A8 H100: {w8}");
+        assert!((w4 - 147.7).abs() < 1.0, "W4A8 H100: {w4}");
+        assert!((w8 / 300.0 - 1.0).abs() < 0.05);
+        assert!((w4 / 150.0 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn a100_transition_point_matches_paper() {
+        // Section 3.3: 156 for W8A8 on A100.
+        let w8 = A100.transition_batch(TcKind::Int8, 1.0);
+        assert!((w8 - 156.0).abs() < 1.0, "W8A8 A100: {w8}");
+    }
+
+    #[test]
+    fn h100_alpha_budgets_match_paper() {
+        // Section 3.3: α ≤ 5.07 (memory-bound), α ≤ ~5.05 (compute-bound
+        // at the W4A8 transition batch).
+        let mem = H100.alpha_budget_memory_bound(0.5);
+        assert!((mem - 5.07).abs() < 0.01, "memory-bound α: {mem}");
+        let m_star = H100.transition_batch(TcKind::Int8, 0.5).round() as usize;
+        let comp = H100.alpha_budget_compute_bound(TcKind::Int8, m_star, 256);
+        assert!((comp - 5.07).abs() < 0.1, "compute-bound α: {comp}");
+    }
+
+    #[test]
+    fn lqq_alpha_is_safely_under_budget() {
+        use lq_swar::audit::LQQ_BUDGET;
+        assert!(LQQ_BUDGET.alpha < H100.alpha_budget_memory_bound(0.5) / 5.0);
+    }
+
+    #[test]
+    fn w4a8_halves_the_transition_batch() {
+        for spec in [A100, H100, H800] {
+            let w8 = spec.transition_batch(TcKind::Int8, 1.0);
+            let w4 = spec.transition_batch(TcKind::Int8, 0.5);
+            assert!((w4 * 2.0 - w8).abs() < 1e-6, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn tensor_core_growth_outpaces_bandwidth() {
+        // The paper's hardware-trend observation: H100/A100 compute
+        // ratio exceeds the bandwidth ratio, pushing transitions higher.
+        let compute_ratio = H100.tc_int8 / A100.tc_int8;
+        let bw_ratio = H100.mem_bw / A100.mem_bw;
+        assert!(compute_ratio > bw_ratio * 1.5);
+    }
+
+    #[test]
+    fn h800_matches_h100_for_gemm() {
+        assert_eq!(H800.tc_int8, H100.tc_int8);
+        assert_eq!(H800.mem_bw, H100.mem_bw);
+    }
+
+    #[test]
+    fn fp8_unsupported_on_a100() {
+        assert_eq!(A100.tc_throughput(TcKind::Fp8), 0.0);
+        assert!(H100.tc_throughput(TcKind::Fp8) > 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Hardware-trend analysis (Section 3.3, "Implication on LLM Serving").
+//!
+//! The paper observes that tensor-core throughput grows faster than
+//! memory bandwidth generation over generation, pushing the
+//! memory→compute transition to ever larger batch sizes — and that
+//! W4A8 halves those thresholds, which is the strategic argument for
+//! investing in a fast W4A8 kernel. This module projects that argument:
+//! given compute/bandwidth growth factors, where do the transitions and
+//! the dequantization budgets land on hypothetical future parts?
+
+use crate::specs::{GpuSpec, TcKind};
+
+/// A hypothetical GPU scaled from a baseline part.
+#[must_use]
+pub fn scaled_gpu(
+    base: &GpuSpec,
+    name: &'static str,
+    compute_factor: f64,
+    bandwidth_factor: f64,
+) -> GpuSpec {
+    assert!(compute_factor > 0.0 && bandwidth_factor > 0.0);
+    GpuSpec {
+        name,
+        mem_bw: base.mem_bw * bandwidth_factor,
+        tc_int8: base.tc_int8 * compute_factor,
+        tc_fp16: base.tc_fp16 * compute_factor,
+        tc_fp8: base.tc_fp8 * compute_factor,
+        // CUDA-core throughput historically tracks compute, not HBM.
+        cuda_int: base.cuda_int * compute_factor,
+        ..*base
+    }
+}
+
+/// One row of the trend table.
+#[derive(Debug, Clone, Copy)]
+pub struct TrendRow {
+    /// GPU name.
+    pub name: &'static str,
+    /// W8A8 transition batch.
+    pub w8a8_transition: f64,
+    /// W4A8 transition batch.
+    pub w4a8_transition: f64,
+    /// Dequant budget α (memory-bound, 4-bit weights).
+    pub alpha_budget: f64,
+    /// Whether LiquidQuant's α = 0.875 still fits with 4x headroom.
+    pub lqq_headroom: f64,
+}
+
+/// Evaluate the trend quantities for one GPU.
+#[must_use]
+pub fn trend_row(spec: &GpuSpec) -> TrendRow {
+    let alpha = spec.alpha_budget_memory_bound(0.5);
+    TrendRow {
+        name: spec.name,
+        w8a8_transition: spec.transition_batch(TcKind::Int8, 1.0),
+        w4a8_transition: spec.transition_batch(TcKind::Int8, 0.5),
+        alpha_budget: alpha,
+        lqq_headroom: alpha / (7.0 / 8.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{A100, H100};
+
+    #[test]
+    fn history_shows_growing_transitions() {
+        let a = trend_row(&A100);
+        let h = trend_row(&H100);
+        assert!(h.w8a8_transition > a.w8a8_transition);
+        assert!(h.w4a8_transition > a.w4a8_transition);
+        // W4A8 always halves W8A8.
+        assert!((a.w4a8_transition * 2.0 - a.w8a8_transition).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_heavy_future_raises_thresholds() {
+        // Next-gen: 2.5x compute, 1.5x bandwidth (the historical ratio).
+        let next = scaled_gpu(&H100, "NextGen", 2.5, 1.5);
+        let row = trend_row(&next);
+        assert!(row.w8a8_transition > 450.0, "{}", row.w8a8_transition);
+        // W4A8 keeps the threshold near today's W8A8 value — the
+        // paper's argument for quantization as a hedge.
+        assert!(row.w4a8_transition < row.w8a8_transition / 1.9);
+    }
+
+    #[test]
+    fn alpha_budget_tracks_compute_bandwidth_ratio() {
+        // If CUDA cores scale with compute but HBM lags, the dequant
+        // budget *grows* — cheap dequantization stays viable.
+        let next = scaled_gpu(&H100, "NextGen", 2.0, 1.0);
+        assert!(trend_row(&next).alpha_budget > trend_row(&H100).alpha_budget * 1.9);
+    }
+
+    #[test]
+    fn lqq_headroom_is_large_everywhere() {
+        for spec in [A100, H100, scaled_gpu(&H100, "X", 3.0, 1.5)] {
+            let row = trend_row(&spec);
+            assert!(row.lqq_headroom > 2.0, "{}: {}", spec.name, row.lqq_headroom);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "compute_factor > 0.0")]
+    fn bad_factors_panic() {
+        let _ = scaled_gpu(&H100, "bad", 0.0, 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Byte-lane views of a 32-bit register.
+//!
+//! GPU register-level parallelism packs four 8-bit elements into one
+//! 32-bit register. Lane 0 is the least-significant byte, matching both
+//! little-endian CUDA register semantics and the layout produced by
+//! `LDS.128` loads of consecutive bytes.
+//!
+//! The paper's "sweet dequantization" (Section 4) leans on one fact about
+//! two's complement: an `i8` value `i` and a `u8` value `j` have the same
+//! bit pattern iff `i ≡ j (mod 2^8)`. [`u8_as_i8`] / [`i8_as_u8`] make
+//! that reinterpretation explicit so kernels never cast implicitly.
+
+/// Pack four unsigned byte lanes into a `u32` (lane 0 = LSB).
+#[inline(always)]
+#[must_use]
+pub const fn u8x4_to_u32(lanes: [u8; 4]) -> u32 {
+    u32::from_le_bytes(lanes)
+}
+
+/// Unpack a `u32` into four unsigned byte lanes (lane 0 = LSB).
+#[inline(always)]
+#[must_use]
+pub const fn u32_to_u8x4(r: u32) -> [u8; 4] {
+    r.to_le_bytes()
+}
+
+/// Pack four signed byte lanes into a `u32` via two's-complement bits.
+#[inline(always)]
+#[must_use]
+pub const fn i8x4_to_u32(lanes: [i8; 4]) -> u32 {
+    u32::from_le_bytes([
+        lanes[0] as u8,
+        lanes[1] as u8,
+        lanes[2] as u8,
+        lanes[3] as u8,
+    ])
+}
+
+/// Unpack a `u32` into four signed byte lanes via two's-complement bits.
+#[inline(always)]
+#[must_use]
+pub const fn u32_to_i8x4(r: u32) -> [i8; 4] {
+    let b = r.to_le_bytes();
+    [b[0] as i8, b[1] as i8, b[2] as i8, b[3] as i8]
+}
+
+/// Replicate one byte into all four lanes (e.g. `0x80` → `0x8080_8080`).
+///
+/// On the GPU this is free: the constant is materialised at compile time
+/// or via a single `MOV`.
+#[inline(always)]
+#[must_use]
+pub const fn broadcast_u8(b: u8) -> u32 {
+    (b as u32) * 0x0101_0101
+}
+
+/// Reinterpret a `u8` bit pattern as `i8` (mod-2^8 equivalence).
+#[inline(always)]
+#[must_use]
+pub const fn u8_as_i8(v: u8) -> i8 {
+    v as i8
+}
+
+/// Reinterpret an `i8` bit pattern as `u8` (mod-2^8 equivalence).
+#[inline(always)]
+#[must_use]
+pub const fn i8_as_u8(v: i8) -> u8 {
+    v as u8
+}
+
+/// True iff the signed value `i` and the unsigned value `j` share one
+/// byte-level bit pattern, i.e. `i ≡ j (mod 2^8)`.
+///
+/// This is the congruence the paper's Equation 9 manipulates.
+#[inline]
+#[must_use]
+pub const fn same_bits_mod256(i: i16, j: u16) -> bool {
+    (i as u16) & 0xFF == j & 0xFF
+}
+
+/// Apply a per-lane function to two packed registers (semantic reference
+/// used by tests; not a modelled hardware instruction).
+#[inline]
+#[must_use]
+pub fn lanewise2(a: u32, b: u32, f: impl Fn(u8, u8) -> u8) -> u32 {
+    let (a, b) = (u32_to_u8x4(a), u32_to_u8x4(b));
+    u8x4_to_u32([
+        f(a[0], b[0]),
+        f(a[1], b[1]),
+        f(a[2], b[2]),
+        f(a[3], b[3]),
+    ])
+}
+
+/// Apply a per-lane function to one packed register (semantic reference).
+#[inline]
+#[must_use]
+pub fn lanewise1(a: u32, f: impl Fn(u8) -> u8) -> u32 {
+    let a = u32_to_u8x4(a);
+    u8x4_to_u32([f(a[0]), f(a[1]), f(a[2]), f(a[3])])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip_u8() {
+        let lanes = [0x12u8, 0x34, 0x56, 0x78];
+        assert_eq!(u32_to_u8x4(u8x4_to_u32(lanes)), lanes);
+        assert_eq!(u8x4_to_u32(lanes), 0x7856_3412);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_i8() {
+        let lanes = [-1i8, 127, -128, 0];
+        assert_eq!(u32_to_i8x4(i8x4_to_u32(lanes)), lanes);
+    }
+
+    #[test]
+    fn signed_unsigned_views_share_bits() {
+        // -3 and 253 share the pattern 1111_1101 (paper's example).
+        assert_eq!(i8_as_u8(-3), 253);
+        assert_eq!(u8_as_i8(253), -3);
+        assert!(same_bits_mod256(-3, 253));
+        assert!(!same_bits_mod256(-3, 252));
+    }
+
+    #[test]
+    fn signed_unsigned_exhaustive_mod256() {
+        for j in 0..=255u8 {
+            let i = u8_as_i8(j);
+            assert!(same_bits_mod256(i as i16, j as u16));
+            assert_eq!(i8_as_u8(i), j);
+        }
+    }
+
+    #[test]
+    fn broadcast_replicates() {
+        assert_eq!(broadcast_u8(0x80), 0x8080_8080);
+        assert_eq!(broadcast_u8(0x00), 0);
+        assert_eq!(broadcast_u8(0xFF), 0xFFFF_FFFF);
+        assert_eq!(u32_to_u8x4(broadcast_u8(0x2A)), [0x2A; 4]);
+    }
+
+    #[test]
+    fn lanewise_matches_manual() {
+        let a = u8x4_to_u32([1, 2, 3, 4]);
+        let b = u8x4_to_u32([10, 20, 30, 40]);
+        let sum = lanewise2(a, b, |x, y| x.wrapping_add(y));
+        assert_eq!(u32_to_u8x4(sum), [11, 22, 33, 44]);
+        let neg = lanewise1(a, |x| x.wrapping_neg());
+        assert_eq!(u32_to_u8x4(neg), [255, 254, 253, 252]);
+    }
+
+    #[test]
+    fn paper_example_binary_patterns() {
+        // Q_u8 = 225 = 1110_0001, min(Q_i8) = -104 = 1001_1000.
+        assert_eq!(225u8, 0b1110_0001);
+        assert_eq!(i8_as_u8(-104), 0b1001_1000);
+        // Their 9-bit sum overflows u8: 225 + 152 = 377 > 255.
+        assert!(225u16 + i8_as_u8(-104) as u16 > 255);
+        // But mod 2^8 the wrapped result equals the expected 121.
+        assert_eq!(225u8.wrapping_add(i8_as_u8(-104)), 121);
+    }
+}

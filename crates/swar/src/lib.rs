@@ -1,0 +1,44 @@
+//! # lq-swar — SWAR register-op emulation for LiquidGEMM
+//!
+//! LiquidGEMM's central numerical claim is that its dequantization runs as
+//! **two native 32-bit instructions per four weights** (`IMAD` + `XOR`),
+//! while the QServe/QoQ baseline needs an emulated `vadd` that the PTX
+//! compiler lowers to a dozen low-level operations. Those claims are
+//! *integer arithmetic identities* over packed byte lanes of a 32-bit
+//! register, so they can be verified bit-exactly on any machine.
+//!
+//! This crate provides:
+//!
+//! * [`lanes`] — packing/unpacking of four `u8`/`i8` lanes in a `u32`,
+//!   lane broadcast, and the two's-complement reinterpretation helpers the
+//!   paper's "sweet dequantization" relies on.
+//! * [`ops`] — emulation of the native GPU integer instructions used by
+//!   both dequantization paths (`IMAD`, `XOR`, `AND`, shifts, `PRMT`,
+//!   `LOP3`, `BFE`), each documented with its hardware cost.
+//! * [`vadd`] — the *non-native* SIMD-video byte-wise add/sub, implemented
+//!   both as a semantic reference and as the multi-instruction lowering a
+//!   compiler must emit on Hopper (where `vadd4` has no hardware unit),
+//!   which is the root cause of QServe's dequantization overhead.
+//! * [`unpack`] — 4-bit → 8-bit lane expansion used by both QServe and
+//!   LiquidGEMM before the arithmetic step.
+//! * [`audit`] — an instruction-counting ALU wrapper plus the static
+//!   per-path instruction budgets that reproduce the paper's α analysis
+//!   (Section 3.3: α ≤ 5.07 is required for overlap; LiquidQuant achieves
+//!   7 instructions per 8 elements including unpacking).
+//!
+//! Everything here is plain wrapping integer arithmetic; no unsafe code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod lanes;
+pub mod ops;
+pub mod unpack;
+pub mod vadd;
+
+pub use audit::{CountingAlu, InstrClass, InstrCount};
+pub use lanes::{broadcast_u8, i8x4_to_u32, u32_to_i8x4, u32_to_u8x4, u8x4_to_u32};
+pub use ops::{bfe_u32, imad_u32, lop3, prmt};
+pub use unpack::{unpack8_u4_to_2xu8x4, unpack_u4_lo, Unpacked8};
+pub use vadd::{vadd4_lowered, vadd4_ref, vsub4_lowered, vsub4_ref};

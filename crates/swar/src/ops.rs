@@ -1,0 +1,183 @@
+//! Emulation of the native GPU integer instructions used by both
+//! dequantization paths.
+//!
+//! Each function models one PTX/SASS instruction with **unit cost** on the
+//! CUDA-core integer pipe. The LiquidQuant fast path uses only [`imad_u32`]
+//! and plain XOR; the QServe path additionally needs [`prmt`]/[`lop3`] for
+//! unpacking and an *emulated* byte-wise add (see [`crate::vadd`]).
+//!
+//! All arithmetic is wrapping, matching GPU register semantics.
+
+/// 32-bit integer multiply-add: `a * b + c` with wrap-around, one `IMAD`.
+///
+/// This single instruction performs LiquidQuant's per-register
+/// `Q_u4x4 * s_u8 + a_packed` step for four lanes at once. It is safe to
+/// use a full 32-bit multiply for four independent byte lanes **only
+/// when no lane product or sum can carry into the next lane** — exactly
+/// the invariant LiquidQuant's shifted quantization guarantees
+/// (`Q_u4·s_u8 ≤ 240` and `Q̂_u8 + a ≤ 255`; see `lq-quant::lqq`).
+#[inline(always)]
+#[must_use]
+pub const fn imad_u32(a: u32, b: u32, c: u32) -> u32 {
+    a.wrapping_mul(b).wrapping_add(c)
+}
+
+/// Convenience struct bundling the two constants of the LQQ fast path.
+///
+/// `scale` is the per-group `s_u8` (an integer ≤ 16) and `offset` is the
+/// lane-replicated `a = 2^7 + min(Q_i8)` from Equation 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Imad {
+    /// Multiplier applied to every lane (no lane replication needed: the
+    /// lanes never carry, so a scalar 32-bit multiplier works).
+    pub scale: u32,
+    /// Per-lane additive offset, already replicated into all four lanes.
+    pub offset: u32,
+}
+
+impl Imad {
+    /// Execute the fused multiply-add on one packed register (one `IMAD`).
+    #[inline(always)]
+    #[must_use]
+    pub const fn apply(self, w: u32) -> u32 {
+        imad_u32(w, self.scale, self.offset)
+    }
+}
+
+/// PTX `PRMT`: byte permute of the 8-byte value `{b,a}` selected by the
+/// low 4 bits of each selector nibble in `sel`.
+///
+/// Byte `i` of the result is chosen by nibble `i` of `sel`:
+/// values 0–3 select bytes of `a` (LSB first), 4–7 select bytes of `b`.
+/// The "sign/replicate" mode (selector bit 3 with MSB replication) is not
+/// modelled because neither dequantization path uses it.
+#[inline]
+#[must_use]
+pub const fn prmt(a: u32, b: u32, sel: u32) -> u32 {
+    let src = ((b as u64) << 32) | a as u64;
+    let mut out = 0u32;
+    let mut i = 0;
+    while i < 4 {
+        let nib = (sel >> (4 * i)) & 0x7;
+        let byte = ((src >> (8 * nib)) & 0xFF) as u32;
+        out |= byte << (8 * i);
+        i += 1;
+    }
+    out
+}
+
+/// PTX `LOP3.LUT`: arbitrary three-input bitwise logic, one instruction.
+///
+/// `lut` is the 8-bit truth table: output bit = bit
+/// `(a_bit << 2) | (b_bit << 1) | c_bit` of `lut`.
+#[inline]
+#[must_use]
+pub const fn lop3(a: u32, b: u32, c: u32, lut: u8) -> u32 {
+    // Expand the truth table by Shannon decomposition: for each of the 8
+    // minterms, OR in the mask of positions matching that minterm.
+    let mut out = 0u32;
+    let mut m = 0;
+    while m < 8 {
+        if (lut >> m) & 1 == 1 {
+            let am = if m & 4 != 0 { a } else { !a };
+            let bm = if m & 2 != 0 { b } else { !b };
+            let cm = if m & 1 != 0 { c } else { !c };
+            out |= am & bm & cm;
+        }
+        m += 1;
+    }
+    out
+}
+
+/// Truth-table constant for `(a & b) | c` — the `LOP3` used in the
+/// classic interleaved 4-bit unpack (`(w >> s & 0x0F0F0F0F) | magic`).
+pub const LOP3_AND_OR: u8 = 0xEA;
+
+/// PTX `BFE.U32`: extract `len` bits of `v` starting at bit `pos`,
+/// zero-extended. One instruction on the integer pipe.
+#[inline]
+#[must_use]
+pub const fn bfe_u32(v: u32, pos: u32, len: u32) -> u32 {
+    if len == 0 {
+        return 0;
+    }
+    if len >= 32 {
+        return v >> (pos & 31);
+    }
+    (v >> pos) & ((1u32 << len) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{u32_to_u8x4, u8x4_to_u32};
+
+    #[test]
+    fn imad_is_mul_add() {
+        assert_eq!(imad_u32(3, 5, 7), 22);
+        assert_eq!(imad_u32(u32::MAX, 2, 3), u32::MAX.wrapping_mul(2).wrapping_add(3));
+    }
+
+    #[test]
+    fn imad_acts_lanewise_when_no_carry() {
+        // Lanes 0..=14, scale 16 (the LQQ maximum), offsets ≤ 15:
+        // every lane result ≤ 240 + 15 = 255, so the 32-bit IMAD result
+        // must equal the per-lane computation.
+        let w = u8x4_to_u32([0, 5, 9, 14]);
+        let offs = u8x4_to_u32([1, 2, 3, 15]);
+        let got = Imad { scale: 16, offset: offs }.apply(w);
+        assert_eq!(u32_to_u8x4(got), [1, 82, 147, 239]);
+    }
+
+    #[test]
+    fn prmt_identity_and_swap() {
+        let a = 0x4433_2211;
+        let b = 0x8877_6655;
+        // Identity: select bytes 0,1,2,3 of a.
+        assert_eq!(prmt(a, b, 0x3210), a);
+        // All from b: bytes 4..7.
+        assert_eq!(prmt(a, b, 0x7654), b);
+        // Reverse a.
+        assert_eq!(prmt(a, b, 0x0123), 0x1122_3344);
+        // Interleave: a0,b0,a1,b1.
+        assert_eq!(prmt(a, b, 0x5140), 0x6622_5511);
+    }
+
+    #[test]
+    fn lop3_reproduces_basic_gates() {
+        let (a, b, c) = (0xF0F0_F0F0u32, 0xCCCC_CCCCu32, 0xAAAA_AAAAu32);
+        // and3 = lut 0b1000_0000
+        assert_eq!(lop3(a, b, c, 0x80), a & b & c);
+        // or3 = lut with every minterm except 000
+        assert_eq!(lop3(a, b, c, 0xFE), a | b | c);
+        // xor3 = parity minterms
+        assert_eq!(lop3(a, b, c, 0b1001_0110), a ^ b ^ c);
+        // (a & b) | c
+        assert_eq!(lop3(a, b, c, 0xEA), (a & b) | c);
+    }
+
+    #[test]
+    fn lop3_exhaustive_truth_tables_on_single_bits() {
+        // For single-bit inputs, lop3 must reproduce its own truth table.
+        for lut in 0..=255u8 {
+            for m in 0..8u32 {
+                let a = if m & 4 != 0 { 1u32 } else { 0 };
+                let b = if m & 2 != 0 { 1 } else { 0 };
+                let c = if m & 1 != 0 { 1 } else { 0 };
+                let want = ((lut >> m) & 1) as u32;
+                assert_eq!(lop3(a, b, c, lut) & 1, want, "lut={lut:02x} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfe_extracts_fields() {
+        let v = 0xABCD_1234u32;
+        assert_eq!(bfe_u32(v, 0, 4), 0x4);
+        assert_eq!(bfe_u32(v, 4, 4), 0x3);
+        assert_eq!(bfe_u32(v, 16, 8), 0xCD);
+        assert_eq!(bfe_u32(v, 28, 4), 0xA);
+        assert_eq!(bfe_u32(v, 0, 32), v);
+        assert_eq!(bfe_u32(v, 0, 0), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! 4-bit → 8-bit lane expansion ("unpacking").
+//!
+//! Both QServe and LiquidGEMM store eight UINT4 weights per 32-bit
+//! register and must expand them into two registers of four UINT8 lanes
+//! each before the arithmetic dequantization step. The paper (Section 5.3)
+//! adopts QServe's unpack, which costs **3 instructions for 8 elements**
+//! (one shift + two masking ops, the masks folding into `LOP3`s on SASS),
+//! so a full 8-element dequant is `3 (unpack) + 2×(IMAD+XOR) = 7`
+//! instructions.
+//!
+//! Nibble order: nibble `i` of the packed register (bit `4i..4i+4`) is
+//! element `i`. The low nibbles of each byte go to the `lo` register and
+//! the high nibbles to the `hi` register, preserving the *interleaved*
+//! element order `(0,2,4,6)` / `(1,3,5,7)`. The weight packer in
+//! `lq-layout` pre-permutes elements offline so that this interleaving
+//! lands each weight in its MMA-required lane — the "register layout is
+//! decided offline, arithmetic stays trivial online" trade the paper
+//! makes.
+
+use crate::audit::CountingAlu;
+
+/// Result of unpacking eight 4-bit elements: two packed UINT8x4 registers.
+///
+/// `lo` holds original nibble indices (0,2,4,6); `hi` holds (1,3,5,7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unpacked8 {
+    /// Lanes = elements 0,2,4,6 of the packed register.
+    pub lo: u32,
+    /// Lanes = elements 1,3,5,7 of the packed register.
+    pub hi: u32,
+}
+
+/// Extract the even nibbles of `w` into byte lanes (1 instruction: AND).
+#[inline(always)]
+#[must_use]
+pub const fn unpack_u4_lo(w: u32) -> u32 {
+    w & 0x0F0F_0F0F
+}
+
+/// Extract the odd nibbles of `w` into byte lanes (2 instructions:
+/// SHR + AND, the AND typically fused into a `LOP3`).
+#[inline(always)]
+#[must_use]
+pub const fn unpack_u4_hi(w: u32) -> u32 {
+    (w >> 4) & 0x0F0F_0F0F
+}
+
+/// Unpack eight UINT4 elements into two UINT8x4 registers,
+/// counting the 3 CUDA-core instructions on `alu`.
+#[inline]
+#[must_use]
+pub fn unpack8_u4_to_2xu8x4(alu: &mut CountingAlu, w: u32) -> Unpacked8 {
+    const MASK: u32 = 0x0F0F_0F0F;
+    let lo = alu.and(w, MASK);
+    let s = alu.shr(w, 4);
+    let hi = alu.and(s, MASK);
+    Unpacked8 { lo, hi }
+}
+
+/// Instruction cost of one 8-element unpack.
+pub const UNPACK8_COST: u32 = 3;
+
+/// Scalar reference: the `i`-th 4-bit element of packed register `w`.
+#[inline]
+#[must_use]
+pub const fn nibble(w: u32, i: u32) -> u8 {
+    ((w >> (4 * i)) & 0xF) as u8
+}
+
+/// Pack eight 4-bit values (each < 16) into a `u32`, nibble `i` = `vals[i]`.
+///
+/// Offline helper (the GPU never packs at run time).
+#[inline]
+#[must_use]
+pub fn pack8_u4(vals: [u8; 8]) -> u32 {
+    let mut w = 0u32;
+    for (i, &v) in vals.iter().enumerate() {
+        debug_assert!(v < 16, "u4 value out of range: {v}");
+        w |= ((v & 0xF) as u32) << (4 * i);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::u32_to_u8x4;
+
+    #[test]
+    fn pack_then_nibble_roundtrip() {
+        let vals = [0u8, 1, 2, 3, 15, 14, 13, 12];
+        let w = pack8_u4(vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(nibble(w, i as u32), v);
+        }
+    }
+
+    #[test]
+    fn unpack_splits_even_odd_nibbles() {
+        let vals = [1u8, 9, 2, 10, 3, 11, 4, 12];
+        let w = pack8_u4(vals);
+        let mut alu = CountingAlu::default();
+        let u = unpack8_u4_to_2xu8x4(&mut alu, w);
+        assert_eq!(u32_to_u8x4(u.lo), [1, 2, 3, 4]); // elements 0,2,4,6
+        assert_eq!(u32_to_u8x4(u.hi), [9, 10, 11, 12]); // elements 1,3,5,7
+    }
+
+    #[test]
+    fn unpack_cost_is_three_instructions() {
+        let mut alu = CountingAlu::default();
+        let _ = unpack8_u4_to_2xu8x4(&mut alu, 0x1234_5678);
+        assert_eq!(alu.count().total(), UNPACK8_COST as u64);
+    }
+
+    #[test]
+    fn unpack_exhaustive_one_byte() {
+        // Exhaust all byte patterns in the lowest byte; lanes are
+        // independent, so this plus the interleave test covers the space.
+        for b in 0..=255u8 {
+            let w = b as u32;
+            let mut alu = CountingAlu::default();
+            let u = unpack8_u4_to_2xu8x4(&mut alu, w);
+            assert_eq!(u32_to_u8x4(u.lo)[0], b & 0xF);
+            assert_eq!(u32_to_u8x4(u.hi)[0], b >> 4);
+        }
+    }
+
+    #[test]
+    fn unpack_consts_match_fns() {
+        let w = 0xFEDC_BA98u32;
+        assert_eq!(unpack_u4_lo(w), 0x0E0C_0A08);
+        assert_eq!(unpack_u4_hi(w), 0x0F0D_0B09);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the SWAR register emulation.
+
+use lq_swar::audit::CountingAlu;
+use lq_swar::lanes::{i8x4_to_u32, u32_to_i8x4, u32_to_u8x4, u8x4_to_u32};
+use lq_swar::ops::{bfe_u32, imad_u32, lop3, prmt};
+use lq_swar::unpack::{nibble, pack8_u4, unpack8_u4_to_2xu8x4};
+use lq_swar::vadd::{vadd4_lowered, vadd4_ref, vsub4_lowered, vsub4_ref};
+use proptest::prelude::*;
+
+proptest! {
+    /// Packed-lane round trips are lossless for all bit patterns.
+    #[test]
+    fn lanes_roundtrip(r in any::<u32>()) {
+        prop_assert_eq!(u8x4_to_u32(u32_to_u8x4(r)), r);
+        prop_assert_eq!(i8x4_to_u32(u32_to_i8x4(r)), r);
+    }
+
+    /// The lowered (carryless) vadd4 equals the per-lane reference for
+    /// every pair of registers.
+    #[test]
+    fn vadd4_lowering_correct(a in any::<u32>(), b in any::<u32>()) {
+        let mut alu = CountingAlu::new();
+        prop_assert_eq!(vadd4_lowered(&mut alu, a, b), vadd4_ref(a, b));
+        prop_assert_eq!(alu.count().total(), 7);
+    }
+
+    /// The lowered vsub4 equals the per-lane reference for every pair.
+    #[test]
+    fn vsub4_lowering_correct(a in any::<u32>(), b in any::<u32>()) {
+        let mut alu = CountingAlu::new();
+        prop_assert_eq!(vsub4_lowered(&mut alu, a, b), vsub4_ref(a, b));
+        prop_assert_eq!(alu.count().total(), 7);
+    }
+
+    /// vadd4 then vsub4 of the same operand is the identity.
+    #[test]
+    fn vadd_vsub_inverse(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(vsub4_ref(vadd4_ref(a, b), b), a);
+    }
+
+    /// Unpack agrees with the scalar nibble oracle for all registers.
+    #[test]
+    fn unpack_matches_nibbles(w in any::<u32>()) {
+        let mut alu = CountingAlu::new();
+        let u = unpack8_u4_to_2xu8x4(&mut alu, w);
+        let lo = u32_to_u8x4(u.lo);
+        let hi = u32_to_u8x4(u.hi);
+        for k in 0..4u32 {
+            prop_assert_eq!(lo[k as usize], nibble(w, 2 * k));
+            prop_assert_eq!(hi[k as usize], nibble(w, 2 * k + 1));
+        }
+    }
+
+    /// pack8_u4 is the left inverse of nibble extraction.
+    #[test]
+    fn pack8_nibble_roundtrip(vals in prop::array::uniform8(0u8..16)) {
+        let w = pack8_u4(vals);
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(nibble(w, i as u32), *v);
+        }
+    }
+
+    /// IMAD acts lane-wise whenever the per-lane no-carry precondition
+    /// holds (lanes < 16, scale ≤ 16, per-lane offset such that
+    /// lane*scale + offset ≤ 255) — the LiquidQuant invariant.
+    #[test]
+    fn imad_lanewise_under_lqq_invariant(
+        lanes in prop::array::uniform4(0u8..16),
+        scale in 1u32..=16,
+        offs in prop::array::uniform4(0u8..16),
+    ) {
+        let w = u8x4_to_u32(lanes);
+        let o = u8x4_to_u32(offs);
+        let r = u32_to_u8x4(imad_u32(w, scale, o));
+        for i in 0..4 {
+            let want = lanes[i] as u32 * scale + offs[i] as u32;
+            prop_assert!(want <= 255);
+            prop_assert_eq!(r[i] as u32, want);
+        }
+    }
+
+    /// PRMT with the identity selector is the identity; with 0x7654 it
+    /// selects the second operand.
+    #[test]
+    fn prmt_selectors(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(prmt(a, b, 0x3210), a);
+        prop_assert_eq!(prmt(a, b, 0x7654), b);
+    }
+
+    /// BFE composes with shift+mask.
+    #[test]
+    fn bfe_matches_shift_mask(v in any::<u32>(), pos in 0u32..32, len in 1u32..=16) {
+        let want = (v >> pos) & ((1u32 << len) - 1);
+        prop_assert_eq!(bfe_u32(v, pos, len), want);
+    }
+
+    /// LOP3 with the (a&b)|c table matches the expression.
+    #[test]
+    fn lop3_and_or(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
+        prop_assert_eq!(lop3(a, b, c, lq_swar::ops::LOP3_AND_OR), (a & b) | c);
+    }
+}

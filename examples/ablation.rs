@@ -1,0 +1,73 @@
+//! The Figure-13 ablation, twice: once measured on real CPU threads
+//! (LQQ vs QoQ dequantization × pipeline variants) and once on the
+//! warp-group pipeline simulator with H800 throughput numbers.
+//!
+//! Run: `cargo run --release --example ablation`
+
+use liquidgemm::core::packed::{PackedLqqLinear, PackedQoqLinear};
+use liquidgemm::core::pipeline::{w4a8_excp, w4a8_imfp, ParallelConfig};
+use liquidgemm::core::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
+use liquidgemm::quant::act::QuantizedActivations;
+use liquidgemm::quant::mat::Mat;
+use liquidgemm::sim::pipeline_sim::ablation;
+use liquidgemm::sim::specs::H800;
+use std::time::Instant;
+
+fn median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut v: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    println!("== CPU-measured ablation (real kernels, this machine) ==\n");
+    let (m, n, k) = (64, 2048, 2048);
+    let w = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.021).sin());
+    let x = Mat::from_fn(m, k, |r, c| ((r + c) as f32 * 0.017).cos());
+    let qa = QuantizedActivations::quantize(&x, None);
+    let lqq = PackedLqqLinear::quantize(&w, 64);
+    let qoq = PackedQoqLinear::quantize(&w, 64);
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+    let cfg = ParallelConfig { workers, task_rows: 16, stages: 2 * workers };
+
+    let t_base = median(3, || {
+        std::hint::black_box(w4a8_qoq_serial(&qa.q, &qa.scales, &qoq));
+    });
+    let t_lqq = median(3, || {
+        std::hint::black_box(w4a8_lqq_serial(&qa.q, &qa.scales, &lqq));
+    });
+    let t_excp = median(3, || {
+        std::hint::black_box(w4a8_excp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+    });
+    let t_imfp = median(3, || {
+        std::hint::black_box(w4a8_imfp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+    });
+    println!("  baseline (QoQ dequant, serial) : {:8.2} ms", t_base * 1e3);
+    println!("  +LQQ            (serial)       : {:8.2} ms  ({:.2}x)", t_lqq * 1e3, t_base / t_lqq);
+    println!("  +LQQ +ExCP ({workers} workers)        : {:8.2} ms  ({:.2}x)", t_excp * 1e3, t_base / t_excp);
+    println!("  +LQQ +ImFP ({workers} workers)        : {:8.2} ms  ({:.2}x)", t_imfp * 1e3, t_base / t_imfp);
+    println!("  ImFP over ExCP: {:.2}x", t_excp / t_imfp);
+
+    println!("\n== Simulated ablation (H800 warp-group pipeline model) ==\n");
+    println!("  batch   Baseline      +LQQ     +ExCP     +ImFP   LQQ-gain  ImFP-gain");
+    for m in [4usize, 16, 64, 256] {
+        let r = ablation(&H800, m, 512);
+        println!(
+            "  {m:>5}   {:8.1}  {:8.1}  {:8.1}  {:8.1}    {:5.2}x     {:5.2}x",
+            r.baseline * 1e6,
+            r.lqq * 1e6,
+            r.lqq_excp * 1e6,
+            r.lqq_imfp * 1e6,
+            r.baseline / r.lqq,
+            r.lqq / r.lqq_imfp
+        );
+    }
+    println!("  (times in us for a 512-iteration tile stream)");
+}

@@ -1,0 +1,84 @@
+//! End-to-end decode on the executable mini engine: a multi-layer
+//! decoder-only model whose every projection runs through the W4A8
+//! LiquidGEMM kernel, with INT8 paged KV attention — compared step by
+//! step against its FP32 twin.
+//!
+//! Run: `cargo run --release --example decode_demo`
+
+use liquidgemm::core::KernelKind;
+use liquidgemm::engine::attention::AttnConfig;
+use liquidgemm::engine::model::{argmax, ModelSpec, TinyLlm};
+use liquidgemm::quant::metrics::error_stats;
+use std::time::Instant;
+
+fn main() {
+    let spec = ModelSpec {
+        vocab: 256,
+        hidden: 128,
+        inter: 384,
+        layers: 4,
+        attn: AttnConfig { heads: 8, kv_heads: 2, head_dim: 16 },
+        group: 64,
+    };
+    println!(
+        "model: {} layers, hidden {}, inter {}, {} heads ({} KV heads, GQA), vocab {}\n",
+        spec.layers, spec.hidden, spec.inter, spec.attn.heads, spec.attn.kv_heads, spec.vocab
+    );
+
+    let t0 = Instant::now();
+    let mut q = TinyLlm::synthetic(spec, 256, KernelKind::Serial);
+    println!(
+        "built + quantized all layers (W4A8, group {}) in {:.0} ms",
+        spec.group,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    // Offline per-channel static KV calibration (as the paper's system
+    // does) before serving.
+    let calib: Vec<usize> = (0..32).map(|i| (i * 37 + 11) % 256).collect();
+    q.calibrate_kv(&calib, 256);
+    let mut r = q.reference_twin(1);
+    q.add_sequence(0);
+
+    // Teacher-forced decode: both models consume the FP32 argmax token,
+    // so we can compare logits at every step.
+    let prompt = [11usize, 42, 97, 5];
+    let steps = 24;
+    let mut pos = 0usize;
+    let (mut lq, mut lr) = (None, None);
+    for &t in &prompt {
+        lq = Some(q.decode_step(&[t], &[0], &[pos]));
+        lr = Some(r.decode_step(&[t], &[0], &[pos]));
+        pos += 1;
+    }
+    let (mut lq, mut lr) = (lq.expect("prompt nonempty"), lr.expect("prompt nonempty"));
+
+    println!("\nstep  token  fp32-token  logit-cosine  agree");
+    let mut agree = 0usize;
+    let t0 = Instant::now();
+    for step in 0..steps {
+        let tq = argmax(lq.row(0));
+        let tr = argmax(lr.row(0));
+        let e = error_stats(&lr, &lq);
+        let a = tq == tr;
+        agree += usize::from(a);
+        println!("{step:>4}  {tq:>5}  {tr:>10}  {:>12.4}  {}", e.cosine, if a { "yes" } else { " no" });
+        lq = q.decode_step(&[tr], &[0], &[pos]);
+        lr = r.decode_step(&[tr], &[0], &[pos]);
+        pos += 1;
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "\nagreement: {agree}/{steps} greedy tokens; {:.1} ms/step quantized decode",
+        dt / steps as f64 * 1e3
+    );
+    let kv_tokens = q.kv[0].len_of(0).expect("sequence live");
+    println!("KV cache: {kv_tokens} tokens cached per layer, INT8, paged");
+    println!(
+        "\nnote: synthetic random weights are a worst case for quantization —\n\
+         attention over near-uniform scores amplifies noise exponentially and the\n\
+         near-uniform logits make argmax a coin flip between close candidates.\n\
+         Per-GEMM fidelity is >30 dB SQNR (see `quickstart`); trained models,\n\
+         with peaked attention and separated logits, sit in the regime where the\n\
+         paper reports preserved accuracy."
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: quantize a linear layer with LiquidQuant and run the
+//! W4A8 GEMM through every kernel variant.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use liquidgemm::core::api::W4A8Weights;
+use liquidgemm::core::packed::{PackedLqqLinear, PackedQoqLinear};
+use liquidgemm::core::reference::{gemm_f32_ref, max_abs_diff};
+use liquidgemm::core::{gemm, KernelKind, ParallelConfig};
+use liquidgemm::quant::act::QuantizedActivations;
+use liquidgemm::quant::mat::Mat;
+use liquidgemm::quant::metrics::error_stats;
+use std::time::Instant;
+
+fn main() {
+    // A synthetic linear layer: N = 1024 output features, K = 2048.
+    let (m, n, k) = (32, 1024, 2048);
+    let w = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.013).sin() * 0.5);
+    let x = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.029).cos() * 2.0);
+    println!("GEMM: Y[{m}x{n}] = X[{m}x{k}] . W^T[{k}x{n}]\n");
+
+    // Offline: two-level LiquidQuant quantization + dual-MMA packing.
+    let t0 = Instant::now();
+    let lqq = PackedLqqLinear::quantize(&w, 64);
+    println!(
+        "quantized W to 4-bit in {:.1} ms ({} KiB packed vs {} KiB fp32)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        lqq.weight_bytes() / 1024,
+        n * k * 4 / 1024
+    );
+
+    // Online: per-token INT8 activation quantization.
+    let qa = QuantizedActivations::quantize(&x, None);
+
+    // The FP32 oracle and the quantization error of the W4A8 result.
+    let oracle = gemm_f32_ref(&x, &w);
+    let weights = W4A8Weights::Lqq(lqq.clone());
+    let cfg = ParallelConfig::default();
+    let y = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, cfg).y;
+    let e = error_stats(&oracle, &y);
+    println!(
+        "W4A8 vs FP32 oracle: SQNR {:.1} dB, cosine {:.5}\n",
+        e.sqnr_db, e.cosine
+    );
+
+    // Every kernel variant must agree bit-for-bit.
+    println!("kernel variants (all bit-identical):");
+    for kind in [
+        KernelKind::Serial,
+        KernelKind::FlatParallel,
+        KernelKind::ExCp,
+        KernelKind::ImFp,
+    ] {
+        let t0 = Instant::now();
+        let out = gemm(&qa.q, &qa.scales, &weights, kind, cfg).y;
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(max_abs_diff(&out, &y), 0.0);
+        println!("  {kind:?}: {:.2} ms", dt * 1e3);
+    }
+
+    // The QoQ baseline kernel: same accuracy class, more ALU work.
+    let qoq = W4A8Weights::Qoq(PackedQoqLinear::quantize(&w, 64));
+    let t0 = Instant::now();
+    let yq = gemm(&qa.q, &qa.scales, &qoq, KernelKind::Serial, cfg).y;
+    let dt = t0.elapsed().as_secs_f64();
+    let eq = error_stats(&oracle, &yq);
+    println!(
+        "\nQoQ baseline (serial): {:.2} ms, SQNR {:.1} dB — same grid, more instructions",
+        dt * 1e3,
+        eq.sqnr_db
+    );
+}

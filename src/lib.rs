@@ -1,0 +1,58 @@
+//! # liquidgemm — hardware-efficient W4A8 GEMM (SC'25 reproduction)
+//!
+//! Rust reproduction of *"LiquidGEMM: Hardware-Efficient W4A8 GEMM
+//! Kernel for High-Performance LLM Serving"* (SC 2025). The crate
+//! re-exports the full workspace:
+//!
+//! * [`swar`] — bit-exact emulation of the GPU register ops the
+//!   dequantization paths use (IMAD, XOR, PRMT, emulated `vadd4`).
+//! * [`quant`] — LiquidQuant: two-level W4 quantization with the
+//!   overflow-free IMAD+XOR dequantization, the QoQ baseline,
+//!   SmoothQuant calibration, FP8/FP16 codecs.
+//! * [`layout`] — dual-MMA packed weight layout, the `ldmatrix`
+//!   mis-scatter model, tiles, bank-conflict accounting.
+//! * [`core`] — the kernels: serial and pipelined (flat / ExCP / ImFP)
+//!   W4A8 GEMM plus W8A8 / W4A16 / FP16 / FP8 baselines.
+//! * [`sim`] — A100/H100/H800 hardware model, the paper's cost model
+//!   (Eqs. 3–6), per-system kernel latency models, and the warp-group
+//!   pipeline simulator.
+//! * [`models`] — the eight evaluated model architectures (shapes).
+//! * [`serving`] — paged KV cache, attention cost model, the seven
+//!   serving-system configurations, decode and throughput simulation.
+//! * [`engine`] — an executable mini inference engine: RMSNorm, RoPE,
+//!   paged INT8-KV streaming attention, SwiGLU, full decoder layers and
+//!   greedy decoding, all on the W4A8 kernels.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use liquidgemm::core::{gemm, KernelKind, ParallelConfig};
+//! use liquidgemm::core::api::W4A8Weights;
+//! use liquidgemm::core::packed::PackedLqqLinear;
+//! use liquidgemm::quant::act::QuantizedActivations;
+//! use liquidgemm::quant::mat::Mat;
+//!
+//! // FP32 weights (N=32 output features, K=64 inputs) and activations.
+//! let w = Mat::from_fn(32, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin());
+//! let x = Mat::from_fn(4, 64, |r, c| ((r + c) as f32 * 0.2).cos());
+//!
+//! // Offline: two-level LiquidQuant quantization + dual-MMA packing.
+//! let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+//! // Online: per-token INT8 activation quantization.
+//! let qa = QuantizedActivations::quantize(&x, None);
+//! // The W4A8 GEMM with the implicit fine-grained pipeline.
+//! let out = gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp,
+//!                ParallelConfig::default());
+//! assert_eq!((out.y.rows(), out.y.cols()), (4, 32));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lq_core as core;
+pub use lq_engine as engine;
+pub use lq_layout as layout;
+pub use lq_models as models;
+pub use lq_quant as quant;
+pub use lq_serving as serving;
+pub use lq_sim as sim;
+pub use lq_swar as swar;

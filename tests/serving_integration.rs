@@ -1,0 +1,122 @@
+//! Integration tests across the serving stack: KV cache + system
+//! configs + throughput search must compose into Table-1-shaped
+//! behaviour.
+
+use liquidgemm::models::configs::{ALL_MODELS, LLAMA2_70B, LLAMA2_7B};
+use liquidgemm::serving::kvcache::PagedKvCache;
+use liquidgemm::serving::system::{ServingSystem, SystemId};
+use liquidgemm::serving::throughput::{
+    max_feasible_batch, peak_throughput, throughput_at_batch, INPUT_LEN, OUTPUT_LEN,
+};
+use liquidgemm::sim::specs::H800;
+
+#[test]
+fn feasible_batch_agrees_with_paged_allocator() {
+    // The closed-form memory bound and the real page allocator must
+    // agree (up to page-granularity slack) on how many full requests fit.
+    let sys = ServingSystem::of(SystemId::LiquidServe);
+    let cfg = &LLAMA2_7B;
+    let closed_form = max_feasible_batch(&sys, cfg, H800.mem_capacity as f64, INPUT_LEN, OUTPUT_LEN);
+
+    let kv_budget = H800.mem_capacity as f64
+        - sys.weight_bytes(cfg)
+        - liquidgemm::serving::throughput::RESERVE_BYTES;
+    let bytes_per_token = cfg.kv_bytes_per_token(sys.attention.kv.bytes()) as usize;
+    let mut cache = PagedKvCache::new(kv_budget as u64, 16, bytes_per_token);
+    let mut fits = 0usize;
+    loop {
+        let id = fits as u64;
+        if cache.add_sequence(id, INPUT_LEN + OUTPUT_LEN).is_err() {
+            break;
+        }
+        fits += 1;
+        if fits > 400 {
+            break;
+        }
+    }
+    let diff = (fits as i64 - closed_form as i64).abs();
+    assert!(diff <= 2, "allocator fits {fits}, closed form {closed_form}");
+}
+
+#[test]
+fn every_supported_cell_produces_a_positive_peak() {
+    for cfg in &ALL_MODELS {
+        for id in SystemId::ALL {
+            let sys = ServingSystem::of(id);
+            if let Some(p) = peak_throughput(&sys, &H800, cfg) {
+                assert!(p.tokens_per_s > 0.0, "{} on {}", sys.name, cfg.name);
+                assert!((1..=256).contains(&p.batch));
+            }
+        }
+    }
+}
+
+#[test]
+fn liquidserve_wins_or_ties_most_table1_cells() {
+    // The paper's Table 1: LiquidServe leads on 6 of 8 models and is
+    // within a few percent on the other two. The reproduction must show
+    // the same dominance pattern: never worse than 0.9x the best
+    // baseline, and strictly best on the large dense models.
+    let liquid = ServingSystem::of(SystemId::LiquidServe);
+    let mut wins = 0usize;
+    let mut cells = 0usize;
+    for cfg in &ALL_MODELS {
+        let Some(l) = peak_throughput(&liquid, &H800, cfg) else {
+            continue;
+        };
+        let best_baseline = SystemId::ALL
+            .iter()
+            .filter(|&&id| id != SystemId::LiquidServe && id != SystemId::LiquidServeWo)
+            .filter_map(|&id| peak_throughput(&ServingSystem::of(id), &H800, cfg))
+            .map(|p| p.tokens_per_s)
+            .fold(0.0f64, f64::max);
+        cells += 1;
+        if l.tokens_per_s >= best_baseline {
+            wins += 1;
+        }
+        assert!(
+            l.tokens_per_s >= best_baseline * 0.90,
+            "{}: liquid {} vs best {}",
+            cfg.name,
+            l.tokens_per_s,
+            best_baseline
+        );
+    }
+    assert!(wins * 4 >= cells * 3, "LiquidServe won only {wins}/{cells} cells");
+}
+
+#[test]
+fn throughput_is_monotone_then_saturating_for_liquidserve() {
+    // LiquidServe keeps scaling with batch (the paper's contrast with
+    // QServe): throughput at 256 must beat throughput at 64.
+    let sys = ServingSystem::of(SystemId::LiquidServe);
+    let t64 = throughput_at_batch(&sys, &H800, &LLAMA2_7B, 64, INPUT_LEN, OUTPUT_LEN);
+    let t256 = throughput_at_batch(&sys, &H800, &LLAMA2_7B, 256, INPUT_LEN, OUTPUT_LEN);
+    assert!(t256 > t64, "{t256} vs {t64}");
+}
+
+#[test]
+fn qserve_stops_scaling_where_liquidserve_continues() {
+    let q = ServingSystem::of(SystemId::QServe);
+    let l = ServingSystem::of(SystemId::LiquidServe);
+    let q_gain = throughput_at_batch(&q, &H800, &LLAMA2_7B, 256, INPUT_LEN, OUTPUT_LEN)
+        / throughput_at_batch(&q, &H800, &LLAMA2_7B, 64, INPUT_LEN, OUTPUT_LEN);
+    let l_gain = throughput_at_batch(&l, &H800, &LLAMA2_7B, 256, INPUT_LEN, OUTPUT_LEN)
+        / throughput_at_batch(&l, &H800, &LLAMA2_7B, 64, INPUT_LEN, OUTPUT_LEN);
+    assert!(l_gain > q_gain, "liquid gain {l_gain} vs qserve gain {q_gain}");
+}
+
+#[test]
+fn seventy_b_speedup_band_matches_paper() {
+    // The flagship cell: 1.63x over the best baseline (TRT-W4A16).
+    let l = peak_throughput(&ServingSystem::of(SystemId::LiquidServe), &H800, &LLAMA2_70B)
+        .expect("fits");
+    let best = SystemId::ALL
+        .iter()
+        .filter(|&&id| id != SystemId::LiquidServe && id != SystemId::LiquidServeWo)
+        .filter_map(|&id| peak_throughput(&ServingSystem::of(id), &H800, &LLAMA2_70B))
+        .map(|p| p.tokens_per_s)
+        .fold(0.0f64, f64::max);
+    let speedup = l.tokens_per_s / best;
+    assert!((1.3..2.4).contains(&speedup), "70B speedup {speedup}");
+}
