@@ -1,15 +1,21 @@
-//! Criterion microbenchmark: the dequantization microkernels.
+//! Microbenchmark: the dequantization microkernels.
 //!
 //! Measures the real CPU cost of LQQ's IMAD+XOR path against QoQ's
 //! emulated-vsub4 path on identical packed data — the per-register
 //! instruction-count gap (7 vs 19) should show up as wall-clock.
+//!
+//! Plain main (no criterion: the sandbox is offline); `--json` dumps
+//! the telemetry registry to `BENCH_dequant.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lq_bench::bench_case;
 use lq_core::microkernel::{dequant_group_lqq, dequant_group_qoq};
 use lq_quant::lqq::LqqGroup;
 use lq_quant::qoq::QoqGroup;
 
-fn bench_dequant(c: &mut Criterion) {
+fn main() {
+    let _json = lq_bench::json_dump("dequant");
     const GROUPS: usize = 1024;
     const GROUP: usize = 64;
     let source: Vec<i8> = (0..GROUPS * GROUP)
@@ -30,31 +36,19 @@ fn bench_dequant(c: &mut Criterion) {
         qoq_words.push(lq_layout::pack::pack_row_words(&codes));
     }
 
-    let mut group = c.benchmark_group("dequant");
-    group.throughput(Throughput::Elements((GROUPS * GROUP) as u64));
+    println!("dequant ({} elements per pass)", GROUPS * GROUP);
     let mut out = vec![0i8; GROUP];
-    group.bench_function("lqq_imad_xor", |b| {
-        b.iter(|| {
-            for (words, &p) in lqq_words.iter().zip(lqq_params.iter()) {
-                dequant_group_lqq(black_box(words), p, &mut out);
-            }
-            black_box(out[0]);
-        });
+    bench_case("lqq_imad_xor", 20, || {
+        for (words, &p) in lqq_words.iter().zip(lqq_params.iter()) {
+            dequant_group_lqq(black_box(words), p, &mut out);
+        }
+        black_box(out[0]);
     });
-    group.bench_function("qoq_emulated_vsub4", |b| {
-        b.iter(|| {
-            for (words, &p) in qoq_words.iter().zip(qoq_params.iter()) {
-                dequant_group_qoq(black_box(words), p, &mut out);
-            }
-            black_box(out[0]);
-        });
+    let mut out = vec![0i8; GROUP];
+    bench_case("qoq_emulated_vsub4", 20, || {
+        for (words, &p) in qoq_words.iter().zip(qoq_params.iter()) {
+            dequant_group_qoq(black_box(words), p, &mut out);
+        }
+        black_box(out[0]);
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_dequant
-}
-criterion_main!(benches);

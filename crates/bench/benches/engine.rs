@@ -1,9 +1,15 @@
-//! Criterion: the executable engine — decode-step latency and the
+//! Microbenchmark: the executable engine — decode-step latency and the
 //! prefill-vs-token-by-token amortization (the CPU-real demonstration
 //! that per-group dequantization amortises over the batch dimension M,
 //! the effect the paper's cost model attributes the W4A8 win to).
+//!
+//! Plain main (no criterion: the sandbox is offline); `--json` dumps
+//! the telemetry registry to `BENCH_engine.json`. Model setup is inside
+//! the timed closure (the decode/prefill work dominates).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lq_bench::bench_case;
 use lq_core::KernelKind;
 use lq_engine::attention::AttnConfig;
 use lq_engine::model::{ModelSpec, TinyLlm};
@@ -14,78 +20,53 @@ fn spec() -> ModelSpec {
         hidden: 128,
         inter: 256,
         layers: 2,
-        attn: AttnConfig { heads: 8, kv_heads: 2, head_dim: 16 },
+        attn: AttnConfig {
+            heads: 8,
+            kv_heads: 2,
+            head_dim: 16,
+        },
         group: 64,
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+fn main() {
+    let _json = lq_bench::json_dump("engine");
+    println!("engine");
 
     // Decode-step latency at growing batch: step time should grow
     // sublinearly in batch (weight streaming amortises).
     for batch in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::new("decode_step", batch), &batch, |b, &batch| {
-            b.iter_batched(
-                || {
-                    let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
-                    let seqs: Vec<u64> = (0..batch as u64).collect();
-                    for &s in &seqs {
-                        m.add_sequence(s);
-                    }
-                    // Warm each sequence with one token.
-                    let toks: Vec<usize> = (0..batch).map(|i| i % 64).collect();
-                    let pos = vec![0usize; batch];
-                    let _ = m.decode_step(&toks, &seqs, &pos);
-                    (m, seqs)
-                },
-                |(mut m, seqs)| {
-                    let toks: Vec<usize> = (0..seqs.len()).map(|i| (i * 3) % 64).collect();
-                    let pos = vec![1usize; seqs.len()];
-                    black_box(m.decode_step(&toks, &seqs, &pos))
-                },
-                criterion::BatchSize::LargeInput,
-            );
+        bench_case(&format!("decode_step/{batch}"), 10, || {
+            let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+            let seqs: Vec<u64> = (0..batch as u64).collect();
+            for &s in &seqs {
+                m.add_sequence(s);
+            }
+            // Warm each sequence with one token, then time-relevant step.
+            let toks: Vec<usize> = (0..batch).map(|i| i % 64).collect();
+            let pos = vec![0usize; batch];
+            let _ = m.decode_step(&toks, &seqs, &pos);
+            let toks: Vec<usize> = (0..batch).map(|i| (i * 3) % 64).collect();
+            let pos = vec![1usize; batch];
+            black_box(m.decode_step(&toks, &seqs, &pos));
         });
     }
 
     // Prefill (one batched pass) vs token-by-token decode of the same
     // 32-token prompt.
     let prompt: Vec<usize> = (0..32).map(|i| (i * 5) % 64).collect();
-    g.bench_function("prefill_batched_32", |b| {
-        b.iter_batched(
-            || {
-                let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
-                m.add_sequence(0);
-                m
-            },
-            |mut m| black_box(m.prefill(0, &prompt)),
-            criterion::BatchSize::LargeInput,
-        );
+    bench_case("prefill_batched_32", 10, || {
+        let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+        m.add_sequence(0);
+        black_box(m.prefill(0, &prompt));
     });
-    g.bench_function("prefill_token_by_token_32", |b| {
-        b.iter_batched(
-            || {
-                let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
-                m.add_sequence(0);
-                m
-            },
-            |mut m| {
-                let mut last = None;
-                for (pos, &t) in prompt.iter().enumerate() {
-                    last = Some(m.decode_step(&[t], &[0], &[pos]));
-                }
-                black_box(last)
-            },
-            criterion::BatchSize::LargeInput,
-        );
+    bench_case("prefill_token_by_token_32", 10, || {
+        let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+        m.add_sequence(0);
+        let mut last = None;
+        for (pos, &t) in prompt.iter().enumerate() {
+            last = Some(m.decode_step(&[t], &[0], &[pos]));
+        }
+        black_box(last);
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_engine
-}
-criterion_main!(benches);

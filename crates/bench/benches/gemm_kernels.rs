@@ -1,23 +1,28 @@
-//! Criterion: serial GEMM kernels across precisions (the CPU-real
+//! Microbenchmark: serial GEMM kernels across precisions (the CPU-real
 //! counterpart of Figure 12's per-kernel comparison).
+//!
+//! Plain main (no criterion: the sandbox is offline); `--json` dumps
+//! the telemetry registry to `BENCH_gemm_kernels.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lq_core::packed::{Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear};
-use lq_core::serial::{fp16_serial, fp8_serial, w4a16_serial, w4a8_lqq_serial, w4a8_qoq_serial, w8a8_serial};
+use std::hint::black_box;
+
+use lq_bench::bench_case;
+use lq_core::packed::{
+    Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
+};
+use lq_core::serial::{
+    fp16_serial, fp8_serial, w4a16_serial, w4a8_lqq_serial, w4a8_qoq_serial, w8a8_serial,
+};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 
 const N: usize = 512;
 const K: usize = 2048;
 
-fn fixtures() -> (Mat<f32>, Mat<f32>) {
+fn main() {
+    let _json = lq_bench::json_dump("gemm_kernels");
     let w = Mat::from_fn(N, K, |r, c| ((r * K + c) as f32 * 0.11).sin());
     let x = Mat::from_fn(32, K, |r, c| ((r + c) as f32 * 0.07).cos());
-    (w, x)
-}
-
-fn bench_kernels(c: &mut Criterion) {
-    let (w, x) = fixtures();
     let qa = QuantizedActivations::quantize(&x, None);
     let lqq = PackedLqqLinear::quantize(&w, 64);
     let qoq = PackedQoqLinear::quantize(&w, 64);
@@ -26,32 +31,23 @@ fn bench_kernels(c: &mut Criterion) {
     let f16 = Fp16Linear::encode(&w);
     let f8 = Fp8Linear::encode(&w);
 
-    let mut g = c.benchmark_group("gemm_serial_m32");
-    g.throughput(Throughput::Elements((32 * N * K) as u64));
-    g.bench_function(BenchmarkId::from_parameter("w4a8_lqq"), |b| {
-        b.iter(|| black_box(w4a8_lqq_serial(&qa.q, &qa.scales, &lqq)));
+    println!("gemm_serial_m32 (N={N} K={K})");
+    bench_case("w4a8_lqq", 10, || {
+        black_box(w4a8_lqq_serial(&qa.q, &qa.scales, &lqq));
     });
-    g.bench_function(BenchmarkId::from_parameter("w4a8_qoq"), |b| {
-        b.iter(|| black_box(w4a8_qoq_serial(&qa.q, &qa.scales, &qoq)));
+    bench_case("w4a8_qoq", 10, || {
+        black_box(w4a8_qoq_serial(&qa.q, &qa.scales, &qoq));
     });
-    g.bench_function(BenchmarkId::from_parameter("w8a8"), |b| {
-        b.iter(|| black_box(w8a8_serial(&qa.q, &qa.scales, &w8)));
+    bench_case("w8a8", 10, || {
+        black_box(w8a8_serial(&qa.q, &qa.scales, &w8));
     });
-    g.bench_function(BenchmarkId::from_parameter("w4a16"), |b| {
-        b.iter(|| black_box(w4a16_serial(&x, &w4a16)));
+    bench_case("w4a16", 10, || {
+        black_box(w4a16_serial(&x, &w4a16));
     });
-    g.bench_function(BenchmarkId::from_parameter("fp16"), |b| {
-        b.iter(|| black_box(fp16_serial(&x, &f16)));
+    bench_case("fp16", 10, || {
+        black_box(fp16_serial(&x, &f16));
     });
-    g.bench_function(BenchmarkId::from_parameter("fp8"), |b| {
-        b.iter(|| black_box(fp8_serial(&x, &f8)));
+    bench_case("fp8", 10, || {
+        black_box(fp8_serial(&x, &f8));
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernels
-}
-criterion_main!(benches);

@@ -1,55 +1,42 @@
-//! Criterion: paged KV-cache allocator operations (the serving
+//! Microbenchmark: paged KV-cache allocator operations (the serving
 //! substrate's hot path: one `append_token` per sequence per step).
+//!
+//! Plain main (no criterion: the sandbox is offline); `--json` enables
+//! telemetry (page alloc/free counters live) and dumps the registry to
+//! `BENCH_kvcache.json`. Setup work (building the cache) is inside the
+//! timed closure, so compare runs only against runs of the same shape.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lq_bench::bench_case;
 use lq_serving::kvcache::PagedKvCache;
 
-fn bench_kvcache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kvcache");
+fn main() {
+    let _json = lq_bench::json_dump("kvcache");
+    println!("kvcache");
 
-    // One decode step for 256 live sequences.
-    g.throughput(Throughput::Elements(256));
-    g.bench_function("append_step_256_seqs", |b| {
-        b.iter_batched(
-            || {
-                let mut cache = PagedKvCache::new(1 << 30, 16, 1024);
-                for id in 0..256 {
-                    cache.add_sequence(id, 1024).expect("fits");
-                }
-                cache
-            },
-            |mut cache| {
-                for id in 0..256 {
-                    cache.append_token(id).expect("fits");
-                }
-                black_box(cache.free_pages())
-            },
-            criterion::BatchSize::LargeInput,
-        );
+    // One decode step for 256 live sequences (setup + step timed
+    // together; the step dominates at these sizes).
+    bench_case("append_step_256_seqs", 20, || {
+        let mut cache = PagedKvCache::new(1 << 30, 16, 1024);
+        for id in 0..256 {
+            cache.add_sequence(id, 1024).expect("fits");
+        }
+        for id in 0..256 {
+            cache.append_token(id).expect("fits");
+        }
+        black_box(cache.free_pages());
     });
 
     // Admission + eviction churn.
-    g.bench_function("admit_evict_churn", |b| {
-        b.iter_batched(
-            || PagedKvCache::new(1 << 28, 16, 1024),
-            |mut cache| {
-                for id in 0..64u64 {
-                    let _ = cache.add_sequence(id, 512);
-                    if id >= 8 {
-                        let _ = cache.free_sequence(id - 8);
-                    }
-                }
-                black_box(cache.live_sequences())
-            },
-            criterion::BatchSize::LargeInput,
-        );
+    bench_case("admit_evict_churn", 20, || {
+        let mut cache = PagedKvCache::new(1 << 28, 16, 1024);
+        for id in 0..64u64 {
+            let _ = cache.add_sequence(id, 512);
+            if id >= 8 {
+                let _ = cache.free_sequence(id - 8);
+            }
+        }
+        black_box(cache.live_sequences());
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_kvcache
-}
-criterion_main!(benches);

@@ -1,59 +1,52 @@
-//! Criterion: memory-layout ablation — sequential dual-MMA packed
-//! streaming vs a strided per-thread gather (the `LDS.32` fallback's CPU
-//! analog: same bytes touched, worse locality, more address math).
+//! Microbenchmark: memory-layout ablation — sequential dual-MMA packed
+//! streaming vs a strided per-thread gather (the `LDS.32` fallback's
+//! CPU analog: same bytes touched, worse locality, more address math).
+//!
+//! Plain main (no criterion: the sandbox is offline); `--json` dumps
+//! the telemetry registry to `BENCH_layout.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lq_bench::bench_case;
 use lq_layout::dual_mma::DualMmaWeights;
 
 const N: usize = 512;
 const K: usize = 4096;
 
-fn bench_layout(c: &mut Criterion) {
+fn main() {
+    let _json = lq_bench::json_dump("layout");
     let values: Vec<u8> = (0..N * K).map(|i| (i % 16) as u8).collect();
     let packed = DualMmaWeights::pack(&values, N, K);
     let words_per_row = K / 8;
 
-    let mut g = c.benchmark_group("weight_load");
-    g.throughput(Throughput::Bytes((N * K / 2) as u64));
+    println!("weight_load ({} bytes per sweep)", N * K / 2);
 
     // Dual-MMA packed: one sequential sweep per row.
-    g.bench_function("dual_mma_sequential", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for r in 0..N {
-                for &w in packed.row_words(r) {
-                    acc = acc.wrapping_add(w);
-                }
+    bench_case("dual_mma_sequential", 20, || {
+        let mut acc = 0u32;
+        for r in 0..N {
+            for &w in packed.row_words(r) {
+                acc = acc.wrapping_add(w);
             }
-            black_box(acc)
-        });
+        }
+        black_box(acc);
     });
 
     // Strided gather: each "thread" t of 8 reads every 8th word (the
-    // fragment-lane access pattern ldmatrix would need), with per-access
-    // index arithmetic.
-    g.bench_function("strided_gather", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for r in 0..N {
-                let row = packed.row_words(r);
-                for t in 0..8usize {
-                    let mut i = t;
-                    while i < words_per_row {
-                        acc = acc.wrapping_add(row[i]);
-                        i += 8;
-                    }
+    // fragment-lane access pattern ldmatrix would need), with
+    // per-access index arithmetic.
+    bench_case("strided_gather", 20, || {
+        let mut acc = 0u32;
+        for r in 0..N {
+            let row = packed.row_words(r);
+            for t in 0..8usize {
+                let mut i = t;
+                while i < words_per_row {
+                    acc = acc.wrapping_add(row[i]);
+                    i += 8;
                 }
             }
-            black_box(acc)
-        });
+        }
+        black_box(acc);
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_layout
-}
-criterion_main!(benches);

@@ -1,8 +1,14 @@
-//! Criterion: the pipeline ablation on real threads (serial vs flat vs
-//! ExCP vs ImFP with identical LQQ dequantization) — Figure 13's
-//! CPU-measured counterpart.
+//! Microbenchmark: the pipeline ablation on real threads (serial vs
+//! flat vs ExCP vs ImFP with identical LQQ dequantization) — Figure
+//! 13's CPU-measured counterpart.
+//!
+//! Plain main (no criterion: the sandbox is offline); `--json` enables
+//! telemetry (so the pipelines' stall counters and span histograms are
+//! live) and dumps the registry to `BENCH_pipelines.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lq_bench::bench_case;
 use lq_core::packed::PackedLqqLinear;
 use lq_core::pipeline::{w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ParallelConfig};
 use lq_core::serial::w4a8_lqq_serial;
@@ -13,33 +19,30 @@ const N: usize = 1024;
 const K: usize = 2048;
 const M: usize = 64;
 
-fn bench_pipelines(c: &mut Criterion) {
+fn main() {
+    let _json = lq_bench::json_dump("pipelines");
     let w = Mat::from_fn(N, K, |r, cc| ((r * K + cc) as f32 * 0.05).sin());
     let x = Mat::from_fn(M, K, |r, cc| ((r + cc) as f32 * 0.09).cos());
     let qa = QuantizedActivations::quantize(&x, None);
     let lqq = PackedLqqLinear::quantize(&w, 64);
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
-    let cfg = ParallelConfig { workers, task_rows: 16, stages: 2 * workers };
+    let cfg = ParallelConfig {
+        workers,
+        task_rows: 16,
+        stages: 2 * workers,
+    };
 
-    let mut g = c.benchmark_group("pipeline_m64");
-    g.bench_function(BenchmarkId::from_parameter("serial"), |b| {
-        b.iter(|| black_box(w4a8_lqq_serial(&qa.q, &qa.scales, &lqq)));
+    println!("pipeline_m64 (N={N} K={K} workers={workers})");
+    bench_case("serial", 10, || {
+        black_box(w4a8_lqq_serial(&qa.q, &qa.scales, &lqq));
     });
-    g.bench_function(BenchmarkId::from_parameter("flat_parallel"), |b| {
-        b.iter(|| black_box(w4a8_flat_parallel(&qa.q, &qa.scales, Some(&lqq), None, cfg)));
+    bench_case("flat_parallel", 10, || {
+        black_box(w4a8_flat_parallel(&qa.q, &qa.scales, Some(&lqq), None, cfg));
     });
-    g.bench_function(BenchmarkId::from_parameter("excp"), |b| {
-        b.iter(|| black_box(w4a8_excp(&qa.q, &qa.scales, Some(&lqq), None, cfg)));
+    bench_case("excp", 10, || {
+        black_box(w4a8_excp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
     });
-    g.bench_function(BenchmarkId::from_parameter("imfp"), |b| {
-        b.iter(|| black_box(w4a8_imfp(&qa.q, &qa.scales, Some(&lqq), None, cfg)));
+    bench_case("imfp", 10, || {
+        black_box(w4a8_imfp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pipelines
-}
-criterion_main!(benches);

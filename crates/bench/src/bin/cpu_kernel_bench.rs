@@ -5,7 +5,12 @@
 //! ImFP-vs-ExCP gap are real on any hardware, not artifacts of the
 //! GPU model.
 //!
-//! Run: `cargo run --release -p lq-bench --bin cpu_kernel_bench [--quick]`
+//! Run: `cargo run --release -p lq-bench --bin cpu_kernel_bench [--quick] [--json]`
+//!
+//! `--json` enables telemetry for the run (pipeline stall counters and
+//! span histograms go live) and writes `BENCH_cpu_kernel_bench.json` on
+//! exit. Without it telemetry stays disabled, so the hot loops pay only
+//! the one-relaxed-load noop path.
 
 use lq_bench::{fmt_time, measure_median, print_header, print_row};
 use lq_core::packed::{PackedLqqLinear, PackedQoqLinear, W8A8Linear};
@@ -13,21 +18,26 @@ use lq_core::pipeline::{w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ParallelConfig
 use lq_core::serial::{w4a8_lqq_serial, w4a8_qoq_serial, w8a8_serial};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
-use rand::{Rng, SeedableRng};
+use lq_rng::Rng;
 
 fn main() {
+    let _json = lq_bench::json_dump("cpu_kernel_bench");
     let quick = std::env::args().any(|a| a == "--quick");
     let (n, k) = if quick { (1024, 1024) } else { (4096, 4096) };
     let batches: &[usize] = if quick { &[8, 64] } else { &[8, 32, 128, 256] };
     let reps = if quick { 2 } else { 3 };
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let w = Mat::from_fn(n, k, |_, _| rng.gen_range(-1.0f32..1.0));
+    let mut rng = Rng::new(7);
+    let w = Mat::from_fn(n, k, |_, _| rng.range_f32(-1.0, 1.0));
     let lqq = PackedLqqLinear::quantize(&w, 64);
     let qoq = PackedQoqLinear::quantize(&w, 64);
     let w8 = W8A8Linear::quantize(&w);
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
-    let cfg = ParallelConfig { workers, task_rows: 16, stages: 2 * workers };
+    let cfg = ParallelConfig {
+        workers,
+        task_rows: 16,
+        stages: 2 * workers,
+    };
 
     println!("== CPU kernel wall-clock, {n}x{k} weights, {workers} workers ==\n");
     print_header(&[
@@ -42,7 +52,7 @@ fn main() {
         ("ExCP/ImFP", 9),
     ]);
     for &m in batches {
-        let x = Mat::from_fn(m, k, |_, _| rng.gen_range(-2.0f32..2.0));
+        let x = Mat::from_fn(m, k, |_, _| rng.range_f32(-2.0, 2.0));
         let qa = QuantizedActivations::quantize(&x, None);
         let t_lqq = measure_median(reps, || {
             std::hint::black_box(w4a8_lqq_serial(&qa.q, &qa.scales, &lqq));

@@ -29,7 +29,10 @@ fn main() {
     }
 
     for spec in [A100, H100] {
-        println!("\n== Figure 1b: roofline on {} (attainable TOPS by batch) ==\n", spec.name);
+        println!(
+            "\n== Figure 1b: roofline on {} (attainable TOPS by batch) ==\n",
+            spec.name
+        );
         let batches = [1usize, 4, 16, 32, 64, 128, 150, 256, 300, 512, 1024];
         let mut cols = vec![("batch", 6)];
         for p in PRECISIONS {
@@ -54,7 +57,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "\npaper check: W8A8 transitions at ~300 (H100) / ~156 (A100); W4A8 halves both."
-    );
+    println!("\npaper check: W8A8 transitions at ~300 (H100) / ~156 (A100); W4A8 halves both.");
 }

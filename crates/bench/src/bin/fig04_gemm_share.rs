@@ -12,7 +12,13 @@ use lq_serving::system::{ServingSystem, SystemId};
 use lq_sim::specs::H800;
 
 /// GEMM share of a whole request (prefill + all decode steps).
-fn gemm_share(sys: &ServingSystem, cfg: &ModelConfig, batch: usize, in_len: usize, out_len: usize) -> f64 {
+fn gemm_share(
+    sys: &ServingSystem,
+    cfg: &ModelConfig,
+    batch: usize,
+    in_len: usize,
+    out_len: usize,
+) -> f64 {
     let mean_ctx = in_len + out_len / 2;
     let step = decode_step(sys, &H800, cfg, batch, mean_ctx);
     let decode_total = step.total() * out_len as f64;
@@ -33,7 +39,10 @@ fn main() {
         println!("\n== Figure 4: GEMM share of inference, in:{in_len} out:{out_len} ==\n");
         let mut cols = vec![("batch", 6)];
         for (cfg, _, prec) in &cases {
-            cols.push((Box::leak(format!("{} ({prec})", cfg.name).into_boxed_str()), 18));
+            cols.push((
+                Box::leak(format!("{} ({prec})", cfg.name).into_boxed_str()),
+                18,
+            ));
         }
         print_header(&cols);
         for &b in &BATCH_SWEEP {

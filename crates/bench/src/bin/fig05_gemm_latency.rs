@@ -38,7 +38,10 @@ fn layer_gemm_latency(kind: SystemKind, cfg: &ModelConfig, m: usize) -> f64 {
 
 fn main() {
     for cfg in [&LLAMA2_7B, &LLAMA2_13B, &LLAMA2_70B, &MIXTRAL_8X7B] {
-        println!("\n== Figure 5: {} per-layer GEMM latency (H800 model) ==\n", cfg.name);
+        println!(
+            "\n== Figure 5: {} per-layer GEMM latency (H800 model) ==\n",
+            cfg.name
+        );
         let systems = systems_for(cfg);
         let mut cols = vec![("batch", 6)];
         for k in &systems {
@@ -56,11 +59,15 @@ fn main() {
         if cfg.moe.is_none() {
             let s = layer_gemm_latency(SystemKind::QServe, cfg, 256)
                 / layer_gemm_latency(SystemKind::LiquidGemm, cfg, 256);
-            println!("\n  LiquidGEMM speedup over QServe at batch 256: {s:.2}x (paper: 2.75-2.90x)");
+            println!(
+                "\n  LiquidGEMM speedup over QServe at batch 256: {s:.2}x (paper: 2.75-2.90x)"
+            );
         } else {
             let fp8 = layer_gemm_latency(SystemKind::TrtFp8, cfg, 256)
                 / layer_gemm_latency(SystemKind::LiquidGemm, cfg, 256);
-            println!("\n  LiquidGEMM speedup over TRT-FP8 at batch 256: {fp8:.2}x (paper: 1.41-1.84x)");
+            println!(
+                "\n  LiquidGEMM speedup over TRT-FP8 at batch 256: {fp8:.2}x (paper: 1.41-1.84x)"
+            );
         }
     }
 }

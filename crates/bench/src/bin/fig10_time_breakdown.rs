@@ -14,7 +14,10 @@ use lq_sim::specs::H800;
 fn main() {
     let mean_ctx = INPUT_LEN + OUTPUT_LEN / 2;
     for cfg in [&LLAMA2_7B, &LLAMA2_70B, &LLAMA3_8B, &MISTRAL_7B] {
-        println!("\n== Figure 10: {} decode-step breakdown at Table-1 batch ==\n", cfg.name);
+        println!(
+            "\n== Figure 10: {} decode-step breakdown at Table-1 batch ==\n",
+            cfg.name
+        );
         print_header(&[
             ("system", 14),
             ("batch", 6),

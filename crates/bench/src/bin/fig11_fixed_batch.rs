@@ -11,7 +11,10 @@ use lq_sim::specs::H800;
 
 fn main() {
     for cfg in [&LLAMA2_7B, &LLAMA2_70B] {
-        println!("\n== Figure 11: {} throughput at fixed batch (tokens/s) ==\n", cfg.name);
+        println!(
+            "\n== Figure 11: {} throughput at fixed batch (tokens/s) ==\n",
+            cfg.name
+        );
         print_header(&[("system", 14), ("batch 16", 10), ("batch 128", 10)]);
         for id in SystemId::ALL {
             let sys = ServingSystem::of(id);

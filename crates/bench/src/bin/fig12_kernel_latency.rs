@@ -14,14 +14,30 @@ fn ffn_latency(kind: SystemKind, cfg: &ModelConfig, m: usize) -> f64 {
     let km = KernelModel::of(kind);
     match cfg.moe {
         None => {
-            let gate_up = GemmShape { m, n: 2 * cfg.intermediate, k: cfg.hidden };
-            let down = GemmShape { m, n: cfg.hidden, k: cfg.intermediate };
+            let gate_up = GemmShape {
+                m,
+                n: 2 * cfg.intermediate,
+                k: cfg.hidden,
+            };
+            let down = GemmShape {
+                m,
+                n: cfg.hidden,
+                k: cfg.intermediate,
+            };
             km.latency(&H800, gate_up) + km.latency(&H800, down)
         }
         Some(moe) => {
             let m_e = (m * moe.top_k).div_ceil(moe.experts).max(1);
-            let gate_up = GemmShape { m: m_e, n: 2 * cfg.intermediate, k: cfg.hidden };
-            let down = GemmShape { m: m_e, n: cfg.hidden, k: cfg.intermediate };
+            let gate_up = GemmShape {
+                m: m_e,
+                n: 2 * cfg.intermediate,
+                k: cfg.hidden,
+            };
+            let down = GemmShape {
+                m: m_e,
+                n: cfg.hidden,
+                k: cfg.intermediate,
+            };
             km.grouped_latency(&H800, gate_up, moe.experts)
                 + km.grouped_latency(&H800, down, moe.experts)
         }
@@ -30,7 +46,10 @@ fn ffn_latency(kind: SystemKind, cfg: &ModelConfig, m: usize) -> f64 {
 
 fn main() {
     for cfg in [&LLAMA2_7B, &LLAMA2_13B, &LLAMA2_70B, &MIXTRAL_8X7B] {
-        println!("\n== Figure 12: {} FFN GEMM latency (H800 model) ==\n", cfg.name);
+        println!(
+            "\n== Figure 12: {} FFN GEMM latency (H800 model) ==\n",
+            cfg.name
+        );
         let systems: Vec<SystemKind> = if cfg.moe.is_some() {
             vec![
                 SystemKind::LiquidGemm,

@@ -42,7 +42,7 @@ fn main() {
         .position(|&s| s == SystemId::LiquidServe)
         .expect("present");
     let mut cells = vec![("Speedup".to_string(), 14)];
-    for mi in 0..ALL_MODELS.len() {
+    for (mi, _) in ALL_MODELS.iter().enumerate() {
         let liquid = results[liquid_idx][mi];
         let best_baseline = SystemId::ALL
             .iter()

@@ -39,7 +39,10 @@ fn main() {
         ("max|err|", 9),
         ("cosine", 8),
     ]);
-    for (label, outliers) in [("gaussian 512x1024", false), ("outlier-channel 512x1024", true)] {
+    for (label, outliers) in [
+        ("gaussian 512x1024", false),
+        ("outlier-channel 512x1024", true),
+    ] {
         let w = synth_weights(512, 1024, outliers, 42);
         for scheme in [QuantScheme::Lqq, QuantScheme::Qoq] {
             let q = QuantizedLinear::quantize(&w, 64, scheme, None);

@@ -5,7 +5,10 @@
 //! (Not a paper table; it demonstrates the serving loop the Table-1
 //! closed form abstracts, with the same paged-KV admission policy.)
 //!
-//! Run: `cargo run -p lq-bench --bin tab_scheduler`
+//! Run: `cargo run -p lq-bench --bin tab_scheduler [-- --json]`
+//!
+//! `--json` enables telemetry (decode-step histograms, KV gauges,
+//! admission counters) and writes `BENCH_tab_scheduler.json` on exit.
 
 use lq_bench::{fmt_time, print_header, print_row};
 use lq_models::configs::LLAMA2_7B;
@@ -26,12 +29,18 @@ fn arrivals(n: usize, rate: f64) -> Vec<Request> {
             // uniform sample.
             let u = (state % 10_000) as f64 / 10_000.0;
             t += -(1.0 - u.min(0.9999)).ln() / rate;
-            Request { id, prompt_len: 1024, output_len: 512, arrival: t }
+            Request {
+                id,
+                prompt_len: 1024,
+                output_len: 512,
+                arrival: t,
+            }
         })
         .collect()
 }
 
 fn main() {
+    let _json = lq_bench::json_dump("tab_scheduler");
     println!("== Continuous batching under load: LLaMA2-7B, 200 requests ==\n");
     print_header(&[
         ("system", 14),
@@ -41,7 +50,12 @@ fn main() {
         ("mean lat", 10),
         ("p95 lat", 10),
     ]);
-    for id in [SystemId::LiquidServe, SystemId::LiquidServeWo, SystemId::QServe, SystemId::TrtW8A8] {
+    for id in [
+        SystemId::LiquidServe,
+        SystemId::LiquidServeWo,
+        SystemId::QServe,
+        SystemId::TrtW8A8,
+    ] {
         let sys = ServingSystem::of(id);
         for rate in [2.0f64, 8.0, 32.0] {
             let reqs = arrivals(200, rate);

@@ -14,9 +14,18 @@ fn main() {
     for spec in [A100, H100, H800] {
         print_row(&[
             (spec.name.to_string(), 6),
-            (format!("{:.0}", spec.transition_batch(TcKind::Int8, 1.0)), 8),
-            (format!("{:.0}", spec.transition_batch(TcKind::Int8, 0.5)), 8),
-            (format!("{:.0}", spec.transition_batch(TcKind::Fp16, 2.0)), 8),
+            (
+                format!("{:.0}", spec.transition_batch(TcKind::Int8, 1.0)),
+                8,
+            ),
+            (
+                format!("{:.0}", spec.transition_batch(TcKind::Int8, 0.5)),
+                8,
+            ),
+            (
+                format!("{:.0}", spec.transition_batch(TcKind::Fp16, 2.0)),
+                8,
+            ),
         ]);
     }
     println!("\npaper: 300 / 150 on H100, 156 (W8A8) on A100.\n");
@@ -26,10 +35,16 @@ fn main() {
     let m_star = H100.transition_batch(TcKind::Int8, 0.5).round() as usize;
     let comp = H100.alpha_budget_compute_bound(TcKind::Int8, m_star, 256);
     println!("  memory-bound budget  (T_DQ <= T_LD) : alpha <= {mem:.2}   (paper: 5.07)");
-    println!("  compute-bound budget (T_DQ <= T_MMA): alpha <= {comp:.2}   (paper: 5.05, M = {m_star})");
+    println!(
+        "  compute-bound budget (T_DQ <= T_MMA): alpha <= {comp:.2}   (paper: 5.05, M = {m_star})"
+    );
     println!();
     for b in [LQQ_BUDGET, QOQ_BUDGET] {
-        let fits = if b.alpha <= comp.min(mem) { "fits" } else { "EXCEEDS with addressing" };
+        let fits = if b.alpha <= comp.min(mem) {
+            "fits"
+        } else {
+            "EXCEEDS with addressing"
+        };
         println!(
             "  {:28} alpha = {:.3} ({} instrs / 8 elems) -> {fits}",
             b.name, b.alpha, b.instrs_per_8

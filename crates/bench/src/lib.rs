@@ -18,7 +18,13 @@
 //! | `tab_accuracy` | §7.1 accuracy note: LQQ vs QoQ error |
 //! | `cpu_kernel_bench` | CPU-measured kernel cross-check |
 //!
-//! Criterion microbenchmarks live in `benches/`.
+//! Plain-main microbenchmarks live in `benches/` (run with
+//! `cargo bench`; the offline sandbox has no criterion, so they use
+//! [`measure_median`]).
+//!
+//! Binaries accept `--json`: it enables [`lq_telemetry`] for the run
+//! and dumps the global registry as `BENCH_<name>.json` on exit (see
+//! [`json_dump`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,6 +82,46 @@ pub fn measure_median(reps: usize, mut f: impl FnMut()) -> f64 {
 
 /// The batch sweep the paper's latency figures use.
 pub const BATCH_SWEEP: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+/// Run `f` as one named microbenchmark: median of `reps` timed runs,
+/// printed as a row. Returns the median seconds.
+pub fn bench_case(name: &str, reps: usize, f: impl FnMut()) -> f64 {
+    let t = measure_median(reps, f);
+    println!("{name:<32} {:>12}", fmt_time(t));
+    t
+}
+
+/// Handle the shared `--json` flag: when present in `argv`, telemetry
+/// is enabled for the whole run and the returned guard writes the
+/// global registry's JSON snapshot to `BENCH_<name>.json` when dropped
+/// (i.e. at the end of `main`). Without the flag this is inert and
+/// telemetry stays off, so timings are unperturbed.
+#[must_use]
+pub fn json_dump(name: &'static str) -> JsonDumpGuard {
+    let active = std::env::args().any(|a| a == "--json");
+    if active {
+        lq_telemetry::enable();
+    }
+    JsonDumpGuard { name, active }
+}
+
+/// Guard from [`json_dump`]; writes the snapshot on drop.
+pub struct JsonDumpGuard {
+    name: &'static str,
+    active: bool,
+}
+
+impl Drop for JsonDumpGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let path = format!("BENCH_{}.json", self.name);
+            match std::fs::write(&path, lq_telemetry::registry().to_json()) {
+                Ok(()) => eprintln!("telemetry snapshot written to {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -7,9 +7,9 @@
 
 use lq_quant::mat::Mat;
 
-pub use crate::pipeline::{Dequant, ParallelConfig};
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
 use crate::pipeline::{w4a8_excp, w4a8_flat_parallel, w4a8_imfp};
+pub use crate::pipeline::{Dequant, ParallelConfig};
 use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
 
 /// Pipeline strategy for the W4A8 kernel.
@@ -116,7 +116,11 @@ mod tests {
         assert_eq!(w.n(), n);
         assert_eq!(w.k(), k);
         assert_eq!(w.dequant(), Dequant::Lqq);
-        let cfg = ParallelConfig { workers: 3, task_rows: 5, stages: 3 };
+        let cfg = ParallelConfig {
+            workers: 3,
+            task_rows: 5,
+            stages: 3,
+        };
         let base = gemm(&qa.q, &qa.scales, &w, KernelKind::Serial, cfg).y;
         for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
             let y = gemm(&qa.q, &qa.scales, &w, kind, cfg).y;

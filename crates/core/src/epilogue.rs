@@ -18,8 +18,7 @@ pub fn apply_scales_i32(acc: &Mat<i32>, act: &[f32], ch: &[f32], out: &mut Mat<f
     assert_eq!(acc.cols(), out.cols());
     assert_eq!(act.len(), acc.rows());
     assert_eq!(ch.len(), acc.cols());
-    for i in 0..acc.rows() {
-        let ai = act[i];
+    for (i, &ai) in act.iter().enumerate() {
         let src = acc.row(i);
         let dst = out.row_mut(i);
         for j in 0..src.len() {
@@ -73,12 +72,12 @@ mod tests {
         let ch = [10.0f32, 0.1];
         let mut full = Mat::zeros(3, 2);
         apply_scales_i32(&acc, &act, &ch, &mut full);
-        for j in 0..2 {
+        for (j, &cj) in ch.iter().enumerate() {
             let col: Vec<i32> = (0..3).map(|i| *acc.get(i, j)).collect();
             let mut out = vec![0.0f32; 3];
-            apply_scales_column(&col, &act, ch[j], &mut out);
-            for i in 0..3 {
-                assert_eq!(out[i], *full.get(i, j));
+            apply_scales_column(&col, &act, cj, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, *full.get(i, j));
             }
         }
     }

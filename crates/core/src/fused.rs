@@ -49,9 +49,21 @@ mod tests {
     fn fused_equals_manual_two_step() {
         let (x, w) = fixture(6, 24, 128);
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let fused = gemm_f32_activations(&x, &weights, None, KernelKind::Serial, ParallelConfig::default());
+        let fused = gemm_f32_activations(
+            &x,
+            &weights,
+            None,
+            KernelKind::Serial,
+            ParallelConfig::default(),
+        );
         let qa = QuantizedActivations::quantize(&x, None);
-        let manual = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, ParallelConfig::default());
+        let manual = gemm(
+            &qa.q,
+            &qa.scales,
+            &weights,
+            KernelKind::Serial,
+            ParallelConfig::default(),
+        );
         assert_eq!(max_abs_diff(&fused.y, &manual.y), 0.0);
     }
 
@@ -59,7 +71,14 @@ mod tests {
     fn fused_output_tracks_fp32() {
         let (x, w) = fixture(8, 32, 256);
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let y = gemm_f32_activations(&x, &weights, None, KernelKind::Serial, ParallelConfig::default()).y;
+        let y = gemm_f32_activations(
+            &x,
+            &weights,
+            None,
+            KernelKind::Serial,
+            ParallelConfig::default(),
+        )
+        .y;
         let e = error_stats(&gemm_f32_ref(&x, &w), &y);
         assert!(e.sqnr_db > 25.0, "sqnr {}", e.sqnr_db);
     }
@@ -94,6 +113,12 @@ mod tests {
         let (x, _) = fixture(2, 4, 64);
         let w = Mat::from_fn(4, 128, |_, _| 0.1);
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let _ = gemm_f32_activations(&x, &weights, None, KernelKind::Serial, ParallelConfig::default());
+        let _ = gemm_f32_activations(
+            &x,
+            &weights,
+            None,
+            KernelKind::Serial,
+            ParallelConfig::default(),
+        );
     }
 }

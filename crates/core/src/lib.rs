@@ -21,8 +21,11 @@
 //! * [`reference`] — naive GEMM oracles used by every test.
 //! * [`serial`] — single-threaded kernels for all precisions (the
 //!   ablation's "no pipeline" variants).
-//! * [`pipeline`] — the parallel ImFP and ExCP kernels (crossbeam-based
-//!   single-producer / multi-consumer pipelines over a stage ring).
+//! * [`pipeline`] — the parallel ImFP and ExCP kernels
+//!   (single-producer / multi-consumer pipelines over a stage ring,
+//!   built on the in-tree [`sync`] channel).
+//! * [`sync`] — bounded MPMC channel (std mutex + condvar) with
+//!   `try_*` variants for stall accounting.
 //! * [`scheduler`] — persistent-kernel-style dynamic tile scheduler.
 //! * [`tiled`] — the GPU-structured tiled kernel (Mt×Nt×Kt main loop),
 //!   the executable twin of the cost model's decomposition.
@@ -31,6 +34,11 @@
 //! * [`api`] — one entry point (`gemm`) dispatching over kernel kind.
 //! * [`fused`] — FP32-activation front end with fused per-token INT8
 //!   quantization (the serving system's fusion point).
+//!
+//! When [`lq_telemetry::enable`] is on, the pipelines export stall
+//! counters, queue-depth gauges, and per-role span histograms (see
+//! `telemetry` module docs); disabled, instrumentation is one relaxed
+//! load per GEMM call.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,7 +52,11 @@ pub mod pipeline;
 pub mod reference;
 pub mod scheduler;
 pub mod serial;
+pub mod sync;
+mod telemetry;
 pub mod tiled;
 
 pub use api::{gemm, GemmOutput, KernelKind, ParallelConfig};
-pub use packed::{Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear};
+pub use packed::{
+    Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
+};

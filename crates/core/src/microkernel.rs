@@ -148,13 +148,19 @@ mod tests {
     #[test]
     fn raw_lqq_matches_audited_path() {
         for seed in 0..64u32 {
-            let vals: Vec<u8> = (0..8).map(|i| ((seed.wrapping_mul(31) + i * 7) % 16) as u8).collect();
-            let p = LqqGroup { s_u8: 1 + (seed % 16) as u8, min_i8: -119 + (seed % 200) as i8 };
+            let vals: Vec<u8> = (0..8)
+                .map(|i| ((seed.wrapping_mul(31) + i * 7) % 16) as u8)
+                .collect();
+            let p = LqqGroup {
+                s_u8: 1 + (seed % 16) as u8,
+                min_i8: -119 + (seed % 200) as i8,
+            };
             // Skip parameter combos that violate the LQQ invariant
             // (only reachable with adversarial params, not real quantization).
-            if vals.iter().any(|&v| {
-                u16::from(v) * u16::from(p.s_u8) + u16::from(p.offset_a()) > 255
-            }) {
+            if vals
+                .iter()
+                .any(|&v| u16::from(v) * u16::from(p.s_u8) + u16::from(p.offset_a()) > 255)
+            {
                 continue;
             }
             let word = pack_interleaved8(&vals);
@@ -172,8 +178,13 @@ mod tests {
     fn raw_qoq_matches_audited_path() {
         let mut alu = CountingAlu::new();
         for seed in 0..64u32 {
-            let vals: Vec<u8> = (0..8).map(|i| ((seed.wrapping_mul(17) + i * 5) % 16) as u8).collect();
-            let p = QoqGroup { s_u8: 1 + (seed % 16) as u8, z: (seed % 16) as u8 };
+            let vals: Vec<u8> = (0..8)
+                .map(|i| ((seed.wrapping_mul(17) + i * 5) % 16) as u8)
+                .collect();
+            let p = QoqGroup {
+                s_u8: 1 + (seed % 16) as u8,
+                z: (seed % 16) as u8,
+            };
             let word = pack_interleaved8(&vals);
             let s = u32::from(p.s_u8);
             let zs = u32::from(p.zs()) * 0x0101_0101;
@@ -215,7 +226,11 @@ mod tests {
     fn dot_products_match_naive() {
         let a: Vec<i8> = (0..127).map(|i| (i % 23 - 11) as i8).collect();
         let b: Vec<i8> = (0..127).map(|i| (i % 17 - 8) as i8).collect();
-        let want: i32 = a.iter().zip(b.iter()).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum();
+        let want: i32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| i32::from(x) * i32::from(y))
+            .sum();
         assert_eq!(dot_i8(&a, &b), want);
         let four = dot_i8_x4(&a, &b, &b, &a, &a);
         assert_eq!(four[0], want);

@@ -84,7 +84,8 @@ impl PackedLqqLinear {
     #[inline]
     #[must_use]
     pub fn group_words(&self, row: usize, g: usize) -> &[u32] {
-        self.words.row_kslice(row, g * self.group, (g + 1) * self.group)
+        self.words
+            .row_kslice(row, g * self.group, (g + 1) * self.group)
     }
 
     /// Weight bytes (4-bit payload + group params + channel scales) —
@@ -162,7 +163,8 @@ impl PackedQoqLinear {
     #[inline]
     #[must_use]
     pub fn group_words(&self, row: usize, g: usize) -> &[u32] {
-        self.words.row_kslice(row, g * self.group, (g + 1) * self.group)
+        self.words
+            .row_kslice(row, g * self.group, (g + 1) * self.group)
     }
 
     /// Weight bytes.
@@ -188,7 +190,10 @@ impl W8A8Linear {
     #[must_use]
     pub fn quantize(w: &Mat<f32>) -> Self {
         let l1 = quantize_per_channel_i8(w);
-        Self { q: l1.q, channel_scales: l1.scales.iter().map(|s| s.scale).collect() }
+        Self {
+            q: l1.q,
+            channel_scales: l1.scales.iter().map(|s| s.scale).collect(),
+        }
     }
 
     /// Weight bytes (1 byte per element + scales).
@@ -211,7 +216,9 @@ impl W4A16Linear {
     /// format in spirit).
     #[must_use]
     pub fn quantize(w: &Mat<f32>, group: usize) -> Self {
-        Self { packed: PackedLqqLinear::quantize(w, group) }
+        Self {
+            packed: PackedLqqLinear::quantize(w, group),
+        }
     }
 
     /// Weight bytes.
@@ -279,11 +286,20 @@ impl Fp8Linear {
         for r in 0..w.rows() {
             let row = w.row(r);
             let absmax = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-            let scale = if absmax == 0.0 { 1.0 } else { absmax / lq_quant::fp8::E4M3_MAX };
+            let scale = if absmax == 0.0 {
+                1.0
+            } else {
+                absmax / lq_quant::fp8::E4M3_MAX
+            };
             scales.push(scale);
             codes.extend(row.iter().map(|&v| f32_to_e4m3(v / scale)));
         }
-        Self { n: w.rows(), k: w.cols(), w: codes, channel_scales: scales }
+        Self {
+            n: w.rows(),
+            k: w.cols(),
+            w: codes,
+            channel_scales: scales,
+        }
     }
 
     /// One weight row (codes).
@@ -314,7 +330,9 @@ mod tests {
         let p = PackedLqqLinear::from_quantized(&q);
         assert_eq!((p.n, p.k, p.group), (8, 128, 64));
         // Unpacked words must equal the tensor's values.
-        let Level2::Lqq(t) = &q.level2 else { unreachable!() };
+        let Level2::Lqq(t) = &q.level2 else {
+            unreachable!()
+        };
         assert_eq!(p.words.unpack_all(), t.values);
         assert_eq!(p.groups_per_row(), 2);
         assert_eq!(p.group_words(3, 1).len(), 8);
@@ -341,7 +359,10 @@ mod tests {
             for c in 0..64 {
                 let back = lut[f.row(r)[c] as usize] * f.channel_scales[r];
                 let orig = *w.get(r, c);
-                assert!((back - orig).abs() <= orig.abs() / 8.0 + 0.05, "{back} vs {orig}");
+                assert!(
+                    (back - orig).abs() <= orig.abs() / 8.0 + 0.05,
+                    "{back} vs {orig}"
+                );
             }
         }
     }

@@ -25,14 +25,25 @@
 //!
 //! Every variant is bit-exact against the serial LQQ kernel (tests at
 //! the bottom and in `tests/parallel.rs`).
+//!
+//! ## Telemetry
+//!
+//! When [`lq_telemetry::enable`] has been called, every variant records
+//! whole-call latency (`lq_gemm_ns`), per-role task spans
+//! (`lq_pipeline_task_ns`), would-block stall counts on the stage ring
+//! (`lq_pipeline_stall_total` — the CPU analog of the per-warp-group
+//! stalls behind the paper's Fig. 10/13 ImFP-vs-ExCP comparison), and
+//! queue-occupancy gauges. Disabled (the default), the instrumentation
+//! is a single relaxed load per call plus dead `Option` branches.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use lq_quant::mat::Mat;
 
 use crate::microkernel::{dequant_group_lqq, dequant_group_qoq, dot_i8, dot_i8_x4};
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
 use crate::scheduler::TaskScheduler;
 use crate::serial::MAX_GROUP;
+use crate::sync::{bounded, Receiver, Sender};
+use crate::telemetry::{call_span, recv_counting, send_counting, PipeMetrics};
 
 /// Parallel execution parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +59,11 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self { workers: 4, task_rows: 8, stages: 8 }
+        Self {
+            workers: 4,
+            task_rows: 8,
+            stages: 8,
+        }
     }
 }
 
@@ -108,14 +123,7 @@ impl WeightsRef<'_> {
 
     /// Dequantize group `g` of absolute row `j` from `words` (a staged
     /// copy whose row 0 is absolute row `base`).
-    fn dequant_group_from(
-        &self,
-        words: &[u32],
-        base: usize,
-        j: usize,
-        g: usize,
-        out: &mut [i8],
-    ) {
+    fn dequant_group_from(&self, words: &[u32], base: usize, j: usize, g: usize, out: &mut [i8]) {
         let group = self.group();
         let wpr = self.k() / 8;
         let wpg = group / 8;
@@ -216,35 +224,41 @@ pub fn w4a8_flat_parallel(
         _ => panic!("exactly one weight source required"),
     };
     check_shapes(x, act_scales, w.k());
+    let _call = call_span("flat");
+    let metrics = PipeMetrics::resolve("flat");
     let (m, n) = (x.rows(), w.n());
     let tasks = n.div_ceil(cfg.task_rows);
     let sched = TaskScheduler::new(tasks);
     let mut y_t = vec![0.0f32; n * m];
     {
-        let chunks: Vec<(usize, &mut [f32])> = y_t
-            .chunks_mut(cfg.task_rows * m)
-            .enumerate()
-            .collect();
-        let chunk_q = parking_lot::Mutex::new(
-            chunks.into_iter().map(Some).collect::<Vec<_>>(),
-        );
-        crossbeam::thread::scope(|s| {
+        let chunks: Vec<(usize, &mut [f32])> =
+            y_t.chunks_mut(cfg.task_rows * m).enumerate().collect();
+        let chunk_q = std::sync::Mutex::new(chunks.into_iter().map(Some).collect::<Vec<_>>());
+        let (w, metrics) = (&w, &metrics);
+        std::thread::scope(|s| {
             for _ in 0..cfg.workers.max(1) {
-                s.spawn(|_| {
+                let (sched, chunk_q) = (&sched, &chunk_q);
+                s.spawn(move || {
                     while let Some(t) = sched.claim() {
-                        let (idx, slice) = chunk_q.lock()[t].take().expect("task claimed once");
+                        if let Some(mx) = metrics {
+                            mx.claims.inc();
+                            mx.tasks.inc();
+                        }
+                        let _span = metrics.as_ref().map(|mx| mx.task_ns_compute.span_owned());
+                        let (idx, slice) = chunk_q.lock().expect("chunk queue poisoned")[t]
+                            .take()
+                            .expect("task claimed once");
                         debug_assert_eq!(idx, t);
                         let j0 = t * cfg.task_rows;
                         let j1 = (j0 + cfg.task_rows).min(n);
                         // Flat variant: read straight from the weight
                         // matrix (row j0's words start the slice).
                         let words = w.rows_words(j0, j1);
-                        compute_rows(&w, words, j0, j1, x, act_scales, slice);
+                        compute_rows(w, words, j0, j1, x, act_scales, slice);
                     }
                 });
             }
-        })
-        .expect("worker panicked");
+        });
     }
     assemble_output(y_t, m, n)
 }
@@ -277,6 +291,8 @@ pub fn w4a8_imfp(
         _ => panic!("exactly one weight source required"),
     };
     check_shapes(x, act_scales, w.k());
+    let _call = call_span("imfp");
+    let metrics = PipeMetrics::resolve("imfp");
     let (m, n) = (x.rows(), w.n());
     let mut y_t = vec![0.0f32; n * m];
     {
@@ -288,32 +304,61 @@ pub fn w4a8_imfp(
             free_tx.send(Vec::new()).expect("prefill free ring");
         }
         let chunks = y_t.chunks_mut(cfg.task_rows * m);
-        let wref = &w;
-        crossbeam::thread::scope(|s| {
-            // Producer: the Load WG.
+        let (wref, metrics) = (&w, &metrics);
+        std::thread::scope(|s| {
+            // Producer: the Load WG. A stall here means the stage ring
+            // is full or empty of recycled buffers — compute is the
+            // bottleneck (backpressure).
             let producer_task_tx = task_tx;
             let producer_free_rx = free_rx;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (t, out) in chunks.enumerate() {
                     let j0 = t * cfg.task_rows;
                     let j1 = (j0 + cfg.task_rows).min(n);
-                    let mut buf = producer_free_rx.recv().expect("free ring closed");
-                    buf.clear();
-                    buf.extend_from_slice(wref.rows_words(j0, j1));
-                    producer_task_tx
-                        .send(StagedTask { j0, j1, words: buf, out })
-                        .expect("task channel closed");
+                    let stall = metrics.as_ref().map(|mx| &mx.stall_load);
+                    let mut buf =
+                        recv_counting(&producer_free_rx, stall).expect("free ring closed");
+                    {
+                        let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
+                        buf.clear();
+                        buf.extend_from_slice(wref.rows_words(j0, j1));
+                    }
+                    if send_counting(
+                        &producer_task_tx,
+                        StagedTask {
+                            j0,
+                            j1,
+                            words: buf,
+                            out,
+                        },
+                        stall,
+                    )
+                    .is_err()
+                    {
+                        unreachable!("task channel closed while producing");
+                    }
+                    if let Some(mx) = metrics {
+                        mx.depth_task.set(producer_task_tx.len() as f64);
+                    }
                 }
                 // Dropping the sender ends the pipeline.
             });
-            // Compute workers: dequant + MMA fused.
+            // Compute workers: dequant + MMA fused. A stall here means
+            // the producer can't keep tiles coming — load-bound.
             for _ in 0..cfg.workers.max(1) {
                 let rx = task_rx.clone();
                 let free = free_tx.clone();
-                s.spawn(move |_| {
-                    while let Ok(task) = rx.recv() {
+                s.spawn(move || {
+                    let stall = metrics.as_ref().map(|mx| &mx.stall_compute);
+                    while let Ok(task) = recv_counting(&rx, stall) {
                         let StagedTask { j0, j1, words, out } = task;
-                        compute_rows(wref, &words, j0, j1, x, act_scales, out);
+                        {
+                            let _span = metrics.as_ref().map(|mx| mx.task_ns_compute.span_owned());
+                            compute_rows(wref, &words, j0, j1, x, act_scales, out);
+                        }
+                        if let Some(mx) = metrics {
+                            mx.tasks.inc();
+                        }
                         // Recycle the stage; ignore shutdown races.
                         let _ = free.send(words);
                     }
@@ -321,8 +366,7 @@ pub fn w4a8_imfp(
             }
             drop(task_rx);
             drop(free_tx);
-        })
-        .expect("pipeline thread panicked");
+        });
     }
     assemble_output(y_t, m, n)
 }
@@ -357,6 +401,8 @@ pub fn w4a8_excp(
         _ => panic!("exactly one weight source required"),
     };
     check_shapes(x, act_scales, w.k());
+    let _call = call_span("excp");
+    let metrics = PipeMetrics::resolve("excp");
     let (m, n) = (x.rows(), w.n());
     let k = w.k();
     let group = w.group();
@@ -370,50 +416,71 @@ pub fn w4a8_excp(
         let (deq_tx, deq_rx): (Sender<DequantizedTask>, Receiver<DequantizedTask>) =
             bounded(cfg.stages.max(1));
         let chunks = y_t.chunks_mut(cfg.task_rows * m);
-        let wref = &w;
-        crossbeam::thread::scope(|s| {
-            // Stage 1: Load WG.
-            s.spawn(move |_| {
+        let (wref, metrics) = (&w, &metrics);
+        std::thread::scope(|s| {
+            // Stage 1: Load WG. Stalls = stage buffers full (dequant
+            // behind).
+            s.spawn(move || {
                 for (t, out) in chunks.enumerate() {
                     let j0 = t * cfg.task_rows;
                     let j1 = (j0 + cfg.task_rows).min(n);
-                    let words = wref.rows_words(j0, j1).to_vec();
-                    load_tx
-                        .send(StagedTask { j0, j1, words, out })
-                        .expect("load channel closed");
+                    let words = {
+                        let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
+                        wref.rows_words(j0, j1).to_vec()
+                    };
+                    let stall = metrics.as_ref().map(|mx| &mx.stall_load);
+                    if send_counting(&load_tx, StagedTask { j0, j1, words, out }, stall).is_err() {
+                        unreachable!("load channel closed while producing");
+                    }
+                    if let Some(mx) = metrics {
+                        mx.depth_task.set(load_tx.len() as f64);
+                    }
                 }
             });
-            // Stage 2: Dequant WGs — materialise full INT8 tiles.
+            // Stage 2: Dequant WGs — materialise full INT8 tiles. Recv
+            // stalls = load behind; send stalls = MMA behind.
             for _ in 0..dequant_workers {
                 let rx = load_rx.clone();
                 let tx = deq_tx.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
+                    let stall = metrics.as_ref().map(|mx| &mx.stall_dequant);
                     let mut buf = [0i8; MAX_GROUP];
-                    while let Ok(task) = rx.recv() {
+                    while let Ok(task) = recv_counting(&rx, stall) {
                         let StagedTask { j0, j1, words, out } = task;
                         let rows = j1 - j0;
                         let mut tile = vec![0i8; rows * k];
-                        for j in j0..j1 {
-                            for g in 0..k / group {
-                                wref.dequant_group_from(&words, j0, j, g, &mut buf[..group]);
-                                let dst = (j - j0) * k + g * group;
-                                tile[dst..dst + group].copy_from_slice(&buf[..group]);
+                        {
+                            let _span = metrics.as_ref().map(|mx| mx.task_ns_dequant.span_owned());
+                            for j in j0..j1 {
+                                for g in 0..k / group {
+                                    wref.dequant_group_from(&words, j0, j, g, &mut buf[..group]);
+                                    let dst = (j - j0) * k + g * group;
+                                    tile[dst..dst + group].copy_from_slice(&buf[..group]);
+                                }
                             }
                         }
-                        tx.send(DequantizedTask { j0, j1, tile, out })
-                            .expect("dequant channel closed");
+                        if send_counting(&tx, DequantizedTask { j0, j1, tile, out }, stall).is_err()
+                        {
+                            unreachable!("dequant channel closed while MMA workers live");
+                        }
+                        if let Some(mx) = metrics {
+                            mx.depth_dequant.set(tx.len() as f64);
+                        }
                     }
                 });
             }
             drop(load_rx);
             drop(deq_tx);
-            // Stage 3: MMA WGs — dot products from the materialised tile.
+            // Stage 3: MMA WGs — dot products from the materialised
+            // tile. Stalls = dequant behind.
             for _ in 0..mma_workers {
                 let rx = deq_rx.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
+                    let stall = metrics.as_ref().map(|mx| &mx.stall_mma);
                     let mut acc = vec![0i32; m];
-                    while let Ok(task) = rx.recv() {
+                    while let Ok(task) = recv_counting(&rx, stall) {
                         let DequantizedTask { j0, j1, tile, out } = task;
+                        let _span = metrics.as_ref().map(|mx| mx.task_ns_mma.span_owned());
                         for j in j0..j1 {
                             acc.fill(0);
                             let wrow = &tile[(j - j0) * k..(j - j0 + 1) * k];
@@ -424,12 +491,14 @@ pub fn w4a8_excp(
                                 *o = acc[i] as f32 * act_scales[i] * ch;
                             }
                         }
+                        if let Some(mx) = metrics {
+                            mx.tasks.inc();
+                        }
                     }
                 });
             }
             drop(deq_rx);
-        })
-        .expect("pipeline thread panicked");
+        });
     }
     assemble_output(y_t, m, n)
 }
@@ -441,7 +510,11 @@ mod tests {
     use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
     use lq_quant::act::QuantizedActivations;
 
-    fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, PackedLqqLinear, PackedQoqLinear) {
+    fn fixture(
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> (Mat<i8>, Vec<f32>, PackedLqqLinear, PackedQoqLinear) {
         let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.11).sin() * 2.0);
         let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.05).cos());
         let qa = QuantizedActivations::quantize(&xf, None);
@@ -455,7 +528,11 @@ mod tests {
         let (x, s, lqq, _) = fixture(7, 33, 128);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
         for workers in [1, 2, 4] {
-            let cfg = ParallelConfig { workers, task_rows: 5, stages: 3 };
+            let cfg = ParallelConfig {
+                workers,
+                task_rows: 5,
+                stages: 3,
+            };
             let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
             assert_eq!(max_abs_diff(&got, &want), 0.0, "workers={workers}");
         }
@@ -465,7 +542,11 @@ mod tests {
     fn excp_matches_serial_bit_exact() {
         let (x, s, lqq, _) = fixture(6, 20, 192);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
-        let cfg = ParallelConfig { workers: 4, task_rows: 3, stages: 2 };
+        let cfg = ParallelConfig {
+            workers: 4,
+            task_rows: 3,
+            stages: 2,
+        };
         let got = w4a8_excp(&x, &s, Some(&lqq), None, cfg);
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
@@ -474,7 +555,11 @@ mod tests {
     fn flat_matches_serial_bit_exact() {
         let (x, s, lqq, _) = fixture(5, 17, 64);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
-        let cfg = ParallelConfig { workers: 3, task_rows: 4, stages: 2 };
+        let cfg = ParallelConfig {
+            workers: 3,
+            task_rows: 4,
+            stages: 2,
+        };
         let got = w4a8_flat_parallel(&x, &s, Some(&lqq), None, cfg);
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
@@ -483,7 +568,11 @@ mod tests {
     fn qoq_variants_match_their_serial() {
         let (x, s, _, qoq) = fixture(4, 12, 128);
         let want = w4a8_qoq_serial(&x, &s, &qoq);
-        let cfg = ParallelConfig { workers: 2, task_rows: 4, stages: 2 };
+        let cfg = ParallelConfig {
+            workers: 2,
+            task_rows: 4,
+            stages: 2,
+        };
         for got in [
             w4a8_imfp(&x, &s, None, Some(&qoq), cfg),
             w4a8_excp(&x, &s, None, Some(&qoq), cfg),
@@ -497,7 +586,11 @@ mod tests {
     fn task_rows_not_dividing_n_is_handled() {
         let (x, s, lqq, _) = fixture(3, 10, 64);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
-        let cfg = ParallelConfig { workers: 2, task_rows: 7, stages: 2 };
+        let cfg = ParallelConfig {
+            workers: 2,
+            task_rows: 7,
+            stages: 2,
+        };
         let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
@@ -505,7 +598,11 @@ mod tests {
     #[test]
     fn more_workers_than_tasks_is_safe() {
         let (x, s, lqq, _) = fixture(2, 4, 64);
-        let cfg = ParallelConfig { workers: 16, task_rows: 4, stages: 8 };
+        let cfg = ParallelConfig {
+            workers: 16,
+            task_rows: 4,
+            stages: 8,
+        };
         let want = w4a8_lqq_serial(&x, &s, &lqq);
         let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
         assert_eq!(max_abs_diff(&got, &want), 0.0);

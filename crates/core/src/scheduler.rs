@@ -20,7 +20,10 @@ impl TaskScheduler {
     /// Scheduler over task ids `0..total`.
     #[must_use]
     pub fn new(total: usize) -> Self {
-        Self { next: AtomicUsize::new(0), total }
+        Self {
+            next: AtomicUsize::new(0),
+            total,
+        }
     }
 
     /// Total task count.
@@ -97,7 +100,10 @@ mod tests {
                 mine
             }));
         }
-        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         let expect: Vec<usize> = (0..total).collect();
         assert_eq!(all, expect, "every task claimed exactly once");

@@ -16,7 +16,9 @@ use lq_quant::mat::Mat;
 
 use crate::epilogue::apply_scales_column;
 use crate::microkernel::{dequant_group_lqq, dequant_group_qoq, dot_f32, dot_i8, dot_i8_x4};
-use crate::packed::{Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear};
+use crate::packed::{
+    Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
+};
 
 /// Largest group size the stack-allocated dequant buffer supports.
 pub const MAX_GROUP: usize = 256;
@@ -311,8 +313,16 @@ mod tests {
             .iter()
             .fold(0.0f32, |mx, v| mx.max(v.abs()));
         let tol = scale_of_outputs * 0.25;
-        assert!(max_abs_diff(&a, &ideal) < tol, "lqq {}", max_abs_diff(&a, &ideal));
-        assert!(max_abs_diff(&b, &ideal) < tol, "qoq {}", max_abs_diff(&b, &ideal));
+        assert!(
+            max_abs_diff(&a, &ideal) < tol,
+            "lqq {}",
+            max_abs_diff(&a, &ideal)
+        );
+        assert!(
+            max_abs_diff(&b, &ideal) < tol,
+            "qoq {}",
+            max_abs_diff(&b, &ideal)
+        );
         assert!(max_abs_diff(&a, &b) < tol);
     }
 

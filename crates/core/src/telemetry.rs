@@ -1,0 +1,119 @@
+//! Kernel-layer telemetry: the metric families the pipelines record
+//! and the stall-counting channel wrappers.
+//!
+//! All handles are resolved from the global [`lq_telemetry`] registry
+//! once per GEMM call — and only when recording is enabled, so the
+//! disabled path costs one relaxed load per call (the "noop recorder").
+//!
+//! Exported families (all labeled `variant="flat"|"excp"|"imfp"`):
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `lq_gemm_ns` | histogram | whole-call wall-clock latency |
+//! | `lq_pipeline_task_ns{role}` | histogram | per-task span in each role |
+//! | `lq_pipeline_stall_total{role}` | counter | would-block events on the stage ring (the CPU analog of a warp-group stall) |
+//! | `lq_pipeline_tasks_total` | counter | tasks executed |
+//! | `lq_pipeline_queue_depth{queue}` | gauge | staged tasks in flight after each send |
+//! | `lq_sched_claimed_total` | counter | dynamic-scheduler claims (flat variant) |
+//!
+//! Roles mirror the paper's warp groups: `load` is the producer (TMA),
+//! `compute` the fused dequant+MMA worker (ImFP), `dequant`/`mma` the
+//! split ExCP stages.
+
+use std::sync::Arc;
+
+use lq_telemetry::{registry, Counter, Gauge, Histogram, OwnedSpan};
+
+use crate::sync::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
+
+/// Handles for one pipeline variant's metric families.
+pub(crate) struct PipeMetrics {
+    pub tasks: Arc<Counter>,
+    pub claims: Arc<Counter>,
+    pub stall_load: Arc<Counter>,
+    pub stall_compute: Arc<Counter>,
+    pub stall_dequant: Arc<Counter>,
+    pub stall_mma: Arc<Counter>,
+    pub depth_task: Arc<Gauge>,
+    pub depth_dequant: Arc<Gauge>,
+    pub task_ns_load: Arc<Histogram>,
+    pub task_ns_compute: Arc<Histogram>,
+    pub task_ns_dequant: Arc<Histogram>,
+    pub task_ns_mma: Arc<Histogram>,
+}
+
+impl PipeMetrics {
+    /// Resolve handles for `variant`, or `None` when telemetry is off
+    /// (instrumentation then compiles down to `if let Some` misses).
+    pub(crate) fn resolve(variant: &str) -> Option<Self> {
+        if !lq_telemetry::enabled() {
+            return None;
+        }
+        let reg = registry();
+        let v = [("variant", variant)];
+        fn role<'a>(variant: &'a str, r: &'a str) -> [(&'a str, &'a str); 2] {
+            [("variant", variant), ("role", r)]
+        }
+        fn queue<'a>(variant: &'a str, q: &'a str) -> [(&'a str, &'a str); 2] {
+            [("variant", variant), ("queue", q)]
+        }
+        Some(Self {
+            tasks: reg.counter_with("lq_pipeline_tasks_total", &v),
+            claims: reg.counter_with("lq_sched_claimed_total", &v),
+            stall_load: reg.counter_with("lq_pipeline_stall_total", &role(variant, "load")),
+            stall_compute: reg.counter_with("lq_pipeline_stall_total", &role(variant, "compute")),
+            stall_dequant: reg.counter_with("lq_pipeline_stall_total", &role(variant, "dequant")),
+            stall_mma: reg.counter_with("lq_pipeline_stall_total", &role(variant, "mma")),
+            depth_task: reg.gauge_with("lq_pipeline_queue_depth", &queue(variant, "task")),
+            depth_dequant: reg.gauge_with("lq_pipeline_queue_depth", &queue(variant, "dequant")),
+            task_ns_load: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "load")),
+            task_ns_compute: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "compute")),
+            task_ns_dequant: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "dequant")),
+            task_ns_mma: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "mma")),
+        })
+    }
+}
+
+/// Whole-call span for `lq_gemm_ns{variant=...}` (None when disabled).
+pub(crate) fn call_span(variant: &str) -> Option<OwnedSpan> {
+    lq_telemetry::enabled().then(|| {
+        registry()
+            .histogram_with("lq_gemm_ns", &[("variant", variant)])
+            .span_owned()
+    })
+}
+
+/// `recv` that counts a stall when it would block.
+pub(crate) fn recv_counting<T>(
+    rx: &Receiver<T>,
+    stall: Option<&Arc<Counter>>,
+) -> Result<T, RecvError> {
+    match rx.try_recv() {
+        Ok(v) => Ok(v),
+        Err(TryRecvError::Disconnected) => Err(RecvError),
+        Err(TryRecvError::Empty) => {
+            if let Some(c) = stall {
+                c.inc();
+            }
+            rx.recv()
+        }
+    }
+}
+
+/// `send` that counts a stall when it would block.
+pub(crate) fn send_counting<T>(
+    tx: &Sender<T>,
+    value: T,
+    stall: Option<&Arc<Counter>>,
+) -> Result<(), SendError<T>> {
+    match tx.try_send(value) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Disconnected(v)) => Err(SendError(v)),
+        Err(TrySendError::Full(v)) => {
+            if let Some(c) = stall {
+                c.inc();
+            }
+            tx.send(v)
+        }
+    }
+}

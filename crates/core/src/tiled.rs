@@ -100,7 +100,16 @@ mod tests {
     fn tiled_matches_serial_exact_tiles() {
         let (x, s, w) = fixture(8, 32, 256);
         let want = w4a8_lqq_serial(&x, &s, &w);
-        let got = w4a8_lqq_tiled(&x, &s, &w, TileConfig { mt: 4, nt: 16, kt: 64 });
+        let got = w4a8_lqq_tiled(
+            &x,
+            &s,
+            &w,
+            TileConfig {
+                mt: 4,
+                nt: 16,
+                kt: 64,
+            },
+        );
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
@@ -119,7 +128,16 @@ mod tests {
     fn single_tile_covers_whole_problem() {
         let (x, s, w) = fixture(4, 8, 64);
         let want = w4a8_lqq_serial(&x, &s, &w);
-        let got = w4a8_lqq_tiled(&x, &s, &w, TileConfig { mt: 64, nt: 128, kt: 64 });
+        let got = w4a8_lqq_tiled(
+            &x,
+            &s,
+            &w,
+            TileConfig {
+                mt: 64,
+                nt: 128,
+                kt: 64,
+            },
+        );
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
@@ -127,6 +145,15 @@ mod tests {
     #[should_panic(expected = "must be a multiple of the group size")]
     fn bad_kt_panics() {
         let (x, s, w) = fixture(2, 4, 128);
-        let _ = w4a8_lqq_tiled(&x, &s, &w, TileConfig { mt: 2, nt: 2, kt: 32 });
+        let _ = w4a8_lqq_tiled(
+            &x,
+            &s,
+            &w,
+            TileConfig {
+                mt: 2,
+                nt: 2,
+                kt: 32,
+            },
+        );
     }
 }

@@ -26,12 +26,35 @@ fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, PackedLqqLinear)
 fn degenerate_configs_terminate_and_agree() {
     let (x, s, w) = fixture(3, 10, 128);
     let weights = W4A8Weights::Lqq(w);
-    let base = gemm(&x, &s, &weights, KernelKind::Serial, ParallelConfig::default()).y;
+    let base = gemm(
+        &x,
+        &s,
+        &weights,
+        KernelKind::Serial,
+        ParallelConfig::default(),
+    )
+    .y;
     for cfg in [
-        ParallelConfig { workers: 1, task_rows: 1, stages: 1 },
-        ParallelConfig { workers: 8, task_rows: 100, stages: 1 },
-        ParallelConfig { workers: 2, task_rows: 1, stages: 16 },
-        ParallelConfig { workers: 16, task_rows: 3, stages: 2 },
+        ParallelConfig {
+            workers: 1,
+            task_rows: 1,
+            stages: 1,
+        },
+        ParallelConfig {
+            workers: 8,
+            task_rows: 100,
+            stages: 1,
+        },
+        ParallelConfig {
+            workers: 2,
+            task_rows: 1,
+            stages: 16,
+        },
+        ParallelConfig {
+            workers: 16,
+            task_rows: 3,
+            stages: 2,
+        },
     ] {
         for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
             let y = gemm(&x, &s, &weights, kind, cfg).y;
@@ -40,25 +63,30 @@ fn degenerate_configs_terminate_and_agree() {
     }
 }
 
-/// A panicking worker inside a crossbeam scope must propagate as a
-/// panic of the calling thread (never a deadlock or a wrong answer).
+/// A panicking worker inside a thread scope must propagate as a panic
+/// of the calling thread (never a deadlock or a wrong answer). The
+/// producer keeps sending into the in-tree channel; once the consumer
+/// dies, its `Receiver` drop disconnects the channel so the producer's
+/// `send` fails instead of blocking forever.
 #[test]
 fn worker_panic_propagates_not_deadlocks() {
     let result = std::panic::catch_unwind(|| {
-        crossbeam::thread::scope(|sc| {
-            let (tx, rx) = crossbeam::channel::bounded::<usize>(2);
-            sc.spawn(move |_| {
+        std::thread::scope(|sc| {
+            let (tx, rx) = lq_core::sync::bounded::<usize>(2);
+            sc.spawn(move || {
                 for i in 0..10 {
-                    tx.send(i).expect("receiver alive");
+                    if tx.send(i).is_err() {
+                        // Consumer died; stop producing.
+                        return;
+                    }
                 }
             });
-            sc.spawn(move |_| {
+            sc.spawn(move || {
                 for v in rx.iter() {
                     assert!(v < 5, "injected failure at {v}");
                 }
             });
-        })
-        .expect("scope returns Err on child panic — unreachable");
+        });
     });
     assert!(result.is_err(), "the injected panic must surface");
 }
@@ -89,7 +117,11 @@ fn scheduler_survives_dying_worker() {
     for h in handles {
         h.join().expect("no panics here");
     }
-    assert_eq!(done.load(Ordering::Relaxed), total, "all tasks processed despite early exit");
+    assert_eq!(
+        done.load(Ordering::Relaxed),
+        total,
+        "all tasks processed despite early exit"
+    );
 }
 
 /// Zero-size edge: N smaller than one task and M = 1 must work through
@@ -98,10 +130,21 @@ fn scheduler_survives_dying_worker() {
 fn minimum_size_problem() {
     let (x, s, w) = fixture(1, 1, 64);
     let weights = W4A8Weights::Lqq(w);
-    let base = gemm(&x, &s, &weights, KernelKind::Serial, ParallelConfig::default()).y;
+    let base = gemm(
+        &x,
+        &s,
+        &weights,
+        KernelKind::Serial,
+        ParallelConfig::default(),
+    )
+    .y;
     assert_eq!((base.rows(), base.cols()), (1, 1));
     for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
-        let cfg = ParallelConfig { workers: 4, task_rows: 8, stages: 4 };
+        let cfg = ParallelConfig {
+            workers: 4,
+            task_rows: 8,
+            stages: 4,
+        };
         let y = gemm(&x, &s, &weights, kind, cfg).y;
         assert_eq!(max_abs_diff(&y, &base), 0.0);
     }
@@ -113,14 +156,30 @@ fn minimum_size_problem() {
 fn shared_weights_across_concurrent_gemms() {
     let (x, s, w) = fixture(4, 24, 128);
     let weights = Arc::new(W4A8Weights::Lqq(w));
-    let base = gemm(&x, &s, &weights, KernelKind::Serial, ParallelConfig::default()).y;
+    let base = gemm(
+        &x,
+        &s,
+        &weights,
+        KernelKind::Serial,
+        ParallelConfig::default(),
+    )
+    .y;
     let x = Arc::new(x);
     let s = Arc::new(s);
     let mut handles = Vec::new();
     for _ in 0..4 {
-        let (x, s, weights, base) = (Arc::clone(&x), Arc::clone(&s), Arc::clone(&weights), base.clone());
+        let (x, s, weights, base) = (
+            Arc::clone(&x),
+            Arc::clone(&s),
+            Arc::clone(&weights),
+            base.clone(),
+        );
         handles.push(std::thread::spawn(move || {
-            let cfg = ParallelConfig { workers: 2, task_rows: 5, stages: 2 };
+            let cfg = ParallelConfig {
+                workers: 2,
+                task_rows: 5,
+                stages: 2,
+            };
             let y = gemm(&x, &s, &weights, KernelKind::ImFp, cfg).y;
             assert_eq!(max_abs_diff(&y, &base), 0.0);
         }));

@@ -1,6 +1,7 @@
-//! Property-based tests for the GEMM kernels: every optimized variant
-//! must be bit-identical to the naive integer reference on arbitrary
-//! shapes and data.
+//! Randomized property tests for the GEMM kernels: every optimized
+//! variant must be bit-identical to the naive integer reference on
+//! arbitrary shapes and data (seeded in-tree PRNG; offline sandbox has
+//! no proptest).
 
 use lq_core::api::W4A8Weights;
 use lq_core::packed::{PackedLqqLinear, PackedQoqLinear, W8A8Linear};
@@ -14,103 +15,116 @@ use lq_quant::level1::PROTECTIVE_MAX;
 use lq_quant::lqq::LqqTensor;
 use lq_quant::mat::Mat;
 use lq_quant::qoq::QoqTensor;
-use proptest::prelude::*;
+use lq_rng::Rng;
+
+const CASES: usize = 48;
 
 /// Random problem: M×K i8 activations (full range), N×K i8 level-1
-/// weights (protective range), per-token scales.
-fn problem() -> impl Strategy<Value = (Mat<i8>, Vec<f32>, Mat<i8>)> {
-    (1usize..6, 1usize..12, 1usize..4).prop_flat_map(|(m, n, kg)| {
-        let k = kg * 32; // group size 32
-        (
-            prop::collection::vec(any::<i8>(), m * k),
-            prop::collection::vec(0.001f32..1.0, m),
-            prop::collection::vec(-PROTECTIVE_MAX..=PROTECTIVE_MAX, n * k),
-            Just((m, n, k)),
-        )
-            .prop_map(|(xv, scales, wv, (m, n, k))| {
-                (
-                    Mat::from_vec(m, k, xv),
-                    scales,
-                    Mat::from_vec(n, k, wv),
-                )
-            })
-    })
+/// weights (protective range), per-token scales. Group size 32.
+fn problem(rng: &mut Rng) -> (Mat<i8>, Vec<f32>, Mat<i8>) {
+    let m = rng.range_usize(1, 6);
+    let n = rng.range_usize(1, 12);
+    let k = rng.range_usize(1, 4) * 32;
+    let xv: Vec<i8> = (0..m * k).map(|_| rng.any_i8()).collect();
+    let scales = rng.vec_f32(m, 0.001, 1.0);
+    let wv = rng.vec_i8(n * k, -PROTECTIVE_MAX, PROTECTIVE_MAX);
+    (Mat::from_vec(m, k, xv), scales, Mat::from_vec(n, k, wv))
 }
 
 fn oracle(x: &Mat<i8>, scales: &[f32], w_i8: &Mat<i8>, ch: &[f32]) -> Mat<f32> {
     epilogue_ref(&gemm_i8_ref(x, w_i8), scales, ch)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// LQQ serial kernel == dequantize-then-integer-GEMM oracle, bitwise.
-    #[test]
-    fn lqq_serial_equals_oracle((x, scales, w_l1) in problem()) {
+/// LQQ serial kernel == dequantize-then-integer-GEMM oracle, bitwise.
+#[test]
+fn lqq_serial_equals_oracle() {
+    let mut rng = Rng::new(0xC0DE_0001);
+    for case in 0..CASES {
+        let (x, scales, w_l1) = problem(&mut rng);
         let t = LqqTensor::quantize(&w_l1, 32);
         let ch: Vec<f32> = (0..w_l1.rows()).map(|r| 0.01 + r as f32 * 0.001).collect();
         let packed = PackedLqqLinear::from_tensor(&t, ch.clone());
         let got = w4a8_lqq_serial(&x, &scales, &packed);
         let want = oracle(&x, &scales, &t.dequantize(), &ch);
-        prop_assert_eq!(max_abs_diff(&got, &want), 0.0);
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "case {case}");
     }
+}
 
-    /// QoQ serial kernel == its oracle, bitwise.
-    #[test]
-    fn qoq_serial_equals_oracle((x, scales, w_l1) in problem()) {
+/// QoQ serial kernel == its oracle, bitwise.
+#[test]
+fn qoq_serial_equals_oracle() {
+    let mut rng = Rng::new(0xC0DE_0002);
+    for case in 0..CASES {
+        let (x, scales, w_l1) = problem(&mut rng);
         let t = QoqTensor::quantize(&w_l1, 32);
         let ch: Vec<f32> = (0..w_l1.rows()).map(|r| 0.02 + r as f32 * 0.002).collect();
         let packed = PackedQoqLinear::from_tensor(&t, ch.clone());
         let got = w4a8_qoq_serial(&x, &scales, &packed);
         let want = oracle(&x, &scales, &t.dequantize(), &ch);
-        prop_assert_eq!(max_abs_diff(&got, &want), 0.0);
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "case {case}");
     }
+}
 
-    /// W8A8 kernel == its oracle, bitwise.
-    #[test]
-    fn w8a8_equals_oracle((x, scales, w_l1) in problem()) {
+/// W8A8 kernel == its oracle, bitwise.
+#[test]
+fn w8a8_equals_oracle() {
+    let mut rng = Rng::new(0xC0DE_0003);
+    for case in 0..CASES {
+        let (x, scales, w_l1) = problem(&mut rng);
         let ch: Vec<f32> = (0..w_l1.rows()).map(|_| 0.5).collect();
-        let w = W8A8Linear { q: w_l1.clone(), channel_scales: ch.clone() };
+        let w = W8A8Linear {
+            q: w_l1.clone(),
+            channel_scales: ch.clone(),
+        };
         let got = w8a8_serial(&x, &scales, &w);
         let want = oracle(&x, &scales, &w_l1, &ch);
-        prop_assert_eq!(max_abs_diff(&got, &want), 0.0);
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "case {case}");
     }
+}
 
-    /// Every pipeline variant equals the serial kernel on arbitrary
-    /// shapes and worker/task/stage configurations.
-    #[test]
-    fn pipelines_equal_serial(
-        (x, scales, w_l1) in problem(),
-        workers in 1usize..5,
-        task_rows in 1usize..9,
-        stages in 1usize..5,
-    ) {
+/// Every pipeline variant equals the serial kernel on arbitrary shapes
+/// and worker/task/stage configurations.
+#[test]
+fn pipelines_equal_serial() {
+    let mut rng = Rng::new(0xC0DE_0004);
+    for case in 0..CASES {
+        let (x, scales, w_l1) = problem(&mut rng);
+        let workers = rng.range_usize(1, 5);
+        let task_rows = rng.range_usize(1, 9);
+        let stages = rng.range_usize(1, 5);
         let t = LqqTensor::quantize(&w_l1, 32);
         let ch: Vec<f32> = (0..w_l1.rows()).map(|_| 0.1).collect();
         let packed = W4A8Weights::Lqq(PackedLqqLinear::from_tensor(&t, ch));
-        let cfg = ParallelConfig { workers, task_rows, stages };
+        let cfg = ParallelConfig {
+            workers,
+            task_rows,
+            stages,
+        };
         let base = gemm(&x, &scales, &packed, KernelKind::Serial, cfg).y;
         for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
             let y = gemm(&x, &scales, &packed, kind, cfg).y;
-            prop_assert_eq!(max_abs_diff(&y, &base), 0.0, "{:?}", kind);
+            assert_eq!(max_abs_diff(&y, &base), 0.0, "case {case} {kind:?} {cfg:?}");
         }
     }
+}
 
-    /// The tiled kernel equals the serial kernel for arbitrary tile
-    /// shapes whose Kt is a multiple of the group size.
-    #[test]
-    fn tiled_equals_serial(
-        (x, scales, w_l1) in problem(),
-        mt in 1usize..8,
-        nt in 1usize..8,
-        ktg in 1usize..4,
-    ) {
+/// The tiled kernel equals the serial kernel for arbitrary tile shapes
+/// whose Kt is a multiple of the group size.
+#[test]
+fn tiled_equals_serial() {
+    let mut rng = Rng::new(0xC0DE_0005);
+    for case in 0..CASES {
+        let (x, scales, w_l1) = problem(&mut rng);
+        let tile = TileConfig {
+            mt: rng.range_usize(1, 8),
+            nt: rng.range_usize(1, 8),
+            kt: rng.range_usize(1, 4) * 32,
+        };
         let t = LqqTensor::quantize(&w_l1, 32);
         let ch: Vec<f32> = (0..w_l1.rows()).map(|_| 0.3).collect();
         let packed = PackedLqqLinear::from_tensor(&t, ch);
         let want = w4a8_lqq_serial(&x, &scales, &packed);
-        let tile = TileConfig { mt, nt, kt: ktg * 32 };
         let got = w4a8_lqq_tiled(&x, &scales, &packed, tile);
-        prop_assert_eq!(max_abs_diff(&got, &want), 0.0);
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "case {case} {tile:?}");
     }
 }

@@ -1,0 +1,103 @@
+//! Telemetry integration tests for the pipelines: counters are
+//! monotone, tasks are accounted exactly, and disabling telemetry
+//! leaves results bit-identical.
+
+use lq_core::pipeline::{w4a8_imfp, ParallelConfig};
+use lq_core::reference::max_abs_diff;
+use lq_core::serial::w4a8_lqq_serial;
+use lq_core::PackedLqqLinear;
+use lq_quant::act::QuantizedActivations;
+use lq_quant::mat::Mat;
+use lq_rng::Rng;
+
+/// Both tests record into the same process-global registry; serialize
+/// them so exact-delta assertions aren't perturbed by the other test's
+/// pipeline runs.
+static EXCLUSIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn fixture(rng: &mut Rng, m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, PackedLqqLinear) {
+    let xf = Mat::from_fn(m, k, |_, _| rng.range_f32(-2.0, 2.0));
+    let wf = Mat::from_fn(n, k, |_, _| rng.range_f32(-1.0, 1.0));
+    let qa = QuantizedActivations::quantize(&xf, None);
+    (qa.q, qa.scales, PackedLqqLinear::quantize(&wf, 64))
+}
+
+/// Property: across repeated `w4a8_imfp` runs with randomized shapes,
+/// every pipeline stall counter is monotone non-decreasing and the
+/// tasks counter advances by exactly ⌈N / task_rows⌉ per run.
+#[test]
+fn imfp_stall_counters_monotone_across_runs() {
+    let _guard = EXCLUSIVE.lock().unwrap();
+    lq_telemetry::enable();
+    let reg = lq_telemetry::registry();
+    let stall_names: Vec<(&str, [(&str, &str); 2])> = ["load", "compute"]
+        .iter()
+        .map(|r| {
+            (
+                "lq_pipeline_stall_total",
+                [("variant", "imfp"), ("role", *r)],
+            )
+        })
+        .collect();
+    let tasks = reg.counter_with("lq_pipeline_tasks_total", &[("variant", "imfp")]);
+
+    let mut rng = Rng::new(0x5ECD);
+    let mut prev_stalls: Vec<u64> = stall_names
+        .iter()
+        .map(|(n, l)| reg.counter_with(n, l).get())
+        .collect();
+    for round in 0..8 {
+        let m = rng.range_usize(1, 6);
+        let n = rng.range_usize(4, 40);
+        let k = 64 * rng.range_usize(1, 4);
+        let (x, s, w) = fixture(&mut rng, m, n, k);
+        let task_rows = rng.range_usize(1, 9);
+        let cfg = ParallelConfig {
+            workers: rng.range_usize(1, 5),
+            task_rows,
+            stages: 2,
+        };
+
+        let tasks_before = tasks.get();
+        let got = w4a8_imfp(&x, &s, Some(&w), None, cfg);
+        let want = w4a8_lqq_serial(&x, &s, &w);
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "round {round}");
+
+        let expected_tasks = n.div_ceil(task_rows) as u64;
+        assert_eq!(
+            tasks.get() - tasks_before,
+            expected_tasks,
+            "round {round}: tasks counter must advance by the task count"
+        );
+        for (i, (name, labels)) in stall_names.iter().enumerate() {
+            let now = reg.counter_with(name, labels).get();
+            assert!(
+                now >= prev_stalls[i],
+                "round {round}: {name}{labels:?} went backwards ({} -> {now})",
+                prev_stalls[i]
+            );
+            prev_stalls[i] = now;
+        }
+    }
+}
+
+/// Telemetry on vs off must not change numeric results, and the GEMM
+/// call histogram must record one sample per instrumented call.
+#[test]
+fn gemm_call_histogram_counts_calls() {
+    let _guard = EXCLUSIVE.lock().unwrap();
+    lq_telemetry::enable();
+    let mut rng = Rng::new(7);
+    let (x, s, w) = fixture(&mut rng, 3, 12, 128);
+    let cfg = ParallelConfig {
+        workers: 2,
+        task_rows: 4,
+        stages: 2,
+    };
+    let hist = lq_telemetry::registry().histogram_with("lq_gemm_ns", &[("variant", "imfp")]);
+    let before = hist.count();
+    let a = w4a8_imfp(&x, &s, Some(&w), None, cfg);
+    let b = w4a8_imfp(&x, &s, Some(&w), None, cfg);
+    assert!(hist.count() >= before + 2, "each call records a span");
+    assert_eq!(max_abs_diff(&a, &b), 0.0, "runs are deterministic");
+}

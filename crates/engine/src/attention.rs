@@ -49,12 +49,7 @@ impl AttnConfig {
 /// layout. Attends over all cached tokens of `seq` (the current token's
 /// K/V must already be appended).
 #[must_use]
-pub fn decode_attention(
-    cfg: AttnConfig,
-    q: &[f32],
-    store: &PagedKvStore,
-    seq: SeqId,
-) -> Vec<f32> {
+pub fn decode_attention(cfg: AttnConfig, q: &[f32], store: &PagedKvStore, seq: SeqId) -> Vec<f32> {
     assert_eq!(q.len(), cfg.q_dim(), "query length mismatch");
     assert_eq!(store.kv_dim(), cfg.kv_dim(), "store kv_dim mismatch");
     let ctx = store.len_of(seq).expect("sequence exists");
@@ -80,14 +75,14 @@ pub fn decode_attention(
                 v_deq[c] = f32::from(v_row[base + c]) * store.quant.v_scales[base + c];
             }
             let qh = &q[h * d..(h + 1) * d];
-            let score = scale
-                * qh.iter()
-                    .zip(k_deq.iter())
-                    .map(|(a, b)| a * b)
-                    .sum::<f32>();
+            let score = scale * qh.iter().zip(k_deq.iter()).map(|(a, b)| a * b).sum::<f32>();
             // Online softmax update.
             let m_new = m[h].max(score);
-            let corr = if m[h].is_finite() { (m[h] - m_new).exp() } else { 0.0 };
+            let corr = if m[h].is_finite() {
+                (m[h] - m_new).exp()
+            } else {
+                0.0
+            };
             let p = (score - m_new).exp();
             den[h] = den[h] * corr + p;
             let acc = &mut out[h * d..(h + 1) * d];
@@ -149,7 +144,11 @@ mod tests {
     use super::*;
     use crate::kv::KvQuantizer;
 
-    const CFG: AttnConfig = AttnConfig { heads: 4, kv_heads: 2, head_dim: 8 };
+    const CFG: AttnConfig = AttnConfig {
+        heads: 4,
+        kv_heads: 2,
+        head_dim: 8,
+    };
 
     fn synth(i: usize, amp: f32) -> Vec<f32> {
         (0..CFG.kv_dim())
@@ -215,7 +214,9 @@ mod tests {
         let mut store = PagedKvStore::new(64, 4, quant);
         store.add_sequence(0).unwrap();
         let aligned: Vec<f32> = (0..CFG.kv_dim()).map(|_| 3.5f32).collect();
-        let noise: Vec<f32> = (0..CFG.kv_dim()).map(|c| if c % 2 == 0 { -3.5 } else { 3.5 }).collect();
+        let noise: Vec<f32> = (0..CFG.kv_dim())
+            .map(|c| if c % 2 == 0 { -3.5 } else { 3.5 })
+            .collect();
         let v_hot = vec![1.0f32; CFG.kv_dim()];
         let v_cold = vec![-1.0f32; CFG.kv_dim()];
         for _ in 0..5 {
@@ -237,8 +238,9 @@ mod tests {
         let mut b = PagedKvStore::new(64, 4, quant);
         a.add_sequence(0).unwrap();
         b.add_sequence(0).unwrap();
-        let toks: Vec<(Vec<f32>, Vec<f32>)> =
-            (0..9).map(|t| (synth(t, 1.0), synth(t + 50, 1.0))).collect();
+        let toks: Vec<(Vec<f32>, Vec<f32>)> = (0..9)
+            .map(|t| (synth(t, 1.0), synth(t + 50, 1.0)))
+            .collect();
         for (k, v) in &toks {
             a.append(0, k, v).unwrap();
         }

@@ -39,7 +39,11 @@ pub fn ffn_forward(
     cfg: ParallelConfig,
 ) -> Mat<f32> {
     assert_eq!(w.gate_up.k(), h.cols(), "hidden size mismatch");
-    assert_eq!(w.gate_up.n(), 2 * w.inter, "fused gate_up must be 2*inter rows");
+    assert_eq!(
+        w.gate_up.n(),
+        2 * w.inter,
+        "fused gate_up must be 2*inter rows"
+    );
     let qa = QuantizedActivations::quantize(h, None);
     let gu = gemm(&qa.q, &qa.scales, &w.gate_up, kind, cfg).y;
     // act = silu(gate) ⊙ up
@@ -89,8 +93,12 @@ mod tests {
     #[test]
     fn quantized_ffn_tracks_reference() {
         let (hidden, inter, m) = (64, 160, 6);
-        let gate_up = Mat::from_fn(2 * inter, hidden, |r, c| ((r * hidden + c) as f32 * 0.017).sin() * 0.3);
-        let down = Mat::from_fn(hidden, inter, |r, c| ((r * inter + c) as f32 * 0.013).cos() * 0.3);
+        let gate_up = Mat::from_fn(2 * inter, hidden, |r, c| {
+            ((r * hidden + c) as f32 * 0.017).sin() * 0.3
+        });
+        let down = Mat::from_fn(hidden, inter, |r, c| {
+            ((r * inter + c) as f32 * 0.013).cos() * 0.3
+        });
         let h = Mat::from_fn(m, hidden, |r, c| ((r * hidden + c) as f32 * 0.029).sin());
         let w = FfnWeights {
             gate_up: W4A8Weights::Lqq(PackedLqqLinear::quantize(&gate_up, 32)),
@@ -107,7 +115,9 @@ mod tests {
     #[test]
     fn pipeline_variants_match_serial_through_ffn() {
         let (hidden, inter, m) = (64, 96, 4);
-        let gate_up = Mat::from_fn(2 * inter, hidden, |r, c| ((r + c) as f32 * 0.05).sin() * 0.4);
+        let gate_up = Mat::from_fn(2 * inter, hidden, |r, c| {
+            ((r + c) as f32 * 0.05).sin() * 0.4
+        });
         let down = Mat::from_fn(hidden, inter, |r, c| ((r + c) as f32 * 0.03).cos() * 0.4);
         let h = Mat::from_fn(m, hidden, |r, c| ((r * c) as f32 * 0.01).sin());
         let w = FfnWeights {
@@ -115,7 +125,11 @@ mod tests {
             down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, 32)),
             inter,
         };
-        let cfg = ParallelConfig { workers: 2, task_rows: 8, stages: 2 };
+        let cfg = ParallelConfig {
+            workers: 2,
+            task_rows: 8,
+            stages: 2,
+        };
         let a = ffn_forward(&w, &h, KernelKind::Serial, cfg);
         let b = ffn_forward(&w, &h, KernelKind::ImFp, cfg);
         assert_eq!(lq_core::reference::max_abs_diff(&a, &b), 0.0);

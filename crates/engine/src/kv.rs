@@ -218,7 +218,10 @@ mod tests {
             assert!((got - want).abs() < 0.02, "{got} vs {want}");
         }
         let v6 = store.v_at(1, 6).unwrap();
-        assert!(v6.iter().zip(k6.iter()).all(|(a, b)| *a == -*b || (*a + *b).abs() <= 1));
+        assert!(v6
+            .iter()
+            .zip(k6.iter())
+            .all(|(a, b)| *a == -*b || (*a + *b).abs() <= 1));
     }
 
     #[test]

@@ -131,7 +131,9 @@ impl DecoderLayer {
         // 1. Pre-norm + one batched QKV GEMM over all prompt tokens.
         let mut normed = Mat::zeros(t_len, hidden);
         for i in 0..t_len {
-            normed.row_mut(i).copy_from_slice(&rmsnorm(h.row(i), &self.weights.attn_norm));
+            normed
+                .row_mut(i)
+                .copy_from_slice(&rmsnorm(h.row(i), &self.weights.attn_norm));
         }
         let qa = QuantizedActivations::quantize(&normed, None);
         let qkv = gemm(&qa.q, &qa.scales, &self.weights.qkv, kind, pcfg).y;
@@ -166,7 +168,9 @@ impl DecoderLayer {
         // 4. Batched FFN + residual.
         let mut normed2 = Mat::zeros(t_len, hidden);
         for i in 0..t_len {
-            normed2.row_mut(i).copy_from_slice(&rmsnorm(h1.row(i), &self.weights.ffn_norm));
+            normed2
+                .row_mut(i)
+                .copy_from_slice(&rmsnorm(h1.row(i), &self.weights.ffn_norm));
         }
         let f = ffn_forward(&self.weights.ffn, &normed2, kind, pcfg);
         let mut out = Mat::zeros(t_len, hidden);
@@ -220,7 +224,9 @@ impl ReferenceLayer {
         let (q_dim, kv_dim) = (self.cfg.q_dim(), self.cfg.kv_dim());
         let mut normed = Mat::zeros(m, hidden);
         for i in 0..m {
-            normed.row_mut(i).copy_from_slice(&rmsnorm(h.row(i), &self.attn_norm));
+            normed
+                .row_mut(i)
+                .copy_from_slice(&rmsnorm(h.row(i), &self.attn_norm));
         }
         let qkv = lq_core::reference::gemm_f32_ref(&normed, &self.qkv);
         let mut attn_out = Mat::zeros(m, q_dim);
@@ -246,7 +252,9 @@ impl ReferenceLayer {
         }
         let mut normed2 = Mat::zeros(m, hidden);
         for i in 0..m {
-            normed2.row_mut(i).copy_from_slice(&rmsnorm(h1.row(i), &self.ffn_norm));
+            normed2
+                .row_mut(i)
+                .copy_from_slice(&rmsnorm(h1.row(i), &self.ffn_norm));
         }
         let f = ffn_reference(&self.gate_up, &self.down, self.inter, &normed2);
         let mut out = Mat::zeros(m, hidden);
@@ -305,7 +313,11 @@ mod tests {
 
     #[test]
     fn quantized_layer_tracks_fp32_over_multiple_steps() {
-        let cfg = AttnConfig { heads: 4, kv_heads: 2, head_dim: 16 };
+        let cfg = AttnConfig {
+            heads: 4,
+            kv_heads: 2,
+            head_dim: 16,
+        };
         let hidden = 64;
         let (layer, mut reference) = build_pair(hidden, 128, cfg);
         let quant = KvQuantizer::uniform(cfg.kv_dim(), 6.0);
@@ -333,7 +345,11 @@ mod tests {
 
     #[test]
     fn residual_stream_grows_with_layers_not_explodes() {
-        let cfg = AttnConfig { heads: 2, kv_heads: 2, head_dim: 16 };
+        let cfg = AttnConfig {
+            heads: 2,
+            kv_heads: 2,
+            head_dim: 16,
+        };
         let hidden = 32;
         let (layer, _) = build_pair(hidden, 64, cfg);
         let quant = KvQuantizer::uniform(cfg.kv_dim(), 6.0);

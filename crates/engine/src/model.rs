@@ -40,7 +40,11 @@ impl ModelSpec {
             hidden: 64,
             inter: 128,
             layers: 2,
-            attn: AttnConfig { heads: 4, kv_heads: 2, head_dim: 16 },
+            attn: AttnConfig {
+                heads: 4,
+                kv_heads: 2,
+                head_dim: 16,
+            },
             group: 32,
         }
     }
@@ -181,25 +185,29 @@ impl TinyLlm {
             for m in k_absmax.iter_mut().chain(v_absmax.iter_mut()) {
                 *m *= 1.1;
             }
-            self.kv[l] = PagedKvStore::new(
-                pages,
-                16,
-                KvQuantizer::from_absmax(&k_absmax, &v_absmax),
-            );
+            self.kv[l] =
+                PagedKvStore::new(pages, 16, KvQuantizer::from_absmax(&k_absmax, &v_absmax));
         }
     }
 
     /// Register a new sequence in every layer's KV store.
     pub fn add_sequence(&mut self, id: SeqId) {
         for store in &mut self.kv {
-            store.add_sequence(id).expect("KV capacity for new sequence");
+            store
+                .add_sequence(id)
+                .expect("KV capacity for new sequence");
         }
     }
 
     /// One decode step: token ids (one per sequence) → logits
     /// (`M × vocab`). `positions[i]` is each token's position.
     #[must_use]
-    pub fn decode_step(&mut self, tokens: &[usize], seqs: &[SeqId], positions: &[usize]) -> Mat<f32> {
+    pub fn decode_step(
+        &mut self,
+        tokens: &[usize],
+        seqs: &[SeqId],
+        positions: &[usize],
+    ) -> Mat<f32> {
         let m = tokens.len();
         assert_eq!(seqs.len(), m);
         assert_eq!(positions.len(), m);
@@ -213,7 +221,9 @@ impl TinyLlm {
         }
         let mut normed = Mat::zeros(m, self.spec.hidden);
         for i in 0..m {
-            normed.row_mut(i).copy_from_slice(&rmsnorm(h.row(i), &self.final_norm));
+            normed
+                .row_mut(i)
+                .copy_from_slice(&rmsnorm(h.row(i), &self.final_norm));
         }
         let qa = QuantizedActivations::quantize(&normed, None);
         gemm(&qa.q, &qa.scales, &self.lm_head, self.kind, self.pcfg).y
@@ -275,17 +285,20 @@ impl TinyLlm {
 
     /// Greedy generation for one sequence starting from `prompt`.
     #[must_use]
-    pub fn generate_greedy(&mut self, seq: SeqId, prompt: &[usize], new_tokens: usize) -> Vec<usize> {
+    pub fn generate_greedy(
+        &mut self,
+        seq: SeqId,
+        prompt: &[usize],
+        new_tokens: usize,
+    ) -> Vec<usize> {
         assert!(!prompt.is_empty());
         self.add_sequence(seq);
         let mut logits = self.prefill(seq, prompt);
-        let mut pos = prompt.len();
         let mut out = Vec::with_capacity(new_tokens);
-        for _ in 0..new_tokens {
+        for pos in prompt.len()..prompt.len() + new_tokens {
             let next = argmax(logits.row(0));
             out.push(next);
             logits = self.decode_step(&[next], &[seq], &[pos]);
-            pos += 1;
         }
         out
     }
@@ -309,7 +322,12 @@ impl ReferenceLlm {
     /// One decode step (mirrors [`TinyLlm::decode_step`]); `seq_idx`
     /// indexes the preallocated histories.
     #[must_use]
-    pub fn decode_step(&mut self, tokens: &[usize], seq_idx: &[usize], positions: &[usize]) -> Mat<f32> {
+    pub fn decode_step(
+        &mut self,
+        tokens: &[usize],
+        seq_idx: &[usize],
+        positions: &[usize],
+    ) -> Mat<f32> {
         let m = tokens.len();
         let mut h = Mat::zeros(m, self.spec.hidden);
         for (i, &t) in tokens.iter().enumerate() {
@@ -320,7 +338,9 @@ impl ReferenceLlm {
         }
         let mut normed = Mat::zeros(m, self.spec.hidden);
         for i in 0..m {
-            normed.row_mut(i).copy_from_slice(&rmsnorm(h.row(i), &self.final_norm));
+            normed
+                .row_mut(i)
+                .copy_from_slice(&rmsnorm(h.row(i), &self.final_norm));
         }
         lq_core::reference::gemm_f32_ref(&normed, &self.lm_head)
     }

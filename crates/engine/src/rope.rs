@@ -9,7 +9,7 @@ pub const ROPE_BASE: f32 = 10000.0;
 
 /// Rotate one head vector (length `d`, even) in place for position `pos`.
 pub fn rope_inplace(x: &mut [f32], pos: usize, base: f32) {
-    assert!(x.len() % 2 == 0, "head dim must be even for RoPE");
+    assert!(x.len().is_multiple_of(2), "head dim must be even for RoPE");
     let d = x.len();
     for i in 0..d / 2 {
         let theta = base.powf(-2.0 * i as f32 / d as f32);

@@ -149,7 +149,14 @@ mod tests {
         let mut rng = SampleRng::new(4);
         let logits = [10.0f32, 9.5, -50.0, -60.0];
         for _ in 0..500 {
-            let p = sample(&logits, Sampling::TopK { k: 2, temperature: 1.0 }, &mut rng);
+            let p = sample(
+                &logits,
+                Sampling::TopK {
+                    k: 2,
+                    temperature: 1.0,
+                },
+                &mut rng,
+            );
             assert!(p < 2, "sampled tail token {p}");
         }
     }
@@ -160,7 +167,14 @@ mod tests {
         let logits = [0.3f32, 0.9, 0.7];
         for _ in 0..50 {
             assert_eq!(
-                sample(&logits, Sampling::TopK { k: 1, temperature: 1.0 }, &mut rng),
+                sample(
+                    &logits,
+                    Sampling::TopK {
+                        k: 1,
+                        temperature: 1.0
+                    },
+                    &mut rng
+                ),
                 1
             );
         }
@@ -173,7 +187,10 @@ mod tests {
         let logits = [1.0f32, 0.0, 2.0];
         let t = 1.0f32;
         let m = 2.0f32;
-        let ws: Vec<f64> = logits.iter().map(|&l| f64::from(((l - m) / t).exp())).collect();
+        let ws: Vec<f64> = logits
+            .iter()
+            .map(|&l| f64::from(((l - m) / t).exp()))
+            .collect();
         let z: f64 = ws.iter().sum();
         let n = 20_000;
         let mut counts = [0usize; 3];
@@ -186,7 +203,11 @@ mod tests {
             let expected = p * n as f64;
             let sigma = (n as f64 * p * (1.0 - p)).sqrt();
             let diff = (counts[i] as f64 - expected).abs();
-            assert!(diff < 4.0 * sigma, "arm {i}: {} vs {expected} (sigma {sigma})", counts[i]);
+            assert!(
+                diff < 4.0 * sigma,
+                "arm {i}: {} vs {expected} (sigma {sigma})",
+                counts[i]
+            );
         }
     }
 

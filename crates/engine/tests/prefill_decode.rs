@@ -13,7 +13,11 @@ fn spec() -> ModelSpec {
         hidden: 64,
         inter: 96,
         layers: 2,
-        attn: AttnConfig { heads: 4, kv_heads: 2, head_dim: 16 },
+        attn: AttnConfig {
+            heads: 4,
+            kv_heads: 2,
+            head_dim: 16,
+        },
         group: 32,
     }
 }
@@ -69,14 +73,12 @@ fn prefill_then_decode_matches_pure_decode_generation() {
     for (pos, &t) in prompt.iter().enumerate() {
         logits = Some(manual.decode_step(&[t], &[0], &[pos]));
     }
-    let mut pos = prompt.len();
     let mut logits = logits.unwrap();
     let mut out_b = Vec::new();
-    for _ in 0..6 {
+    for pos in prompt.len()..prompt.len() + 6 {
         let next = lq_engine::model::argmax(logits.row(0));
         out_b.push(next);
         logits = manual.decode_step(&[next], &[0], &[pos]);
-        pos += 1;
     }
     assert_eq!(out_a, out_b);
 }
@@ -106,18 +108,19 @@ fn sampled_generation_is_reproducible() {
     use lq_engine::sampling::{sample, SampleRng, Sampling};
     let mut m1 = TinyLlm::synthetic(spec(), 64, KernelKind::Serial);
     let mut m2 = TinyLlm::synthetic(spec(), 64, KernelKind::Serial);
-    let policy = Sampling::TopK { k: 8, temperature: 0.8 };
+    let policy = Sampling::TopK {
+        k: 8,
+        temperature: 0.8,
+    };
     let gen = |m: &mut TinyLlm| {
         m.add_sequence(0);
         let mut rng = SampleRng::new(42);
         let mut logits = m.prefill(0, &[1, 2, 3]);
-        let mut pos = 3usize;
         let mut out = Vec::new();
-        for _ in 0..6 {
+        for pos in 3usize..9 {
             let t = sample(logits.row(0), policy, &mut rng);
             out.push(t);
             logits = m.decode_step(&[t], &[0], &[pos]);
-            pos += 1;
         }
         out
     };

@@ -34,7 +34,10 @@ pub struct ConflictReport {
 /// are independent transactions.
 #[must_use]
 pub fn analyze_access(addrs: &[usize], width: usize) -> ConflictReport {
-    assert!(width == 4 || width == 8 || width == 16, "width must be 4, 8, or 16");
+    assert!(
+        width == 4 || width == 8 || width == 16,
+        "width must be 4, 8, or 16"
+    );
     let phases = width / 4;
     let mut degree = 1;
     let mut transactions = 0;
@@ -48,11 +51,19 @@ pub fn analyze_access(addrs: &[usize], width: usize) -> ConflictReport {
                 words_per_bank[bank].push(word);
             }
         }
-        let phase_degree = words_per_bank.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        let phase_degree = words_per_bank
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .max(1);
         degree = degree.max(phase_degree);
         transactions += phase_degree;
     }
-    ConflictReport { degree, transactions }
+    ConflictReport {
+        degree,
+        transactions,
+    }
 }
 
 /// Addresses of a warp performing `LDS.128` over the dual-MMA 1-D packed
@@ -68,7 +79,9 @@ pub fn dual_mma_addresses(threads: usize) -> Vec<usize> {
 /// multiple of 128 bytes, all threads hit the same bank.
 #[must_use]
 pub fn strided_2d_addresses(threads: usize, row_stride_bytes: usize, col: usize) -> Vec<usize> {
-    (0..threads).map(|t| t * row_stride_bytes + col * 4).collect()
+    (0..threads)
+        .map(|t| t * row_stride_bytes + col * 4)
+        .collect()
 }
 
 #[cfg(test)]
@@ -81,7 +94,10 @@ mod tests {
         // 4-byte phase, thread t hits bank (4t + p) % 32 — all distinct
         // per phase group... verify via the model.
         let r = analyze_access(&dual_mma_addresses(32), 16);
-        assert_eq!(r.degree, 4, "16B apart → 4-way phase sharing is inherent; hardware splits into quarter-warps");
+        assert_eq!(
+            r.degree, 4,
+            "16B apart → 4-way phase sharing is inherent; hardware splits into quarter-warps"
+        );
     }
 
     #[test]

@@ -52,7 +52,12 @@ impl DualMmaWeights {
         for row in values.chunks_exact(k) {
             words.extend_from_slice(&pack_row_words(row));
         }
-        Self { n, k, words_per_row, words }
+        Self {
+            n,
+            k,
+            words_per_row,
+            words,
+        }
     }
 
     /// Output channels (N).
@@ -85,7 +90,7 @@ impl DualMmaWeights {
     /// Words covering `[k0, k1)` of one row (`k0`, `k1` multiples of 8).
     #[must_use]
     pub fn row_kslice(&self, row: usize, k0: usize, k1: usize) -> &[u32] {
-        assert!(k0 % 8 == 0 && k1 % 8 == 0 && k0 <= k1 && k1 <= self.k);
+        assert!(k0.is_multiple_of(8) && k1.is_multiple_of(8) && k0 <= k1 && k1 <= self.k);
         let base = row * self.words_per_row;
         &self.words[base + k0 / 8..base + k1 / 8]
     }
@@ -140,7 +145,11 @@ impl LoadCost {
 /// per load, zero waste.
 #[must_use]
 pub fn dual_mma_load_cost(elems: usize) -> LoadCost {
-    assert_eq!(elems % ELEMS_PER_LDS128, 0, "elems must be a multiple of 32");
+    assert_eq!(
+        elems % ELEMS_PER_LDS128,
+        0,
+        "elems must be a multiple of 32"
+    );
     let loads = elems / ELEMS_PER_LDS128;
     LoadCost {
         lds128: loads,

@@ -18,7 +18,10 @@
 /// elements it actually receives.
 #[must_use]
 pub fn scatter_ownership(elem_bits: usize) -> Vec<Vec<usize>> {
-    assert!(elem_bits == 4 || elem_bits == 8, "model covers 4- and 8-bit");
+    assert!(
+        elem_bits == 4 || elem_bits == 8,
+        "model covers 4- and 8-bit"
+    );
     let elems_per_byte = 8 / elem_bits;
     let threads = 8;
     (0..threads)
@@ -26,9 +29,8 @@ pub fn scatter_ownership(elem_bits: usize) -> Vec<Vec<usize>> {
             // Thread t receives bytes [4t, 4t+4) of the row.
             let first_elem = 4 * t * elems_per_byte;
             let n_elems = 4 * elems_per_byte;
-            let mut owners: Vec<usize> = (first_elem..first_elem + n_elems)
-                .map(|e| e / 4)
-                .collect();
+            let mut owners: Vec<usize> =
+                (first_elem..first_elem + n_elems).map(|e| e / 4).collect();
             owners.dedup();
             owners
         })

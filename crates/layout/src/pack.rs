@@ -43,8 +43,8 @@ pub fn pack_row_words(vals: &[u8]) -> Vec<u32> {
 pub fn unpack_row_words(words: &[u32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(words.len() * 8);
     for &w in words {
-        for i in 0..8 {
-            let nib = INTERLEAVE[i] as u32;
+        for &lane in &INTERLEAVE {
+            let nib = lane as u32;
             out.push(((w >> (4 * nib)) & 0xF) as u8);
         }
     }

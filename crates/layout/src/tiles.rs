@@ -20,13 +20,21 @@ pub struct TileConfig {
 impl TileConfig {
     /// The paper's default H800 configuration: WGMMA `m64`, `n` up to
     /// 256, `k32`-per-instruction with a 64-wide SMEM stage.
-    pub const HOPPER_DEFAULT: TileConfig = TileConfig { mt: 64, nt: 128, kt: 64 };
+    pub const HOPPER_DEFAULT: TileConfig = TileConfig {
+        mt: 64,
+        nt: 128,
+        kt: 64,
+    };
 
     /// Tile counts `(m, n, k)` for a problem of shape `M×N×K`
     /// (ceiling division; Eq. 5–6 use these).
     #[must_use]
     pub fn tile_counts(&self, m: usize, n: usize, k: usize) -> (usize, usize, usize) {
-        (m.div_ceil(self.mt), n.div_ceil(self.nt), k.div_ceil(self.kt))
+        (
+            m.div_ceil(self.mt),
+            n.div_ceil(self.nt),
+            k.div_ceil(self.kt),
+        )
     }
 
     /// Total output tiles for a problem.
@@ -86,7 +94,13 @@ impl TileIter {
     #[must_use]
     pub fn new(cfg: TileConfig, m: usize, n: usize) -> Self {
         let total = cfg.output_tiles(m, n);
-        Self { cfg, m, n, next: 0, total }
+        Self {
+            cfg,
+            m,
+            n,
+            next: 0,
+            total,
+        }
     }
 
     /// Number of tiles remaining.
@@ -133,7 +147,11 @@ impl ExactSizeIterator for TileIter {}
 mod tests {
     use super::*;
 
-    const CFG: TileConfig = TileConfig { mt: 64, nt: 128, kt: 64 };
+    const CFG: TileConfig = TileConfig {
+        mt: 64,
+        nt: 128,
+        kt: 64,
+    };
 
     #[test]
     fn tile_counts_use_ceiling_division() {
@@ -159,7 +177,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered.iter().all(|&c| c == 1), "every output cell exactly once");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "every output cell exactly once"
+        );
     }
 
     #[test]

@@ -1,63 +1,79 @@
-//! Property-based tests for the layout machinery.
+//! Randomized property tests for the layout machinery (seeded in-tree
+//! PRNG; offline sandbox has no proptest).
 
 use lq_layout::bank::{analyze_access, NUM_BANKS};
 use lq_layout::dual_mma::{dual_mma_load_cost, lds32_load_cost, DualMmaWeights};
-use lq_layout::pack::{pack_row_words, pack_row_words_plain, unpack_row_words, unpack_row_words_plain};
+use lq_layout::pack::{
+    pack_row_words, pack_row_words_plain, unpack_row_words, unpack_row_words_plain,
+};
 use lq_layout::tiles::{TileConfig, TileIter};
-use proptest::prelude::*;
+use lq_rng::Rng;
 
-proptest! {
-    /// Interleaved and plain packings are both lossless for arbitrary
-    /// nibble streams.
-    #[test]
-    fn packings_roundtrip(vals in prop::collection::vec(0u8..16, 8..256)) {
-        let len = vals.len() / 8 * 8;
-        let vals = &vals[..len];
-        prop_assume!(!vals.is_empty());
-        prop_assert_eq!(&unpack_row_words(&pack_row_words(vals)), &vals);
-        prop_assert_eq!(&unpack_row_words_plain(&pack_row_words_plain(vals)), &vals);
+const CASES: usize = 64;
+
+/// Interleaved and plain packings are both lossless for arbitrary
+/// nibble streams.
+#[test]
+fn packings_roundtrip() {
+    let mut rng = Rng::new(0x1A70_0001);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 32) * 8;
+        let vals: Vec<u8> = (0..len).map(|_| rng.below(16) as u8).collect();
+        assert_eq!(&unpack_row_words(&pack_row_words(&vals)), &vals);
+        assert_eq!(&unpack_row_words_plain(&pack_row_words_plain(&vals)), &vals);
     }
+}
 
-    /// Dual-MMA packing of an N×K matrix is lossless and the packed
-    /// size is exactly N·K/2 bytes.
-    #[test]
-    fn dual_mma_roundtrip(n in 1usize..8, kw in 1usize..8, seed in any::<u64>()) {
-        let k = kw * 8;
-        let vals: Vec<u8> = (0..n * k)
-            .map(|i| ((seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 33) % 16) as u8)
-            .collect();
+/// Dual-MMA packing of an N×K matrix is lossless and the packed size is
+/// exactly N·K/2 bytes.
+#[test]
+fn dual_mma_roundtrip() {
+    let mut rng = Rng::new(0x1A70_0002);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 8);
+        let k = rng.range_usize(1, 8) * 8;
+        let vals: Vec<u8> = (0..n * k).map(|_| rng.below(16) as u8).collect();
         let w = DualMmaWeights::pack(&vals, n, k);
-        prop_assert_eq!(w.unpack_all(), vals);
-        prop_assert_eq!(w.packed_bytes(), n * k / 2);
+        assert_eq!(w.unpack_all(), vals);
+        assert_eq!(w.packed_bytes(), n * k / 2);
     }
+}
 
-    /// Row slices compose: concatenating row_kslice over group windows
-    /// equals row_words.
-    #[test]
-    fn kslices_tile_the_row(n in 1usize..5, groups in 1usize..6, seed in any::<u64>()) {
+/// Row slices compose: concatenating row_kslice over group windows
+/// equals row_words.
+#[test]
+fn kslices_tile_the_row() {
+    let mut rng = Rng::new(0x1A70_0003);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 5);
+        let groups = rng.range_usize(1, 6);
         let group = 16; // two words
         let k = groups * group;
-        let vals: Vec<u8> = (0..n * k)
-            .map(|i| ((seed ^ (i as u64).wrapping_mul(0x2545F4914F6CDD1D)) % 16) as u8)
-            .collect();
+        let vals: Vec<u8> = (0..n * k).map(|_| rng.below(16) as u8).collect();
         let w = DualMmaWeights::pack(&vals, n, k);
         for r in 0..n {
             let mut joined = Vec::new();
             for g in 0..groups {
                 joined.extend_from_slice(w.row_kslice(r, g * group, (g + 1) * group));
             }
-            prop_assert_eq!(joined.as_slice(), w.row_words(r));
+            assert_eq!(joined.as_slice(), w.row_words(r));
         }
     }
+}
 
-    /// Tile iteration covers every output cell exactly once for any
-    /// problem/tile shape.
-    #[test]
-    fn tiles_partition_output(
-        m in 1usize..40, n in 1usize..40,
-        mt in 1usize..16, nt in 1usize..16,
-    ) {
-        let cfg = TileConfig { mt, nt, kt: 32 };
+/// Tile iteration covers every output cell exactly once for any
+/// problem/tile shape.
+#[test]
+fn tiles_partition_output() {
+    let mut rng = Rng::new(0x1A70_0004);
+    for _ in 0..CASES {
+        let m = rng.range_usize(1, 40);
+        let n = rng.range_usize(1, 40);
+        let cfg = TileConfig {
+            mt: rng.range_usize(1, 16),
+            nt: rng.range_usize(1, 16),
+            kt: 32,
+        };
         let mut covered = vec![0u8; m * n];
         for t in TileIter::new(cfg, m, n) {
             for r in t.m0..t.m1 {
@@ -66,32 +82,39 @@ proptest! {
                 }
             }
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
+        assert!(covered.iter().all(|&c| c == 1));
     }
+}
 
-    /// Load-cost accounting: the packed layout never moves more bytes
-    /// than the LDS.32 fallback and always needs fewer address calcs.
-    #[test]
-    fn packed_load_dominates_fallback(chunks in 1usize..32) {
-        let elems = chunks * 32;
+/// Load-cost accounting: the packed layout never moves more bytes than
+/// the LDS.32 fallback and always needs fewer address calcs.
+#[test]
+fn packed_load_dominates_fallback() {
+    let mut rng = Rng::new(0x1A70_0005);
+    for _ in 0..CASES {
+        let elems = rng.range_usize(1, 32) * 32;
         let a = dual_mma_load_cost(elems);
         let b = lds32_load_cost(elems);
-        prop_assert!(a.bytes_moved <= b.bytes_moved);
-        prop_assert!(a.addr_calcs < b.addr_calcs);
-        prop_assert_eq!(a.bytes_useful, b.bytes_useful);
-        prop_assert!(a.efficiency() >= b.efficiency());
+        assert!(a.bytes_moved <= b.bytes_moved);
+        assert!(a.addr_calcs < b.addr_calcs);
+        assert_eq!(a.bytes_useful, b.bytes_useful);
+        assert!(a.efficiency() >= b.efficiency());
     }
+}
 
-    /// Bank-conflict analysis: degree is always within [1, threads] and
-    /// broadcast patterns are always conflict-free.
-    #[test]
-    fn conflict_degree_bounds(addrs in prop::collection::vec(0usize..4096, 1..32)) {
-        let aligned: Vec<usize> = addrs.iter().map(|a| a & !3).collect();
+/// Bank-conflict analysis: degree is always within [1, threads] and
+/// broadcast patterns are always conflict-free.
+#[test]
+fn conflict_degree_bounds() {
+    let mut rng = Rng::new(0x1A70_0006);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 32);
+        let aligned: Vec<usize> = (0..len).map(|_| rng.range_usize(0, 4096) & !3).collect();
         let r = analyze_access(&aligned, 4);
-        prop_assert!(r.degree >= 1);
-        prop_assert!(r.degree <= aligned.len().min(NUM_BANKS * 4));
+        assert!(r.degree >= 1);
+        assert!(r.degree <= aligned.len().min(NUM_BANKS * 4));
         // Same address for everyone → broadcast.
         let bcast = vec![aligned[0]; aligned.len()];
-        prop_assert_eq!(analyze_access(&bcast, 4).degree, 1);
+        assert_eq!(analyze_access(&bcast, 4).degree, 1);
     }
 }

@@ -123,7 +123,10 @@ pub const MIXTRAL_8X7B: ModelConfig = ModelConfig {
     heads: 32,
     kv_heads: 8,
     vocab: 32000,
-    moe: Some(MoeConfig { experts: 8, top_k: 2 }),
+    moe: Some(MoeConfig {
+        experts: 8,
+        top_k: 2,
+    }),
 };
 
 /// All Table-1 models, in the paper's column order.
@@ -217,13 +220,37 @@ mod tests {
             let got_b = got as f64 / 1e9;
             (got_b / want_b - 1.0).abs() < 0.15
         };
-        assert!(close(LLAMA2_7B.total_params(), 6.7), "{}", LLAMA2_7B.total_params());
-        assert!(close(LLAMA2_13B.total_params(), 13.0), "{}", LLAMA2_13B.total_params());
-        assert!(close(LLAMA2_70B.total_params(), 69.0), "{}", LLAMA2_70B.total_params());
-        assert!(close(LLAMA1_30B.total_params(), 32.5), "{}", LLAMA1_30B.total_params());
-        assert!(close(YI_34B.total_params(), 34.0), "{}", YI_34B.total_params());
+        assert!(
+            close(LLAMA2_7B.total_params(), 6.7),
+            "{}",
+            LLAMA2_7B.total_params()
+        );
+        assert!(
+            close(LLAMA2_13B.total_params(), 13.0),
+            "{}",
+            LLAMA2_13B.total_params()
+        );
+        assert!(
+            close(LLAMA2_70B.total_params(), 69.0),
+            "{}",
+            LLAMA2_70B.total_params()
+        );
+        assert!(
+            close(LLAMA1_30B.total_params(), 32.5),
+            "{}",
+            LLAMA1_30B.total_params()
+        );
+        assert!(
+            close(YI_34B.total_params(), 34.0),
+            "{}",
+            YI_34B.total_params()
+        );
         // Mixtral: ~46.7B total.
-        assert!(close(MIXTRAL_8X7B.total_params(), 46.7), "{}", MIXTRAL_8X7B.total_params());
+        assert!(
+            close(MIXTRAL_8X7B.total_params(), 46.7),
+            "{}",
+            MIXTRAL_8X7B.total_params()
+        );
     }
 
     #[test]

@@ -74,20 +74,46 @@ impl LayerShapes {
 pub fn decode_layer_shapes(cfg: &ModelConfig, m: usize) -> LayerShapes {
     assert!(m > 0, "batch must be positive");
     let h = cfg.hidden;
-    let qkv = GemmShape { m, n: h + 2 * cfg.kv_dim(), k: h };
+    let qkv = GemmShape {
+        m,
+        n: h + 2 * cfg.kv_dim(),
+        k: h,
+    };
     let o = GemmShape { m, n: h, k: h };
     match cfg.moe {
         None => {
-            let gate_up = GemmShape { m, n: 2 * cfg.intermediate, k: h };
-            let down = GemmShape { m, n: h, k: cfg.intermediate };
-            LayerShapes { dense: vec![qkv, o, gate_up, down], grouped: None }
+            let gate_up = GemmShape {
+                m,
+                n: 2 * cfg.intermediate,
+                k: h,
+            };
+            let down = GemmShape {
+                m,
+                n: h,
+                k: cfg.intermediate,
+            };
+            LayerShapes {
+                dense: vec![qkv, o, gate_up, down],
+                grouped: None,
+            }
         }
         Some(moe) => {
             // Expected tokens per expert under uniform routing.
             let m_e = (m * moe.top_k).div_ceil(moe.experts).max(1);
-            let gate_up = GemmShape { m: m_e, n: 2 * cfg.intermediate, k: h };
-            let down = GemmShape { m: m_e, n: h, k: cfg.intermediate };
-            LayerShapes { dense: vec![qkv, o], grouped: Some((vec![gate_up, down], moe.experts)) }
+            let gate_up = GemmShape {
+                m: m_e,
+                n: 2 * cfg.intermediate,
+                k: h,
+            };
+            let down = GemmShape {
+                m: m_e,
+                n: h,
+                k: cfg.intermediate,
+            };
+            LayerShapes {
+                dense: vec![qkv, o],
+                grouped: Some((vec![gate_up, down], moe.experts)),
+            }
         }
     }
 }
@@ -103,10 +129,38 @@ mod tests {
         assert_eq!(s.dense.len(), 4);
         assert!(s.grouped.is_none());
         // Fused QKV: 4096 + 2·4096 = 12288 outputs (full MHA).
-        assert_eq!(s.dense[0], GemmShape { m: 16, n: 12288, k: 4096 });
-        assert_eq!(s.dense[1], GemmShape { m: 16, n: 4096, k: 4096 });
-        assert_eq!(s.dense[2], GemmShape { m: 16, n: 22016, k: 4096 });
-        assert_eq!(s.dense[3], GemmShape { m: 16, n: 4096, k: 11008 });
+        assert_eq!(
+            s.dense[0],
+            GemmShape {
+                m: 16,
+                n: 12288,
+                k: 4096
+            }
+        );
+        assert_eq!(
+            s.dense[1],
+            GemmShape {
+                m: 16,
+                n: 4096,
+                k: 4096
+            }
+        );
+        assert_eq!(
+            s.dense[2],
+            GemmShape {
+                m: 16,
+                n: 22016,
+                k: 4096
+            }
+        );
+        assert_eq!(
+            s.dense[3],
+            GemmShape {
+                m: 16,
+                n: 4096,
+                k: 11008
+            }
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl Kv4Vector {
     /// and `group` must be even.
     #[must_use]
     pub fn quantize(kv: &[f32], group: usize) -> Self {
-        assert!(group >= 2 && group % 2 == 0, "group must be even and >= 2");
+        assert!(
+            group >= 2 && group.is_multiple_of(2),
+            "group must be even and >= 2"
+        );
         assert_eq!(kv.len() % group, 0, "length not a multiple of group");
         let mut packed = Vec::with_capacity(kv.len() / 2);
         let mut groups = Vec::with_capacity(kv.len() / group);
@@ -71,7 +74,12 @@ impl Kv4Vector {
                 packed.push(pair[0] | (pair[1] << 4));
             }
         }
-        Self { group, packed, groups, len: kv.len() }
+        Self {
+            group,
+            packed,
+            groups,
+            len: kv.len(),
+        }
     }
 
     /// Dequantize the whole vector.
@@ -142,10 +150,16 @@ mod tests {
     fn kv4_error_exceeds_int8_error() {
         // The accuracy side of the KV4-vs-INT8 trade: same data, the
         // 4-bit cache must carry more error than an 8-bit one.
-        let kv: Vec<f32> = (0..128).map(|i| ((i * i) as f32 * 0.013).sin() * 4.0).collect();
+        let kv: Vec<f32> = (0..128)
+            .map(|i| ((i * i) as f32 * 0.013).sin() * 4.0)
+            .collect();
         let q4 = Kv4Vector::quantize(&kv, 64);
         let b4 = q4.dequantize();
-        let e4: f32 = kv.iter().zip(b4.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+        let e4: f32 = kv
+            .iter()
+            .zip(b4.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
         // INT8 per-channel static with exact absmax calibration.
         let e8: f32 = kv
             .iter()

@@ -94,7 +94,9 @@ mod tests {
         let row: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 0.137).collect();
         let mut out = vec![0i8; row.len()];
         let _ = quantize_channel(&row, &mut out);
-        assert!(out.iter().all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)));
+        assert!(out
+            .iter()
+            .all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)));
         assert!(out.contains(&PROTECTIVE_MAX) || out.contains(&-PROTECTIVE_MAX));
     }
 

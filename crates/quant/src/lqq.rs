@@ -85,7 +85,9 @@ impl LqqGroup {
     pub fn quantize(group: &[i8]) -> (Self, Vec<u8>) {
         assert!(!group.is_empty(), "empty quantization group");
         debug_assert!(
-            group.iter().all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)),
+            group
+                .iter()
+                .all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)),
             "level-1 value outside protective range"
         );
         let min = *group.iter().min().expect("non-empty");
@@ -99,7 +101,13 @@ impl LqqGroup {
                 ((u8v / f32::from(s)).round() as i16).clamp(0, 15) as u8
             })
             .collect();
-        (Self { s_u8: s, min_i8: min }, q_u4)
+        (
+            Self {
+                s_u8: s,
+                min_i8: min,
+            },
+            q_u4,
+        )
     }
 
     /// Scalar reference dequantization: `Q_u4·s + min`, computed in i16.
@@ -200,7 +208,13 @@ impl LqqTensor {
                 values.extend_from_slice(&q_u4);
             }
         }
-        Self { rows: q_i8.rows(), cols: q_i8.cols(), group, values, groups }
+        Self {
+            rows: q_i8.rows(),
+            cols: q_i8.cols(),
+            group,
+            values,
+            groups,
+        }
     }
 
     /// Rows (output channels, N).
@@ -262,7 +276,10 @@ mod tests {
             for max in min..=PROTECTIVE_MAX {
                 let range = i16::from(max) - i16::from(min);
                 let s = (((range as f32) / 15.0).round() as i16).clamp(1, 16) as u8;
-                let g = LqqGroup { s_u8: s, min_i8: min };
+                let g = LqqGroup {
+                    s_u8: s,
+                    min_i8: min,
+                };
                 for q in 0..16u8 {
                     // Only codes that can arise from quantization: the
                     // dequantized value must not exceed max + s/2.
@@ -283,7 +300,10 @@ mod tests {
     /// The paper's worked example: s=15, min=-104, q=15 → 121.
     #[test]
     fn paper_worked_example() {
-        let g = LqqGroup { s_u8: 15, min_i8: -104 };
+        let g = LqqGroup {
+            s_u8: 15,
+            min_i8: -104,
+        };
         assert_eq!(g.dequant_scalar(15), 121);
         assert_eq!(g.dequant_sweet(15), 121);
         // Intermediate: 225 + a where a = 128 - 104 = 24 → 249, then
@@ -295,7 +315,10 @@ mod tests {
     #[test]
     fn offset_a_always_a_valid_byte() {
         for min in -PROTECTIVE_MAX..=PROTECTIVE_MAX {
-            let g = LqqGroup { s_u8: 16, min_i8: min };
+            let g = LqqGroup {
+                s_u8: 16,
+                min_i8: min,
+            };
             let a = g.offset_a();
             assert!((9..=247).contains(&a), "min={min} a={a}");
         }
@@ -354,7 +377,9 @@ mod tests {
 
     #[test]
     fn tensor_quantize_shapes_and_roundtrip_bound() {
-        let m = Mat::from_fn(8, 128, |r, c| (((r * 131 + c * 17) % 239) as i16 - 119) as i8);
+        let m = Mat::from_fn(8, 128, |r, c| {
+            (((r * 131 + c * 17) % 239) as i16 - 119) as i8
+        });
         let t = LqqTensor::quantize(&m, 64);
         assert_eq!(t.rows(), 8);
         assert_eq!(t.cols(), 128);

@@ -111,13 +111,19 @@ impl<T> Mat<T> {
     /// Checked element access.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 
     /// Checked mutable element access.
     pub fn set(&mut self, r: usize, c: usize, v: T) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -179,7 +185,11 @@ impl<T: fmt::Debug> fmt::Debug for Mat<T> {
         write!(f, "Mat<{}x{}>", self.rows, self.cols)?;
         if self.rows * self.cols <= 64 {
             for r in 0..self.rows {
-                write!(f, "\n  {:?}", &self.data[r * self.cols..(r + 1) * self.cols])?;
+                write!(
+                    f,
+                    "\n  {:?}",
+                    &self.data[r * self.cols..(r + 1) * self.cols]
+                )?;
             }
         }
         Ok(())
@@ -242,7 +252,12 @@ mod tests {
         let m = Mat::gaussian(64, 64, 2.0, &mut uni);
         let n = m.len() as f32;
         let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
-        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.15, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
     }

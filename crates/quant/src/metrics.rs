@@ -59,15 +59,18 @@ pub fn error_stats(reference: &Mat<f32>, approx: &Mat<f32>) -> ErrorStats {
     } else {
         dot / (na.sqrt() * nb.sqrt())
     };
-    ErrorStats { mse, sqnr_db, max_abs, cosine }
+    ErrorStats {
+        mse,
+        sqnr_db,
+        max_abs,
+        cosine,
+    }
 }
 
 /// Same comparison for INT8 tensors (errors in integer steps).
 #[must_use]
 pub fn error_stats_i8(reference: &Mat<i8>, approx: &Mat<i8>) -> ErrorStats {
-    let to_f = |m: &Mat<i8>| {
-        Mat::from_fn(m.rows(), m.cols(), |r, c| f32::from(*m.get(r, c)))
-    };
+    let to_f = |m: &Mat<i8>| Mat::from_fn(m.rows(), m.cols(), |r, c| f32::from(*m.get(r, c)));
     error_stats(&to_f(reference), &to_f(approx))
 }
 

@@ -52,7 +52,9 @@ impl QoqGroup {
     pub fn quantize(group: &[i8]) -> (Self, Vec<u8>) {
         assert!(!group.is_empty(), "empty quantization group");
         debug_assert!(
-            group.iter().all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)),
+            group
+                .iter()
+                .all(|&q| (-PROTECTIVE_MAX..=PROTECTIVE_MAX).contains(&q)),
             "level-1 value outside protective range"
         );
         let min = i16::from(*group.iter().min().expect("non-empty"));
@@ -145,7 +147,13 @@ impl QoqTensor {
                 values.extend_from_slice(&codes);
             }
         }
-        Self { rows: q_i8.rows(), cols: q_i8.cols(), group, values, groups }
+        Self {
+            rows: q_i8.rows(),
+            cols: q_i8.cols(),
+            group,
+            values,
+            groups,
+        }
     }
 
     /// Rows (output channels, N).
@@ -183,7 +191,8 @@ impl QoqTensor {
     #[must_use]
     pub fn dequantize(&self) -> Mat<i8> {
         Mat::from_fn(self.rows, self.cols, |r, k| {
-            self.group_at(r, k).dequant_scalar(self.values[r * self.cols + k])
+            self.group_at(r, k)
+                .dequant_scalar(self.values[r * self.cols + k])
         })
     }
 }
@@ -200,7 +209,11 @@ mod tests {
         for (&orig, &code) in group.iter().zip(codes.iter()) {
             let back = p.dequant_scalar(code);
             let err = (i16::from(back) - i16::from(orig)).abs();
-            assert!(err <= i16::from(p.s_u8), "orig={orig} back={back} s={}", p.s_u8);
+            assert!(
+                err <= i16::from(p.s_u8),
+                "orig={orig} back={back} s={}",
+                p.s_u8
+            );
         }
     }
 
@@ -220,6 +233,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the claim under test
     fn qoq_cost_exceeds_lqq_by_paper_factor() {
         // 19 vs 7: the ~2.7x instruction-pressure gap driving Figure 13's
         // LQQ ablation speedup.
@@ -240,7 +254,9 @@ mod tests {
 
     #[test]
     fn tensor_roundtrip_error_bounded() {
-        let m = Mat::from_fn(4, 128, |r, c| (((r * 37 + c * 11) % 239) as i16 - 119) as i8);
+        let m = Mat::from_fn(4, 128, |r, c| {
+            (((r * 37 + c * 11) % 239) as i16 - 119) as i8
+        });
         let t = QoqTensor::quantize(&m, 64);
         let back = t.dequantize();
         for r in 0..4 {

@@ -104,7 +104,11 @@ pub fn calibrate(x: &Mat<f32>, w: &Mat<f32>, grid_points: usize) -> SmoothScales
         let scales = smooth_scales_for_alpha(&act_absmax, &w_absmax, alpha);
         let error = pipeline_error(x, w, &scales);
         if best.as_ref().is_none_or(|b| error < b.error) {
-            best = Some(SmoothScales { scales, alpha, error });
+            best = Some(SmoothScales {
+                scales,
+                alpha,
+                error,
+            });
         }
     }
     best.expect("grid_points >= 2")

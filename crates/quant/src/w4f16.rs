@@ -40,7 +40,12 @@ pub fn u4_to_f16_magic(v: u8) -> F16 {
 #[must_use]
 pub fn u4x2_to_f16x2_magic(alu: &mut CountingAlu, packed_halves: u32) -> (F16, F16) {
     debug_assert_eq!(packed_halves & !0x000F_000F, 0, "low nibbles only");
-    let biased = alu.lop3(packed_halves, 0x000F_000F, MAGIC_H2, lq_swar::ops::LOP3_AND_OR);
+    let biased = alu.lop3(
+        packed_halves,
+        0x000F_000F,
+        MAGIC_H2,
+        lq_swar::ops::LOP3_AND_OR,
+    );
     // Packed half2 subtract of 1024 from both lanes (one instruction on
     // hardware; modelled per-lane here).
     let _ = alu.add(0, 0); // charge the HSUB2

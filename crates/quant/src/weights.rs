@@ -135,7 +135,9 @@ mod tests {
     use crate::metrics::error_stats;
 
     fn test_weights(n: usize, k: usize) -> Mat<f32> {
-        Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.31).sin() * (1.0 + r as f32 * 0.1))
+        Mat::from_fn(n, k, |r, c| {
+            ((r * k + c) as f32 * 0.31).sin() * (1.0 + r as f32 * 0.1)
+        })
     }
 
     #[test]

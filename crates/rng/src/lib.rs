@@ -1,0 +1,244 @@
+//! # lq-rng — tiny deterministic PRNGs for benchmarks and tests
+//!
+//! The sandbox this repo builds in has no crates.io access, so the
+//! external `rand` / `proptest` crates are replaced by this in-tree
+//! module: a [`SplitMix64`] seeder/stream generator and a
+//! [`Rng`] (xoshiro256**) general-purpose generator, plus the handful
+//! of range/fill helpers the benches and randomized tests need.
+//!
+//! These are *not* cryptographic generators. They are deterministic by
+//! construction (seed in, same stream out on every platform), which is
+//! exactly what reproducible benchmarks and randomized property tests
+//! want.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// SplitMix64 (Steele, Lea, Flood 2014): one multiply-xorshift chain
+/// per output. Used to seed [`Rng`] and as a cheap standalone stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator starting from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** (Blackman & Vigna 2018), seeded via SplitMix64.
+///
+/// The workhorse generator: full-period 2^256−1, passes BigCrush, four
+/// words of state, a handful of shifts/rotates per output.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Generator whose state is expanded from `seed` with SplitMix64.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32 uniformly distributed bits (upper word — xoshiro's lower
+    /// bits are its weakest).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero. Uses Lemire's
+    /// multiply-shift reduction (bias is < 2⁻⁶⁴·bound — irrelevant at
+    /// test scale).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `i8` in `[lo, hi]` (inclusive — i8's full span fits).
+    #[inline]
+    pub fn range_i8(&mut self, lo: i8, hi: i8) -> i8 {
+        assert!(lo <= hi, "empty range");
+        let span = (i16::from(hi) - i16::from(lo)) as u64 + 1;
+        (i16::from(lo) + self.below(span) as i16) as i8
+    }
+
+    /// Uniform `i8` over the full two's-complement range.
+    #[inline]
+    pub fn any_i8(&mut self) -> i8 {
+        (self.next_u64() & 0xFF) as u8 as i8
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 random mantissa bits.
+    #[inline]
+    pub fn f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.f32()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fill `out` with uniform i8 values in `[lo, hi]`.
+    pub fn fill_i8(&mut self, out: &mut [i8], lo: i8, hi: i8) {
+        for v in out {
+            *v = self.range_i8(lo, hi);
+        }
+    }
+
+    /// A vector of `n` uniform i8 values in `[lo, hi]`.
+    #[must_use]
+    pub fn vec_i8(&mut self, n: usize, lo: i8, hi: i8) -> Vec<i8> {
+        (0..n).map(|_| self.range_i8(lo, hi)).collect()
+    }
+
+    /// A vector of `n` uniform f32 values in `[lo, hi)`.
+    #[must_use]
+    pub fn vec_f32(&mut self, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n).map(|_| self.range_f32(lo, hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_matches_reference() {
+        // First three outputs for seed 0 from the reference C code.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let (mut a, mut b) = (Rng::new(42), Rng::new(42));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        let equal = (0..100).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert!(equal < 3, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let u = r.range_usize(3, 17);
+            assert!((3..17).contains(&u));
+            let i = r.range_i8(-119, 119);
+            assert!((-119..=119).contains(&i));
+            let f = r.range_f32(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+            assert!((0.0..1.0).contains(&r.f64()));
+        }
+        // Inclusive i8 endpoints are reachable.
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            match r.range_i8(-2, 1) {
+                -2 => seen_lo = true,
+                1 => seen_hi = true,
+                _ => {}
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::new(1);
+        let mut counts = [0usize; 8];
+        const N: usize = 80_000;
+        for _ in 0..N {
+            counts[r.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            let expect = N / 8;
+            assert!(c.abs_diff(expect) < expect / 10, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn full_range_i8_hits_extremes() {
+        let mut r = Rng::new(3);
+        let mut min = i8::MAX;
+        let mut max = i8::MIN;
+        for _ in 0..20_000 {
+            let v = r.any_i8();
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert_eq!((min, max), (i8::MIN, i8::MAX));
+    }
+}

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn low_bit_kv_halves_bandwidth_but_pays_dequant() {
-        let kv4 = AttentionModel { kv: KvPrecision::Int4, ..FA2_INT8 };
+        let kv4 = AttentionModel {
+            kv: KvPrecision::Int4,
+            ..FA2_INT8
+        };
         let t8 = FA2_INT8.decode_time(&H800, &LLAMA2_7B, 64, 1024);
         let t4 = kv4.decode_time(&H800, &LLAMA2_7B, 64, 1024);
         // 4-bit moves half the bytes...
@@ -134,7 +137,10 @@ mod tests {
 
     #[test]
     fn fp16_kv_doubles_traffic() {
-        let f16 = AttentionModel { kv: KvPrecision::Fp16, ..FA2_INT8 };
+        let f16 = AttentionModel {
+            kv: KvPrecision::Fp16,
+            ..FA2_INT8
+        };
         let t16 = f16.decode_time(&H800, &LLAMA2_7B, 64, 1024);
         let t8 = FA2_INT8.decode_time(&H800, &LLAMA2_7B, 64, 1024);
         assert!((t16 / t8 - 2.0).abs() < 0.05);
@@ -149,7 +155,10 @@ mod tests {
 
     #[test]
     fn better_bw_efficiency_is_faster() {
-        let fast = AttentionModel { bw_efficiency: 0.9, ..FA2_INT8 };
+        let fast = AttentionModel {
+            bw_efficiency: 0.9,
+            ..FA2_INT8
+        };
         assert!(
             fast.decode_time(&H800, &LLAMA2_7B, 64, 1024)
                 < FA2_INT8.decode_time(&H800, &LLAMA2_7B, 64, 1024)

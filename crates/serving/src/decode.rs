@@ -33,12 +33,7 @@ impl StepBreakdown {
 
 /// GEMM time of one decode step (all layers).
 #[must_use]
-pub fn step_gemm_time(
-    sys: &ServingSystem,
-    spec: &GpuSpec,
-    cfg: &ModelConfig,
-    batch: usize,
-) -> f64 {
+pub fn step_gemm_time(sys: &ServingSystem, spec: &GpuSpec, cfg: &ModelConfig, batch: usize) -> f64 {
     let shapes = decode_layer_shapes(cfg, batch);
     let mut per_layer = sys.kernel.layer_latency(spec, &shapes.dense);
     if let Some((grouped, experts)) = &shapes.grouped {
@@ -62,14 +57,23 @@ pub fn decode_step(
     let attention = sys.attention.decode_time(spec, cfg, batch, ctx);
     // LM head: one `batch × vocab × hidden` GEMM, charged to "others"
     // (the paper's GEMM category covers FFN and projection layers).
-    let lm_head = sys
-        .kernel
-        .latency(spec, GemmShape { m: batch, n: cfg.vocab, k: cfg.hidden });
+    let lm_head = sys.kernel.latency(
+        spec,
+        GemmShape {
+            m: batch,
+            n: cfg.vocab,
+            k: cfg.hidden,
+        },
+    );
     let others = cfg.layers as f64 * sys.other_per_layer
         + batch as f64 * sys.other_per_seq
         + sys.runtime_quadratic * (batch * batch) as f64
         + lm_head;
-    StepBreakdown { gemm, attention, others }
+    StepBreakdown {
+        gemm,
+        attention,
+        others,
+    }
 }
 
 /// Prefill latency for `batch` prompts of `prompt_len` tokens.

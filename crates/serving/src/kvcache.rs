@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use crate::telemetry::kv as kv_metrics;
+
 /// Errors from the paged allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KvCacheError {
@@ -89,10 +91,23 @@ impl PagedKvCache {
         }
         let need = self.pages_for(prompt_tokens.max(1));
         if need > self.free.len() {
+            if let Some(m) = kv_metrics() {
+                m.oom.inc();
+            }
             return Err(KvCacheError::OutOfMemory);
         }
         let pages = self.free.split_off(self.free.len() - need);
-        self.tables.insert(id, SeqState { pages, tokens: prompt_tokens });
+        self.tables.insert(
+            id,
+            SeqState {
+                pages,
+                tokens: prompt_tokens,
+            },
+        );
+        if let Some(m) = kv_metrics() {
+            m.alloc.add(need as u64);
+        }
+        self.publish_gauges();
         Ok(())
     }
 
@@ -104,12 +119,21 @@ impl PagedKvCache {
             st.tokens + 1 > st.pages.len() * self.page_tokens
         };
         if needs_page {
-            let page = self.free.pop().ok_or(KvCacheError::OutOfMemory)?;
+            let Some(page) = self.free.pop() else {
+                if let Some(m) = kv_metrics() {
+                    m.oom.inc();
+                }
+                return Err(KvCacheError::OutOfMemory);
+            };
             self.tables
                 .get_mut(&id)
                 .expect("checked above")
                 .pages
                 .push(page);
+            if let Some(m) = kv_metrics() {
+                m.alloc.inc();
+            }
+            self.publish_gauges();
         }
         self.tables.get_mut(&id).expect("checked above").tokens += 1;
         Ok(())
@@ -117,19 +141,34 @@ impl PagedKvCache {
 
     /// Finish a sequence and reclaim its pages.
     pub fn free_sequence(&mut self, id: SeqId) -> Result<(), KvCacheError> {
-        let st = self.tables.remove(&id).ok_or(KvCacheError::UnknownSequence)?;
+        let st = self
+            .tables
+            .remove(&id)
+            .ok_or(KvCacheError::UnknownSequence)?;
+        if let Some(m) = kv_metrics() {
+            m.freed.add(st.pages.len() as u64);
+        }
         self.free.extend(st.pages);
+        self.publish_gauges();
         Ok(())
     }
 
     /// Token count of a sequence.
     pub fn tokens_of(&self, id: SeqId) -> Result<usize, KvCacheError> {
-        Ok(self.tables.get(&id).ok_or(KvCacheError::UnknownSequence)?.tokens)
+        Ok(self
+            .tables
+            .get(&id)
+            .ok_or(KvCacheError::UnknownSequence)?
+            .tokens)
     }
 
     /// Physical page table of a sequence (for attention gather).
     pub fn page_table(&self, id: SeqId) -> Result<&[u32], KvCacheError> {
-        Ok(&self.tables.get(&id).ok_or(KvCacheError::UnknownSequence)?.pages)
+        Ok(&self
+            .tables
+            .get(&id)
+            .ok_or(KvCacheError::UnknownSequence)?
+            .pages)
     }
 
     /// Bytes currently pinned by live sequences (page-granular).
@@ -153,6 +192,16 @@ impl PagedKvCache {
         }
         let used: usize = self.tables.values().map(|s| s.tokens).sum();
         1.0 - used as f64 / allocated as f64
+    }
+
+    /// Push occupancy gauges after any allocation-state change (no-op
+    /// when telemetry is disabled).
+    fn publish_gauges(&self) {
+        if let Some(m) = kv_metrics() {
+            m.used_pages
+                .set((self.total_pages - self.free.len()) as f64);
+            m.live_sequences.set(self.tables.len() as f64);
+        }
     }
 
     /// Check the conservation invariant (free + owned == total, no page

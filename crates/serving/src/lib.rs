@@ -21,6 +21,10 @@
 //!   produces request latencies and sustained throughput.
 //! * [`throughput`] — the 80 GB memory budget, feasible-batch search,
 //!   and peak-throughput scan that regenerates Table 1.
+//!
+//! With [`lq_telemetry::enable`] on, the scheduler and allocator export
+//! decode-step latency/batch-size histograms, admission/OOM counters,
+//! and page-occupancy gauges (see the `telemetry` module).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +34,11 @@ pub mod decode;
 pub mod kvcache;
 pub mod scheduler;
 pub mod system;
+mod telemetry;
 pub mod throughput;
 
 pub use decode::{decode_step, StepBreakdown};
-pub use scheduler::{run_schedule, Request, RunStats, SchedulerConfig};
 pub use kvcache::{KvCacheError, PagedKvCache};
+pub use scheduler::{run_schedule, Request, RunStats, SchedulerConfig};
 pub use system::{ServingSystem, SystemId};
 pub use throughput::{max_feasible_batch, peak_throughput, PeakResult};

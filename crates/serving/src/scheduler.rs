@@ -19,6 +19,7 @@
 use crate::decode::{decode_step, prefill_time};
 use crate::kvcache::PagedKvCache;
 use crate::system::ServingSystem;
+use crate::telemetry::SchedMetrics;
 use lq_models::ModelConfig;
 use lq_sim::specs::GpuSpec;
 
@@ -94,7 +95,10 @@ impl RunStats {
         if self.completions.is_empty() {
             return 0.0;
         }
-        self.completions.iter().map(Completion::latency).sum::<f64>()
+        self.completions
+            .iter()
+            .map(Completion::latency)
+            .sum::<f64>()
             / self.completions.len() as f64
     }
 
@@ -123,7 +127,10 @@ pub struct SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        Self { max_batch: 256, page_tokens: 16 }
+        Self {
+            max_batch: 256,
+            page_tokens: 16,
+        }
     }
 }
 
@@ -151,13 +158,13 @@ pub fn run_schedule(
 
     // KV budget = capacity − weights − reserve, managed by the real
     // paged allocator.
-    let kv_budget = (spec.mem_capacity as f64
-        - sys.weight_bytes(cfg)
-        - crate::throughput::RESERVE_BYTES)
-        .max(0.0);
+    let kv_budget =
+        (spec.mem_capacity as f64 - sys.weight_bytes(cfg) - crate::throughput::RESERVE_BYTES)
+            .max(0.0);
     let bytes_per_token = cfg.kv_bytes_per_token(sys.attention.kv.bytes()).max(1.0) as usize;
     let mut kv = PagedKvCache::new(kv_budget as u64, sched.page_tokens, bytes_per_token);
 
+    let metrics = SchedMetrics::resolve();
     let mut now = 0.0f64;
     let mut running: Vec<Running> = Vec::new();
     let mut stats = RunStats {
@@ -174,12 +181,17 @@ pub fn run_schedule(
         //    preemption path is needed).
         let mut admitted: Vec<Request> = Vec::new();
         while running.len() + admitted.len() < sched.max_batch {
-            let Some(req) = queue.last().copied() else { break };
+            let Some(req) = queue.last().copied() else {
+                break;
+            };
             if req.arrival > now {
                 break;
             }
             let need = kv.pages_for(req.prompt_len + req.output_len);
             if need > kv.free_pages() {
+                if let Some(m) = &metrics {
+                    m.blocked.inc();
+                }
                 break; // FCFS head-of-line blocking, like vLLM's default
             }
             kv.add_sequence(req.id, req.prompt_len + req.output_len)
@@ -191,8 +203,18 @@ pub fn run_schedule(
             // Batched prefill for the newly admitted requests. Admission
             // time is when prefill *starts* (queueing ends there).
             let admit_time = now;
-            let max_prompt = admitted.iter().map(|r| r.prompt_len).max().expect("non-empty");
-            now += prefill_time(sys, spec, cfg, admitted.len(), max_prompt);
+            let max_prompt = admitted
+                .iter()
+                .map(|r| r.prompt_len)
+                .max()
+                .expect("non-empty");
+            let dt = prefill_time(sys, spec, cfg, admitted.len(), max_prompt);
+            now += dt;
+            if let Some(m) = &metrics {
+                m.admitted.add(admitted.len() as u64);
+                m.prefill_ns.record_secs(dt);
+                m.queue_len.set(queue.len() as f64);
+            }
             for req in admitted {
                 running.push(Running {
                     id: req.id,
@@ -218,7 +240,12 @@ pub fn run_schedule(
 
         // 2. One decode iteration for the whole running batch.
         let mean_ctx = (running.iter().map(|r| r.ctx).sum::<usize>() / running.len()).max(1);
-        now += decode_step(sys, spec, cfg, running.len(), mean_ctx).total();
+        let dt = decode_step(sys, spec, cfg, running.len(), mean_ctx).total();
+        now += dt;
+        if let Some(m) = &metrics {
+            m.batch_size.record(running.len() as u64);
+            m.decode_step_ns.record_secs(dt);
+        }
         stats.decode_steps += 1;
         stats.generated_tokens += running.len() as u64;
         for r in &mut running {
@@ -232,6 +259,9 @@ pub fn run_schedule(
             if running[i].remaining == 0 {
                 let r = running.swap_remove(i);
                 kv.free_sequence(r.id).expect("was admitted");
+                if let Some(m) = &metrics {
+                    m.completed.inc();
+                }
                 stats.completions.push(Completion {
                     id: r.id,
                     admitted_at: r.admitted_at,
@@ -244,6 +274,10 @@ pub fn run_schedule(
         }
     }
     stats.makespan = now;
+    if let Some(m) = &metrics {
+        m.tokens_per_s.set(stats.throughput());
+        m.queue_len.set(0.0);
+    }
     assert!(kv.check_invariants(), "page conservation violated");
     stats
 }
@@ -262,7 +296,12 @@ mod tests {
 
     fn batch_arrivals(n: usize) -> Vec<Request> {
         (0..n as u64)
-            .map(|id| Request { id, prompt_len: INPUT_LEN, output_len: OUTPUT_LEN, arrival: 0.0 })
+            .map(|id| Request {
+                id,
+                prompt_len: INPUT_LEN,
+                output_len: OUTPUT_LEN,
+                arrival: 0.0,
+            })
             .collect()
     }
 
@@ -329,7 +368,10 @@ mod tests {
     #[test]
     fn tighter_batch_cap_reduces_peak_batch() {
         let reqs = batch_arrivals(100);
-        let cfg = SchedulerConfig { max_batch: 8, page_tokens: 16 };
+        let cfg = SchedulerConfig {
+            max_batch: 8,
+            page_tokens: 16,
+        };
         let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, cfg, &reqs);
         assert!(stats.peak_batch <= 8);
         assert_eq!(stats.completions.len(), 100);

@@ -117,7 +117,10 @@ impl ServingSystem {
                 kernel: KernelModel::of(SystemKind::TrtFp8),
                 // Hopper-native FP8 attention kernels: the edge the
                 // paper concedes on LLaMA3-8B / Mistral-7B.
-                attention: AttentionModel { bw_efficiency: 0.92, ..fa2_fp8 },
+                attention: AttentionModel {
+                    bw_efficiency: 0.92,
+                    ..fa2_fp8
+                },
                 weight_bits: 8.25,
                 other_per_layer: 11.0e-6,
                 other_per_seq: 6.0e-6,

@@ -1,0 +1,95 @@
+//! Serving-loop telemetry: the metric families recorded by the
+//! continuous-batching scheduler and the paged KV allocator.
+//!
+//! Handles resolve from the global [`lq_telemetry`] registry only when
+//! recording is enabled; disabled, every instrumentation site is a
+//! relaxed load (scheduler) or a `None` branch (allocator).
+//!
+//! Exported families:
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `lq_serving_batch_size` | histogram | running batch at each decode iteration |
+//! | `lq_serving_decode_step_ns` | histogram | modelled decode-iteration latency |
+//! | `lq_serving_prefill_ns` | histogram | modelled batched-prefill latency |
+//! | `lq_serving_admitted_total` | counter | requests admitted |
+//! | `lq_serving_admission_blocked_total` | counter | admission attempts rejected (KV reservation did not fit) |
+//! | `lq_serving_preemptions_total` | counter | always 0 — conservative admission reserves prompt+output up front, so the scheduler never preempts; exported so dashboards can assert it |
+//! | `lq_serving_completed_total` | counter | requests completed |
+//! | `lq_serving_tokens_per_s` | gauge | sustained throughput of the last run |
+//! | `lq_serving_queue_len` | gauge | waiting requests after each admission pass |
+//! | `lq_kv_page_alloc_total` | counter | KV pages allocated |
+//! | `lq_kv_page_free_total` | counter | KV pages returned |
+//! | `lq_kv_oom_total` | counter | allocation attempts failed on OOM |
+//! | `lq_kv_used_pages` | gauge | pages currently pinned |
+//! | `lq_kv_live_sequences` | gauge | sequences currently registered |
+
+use std::sync::{Arc, OnceLock};
+
+use lq_telemetry::{registry, Counter, Gauge, Histogram};
+
+/// Handles for one scheduling run (resolved at `run_schedule` entry).
+pub(crate) struct SchedMetrics {
+    pub batch_size: Arc<Histogram>,
+    pub decode_step_ns: Arc<Histogram>,
+    pub prefill_ns: Arc<Histogram>,
+    pub admitted: Arc<Counter>,
+    pub blocked: Arc<Counter>,
+    #[allow(dead_code)] // registered (and asserted 0) but never incremented
+    pub preemptions: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub tokens_per_s: Arc<Gauge>,
+    pub queue_len: Arc<Gauge>,
+}
+
+impl SchedMetrics {
+    /// Resolve handles, or `None` when telemetry is off.
+    pub(crate) fn resolve() -> Option<Self> {
+        if !lq_telemetry::enabled() {
+            return None;
+        }
+        let reg = registry();
+        Some(Self {
+            batch_size: reg.histogram("lq_serving_batch_size"),
+            decode_step_ns: reg.histogram("lq_serving_decode_step_ns"),
+            prefill_ns: reg.histogram("lq_serving_prefill_ns"),
+            admitted: reg.counter("lq_serving_admitted_total"),
+            blocked: reg.counter("lq_serving_admission_blocked_total"),
+            preemptions: reg.counter("lq_serving_preemptions_total"),
+            completed: reg.counter("lq_serving_completed_total"),
+            tokens_per_s: reg.gauge("lq_serving_tokens_per_s"),
+            queue_len: reg.gauge("lq_serving_queue_len"),
+        })
+    }
+}
+
+/// Handles for the paged allocator (process-wide; the allocator has no
+/// per-instance identity worth labelling).
+pub(crate) struct KvMetrics {
+    pub alloc: Arc<Counter>,
+    pub freed: Arc<Counter>,
+    pub oom: Arc<Counter>,
+    pub used_pages: Arc<Gauge>,
+    pub live_sequences: Arc<Gauge>,
+}
+
+static KV: OnceLock<KvMetrics> = OnceLock::new();
+
+/// The allocator's handles, or `None` when telemetry is off. Cached in
+/// a `OnceLock` so the per-operation cost is one relaxed load plus a
+/// pointer read.
+pub(crate) fn kv() -> Option<&'static KvMetrics> {
+    if !lq_telemetry::enabled() {
+        return None;
+    }
+    Some(KV.get_or_init(|| {
+        let reg = registry();
+        KvMetrics {
+            alloc: reg.counter("lq_kv_page_alloc_total"),
+            freed: reg.counter("lq_kv_page_free_total"),
+            oom: reg.counter("lq_kv_oom_total"),
+            used_pages: reg.gauge("lq_kv_used_pages"),
+            live_sequences: reg.gauge("lq_kv_live_sequences"),
+        }
+    }))
+}

@@ -87,7 +87,10 @@ pub fn peak_throughput(
     for b in 1..=max_b {
         let t = throughput_at_batch(sys, spec, cfg, b, INPUT_LEN, OUTPUT_LEN);
         if best.is_none_or(|p| t > p.tokens_per_s) {
-            best = Some(PeakResult { tokens_per_s: t, batch: b });
+            best = Some(PeakResult {
+                tokens_per_s: t,
+                batch: b,
+            });
         }
     }
     best
@@ -131,7 +134,11 @@ mod tests {
         // Paper: 410 tokens/s at batch 13 (weights eat the card).
         let p = peak_throughput(&sys(SystemId::TrtFp16), &H800, &LLAMA1_30B).unwrap();
         assert!(p.batch <= 20, "batch {}", p.batch);
-        assert!((200.0..900.0).contains(&p.tokens_per_s), "{}", p.tokens_per_s);
+        assert!(
+            (200.0..900.0).contains(&p.tokens_per_s),
+            "{}",
+            p.tokens_per_s
+        );
     }
 
     #[test]
@@ -159,9 +166,18 @@ mod tests {
     fn qserve_peaks_at_interior_batch() {
         // Paper: QServe peaks around 64–128 and stops scaling.
         let p = peak_throughput(&sys(SystemId::QServe), &H800, &LLAMA2_7B).unwrap();
-        let feasible =
-            max_feasible_batch(&sys(SystemId::QServe), &LLAMA2_7B, H800.mem_capacity as f64, 1024, 512);
-        assert!(p.batch < feasible, "peak {} should be interior to {feasible}", p.batch);
+        let feasible = max_feasible_batch(
+            &sys(SystemId::QServe),
+            &LLAMA2_7B,
+            H800.mem_capacity as f64,
+            1024,
+            512,
+        );
+        assert!(
+            p.batch < feasible,
+            "peak {} should be interior to {feasible}",
+            p.batch
+        );
     }
 
     #[test]
@@ -177,7 +193,14 @@ mod tests {
     fn fixed_batch_throughput_ordering_fig11() {
         // Figure 11: at the same batch size LiquidServe leads.
         for batch in [16, 128] {
-            let l = throughput_at_batch(&sys(SystemId::LiquidServe), &H800, &LLAMA2_7B, batch, 1024, 512);
+            let l = throughput_at_batch(
+                &sys(SystemId::LiquidServe),
+                &H800,
+                &LLAMA2_7B,
+                batch,
+                1024,
+                512,
+            );
             for id in [SystemId::QServe, SystemId::TrtW8A8, SystemId::TrtFp16] {
                 let o = throughput_at_batch(&sys(id), &H800, &LLAMA2_7B, batch, 1024, 512);
                 assert!(l >= o * 0.98, "batch {batch}: {:?} {o} vs liquid {l}", id);
@@ -187,9 +210,27 @@ mod tests {
 
     #[test]
     fn feasible_batch_monotone_in_weight_bits() {
-        let l = max_feasible_batch(&sys(SystemId::LiquidServe), &LLAMA2_70B, H800.mem_capacity as f64, 1024, 512);
-        let w8 = max_feasible_batch(&sys(SystemId::TrtW8A8), &LLAMA2_70B, H800.mem_capacity as f64, 1024, 512);
-        let f16 = max_feasible_batch(&sys(SystemId::TrtFp16), &LLAMA2_70B, H800.mem_capacity as f64, 1024, 512);
+        let l = max_feasible_batch(
+            &sys(SystemId::LiquidServe),
+            &LLAMA2_70B,
+            H800.mem_capacity as f64,
+            1024,
+            512,
+        );
+        let w8 = max_feasible_batch(
+            &sys(SystemId::TrtW8A8),
+            &LLAMA2_70B,
+            H800.mem_capacity as f64,
+            1024,
+            512,
+        );
+        let f16 = max_feasible_batch(
+            &sys(SystemId::TrtFp16),
+            &LLAMA2_70B,
+            H800.mem_capacity as f64,
+            1024,
+            512,
+        );
         assert!(l > w8, "4-bit fits more than 8-bit: {l} vs {w8}");
         assert_eq!(f16, 0, "FP16 70B OOMs");
     }

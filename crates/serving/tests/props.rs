@@ -1,12 +1,13 @@
-//! Property-based tests for the serving substrate.
+//! Randomized property tests for the serving substrate (seeded in-tree
+//! PRNG; offline sandbox has no proptest).
 
 use lq_models::configs::{LLAMA2_70B, LLAMA2_7B, MIXTRAL_8X7B};
+use lq_rng::Rng;
 use lq_serving::decode::decode_step;
 use lq_serving::kvcache::PagedKvCache;
 use lq_serving::system::{ServingSystem, SystemId};
 use lq_serving::throughput::{max_feasible_batch, throughput_at_batch};
 use lq_sim::specs::H800;
-use proptest::prelude::*;
 
 /// A random operation on the paged allocator.
 #[derive(Debug, Clone)]
@@ -16,70 +17,94 @@ enum Op {
     Free { id: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..12, 1usize..80).prop_map(|(id, tokens)| Op::Add { id, tokens }),
-        (0u64..12).prop_map(|id| Op::Append { id }),
-        (0u64..12).prop_map(|id| Op::Free { id }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(3) {
+        0 => Op::Add {
+            id: rng.below(12),
+            tokens: rng.range_usize(1, 80),
+        },
+        1 => Op::Append { id: rng.below(12) },
+        _ => Op::Free { id: rng.below(12) },
+    }
 }
 
-proptest! {
-    /// The paged allocator's conservation invariant survives arbitrary
-    /// operation sequences (including errors).
-    #[test]
-    fn kvcache_invariants_under_random_ops(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// The paged allocator's conservation invariant survives arbitrary
+/// operation sequences (including errors).
+#[test]
+fn kvcache_invariants_under_random_ops() {
+    let mut rng = Rng::new(0x5E4B_0001);
+    for case in 0..64 {
         let mut cache = PagedKvCache::new(64 * 64, 16, 4); // 64 pages
-        for op in ops {
-            match op {
-                Op::Add { id, tokens } => { let _ = cache.add_sequence(id, tokens); }
-                Op::Append { id } => { let _ = cache.append_token(id); }
-                Op::Free { id } => { let _ = cache.free_sequence(id); }
+        for step in 0..rng.range_usize(1, 200) {
+            match random_op(&mut rng) {
+                Op::Add { id, tokens } => {
+                    let _ = cache.add_sequence(id, tokens);
+                }
+                Op::Append { id } => {
+                    let _ = cache.append_token(id);
+                }
+                Op::Free { id } => {
+                    let _ = cache.free_sequence(id);
+                }
             }
-            prop_assert!(cache.check_invariants());
-            prop_assert!(cache.free_pages() <= cache.total_pages());
+            assert!(cache.check_invariants(), "case {case} step {step}");
+            assert!(cache.free_pages() <= cache.total_pages());
         }
     }
+}
 
-    /// Decode-step latency is monotone in batch size and context length
-    /// for every system (no pathological non-monotonicity in the model).
-    #[test]
-    fn decode_step_monotone(b1 in 1usize..128, db in 1usize..128, ctx in 64usize..2048) {
-        let b2 = b1 + db;
+/// Decode-step latency is monotone in batch size and context length
+/// for every system (no pathological non-monotonicity in the model).
+#[test]
+fn decode_step_monotone() {
+    let mut rng = Rng::new(0x5E4B_0002);
+    for _ in 0..48 {
+        let b1 = rng.range_usize(1, 128);
+        let b2 = b1 + rng.range_usize(1, 128);
+        let ctx = rng.range_usize(64, 2048);
         for id in [SystemId::LiquidServe, SystemId::QServe, SystemId::TrtFp8] {
             let sys = ServingSystem::of(id);
             let t1 = decode_step(&sys, &H800, &LLAMA2_7B, b1, ctx).total();
             let t2 = decode_step(&sys, &H800, &LLAMA2_7B, b2, ctx).total();
-            prop_assert!(t2 >= t1, "{:?}: {t2} < {t1}", id);
+            assert!(t2 >= t1, "{id:?}: {t2} < {t1}");
             let t3 = decode_step(&sys, &H800, &LLAMA2_7B, b1, ctx + 256).total();
-            prop_assert!(t3 >= t1, "{:?}: ctx", id);
+            assert!(t3 >= t1, "{id:?}: ctx");
         }
     }
+}
 
-    /// Feasible batch shrinks (weakly) as sequences get longer, and the
-    /// 4-bit system always fits at least as many as the 16-bit one.
-    #[test]
-    fn feasible_batch_monotonicity(in_len in 128usize..2048, extra in 0usize..1024) {
+/// Feasible batch shrinks (weakly) as sequences get longer, and the
+/// 4-bit system always fits at least as many as the 16-bit one.
+#[test]
+fn feasible_batch_monotonicity() {
+    let mut rng = Rng::new(0x5E4B_0003);
+    for _ in 0..48 {
+        let in_len = rng.range_usize(128, 2048);
+        let extra = rng.range_usize(0, 1024);
         let cap = H800.mem_capacity as f64;
         for cfg in [&LLAMA2_7B, &LLAMA2_70B, &MIXTRAL_8X7B] {
             let liquid = ServingSystem::of(SystemId::LiquidServe);
             let fp16 = ServingSystem::of(SystemId::TrtFp16);
             let short = max_feasible_batch(&liquid, cfg, cap, in_len, 128);
             let long = max_feasible_batch(&liquid, cfg, cap, in_len + extra, 128);
-            prop_assert!(long <= short);
+            assert!(long <= short);
             let f16 = max_feasible_batch(&fp16, cfg, cap, in_len, 128);
-            prop_assert!(short >= f16, "{}: {short} < {f16}", cfg.name);
+            assert!(short >= f16, "{}: {short} < {f16}", cfg.name);
         }
     }
+}
 
-    /// Throughput is always positive and bounded by batch / fastest
-    /// conceivable step (sanity envelope).
-    #[test]
-    fn throughput_envelope(batch in 1usize..200) {
+/// Throughput is always positive and bounded by batch / fastest
+/// conceivable step (sanity envelope).
+#[test]
+fn throughput_envelope() {
+    let mut rng = Rng::new(0x5E4B_0004);
+    for _ in 0..64 {
+        let batch = rng.range_usize(1, 200);
         let sys = ServingSystem::of(SystemId::LiquidServe);
         let t = throughput_at_batch(&sys, &H800, &LLAMA2_7B, batch, 1024, 512);
-        prop_assert!(t > 0.0);
+        assert!(t > 0.0);
         // Even a 1 µs step (absurd) would cap throughput at batch/1e-6.
-        prop_assert!(t < batch as f64 / 1e-6);
+        assert!(t < batch as f64 / 1e-6);
     }
 }

@@ -162,7 +162,10 @@ impl CostBreakdown {
 /// ```
 #[must_use]
 pub fn gemm_cost(spec: &GpuSpec, shape: GemmShape, cfg: PrecisionCfg) -> CostBreakdown {
-    assert!(shape.m > 0 && shape.n > 0 && shape.k > 0, "degenerate shape");
+    assert!(
+        shape.m > 0 && shape.n > 0 && shape.k > 0,
+        "degenerate shape"
+    );
     let tc = spec.tc_throughput(cfg.tc);
     assert!(tc > 0.0, "{} lacks {:?} tensor cores", spec.name, cfg.tc);
     let nk = shape.weight_elems();
@@ -171,9 +174,19 @@ pub fn gemm_cost(spec: &GpuSpec, shape: GemmShape, cfg: PrecisionCfg) -> CostBre
     let t_ld = nk * cfg.weight_bytes / spec.mem_bw;
     let t_dq = cfg.alpha * nk / spec.cuda_int;
     let t_mma = mt as f64 * 2.0 * nk / tc;
-    let t_comp = if cfg.overlap_dq { t_dq.max(t_mma) } else { t_dq + t_mma };
+    let t_comp = if cfg.overlap_dq {
+        t_dq.max(t_mma)
+    } else {
+        t_dq + t_mma
+    };
     let total = m_tiles as f64 * t_ld.max(t_comp);
-    CostBreakdown { t_ld, t_dq, t_mma, m_tiles, total }
+    CostBreakdown {
+        t_ld,
+        t_dq,
+        t_mma,
+        m_tiles,
+        total,
+    }
 }
 
 /// Wave-quantization factor: a launch of `tiles` thread blocks over
@@ -184,12 +197,7 @@ pub fn gemm_cost(spec: &GpuSpec, shape: GemmShape, cfg: PrecisionCfg) -> CostBre
 /// factor is reported separately rather than baked into the calibrated
 /// latency model.
 #[must_use]
-pub fn wave_quantization_factor(
-    spec: &GpuSpec,
-    shape: GemmShape,
-    mt: usize,
-    nt: usize,
-) -> f64 {
+pub fn wave_quantization_factor(spec: &GpuSpec, shape: GemmShape, mt: usize, nt: usize) -> f64 {
     assert!(mt > 0 && nt > 0);
     let tiles = shape.m.div_ceil(mt) * shape.n.div_ceil(nt);
     let slots = (spec.sms * spec.blocks_per_sm).max(1);
@@ -212,7 +220,11 @@ mod tests {
     use super::*;
     use crate::specs::H100;
 
-    const SHAPE: GemmShape = GemmShape { m: 256, n: 4096, k: 4096 };
+    const SHAPE: GemmShape = GemmShape {
+        m: 256,
+        n: 4096,
+        k: 4096,
+    };
 
     #[test]
     fn w4a8_loads_half_of_w8a8() {
@@ -262,12 +274,19 @@ mod tests {
         let b = gemm_cost(&H100, small, PrecisionCfg::W8A8);
         assert!(a.memory_bound());
         assert!(a.total < b.total);
-        assert!((b.total / a.total - 2.0).abs() < 0.2, "{}", b.total / a.total);
+        assert!(
+            (b.total / a.total - 2.0).abs() < 0.2,
+            "{}",
+            b.total / a.total
+        );
     }
 
     #[test]
     fn overlap_flag_composes_dequant_correctly() {
-        let serial = PrecisionCfg { overlap_dq: false, ..PrecisionCfg::LIQUID_W4A8 };
+        let serial = PrecisionCfg {
+            overlap_dq: false,
+            ..PrecisionCfg::LIQUID_W4A8
+        };
         let over = gemm_cost(&H100, SHAPE, PrecisionCfg::LIQUID_W4A8);
         let ser = gemm_cost(&H100, SHAPE, serial);
         assert!(ser.total > over.total);
@@ -276,7 +295,10 @@ mod tests {
 
     #[test]
     fn cost_scales_linearly_in_nk() {
-        let double_n = GemmShape { n: SHAPE.n * 2, ..SHAPE };
+        let double_n = GemmShape {
+            n: SHAPE.n * 2,
+            ..SHAPE
+        };
         let a = gemm_cost(&H100, SHAPE, PrecisionCfg::W8A8);
         let b = gemm_cost(&H100, double_n, PrecisionCfg::W8A8);
         assert!((b.total / a.total - 2.0).abs() < 1e-9);
@@ -299,18 +321,34 @@ mod tests {
     fn wave_quantization_bounds() {
         // One tile → one wave on a 132-SM machine: factor 132 (the
         // pathological small-grid case the persistent kernel fixes).
-        let tiny = GemmShape { m: 64, n: 128, k: 4096 };
+        let tiny = GemmShape {
+            m: 64,
+            n: 128,
+            k: 4096,
+        };
         let f = wave_quantization_factor(&H100, tiny, 64, 128);
         assert!((f - 132.0).abs() < 1e-9, "{f}");
         // Exactly filling all slots → factor 1.
-        let full = GemmShape { m: 64, n: 128 * 132, k: 4096 };
+        let full = GemmShape {
+            m: 64,
+            n: 128 * 132,
+            k: 4096,
+        };
         assert_eq!(wave_quantization_factor(&H100, full, 64, 128), 1.0);
         // Slightly over → almost 2x tail waste.
-        let over = GemmShape { m: 64, n: 128 * 133, k: 4096 };
+        let over = GemmShape {
+            m: 64,
+            n: 128 * 133,
+            k: 4096,
+        };
         let f = wave_quantization_factor(&H100, over, 64, 128);
         assert!(f > 1.9, "{f}");
         // Many waves → factor approaches 1.
-        let many = GemmShape { m: 64 * 40, n: 128 * 132, k: 4096 };
+        let many = GemmShape {
+            m: 64 * 40,
+            n: 128 * 132,
+            k: 4096,
+        };
         let f = wave_quantization_factor(&H100, many, 64, 128);
         assert!(f < 1.05, "{f}");
     }

@@ -169,7 +169,11 @@ impl KernelModel {
         // Dequant rides CUDA cores (unaffected); MMA pays the kernel's
         // achieved tensor-core efficiency.
         let t_mma = c.t_mma / self.mma_efficiency;
-        let t_comp = if self.precision.overlap_dq { c.t_dq.max(t_mma) } else { c.t_dq + t_mma };
+        let t_comp = if self.precision.overlap_dq {
+            c.t_dq.max(t_mma)
+        } else {
+            c.t_dq + t_mma
+        };
         c.m_tiles as f64 * t_ld.max(t_comp) + self.launch_overhead
     }
 
@@ -210,7 +214,11 @@ mod tests {
     use super::*;
     use crate::specs::H800;
 
-    const FFN: GemmShape = GemmShape { m: 256, n: 11008, k: 4096 };
+    const FFN: GemmShape = GemmShape {
+        m: 256,
+        n: 11008,
+        k: 4096,
+    };
 
     fn lat(kind: SystemKind, m: usize) -> f64 {
         let shape = GemmShape { m, ..FFN };
@@ -243,7 +251,12 @@ mod tests {
     fn liquid_beats_all_trt_at_large_batch() {
         // Paper abstract: 1.12–1.63x over TRT kernels.
         let l = lat(SystemKind::LiquidGemm, 256);
-        for kind in [SystemKind::TrtW4A16, SystemKind::TrtW8A8, SystemKind::TrtFp8, SystemKind::TrtFp16] {
+        for kind in [
+            SystemKind::TrtW4A16,
+            SystemKind::TrtW8A8,
+            SystemKind::TrtFp8,
+            SystemKind::TrtFp16,
+        ] {
             let t = lat(kind, 256);
             assert!(t / l > 0.95, "{:?}: ratio {}", kind, t / l);
         }
@@ -264,15 +277,26 @@ mod tests {
     #[test]
     fn gemv_systems_win_tiny_moe_batches() {
         // Mixtral regime: per-expert batch below the GEMV threshold.
-        let shape = GemmShape { m: 4, n: 14336, k: 4096 };
+        let shape = GemmShape {
+            m: 4,
+            n: 14336,
+            k: 4096,
+        };
         let l = KernelModel::of(SystemKind::LiquidGemm).latency(&H800, shape);
         let w4a16 = KernelModel::of(SystemKind::TrtW4A16).latency(&H800, shape);
-        assert!(w4a16 < l, "TRT-W4A16 {w4a16} must beat LiquidGEMM {l} at m=4");
+        assert!(
+            w4a16 < l,
+            "TRT-W4A16 {w4a16} must beat LiquidGEMM {l} at m=4"
+        );
     }
 
     #[test]
     fn liquid_wins_moe_above_threshold() {
-        let shape = GemmShape { m: 64, n: 14336, k: 4096 };
+        let shape = GemmShape {
+            m: 64,
+            n: 14336,
+            k: 4096,
+        };
         let l = KernelModel::of(SystemKind::LiquidGemm).grouped_latency(&H800, shape, 8);
         let fp8 = KernelModel::of(SystemKind::TrtFp8).grouped_latency(&H800, shape, 8);
         let w4a16 = KernelModel::of(SystemKind::TrtW4A16).grouped_latency(&H800, shape, 8);
@@ -283,8 +307,16 @@ mod tests {
     #[test]
     fn layer_latency_sums_shapes() {
         let shapes = [
-            GemmShape { m: 64, n: 12288, k: 4096 },
-            GemmShape { m: 64, n: 4096, k: 4096 },
+            GemmShape {
+                m: 64,
+                n: 12288,
+                k: 4096,
+            },
+            GemmShape {
+                m: 64,
+                n: 4096,
+                k: 4096,
+            },
         ];
         let m = KernelModel::of(SystemKind::LiquidGemm);
         let total = m.layer_latency(&H800, &shapes);
@@ -294,7 +326,11 @@ mod tests {
 
     #[test]
     fn grouped_pipeline_saves_vs_per_expert_launches() {
-        let shape = GemmShape { m: 32, n: 14336, k: 4096 };
+        let shape = GemmShape {
+            m: 32,
+            n: 14336,
+            k: 4096,
+        };
         let l = KernelModel::of(SystemKind::LiquidGemm);
         let grouped = l.grouped_latency(&H800, shape, 8);
         let naive = 8.0 * l.latency(&H800, shape);

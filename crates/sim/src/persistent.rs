@@ -61,13 +61,7 @@ pub fn persistent_speedup(tile_times: &[f64], slots: usize) -> f64 {
 /// proportionally less work (the ragged case persistent scheduling
 /// wins on).
 #[must_use]
-pub fn ragged_tile_times(
-    m: usize,
-    n: usize,
-    mt: usize,
-    nt: usize,
-    t_full_tile: f64,
-) -> Vec<f64> {
+pub fn ragged_tile_times(m: usize, n: usize, mt: usize, nt: usize, t_full_tile: f64) -> Vec<f64> {
     assert!(mt > 0 && nt > 0 && t_full_tile > 0.0);
     let mut times = Vec::new();
     let mut m0 = 0;
@@ -111,7 +105,9 @@ mod tests {
     fn ragged_times_reward_persistence() {
         // Alternating heavy/light tiles: waves serialise on the heavy
         // ones; persistence interleaves.
-        let times: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { 0.1 }).collect();
+        let times: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.1 })
+            .collect();
         let slots = 8;
         let w = makespan_wave(&times, slots);
         let p = makespan_persistent(&times, slots);
@@ -155,7 +151,7 @@ mod tests {
         let times = ragged_tile_times(100, 300, 64, 128, 1.0);
         assert_eq!(times.len(), 6);
         assert_eq!(times[0], 1.0); // full tile
-        // Bottom-right tile: 36×44 of 64×128.
+                                   // Bottom-right tile: 36×44 of 64×128.
         let last = times[5];
         assert!((last - (36.0 * 44.0) / (64.0 * 128.0)).abs() < 1e-12);
     }
@@ -178,7 +174,13 @@ mod tests {
         let mut times = Vec::new();
         for expert in 0..8usize {
             let m_e = 2 + expert * 7; // skewed routing
-            times.extend(ragged_tile_times(m_e, 14336, 64, 128, 0.2 + m_e as f64 * 0.0125));
+            times.extend(ragged_tile_times(
+                m_e,
+                14336,
+                64,
+                128,
+                0.2 + m_e as f64 * 0.0125,
+            ));
         }
         let s = persistent_speedup(&times, 132);
         assert!(s > 1.05, "speedup {s}");

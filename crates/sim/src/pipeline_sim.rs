@@ -41,6 +41,28 @@ pub struct SimResult {
     pub cuda_utilization: f64,
 }
 
+/// Export per-resource busy time and makespan for one simulated
+/// pipeline variant as gauges
+/// (`lq_sim_busy_seconds{pipeline=...,resource="tma"|"cuda"|"tensor"}`,
+/// `lq_sim_makespan_seconds{pipeline=...}`). No-op when telemetry is
+/// disabled; last run wins, which is the right semantics for a
+/// modelled (not sampled) quantity.
+fn publish_busy(pipeline: &str, tma: f64, cuda: f64, tensor: f64, makespan: f64) {
+    if !lq_telemetry::enabled() {
+        return;
+    }
+    let reg = lq_telemetry::registry();
+    for (resource, secs) in [("tma", tma), ("cuda", cuda), ("tensor", tensor)] {
+        reg.gauge_with(
+            "lq_sim_busy_seconds",
+            &[("pipeline", pipeline), ("resource", resource)],
+        )
+        .set(secs);
+    }
+    reg.gauge_with("lq_sim_makespan_seconds", &[("pipeline", pipeline)])
+        .set(makespan);
+}
+
 /// Classic software pipeline (no warp specialisation of dequant):
 /// load overlaps compute; compute is `t_dq + t_mma` serial.
 #[must_use]
@@ -52,7 +74,11 @@ pub fn simulate_serial_dequant(t: IterTimes, iters: usize, stages: usize) -> Sim
     let mut comp_avail = 0.0f64;
     for i in 0..iters {
         // Stage buffer: load i waits for compute of iteration i-stages.
-        let buf_free = if i >= stages { comp_done[i - stages] } else { 0.0 };
+        let buf_free = if i >= stages {
+            comp_done[i - stages]
+        } else {
+            0.0
+        };
         let start = tma_avail.max(buf_free);
         load_done[i] = start + t.t_ld;
         tma_avail = load_done[i];
@@ -61,10 +87,18 @@ pub fn simulate_serial_dequant(t: IterTimes, iters: usize, stages: usize) -> Sim
         comp_avail = comp_done[i];
     }
     let makespan = comp_done[iters - 1];
+    let n = iters as f64;
+    publish_busy(
+        "serial_dequant",
+        n * t.t_ld,
+        n * t.t_dq,
+        n * t.t_mma,
+        makespan,
+    );
     SimResult {
         makespan,
-        tc_utilization: iters as f64 * t.t_mma / makespan,
-        cuda_utilization: iters as f64 * t.t_dq / makespan,
+        tc_utilization: n * t.t_mma / makespan,
+        cuda_utilization: n * t.t_dq / makespan,
     }
 }
 
@@ -85,11 +119,19 @@ pub fn simulate_excp(
     let mut mma_done = vec![0.0f64; iters];
     let (mut tma_avail, mut cuda_avail, mut tc_avail) = (0.0f64, 0.0f64, 0.0f64);
     for i in 0..iters {
-        let buf_free = if i >= stages { dq_done[i - stages] } else { 0.0 };
+        let buf_free = if i >= stages {
+            dq_done[i - stages]
+        } else {
+            0.0
+        };
         load_done[i] = tma_avail.max(buf_free) + t.t_ld;
         tma_avail = load_done[i];
 
-        let dq_buf_free = if i >= stages { mma_done[i - stages] } else { 0.0 };
+        let dq_buf_free = if i >= stages {
+            mma_done[i - stages]
+        } else {
+            0.0
+        };
         let dstart = cuda_avail.max(load_done[i] + t_sync).max(dq_buf_free);
         dq_done[i] = dstart + t_dq_eff;
         cuda_avail = dq_done[i];
@@ -99,10 +141,12 @@ pub fn simulate_excp(
         tc_avail = mma_done[i];
     }
     let makespan = mma_done[iters - 1];
+    let n = iters as f64;
+    publish_busy("excp", n * t.t_ld, n * t_dq_eff, n * t.t_mma, makespan);
     SimResult {
         makespan,
-        tc_utilization: iters as f64 * t.t_mma / makespan,
-        cuda_utilization: iters as f64 * t_dq_eff / makespan,
+        tc_utilization: n * t.t_mma / makespan,
+        cuda_utilization: n * t_dq_eff / makespan,
     }
 }
 
@@ -132,10 +176,12 @@ pub fn simulate_imfp(t: IterTimes, iters: usize, stages: usize, workers: usize) 
         done[i] = mma_end;
     }
     let makespan = done[iters - 1];
+    let n = iters as f64;
+    publish_busy("imfp", n * t.t_ld, n * t.t_dq, n * t.t_mma, makespan);
     SimResult {
         makespan,
-        tc_utilization: iters as f64 * t.t_mma / makespan,
-        cuda_utilization: iters as f64 * t.t_dq / makespan,
+        tc_utilization: n * t.t_mma / makespan,
+        cuda_utilization: n * t.t_dq / makespan,
     }
 }
 
@@ -204,7 +250,10 @@ pub fn ablation(spec: &crate::specs::GpuSpec, m: usize, iters: usize) -> Ablatio
     let t_sync = 1.5e-7 / iters as f64 * 8.0; // amortised mbarrier cost
     let t_roundtrip = 2.0 * (nt * kt) as f64 / 400.0e9;
     let excp_ld_penalty = 1.25;
-    let excp_times = IterTimes { t_ld: lqq.t_ld * excp_ld_penalty, ..lqq };
+    let excp_times = IterTimes {
+        t_ld: lqq.t_ld * excp_ld_penalty,
+        ..lqq
+    };
     AblationResult {
         baseline: simulate_serial_dequant(qoq, iters, stages).makespan,
         lqq: simulate_serial_dequant(lqq, iters, stages).makespan,
@@ -218,18 +267,30 @@ mod tests {
     use super::*;
     use crate::specs::H800;
 
-    const T: IterTimes = IterTimes { t_ld: 1.0, t_dq: 0.5, t_mma: 2.0 };
+    const T: IterTimes = IterTimes {
+        t_ld: 1.0,
+        t_dq: 0.5,
+        t_mma: 2.0,
+    };
 
     #[test]
     fn serial_dequant_steady_state_is_sum_of_compute() {
         // Compute-bound: makespan → iters × (t_dq + t_mma).
         let r = simulate_serial_dequant(T, 100, 2);
-        assert!((r.makespan / (100.0 * 2.5) - 1.0).abs() < 0.02, "{}", r.makespan);
+        assert!(
+            (r.makespan / (100.0 * 2.5) - 1.0).abs() < 0.02,
+            "{}",
+            r.makespan
+        );
     }
 
     #[test]
     fn serial_dequant_memory_bound_case() {
-        let t = IterTimes { t_ld: 5.0, t_dq: 0.5, t_mma: 1.0 };
+        let t = IterTimes {
+            t_ld: 5.0,
+            t_dq: 0.5,
+            t_mma: 1.0,
+        };
         let r = simulate_serial_dequant(t, 100, 2);
         assert!((r.makespan / 500.0 - 1.0).abs() < 0.05, "{}", r.makespan);
     }
@@ -239,7 +300,11 @@ mod tests {
         // With 2 WGs and t_dq < t_mma, TC should stay ~fully busy:
         // makespan → iters × t_mma.
         let r = simulate_imfp(T, 200, 4, 2);
-        assert!((r.makespan / (200.0 * 2.0) - 1.0).abs() < 0.05, "{}", r.makespan);
+        assert!(
+            (r.makespan / (200.0 * 2.0) - 1.0).abs() < 0.05,
+            "{}",
+            r.makespan
+        );
         assert!(r.tc_utilization > 0.9);
     }
 

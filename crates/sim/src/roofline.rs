@@ -22,11 +22,31 @@ pub struct PrecisionPoint {
 
 /// The precision configurations the paper compares.
 pub const PRECISIONS: [PrecisionPoint; 5] = [
-    PrecisionPoint { name: "W4A8", weight_bytes: 0.5, tc: TcKind::Int8 },
-    PrecisionPoint { name: "W8A8", weight_bytes: 1.0, tc: TcKind::Int8 },
-    PrecisionPoint { name: "W4A16", weight_bytes: 0.5, tc: TcKind::Fp16 },
-    PrecisionPoint { name: "FP8", weight_bytes: 1.0, tc: TcKind::Fp8 },
-    PrecisionPoint { name: "FP16", weight_bytes: 2.0, tc: TcKind::Fp16 },
+    PrecisionPoint {
+        name: "W4A8",
+        weight_bytes: 0.5,
+        tc: TcKind::Int8,
+    },
+    PrecisionPoint {
+        name: "W8A8",
+        weight_bytes: 1.0,
+        tc: TcKind::Int8,
+    },
+    PrecisionPoint {
+        name: "W4A16",
+        weight_bytes: 0.5,
+        tc: TcKind::Fp16,
+    },
+    PrecisionPoint {
+        name: "FP8",
+        weight_bytes: 1.0,
+        tc: TcKind::Fp8,
+    },
+    PrecisionPoint {
+        name: "FP16",
+        weight_bytes: 2.0,
+        tc: TcKind::Fp16,
+    },
 ];
 
 /// Arithmetic intensity (ops per weight byte) of a decode GEMM at batch

@@ -97,7 +97,12 @@ mod tests {
     fn lqq_headroom_is_large_everywhere() {
         for spec in [A100, H100, scaled_gpu(&H100, "X", 3.0, 1.5)] {
             let row = trend_row(&spec);
-            assert!(row.lqq_headroom > 2.0, "{}: {}", spec.name, row.lqq_headroom);
+            assert!(
+                row.lqq_headroom > 2.0,
+                "{}: {}",
+                spec.name,
+                row.lqq_headroom
+            );
         }
     }
 

@@ -326,6 +326,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the claim under test
     fn budgets_respect_paper_thresholds() {
         // LiquidQuant's α must be below both overlap thresholds;
         // QoQ's α alone does not exceed them, but with address arithmetic

@@ -84,12 +84,7 @@ pub const fn same_bits_mod256(i: i16, j: u16) -> bool {
 #[must_use]
 pub fn lanewise2(a: u32, b: u32, f: impl Fn(u8, u8) -> u8) -> u32 {
     let (a, b) = (u32_to_u8x4(a), u32_to_u8x4(b));
-    u8x4_to_u32([
-        f(a[0], b[0]),
-        f(a[1], b[1]),
-        f(a[2], b[2]),
-        f(a[3], b[3]),
-    ])
+    u8x4_to_u32([f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])])
 }
 
 /// Apply a per-lane function to one packed register (semantic reference).

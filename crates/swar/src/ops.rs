@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn imad_is_mul_add() {
         assert_eq!(imad_u32(3, 5, 7), 22);
-        assert_eq!(imad_u32(u32::MAX, 2, 3), u32::MAX.wrapping_mul(2).wrapping_add(3));
+        assert_eq!(
+            imad_u32(u32::MAX, 2, 3),
+            u32::MAX.wrapping_mul(2).wrapping_add(3)
+        );
     }
 
     #[test]
@@ -125,7 +128,11 @@ mod tests {
         // must equal the per-lane computation.
         let w = u8x4_to_u32([0, 5, 9, 14]);
         let offs = u8x4_to_u32([1, 2, 3, 15]);
-        let got = Imad { scale: 16, offset: offs }.apply(w);
+        let got = Imad {
+            scale: 16,
+            offset: offs,
+        }
+        .apply(w);
         assert_eq!(u32_to_u8x4(got), [1, 82, 147, 239]);
     }
 

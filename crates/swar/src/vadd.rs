@@ -110,7 +110,11 @@ mod tests {
         ];
         for (a, b) in cases {
             let mut alu = CountingAlu::default();
-            assert_eq!(vadd4_lowered(&mut alu, a, b), vadd4_ref(a, b), "a={a:08x} b={b:08x}");
+            assert_eq!(
+                vadd4_lowered(&mut alu, a, b),
+                vadd4_ref(a, b),
+                "a={a:08x} b={b:08x}"
+            );
         }
     }
 
@@ -125,7 +129,11 @@ mod tests {
         ];
         for (a, b) in cases {
             let mut alu = CountingAlu::default();
-            assert_eq!(vsub4_lowered(&mut alu, a, b), vsub4_ref(a, b), "a={a:08x} b={b:08x}");
+            assert_eq!(
+                vsub4_lowered(&mut alu, a, b),
+                vsub4_ref(a, b),
+                "a={a:08x} b={b:08x}"
+            );
         }
     }
 
@@ -160,7 +168,10 @@ mod tests {
         let mut alu = CountingAlu::default();
         let _ = vadd4_lowered(&mut alu, 1, 2);
         let c: &InstrCount = alu.count();
-        assert_eq!(c.of(InstrClass::Logic) + c.of(InstrClass::ArithAdd), c.total());
+        assert_eq!(
+            c.of(InstrClass::Logic) + c.of(InstrClass::ArithAdd),
+            c.total()
+        );
     }
 
     #[test]

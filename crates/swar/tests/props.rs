@@ -1,102 +1,143 @@
-//! Property-based tests for the SWAR register emulation.
+//! Randomized property tests for the SWAR register emulation (seeded
+//! in-tree PRNG; offline sandbox has no proptest).
 
+use lq_rng::Rng;
 use lq_swar::audit::CountingAlu;
 use lq_swar::lanes::{i8x4_to_u32, u32_to_i8x4, u32_to_u8x4, u8x4_to_u32};
 use lq_swar::ops::{bfe_u32, imad_u32, lop3, prmt};
 use lq_swar::unpack::{nibble, pack8_u4, unpack8_u4_to_2xu8x4};
 use lq_swar::vadd::{vadd4_lowered, vadd4_ref, vsub4_lowered, vsub4_ref};
-use proptest::prelude::*;
 
-proptest! {
-    /// Packed-lane round trips are lossless for all bit patterns.
-    #[test]
-    fn lanes_roundtrip(r in any::<u32>()) {
-        prop_assert_eq!(u8x4_to_u32(u32_to_u8x4(r)), r);
-        prop_assert_eq!(i8x4_to_u32(u32_to_i8x4(r)), r);
+const CASES: usize = 256;
+
+/// Packed-lane round trips are lossless for all bit patterns.
+#[test]
+fn lanes_roundtrip() {
+    let mut rng = Rng::new(0x54A6_0001);
+    for _ in 0..CASES {
+        let r = rng.next_u32();
+        assert_eq!(u8x4_to_u32(u32_to_u8x4(r)), r);
+        assert_eq!(i8x4_to_u32(u32_to_i8x4(r)), r);
     }
+}
 
-    /// The lowered (carryless) vadd4 equals the per-lane reference for
-    /// every pair of registers.
-    #[test]
-    fn vadd4_lowering_correct(a in any::<u32>(), b in any::<u32>()) {
+/// The lowered (carryless) vadd4 equals the per-lane reference for
+/// every pair of registers.
+#[test]
+fn vadd4_lowering_correct() {
+    let mut rng = Rng::new(0x54A6_0002);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let mut alu = CountingAlu::new();
-        prop_assert_eq!(vadd4_lowered(&mut alu, a, b), vadd4_ref(a, b));
-        prop_assert_eq!(alu.count().total(), 7);
+        assert_eq!(vadd4_lowered(&mut alu, a, b), vadd4_ref(a, b));
+        assert_eq!(alu.count().total(), 7);
     }
+}
 
-    /// The lowered vsub4 equals the per-lane reference for every pair.
-    #[test]
-    fn vsub4_lowering_correct(a in any::<u32>(), b in any::<u32>()) {
+/// The lowered vsub4 equals the per-lane reference for every pair.
+#[test]
+fn vsub4_lowering_correct() {
+    let mut rng = Rng::new(0x54A6_0003);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let mut alu = CountingAlu::new();
-        prop_assert_eq!(vsub4_lowered(&mut alu, a, b), vsub4_ref(a, b));
-        prop_assert_eq!(alu.count().total(), 7);
+        assert_eq!(vsub4_lowered(&mut alu, a, b), vsub4_ref(a, b));
+        assert_eq!(alu.count().total(), 7);
     }
+}
 
-    /// vadd4 then vsub4 of the same operand is the identity.
-    #[test]
-    fn vadd_vsub_inverse(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(vsub4_ref(vadd4_ref(a, b), b), a);
+/// vadd4 then vsub4 of the same operand is the identity.
+#[test]
+fn vadd_vsub_inverse() {
+    let mut rng = Rng::new(0x54A6_0004);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
+        assert_eq!(vsub4_ref(vadd4_ref(a, b), b), a);
     }
+}
 
-    /// Unpack agrees with the scalar nibble oracle for all registers.
-    #[test]
-    fn unpack_matches_nibbles(w in any::<u32>()) {
+/// Unpack agrees with the scalar nibble oracle for all registers.
+#[test]
+fn unpack_matches_nibbles() {
+    let mut rng = Rng::new(0x54A6_0005);
+    for _ in 0..CASES {
+        let w = rng.next_u32();
         let mut alu = CountingAlu::new();
         let u = unpack8_u4_to_2xu8x4(&mut alu, w);
         let lo = u32_to_u8x4(u.lo);
         let hi = u32_to_u8x4(u.hi);
         for k in 0..4u32 {
-            prop_assert_eq!(lo[k as usize], nibble(w, 2 * k));
-            prop_assert_eq!(hi[k as usize], nibble(w, 2 * k + 1));
+            assert_eq!(lo[k as usize], nibble(w, 2 * k));
+            assert_eq!(hi[k as usize], nibble(w, 2 * k + 1));
         }
     }
+}
 
-    /// pack8_u4 is the left inverse of nibble extraction.
-    #[test]
-    fn pack8_nibble_roundtrip(vals in prop::array::uniform8(0u8..16)) {
+/// pack8_u4 is the left inverse of nibble extraction.
+#[test]
+fn pack8_nibble_roundtrip() {
+    let mut rng = Rng::new(0x54A6_0006);
+    for _ in 0..CASES {
+        let vals: [u8; 8] = std::array::from_fn(|_| rng.below(16) as u8);
         let w = pack8_u4(vals);
         for (i, v) in vals.iter().enumerate() {
-            prop_assert_eq!(nibble(w, i as u32), *v);
+            assert_eq!(nibble(w, i as u32), *v);
         }
     }
+}
 
-    /// IMAD acts lane-wise whenever the per-lane no-carry precondition
-    /// holds (lanes < 16, scale ≤ 16, per-lane offset such that
-    /// lane*scale + offset ≤ 255) — the LiquidQuant invariant.
-    #[test]
-    fn imad_lanewise_under_lqq_invariant(
-        lanes in prop::array::uniform4(0u8..16),
-        scale in 1u32..=16,
-        offs in prop::array::uniform4(0u8..16),
-    ) {
+/// IMAD acts lane-wise whenever the per-lane no-carry precondition
+/// holds (lanes < 16, scale ≤ 16, per-lane offset such that
+/// lane*scale + offset ≤ 255) — the LiquidQuant invariant.
+#[test]
+fn imad_lanewise_under_lqq_invariant() {
+    let mut rng = Rng::new(0x54A6_0007);
+    for _ in 0..CASES {
+        let lanes: [u8; 4] = std::array::from_fn(|_| rng.below(16) as u8);
+        let scale = rng.range_u64(1, 17) as u32;
+        let offs: [u8; 4] = std::array::from_fn(|_| rng.below(16) as u8);
         let w = u8x4_to_u32(lanes);
         let o = u8x4_to_u32(offs);
         let r = u32_to_u8x4(imad_u32(w, scale, o));
         for i in 0..4 {
             let want = lanes[i] as u32 * scale + offs[i] as u32;
-            prop_assert!(want <= 255);
-            prop_assert_eq!(r[i] as u32, want);
+            assert!(want <= 255);
+            assert_eq!(r[i] as u32, want);
         }
     }
+}
 
-    /// PRMT with the identity selector is the identity; with 0x7654 it
-    /// selects the second operand.
-    #[test]
-    fn prmt_selectors(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(prmt(a, b, 0x3210), a);
-        prop_assert_eq!(prmt(a, b, 0x7654), b);
+/// PRMT with the identity selector is the identity; with 0x7654 it
+/// selects the second operand.
+#[test]
+fn prmt_selectors() {
+    let mut rng = Rng::new(0x54A6_0008);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
+        assert_eq!(prmt(a, b, 0x3210), a);
+        assert_eq!(prmt(a, b, 0x7654), b);
     }
+}
 
-    /// BFE composes with shift+mask.
-    #[test]
-    fn bfe_matches_shift_mask(v in any::<u32>(), pos in 0u32..32, len in 1u32..=16) {
+/// BFE composes with shift+mask.
+#[test]
+fn bfe_matches_shift_mask() {
+    let mut rng = Rng::new(0x54A6_0009);
+    for _ in 0..CASES {
+        let v = rng.next_u32();
+        let pos = rng.below(32) as u32;
+        let len = rng.range_u64(1, 17) as u32;
         let want = (v >> pos) & ((1u32 << len) - 1);
-        prop_assert_eq!(bfe_u32(v, pos, len), want);
+        assert_eq!(bfe_u32(v, pos, len), want);
     }
+}
 
-    /// LOP3 with the (a&b)|c table matches the expression.
-    #[test]
-    fn lop3_and_or(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
-        prop_assert_eq!(lop3(a, b, c, lq_swar::ops::LOP3_AND_OR), (a & b) | c);
+/// LOP3 with the (a&b)|c table matches the expression.
+#[test]
+fn lop3_and_or() {
+    let mut rng = Rng::new(0x54A6_000A);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.next_u32(), rng.next_u32(), rng.next_u32());
+        assert_eq!(lop3(a, b, c, lq_swar::ops::LOP3_AND_OR), (a & b) | c);
     }
 }

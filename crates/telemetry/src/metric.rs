@@ -1,0 +1,328 @@
+//! Metric primitives: relaxed-atomic counters and gauges, log₂-bucketed
+//! histograms, and RAII span timers.
+//!
+//! Everything here is lock-free on the record path: a counter increment
+//! is one relaxed `fetch_add`; a histogram record is three. Readers
+//! (snapshot/export) tolerate torn cross-field views — totals are
+//! monotone and each field is individually atomic, which is all the
+//! exporters promise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::enabled;
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge holding an `f64` (bit-stored in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at 0.0.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Add `d` (compare-and-swap loop; gauges are not hot-path metrics).
+    pub fn add(&self, d: f64) {
+        if !enabled() {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, so bucket 64 holds the top half of
+/// the `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// Log₂-bucketed histogram of `u64` samples (convention: nanoseconds
+/// for wall-clock spans, raw counts otherwise).
+///
+/// Quantiles are bucket-resolution estimates: `quantile(q)` returns the
+/// inclusive upper edge of the bucket containing the q-th sample, so
+/// the estimate is within 2× of the true value (and exact for `max`,
+/// which is tracked separately).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample.
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of bucket `i` (`0` for bucket 0, `2^i − 1`
+/// otherwise, saturating at `u64::MAX`).
+#[inline]
+#[must_use]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a `Duration`-like number of seconds as nanoseconds.
+    #[inline]
+    pub fn record_secs(&self, secs: f64) {
+        self.record((secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// Total samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (exact), or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate for `q ∈ [0, 1]`: the upper
+    /// edge of the bucket holding the ⌈q·count⌉-th smallest sample
+    /// (clamped to the observed max). Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let snap = self.snapshot();
+        snap.quantile(q)
+    }
+
+    /// Consistent-enough copy of the current state (each field is read
+    /// atomically; concurrent recorders may land between reads).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+
+    /// RAII timer recording elapsed wall-clock nanoseconds into this
+    /// histogram on drop. When telemetry is disabled at creation, the
+    /// span holds no clock and its drop is a no-op.
+    #[must_use]
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            hist: self,
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Owned variant of [`Histogram::span`]: keeps the histogram alive,
+    /// so the span can outlive the registry-lookup scope.
+    #[must_use]
+    pub fn span_owned(self: &std::sync::Arc<Self>) -> OwnedSpan {
+        OwnedSpan {
+            hist: std::sync::Arc::clone(self),
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Reset all cells to zero (testing / between bench phases).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// RAII span timer from [`Histogram::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Abandon the span without recording.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// RAII span timer from [`Histogram::span_owned`].
+#[derive(Debug)]
+pub struct OwnedSpan {
+    hist: std::sync::Arc<Histogram>,
+    start: Option<Instant>,
+}
+
+impl OwnedSpan {
+    /// Abandon the span without recording.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The global metric registry and its two exporters (Prometheus text
+//! format and a JSON snapshot).
+//!
+//! Metrics are identified by a family name plus an optional, ordered
+//! label set, e.g. `lq_pipeline_stall_total{role="producer",
+//! variant="imfp"}`. Handles are `Arc`s: look one up once (a mutex +
+//! map probe) and hold it across the hot loop; recording through the
+//! handle is lock-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metric::{bucket_upper, Counter, Gauge, Histogram, BUCKETS};
+
+/// Fully qualified metric key: family name + rendered label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    /// Metric family, e.g. `lq_pipeline_stall_total`.
+    pub name: String,
+    /// Rendered labels without braces, e.g. `role="producer"`, empty
+    /// for unlabeled metrics.
+    pub labels: String,
+}
+
+impl Key {
+    fn render(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+        pairs.sort_unstable();
+        let mut s = String::new();
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{k}=\"{v}\"");
+        }
+        Self {
+            name: name.to_string(),
+            labels: s,
+        }
+    }
+
+    /// `name` or `name{labels}`.
+    #[must_use]
+    pub fn full(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}{{{}}}", self.name, self.labels)
+        }
+    }
+
+    fn with_extra_label(&self, k: &str, v: &str) -> String {
+        if self.labels.is_empty() {
+            format!("{}{{{k}=\"{v}\"}}", self.name)
+        } else {
+            format!("{}{{{},{k}=\"{v}\"}}", self.name, self.labels)
+        }
+    }
+}
+
+/// A metric registry: named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<Key, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+/// The process-wide registry every instrumented crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code uses [`global`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle for `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Labeled counter handle.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = Key::render(name, labels);
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("registry poisoned")
+                .entry(key)
+                .or_default(),
+        )
+    }
+
+    /// Gauge handle for `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Labeled gauge handle.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = Key::render(name, labels);
+        Arc::clone(
+            self.gauges
+                .lock()
+                .expect("registry poisoned")
+                .entry(key)
+                .or_default(),
+        )
+    }
+
+    /// Histogram handle for `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Labeled histogram handle.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = Key::render(name, labels);
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("registry poisoned")
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Drop every registered metric (testing / bench-phase isolation).
+    /// Outstanding handles keep working but detach from future exports.
+    pub fn clear(&self) {
+        self.counters.lock().expect("registry poisoned").clear();
+        self.gauges.lock().expect("registry poisoned").clear();
+        self.histograms.lock().expect("registry poisoned").clear();
+    }
+
+    /// Export every metric in Prometheus text exposition format.
+    ///
+    /// Counters end in `_total` by convention (names are not rewritten);
+    /// histograms expose cumulative `_bucket{le="..."}` series plus
+    /// `_sum` and `_count`, with log₂ bucket edges.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (key, c) in self.counters.lock().expect("registry poisoned").iter() {
+            let _ = writeln!(out, "# TYPE {} counter", key.name);
+            let _ = writeln!(out, "{} {}", key.full(), c.get());
+        }
+        for (key, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            let _ = writeln!(out, "# TYPE {} gauge", key.name);
+            let _ = writeln!(out, "{} {}", key.full(), fmt_f64(g.get()));
+        }
+        for (key, h) in self.histograms.lock().expect("registry poisoned").iter() {
+            let snap = h.snapshot();
+            let _ = writeln!(out, "# TYPE {} histogram", key.name);
+            let mut cum = 0u64;
+            for i in 0..BUCKETS {
+                if snap.buckets[i] == 0 && i != 0 {
+                    continue; // sparse export: only edges with samples
+                }
+                cum += snap.buckets[i];
+                let name = format!("{}_bucket", key.name);
+                let k = Key {
+                    name,
+                    labels: key.labels.clone(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{} {cum}",
+                    k.with_extra_label("le", &bucket_upper(i).to_string())
+                );
+            }
+            let bname = format!("{}_bucket", key.name);
+            let k = Key {
+                name: bname,
+                labels: key.labels.clone(),
+            };
+            let _ = writeln!(out, "{} {}", k.with_extra_label("le", "+Inf"), snap.count);
+            let sum_key = Key {
+                name: format!("{}_sum", key.name),
+                labels: key.labels.clone(),
+            };
+            let _ = writeln!(out, "{} {}", sum_key.full(), snap.sum);
+            let count_key = Key {
+                name: format!("{}_count", key.name),
+                labels: key.labels.clone(),
+            };
+            let _ = writeln!(out, "{} {}", count_key.full(), snap.count);
+        }
+        out
+    }
+
+    /// Export a JSON snapshot: counters and gauges as scalars,
+    /// histograms as `{count, sum, max, mean, p50, p95, p99}` objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = self.counters.lock().expect("registry poisoned");
+        for (i, (key, c)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {}",
+                json_escape(&key.full()),
+                c.get()
+            );
+        }
+        drop(counters);
+        out.push_str("\n  },\n  \"gauges\": {");
+        let gauges = self.gauges.lock().expect("registry poisoned");
+        for (i, (key, g)) in gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {}",
+                json_escape(&key.full()),
+                fmt_f64(g.get())
+            );
+        }
+        drop(gauges);
+        out.push_str("\n  },\n  \"histograms\": {");
+        let hists = self.histograms.lock().expect("registry poisoned");
+        for (i, (key, h)) in hists.iter().enumerate() {
+            let snap = h.snapshot();
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json_escape(&key.full()),
+                snap.count,
+                snap.sum,
+                snap.max,
+                fmt_f64(if snap.count == 0 {
+                    0.0
+                } else {
+                    snap.sum as f64 / snap.count as f64
+                }),
+                snap.quantile(0.50),
+                snap.quantile(0.95),
+                snap.quantile(0.99),
+            );
+        }
+        drop(hists);
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Finite-float formatting that is valid in both exports (JSON has no
+/// NaN/Inf literals; map them to 0 and the f64 extremes).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "0".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            format!("{}", f64::MAX)
+        } else {
+            format!("{}", f64::MIN)
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

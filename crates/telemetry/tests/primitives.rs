@@ -1,0 +1,154 @@
+//! Telemetry-primitive tests: bucket edges, concurrent-sum exactness,
+//! snapshot-under-recording, and randomized quantile sanity.
+
+use lq_rng::Rng;
+use lq_telemetry::metric::{bucket_index, bucket_upper, BUCKETS};
+use lq_telemetry::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+fn setup() {
+    lq_telemetry::enable();
+}
+
+#[test]
+fn bucket_edges_zero_one_max() {
+    setup();
+    // Edge values land in the documented buckets.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    assert_eq!(bucket_index(u64::MAX), 64);
+    assert_eq!(bucket_index(u64::MAX / 2), 63);
+    assert!(bucket_index(u64::MAX) < BUCKETS);
+    // Upper edges are inclusive and monotone.
+    assert_eq!(bucket_upper(0), 0);
+    assert_eq!(bucket_upper(1), 1);
+    assert_eq!(bucket_upper(2), 3);
+    assert_eq!(bucket_upper(64), u64::MAX);
+    for i in 1..BUCKETS {
+        assert!(bucket_upper(i) > bucket_upper(i - 1));
+        // Every bucket's content is ≤ its upper edge.
+        assert!(bucket_index(bucket_upper(i)) <= i);
+    }
+
+    let h = Histogram::new();
+    h.record(0);
+    h.record(1);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.max(), u64::MAX);
+    // Sum saturation is not promised at u64::MAX scale; count/max are.
+    assert_eq!(h.quantile(0.0), 0);
+    assert_eq!(h.quantile(1.0), u64::MAX);
+}
+
+#[test]
+fn concurrent_increments_sum_exactly() {
+    setup();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let c = Arc::new(Counter::new());
+    let h = Arc::new(Histogram::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let c = Arc::clone(&c);
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record((t as u64) * 7 + (i % 5));
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+}
+
+#[test]
+fn snapshot_while_recording_is_coherent() {
+    setup();
+    let h = Arc::new(Histogram::new());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let h = Arc::clone(&h);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut v = 1u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    h.record(v % 1000);
+                    v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+            });
+        }
+        let mut last_count = 0u64;
+        for _ in 0..200 {
+            let snap = h.snapshot();
+            // Counts are monotone across snapshots and bucket totals
+            // never exceed the (possibly newer) count field read lastly
+            // reread from the live histogram.
+            assert!(snap.count >= last_count, "count went backwards");
+            last_count = snap.count;
+            let bucket_total: u64 = snap.buckets.iter().sum();
+            // Buckets are incremented before count, so a torn view can
+            // only show bucket_total >= count-ish; allow either side
+            // within the live bound.
+            assert!(bucket_total <= h.count() + 4, "wildly torn snapshot");
+            assert!(snap.max < 1000);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+}
+
+#[test]
+fn quantiles_bracket_true_values_randomized() {
+    setup();
+    let mut rng = Rng::new(0xB0C4);
+    for _case in 0..50 {
+        let h = Histogram::new();
+        let n = rng.range_usize(1, 4000);
+        let mut vals: Vec<u64> = (0..n)
+            .map(|_| {
+                let hi = 1u64 << rng.range_usize(1, 40);
+                rng.range_u64(0, hi)
+            })
+            .collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let est = h.quantile(q);
+            let idx = ((q * n as f64).ceil() as usize).max(1) - 1;
+            let truth = vals[idx];
+            // Bucket-resolution estimate: within one power of two above
+            // the true value, never below it.
+            assert!(est >= truth, "q={q} est={est} truth={truth}");
+            assert!(
+                est <= truth.saturating_mul(2).max(1),
+                "q={q} est={est} truth={truth}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), *vals.last().expect("non-empty"));
+    }
+}
+
+#[test]
+fn registry_reexports_survive_clear() {
+    setup();
+    let reg = Registry::new();
+    let c = reg.counter("t_clear_total");
+    c.inc();
+    reg.clear();
+    // Old handle still works, but a fresh lookup starts at zero.
+    c.inc();
+    assert_eq!(c.get(), 2);
+    assert_eq!(reg.counter("t_clear_total").get(), 0);
+}

@@ -35,7 +35,11 @@ fn main() {
     let lqq = PackedLqqLinear::quantize(&w, 64);
     let qoq = PackedQoqLinear::quantize(&w, 64);
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
-    let cfg = ParallelConfig { workers, task_rows: 16, stages: 2 * workers };
+    let cfg = ParallelConfig {
+        workers,
+        task_rows: 16,
+        stages: 2 * workers,
+    };
 
     let t_base = median(3, || {
         std::hint::black_box(w4a8_qoq_serial(&qa.q, &qa.scales, &qoq));
@@ -50,9 +54,21 @@ fn main() {
         std::hint::black_box(w4a8_imfp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
     });
     println!("  baseline (QoQ dequant, serial) : {:8.2} ms", t_base * 1e3);
-    println!("  +LQQ            (serial)       : {:8.2} ms  ({:.2}x)", t_lqq * 1e3, t_base / t_lqq);
-    println!("  +LQQ +ExCP ({workers} workers)        : {:8.2} ms  ({:.2}x)", t_excp * 1e3, t_base / t_excp);
-    println!("  +LQQ +ImFP ({workers} workers)        : {:8.2} ms  ({:.2}x)", t_imfp * 1e3, t_base / t_imfp);
+    println!(
+        "  +LQQ            (serial)       : {:8.2} ms  ({:.2}x)",
+        t_lqq * 1e3,
+        t_base / t_lqq
+    );
+    println!(
+        "  +LQQ +ExCP ({workers} workers)        : {:8.2} ms  ({:.2}x)",
+        t_excp * 1e3,
+        t_base / t_excp
+    );
+    println!(
+        "  +LQQ +ImFP ({workers} workers)        : {:8.2} ms  ({:.2}x)",
+        t_imfp * 1e3,
+        t_base / t_imfp
+    );
     println!("  ImFP over ExCP: {:.2}x", t_excp / t_imfp);
 
     println!("\n== Simulated ablation (H800 warp-group pipeline model) ==\n");

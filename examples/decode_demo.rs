@@ -17,7 +17,11 @@ fn main() {
         hidden: 128,
         inter: 384,
         layers: 4,
-        attn: AttnConfig { heads: 8, kv_heads: 2, head_dim: 16 },
+        attn: AttnConfig {
+            heads: 8,
+            kv_heads: 2,
+            head_dim: 16,
+        },
         group: 64,
     };
     println!(
@@ -61,7 +65,11 @@ fn main() {
         let e = error_stats(&lr, &lq);
         let a = tq == tr;
         agree += usize::from(a);
-        println!("{step:>4}  {tq:>5}  {tr:>10}  {:>12.4}  {}", e.cosine, if a { "yes" } else { " no" });
+        println!(
+            "{step:>4}  {tq:>5}  {tr:>10}  {:>12.4}  {}",
+            e.cosine,
+            if a { "yes" } else { " no" }
+        );
         lq = q.decode_step(&[tr], &[0], &[pos]);
         lr = r.decode_step(&[tr], &[0], &[pos]);
         pos += 1;

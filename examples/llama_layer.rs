@@ -40,9 +40,7 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (hidden, inter) = if full { (4096, 11008) } else { (1024, 2752) };
     let batch = 16;
-    println!(
-        "decoder layer (hidden {hidden}, intermediate {inter}), batch {batch}, W4A8 ImFP\n"
-    );
+    println!("decoder layer (hidden {hidden}, intermediate {inter}), batch {batch}, W4A8 ImFP\n");
 
     let layers = [
         make_linear("qkv_proj", 3 * hidden, hidden, 1),
@@ -58,7 +56,9 @@ fn main() {
     };
 
     // Hidden states entering the layer.
-    let mut h = Mat::from_fn(batch, hidden, |r, c| ((r * hidden + c) as f32 * 0.011).cos());
+    let mut h = Mat::from_fn(batch, hidden, |r, c| {
+        ((r * hidden + c) as f32 * 0.011).cos()
+    });
     let mut h_ref = h.clone();
     let mut total = 0.0f64;
 

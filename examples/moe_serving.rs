@@ -13,8 +13,8 @@ use liquidgemm::models::decode_layer_shapes;
 use liquidgemm::serving::scheduler::{run_schedule, Request, SchedulerConfig};
 use liquidgemm::serving::system::{ServingSystem, SystemId};
 use liquidgemm::serving::throughput::peak_throughput;
-use liquidgemm::sim::specs::H800;
 use liquidgemm::sim::kernel_model::{KernelModel, SystemKind};
+use liquidgemm::sim::specs::H800;
 
 fn main() {
     let cfg = &MIXTRAL_8X7B;
@@ -26,7 +26,10 @@ fn main() {
 
     // 1. The grouped-GEMM crossover (Figure 12's Mixtral panel).
     println!("grouped expert-FFN latency per layer (kernel model):\n");
-    println!("{:>6}  {:>12} {:>12} {:>12}   winner", "batch", "LiquidGEMM", "TRT-W4A16", "TRT-FP8");
+    println!(
+        "{:>6}  {:>12} {:>12} {:>12}   winner",
+        "batch", "LiquidGEMM", "TRT-W4A16", "TRT-FP8"
+    );
     for batch in [4usize, 8, 16, 32, 64, 128, 256] {
         let shapes = decode_layer_shapes(cfg, batch);
         let (grouped, experts) = shapes.grouped.as_ref().expect("MoE");
@@ -60,7 +63,10 @@ fn main() {
     for id in SystemId::ALL {
         let sys = ServingSystem::of(id);
         match peak_throughput(&sys, &H800, cfg) {
-            Some(p) => println!("  {:<16} {:>8.0} tok/s (batch {})", sys.name, p.tokens_per_s, p.batch),
+            Some(p) => println!(
+                "  {:<16} {:>8.0} tok/s (batch {})",
+                sys.name, p.tokens_per_s, p.batch
+            ),
             None => println!(
                 "  {:<16} {:>8}",
                 sys.name,

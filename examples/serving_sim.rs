@@ -42,11 +42,15 @@ fn main() {
     // reservation fits, so decode can never OOM mid-flight.
     let full = INPUT_LEN + OUTPUT_LEN;
     let mut admitted = 0u64;
-    while cache.pages_for(full) <= cache.free_pages().saturating_sub(
-        // keep the pages the already-admitted requests will still grow into
-        admitted as usize * cache.pages_for(OUTPUT_LEN),
-    ) {
-        cache.add_sequence(admitted, INPUT_LEN).expect("reservation checked");
+    while cache.pages_for(full)
+        <= cache.free_pages().saturating_sub(
+            // keep the pages the already-admitted requests will still grow into
+            admitted as usize * cache.pages_for(OUTPUT_LEN),
+        )
+    {
+        cache
+            .add_sequence(admitted, INPUT_LEN)
+            .expect("reservation checked");
         admitted += 1;
     }
     println!("admitted {admitted} sequences of {INPUT_LEN} prompt tokens (full reservations)");
@@ -54,7 +58,9 @@ fn main() {
     let mut appended = 0u64;
     for _ in 0..OUTPUT_LEN {
         for id in 0..admitted {
-            cache.append_token(id).expect("reservation guarantees capacity");
+            cache
+                .append_token(id)
+                .expect("reservation guarantees capacity");
             appended += 1;
         }
     }
@@ -66,7 +72,10 @@ fn main() {
     );
 
     // Part 2: Table-1 peak throughput for every system on this model.
-    println!("{:<16} {:>14} {:>8}   per-step breakdown at peak", "system", "tokens/s", "batch");
+    println!(
+        "{:<16} {:>14} {:>8}   per-step breakdown at peak",
+        "system", "tokens/s", "batch"
+    );
     println!("{}", "-".repeat(78));
     for id in SystemId::ALL {
         let sys = ServingSystem::of(id);

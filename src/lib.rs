@@ -22,6 +22,9 @@
 //! * [`engine`] — an executable mini inference engine: RMSNorm, RoPE,
 //!   paged INT8-KV streaming attention, SwiGLU, full decoder layers and
 //!   greedy decoding, all on the W4A8 kernels.
+//! * [`telemetry`] — zero-dependency metrics: relaxed-atomic counters,
+//!   gauges, log₂ histograms, RAII spans, and a global registry with
+//!   Prometheus-text and JSON exporters (see README § Observability).
 //!
 //! ## Quickstart
 //!
@@ -56,3 +59,4 @@ pub use lq_quant as quant;
 pub use lq_serving as serving;
 pub use lq_sim as sim;
 pub use lq_swar as swar;
+pub use lq_telemetry as telemetry;

@@ -34,7 +34,14 @@ fn w4a8_end_to_end_accuracy_vs_fp32() {
         ("lqq", W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64))),
         ("qoq", W4A8Weights::Qoq(PackedQoqLinear::quantize(&w, 64))),
     ] {
-        let y = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, ParallelConfig::default()).y;
+        let y = gemm(
+            &qa.q,
+            &qa.scales,
+            &weights,
+            KernelKind::Serial,
+            ParallelConfig::default(),
+        )
+        .y;
         let e = error_stats(&oracle, &y);
         assert!(e.sqnr_db > 25.0, "{name}: sqnr {}", e.sqnr_db);
         assert!(e.cosine > 0.998, "{name}: cosine {}", e.cosine);
@@ -46,7 +53,11 @@ fn all_pipeline_variants_bit_identical_on_large_shape() {
     let (x, w) = fixture(24, 256, 768, false);
     let qa = QuantizedActivations::quantize(&x, None);
     let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-    let cfg = ParallelConfig { workers: 4, task_rows: 7, stages: 3 };
+    let cfg = ParallelConfig {
+        workers: 4,
+        task_rows: 7,
+        stages: 3,
+    };
     let base = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, cfg).y;
     for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
         let y = gemm(&qa.q, &qa.scales, &weights, kind, cfg).y;
@@ -62,7 +73,14 @@ fn smoothquant_calibration_helps_the_full_w4a8_path() {
     // Without smoothing.
     let qa = QuantizedActivations::quantize(&x, None);
     let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 8));
-    let y_plain = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, ParallelConfig::default()).y;
+    let y_plain = gemm(
+        &qa.q,
+        &qa.scales,
+        &weights,
+        KernelKind::Serial,
+        ParallelConfig::default(),
+    )
+    .y;
     let e_plain = error_stats(&oracle, &y_plain);
 
     // With calibrated smoothing applied to both operands.
@@ -70,7 +88,14 @@ fn smoothquant_calibration_helps_the_full_w4a8_path() {
     let w_s = liquidgemm::quant::smooth::smooth_weights(&w, &cal.scales);
     let qa_s = QuantizedActivations::quantize(&x, Some(&cal.scales));
     let weights_s = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w_s, 8));
-    let y_s = gemm(&qa_s.q, &qa_s.scales, &weights_s, KernelKind::Serial, ParallelConfig::default()).y;
+    let y_s = gemm(
+        &qa_s.q,
+        &qa_s.scales,
+        &weights_s,
+        KernelKind::Serial,
+        ParallelConfig::default(),
+    )
+    .y;
     let e_s = error_stats(&oracle, &y_s);
 
     assert!(
@@ -90,7 +115,14 @@ fn w4a8_tracks_w8a8_within_second_level_error() {
     let w8 = W8A8Linear::quantize(&w);
     let y8 = w8a8_serial(&qa.q, &qa.scales, &w8);
     let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-    let y4 = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, ParallelConfig::default()).y;
+    let y4 = gemm(
+        &qa.q,
+        &qa.scales,
+        &weights,
+        KernelKind::Serial,
+        ParallelConfig::default(),
+    )
+    .y;
     let e = error_stats(&y8, &y4);
     assert!(e.cosine > 0.999, "cosine {}", e.cosine);
 }
@@ -104,7 +136,14 @@ fn group_size_sweep_is_monotone_in_fidelity() {
     let mut last_sqnr = f64::NEG_INFINITY;
     for group in [256, 128, 32, 8] {
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, group));
-        let y = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, ParallelConfig::default()).y;
+        let y = gemm(
+            &qa.q,
+            &qa.scales,
+            &weights,
+            KernelKind::Serial,
+            ParallelConfig::default(),
+        )
+        .y;
         let e = error_stats(&oracle, &y);
         assert!(
             e.sqnr_db >= last_sqnr - 1.0,

@@ -14,7 +14,11 @@ fn spec() -> ModelSpec {
         hidden: 64,
         inter: 96,
         layers: 2,
-        attn: AttnConfig { heads: 4, kv_heads: 2, head_dim: 16 },
+        attn: AttnConfig {
+            heads: 4,
+            kv_heads: 2,
+            head_dim: 16,
+        },
         group: 32,
     }
 }
@@ -57,7 +61,7 @@ fn sequence_retirement_frees_capacity_for_new_ones() {
         m.add_sequence(round);
         let _ = m.prefill(round, &[1, 2, 3, 4]);
         for pos in 4..40 {
-            let _ = m.decode_step(&[(pos % 60) as usize], &[round], &[pos]);
+            let _ = m.decode_step(&[pos % 60], &[round], &[pos]);
         }
         for store in &mut m.kv {
             store.free_sequence(round).expect("live sequence");
@@ -80,12 +84,17 @@ fn sampled_serving_is_reproducible_across_identical_runs() {
         let mut rng = SampleRng::new(1234);
         let mut logits = m.prefill(0, &[3, 9, 27]);
         let mut out = Vec::new();
-        let mut pos = 3;
-        for _ in 0..8 {
-            let t = sample(logits.row(0), Sampling::TopK { k: 4, temperature: 0.7 }, &mut rng);
+        for pos in 3..11 {
+            let t = sample(
+                logits.row(0),
+                Sampling::TopK {
+                    k: 4,
+                    temperature: 0.7,
+                },
+                &mut rng,
+            );
             out.push(t);
             logits = m.decode_step(&[t], &[0], &[pos]);
-            pos += 1;
         }
         out
     };

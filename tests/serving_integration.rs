@@ -16,7 +16,8 @@ fn feasible_batch_agrees_with_paged_allocator() {
     // agree (up to page-granularity slack) on how many full requests fit.
     let sys = ServingSystem::of(SystemId::LiquidServe);
     let cfg = &LLAMA2_7B;
-    let closed_form = max_feasible_batch(&sys, cfg, H800.mem_capacity as f64, INPUT_LEN, OUTPUT_LEN);
+    let closed_form =
+        max_feasible_batch(&sys, cfg, H800.mem_capacity as f64, INPUT_LEN, OUTPUT_LEN);
 
     let kv_budget = H800.mem_capacity as f64
         - sys.weight_bytes(cfg)
@@ -35,7 +36,10 @@ fn feasible_batch_agrees_with_paged_allocator() {
         }
     }
     let diff = (fits as i64 - closed_form as i64).abs();
-    assert!(diff <= 2, "allocator fits {fits}, closed form {closed_form}");
+    assert!(
+        diff <= 2,
+        "allocator fits {fits}, closed form {closed_form}"
+    );
 }
 
 #[test]
@@ -82,7 +86,10 @@ fn liquidserve_wins_or_ties_most_table1_cells() {
             best_baseline
         );
     }
-    assert!(wins * 4 >= cells * 3, "LiquidServe won only {wins}/{cells} cells");
+    assert!(
+        wins * 4 >= cells * 3,
+        "LiquidServe won only {wins}/{cells} cells"
+    );
 }
 
 #[test]
@@ -103,14 +110,21 @@ fn qserve_stops_scaling_where_liquidserve_continues() {
         / throughput_at_batch(&q, &H800, &LLAMA2_7B, 64, INPUT_LEN, OUTPUT_LEN);
     let l_gain = throughput_at_batch(&l, &H800, &LLAMA2_7B, 256, INPUT_LEN, OUTPUT_LEN)
         / throughput_at_batch(&l, &H800, &LLAMA2_7B, 64, INPUT_LEN, OUTPUT_LEN);
-    assert!(l_gain > q_gain, "liquid gain {l_gain} vs qserve gain {q_gain}");
+    assert!(
+        l_gain > q_gain,
+        "liquid gain {l_gain} vs qserve gain {q_gain}"
+    );
 }
 
 #[test]
 fn seventy_b_speedup_band_matches_paper() {
     // The flagship cell: 1.63x over the best baseline (TRT-W4A16).
-    let l = peak_throughput(&ServingSystem::of(SystemId::LiquidServe), &H800, &LLAMA2_70B)
-        .expect("fits");
+    let l = peak_throughput(
+        &ServingSystem::of(SystemId::LiquidServe),
+        &H800,
+        &LLAMA2_70B,
+    )
+    .expect("fits");
     let best = SystemId::ALL
         .iter()
         .filter(|&&id| id != SystemId::LiquidServe && id != SystemId::LiquidServeWo)
