@@ -8,9 +8,10 @@
 //! the timed closure (the decode/prefill work dominates).
 
 use std::hint::black_box;
+use std::sync::Arc;
 
 use lq_bench::bench_case;
-use lq_core::KernelKind;
+use lq_core::{KernelKind, LiquidGemm};
 use lq_engine::attention::AttnConfig;
 use lq_engine::model::{ModelSpec, TinyLlm};
 
@@ -33,11 +34,20 @@ fn main() {
     let _json = lq_bench::json_dump("engine");
     println!("engine");
 
+    // One shared GEMM engine for every model built below: the timed
+    // closures rebuild model weights, not the worker pool.
+    let engine = Arc::new(LiquidGemm::builder().build().expect("valid config"));
+
     // Decode-step latency at growing batch: step time should grow
     // sublinearly in batch (weight streaming amortises).
     for batch in [1usize, 4, 16] {
         bench_case(&format!("decode_step/{batch}"), 10, || {
-            let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+            let mut m = TinyLlm::synthetic_with_engine(
+                spec(),
+                512,
+                KernelKind::Serial,
+                Arc::clone(&engine),
+            );
             let seqs: Vec<u64> = (0..batch as u64).collect();
             for &s in &seqs {
                 m.add_sequence(s);
@@ -56,12 +66,14 @@ fn main() {
     // 32-token prompt.
     let prompt: Vec<usize> = (0..32).map(|i| (i * 5) % 64).collect();
     bench_case("prefill_batched_32", 10, || {
-        let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+        let mut m =
+            TinyLlm::synthetic_with_engine(spec(), 512, KernelKind::Serial, Arc::clone(&engine));
         m.add_sequence(0);
         black_box(m.prefill(0, &prompt));
     });
     bench_case("prefill_token_by_token_32", 10, || {
-        let mut m = TinyLlm::synthetic(spec(), 512, KernelKind::Serial);
+        let mut m =
+            TinyLlm::synthetic_with_engine(spec(), 512, KernelKind::Serial, Arc::clone(&engine));
         m.add_sequence(0);
         let mut last = None;
         for (pos, &t) in prompt.iter().enumerate() {

@@ -1,23 +1,86 @@
 //! Microbenchmark: serial GEMM kernels across precisions (the CPU-real
-//! counterpart of Figure 12's per-kernel comparison).
+//! counterpart of Figure 12's per-kernel comparison), plus the
+//! pool-amortisation sweep: per-call worker spawn vs one persistent
+//! pool across decode-to-prefill batch sizes — the CPU-measured
+//! counterpart of the paper's persistent-kernel argument (§5.4).
 //!
 //! Plain main (no criterion: the sandbox is offline); `--json` dumps
 //! the telemetry registry to `BENCH_gemm_kernels.json`.
 
 use std::hint::black_box;
 
-use lq_bench::bench_case;
+use lq_bench::{bench_case, fmt_time, measure_median, print_header, print_row};
+use lq_core::api::W4A8Weights;
 use lq_core::packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
 use lq_core::serial::{
     fp16_serial, fp8_serial, w4a16_serial, w4a8_lqq_serial, w4a8_qoq_serial, w8a8_serial,
 };
+use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 
 const N: usize = 512;
 const K: usize = 2048;
+
+/// Per-call-spawn vs persistent-pool ImFP latency across batch sizes.
+/// At decode shapes (M ≤ 8) thread spawn+join dominates the tiny GEMM,
+/// so the persistent pool must win by a wide margin; by M = 64 the
+/// compute amortises the overhead and the gap narrows.
+fn pool_amortisation(lqq: &PackedLqqLinear) {
+    let weights = W4A8Weights::Lqq(lqq.clone());
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+    // The legacy per-call path spawned `ParallelConfig::default().workers`
+    // scoped threads on every GEMM, independent of machine size; the
+    // spawn/call baseline reproduces exactly that bill.
+    let legacy_workers = lq_core::ParallelConfig::default().workers;
+    let lg = LiquidGemm::builder()
+        .workers(workers)
+        .task_rows(16)
+        .build()
+        .expect("valid config");
+    // Each timed iteration runs CALLS GEMMs so per-call times are
+    // median-of-medians stable even at the sub-ms decode shapes.
+    const CALLS: usize = 4;
+    println!(
+        "\npool_amortisation (N={N} K={K}, ImFP, per-call times; \
+         spawn/call={legacy_workers} threads per call, persistent={workers}-worker pool)"
+    );
+    print_header(&[
+        ("M", 4),
+        ("spawn/call", 11),
+        ("persistent", 11),
+        ("speedup", 8),
+    ]);
+    for m in [1usize, 4, 16, 64] {
+        let x = Mat::from_fn(m, K, |r, c| ((r * K + c) as f32 * 0.07).cos());
+        let qa = QuantizedActivations::quantize(&x, None);
+        let t_spawn = measure_median(12, || {
+            // The pre-handle world: every call pays pool construction
+            // (thread spawn) and teardown (join).
+            for _ in 0..CALLS {
+                let fresh = LiquidGemm::builder()
+                    .workers(legacy_workers)
+                    .task_rows(16)
+                    .build()
+                    .expect("valid config");
+                black_box(fresh.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp));
+            }
+        }) / CALLS as f64;
+        let t_pool = measure_median(12, || {
+            for _ in 0..CALLS {
+                black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp));
+            }
+        }) / CALLS as f64;
+        print_row(&[
+            (m.to_string(), 4),
+            (fmt_time(t_spawn), 11),
+            (fmt_time(t_pool), 11),
+            (format!("{:.2}x", t_spawn / t_pool), 8),
+        ]);
+    }
+}
 
 fn main() {
     let _json = lq_bench::json_dump("gemm_kernels");
@@ -50,4 +113,6 @@ fn main() {
     bench_case("fp8", 10, || {
         black_box(fp8_serial(&x, &f8));
     });
+
+    pool_amortisation(&lqq);
 }

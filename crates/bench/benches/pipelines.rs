@@ -9,9 +9,10 @@
 use std::hint::black_box;
 
 use lq_bench::bench_case;
+use lq_core::api::W4A8Weights;
 use lq_core::packed::PackedLqqLinear;
-use lq_core::pipeline::{w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ParallelConfig};
 use lq_core::serial::w4a8_lqq_serial;
+use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 
@@ -26,23 +27,27 @@ fn main() {
     let qa = QuantizedActivations::quantize(&x, None);
     let lqq = PackedLqqLinear::quantize(&w, 64);
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
-    let cfg = ParallelConfig {
-        workers,
-        task_rows: 16,
-        stages: 2 * workers,
-    };
+    // One persistent pool for all variants — the paper's persistent
+    // kernel: workers outlive every call below.
+    let lg = LiquidGemm::builder()
+        .workers(workers)
+        .task_rows(16)
+        .stages(2 * workers)
+        .build()
+        .expect("valid config");
+    let weights = W4A8Weights::Lqq(lqq.clone());
 
     println!("pipeline_m64 (N={N} K={K} workers={workers})");
     bench_case("serial", 10, || {
         black_box(w4a8_lqq_serial(&qa.q, &qa.scales, &lqq));
     });
     bench_case("flat_parallel", 10, || {
-        black_box(w4a8_flat_parallel(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+        black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::FlatParallel));
     });
     bench_case("excp", 10, || {
-        black_box(w4a8_excp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+        black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ExCp));
     });
     bench_case("imfp", 10, || {
-        black_box(w4a8_imfp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+        black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp));
     });
 }

@@ -13,9 +13,10 @@
 //! the one-relaxed-load noop path.
 
 use lq_bench::{fmt_time, measure_median, print_header, print_row};
+use lq_core::api::W4A8Weights;
 use lq_core::packed::{PackedLqqLinear, PackedQoqLinear, W8A8Linear};
-use lq_core::pipeline::{w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ParallelConfig};
 use lq_core::serial::{w4a8_lqq_serial, w4a8_qoq_serial, w8a8_serial};
+use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 use lq_rng::Rng;
@@ -33,11 +34,13 @@ fn main() {
     let qoq = PackedQoqLinear::quantize(&w, 64);
     let w8 = W8A8Linear::quantize(&w);
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
-    let cfg = ParallelConfig {
-        workers,
-        task_rows: 16,
-        stages: 2 * workers,
-    };
+    let lg = LiquidGemm::builder()
+        .workers(workers)
+        .task_rows(16)
+        .stages(2 * workers)
+        .build()
+        .expect("valid config");
+    let weights = W4A8Weights::Lqq(lqq.clone());
 
     println!("== CPU kernel wall-clock, {n}x{k} weights, {workers} workers ==\n");
     print_header(&[
@@ -64,13 +67,13 @@ fn main() {
             std::hint::black_box(w8a8_serial(&qa.q, &qa.scales, &w8));
         });
         let t_flat = measure_median(reps, || {
-            std::hint::black_box(w4a8_flat_parallel(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+            std::hint::black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::FlatParallel));
         });
         let t_excp = measure_median(reps, || {
-            std::hint::black_box(w4a8_excp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+            std::hint::black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ExCp));
         });
         let t_imfp = measure_median(reps, || {
-            std::hint::black_box(w4a8_imfp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+            std::hint::black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp));
         });
         print_row(&[
             (m.to_string(), 6),

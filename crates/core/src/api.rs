@@ -1,16 +1,17 @@
-//! Unified kernel entry point.
+//! Kernel entry points and the shared argument types.
 //!
-//! `gemm` dispatches one W4A8 GEMM over the variant space the paper's
-//! ablation explores (Figure 13): dequantization algorithm × pipeline
-//! strategy. Baseline kernels for other precisions live in
-//! [`crate::serial`] and are benchmarked directly.
+//! The current front door is the handle-based [`crate::LiquidGemm`]
+//! API (`LiquidGemm::builder().workers(n).build()?` →
+//! `lg.gemm(&x, &scales, &weights, kind)`), which owns a persistent
+//! worker pool. The free [`gemm`] function below survives as a
+//! deprecated shim over a lazily-built process-global handle so older
+//! callers keep compiling during the migration.
 
 use lq_quant::mat::Mat;
 
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
-use crate::pipeline::{w4a8_excp, w4a8_flat_parallel, w4a8_imfp};
-pub use crate::pipeline::{Dequant, ParallelConfig};
-use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
+pub use crate::pipeline::{Dequant, PackedW4A8, ParallelConfig};
+use crate::runtime::global;
 
 /// Pipeline strategy for the W4A8 kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,15 @@ impl W4A8Weights {
             W4A8Weights::Qoq(_) => Dequant::Qoq,
         }
     }
+
+    /// Borrow as the scheme-tagged reference the pipeline kernels take.
+    #[must_use]
+    pub fn packed(&self) -> PackedW4A8<'_> {
+        match self {
+            W4A8Weights::Lqq(w) => PackedW4A8::Lqq(w),
+            W4A8Weights::Qoq(w) => PackedW4A8::Qoq(w),
+        }
+    }
 }
 
 /// Result of a GEMM call.
@@ -75,6 +85,26 @@ pub struct GemmOutput {
 ///
 /// `x` is the INT8 activation matrix (`M×K`), `act_scales` the per-token
 /// scales from dynamic quantization.
+///
+/// # Migration
+///
+/// This free function routes through a lazily-initialised process-global
+/// [`crate::LiquidGemm`] whose pool size is picked at first use —
+/// `cfg.workers` is **ignored** (only `cfg.task_rows` / `cfg.stages`
+/// apply per call). New code should own its handle instead:
+///
+/// ```
+/// use lq_core::{KernelKind, LiquidGemm};
+/// let lg = LiquidGemm::builder().workers(4).build().unwrap();
+/// // ... lg.gemm(&x, &scales, &weights, KernelKind::ImFp) per call,
+/// // reusing `lg` across layers and decode steps.
+/// # let _ = lg;
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `LiquidGemm` handle once and call `lg.gemm(...)`; this shim shares one \
+            process-global pool and ignores `cfg.workers`"
+)]
 #[must_use]
 pub fn gemm(
     x: &Mat<i8>,
@@ -83,27 +113,14 @@ pub fn gemm(
     kind: KernelKind,
     cfg: ParallelConfig,
 ) -> GemmOutput {
-    let y = match (kind, weights) {
-        (KernelKind::Serial, W4A8Weights::Lqq(w)) => w4a8_lqq_serial(x, act_scales, w),
-        (KernelKind::Serial, W4A8Weights::Qoq(w)) => w4a8_qoq_serial(x, act_scales, w),
-        (KernelKind::FlatParallel, W4A8Weights::Lqq(w)) => {
-            w4a8_flat_parallel(x, act_scales, Some(w), None, cfg)
-        }
-        (KernelKind::FlatParallel, W4A8Weights::Qoq(w)) => {
-            w4a8_flat_parallel(x, act_scales, None, Some(w), cfg)
-        }
-        (KernelKind::ExCp, W4A8Weights::Lqq(w)) => w4a8_excp(x, act_scales, Some(w), None, cfg),
-        (KernelKind::ExCp, W4A8Weights::Qoq(w)) => w4a8_excp(x, act_scales, None, Some(w), cfg),
-        (KernelKind::ImFp, W4A8Weights::Lqq(w)) => w4a8_imfp(x, act_scales, Some(w), None, cfg),
-        (KernelKind::ImFp, W4A8Weights::Qoq(w)) => w4a8_imfp(x, act_scales, None, Some(w), cfg),
-    };
-    GemmOutput { y }
+    global().gemm_with(x, act_scales, weights, kind, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::reference::max_abs_diff;
+    use crate::runtime::LiquidGemm;
     use lq_quant::act::QuantizedActivations;
 
     #[test]
@@ -116,15 +133,31 @@ mod tests {
         assert_eq!(w.n(), n);
         assert_eq!(w.k(), k);
         assert_eq!(w.dequant(), Dequant::Lqq);
-        let cfg = ParallelConfig {
-            workers: 3,
-            task_rows: 5,
-            stages: 3,
-        };
-        let base = gemm(&qa.q, &qa.scales, &w, KernelKind::Serial, cfg).y;
+        let lg = LiquidGemm::builder()
+            .workers(3)
+            .task_rows(5)
+            .stages(3)
+            .build()
+            .unwrap();
+        let base = lg.gemm(&qa.q, &qa.scales, &w, KernelKind::Serial).y;
         for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
-            let y = gemm(&qa.q, &qa.scales, &w, kind, cfg).y;
+            let y = lg.gemm(&qa.q, &qa.scales, &w, kind).y;
             assert_eq!(max_abs_diff(&y, &base), 0.0, "{kind:?}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_works() {
+        // The transition shim: same math through the global handle.
+        let (m, n, k) = (3, 10, 64);
+        let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.21).sin());
+        let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.07).cos());
+        let qa = QuantizedActivations::quantize(&xf, None);
+        let w = W4A8Weights::Lqq(PackedLqqLinear::quantize(&wf, 64));
+        let cfg = ParallelConfig::default();
+        let base = gemm(&qa.q, &qa.scales, &w, KernelKind::Serial, cfg).y;
+        let y = gemm(&qa.q, &qa.scales, &w, KernelKind::ImFp, cfg).y;
+        assert_eq!(max_abs_diff(&y, &base), 0.0);
     }
 }

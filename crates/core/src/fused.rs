@@ -2,22 +2,34 @@
 //!
 //! The paper's serving system (Section 6) quantizes FP16 activations to
 //! INT8 on the fly, per token, "typically fused into other kernels".
-//! This module is that fusion point on the API level: callers hand over
-//! FP32 activations and get the W4A8 GEMM result; quantization happens
-//! inside, optionally after SmoothQuant scale division, so no caller
-//! ever routes unquantized activations into an INT8 kernel by mistake.
+//! That fusion point now lives on the handle —
+//! [`crate::LiquidGemm::gemm_f32`] — so no caller ever routes
+//! unquantized activations into an INT8 kernel by mistake. The free
+//! function below is the deprecated transition shim over the
+//! process-global handle.
 
-use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 
-use crate::api::{gemm, GemmOutput, KernelKind, W4A8Weights};
+use crate::api::{GemmOutput, KernelKind, W4A8Weights};
 use crate::pipeline::ParallelConfig;
+use crate::runtime::global;
 
 /// W4A8 GEMM taking FP32 activations: per-token INT8 quantization is
 /// fused in front of the kernel. `smooth` (length K), if given, divides
 /// the activations channel-wise first (the SmoothQuant inverse scale —
 /// the weights must have been quantized with the matching forward
 /// scale).
+///
+/// # Migration
+///
+/// Deprecated alongside [`crate::gemm`]: build a [`crate::LiquidGemm`]
+/// and call [`crate::LiquidGemm::gemm_f32`] (or `gemm_f32_with`) on it.
+/// This shim shares the process-global pool; `cfg.workers` is ignored.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `LiquidGemm` handle once and call `lg.gemm_f32(...)`; this shim shares one \
+            process-global pool and ignores `cfg.workers`"
+)]
 #[must_use]
 pub fn gemm_f32_activations(
     x: &Mat<f32>,
@@ -26,9 +38,7 @@ pub fn gemm_f32_activations(
     kind: KernelKind,
     cfg: ParallelConfig,
 ) -> GemmOutput {
-    assert_eq!(x.cols(), weights.k(), "K mismatch");
-    let qa = QuantizedActivations::quantize(x, smooth);
-    gemm(&qa.q, &qa.scales, weights, kind, cfg)
+    global().gemm_f32_with(x, weights, smooth, kind, cfg)
 }
 
 #[cfg(test)]
@@ -36,6 +46,8 @@ mod tests {
     use super::*;
     use crate::packed::PackedLqqLinear;
     use crate::reference::{gemm_f32_ref, max_abs_diff};
+    use crate::runtime::LiquidGemm;
+    use lq_quant::act::QuantizedActivations;
     use lq_quant::metrics::error_stats;
     use lq_quant::smooth::{calibrate, smooth_weights};
 
@@ -45,25 +57,18 @@ mod tests {
         (x, w)
     }
 
+    fn handle() -> LiquidGemm {
+        LiquidGemm::builder().workers(2).build().unwrap()
+    }
+
     #[test]
     fn fused_equals_manual_two_step() {
         let (x, w) = fixture(6, 24, 128);
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let fused = gemm_f32_activations(
-            &x,
-            &weights,
-            None,
-            KernelKind::Serial,
-            ParallelConfig::default(),
-        );
+        let lg = handle();
+        let fused = lg.gemm_f32(&x, &weights, None, KernelKind::Serial);
         let qa = QuantizedActivations::quantize(&x, None);
-        let manual = gemm(
-            &qa.q,
-            &qa.scales,
-            &weights,
-            KernelKind::Serial,
-            ParallelConfig::default(),
-        );
+        let manual = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial);
         assert_eq!(max_abs_diff(&fused.y, &manual.y), 0.0);
     }
 
@@ -71,14 +76,7 @@ mod tests {
     fn fused_output_tracks_fp32() {
         let (x, w) = fixture(8, 32, 256);
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let y = gemm_f32_activations(
-            &x,
-            &weights,
-            None,
-            KernelKind::Serial,
-            ParallelConfig::default(),
-        )
-        .y;
+        let y = handle().gemm_f32(&x, &weights, None, KernelKind::Serial).y;
         let e = error_stats(&gemm_f32_ref(&x, &w), &y);
         assert!(e.sqnr_db > 25.0, "sqnr {}", e.sqnr_db);
     }
@@ -95,16 +93,27 @@ mod tests {
         let cal = calibrate(&x, &w, 7);
         let w_s = smooth_weights(&w, &cal.scales);
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w_s, 64));
-        let y = gemm_f32_activations(
-            &x,
-            &weights,
-            Some(&cal.scales),
-            KernelKind::Serial,
-            ParallelConfig::default(),
-        )
-        .y;
+        let y = handle()
+            .gemm_f32(&x, &weights, Some(&cal.scales), KernelKind::Serial)
+            .y;
         let e = error_stats(&gemm_f32_ref(&x, &w), &y);
         assert!(e.cosine > 0.995, "cosine {}", e.cosine);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_handle() {
+        let (x, w) = fixture(4, 12, 64);
+        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+        let via_shim = gemm_f32_activations(
+            &x,
+            &weights,
+            None,
+            KernelKind::ImFp,
+            ParallelConfig::default(),
+        );
+        let via_handle = handle().gemm_f32(&x, &weights, None, KernelKind::Serial);
+        assert_eq!(max_abs_diff(&via_shim.y, &via_handle.y), 0.0);
     }
 
     #[test]
@@ -113,12 +122,6 @@ mod tests {
         let (x, _) = fixture(2, 4, 64);
         let w = Mat::from_fn(4, 128, |_, _| 0.1);
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let _ = gemm_f32_activations(
-            &x,
-            &weights,
-            None,
-            KernelKind::Serial,
-            ParallelConfig::default(),
-        );
+        let _ = handle().gemm_f32(&x, &weights, None, KernelKind::Serial);
     }
 }

@@ -21,19 +21,25 @@
 //! * [`reference`] — naive GEMM oracles used by every test.
 //! * [`serial`] — single-threaded kernels for all precisions (the
 //!   ablation's "no pipeline" variants).
-//! * [`pipeline`] — the parallel ImFP and ExCP kernels
-//!   (single-producer / multi-consumer pipelines over a stage ring,
-//!   built on the in-tree [`sync`] channel).
+//! * [`runtime`] — the persistent worker pool (the paper's §5.4
+//!   persistent kernel) behind the [`LiquidGemm`] handle: build once,
+//!   issue every GEMM through it.
+//! * [`pipeline`] — the parallel Flat/ImFP/ExCP kernels as tile-job
+//!   drivers over the pool, staging through a ring of recycled buffers
+//!   on the in-tree [`sync`] channel.
 //! * [`sync`] — bounded MPMC channel (std mutex + condvar) with
-//!   `try_*` variants for stall accounting.
+//!   `try_*` variants for stall accounting; doubles as the pool's
+//!   injector queue (its condvar wait is the worker park/unpark).
 //! * [`scheduler`] — persistent-kernel-style dynamic tile scheduler.
 //! * [`tiled`] — the GPU-structured tiled kernel (Mt×Nt×Kt main loop),
 //!   the executable twin of the cost model's decomposition.
 //! * [`epilogue`] — scale application and output transposition
 //!   (the `(W·Xᵀ)ᵀ` trick).
-//! * [`api`] — one entry point (`gemm`) dispatching over kernel kind.
+//! * [`api`] — shared argument types plus the deprecated free `gemm`
+//!   shim over a process-global handle.
 //! * [`fused`] — FP32-activation front end with fused per-token INT8
-//!   quantization (the serving system's fusion point).
+//!   quantization (the serving system's fusion point), now
+//!   [`LiquidGemm::gemm_f32`].
 //!
 //! When [`lq_telemetry::enable`] is on, the pipelines export stall
 //! counters, queue-depth gauges, and per-role span histograms (see
@@ -50,13 +56,18 @@ pub mod microkernel;
 pub mod packed;
 pub mod pipeline;
 pub mod reference;
+pub mod runtime;
 pub mod scheduler;
 pub mod serial;
 pub mod sync;
 mod telemetry;
 pub mod tiled;
 
-pub use api::{gemm, GemmOutput, KernelKind, ParallelConfig};
+#[allow(deprecated)]
+pub use api::gemm;
+pub use api::{GemmOutput, KernelKind, ParallelConfig, W4A8Weights};
 pub use packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
+pub use pipeline::{ConfigError, Dequant, PackedW4A8, ParallelConfigBuilder};
+pub use runtime::{LiquidGemm, LiquidGemmBuilder, WorkerPool};

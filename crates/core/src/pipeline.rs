@@ -1,55 +1,83 @@
 //! Parallel W4A8 kernels: flat data-parallel, explicit coarse-grained
-//! pipeline (ExCP), and the implicit fine-grained pipeline (ImFP).
+//! pipeline (ExCP), and the implicit fine-grained pipeline (ImFP) — all
+//! running as tile jobs on the persistent [`WorkerPool`]
+//! (see [`crate::runtime`]) instead of spawning threads per call.
 //!
-//! Mapping of the paper's Hopper structures (Figure 6) onto CPU threads:
+//! Mapping of the paper's Hopper structures (Figure 6) onto the pool:
 //!
 //! | paper                         | here                                   |
 //! |-------------------------------|----------------------------------------|
-//! | Load WG issuing TMA           | producer thread copying packed weight  |
-//! |                               | tiles into recycled staging buffers    |
+//! | persistent kernel (§5.4)      | the long-lived worker threads owned by |
+//! |                               | a [`crate::LiquidGemm`] handle         |
+//! | Load WG issuing TMA           | the calling thread staging packed      |
+//! |                               | weight tiles into recycled buffers     |
 //! | SMEM stages                   | the ring of owned `Vec<u32>` buffers   |
-//! |                               | circulating producer → worker → free   |
-//! | Compute WG (dequant + MMA)    | ImFP worker: dequant a group into a    |
+//! |                               | circulating caller → worker → free     |
+//! | Compute WG (dequant + MMA)    | ImFP job: dequant a group into a       |
 //! |                               | register-file-sized buffer, dot it     |
 //! |                               | immediately (no round trip)            |
-//! | Dequant WG → SMEM → MMA WG    | ExCP: separate dequant threads fully   |
-//! |                               | materialising INT8 tiles that separate |
-//! |                               | MMA threads then re-read               |
-//! | mbarrier sync between WGs     | the extra bounded channel hop in ExCP  |
-//! | hardware task scheduling      | one atomic claim / channel recv        |
+//! | Dequant WG → SMEM → MMA WG    | ExCP: a Dequant job fully materialises |
+//! |                               | the INT8 tile, then forwards a second  |
+//! |                               | MMA job that re-reads it               |
+//! | mbarrier sync between WGs     | the extra queue hop in ExCP            |
+//! | hardware task scheduling      | one bounded-MPMC recv per job          |
 //!
 //! All variants compute `Yᵀ = W·Xᵀ` — the paper's Section 5.4 rewrite —
 //! so each task (a block of output channels) owns a *contiguous* slice
-//! of the transposed output, giving workers disjoint `&mut` slices with
-//! no locking; the final transpose is the trailing `ᵀ`.
+//! of the transposed output; workers return owned chunks the caller
+//! stitches together, and the final transpose is the trailing `ᵀ`.
+//! Integer accumulation is exact, so every variant stays bit-identical
+//! to the serial LQQ/QoQ kernels regardless of worker interleaving
+//! (tests at the bottom, in `tests/props.rs`, and under concurrency in
+//! `tests/runtime_stress.rs`).
 //!
-//! Every variant is bit-exact against the serial LQQ kernel (tests at
-//! the bottom and in `tests/parallel.rs`).
+//! What still distinguishes the variants on the pool:
+//! * **Flat** stages tiles eagerly — the caller copies and enqueues as
+//!   fast as the injector queue accepts, allocating a fresh buffer per
+//!   task (no recycling, no stage bound). "Pipeline off" in Figure 13.
+//! * **ImFP** bounds staged tiles to `stages` recycled buffers; the
+//!   caller blocks on the free ring when compute is behind
+//!   (backpressure = the `load` stall counter).
+//! * **ExCP** adds the materialise-then-requeue round trip: each tile
+//!   crosses the queue twice and the INT8 intermediate is written and
+//!   re-read — the RF↔SMEM overhead the paper measures against ImFP.
 //!
 //! ## Telemetry
 //!
 //! When [`lq_telemetry::enable`] has been called, every variant records
 //! whole-call latency (`lq_gemm_ns`), per-role task spans
-//! (`lq_pipeline_task_ns`), would-block stall counts on the stage ring
-//! (`lq_pipeline_stall_total` — the CPU analog of the per-warp-group
-//! stalls behind the paper's Fig. 10/13 ImFP-vs-ExCP comparison), and
-//! queue-occupancy gauges. Disabled (the default), the instrumentation
-//! is a single relaxed load per call plus dead `Option` branches.
+//! (`lq_pipeline_task_ns`), would-block stalls on the stage ring
+//! (`lq_pipeline_stall_total{role="load"}` — the CPU analog of the
+//! warp-group stalls behind the paper's Fig. 10/13), task counts, and
+//! queue-occupancy gauges; the pool itself exports queue depth and
+//! per-worker busy/steal counters (see [`crate::runtime`]). Disabled
+//! (the default), instrumentation is a single relaxed load per call.
+
+use std::fmt;
+use std::sync::Arc;
 
 use lq_quant::mat::Mat;
 
 use crate::microkernel::{dequant_group_lqq, dequant_group_qoq, dot_i8, dot_i8_x4};
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
-use crate::scheduler::TaskScheduler;
+use crate::runtime::{CallCtx, Job, Reply, WorkerPool};
 use crate::serial::MAX_GROUP;
 use crate::sync::{bounded, Receiver, Sender};
-use crate::telemetry::{call_span, recv_counting, send_counting, PipeMetrics};
+use crate::telemetry::{call_span, recv_counting, PipeMetrics};
+use lq_quant::lqq::LqqGroup;
+use lq_quant::qoq::QoqGroup;
 
 /// Parallel execution parameters.
+///
+/// Construct via [`ParallelConfig::builder`] (validating) or
+/// [`ParallelConfig::default`]. The fields stay public for
+/// introspection and for tests that deliberately build degenerate
+/// configs; production call sites should go through the builder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
-    /// Compute workers (ImFP: dequant+MMA each; ExCP: split between
-    /// dequant and MMA roles).
+    /// Worker threads. Used when sizing a pool
+    /// ([`crate::LiquidGemm::builder`]); ignored by per-call overrides —
+    /// a persistent pool's thread count is fixed at build time.
     pub workers: usize,
     /// Output channels per task (the fine-grained task size).
     pub task_rows: usize,
@@ -67,6 +95,104 @@ impl Default for ParallelConfig {
     }
 }
 
+impl ParallelConfig {
+    /// Start building a validated config (defaults as [`Default`]).
+    #[must_use]
+    pub fn builder() -> ParallelConfigBuilder {
+        ParallelConfigBuilder::default()
+    }
+}
+
+/// Why a [`ParallelConfig`] (or [`crate::LiquidGemmBuilder`]) was
+/// rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: the pool would never execute anything.
+    ZeroWorkers,
+    /// `stages < 2` (value attached): a stage ring needs at least
+    /// double buffering for load to overlap compute.
+    TooFewStages(usize),
+    /// `task_rows == 0`: tasks would cover no output channels.
+    ZeroTaskRows,
+    /// `queue_depth == 0`: the injector queue could hold no jobs.
+    ZeroQueueDepth,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be >= 1"),
+            ConfigError::TooFewStages(s) => {
+                write!(f, "stages must be >= 2 for double buffering (got {s})")
+            }
+            ConfigError::ZeroTaskRows => write!(f, "task_rows must be >= 1"),
+            ConfigError::ZeroQueueDepth => write!(f, "queue_depth must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`ParallelConfig`].
+#[derive(Debug, Clone)]
+pub struct ParallelConfigBuilder {
+    workers: usize,
+    task_rows: usize,
+    stages: usize,
+}
+
+impl Default for ParallelConfigBuilder {
+    fn default() -> Self {
+        let d = ParallelConfig::default();
+        Self {
+            workers: d.workers,
+            task_rows: d.task_rows,
+            stages: d.stages,
+        }
+    }
+}
+
+impl ParallelConfigBuilder {
+    /// Worker threads (validated ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Output channels per task (validated ≥ 1).
+    #[must_use]
+    pub fn task_rows(mut self, r: usize) -> Self {
+        self.task_rows = r;
+        self
+    }
+
+    /// Staging buffers in flight (validated ≥ 2).
+    #[must_use]
+    pub fn stages(mut self, s: usize) -> Self {
+        self.stages = s;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ParallelConfig, ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.stages < 2 {
+            return Err(ConfigError::TooFewStages(self.stages));
+        }
+        if self.task_rows == 0 {
+            return Err(ConfigError::ZeroTaskRows);
+        }
+        Ok(ParallelConfig {
+            workers: self.workers,
+            task_rows: self.task_rows,
+            stages: self.stages,
+        })
+    }
+}
+
 /// Which dequantization algorithm a W4A8 kernel variant uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dequant {
@@ -76,91 +202,193 @@ pub enum Dequant {
     Qoq,
 }
 
-/// A W4A8 weight source the pipelines can stream from, independent of
-/// the second-level scheme.
-enum WeightsRef<'a> {
+/// A borrowed W4A8 weight source in either second-level scheme — the
+/// single argument that replaced the old `Option<&PackedLqqLinear>,
+/// Option<&PackedQoqLinear>` pair, so "no weights" and "two weights"
+/// are unrepresentable.
+#[derive(Clone, Copy)]
+pub enum PackedW4A8<'a> {
+    /// LiquidQuant weights.
     Lqq(&'a PackedLqqLinear),
+    /// QServe/QoQ weights.
     Qoq(&'a PackedQoqLinear),
 }
 
-impl WeightsRef<'_> {
-    fn n(&self) -> usize {
+impl<'a> PackedW4A8<'a> {
+    /// Output channels.
+    #[must_use]
+    pub fn n(&self) -> usize {
         match self {
-            WeightsRef::Lqq(w) => w.n,
-            WeightsRef::Qoq(w) => w.n,
+            PackedW4A8::Lqq(w) => w.n,
+            PackedW4A8::Qoq(w) => w.n,
         }
     }
 
-    fn k(&self) -> usize {
+    /// Reduction dim.
+    #[must_use]
+    pub fn k(&self) -> usize {
         match self {
-            WeightsRef::Lqq(w) => w.k,
-            WeightsRef::Qoq(w) => w.k,
+            PackedW4A8::Lqq(w) => w.k,
+            PackedW4A8::Qoq(w) => w.k,
         }
     }
 
-    fn group(&self) -> usize {
+    /// Quantization group size.
+    #[must_use]
+    pub fn group(&self) -> usize {
         match self {
-            WeightsRef::Lqq(w) => w.group,
-            WeightsRef::Qoq(w) => w.group,
+            PackedW4A8::Lqq(w) => w.group,
+            PackedW4A8::Qoq(w) => w.group,
         }
     }
 
-    fn channel_scale(&self, j: usize) -> f32 {
+    /// The dequantization algorithm these weights require.
+    #[must_use]
+    pub fn dequant(&self) -> Dequant {
         match self {
-            WeightsRef::Lqq(w) => w.channel_scales[j],
-            WeightsRef::Qoq(w) => w.channel_scales[j],
+            PackedW4A8::Lqq(_) => Dequant::Lqq,
+            PackedW4A8::Qoq(_) => Dequant::Qoq,
         }
     }
 
     /// Packed words of rows `[r0, r1)` (contiguous — the tile the Load
-    /// WG transfers).
-    fn rows_words(&self, r0: usize, r1: usize) -> &[u32] {
+    /// stage copies into a staging buffer).
+    #[must_use]
+    pub fn rows_words(&self, r0: usize, r1: usize) -> &'a [u32] {
         match self {
-            WeightsRef::Lqq(w) => w.words.rows_words(r0, r1),
-            WeightsRef::Qoq(w) => w.words.rows_words(r0, r1),
+            PackedW4A8::Lqq(w) => w.words.rows_words(r0, r1),
+            PackedW4A8::Qoq(w) => w.words.rows_words(r0, r1),
         }
     }
 
-    /// Dequantize group `g` of absolute row `j` from `words` (a staged
-    /// copy whose row 0 is absolute row `base`).
-    fn dequant_group_from(&self, words: &[u32], base: usize, j: usize, g: usize, out: &mut [i8]) {
+    /// Owned dequant recipe for rows `[j0, j1)`: group params and
+    /// channel scales copied out so a pool job needs no borrow of the
+    /// weight matrix.
+    pub(crate) fn tile_quant(&self, j0: usize, j1: usize) -> TileQuant {
+        let k = self.k();
         let group = self.group();
-        let wpr = self.k() / 8;
-        let wpg = group / 8;
-        let off = (j - base) * wpr + g * wpg;
-        let slice = &words[off..off + wpg];
-        match self {
-            WeightsRef::Lqq(w) => dequant_group_lqq(slice, w.group_params(j, g), out),
-            WeightsRef::Qoq(w) => dequant_group_qoq(slice, w.group_params(j, g), out),
+        let gpr = k / group;
+        let (params, channel_scales) = match self {
+            PackedW4A8::Lqq(w) => (
+                TileParams::Lqq(
+                    (j0..j1)
+                        .flat_map(|j| (0..gpr).map(move |g| w.group_params(j, g)))
+                        .collect(),
+                ),
+                w.channel_scales[j0..j1].to_vec(),
+            ),
+            PackedW4A8::Qoq(w) => (
+                TileParams::Qoq(
+                    (j0..j1)
+                        .flat_map(|j| (0..gpr).map(move |g| w.group_params(j, g)))
+                        .collect(),
+                ),
+                w.channel_scales[j0..j1].to_vec(),
+            ),
+        };
+        TileQuant {
+            k,
+            group,
+            params,
+            channel_scales,
         }
     }
 }
 
-/// Compute `Yᵀ` rows `[j0, j1)` into `out_t` (length `(j1-j0)·m`),
-/// streaming packed words from `words` (staged tile starting at `j0`).
-fn compute_rows(
-    w: &WeightsRef<'_>,
+/// Per-row-group quantization parameters for one staged tile.
+enum TileParams {
+    Lqq(Vec<LqqGroup>),
+    Qoq(Vec<QoqGroup>),
+}
+
+/// Everything a worker needs to dequantize a staged tile of packed
+/// words without borrowing the weight matrix: group parameters and
+/// channel scales for `rows` consecutive output channels.
+pub(crate) struct TileQuant {
+    k: usize,
+    group: usize,
+    params: TileParams,
+    channel_scales: Vec<f32>,
+}
+
+impl TileQuant {
+    /// Dequantize group `g` of tile-relative row `j_rel` from `words`.
+    fn dequant_group(&self, words: &[u32], j_rel: usize, g: usize, out: &mut [i8]) {
+        let wpr = self.k / 8;
+        let wpg = self.group / 8;
+        let off = j_rel * wpr + g * wpg;
+        let slice = &words[off..off + wpg];
+        let gpr = self.k / self.group;
+        match &self.params {
+            TileParams::Lqq(p) => dequant_group_lqq(slice, p[j_rel * gpr + g], out),
+            TileParams::Qoq(p) => dequant_group_qoq(slice, p[j_rel * gpr + g], out),
+        }
+    }
+
+    /// ExCP stage 2: fully materialise the INT8 tile — the "write back
+    /// to SMEM" the paper identifies as ExCP's overhead. Returns the
+    /// tile, `k`, and the channel scales the MMA stage needs.
+    pub(crate) fn materialize(&self, words: &[u32], rows: usize) -> (Vec<i8>, usize, Vec<f32>) {
+        let mut buf = [0i8; MAX_GROUP];
+        let (k, group) = (self.k, self.group);
+        let mut tile = vec![0i8; rows * k];
+        for j in 0..rows {
+            for g in 0..k / group {
+                self.dequant_group(words, j, g, &mut buf[..group]);
+                let dst = j * k + g * group;
+                tile[dst..dst + group].copy_from_slice(&buf[..group]);
+            }
+        }
+        (tile, k, self.channel_scales.clone())
+    }
+}
+
+/// Compute `Yᵀ` rows `[0, rows)` of a staged tile into `out_t` (length
+/// `rows·m`): the fused dequant+MMA job body (Flat and ImFP).
+pub(crate) fn compute_rows_staged(
+    q: &TileQuant,
     words: &[u32],
-    j0: usize,
-    j1: usize,
+    rows: usize,
     x: &Mat<i8>,
     act_scales: &[f32],
     out_t: &mut [f32],
 ) {
     let m = x.rows();
-    let group = w.group();
-    let groups_per_row = w.k() / group;
+    let group = q.group;
+    let groups_per_row = q.k / group;
     let mut buf = [0i8; MAX_GROUP];
     let mut acc = vec![0i32; m];
-    for j in j0..j1 {
+    for j in 0..rows {
         acc.fill(0);
         for g in 0..groups_per_row {
-            w.dequant_group_from(words, j0, j, g, &mut buf[..group]);
+            q.dequant_group(words, j, g, &mut buf[..group]);
             let k0 = g * group;
             accumulate(&mut acc, x, k0, k0 + group, &buf[..group]);
         }
-        let ch = w.channel_scale(j);
-        let row = &mut out_t[(j - j0) * m..(j - j0 + 1) * m];
+        let ch = q.channel_scales[j];
+        let row = &mut out_t[j * m..(j + 1) * m];
+        for (i, o) in row.iter_mut().enumerate() {
+            *o = acc[i] as f32 * act_scales[i] * ch;
+        }
+    }
+}
+
+/// ExCP stage 3 job body: dot products from a materialised INT8 tile.
+pub(crate) fn mma_rows(
+    tile: &[i8],
+    k: usize,
+    channel_scales: &[f32],
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    out_t: &mut [f32],
+) {
+    let m = x.rows();
+    let mut acc = vec![0i32; m];
+    for (j, &ch) in channel_scales.iter().enumerate() {
+        acc.fill(0);
+        let wrow = &tile[j * k..(j + 1) * k];
+        accumulate(&mut acc, x, 0, k, wrow);
+        let row = &mut out_t[j * m..(j + 1) * m];
         for (i, o) in row.iter_mut().enumerate() {
             *o = acc[i] as f32 * act_scales[i] * ch;
         }
@@ -207,300 +435,195 @@ fn check_shapes(x: &Mat<i8>, act_scales: &[f32], k: usize) {
     assert_eq!(act_scales.len(), x.rows(), "one scale per token");
 }
 
-/// Flat data-parallel W4A8 kernel: every worker claims row-blocks from
-/// the shared scheduler and reads packed weights directly (no staging
-/// producer). The "pipeline off" arm of the Figure 13 ablation.
+/// Per-call shared context + reply channel, common to all variants.
+fn make_ctx(
+    pool: &WorkerPool,
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    tasks: usize,
+    recycle: Option<Sender<Vec<u32>>>,
+    metrics: &Option<Arc<PipeMetrics>>,
+) -> (Arc<CallCtx>, Receiver<Reply>, u64) {
+    let (reply_tx, reply_rx) = bounded(tasks.max(1));
+    let epoch = pool.next_epoch();
+    let ctx = Arc::new(CallCtx {
+        x: x.clone(),
+        act_scales: act_scales.to_vec(),
+        reply: reply_tx,
+        recycle,
+        epoch,
+        metrics: metrics.clone(),
+    });
+    (ctx, reply_rx, epoch)
+}
+
+/// Collect exactly `tasks` tile replies and assemble the `M×N` output.
+/// Re-panics if any job panicked in a worker.
+fn collect_tiles(rx: &Receiver<Reply>, tasks: usize, m: usize, n: usize, epoch: u64) -> Mat<f32> {
+    let mut y_t = vec![0.0f32; n * m];
+    for _ in 0..tasks {
+        match rx.recv() {
+            Ok(Reply::Done { j0, out, epoch: e }) => {
+                debug_assert_eq!(e, epoch, "cross-call reply mix-up");
+                let dst = j0 * m;
+                y_t[dst..dst + out.len()].copy_from_slice(&out);
+            }
+            Ok(Reply::Panicked) => panic!("LiquidGemm worker panicked while executing a tile job"),
+            Err(_) => unreachable!("reply channel closed before all tiles arrived"),
+        }
+    }
+    assemble_output(y_t, m, n)
+}
+
+/// Flat data-parallel W4A8 kernel on the persistent pool: the caller
+/// eagerly stages every tile (fresh buffer per task, no stage ring) and
+/// workers run fused dequant+MMA jobs. The "pipeline off" arm of the
+/// Figure 13 ablation. Blocks only on the injector queue's capacity.
 #[must_use]
 pub fn w4a8_flat_parallel(
+    pool: &WorkerPool,
     x: &Mat<i8>,
     act_scales: &[f32],
-    lqq: Option<&PackedLqqLinear>,
-    qoq: Option<&PackedQoqLinear>,
+    w: PackedW4A8<'_>,
     cfg: ParallelConfig,
 ) -> Mat<f32> {
-    let w = match (lqq, qoq) {
-        (Some(w), None) => WeightsRef::Lqq(w),
-        (None, Some(w)) => WeightsRef::Qoq(w),
-        _ => panic!("exactly one weight source required"),
-    };
     check_shapes(x, act_scales, w.k());
     let _call = call_span("flat");
-    let metrics = PipeMetrics::resolve("flat");
+    let metrics = PipeMetrics::resolve("flat").map(Arc::new);
     let (m, n) = (x.rows(), w.n());
-    let tasks = n.div_ceil(cfg.task_rows);
-    let sched = TaskScheduler::new(tasks);
-    let mut y_t = vec![0.0f32; n * m];
-    {
-        let chunks: Vec<(usize, &mut [f32])> =
-            y_t.chunks_mut(cfg.task_rows * m).enumerate().collect();
-        let chunk_q = std::sync::Mutex::new(chunks.into_iter().map(Some).collect::<Vec<_>>());
-        let (w, metrics) = (&w, &metrics);
-        std::thread::scope(|s| {
-            for _ in 0..cfg.workers.max(1) {
-                let (sched, chunk_q) = (&sched, &chunk_q);
-                s.spawn(move || {
-                    while let Some(t) = sched.claim() {
-                        if let Some(mx) = metrics {
-                            mx.claims.inc();
-                            mx.tasks.inc();
-                        }
-                        let _span = metrics.as_ref().map(|mx| mx.task_ns_compute.span_owned());
-                        let (idx, slice) = chunk_q.lock().expect("chunk queue poisoned")[t]
-                            .take()
-                            .expect("task claimed once");
-                        debug_assert_eq!(idx, t);
-                        let j0 = t * cfg.task_rows;
-                        let j1 = (j0 + cfg.task_rows).min(n);
-                        // Flat variant: read straight from the weight
-                        // matrix (row j0's words start the slice).
-                        let words = w.rows_words(j0, j1);
-                        compute_rows(w, words, j0, j1, x, act_scales, slice);
-                    }
-                });
-            }
+    let task_rows = cfg.task_rows.max(1);
+    let tasks = n.div_ceil(task_rows);
+    let (ctx, reply_rx, epoch) = make_ctx(pool, x, act_scales, tasks, None, &metrics);
+    for t in 0..tasks {
+        let j0 = t * task_rows;
+        let j1 = (j0 + task_rows).min(n);
+        let words = {
+            let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
+            w.rows_words(j0, j1).to_vec()
+        };
+        pool.submit(Job::Compute {
+            ctx: Arc::clone(&ctx),
+            j0,
+            rows: j1 - j0,
+            words,
+            quant: w.tile_quant(j0, j1),
         });
+        if let Some(mx) = &metrics {
+            mx.depth_task.set(pool.queue_len() as f64);
+        }
     }
-    assemble_output(y_t, m, n)
+    drop(ctx);
+    collect_tiles(&reply_rx, tasks, m, n, epoch)
 }
 
-/// A staged tile in flight: task row range plus the recycled buffer
-/// holding its packed words and the output slice it owns.
-struct StagedTask<'a> {
-    j0: usize,
-    j1: usize,
-    words: Vec<u32>,
-    out: &'a mut [f32],
-}
-
-/// The implicit fine-grained pipeline (ImFP): one producer thread
-/// streams packed weight tiles into recycled staging buffers (the SMEM
-/// ring); multiple compute workers each dequantize *and* immediately
-/// multiply their claimed tile — dequantization in one worker overlaps
-/// MMA in another with no cross-stage data movement.
+/// The implicit fine-grained pipeline (ImFP) on the persistent pool:
+/// the calling thread is the Load stage, streaming packed weight tiles
+/// into `cfg.stages` recycled staging buffers (the SMEM ring); pool
+/// workers run fused dequant+MMA jobs — dequantization of one tile
+/// overlaps MMA of another with no cross-stage data movement. When all
+/// stage buffers are in flight the caller blocks on the free ring
+/// (backpressure; counted as a `load` stall).
 #[must_use]
 pub fn w4a8_imfp(
+    pool: &WorkerPool,
     x: &Mat<i8>,
     act_scales: &[f32],
-    lqq: Option<&PackedLqqLinear>,
-    qoq: Option<&PackedQoqLinear>,
+    w: PackedW4A8<'_>,
     cfg: ParallelConfig,
 ) -> Mat<f32> {
-    let w = match (lqq, qoq) {
-        (Some(w), None) => WeightsRef::Lqq(w),
-        (None, Some(w)) => WeightsRef::Qoq(w),
-        _ => panic!("exactly one weight source required"),
-    };
     check_shapes(x, act_scales, w.k());
     let _call = call_span("imfp");
-    let metrics = PipeMetrics::resolve("imfp");
+    let metrics = PipeMetrics::resolve("imfp").map(Arc::new);
     let (m, n) = (x.rows(), w.n());
-    let mut y_t = vec![0.0f32; n * m];
-    {
-        let (task_tx, task_rx): (Sender<StagedTask>, Receiver<StagedTask>) =
-            bounded(cfg.stages.max(1));
-        let (free_tx, free_rx): (Sender<Vec<u32>>, Receiver<Vec<u32>>) =
-            bounded(cfg.stages.max(1) + cfg.workers + 1);
-        for _ in 0..cfg.stages.max(1) {
-            free_tx.send(Vec::new()).expect("prefill free ring");
-        }
-        let chunks = y_t.chunks_mut(cfg.task_rows * m);
-        let (wref, metrics) = (&w, &metrics);
-        std::thread::scope(|s| {
-            // Producer: the Load WG. A stall here means the stage ring
-            // is full or empty of recycled buffers — compute is the
-            // bottleneck (backpressure).
-            let producer_task_tx = task_tx;
-            let producer_free_rx = free_rx;
-            s.spawn(move || {
-                for (t, out) in chunks.enumerate() {
-                    let j0 = t * cfg.task_rows;
-                    let j1 = (j0 + cfg.task_rows).min(n);
-                    let stall = metrics.as_ref().map(|mx| &mx.stall_load);
-                    let mut buf =
-                        recv_counting(&producer_free_rx, stall).expect("free ring closed");
-                    {
-                        let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
-                        buf.clear();
-                        buf.extend_from_slice(wref.rows_words(j0, j1));
-                    }
-                    if send_counting(
-                        &producer_task_tx,
-                        StagedTask {
-                            j0,
-                            j1,
-                            words: buf,
-                            out,
-                        },
-                        stall,
-                    )
-                    .is_err()
-                    {
-                        unreachable!("task channel closed while producing");
-                    }
-                    if let Some(mx) = metrics {
-                        mx.depth_task.set(producer_task_tx.len() as f64);
-                    }
-                }
-                // Dropping the sender ends the pipeline.
-            });
-            // Compute workers: dequant + MMA fused. A stall here means
-            // the producer can't keep tiles coming — load-bound.
-            for _ in 0..cfg.workers.max(1) {
-                let rx = task_rx.clone();
-                let free = free_tx.clone();
-                s.spawn(move || {
-                    let stall = metrics.as_ref().map(|mx| &mx.stall_compute);
-                    while let Ok(task) = recv_counting(&rx, stall) {
-                        let StagedTask { j0, j1, words, out } = task;
-                        {
-                            let _span = metrics.as_ref().map(|mx| mx.task_ns_compute.span_owned());
-                            compute_rows(wref, &words, j0, j1, x, act_scales, out);
-                        }
-                        if let Some(mx) = metrics {
-                            mx.tasks.inc();
-                        }
-                        // Recycle the stage; ignore shutdown races.
-                        let _ = free.send(words);
-                    }
-                });
-            }
-            drop(task_rx);
-            drop(free_tx);
-        });
+    let task_rows = cfg.task_rows.max(1);
+    let tasks = n.div_ceil(task_rows);
+    let stages = cfg.stages.max(1);
+    // The free ring: capacity covers every buffer that can exist at
+    // once, so recycling sends never block inside workers.
+    let (free_tx, free_rx) = bounded::<Vec<u32>>(stages + pool.workers() + 1);
+    for _ in 0..stages {
+        free_tx.send(Vec::new()).expect("prefill free ring");
     }
-    assemble_output(y_t, m, n)
+    let (ctx, reply_rx, epoch) =
+        make_ctx(pool, x, act_scales, tasks, Some(free_tx.clone()), &metrics);
+    for t in 0..tasks {
+        let j0 = t * task_rows;
+        let j1 = (j0 + task_rows).min(n);
+        let stall = metrics.as_ref().map(|mx| &mx.stall_load);
+        let mut buf = recv_counting(&free_rx, stall).expect("free ring closed");
+        {
+            let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
+            buf.clear();
+            buf.extend_from_slice(w.rows_words(j0, j1));
+        }
+        pool.submit(Job::Compute {
+            ctx: Arc::clone(&ctx),
+            j0,
+            rows: j1 - j0,
+            words: buf,
+            quant: w.tile_quant(j0, j1),
+        });
+        if let Some(mx) = &metrics {
+            mx.depth_task.set(pool.queue_len() as f64);
+        }
+    }
+    drop(ctx);
+    drop(free_tx);
+    collect_tiles(&reply_rx, tasks, m, n, epoch)
 }
 
-/// A dequantized tile travelling from the Dequant WGs to the MMA WGs in
-/// the ExCP pipeline.
-struct DequantizedTask<'a> {
-    j0: usize,
-    j1: usize,
-    /// Fully materialised INT8 weights for rows `[j0, j1)` — the
-    /// "write back to SMEM" the paper identifies as ExCP's overhead.
-    tile: Vec<i8>,
-    out: &'a mut [f32],
-}
-
-/// The explicit coarse-grained pipeline (ExCP): Load → Dequant → MMA as
-/// *separate* thread roles connected by bounded channels. The dequant
-/// stage materialises whole INT8 tiles that the MMA stage re-reads —
-/// the RF↔SMEM round trip — and the static role split can leave one
-/// stage idle while another is the bottleneck.
+/// The explicit coarse-grained pipeline (ExCP) on the persistent pool:
+/// Load (the caller, staging through the same bounded ring as ImFP) →
+/// Dequant jobs that materialise whole INT8 tiles → MMA jobs that
+/// re-read them. Each tile crosses the injector queue twice and the
+/// INT8 intermediate makes the RF↔SMEM round trip — the overhead the
+/// paper measures against ImFP. A Dequant job whose MMA forward finds
+/// the queue full runs the MMA inline (the pool's steal path).
 #[must_use]
 pub fn w4a8_excp(
+    pool: &WorkerPool,
     x: &Mat<i8>,
     act_scales: &[f32],
-    lqq: Option<&PackedLqqLinear>,
-    qoq: Option<&PackedQoqLinear>,
+    w: PackedW4A8<'_>,
     cfg: ParallelConfig,
 ) -> Mat<f32> {
-    let w = match (lqq, qoq) {
-        (Some(w), None) => WeightsRef::Lqq(w),
-        (None, Some(w)) => WeightsRef::Qoq(w),
-        _ => panic!("exactly one weight source required"),
-    };
     check_shapes(x, act_scales, w.k());
     let _call = call_span("excp");
-    let metrics = PipeMetrics::resolve("excp");
+    let metrics = PipeMetrics::resolve("excp").map(Arc::new);
     let (m, n) = (x.rows(), w.n());
-    let k = w.k();
-    let group = w.group();
-    // Split workers between the two compute roles, at least one each.
-    let dequant_workers = (cfg.workers / 2).max(1);
-    let mma_workers = (cfg.workers - dequant_workers).max(1);
-    let mut y_t = vec![0.0f32; n * m];
-    {
-        let (load_tx, load_rx): (Sender<StagedTask>, Receiver<StagedTask>) =
-            bounded(cfg.stages.max(1));
-        let (deq_tx, deq_rx): (Sender<DequantizedTask>, Receiver<DequantizedTask>) =
-            bounded(cfg.stages.max(1));
-        let chunks = y_t.chunks_mut(cfg.task_rows * m);
-        let (wref, metrics) = (&w, &metrics);
-        std::thread::scope(|s| {
-            // Stage 1: Load WG. Stalls = stage buffers full (dequant
-            // behind).
-            s.spawn(move || {
-                for (t, out) in chunks.enumerate() {
-                    let j0 = t * cfg.task_rows;
-                    let j1 = (j0 + cfg.task_rows).min(n);
-                    let words = {
-                        let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
-                        wref.rows_words(j0, j1).to_vec()
-                    };
-                    let stall = metrics.as_ref().map(|mx| &mx.stall_load);
-                    if send_counting(&load_tx, StagedTask { j0, j1, words, out }, stall).is_err() {
-                        unreachable!("load channel closed while producing");
-                    }
-                    if let Some(mx) = metrics {
-                        mx.depth_task.set(load_tx.len() as f64);
-                    }
-                }
-            });
-            // Stage 2: Dequant WGs — materialise full INT8 tiles. Recv
-            // stalls = load behind; send stalls = MMA behind.
-            for _ in 0..dequant_workers {
-                let rx = load_rx.clone();
-                let tx = deq_tx.clone();
-                s.spawn(move || {
-                    let stall = metrics.as_ref().map(|mx| &mx.stall_dequant);
-                    let mut buf = [0i8; MAX_GROUP];
-                    while let Ok(task) = recv_counting(&rx, stall) {
-                        let StagedTask { j0, j1, words, out } = task;
-                        let rows = j1 - j0;
-                        let mut tile = vec![0i8; rows * k];
-                        {
-                            let _span = metrics.as_ref().map(|mx| mx.task_ns_dequant.span_owned());
-                            for j in j0..j1 {
-                                for g in 0..k / group {
-                                    wref.dequant_group_from(&words, j0, j, g, &mut buf[..group]);
-                                    let dst = (j - j0) * k + g * group;
-                                    tile[dst..dst + group].copy_from_slice(&buf[..group]);
-                                }
-                            }
-                        }
-                        if send_counting(&tx, DequantizedTask { j0, j1, tile, out }, stall).is_err()
-                        {
-                            unreachable!("dequant channel closed while MMA workers live");
-                        }
-                        if let Some(mx) = metrics {
-                            mx.depth_dequant.set(tx.len() as f64);
-                        }
-                    }
-                });
-            }
-            drop(load_rx);
-            drop(deq_tx);
-            // Stage 3: MMA WGs — dot products from the materialised
-            // tile. Stalls = dequant behind.
-            for _ in 0..mma_workers {
-                let rx = deq_rx.clone();
-                s.spawn(move || {
-                    let stall = metrics.as_ref().map(|mx| &mx.stall_mma);
-                    let mut acc = vec![0i32; m];
-                    while let Ok(task) = recv_counting(&rx, stall) {
-                        let DequantizedTask { j0, j1, tile, out } = task;
-                        let _span = metrics.as_ref().map(|mx| mx.task_ns_mma.span_owned());
-                        for j in j0..j1 {
-                            acc.fill(0);
-                            let wrow = &tile[(j - j0) * k..(j - j0 + 1) * k];
-                            accumulate(&mut acc, x, 0, k, wrow);
-                            let ch = wref.channel_scale(j);
-                            let row = &mut out[(j - j0) * m..(j - j0 + 1) * m];
-                            for (i, o) in row.iter_mut().enumerate() {
-                                *o = acc[i] as f32 * act_scales[i] * ch;
-                            }
-                        }
-                        if let Some(mx) = metrics {
-                            mx.tasks.inc();
-                        }
-                    }
-                });
-            }
-            drop(deq_rx);
-        });
+    let task_rows = cfg.task_rows.max(1);
+    let tasks = n.div_ceil(task_rows);
+    let stages = cfg.stages.max(1);
+    let (free_tx, free_rx) = bounded::<Vec<u32>>(stages + pool.workers() + 1);
+    for _ in 0..stages {
+        free_tx.send(Vec::new()).expect("prefill free ring");
     }
-    assemble_output(y_t, m, n)
+    let (ctx, reply_rx, epoch) =
+        make_ctx(pool, x, act_scales, tasks, Some(free_tx.clone()), &metrics);
+    for t in 0..tasks {
+        let j0 = t * task_rows;
+        let j1 = (j0 + task_rows).min(n);
+        let stall = metrics.as_ref().map(|mx| &mx.stall_load);
+        let mut buf = recv_counting(&free_rx, stall).expect("free ring closed");
+        {
+            let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
+            buf.clear();
+            buf.extend_from_slice(w.rows_words(j0, j1));
+        }
+        pool.submit(Job::Dequant {
+            ctx: Arc::clone(&ctx),
+            j0,
+            rows: j1 - j0,
+            words: buf,
+            quant: w.tile_quant(j0, j1),
+        });
+        if let Some(mx) = &metrics {
+            mx.depth_task.set(pool.queue_len() as f64);
+        }
+    }
+    drop(ctx);
+    drop(free_tx);
+    collect_tiles(&reply_rx, tasks, m, n, epoch)
 }
 
 #[cfg(test)]
@@ -523,17 +646,21 @@ mod tests {
         (qa.q, qa.scales, lqq, qoq)
     }
 
+    fn cfg(task_rows: usize, stages: usize) -> ParallelConfig {
+        ParallelConfig::builder()
+            .task_rows(task_rows)
+            .stages(stages)
+            .build()
+            .expect("valid test config")
+    }
+
     #[test]
     fn imfp_matches_serial_bit_exact() {
         let (x, s, lqq, _) = fixture(7, 33, 128);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
         for workers in [1, 2, 4] {
-            let cfg = ParallelConfig {
-                workers,
-                task_rows: 5,
-                stages: 3,
-            };
-            let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
+            let pool = WorkerPool::new(workers, 16);
+            let got = w4a8_imfp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(5, 3));
             assert_eq!(max_abs_diff(&got, &want), 0.0, "workers={workers}");
         }
     }
@@ -542,12 +669,8 @@ mod tests {
     fn excp_matches_serial_bit_exact() {
         let (x, s, lqq, _) = fixture(6, 20, 192);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
-        let cfg = ParallelConfig {
-            workers: 4,
-            task_rows: 3,
-            stages: 2,
-        };
-        let got = w4a8_excp(&x, &s, Some(&lqq), None, cfg);
+        let pool = WorkerPool::new(4, 16);
+        let got = w4a8_excp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(3, 2));
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
@@ -555,12 +678,8 @@ mod tests {
     fn flat_matches_serial_bit_exact() {
         let (x, s, lqq, _) = fixture(5, 17, 64);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
-        let cfg = ParallelConfig {
-            workers: 3,
-            task_rows: 4,
-            stages: 2,
-        };
-        let got = w4a8_flat_parallel(&x, &s, Some(&lqq), None, cfg);
+        let pool = WorkerPool::new(3, 16);
+        let got = w4a8_flat_parallel(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(4, 2));
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
@@ -568,15 +687,12 @@ mod tests {
     fn qoq_variants_match_their_serial() {
         let (x, s, _, qoq) = fixture(4, 12, 128);
         let want = w4a8_qoq_serial(&x, &s, &qoq);
-        let cfg = ParallelConfig {
-            workers: 2,
-            task_rows: 4,
-            stages: 2,
-        };
+        let pool = WorkerPool::new(2, 16);
+        let c = cfg(4, 2);
         for got in [
-            w4a8_imfp(&x, &s, None, Some(&qoq), cfg),
-            w4a8_excp(&x, &s, None, Some(&qoq), cfg),
-            w4a8_flat_parallel(&x, &s, None, Some(&qoq), cfg),
+            w4a8_imfp(&pool, &x, &s, PackedW4A8::Qoq(&qoq), c),
+            w4a8_excp(&pool, &x, &s, PackedW4A8::Qoq(&qoq), c),
+            w4a8_flat_parallel(&pool, &x, &s, PackedW4A8::Qoq(&qoq), c),
         ] {
             assert_eq!(max_abs_diff(&got, &want), 0.0);
         }
@@ -586,32 +702,62 @@ mod tests {
     fn task_rows_not_dividing_n_is_handled() {
         let (x, s, lqq, _) = fixture(3, 10, 64);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
-        let cfg = ParallelConfig {
-            workers: 2,
-            task_rows: 7,
-            stages: 2,
-        };
-        let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
+        let pool = WorkerPool::new(2, 16);
+        let got = w4a8_imfp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(7, 2));
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
     #[test]
     fn more_workers_than_tasks_is_safe() {
         let (x, s, lqq, _) = fixture(2, 4, 64);
-        let cfg = ParallelConfig {
-            workers: 16,
-            task_rows: 4,
-            stages: 8,
-        };
         let want = w4a8_lqq_serial(&x, &s, &lqq);
-        let got = w4a8_imfp(&x, &s, Some(&lqq), None, cfg);
+        let pool = WorkerPool::new(16, 32);
+        let got = w4a8_imfp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(4, 8));
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "exactly one weight source required")]
-    fn two_weight_sources_panics() {
-        let (x, s, lqq, qoq) = fixture(2, 4, 64);
-        let _ = w4a8_imfp(&x, &s, Some(&lqq), Some(&qoq), ParallelConfig::default());
+    fn one_pool_serves_interleaved_variants() {
+        let (x, s, lqq, qoq) = fixture(3, 19, 128);
+        let want_l = w4a8_lqq_serial(&x, &s, &lqq);
+        let want_q = w4a8_qoq_serial(&x, &s, &qoq);
+        let pool = WorkerPool::new(3, 8);
+        let c = cfg(4, 2);
+        for _ in 0..8 {
+            assert_eq!(
+                max_abs_diff(&w4a8_imfp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), c), &want_l),
+                0.0
+            );
+            assert_eq!(
+                max_abs_diff(&w4a8_excp(&pool, &x, &s, PackedW4A8::Qoq(&qoq), c), &want_q),
+                0.0
+            );
+            assert_eq!(
+                max_abs_diff(
+                    &w4a8_flat_parallel(&pool, &x, &s, PackedW4A8::Lqq(&lqq), c),
+                    &want_l
+                ),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn config_builder_validates() {
+        assert!(ParallelConfig::builder().build().is_ok());
+        assert_eq!(
+            ParallelConfig::builder().workers(0).build(),
+            Err(ConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            ParallelConfig::builder().stages(1).build(),
+            Err(ConfigError::TooFewStages(1))
+        );
+        assert_eq!(
+            ParallelConfig::builder().task_rows(0).build(),
+            Err(ConfigError::ZeroTaskRows)
+        );
+        // Errors render human-readable messages.
+        assert!(ConfigError::TooFewStages(1).to_string().contains("got 1"));
     }
 }

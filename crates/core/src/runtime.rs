@@ -1,0 +1,678 @@
+//! Persistent worker-pool GEMM runtime — the paper's Section 5.4
+//! persistent kernel, owned by a handle instead of re-created per call.
+//!
+//! The paper keeps one kernel resident on the GPU and lets long-lived
+//! warp groups *pull* tile work, so no launch pays setup cost twice.
+//! The CPU analog: [`LiquidGemm`] owns a [`WorkerPool`] of persistent
+//! threads created once at `build()`; every `gemm` call stages tile
+//! jobs onto the pool's bounded MPMC injector queue (the in-tree
+//! [`crate::sync`] channel — its condvar wait is the park/unpark
+//! idling) and collects per-tile results off a per-call reply channel.
+//! `lq_sim::persistent::{makespan_wave, makespan_persistent}` is the
+//! analytical model of exactly this wave-launch vs persistent-pool
+//! trade-off.
+//!
+//! Why jobs are fully owned: `lq-core` forbids `unsafe`, so the
+//! rayon-style lifetime-erased scoped pool is off the table. Instead
+//! each job carries its staged packed words (`Vec<u32>` — the copy the
+//! ImFP producer already made into the SMEM ring), an owned dequant
+//! recipe ([`crate::pipeline::TileQuant`], a few bytes per group), and
+//! an `Arc` of the per-call context (activations + scales + reply
+//! sender). Workers compute into owned output chunks and send them
+//! back; the caller assembles and transposes. Integer accumulation is
+//! exact, so results stay bit-identical to the serial kernels no
+//! matter which worker runs which tile in which order.
+//!
+//! Epoch stamps: every call takes a fresh epoch from the pool's
+//! `AtomicU64`; replies carry it so a debug build catches any cross-call
+//! mix-up (each call has a private reply channel, so in release this is
+//! belt and braces).
+//!
+//! Shutdown: dropping the pool enqueues one `Shutdown` poison pill per
+//! worker (disconnect-based shutdown cannot work — workers hold
+//! injector `Sender` clones so ExCP dequant jobs can forward their MMA
+//! half) and joins every thread. A panic inside a job is caught with
+//! `catch_unwind`, reported to the calling thread as a `Panicked`
+//! reply (which re-panics there), and the worker keeps serving.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use lq_quant::act::QuantizedActivations;
+use lq_quant::mat::Mat;
+use lq_telemetry::Gauge;
+
+use crate::api::{GemmOutput, KernelKind, W4A8Weights};
+use crate::pipeline::{
+    compute_rows_staged, mma_rows, w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ConfigError,
+    ParallelConfig, TileQuant,
+};
+use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
+use crate::sync::{bounded, Receiver, Sender, TrySendError};
+use crate::telemetry::{PipeMetrics, WorkerMetrics};
+
+/// Per-call shared state a tile job needs beyond its own tile: the
+/// quantized activations, the reply channel, and (for the staged
+/// variants) the free-ring sender that recycles word buffers.
+pub(crate) struct CallCtx {
+    /// INT8 activations (`M×K`), cloned per call so jobs are `'static`.
+    pub(crate) x: Mat<i8>,
+    /// Per-token activation scales.
+    pub(crate) act_scales: Vec<f32>,
+    /// Where finished tiles go.
+    pub(crate) reply: Sender<Reply>,
+    /// Stage-ring recycling for `words` buffers (ImFP/ExCP).
+    pub(crate) recycle: Option<Sender<Vec<u32>>>,
+    /// Epoch stamped on every reply of this call.
+    pub(crate) epoch: u64,
+    /// Per-variant pipeline metrics (None when telemetry is off).
+    pub(crate) metrics: Option<Arc<PipeMetrics>>,
+}
+
+/// A finished (or failed) tile travelling back to the calling thread.
+pub(crate) enum Reply {
+    /// Rows `[j0, j0 + out.len()/m)` of `Yᵀ`, flat `rows×m`.
+    Done {
+        j0: usize,
+        out: Vec<f32>,
+        epoch: u64,
+    },
+    /// The job panicked; the caller re-panics.
+    Panicked,
+}
+
+/// One unit of work on the injector queue.
+pub(crate) enum Job {
+    /// Fused dequant+MMA over a staged tile (Flat and ImFP variants).
+    Compute {
+        ctx: Arc<CallCtx>,
+        j0: usize,
+        rows: usize,
+        words: Vec<u32>,
+        quant: TileQuant,
+    },
+    /// ExCP stage 2: materialise the INT8 tile, then forward an [`Job::Mma`].
+    Dequant {
+        ctx: Arc<CallCtx>,
+        j0: usize,
+        rows: usize,
+        words: Vec<u32>,
+        quant: TileQuant,
+    },
+    /// ExCP stage 3: dot products from a materialised INT8 tile.
+    Mma {
+        ctx: Arc<CallCtx>,
+        j0: usize,
+        k: usize,
+        tile: Vec<i8>,
+        channel_scales: Vec<f32>,
+    },
+    /// Test-only: panic inside the worker (exercises containment).
+    Panic { reply: Sender<Reply> },
+    /// Poison pill: the receiving worker exits.
+    Shutdown,
+}
+
+/// Persistent worker threads plus the shared injector queue they pull
+/// tile jobs from. Created once by [`LiquidGemm::builder`]; dropped
+/// workers are joined via poison pills.
+pub struct WorkerPool {
+    injector: Sender<Job>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    live: Arc<AtomicUsize>,
+    epoch: AtomicU64,
+    depth_gauge: OnceLock<Arc<Gauge>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize, queue_depth: usize) -> Self {
+        let (injector, rx) = bounded(queue_depth);
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let rx = rx.clone();
+            let tx = injector.clone();
+            let live = Arc::clone(&live);
+            let h = std::thread::Builder::new()
+                .name(format!("lq-pool-{id}"))
+                .spawn(move || worker_loop(id, &rx, &tx, &live))
+                .expect("spawn pool worker");
+            handles.push(h);
+        }
+        drop(rx);
+        Self {
+            injector,
+            handles,
+            workers,
+            live,
+            epoch: AtomicU64::new(0),
+            depth_gauge: OnceLock::new(),
+        }
+    }
+
+    /// Enqueue a job, blocking when the injector queue is full (the
+    /// natural backpressure bounding staged-tile memory).
+    pub(crate) fn submit(&self, job: Job) {
+        if self.injector.send(job).is_err() {
+            unreachable!("worker pool queue disconnected while pool alive");
+        }
+        if lq_telemetry::enabled() {
+            let g = self
+                .depth_gauge
+                .get_or_init(|| lq_telemetry::registry().gauge("lq_pool_queue_depth"));
+            g.set(self.injector.len() as f64);
+        }
+    }
+
+    /// Fresh epoch for one GEMM call.
+    pub(crate) fn next_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of worker threads the pool was built with.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker threads currently alive (0 after drop has joined them).
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Jobs currently queued (racy; for occupancy gauges).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.injector.len()
+    }
+
+    /// Test probe: the shared live-worker counter, observable after the
+    /// pool itself is gone (proves threads joined, not leaked).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn live_probe(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.live)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // One pill per worker; each worker consumes exactly one and
+        // exits, after finishing whatever jobs are still queued ahead.
+        for _ in 0..self.handles.len() {
+            let _ = self.injector.send(Job::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Decrements the live-worker count however the worker exits.
+struct LiveGuard(Arc<AtomicUsize>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(id: usize, rx: &Receiver<Job>, injector: &Sender<Job>, live: &Arc<AtomicUsize>) {
+    live.fetch_add(1, Ordering::SeqCst);
+    let _guard = LiveGuard(Arc::clone(live));
+    // Per-worker metric handles, resolved once the first time telemetry
+    // is observed enabled (label: worker id).
+    let mut wm: Option<WorkerMetrics> = None;
+    loop {
+        let job = match rx.recv() {
+            Ok(j) => j,
+            Err(_) => break,
+        };
+        if matches!(job, Job::Shutdown) {
+            break;
+        }
+        if wm.is_none() && lq_telemetry::enabled() {
+            wm = WorkerMetrics::resolve(id);
+        }
+        execute(job, wm.as_ref(), injector);
+    }
+}
+
+/// Run one job to completion, containing panics and reporting the
+/// outcome on the call's reply channel.
+fn execute(job: Job, wm: Option<&WorkerMetrics>, injector: &Sender<Job>) {
+    let start = wm.map(|_| std::time::Instant::now());
+    match job {
+        Job::Compute {
+            ctx,
+            j0,
+            rows,
+            words,
+            quant,
+        } => {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                let _span = ctx
+                    .metrics
+                    .as_ref()
+                    .map(|mx| mx.task_ns_compute.span_owned());
+                let m = ctx.x.rows();
+                let mut out = vec![0.0f32; rows * m];
+                compute_rows_staged(&quant, &words, rows, &ctx.x, &ctx.act_scales, &mut out);
+                out
+            }));
+            finish_tile(&ctx, j0, res, Some(words));
+        }
+        Job::Dequant {
+            ctx,
+            j0,
+            rows,
+            words,
+            quant,
+        } => {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                let _span = ctx
+                    .metrics
+                    .as_ref()
+                    .map(|mx| mx.task_ns_dequant.span_owned());
+                quant.materialize(&words, rows)
+            }));
+            match res {
+                Ok((tile, k, channel_scales)) => {
+                    if let Some(rec) = &ctx.recycle {
+                        let _ = rec.send(words);
+                    }
+                    let mma = Job::Mma {
+                        ctx,
+                        j0,
+                        k,
+                        tile,
+                        channel_scales,
+                    };
+                    // Forward the second hop. If the injector is full,
+                    // run the MMA inline instead of blocking — a
+                    // bounded queue plus blocking forwards from inside
+                    // workers could deadlock; this is also the pool's
+                    // "steal" path (counted per worker).
+                    match injector.try_send(mma) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => {
+                            if let Some(w) = wm {
+                                w.inline_mma.inc();
+                            }
+                            execute(j, wm, injector);
+                        }
+                    }
+                }
+                Err(_) => {
+                    let _ = ctx.reply.send(Reply::Panicked);
+                }
+            }
+        }
+        Job::Mma {
+            ctx,
+            j0,
+            k,
+            tile,
+            channel_scales,
+        } => {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                let _span = ctx.metrics.as_ref().map(|mx| mx.task_ns_mma.span_owned());
+                let m = ctx.x.rows();
+                let mut out = vec![0.0f32; channel_scales.len() * m];
+                mma_rows(&tile, k, &channel_scales, &ctx.x, &ctx.act_scales, &mut out);
+                out
+            }));
+            finish_tile(&ctx, j0, res, None);
+        }
+        Job::Panic { reply } => {
+            let res = catch_unwind(|| panic!("injected worker panic"));
+            debug_assert!(res.is_err());
+            let _ = reply.send(Reply::Panicked);
+        }
+        Job::Shutdown => unreachable!("pills are consumed in worker_loop"),
+    }
+    if let (Some(w), Some(t0)) = (wm, start) {
+        let ns = t0.elapsed().as_nanos() as u64;
+        w.busy_ns.add(ns);
+        w.job_ns.record(ns);
+        w.jobs.inc();
+    }
+}
+
+/// Common tail of Compute/Mma jobs: count the task, recycle the stage
+/// buffer, reply. Reply-send failures mean the caller is gone (it
+/// panicked or was dropped) and are deliberately ignored.
+fn finish_tile(
+    ctx: &Arc<CallCtx>,
+    j0: usize,
+    res: std::thread::Result<Vec<f32>>,
+    words: Option<Vec<u32>>,
+) {
+    match res {
+        Ok(out) => {
+            if let Some(mx) = &ctx.metrics {
+                mx.tasks.inc();
+            }
+            if let (Some(rec), Some(buf)) = (&ctx.recycle, words) {
+                let _ = rec.send(buf);
+            }
+            let _ = ctx.reply.send(Reply::Done {
+                j0,
+                out,
+                epoch: ctx.epoch,
+            });
+        }
+        Err(_) => {
+            let _ = ctx.reply.send(Reply::Panicked);
+        }
+    }
+}
+
+/// Long-lived handle over the persistent worker pool — the redesigned
+/// front door of the kernel library.
+///
+/// Build one per process (or per serving engine), keep it, and issue
+/// every GEMM through it:
+///
+/// ```
+/// use lq_core::{KernelKind, LiquidGemm, PackedLqqLinear, W4A8Weights};
+/// use lq_quant::act::QuantizedActivations;
+/// use lq_quant::mat::Mat;
+///
+/// let x = Mat::from_fn(2, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin());
+/// let w = Mat::from_fn(8, 64, |r, c| ((r * 64 + c) as f32 * 0.05).cos());
+/// let lg = LiquidGemm::builder().workers(2).build().unwrap();
+/// let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+/// let qa = QuantizedActivations::quantize(&x, None);
+/// let y = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp);
+/// assert_eq!(y.y.rows(), 2);
+/// ```
+pub struct LiquidGemm {
+    pool: WorkerPool,
+    defaults: ParallelConfig,
+}
+
+impl LiquidGemm {
+    /// Start configuring a handle. Defaults: `workers` =
+    /// `available_parallelism` capped at 8, `task_rows` 8, `stages` 8,
+    /// `queue_depth` 64.
+    #[must_use]
+    pub fn builder() -> LiquidGemmBuilder {
+        LiquidGemmBuilder::default()
+    }
+
+    /// The pool this handle owns.
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The per-call defaults (`workers` documents the pool size; the
+    /// pool itself is fixed at build time).
+    #[must_use]
+    pub fn config(&self) -> ParallelConfig {
+        self.defaults
+    }
+
+    /// Number of persistent worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Run `Y = X·Wᵀ` with this handle's default tiling.
+    #[must_use]
+    pub fn gemm(
+        &self,
+        x: &Mat<i8>,
+        act_scales: &[f32],
+        weights: &W4A8Weights,
+        kind: KernelKind,
+    ) -> GemmOutput {
+        self.gemm_with(x, act_scales, weights, kind, self.defaults)
+    }
+
+    /// Run `Y = X·Wᵀ` with explicit tiling parameters. `cfg.task_rows`
+    /// and `cfg.stages` apply per call; `cfg.workers` is ignored — the
+    /// pool's thread count was fixed at [`LiquidGemm::builder`] time.
+    #[must_use]
+    pub fn gemm_with(
+        &self,
+        x: &Mat<i8>,
+        act_scales: &[f32],
+        weights: &W4A8Weights,
+        kind: KernelKind,
+        cfg: ParallelConfig,
+    ) -> GemmOutput {
+        let y = match (kind, weights) {
+            (KernelKind::Serial, W4A8Weights::Lqq(w)) => w4a8_lqq_serial(x, act_scales, w),
+            (KernelKind::Serial, W4A8Weights::Qoq(w)) => w4a8_qoq_serial(x, act_scales, w),
+            (KernelKind::FlatParallel, _) => {
+                w4a8_flat_parallel(&self.pool, x, act_scales, weights.packed(), cfg)
+            }
+            (KernelKind::ExCp, _) => w4a8_excp(&self.pool, x, act_scales, weights.packed(), cfg),
+            (KernelKind::ImFp, _) => w4a8_imfp(&self.pool, x, act_scales, weights.packed(), cfg),
+        };
+        GemmOutput { y }
+    }
+
+    /// W4A8 GEMM taking FP32 activations: per-token INT8 quantization is
+    /// fused in front of the kernel. `smooth` (length K), if given,
+    /// divides the activations channel-wise first (the SmoothQuant
+    /// inverse scale — the weights must have been quantized with the
+    /// matching forward scale).
+    #[must_use]
+    pub fn gemm_f32(
+        &self,
+        x: &Mat<f32>,
+        weights: &W4A8Weights,
+        smooth: Option<&[f32]>,
+        kind: KernelKind,
+    ) -> GemmOutput {
+        self.gemm_f32_with(x, weights, smooth, kind, self.defaults)
+    }
+
+    /// [`LiquidGemm::gemm_f32`] with explicit tiling parameters.
+    #[must_use]
+    pub fn gemm_f32_with(
+        &self,
+        x: &Mat<f32>,
+        weights: &W4A8Weights,
+        smooth: Option<&[f32]>,
+        kind: KernelKind,
+        cfg: ParallelConfig,
+    ) -> GemmOutput {
+        assert_eq!(x.cols(), weights.k(), "K mismatch");
+        let qa = QuantizedActivations::quantize(x, smooth);
+        self.gemm_with(&qa.q, &qa.scales, weights, kind, cfg)
+    }
+
+    /// Test probe: make one worker panic inside a job and wait for the
+    /// contained report. The pool must keep working afterwards.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self) {
+        let (tx, rx) = bounded(1);
+        self.pool.submit(Job::Panic { reply: tx });
+        match rx.recv() {
+            Ok(Reply::Panicked) => {}
+            _ => panic!("expected a contained panic reply"),
+        }
+    }
+}
+
+/// Builder for [`LiquidGemm`]; validates like
+/// [`ParallelConfig::builder`] and additionally requires
+/// `queue_depth >= 1`.
+#[derive(Debug, Clone)]
+pub struct LiquidGemmBuilder {
+    workers: usize,
+    task_rows: usize,
+    stages: usize,
+    queue_depth: usize,
+}
+
+impl Default for LiquidGemmBuilder {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        Self {
+            workers: workers.clamp(1, 8),
+            task_rows: 8,
+            stages: 8,
+            queue_depth: 64,
+        }
+    }
+}
+
+impl LiquidGemmBuilder {
+    /// Persistent worker threads (validated ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Default output channels per tile job (validated ≥ 1).
+    #[must_use]
+    pub fn task_rows(mut self, r: usize) -> Self {
+        self.task_rows = r;
+        self
+    }
+
+    /// Default staging buffers in flight per call (validated ≥ 2).
+    #[must_use]
+    pub fn stages(mut self, s: usize) -> Self {
+        self.stages = s;
+        self
+    }
+
+    /// Injector queue capacity (validated ≥ 1). Bounds how many staged
+    /// tiles can wait unexecuted; submitters block beyond it.
+    #[must_use]
+    pub fn queue_depth(mut self, q: usize) -> Self {
+        self.queue_depth = q;
+        self
+    }
+
+    /// Validate and spawn the pool.
+    pub fn build(self) -> Result<LiquidGemm, ConfigError> {
+        let defaults = ParallelConfig::builder()
+            .workers(self.workers)
+            .task_rows(self.task_rows)
+            .stages(self.stages)
+            .build()?;
+        if self.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        Ok(LiquidGemm {
+            pool: WorkerPool::new(defaults.workers, self.queue_depth),
+            defaults,
+        })
+    }
+}
+
+/// The process-global handle behind the deprecated free [`crate::gemm`]
+/// shim. Built lazily with default settings on first use.
+pub(crate) fn global() -> &'static LiquidGemm {
+    static GLOBAL: OnceLock<LiquidGemm> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        LiquidGemm::builder()
+            .build()
+            .expect("default LiquidGemm config is valid")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::max_abs_diff;
+    use lq_quant::act::QuantizedActivations;
+
+    fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, W4A8Weights) {
+        let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.13).sin() * 1.5);
+        let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.04).cos());
+        let qa = QuantizedActivations::quantize(&xf, None);
+        let w = W4A8Weights::Lqq(crate::packed::PackedLqqLinear::quantize(&wf, 64));
+        (qa.q, qa.scales, w)
+    }
+
+    #[test]
+    fn handle_matches_serial_for_all_kinds() {
+        let (x, s, w) = fixture(5, 23, 128);
+        let lg = LiquidGemm::builder().workers(3).build().unwrap();
+        let want = lg.gemm(&x, &s, &w, KernelKind::Serial).y;
+        for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
+            let got = lg.gemm(&x, &s, &w, kind).y;
+            assert_eq!(max_abs_diff(&got, &want), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn handle_survives_many_calls() {
+        let (x, s, w) = fixture(2, 9, 64);
+        let lg = LiquidGemm::builder()
+            .workers(2)
+            .task_rows(4)
+            .stages(2)
+            .build()
+            .unwrap();
+        let want = lg.gemm(&x, &s, &w, KernelKind::Serial).y;
+        for i in 0..50 {
+            let kind = [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp][i % 3];
+            assert_eq!(max_abs_diff(&lg.gemm(&x, &s, &w, kind).y, &want), 0.0);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(matches!(
+            LiquidGemm::builder().workers(0).build(),
+            Err(ConfigError::ZeroWorkers)
+        ));
+        assert!(matches!(
+            LiquidGemm::builder().stages(1).build(),
+            Err(ConfigError::TooFewStages(1))
+        ));
+        assert!(matches!(
+            LiquidGemm::builder().task_rows(0).build(),
+            Err(ConfigError::ZeroTaskRows)
+        ));
+        assert!(matches!(
+            LiquidGemm::builder().queue_depth(0).build(),
+            Err(ConfigError::ZeroQueueDepth)
+        ));
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let lg = LiquidGemm::builder().workers(3).build().unwrap();
+        let probe = lg.pool().live_probe();
+        let (x, s, w) = fixture(1, 4, 64);
+        let _ = lg.gemm(&x, &s, &w, KernelKind::ImFp);
+        // Thread start-up is asynchronous; give stragglers a moment.
+        for _ in 0..200 {
+            if lg.pool().live_workers() == 3 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(lg.pool().live_workers(), 3);
+        drop(lg);
+        assert_eq!(probe.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn panic_in_job_is_contained() {
+        let lg = LiquidGemm::builder().workers(2).build().unwrap();
+        lg.inject_worker_panic();
+        // Pool still serves correct results afterwards.
+        let (x, s, w) = fixture(3, 8, 64);
+        let want = lg.gemm(&x, &s, &w, KernelKind::Serial).y;
+        let got = lg.gemm(&x, &s, &w, KernelKind::ImFp).y;
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+        drop(lg); // and still joins cleanly
+    }
+}

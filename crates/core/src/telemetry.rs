@@ -5,37 +5,41 @@
 //! once per GEMM call — and only when recording is enabled, so the
 //! disabled path costs one relaxed load per call (the "noop recorder").
 //!
-//! Exported families (all labeled `variant="flat"|"excp"|"imfp"`):
+//! Exported families (labeled `variant="flat"|"excp"|"imfp"`):
 //!
 //! | metric | kind | meaning |
 //! |--------|------|---------|
 //! | `lq_gemm_ns` | histogram | whole-call wall-clock latency |
 //! | `lq_pipeline_task_ns{role}` | histogram | per-task span in each role |
-//! | `lq_pipeline_stall_total{role}` | counter | would-block events on the stage ring (the CPU analog of a warp-group stall) |
+//! | `lq_pipeline_stall_total{role="load"}` | counter | would-block events on the stage ring (the CPU analog of a warp-group stall) |
 //! | `lq_pipeline_tasks_total` | counter | tasks executed |
-//! | `lq_pipeline_queue_depth{queue}` | gauge | staged tasks in flight after each send |
-//! | `lq_sched_claimed_total` | counter | dynamic-scheduler claims (flat variant) |
+//! | `lq_pipeline_queue_depth{queue="task"}` | gauge | injector occupancy after each submit |
 //!
-//! Roles mirror the paper's warp groups: `load` is the producer (TMA),
-//! `compute` the fused dequant+MMA worker (ImFP), `dequant`/`mma` the
-//! split ExCP stages.
+//! plus the pool-level families (labeled per `worker`):
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `lq_pool_queue_depth` | gauge | injector occupancy after each submit |
+//! | `lq_pool_jobs_total{worker}` | counter | jobs executed by each worker |
+//! | `lq_pool_busy_ns_total{worker}` | counter | time each worker spent executing (vs parked) |
+//! | `lq_pool_inline_mma_total{worker}` | counter | ExCP MMA halves run inline because the queue was full (the steal path) |
+//! | `lq_pool_job_ns{worker}` | histogram | per-job latency |
+//!
+//! Roles mirror the paper's warp groups: `load` is the staging caller
+//! (TMA), `compute` the fused dequant+MMA job (Flat/ImFP),
+//! `dequant`/`mma` the split ExCP job halves.
 
 use std::sync::Arc;
 
 use lq_telemetry::{registry, Counter, Gauge, Histogram, OwnedSpan};
 
-use crate::sync::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
+use crate::sync::{Receiver, RecvError, TryRecvError};
 
 /// Handles for one pipeline variant's metric families.
 pub(crate) struct PipeMetrics {
     pub tasks: Arc<Counter>,
-    pub claims: Arc<Counter>,
     pub stall_load: Arc<Counter>,
-    pub stall_compute: Arc<Counter>,
-    pub stall_dequant: Arc<Counter>,
-    pub stall_mma: Arc<Counter>,
     pub depth_task: Arc<Gauge>,
-    pub depth_dequant: Arc<Gauge>,
     pub task_ns_load: Arc<Histogram>,
     pub task_ns_compute: Arc<Histogram>,
     pub task_ns_dequant: Arc<Histogram>,
@@ -54,22 +58,45 @@ impl PipeMetrics {
         fn role<'a>(variant: &'a str, r: &'a str) -> [(&'a str, &'a str); 2] {
             [("variant", variant), ("role", r)]
         }
-        fn queue<'a>(variant: &'a str, q: &'a str) -> [(&'a str, &'a str); 2] {
-            [("variant", variant), ("queue", q)]
-        }
         Some(Self {
             tasks: reg.counter_with("lq_pipeline_tasks_total", &v),
-            claims: reg.counter_with("lq_sched_claimed_total", &v),
             stall_load: reg.counter_with("lq_pipeline_stall_total", &role(variant, "load")),
-            stall_compute: reg.counter_with("lq_pipeline_stall_total", &role(variant, "compute")),
-            stall_dequant: reg.counter_with("lq_pipeline_stall_total", &role(variant, "dequant")),
-            stall_mma: reg.counter_with("lq_pipeline_stall_total", &role(variant, "mma")),
-            depth_task: reg.gauge_with("lq_pipeline_queue_depth", &queue(variant, "task")),
-            depth_dequant: reg.gauge_with("lq_pipeline_queue_depth", &queue(variant, "dequant")),
+            depth_task: reg.gauge_with(
+                "lq_pipeline_queue_depth",
+                &[("variant", variant), ("queue", "task")],
+            ),
             task_ns_load: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "load")),
             task_ns_compute: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "compute")),
             task_ns_dequant: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "dequant")),
             task_ns_mma: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "mma")),
+        })
+    }
+}
+
+/// Per-worker pool metric handles, resolved lazily inside the worker
+/// loop the first time telemetry is observed enabled.
+pub(crate) struct WorkerMetrics {
+    pub jobs: Arc<Counter>,
+    pub busy_ns: Arc<Counter>,
+    pub inline_mma: Arc<Counter>,
+    pub job_ns: Arc<Histogram>,
+}
+
+impl WorkerMetrics {
+    /// Resolve handles for worker `worker`, or `None` when telemetry is
+    /// off.
+    pub(crate) fn resolve(worker: usize) -> Option<Self> {
+        if !lq_telemetry::enabled() {
+            return None;
+        }
+        let reg = registry();
+        let id = worker.to_string();
+        let l = [("worker", id.as_str())];
+        Some(Self {
+            jobs: reg.counter_with("lq_pool_jobs_total", &l),
+            busy_ns: reg.counter_with("lq_pool_busy_ns_total", &l),
+            inline_mma: reg.counter_with("lq_pool_inline_mma_total", &l),
+            job_ns: reg.histogram_with("lq_pool_job_ns", &l),
         })
     }
 }
@@ -96,24 +123,6 @@ pub(crate) fn recv_counting<T>(
                 c.inc();
             }
             rx.recv()
-        }
-    }
-}
-
-/// `send` that counts a stall when it would block.
-pub(crate) fn send_counting<T>(
-    tx: &Sender<T>,
-    value: T,
-    stall: Option<&Arc<Counter>>,
-) -> Result<(), SendError<T>> {
-    match tx.try_send(value) {
-        Ok(()) => Ok(()),
-        Err(TrySendError::Disconnected(v)) => Err(SendError(v)),
-        Err(TrySendError::Full(v)) => {
-            if let Some(c) = stall {
-                c.inc();
-            }
-            tx.send(v)
         }
     }
 }

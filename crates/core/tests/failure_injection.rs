@@ -1,4 +1,4 @@
-//! Failure-injection tests for the parallel pipelines: panicking
+//! Failure-injection tests for the pool-backed pipelines: panicking
 //! workers must not deadlock, poison, or silently corrupt results.
 
 use lq_core::api::W4A8Weights;
@@ -6,7 +6,7 @@ use lq_core::packed::PackedLqqLinear;
 use lq_core::pipeline::ParallelConfig;
 use lq_core::reference::max_abs_diff;
 use lq_core::scheduler::TaskScheduler;
-use lq_core::{gemm, KernelKind};
+use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -19,21 +19,16 @@ fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, PackedLqqLinear)
     (qa.q, qa.scales, PackedLqqLinear::quantize(&wf, 64))
 }
 
-/// Degenerate configurations must still complete and agree (stages = 1
-/// serialises the ring; task_rows > N makes one giant task; more
-/// workers than tasks idles most of them).
+/// Degenerate configurations must still complete and agree. The
+/// literals below are intentional: some sit *below* the builder's
+/// minimums (`stages: 1` serialises the ring) to prove the drivers
+/// clamp rather than hang; `task_rows > N` makes one giant task.
 #[test]
 fn degenerate_configs_terminate_and_agree() {
     let (x, s, w) = fixture(3, 10, 128);
     let weights = W4A8Weights::Lqq(w);
-    let base = gemm(
-        &x,
-        &s,
-        &weights,
-        KernelKind::Serial,
-        ParallelConfig::default(),
-    )
-    .y;
+    let lg = LiquidGemm::builder().workers(4).build().unwrap();
+    let base = lg.gemm(&x, &s, &weights, KernelKind::Serial).y;
     for cfg in [
         ParallelConfig {
             workers: 1,
@@ -57,19 +52,36 @@ fn degenerate_configs_terminate_and_agree() {
         },
     ] {
         for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
-            let y = gemm(&x, &s, &weights, kind, cfg).y;
+            let y = lg.gemm_with(&x, &s, &weights, kind, cfg).y;
             assert_eq!(max_abs_diff(&y, &base), 0.0, "{kind:?} {cfg:?}");
         }
     }
 }
 
-/// A panicking worker inside a thread scope must propagate as a panic
-/// of the calling thread (never a deadlock or a wrong answer). The
-/// producer keeps sending into the in-tree channel; once the consumer
-/// dies, its `Receiver` drop disconnects the channel so the producer's
-/// `send` fails instead of blocking forever.
+/// A panic inside a pool job must surface as a panic of the *calling*
+/// thread (never a deadlock or a wrong answer), and the pool must keep
+/// serving afterwards — the persistent-kernel containment property.
 #[test]
 fn worker_panic_propagates_not_deadlocks() {
+    let lg = LiquidGemm::builder().workers(2).build().unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lg.inject_worker_panic();
+    }));
+    // inject_worker_panic itself contains the panic and returns; the
+    // strong claim is that the pool still works and drops cleanly.
+    assert!(result.is_ok(), "containment must not poison the caller");
+    let (x, s, w) = fixture(2, 8, 64);
+    let weights = W4A8Weights::Lqq(w);
+    let base = lg.gemm(&x, &s, &weights, KernelKind::Serial).y;
+    let y = lg.gemm(&x, &s, &weights, KernelKind::ImFp).y;
+    assert_eq!(max_abs_diff(&y, &base), 0.0);
+}
+
+/// Raw channel-level variant of the same property: once a consumer
+/// dies, its `Receiver` drop disconnects the channel so a producer's
+/// `send` fails instead of blocking forever.
+#[test]
+fn channel_disconnect_prevents_send_deadlock() {
     let result = std::panic::catch_unwind(|| {
         std::thread::scope(|sc| {
             let (tx, rx) = lq_core::sync::bounded::<usize>(2);
@@ -130,57 +142,48 @@ fn scheduler_survives_dying_worker() {
 fn minimum_size_problem() {
     let (x, s, w) = fixture(1, 1, 64);
     let weights = W4A8Weights::Lqq(w);
-    let base = gemm(
-        &x,
-        &s,
-        &weights,
-        KernelKind::Serial,
-        ParallelConfig::default(),
-    )
-    .y;
+    let lg = LiquidGemm::builder()
+        .workers(4)
+        .task_rows(8)
+        .stages(4)
+        .build()
+        .unwrap();
+    let base = lg.gemm(&x, &s, &weights, KernelKind::Serial).y;
     assert_eq!((base.rows(), base.cols()), (1, 1));
     for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
-        let cfg = ParallelConfig {
-            workers: 4,
-            task_rows: 8,
-            stages: 4,
-        };
-        let y = gemm(&x, &s, &weights, kind, cfg).y;
+        let y = lg.gemm(&x, &s, &weights, kind).y;
         assert_eq!(max_abs_diff(&y, &base), 0.0);
     }
 }
 
-/// Concurrent use of one weight object from many GEMMs (shared
-/// immutable weights, the serving pattern) stays correct.
+/// Concurrent use of one weight object from many GEMMs on one shared
+/// pool (shared immutable weights, the serving pattern) stays correct.
 #[test]
 fn shared_weights_across_concurrent_gemms() {
     let (x, s, w) = fixture(4, 24, 128);
     let weights = Arc::new(W4A8Weights::Lqq(w));
-    let base = gemm(
-        &x,
-        &s,
-        &weights,
-        KernelKind::Serial,
-        ParallelConfig::default(),
-    )
-    .y;
+    let lg = Arc::new(
+        LiquidGemm::builder()
+            .workers(2)
+            .task_rows(5)
+            .stages(2)
+            .build()
+            .unwrap(),
+    );
+    let base = lg.gemm(&x, &s, &weights, KernelKind::Serial).y;
     let x = Arc::new(x);
     let s = Arc::new(s);
     let mut handles = Vec::new();
     for _ in 0..4 {
-        let (x, s, weights, base) = (
+        let (x, s, weights, base, lg) = (
             Arc::clone(&x),
             Arc::clone(&s),
             Arc::clone(&weights),
             base.clone(),
+            Arc::clone(&lg),
         );
         handles.push(std::thread::spawn(move || {
-            let cfg = ParallelConfig {
-                workers: 2,
-                task_rows: 5,
-                stages: 2,
-            };
-            let y = gemm(&x, &s, &weights, KernelKind::ImFp, cfg).y;
+            let y = lg.gemm(&x, &s, &weights, KernelKind::ImFp).y;
             assert_eq!(max_abs_diff(&y, &base), 0.0);
         }));
     }

@@ -9,7 +9,7 @@ use lq_core::pipeline::ParallelConfig;
 use lq_core::reference::{epilogue_ref, gemm_i8_ref, max_abs_diff};
 use lq_core::serial::{w4a8_lqq_serial, w4a8_qoq_serial, w8a8_serial};
 use lq_core::tiled::w4a8_lqq_tiled;
-use lq_core::{gemm, KernelKind};
+use lq_core::{KernelKind, LiquidGemm};
 use lq_layout::tiles::TileConfig;
 use lq_quant::level1::PROTECTIVE_MAX;
 use lq_quant::lqq::LqqTensor;
@@ -83,26 +83,32 @@ fn w8a8_equals_oracle() {
 }
 
 /// Every pipeline variant equals the serial kernel on arbitrary shapes
-/// and worker/task/stage configurations.
+/// and task/stage configurations, across pools of different sizes.
 #[test]
 fn pipelines_equal_serial() {
     let mut rng = Rng::new(0xC0DE_0004);
+    // Worker count is a pool property now, not a per-call knob: build
+    // one small and one wide persistent pool and alternate.
+    let pools = [
+        LiquidGemm::builder().workers(1).build().unwrap(),
+        LiquidGemm::builder().workers(4).build().unwrap(),
+    ];
     for case in 0..CASES {
         let (x, scales, w_l1) = problem(&mut rng);
-        let workers = rng.range_usize(1, 5);
-        let task_rows = rng.range_usize(1, 9);
-        let stages = rng.range_usize(1, 5);
+        let lg = &pools[rng.range_usize(0, 2)];
+        let cfg = ParallelConfig::builder()
+            .task_rows(rng.range_usize(1, 9))
+            .stages(rng.range_usize(2, 5))
+            .build()
+            .expect("randomized config in valid range");
         let t = LqqTensor::quantize(&w_l1, 32);
         let ch: Vec<f32> = (0..w_l1.rows()).map(|_| 0.1).collect();
         let packed = W4A8Weights::Lqq(PackedLqqLinear::from_tensor(&t, ch));
-        let cfg = ParallelConfig {
-            workers,
-            task_rows,
-            stages,
-        };
-        let base = gemm(&x, &scales, &packed, KernelKind::Serial, cfg).y;
+        let base = lg
+            .gemm_with(&x, &scales, &packed, KernelKind::Serial, cfg)
+            .y;
         for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
-            let y = gemm(&x, &scales, &packed, kind, cfg).y;
+            let y = lg.gemm_with(&x, &scales, &packed, kind, cfg).y;
             assert_eq!(max_abs_diff(&y, &base), 0.0, "case {case} {kind:?} {cfg:?}");
         }
     }

@@ -1,0 +1,141 @@
+//! Multi-threaded stress tests for the persistent worker-pool runtime:
+//! one shared `LiquidGemm` handle, several caller threads, mixed
+//! Lqq/Qoq schemes, mixed shapes, every pool-backed variant — all
+//! results bit-exact against the serial kernels; plus lifecycle tests
+//! proving workers join on drop and survive panics in jobs.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use lq_core::api::W4A8Weights;
+use lq_core::reference::max_abs_diff;
+use lq_core::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
+use lq_core::{KernelKind, LiquidGemm, PackedLqqLinear, PackedQoqLinear};
+use lq_quant::act::QuantizedActivations;
+use lq_quant::mat::Mat;
+use lq_rng::Rng;
+
+/// One precomputed problem: quantized activations, both weight schemes,
+/// and the serial oracles for each.
+struct Case {
+    x: Mat<i8>,
+    scales: Vec<f32>,
+    lqq: W4A8Weights,
+    qoq: W4A8Weights,
+    want_lqq: Mat<f32>,
+    want_qoq: Mat<f32>,
+}
+
+fn build_cases() -> Vec<Case> {
+    // Decode shapes (M=1..4) through small prefill shapes, N not always
+    // divisible by task_rows, K across one to three groups.
+    let shapes = [
+        (1, 16, 64),
+        (2, 23, 128),
+        (4, 40, 192),
+        (3, 7, 64),
+        (8, 31, 128),
+    ];
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, n, k))| {
+            let xf = Mat::from_fn(m, k, |r, c| ((r * k + c + i) as f32 * 0.017).sin() * 1.7);
+            let wf = Mat::from_fn(n, k, |r, c| ((r * k + c + 3 * i) as f32 * 0.009).cos());
+            let qa = QuantizedActivations::quantize(&xf, None);
+            let lqq = PackedLqqLinear::quantize(&wf, 64);
+            let qoq = PackedQoqLinear::quantize(&wf, 64);
+            let want_lqq = w4a8_lqq_serial(&qa.q, &qa.scales, &lqq);
+            let want_qoq = w4a8_qoq_serial(&qa.q, &qa.scales, &qoq);
+            Case {
+                x: qa.q,
+                scales: qa.scales,
+                lqq: W4A8Weights::Lqq(lqq),
+                qoq: W4A8Weights::Qoq(qoq),
+                want_lqq,
+                want_qoq,
+            }
+        })
+        .collect()
+}
+
+const PARALLEL_KINDS: [KernelKind; 3] =
+    [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp];
+
+/// The acceptance property: several caller threads hammer one shared
+/// handle with mixed schemes, shapes, and variants concurrently; every
+/// single result is bit-exact (`max_abs_diff == 0.0`) vs serial.
+#[test]
+fn concurrent_mixed_gemms_bit_exact() {
+    const CALLERS: usize = 4;
+    const ITERS: usize = 30;
+    let cases = Arc::new(build_cases());
+    let lg = Arc::new(
+        LiquidGemm::builder()
+            .workers(4)
+            .task_rows(5)
+            .stages(3)
+            .build()
+            .unwrap(),
+    );
+    let mut handles = Vec::new();
+    for caller in 0..CALLERS {
+        let cases = Arc::clone(&cases);
+        let lg = Arc::clone(&lg);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Rng::new(0xBEEF + caller as u64);
+            for iter in 0..ITERS {
+                let case = &cases[rng.range_usize(0, cases.len())];
+                let kind = PARALLEL_KINDS[rng.range_usize(0, PARALLEL_KINDS.len())];
+                let (weights, want) = if rng.range_usize(0, 2) == 0 {
+                    (&case.lqq, &case.want_lqq)
+                } else {
+                    (&case.qoq, &case.want_qoq)
+                };
+                let y = lg.gemm(&case.x, &case.scales, weights, kind).y;
+                assert_eq!(
+                    max_abs_diff(&y, want),
+                    0.0,
+                    "caller {caller} iter {iter} {kind:?} diverged from serial"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("stress caller panicked");
+    }
+}
+
+/// Dropping the handle joins every worker thread — no leak. The probe
+/// outlives the pool and must read zero afterwards.
+#[test]
+fn drop_joins_workers_no_leak() {
+    let lg = LiquidGemm::builder().workers(3).build().unwrap();
+    let probe = lg.pool().live_probe();
+    let cases = build_cases();
+    let c = &cases[0];
+    let _ = lg.gemm(&c.x, &c.scales, &c.lqq, KernelKind::ImFp);
+    drop(lg);
+    assert_eq!(
+        probe.load(Ordering::SeqCst),
+        0,
+        "all workers must have exited and been joined"
+    );
+}
+
+/// A panic inside a job must not deadlock drop: the worker contains it,
+/// keeps serving, and still consumes its poison pill.
+#[test]
+fn panic_in_job_then_clean_drop() {
+    let lg = LiquidGemm::builder().workers(2).build().unwrap();
+    let probe = lg.pool().live_probe();
+    lg.inject_worker_panic();
+    lg.inject_worker_panic();
+    // Still functional after two contained panics.
+    let cases = build_cases();
+    let c = &cases[1];
+    let y = lg.gemm(&c.x, &c.scales, &c.qoq, KernelKind::ExCp).y;
+    assert_eq!(max_abs_diff(&y, &c.want_qoq), 0.0);
+    drop(lg);
+    assert_eq!(probe.load(Ordering::SeqCst), 0, "no deadlock on drop");
+}

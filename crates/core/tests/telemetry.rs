@@ -1,17 +1,18 @@
-//! Telemetry integration tests for the pipelines: counters are
-//! monotone, tasks are accounted exactly, and disabling telemetry
+//! Telemetry integration tests for the pool-backed pipelines: counters
+//! are monotone, tasks are accounted exactly, and enabling telemetry
 //! leaves results bit-identical.
 
-use lq_core::pipeline::{w4a8_imfp, ParallelConfig};
+use lq_core::api::W4A8Weights;
+use lq_core::pipeline::ParallelConfig;
 use lq_core::reference::max_abs_diff;
 use lq_core::serial::w4a8_lqq_serial;
-use lq_core::PackedLqqLinear;
+use lq_core::{KernelKind, LiquidGemm, PackedLqqLinear};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 use lq_rng::Rng;
 
-/// Both tests record into the same process-global registry; serialize
-/// them so exact-delta assertions aren't perturbed by the other test's
+/// All tests record into the same process-global registry; serialize
+/// them so exact-delta assertions aren't perturbed by the other tests'
 /// pipeline runs.
 static EXCLUSIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
@@ -22,9 +23,9 @@ fn fixture(rng: &mut Rng, m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, P
     (qa.q, qa.scales, PackedLqqLinear::quantize(&wf, 64))
 }
 
-/// Property: across repeated `w4a8_imfp` runs with randomized shapes,
-/// every pipeline stall counter is monotone non-decreasing and the
-/// tasks counter advances by exactly ⌈N / task_rows⌉ per run.
+/// Property: across repeated ImFP runs with randomized shapes, every
+/// pipeline stall counter is monotone non-decreasing and the tasks
+/// counter advances by exactly ⌈N / task_rows⌉ per run.
 #[test]
 fn imfp_stall_counters_monotone_across_runs() {
     let _guard = EXCLUSIVE.lock().unwrap();
@@ -41,6 +42,7 @@ fn imfp_stall_counters_monotone_across_runs() {
         .collect();
     let tasks = reg.counter_with("lq_pipeline_tasks_total", &[("variant", "imfp")]);
 
+    let lg = LiquidGemm::builder().workers(3).build().unwrap();
     let mut rng = Rng::new(0x5ECD);
     let mut prev_stalls: Vec<u64> = stall_names
         .iter()
@@ -52,15 +54,19 @@ fn imfp_stall_counters_monotone_across_runs() {
         let k = 64 * rng.range_usize(1, 4);
         let (x, s, w) = fixture(&mut rng, m, n, k);
         let task_rows = rng.range_usize(1, 9);
-        let cfg = ParallelConfig {
-            workers: rng.range_usize(1, 5),
-            task_rows,
-            stages: 2,
-        };
+        let cfg = ParallelConfig::builder()
+            .task_rows(task_rows)
+            .stages(2)
+            .build()
+            .unwrap();
 
         let tasks_before = tasks.get();
-        let got = w4a8_imfp(&x, &s, Some(&w), None, cfg);
-        let want = w4a8_lqq_serial(&x, &s, &w);
+        let weights = W4A8Weights::Lqq(w);
+        let got = lg.gemm_with(&x, &s, &weights, KernelKind::ImFp, cfg).y;
+        let want = match &weights {
+            W4A8Weights::Lqq(w) => w4a8_lqq_serial(&x, &s, w),
+            W4A8Weights::Qoq(_) => unreachable!(),
+        };
         assert_eq!(max_abs_diff(&got, &want), 0.0, "round {round}");
 
         let expected_tasks = n.div_ceil(task_rows) as u64;
@@ -89,15 +95,50 @@ fn gemm_call_histogram_counts_calls() {
     lq_telemetry::enable();
     let mut rng = Rng::new(7);
     let (x, s, w) = fixture(&mut rng, 3, 12, 128);
-    let cfg = ParallelConfig {
-        workers: 2,
-        task_rows: 4,
-        stages: 2,
-    };
+    let weights = W4A8Weights::Lqq(w);
+    let lg = LiquidGemm::builder()
+        .workers(2)
+        .task_rows(4)
+        .stages(2)
+        .build()
+        .unwrap();
     let hist = lq_telemetry::registry().histogram_with("lq_gemm_ns", &[("variant", "imfp")]);
     let before = hist.count();
-    let a = w4a8_imfp(&x, &s, Some(&w), None, cfg);
-    let b = w4a8_imfp(&x, &s, Some(&w), None, cfg);
+    let a = lg.gemm(&x, &s, &weights, KernelKind::ImFp).y;
+    let b = lg.gemm(&x, &s, &weights, KernelKind::ImFp).y;
     assert!(hist.count() >= before + 2, "each call records a span");
     assert_eq!(max_abs_diff(&a, &b), 0.0, "runs are deterministic");
+}
+
+/// The pool's own families appear once telemetry is on: per-worker job
+/// counters advance and the queue-depth gauge exists.
+#[test]
+fn pool_metrics_are_exported() {
+    let _guard = EXCLUSIVE.lock().unwrap();
+    lq_telemetry::enable();
+    let reg = lq_telemetry::registry();
+    let mut rng = Rng::new(11);
+    let (x, s, w) = fixture(&mut rng, 2, 16, 64);
+    let weights = W4A8Weights::Lqq(w);
+    // Fresh single-worker pool: all jobs land on worker 0.
+    let lg = LiquidGemm::builder()
+        .workers(1)
+        .task_rows(4)
+        .build()
+        .unwrap();
+    let jobs = reg.counter_with("lq_pool_jobs_total", &[("worker", "0")]);
+    let before = jobs.get();
+    let _ = lg.gemm(&x, &s, &weights, KernelKind::ImFp);
+    let _ = lg.gemm(&x, &s, &weights, KernelKind::ExCp);
+    // ImFP: 4 compute jobs; ExCP: 4 dequant jobs (+ up to 4 queued MMA
+    // jobs, some possibly inlined). At minimum the 8 first-hop jobs ran.
+    assert!(
+        jobs.get() >= before + 8,
+        "worker 0 executed the submitted jobs ({} -> {})",
+        before,
+        jobs.get()
+    );
+    let prom = reg.to_prometheus();
+    assert!(prom.contains("lq_pool_queue_depth"), "{prom}");
+    assert!(prom.contains("lq_pool_busy_ns_total"), "{prom}");
 }

@@ -7,7 +7,7 @@
 //! front of each.
 
 use lq_core::api::W4A8Weights;
-use lq_core::{gemm, KernelKind, ParallelConfig};
+use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 
@@ -31,13 +31,9 @@ pub struct FfnWeights {
 }
 
 /// Run the FFN for a batch of hidden states (`M × hidden` → same shape).
+/// All three projections go through `lg`'s persistent worker pool.
 #[must_use]
-pub fn ffn_forward(
-    w: &FfnWeights,
-    h: &Mat<f32>,
-    kind: KernelKind,
-    cfg: ParallelConfig,
-) -> Mat<f32> {
+pub fn ffn_forward(w: &FfnWeights, h: &Mat<f32>, lg: &LiquidGemm, kind: KernelKind) -> Mat<f32> {
     assert_eq!(w.gate_up.k(), h.cols(), "hidden size mismatch");
     assert_eq!(
         w.gate_up.n(),
@@ -45,7 +41,7 @@ pub fn ffn_forward(
         "fused gate_up must be 2*inter rows"
     );
     let qa = QuantizedActivations::quantize(h, None);
-    let gu = gemm(&qa.q, &qa.scales, &w.gate_up, kind, cfg).y;
+    let gu = lg.gemm(&qa.q, &qa.scales, &w.gate_up, kind).y;
     // act = silu(gate) ⊙ up
     let m = h.rows();
     let mut act = Mat::zeros(m, w.inter);
@@ -57,7 +53,7 @@ pub fn ffn_forward(
         }
     }
     let qa2 = QuantizedActivations::quantize(&act, None);
-    gemm(&qa2.q, &qa2.scales, &w.down, kind, cfg).y
+    lg.gemm(&qa2.q, &qa2.scales, &w.down, kind).y
 }
 
 /// FP32 reference FFN (oracle for tests).
@@ -105,7 +101,8 @@ mod tests {
             down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, 32)),
             inter,
         };
-        let got = ffn_forward(&w, &h, KernelKind::Serial, ParallelConfig::default());
+        let lg = LiquidGemm::builder().build().unwrap();
+        let got = ffn_forward(&w, &h, &lg, KernelKind::Serial);
         let want = ffn_reference(&gate_up, &down, inter, &h);
         let e = error_stats(&want, &got);
         assert!(e.cosine > 0.99, "cosine {}", e.cosine);
@@ -125,13 +122,14 @@ mod tests {
             down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, 32)),
             inter,
         };
-        let cfg = ParallelConfig {
-            workers: 2,
-            task_rows: 8,
-            stages: 2,
-        };
-        let a = ffn_forward(&w, &h, KernelKind::Serial, cfg);
-        let b = ffn_forward(&w, &h, KernelKind::ImFp, cfg);
+        let lg = LiquidGemm::builder()
+            .workers(2)
+            .task_rows(8)
+            .stages(2)
+            .build()
+            .unwrap();
+        let a = ffn_forward(&w, &h, &lg, KernelKind::Serial);
+        let b = ffn_forward(&w, &h, &lg, KernelKind::ImFp);
         assert_eq!(lq_core::reference::max_abs_diff(&a, &b), 0.0);
     }
 
@@ -146,6 +144,7 @@ mod tests {
             inter: 32,
         };
         let h = Mat::zeros(2, 64);
-        let _ = ffn_forward(&w, &h, KernelKind::Serial, ParallelConfig::default());
+        let lg = LiquidGemm::builder().build().unwrap();
+        let _ = ffn_forward(&w, &h, &lg, KernelKind::Serial);
     }
 }

@@ -7,7 +7,7 @@ use crate::kv::PagedKvStore;
 use crate::norm::rmsnorm;
 use crate::rope::{rope_heads_inplace, ROPE_BASE};
 use lq_core::api::W4A8Weights;
-use lq_core::{gemm, KernelKind, ParallelConfig};
+use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 use lq_serving::kvcache::SeqId;
@@ -40,7 +40,8 @@ impl DecoderLayer {
     /// Decode-step forward for a batch of sequences (one new token
     /// each). `h` is `M × hidden`; `seqs[i]`/`positions[i]` identify
     /// each row's sequence and the position of its new token. K/V are
-    /// appended to `store` (this layer's paged cache).
+    /// appended to `store` (this layer's paged cache). All projections
+    /// run on `lg`'s persistent worker pool.
     #[must_use]
     pub fn forward_decode(
         &self,
@@ -48,8 +49,8 @@ impl DecoderLayer {
         seqs: &[SeqId],
         positions: &[usize],
         store: &mut PagedKvStore,
+        lg: &LiquidGemm,
         kind: KernelKind,
-        pcfg: ParallelConfig,
     ) -> Mat<f32> {
         let m = h.rows();
         assert_eq!(seqs.len(), m);
@@ -64,7 +65,7 @@ impl DecoderLayer {
             normed.row_mut(i).copy_from_slice(&n);
         }
         let qa = QuantizedActivations::quantize(&normed, None);
-        let qkv = gemm(&qa.q, &qa.scales, &self.weights.qkv, kind, pcfg).y;
+        let qkv = lg.gemm(&qa.q, &qa.scales, &self.weights.qkv, kind).y;
 
         // 2. Per sequence: RoPE, KV append, streaming attention.
         let mut attn_out = Mat::zeros(m, q_dim);
@@ -83,7 +84,7 @@ impl DecoderLayer {
 
         // 3. Output projection (W4A8) + residual.
         let qa_o = QuantizedActivations::quantize(&attn_out, None);
-        let proj = gemm(&qa_o.q, &qa_o.scales, &self.weights.o, kind, pcfg).y;
+        let proj = lg.gemm(&qa_o.q, &qa_o.scales, &self.weights.o, kind).y;
         let mut h1 = Mat::zeros(m, hidden);
         for i in 0..m {
             for c in 0..hidden {
@@ -97,7 +98,7 @@ impl DecoderLayer {
             let n = rmsnorm(h1.row(i), &self.weights.ffn_norm);
             normed2.row_mut(i).copy_from_slice(&n);
         }
-        let f = ffn_forward(&self.weights.ffn, &normed2, kind, pcfg);
+        let f = ffn_forward(&self.weights.ffn, &normed2, lg, kind);
         let mut out = Mat::zeros(m, hidden);
         for i in 0..m {
             for c in 0..hidden {
@@ -120,8 +121,8 @@ impl DecoderLayer {
         seq: SeqId,
         start_pos: usize,
         store: &mut PagedKvStore,
+        lg: &LiquidGemm,
         kind: KernelKind,
-        pcfg: ParallelConfig,
     ) -> Mat<f32> {
         let t_len = h.rows();
         assert!(t_len > 0, "empty prefill");
@@ -136,7 +137,7 @@ impl DecoderLayer {
                 .copy_from_slice(&rmsnorm(h.row(i), &self.weights.attn_norm));
         }
         let qa = QuantizedActivations::quantize(&normed, None);
-        let qkv = gemm(&qa.q, &qa.scales, &self.weights.qkv, kind, pcfg).y;
+        let qkv = lg.gemm(&qa.q, &qa.scales, &self.weights.qkv, kind).y;
 
         // 2. Append every position's K/V first is NOT causal-safe for
         //    attention; instead append position t then attend, so each
@@ -157,7 +158,7 @@ impl DecoderLayer {
 
         // 3. Batched output projection + residual.
         let qa_o = QuantizedActivations::quantize(&attn_out, None);
-        let proj = gemm(&qa_o.q, &qa_o.scales, &self.weights.o, kind, pcfg).y;
+        let proj = lg.gemm(&qa_o.q, &qa_o.scales, &self.weights.o, kind).y;
         let mut h1 = Mat::zeros(t_len, hidden);
         for i in 0..t_len {
             for c in 0..hidden {
@@ -172,7 +173,7 @@ impl DecoderLayer {
                 .row_mut(i)
                 .copy_from_slice(&rmsnorm(h1.row(i), &self.weights.ffn_norm));
         }
-        let f = ffn_forward(&self.weights.ffn, &normed2, kind, pcfg);
+        let f = ffn_forward(&self.weights.ffn, &normed2, lg, kind);
         let mut out = Mat::zeros(t_len, hidden);
         for i in 0..t_len {
             for c in 0..hidden {
@@ -328,11 +329,11 @@ mod tests {
         }
         let mut h = synth_mat(2, hidden, 9, 1.0);
         let mut h_ref = h.clone();
-        let pcfg = ParallelConfig::default();
+        let lg = LiquidGemm::builder().build().unwrap();
         for step in 0..4 {
             let positions = vec![step; 2];
             let seq_idx = vec![0usize, 1];
-            h = layer.forward_decode(&h, &seqs, &positions, &mut store, KernelKind::Serial, pcfg);
+            h = layer.forward_decode(&h, &seqs, &positions, &mut store, &lg, KernelKind::Serial);
             h_ref = reference.forward_decode(&h_ref, &seq_idx, &positions);
             let e = error_stats(&h_ref, &h);
             // Three quantizers stack (weights, activations, KV), and the
@@ -356,15 +357,9 @@ mod tests {
         let mut store = PagedKvStore::new(32, 4, quant);
         store.add_sequence(0).unwrap();
         let mut h = synth_mat(1, hidden, 11, 1.0);
+        let lg = LiquidGemm::builder().build().unwrap();
         for step in 0..8 {
-            h = layer.forward_decode(
-                &h,
-                &[0],
-                &[step],
-                &mut store,
-                KernelKind::Serial,
-                ParallelConfig::default(),
-            );
+            h = layer.forward_decode(&h, &[0], &[step], &mut store, &lg, KernelKind::Serial);
         }
         let norm: f32 = h.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
         assert!(norm.is_finite() && norm < 1e4, "norm {norm}");

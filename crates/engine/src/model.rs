@@ -9,10 +9,11 @@ use crate::layer::{DecoderLayer, LayerWeights, ReferenceLayer};
 use crate::norm::rmsnorm;
 use lq_core::api::W4A8Weights;
 use lq_core::packed::PackedLqqLinear;
-use lq_core::{gemm, KernelKind, ParallelConfig};
+use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 use lq_serving::kvcache::SeqId;
+use std::sync::Arc;
 
 /// Architecture of the toy model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,13 +82,35 @@ pub struct TinyLlm {
     /// Per-layer KV stores.
     pub kv: Vec<PagedKvStore>,
     kind: KernelKind,
-    pcfg: ParallelConfig,
+    engine: Arc<LiquidGemm>,
 }
 
 impl TinyLlm {
-    /// Build with deterministic synthetic weights.
+    /// Build with deterministic synthetic weights, running all GEMMs on
+    /// a private default-sized [`LiquidGemm`] pool. To share one pool
+    /// across models (the serving pattern), use
+    /// [`TinyLlm::synthetic_with_engine`].
     #[must_use]
     pub fn synthetic(spec: ModelSpec, pages: usize, kind: KernelKind) -> Self {
+        let engine = Arc::new(
+            LiquidGemm::builder()
+                .build()
+                .expect("default LiquidGemm config is valid"),
+        );
+        Self::synthetic_with_engine(spec, pages, kind, engine)
+    }
+
+    /// Build with deterministic synthetic weights on an existing GEMM
+    /// engine. Every projection of every layer submits its tile jobs to
+    /// `engine`'s persistent worker pool, so many models (or many caller
+    /// threads) can share one pool.
+    #[must_use]
+    pub fn synthetic_with_engine(
+        spec: ModelSpec,
+        pages: usize,
+        kind: KernelKind,
+        engine: Arc<LiquidGemm>,
+    ) -> Self {
         let a = spec.attn;
         let mut layers = Vec::with_capacity(spec.layers);
         for l in 0..spec.layers as u64 {
@@ -122,8 +145,14 @@ impl TinyLlm {
             lm_head: W4A8Weights::Lqq(PackedLqqLinear::quantize(&lm_head_f, spec.group)),
             kv,
             kind,
-            pcfg: ParallelConfig::default(),
+            engine,
         }
+    }
+
+    /// The GEMM engine this model submits to.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<LiquidGemm> {
+        &self.engine
     }
 
     /// FP32 twin with the same synthetic weights (for validation).
@@ -217,7 +246,7 @@ impl TinyLlm {
             h.row_mut(i).copy_from_slice(self.embed.row(t));
         }
         for (layer, store) in self.layers.iter().zip(self.kv.iter_mut()) {
-            h = layer.forward_decode(&h, seqs, positions, store, self.kind, self.pcfg);
+            h = layer.forward_decode(&h, seqs, positions, store, &self.engine, self.kind);
         }
         let mut normed = Mat::zeros(m, self.spec.hidden);
         for i in 0..m {
@@ -226,7 +255,9 @@ impl TinyLlm {
                 .copy_from_slice(&rmsnorm(h.row(i), &self.final_norm));
         }
         let qa = QuantizedActivations::quantize(&normed, None);
-        gemm(&qa.q, &qa.scales, &self.lm_head, self.kind, self.pcfg).y
+        self.engine
+            .gemm(&qa.q, &qa.scales, &self.lm_head, self.kind)
+            .y
     }
 
     /// Batched prefill of a whole prompt for one sequence: one pass of
@@ -242,13 +273,15 @@ impl TinyLlm {
             h.row_mut(i).copy_from_slice(self.embed.row(t));
         }
         for (layer, store) in self.layers.iter().zip(self.kv.iter_mut()) {
-            h = layer.forward_prefill(&h, seq, 0, store, self.kind, self.pcfg);
+            h = layer.forward_prefill(&h, seq, 0, store, &self.engine, self.kind);
         }
         // Only the last position's logits matter for generation.
         let last = rmsnorm(h.row(t_len - 1), &self.final_norm);
         let last_m = Mat::from_vec(1, self.spec.hidden, last);
         let qa = QuantizedActivations::quantize(&last_m, None);
-        gemm(&qa.q, &qa.scales, &self.lm_head, self.kind, self.pcfg).y
+        self.engine
+            .gemm(&qa.q, &qa.scales, &self.lm_head, self.kind)
+            .y
     }
 
     /// Chunked prefill: process the prompt in chunks of `chunk` tokens
@@ -270,13 +303,16 @@ impl TinyLlm {
                 h.row_mut(i).copy_from_slice(self.embed.row(t));
             }
             for (layer, store) in self.layers.iter().zip(self.kv.iter_mut()) {
-                h = layer.forward_prefill(&h, seq, start, store, self.kind, self.pcfg);
+                h = layer.forward_prefill(&h, seq, start, store, &self.engine, self.kind);
             }
             if end == prompt.len() {
                 let last = rmsnorm(h.row(piece.len() - 1), &self.final_norm);
                 let last_m = Mat::from_vec(1, self.spec.hidden, last);
                 let qa = QuantizedActivations::quantize(&last_m, None);
-                logits = gemm(&qa.q, &qa.scales, &self.lm_head, self.kind, self.pcfg).y;
+                logits = self
+                    .engine
+                    .gemm(&qa.q, &qa.scales, &self.lm_head, self.kind)
+                    .y;
             }
             start = end;
         }
@@ -459,6 +495,23 @@ mod tests {
             let d = (batch_logits.get(0, c) - solo_logits.get(0, c)).abs();
             assert!(d < 1e-4, "col {c}: {d}");
         }
+    }
+
+    #[test]
+    fn models_sharing_one_engine_match_private_engines() {
+        // Two models submitting to ONE shared pool must generate exactly
+        // what two models with private pools generate — integer
+        // accumulation makes results independent of pool topology.
+        let spec = ModelSpec::tiny();
+        let shared = std::sync::Arc::new(LiquidGemm::builder().workers(2).build().unwrap());
+        let mut a = TinyLlm::synthetic_with_engine(spec, 64, KernelKind::ImFp, Arc::clone(&shared));
+        let mut b = TinyLlm::synthetic_with_engine(spec, 64, KernelKind::ImFp, shared);
+        let mut solo = TinyLlm::synthetic(spec, 64, KernelKind::ImFp);
+        let ta = a.generate_greedy(0, &[1, 2, 3], 5);
+        let tb = b.generate_greedy(0, &[1, 2, 3], 5);
+        let ts = solo.generate_greedy(0, &[1, 2, 3], 5);
+        assert_eq!(ta, tb);
+        assert_eq!(ta, ts);
     }
 
     #[test]

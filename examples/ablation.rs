@@ -4,9 +4,10 @@
 //!
 //! Run: `cargo run --release --example ablation`
 
+use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::{PackedLqqLinear, PackedQoqLinear};
-use liquidgemm::core::pipeline::{w4a8_excp, w4a8_imfp, ParallelConfig};
 use liquidgemm::core::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
+use liquidgemm::core::{KernelKind, LiquidGemm};
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
 use liquidgemm::sim::pipeline_sim::ablation;
@@ -35,11 +36,13 @@ fn main() {
     let lqq = PackedLqqLinear::quantize(&w, 64);
     let qoq = PackedQoqLinear::quantize(&w, 64);
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
-    let cfg = ParallelConfig {
-        workers,
-        task_rows: 16,
-        stages: 2 * workers,
-    };
+    let lg = LiquidGemm::builder()
+        .workers(workers)
+        .task_rows(16)
+        .stages(2 * workers)
+        .build()
+        .expect("valid config");
+    let weights = W4A8Weights::Lqq(lqq.clone());
 
     let t_base = median(3, || {
         std::hint::black_box(w4a8_qoq_serial(&qa.q, &qa.scales, &qoq));
@@ -48,10 +51,10 @@ fn main() {
         std::hint::black_box(w4a8_lqq_serial(&qa.q, &qa.scales, &lqq));
     });
     let t_excp = median(3, || {
-        std::hint::black_box(w4a8_excp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+        std::hint::black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ExCp));
     });
     let t_imfp = median(3, || {
-        std::hint::black_box(w4a8_imfp(&qa.q, &qa.scales, Some(&lqq), None, cfg));
+        std::hint::black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp));
     });
     println!("  baseline (QoQ dequant, serial) : {:8.2} ms", t_base * 1e3);
     println!(

@@ -5,10 +5,11 @@
 //!
 //! Run: `cargo run --release --example decode_demo`
 
-use liquidgemm::core::KernelKind;
+use liquidgemm::core::{KernelKind, LiquidGemm};
 use liquidgemm::engine::attention::AttnConfig;
 use liquidgemm::engine::model::{argmax, ModelSpec, TinyLlm};
 use liquidgemm::quant::metrics::error_stats;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -29,12 +30,17 @@ fn main() {
         spec.layers, spec.hidden, spec.inter, spec.attn.heads, spec.attn.kv_heads, spec.vocab
     );
 
+    // One persistent GEMM runtime serves every projection of every
+    // layer — build it once, share it with the model.
+    let engine = Arc::new(LiquidGemm::builder().build().expect("valid config"));
     let t0 = Instant::now();
-    let mut q = TinyLlm::synthetic(spec, 256, KernelKind::Serial);
+    let mut q = TinyLlm::synthetic_with_engine(spec, 256, KernelKind::ImFp, Arc::clone(&engine));
     println!(
-        "built + quantized all layers (W4A8, group {}) in {:.0} ms",
+        "built + quantized all layers (W4A8, group {}) in {:.0} ms; \
+         decode runs ImFP on a {}-worker persistent pool",
         spec.group,
-        t0.elapsed().as_secs_f64() * 1e3
+        t0.elapsed().as_secs_f64() * 1e3,
+        engine.workers()
     );
     // Offline per-channel static KV calibration (as the paper's system
     // does) before serving.

@@ -12,7 +12,7 @@
 use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::PackedLqqLinear;
 use liquidgemm::core::reference::gemm_f32_ref;
-use liquidgemm::core::{gemm, KernelKind, ParallelConfig};
+use liquidgemm::core::{KernelKind, LiquidGemm};
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
 use liquidgemm::quant::metrics::error_stats;
@@ -49,11 +49,13 @@ fn main() {
         make_linear("down", hidden, inter, 4),
     ];
 
-    let cfg = ParallelConfig {
-        workers: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
-        task_rows: 16,
-        stages: 8,
-    };
+    // One pool for the whole layer; workers default to the machine's
+    // available parallelism.
+    let lg = LiquidGemm::builder()
+        .task_rows(16)
+        .stages(8)
+        .build()
+        .expect("valid config");
 
     // Hidden states entering the layer.
     let mut h = Mat::from_fn(batch, hidden, |r, c| {
@@ -66,7 +68,7 @@ fn main() {
         // Per-token dynamic INT8 quantization of the activations.
         let qa = QuantizedActivations::quantize(&h, None);
         let t0 = Instant::now();
-        let y = gemm(&qa.q, &qa.scales, &lin.packed, KernelKind::ImFp, cfg).y;
+        let y = lg.gemm(&qa.q, &qa.scales, &lin.packed, KernelKind::ImFp).y;
         let dt = t0.elapsed().as_secs_f64();
         total += dt;
 

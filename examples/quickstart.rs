@@ -6,7 +6,7 @@
 use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::{PackedLqqLinear, PackedQoqLinear};
 use liquidgemm::core::reference::{gemm_f32_ref, max_abs_diff};
-use liquidgemm::core::{gemm, KernelKind, ParallelConfig};
+use liquidgemm::core::{KernelKind, LiquidGemm};
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
 use liquidgemm::quant::metrics::error_stats;
@@ -33,10 +33,12 @@ fn main() {
     let qa = QuantizedActivations::quantize(&x, None);
 
     // The FP32 oracle and the quantization error of the W4A8 result.
+    // One LiquidGemm handle owns the persistent worker pool; build it
+    // once and reuse it for every call below.
+    let lg = LiquidGemm::builder().build().expect("valid config");
     let oracle = gemm_f32_ref(&x, &w);
     let weights = W4A8Weights::Lqq(lqq.clone());
-    let cfg = ParallelConfig::default();
-    let y = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, cfg).y;
+    let y = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial).y;
     let e = error_stats(&oracle, &y);
     println!(
         "W4A8 vs FP32 oracle: SQNR {:.1} dB, cosine {:.5}\n",
@@ -52,7 +54,7 @@ fn main() {
         KernelKind::ImFp,
     ] {
         let t0 = Instant::now();
-        let out = gemm(&qa.q, &qa.scales, &weights, kind, cfg).y;
+        let out = lg.gemm(&qa.q, &qa.scales, &weights, kind).y;
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(max_abs_diff(&out, &y), 0.0);
         println!("  {kind:?}: {:.2} ms", dt * 1e3);
@@ -61,7 +63,7 @@ fn main() {
     // The QoQ baseline kernel: same accuracy class, more ALU work.
     let qoq = W4A8Weights::Qoq(PackedQoqLinear::quantize(&w, 64));
     let t0 = Instant::now();
-    let yq = gemm(&qa.q, &qa.scales, &qoq, KernelKind::Serial, cfg).y;
+    let yq = lg.gemm(&qa.q, &qa.scales, &qoq, KernelKind::Serial).y;
     let dt = t0.elapsed().as_secs_f64();
     let eq = error_stats(&oracle, &yq);
     println!(

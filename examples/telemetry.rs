@@ -5,17 +5,20 @@
 //! Run: `cargo run --release --example telemetry`
 //!
 //! The output demonstrates the three instrumented layers:
-//! * `lq-core::pipeline` — per-variant call-latency histograms
-//!   (`lq_gemm_ns`), per-role span timings, queue-depth gauges, and the
-//!   stall counters that distinguish ImFP from ExCP back-pressure.
+//! * `lq-core` — per-variant call-latency histograms (`lq_gemm_ns`),
+//!   staging-span timings and load-stall counters from the pipeline
+//!   drivers, plus the persistent worker pool's own families:
+//!   `lq_pool_queue_depth`, per-worker `lq_pool_jobs_total`,
+//!   `lq_pool_busy_ns_total`, and `lq_pool_job_ns`.
 //! * `lq-serving` — decode-step latency histogram (p50/p95/p99),
 //!   per-step batch-size histogram, KV-page occupancy gauges, admission
 //!   and OOM counters, end-of-run tokens/s.
 //! * `lq-sim::pipeline_sim` — modelled per-resource busy time (TMA /
 //!   CUDA cores / Tensor cores) for each pipelining discipline.
 
+use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::PackedLqqLinear;
-use liquidgemm::core::pipeline::{w4a8_excp, w4a8_imfp, ParallelConfig};
+use liquidgemm::core::{KernelKind, LiquidGemm};
 use liquidgemm::models::configs::LLAMA2_7B;
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
@@ -38,16 +41,23 @@ fn main() {
     let lqq = PackedLqqLinear::quantize(&w, 64);
     let x = Mat::from_fn(m, k, |_, _| rng.range_f32(-2.0, 2.0));
     let qa = QuantizedActivations::quantize(&x, None);
-    let cfg = ParallelConfig {
-        workers: 4,
-        task_rows: 8,
-        stages: 8,
-    };
+    let weights = W4A8Weights::Lqq(lqq);
+    // One persistent pool serves every call — its per-worker counters
+    // (lq_pool_jobs_total, lq_pool_busy_ns_total) accumulate below.
+    let lg = LiquidGemm::builder()
+        .workers(4)
+        .task_rows(8)
+        .stages(8)
+        .build()
+        .expect("valid config");
     for _ in 0..4 {
-        let _ = w4a8_imfp(&qa.q, &qa.scales, Some(&lqq), None, cfg);
-        let _ = w4a8_excp(&qa.q, &qa.scales, Some(&lqq), None, cfg);
+        let _ = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp);
+        let _ = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ExCp);
     }
-    println!("ran 4x ImFP + 4x ExCP GEMMs ({m}x{n}x{k})");
+    println!(
+        "ran 4x ImFP + 4x ExCP GEMMs ({m}x{n}x{k}) on a {}-worker pool",
+        lg.workers()
+    );
 
     // ── 2. Instrumented serving loop: continuous-batching decode ────
     let sys = ServingSystem::of(SystemId::LiquidServe);

@@ -12,7 +12,9 @@
 //! * [`layout`] — dual-MMA packed weight layout, the `ldmatrix`
 //!   mis-scatter model, tiles, bank-conflict accounting.
 //! * [`core`] — the kernels: serial and pipelined (flat / ExCP / ImFP)
-//!   W4A8 GEMM plus W8A8 / W4A16 / FP16 / FP8 baselines.
+//!   W4A8 GEMM plus W8A8 / W4A16 / FP16 / FP8 baselines, all driven by
+//!   a persistent worker-pool runtime behind the [`core::LiquidGemm`]
+//!   handle (the paper's persistent-kernel scheduling, § 5.4).
 //! * [`sim`] — A100/H100/H800 hardware model, the paper's cost model
 //!   (Eqs. 3–6), per-system kernel latency models, and the warp-group
 //!   pipeline simulator.
@@ -29,7 +31,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use liquidgemm::core::{gemm, KernelKind, ParallelConfig};
+//! use liquidgemm::core::{KernelKind, LiquidGemm};
 //! use liquidgemm::core::api::W4A8Weights;
 //! use liquidgemm::core::packed::PackedLqqLinear;
 //! use liquidgemm::quant::act::QuantizedActivations;
@@ -43,9 +45,11 @@
 //! let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
 //! // Online: per-token INT8 activation quantization.
 //! let qa = QuantizedActivations::quantize(&x, None);
-//! // The W4A8 GEMM with the implicit fine-grained pipeline.
-//! let out = gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp,
-//!                ParallelConfig::default());
+//! // Build the persistent GEMM runtime once (it owns a worker pool,
+//! // the paper's persistent-kernel scheduling), then reuse it for
+//! // every call — here the implicit fine-grained pipeline.
+//! let lg = LiquidGemm::builder().build().unwrap();
+//! let out = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp);
 //! assert_eq!((out.y.rows(), out.y.cols()), (4, 32));
 //! ```
 

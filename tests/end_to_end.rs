@@ -6,7 +6,7 @@ use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::{PackedLqqLinear, PackedQoqLinear, W8A8Linear};
 use liquidgemm::core::reference::{gemm_f32_ref, max_abs_diff};
 use liquidgemm::core::serial::w8a8_serial;
-use liquidgemm::core::{gemm, KernelKind, ParallelConfig};
+use liquidgemm::core::{KernelKind, LiquidGemm, ParallelConfig};
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
 use liquidgemm::quant::metrics::error_stats;
@@ -25,23 +25,21 @@ fn fixture(m: usize, n: usize, k: usize, outliers: bool) -> (Mat<f32>, Mat<f32>)
     (x, w)
 }
 
+fn handle() -> LiquidGemm {
+    LiquidGemm::builder().build().expect("valid default config")
+}
+
 #[test]
 fn w4a8_end_to_end_accuracy_vs_fp32() {
     let (x, w) = fixture(16, 96, 512, false);
     let oracle = gemm_f32_ref(&x, &w);
     let qa = QuantizedActivations::quantize(&x, None);
+    let lg = handle();
     for (name, weights) in [
         ("lqq", W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64))),
         ("qoq", W4A8Weights::Qoq(PackedQoqLinear::quantize(&w, 64))),
     ] {
-        let y = gemm(
-            &qa.q,
-            &qa.scales,
-            &weights,
-            KernelKind::Serial,
-            ParallelConfig::default(),
-        )
-        .y;
+        let y = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial).y;
         let e = error_stats(&oracle, &y);
         assert!(e.sqnr_db > 25.0, "{name}: sqnr {}", e.sqnr_db);
         assert!(e.cosine > 0.998, "{name}: cosine {}", e.cosine);
@@ -53,14 +51,17 @@ fn all_pipeline_variants_bit_identical_on_large_shape() {
     let (x, w) = fixture(24, 256, 768, false);
     let qa = QuantizedActivations::quantize(&x, None);
     let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-    let cfg = ParallelConfig {
-        workers: 4,
-        task_rows: 7,
-        stages: 3,
-    };
-    let base = gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial, cfg).y;
+    let lg = LiquidGemm::builder().workers(4).build().unwrap();
+    let cfg = ParallelConfig::builder()
+        .task_rows(7)
+        .stages(3)
+        .build()
+        .unwrap();
+    let base = lg
+        .gemm_with(&qa.q, &qa.scales, &weights, KernelKind::Serial, cfg)
+        .y;
     for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
-        let y = gemm(&qa.q, &qa.scales, &weights, kind, cfg).y;
+        let y = lg.gemm_with(&qa.q, &qa.scales, &weights, kind, cfg).y;
         assert_eq!(max_abs_diff(&y, &base), 0.0, "{kind:?} diverged");
     }
 }
@@ -71,16 +72,10 @@ fn smoothquant_calibration_helps_the_full_w4a8_path() {
     let oracle = gemm_f32_ref(&x, &w);
 
     // Without smoothing.
+    let lg = handle();
     let qa = QuantizedActivations::quantize(&x, None);
     let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 8));
-    let y_plain = gemm(
-        &qa.q,
-        &qa.scales,
-        &weights,
-        KernelKind::Serial,
-        ParallelConfig::default(),
-    )
-    .y;
+    let y_plain = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial).y;
     let e_plain = error_stats(&oracle, &y_plain);
 
     // With calibrated smoothing applied to both operands.
@@ -88,14 +83,9 @@ fn smoothquant_calibration_helps_the_full_w4a8_path() {
     let w_s = liquidgemm::quant::smooth::smooth_weights(&w, &cal.scales);
     let qa_s = QuantizedActivations::quantize(&x, Some(&cal.scales));
     let weights_s = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w_s, 8));
-    let y_s = gemm(
-        &qa_s.q,
-        &qa_s.scales,
-        &weights_s,
-        KernelKind::Serial,
-        ParallelConfig::default(),
-    )
-    .y;
+    let y_s = lg
+        .gemm(&qa_s.q, &qa_s.scales, &weights_s, KernelKind::Serial)
+        .y;
     let e_s = error_stats(&oracle, &y_s);
 
     assert!(
@@ -115,14 +105,9 @@ fn w4a8_tracks_w8a8_within_second_level_error() {
     let w8 = W8A8Linear::quantize(&w);
     let y8 = w8a8_serial(&qa.q, &qa.scales, &w8);
     let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-    let y4 = gemm(
-        &qa.q,
-        &qa.scales,
-        &weights,
-        KernelKind::Serial,
-        ParallelConfig::default(),
-    )
-    .y;
+    let y4 = handle()
+        .gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial)
+        .y;
     let e = error_stats(&y8, &y4);
     assert!(e.cosine > 0.999, "cosine {}", e.cosine);
 }
@@ -133,17 +118,11 @@ fn group_size_sweep_is_monotone_in_fidelity() {
     let (x, w) = fixture(8, 32, 512, false);
     let oracle = gemm_f32_ref(&x, &w);
     let qa = QuantizedActivations::quantize(&x, None);
+    let lg = handle();
     let mut last_sqnr = f64::NEG_INFINITY;
     for group in [256, 128, 32, 8] {
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, group));
-        let y = gemm(
-            &qa.q,
-            &qa.scales,
-            &weights,
-            KernelKind::Serial,
-            ParallelConfig::default(),
-        )
-        .y;
+        let y = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial).y;
         let e = error_stats(&oracle, &y);
         assert!(
             e.sqnr_db >= last_sqnr - 1.0,
