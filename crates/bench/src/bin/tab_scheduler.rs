@@ -29,12 +29,7 @@ fn arrivals(n: usize, rate: f64) -> Vec<Request> {
             // uniform sample.
             let u = (state % 10_000) as f64 / 10_000.0;
             t += -(1.0 - u.min(0.9999)).ln() / rate;
-            Request {
-                id,
-                prompt_len: 1024,
-                output_len: 512,
-                arrival: t,
-            }
+            Request::new(id, 1024, 512, t)
         })
         .collect()
 }

@@ -17,6 +17,8 @@
 //! | `fig13_ablation` | Figure 13: LQQ / ExCP / ImFP ablation |
 //! | `tab_accuracy` | §7.1 accuracy note: LQQ vs QoQ error |
 //! | `cpu_kernel_bench` | CPU-measured kernel cross-check |
+//! | `tab_scheduler` | continuous-batching scheduler under load (simulated) |
+//! | `serving_runtime` | executable batched vs sequential continuous decode (§6 analogue) |
 //!
 //! Plain-main microbenchmarks live in `benches/` (run with
 //! `cargo bench`; the offline sandbox has no criterion, so they use

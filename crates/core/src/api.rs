@@ -1,17 +1,16 @@
-//! Kernel entry points and the shared argument types.
+//! Shared argument types of the kernel API.
 //!
-//! The current front door is the handle-based [`crate::LiquidGemm`]
-//! API (`LiquidGemm::builder().workers(n).build()?` →
+//! The front door is the handle-based [`crate::LiquidGemm`] API
+//! (`LiquidGemm::builder().workers(n).build()?` →
 //! `lg.gemm(&x, &scales, &weights, kind)`), which owns a persistent
-//! worker pool. The free [`gemm`] function below survives as a
-//! deprecated shim over a lazily-built process-global handle so older
-//! callers keep compiling during the migration.
+//! worker pool. This module holds the types every call site shares:
+//! the [`KernelKind`] pipeline selector, the [`W4A8Weights`]
+//! scheme-tagged weight container, and the [`GemmOutput`] result.
 
 use lq_quant::mat::Mat;
 
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
 pub use crate::pipeline::{Dequant, PackedW4A8, ParallelConfig};
-use crate::runtime::global;
 
 /// Pipeline strategy for the W4A8 kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,41 +80,6 @@ pub struct GemmOutput {
     pub y: Mat<f32>,
 }
 
-/// Run `Y = X·Wᵀ` with the selected kernel variant.
-///
-/// `x` is the INT8 activation matrix (`M×K`), `act_scales` the per-token
-/// scales from dynamic quantization.
-///
-/// # Migration
-///
-/// This free function routes through a lazily-initialised process-global
-/// [`crate::LiquidGemm`] whose pool size is picked at first use —
-/// `cfg.workers` is **ignored** (only `cfg.task_rows` / `cfg.stages`
-/// apply per call). New code should own its handle instead:
-///
-/// ```
-/// use lq_core::{KernelKind, LiquidGemm};
-/// let lg = LiquidGemm::builder().workers(4).build().unwrap();
-/// // ... lg.gemm(&x, &scales, &weights, KernelKind::ImFp) per call,
-/// // reusing `lg` across layers and decode steps.
-/// # let _ = lg;
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `LiquidGemm` handle once and call `lg.gemm(...)`; this shim shares one \
-            process-global pool and ignores `cfg.workers`"
-)]
-#[must_use]
-pub fn gemm(
-    x: &Mat<i8>,
-    act_scales: &[f32],
-    weights: &W4A8Weights,
-    kind: KernelKind,
-    cfg: ParallelConfig,
-) -> GemmOutput {
-    global().gemm_with(x, act_scales, weights, kind, cfg)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,20 +108,5 @@ mod tests {
             let y = lg.gemm(&qa.q, &qa.scales, &w, kind).y;
             assert_eq!(max_abs_diff(&y, &base), 0.0, "{kind:?}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_works() {
-        // The transition shim: same math through the global handle.
-        let (m, n, k) = (3, 10, 64);
-        let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.21).sin());
-        let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.07).cos());
-        let qa = QuantizedActivations::quantize(&xf, None);
-        let w = W4A8Weights::Lqq(PackedLqqLinear::quantize(&wf, 64));
-        let cfg = ParallelConfig::default();
-        let base = gemm(&qa.q, &qa.scales, &w, KernelKind::Serial, cfg).y;
-        let y = gemm(&qa.q, &qa.scales, &w, KernelKind::ImFp, cfg).y;
-        assert_eq!(max_abs_diff(&y, &base), 0.0);
     }
 }

@@ -2,52 +2,20 @@
 //!
 //! The paper's serving system (Section 6) quantizes FP16 activations to
 //! INT8 on the fly, per token, "typically fused into other kernels".
-//! That fusion point now lives on the handle —
+//! That fusion point lives on the handle —
 //! [`crate::LiquidGemm::gemm_f32`] — so no caller ever routes
-//! unquantized activations into an INT8 kernel by mistake. The free
-//! function below is the deprecated transition shim over the
-//! process-global handle.
-
-use lq_quant::mat::Mat;
-
-use crate::api::{GemmOutput, KernelKind, W4A8Weights};
-use crate::pipeline::ParallelConfig;
-use crate::runtime::global;
-
-/// W4A8 GEMM taking FP32 activations: per-token INT8 quantization is
-/// fused in front of the kernel. `smooth` (length K), if given, divides
-/// the activations channel-wise first (the SmoothQuant inverse scale —
-/// the weights must have been quantized with the matching forward
-/// scale).
-///
-/// # Migration
-///
-/// Deprecated alongside [`crate::gemm`]: build a [`crate::LiquidGemm`]
-/// and call [`crate::LiquidGemm::gemm_f32`] (or `gemm_f32_with`) on it.
-/// This shim shares the process-global pool; `cfg.workers` is ignored.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `LiquidGemm` handle once and call `lg.gemm_f32(...)`; this shim shares one \
-            process-global pool and ignores `cfg.workers`"
-)]
-#[must_use]
-pub fn gemm_f32_activations(
-    x: &Mat<f32>,
-    weights: &W4A8Weights,
-    smooth: Option<&[f32]>,
-    kind: KernelKind,
-    cfg: ParallelConfig,
-) -> GemmOutput {
-    global().gemm_f32_with(x, weights, smooth, kind, cfg)
-}
+//! unquantized activations into an INT8 kernel by mistake. This module
+//! holds its tests; the implementation sits with the rest of the
+//! handle methods in `runtime.rs`.
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::api::{KernelKind, W4A8Weights};
     use crate::packed::PackedLqqLinear;
     use crate::reference::{gemm_f32_ref, max_abs_diff};
     use crate::runtime::LiquidGemm;
     use lq_quant::act::QuantizedActivations;
+    use lq_quant::mat::Mat;
     use lq_quant::metrics::error_stats;
     use lq_quant::smooth::{calibrate, smooth_weights};
 
@@ -98,22 +66,6 @@ mod tests {
             .y;
         let e = error_stats(&gemm_f32_ref(&x, &w), &y);
         assert!(e.cosine > 0.995, "cosine {}", e.cosine);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_handle() {
-        let (x, w) = fixture(4, 12, 64);
-        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let via_shim = gemm_f32_activations(
-            &x,
-            &weights,
-            None,
-            KernelKind::ImFp,
-            ParallelConfig::default(),
-        );
-        let via_handle = handle().gemm_f32(&x, &weights, None, KernelKind::Serial);
-        assert_eq!(max_abs_diff(&via_shim.y, &via_handle.y), 0.0);
     }
 
     #[test]

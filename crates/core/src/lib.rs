@@ -35,10 +35,10 @@
 //!   the executable twin of the cost model's decomposition.
 //! * [`epilogue`] — scale application and output transposition
 //!   (the `(W·Xᵀ)ᵀ` trick).
-//! * [`api`] — shared argument types plus the deprecated free `gemm`
-//!   shim over a process-global handle.
-//! * [`fused`] — FP32-activation front end with fused per-token INT8
-//!   quantization (the serving system's fusion point), now
+//! * [`api`] — the shared argument types every call site uses
+//!   ([`KernelKind`], [`W4A8Weights`], [`GemmOutput`]).
+//! * [`fused`] — tests for the FP32-activation front end with fused
+//!   per-token INT8 quantization (the serving system's fusion point),
 //!   [`LiquidGemm::gemm_f32`].
 //!
 //! When [`lq_telemetry::enable`] is on, the pipelines export stall
@@ -63,8 +63,6 @@ pub mod sync;
 mod telemetry;
 pub mod tiled;
 
-#[allow(deprecated)]
-pub use api::gemm;
 pub use api::{GemmOutput, KernelKind, ParallelConfig, W4A8Weights};
 pub use packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,

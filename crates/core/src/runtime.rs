@@ -574,17 +574,6 @@ impl LiquidGemmBuilder {
     }
 }
 
-/// The process-global handle behind the deprecated free [`crate::gemm`]
-/// shim. Built lazily with default settings on first use.
-pub(crate) fn global() -> &'static LiquidGemm {
-    static GLOBAL: OnceLock<LiquidGemm> = OnceLock::new();
-    GLOBAL.get_or_init(|| {
-        LiquidGemm::builder()
-            .build()
-            .expect("default LiquidGemm config is valid")
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

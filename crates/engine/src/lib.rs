@@ -24,6 +24,9 @@
 //! * [`layer`] — one decoder layer (attention + FFN + norms).
 //! * [`model`] — a toy multi-layer model with deterministic synthetic
 //!   weights, greedy decoding, and an FP32 twin for validation.
+//! * [`serving`] — `TinyLlm` as an `lq_serving::runtime::ServingEngine`
+//!   (KV-driven `decode_step_batch`), so the executable
+//!   continuous-batching runtime can drive the real model.
 //! * [`sampling`] — greedy / temperature / top-k sampling with a
 //!   deterministic RNG.
 
@@ -38,6 +41,7 @@ pub mod model;
 pub mod norm;
 pub mod rope;
 pub mod sampling;
+pub mod serving;
 
 pub use kv::{KvQuantizer, PagedKvStore};
 pub use layer::{DecoderLayer, LayerWeights};

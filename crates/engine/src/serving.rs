@@ -1,0 +1,94 @@
+//! [`TinyLlm`] as a [`ServingEngine`]: the glue that lets the
+//! executable continuous-batching runtime
+//! ([`lq_serving::runtime::ServingRuntime`]) drive the real W4A8 model.
+//!
+//! The runtime hands the engine `(sequence, last_token)` slots once per
+//! iteration; [`TinyLlm::decode_step_batch`] stacks them into one
+//! M=batch activation matrix per layer, so each decode iteration of the
+//! whole running batch is a single GEMM submission per projection to
+//! the shared `Arc<LiquidGemm>` pool — the CPU analogue of the paper's
+//! batched decode GEMMs (Figure 10 / Table 1). Greedy sampling keeps
+//! the loop deterministic; integer accumulation makes the batched pass
+//! bit-exact against per-sequence decode (asserted by
+//! `tests/batched_decode.rs`).
+
+use crate::model::{argmax, TinyLlm};
+use lq_quant::mat::Mat;
+use lq_serving::kvcache::SeqId;
+use lq_serving::runtime::ServingEngine;
+
+impl TinyLlm {
+    /// One batched decode iteration driven by KV state: for each
+    /// `(seq, token)` slot, feed `token` at the sequence's next cached
+    /// position (derived from the paged KV store, so callers never
+    /// track positions). Returns `M × vocab` logits, one row per slot.
+    ///
+    /// Bit-exact versus calling [`TinyLlm::decode_step`] once per
+    /// sequence in any interleaving: every row quantizes, accumulates,
+    /// and dequantizes independently.
+    #[must_use]
+    pub fn decode_step_batch(&mut self, slots: &[(SeqId, usize)]) -> Mat<f32> {
+        assert!(!slots.is_empty(), "empty decode batch");
+        let tokens: Vec<usize> = slots.iter().map(|&(_, t)| t).collect();
+        let seqs: Vec<SeqId> = slots.iter().map(|&(s, _)| s).collect();
+        let positions: Vec<usize> = seqs
+            .iter()
+            .map(|&s| self.kv[0].len_of(s).expect("live sequence"))
+            .collect();
+        self.decode_step(&tokens, &seqs, &positions)
+    }
+}
+
+impl ServingEngine for TinyLlm {
+    fn prefill(&mut self, id: SeqId, prompt: &[usize]) -> usize {
+        self.add_sequence(id);
+        let logits = TinyLlm::prefill(self, id, prompt);
+        argmax(logits.row(0))
+    }
+
+    fn decode_batch(&mut self, slots: &[(SeqId, usize)]) -> Vec<usize> {
+        let logits = self.decode_step_batch(slots);
+        (0..logits.rows()).map(|i| argmax(logits.row(i))).collect()
+    }
+
+    fn release(&mut self, id: SeqId) {
+        for store in &mut self.kv {
+            store.free_sequence(id).expect("live sequence");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use lq_core::KernelKind;
+
+    #[test]
+    fn decode_step_batch_tracks_positions_from_kv() {
+        let mut m = TinyLlm::synthetic(ModelSpec::tiny(), 64, KernelKind::Serial);
+        m.add_sequence(0);
+        m.add_sequence(1);
+        // Advance sequence 0 by two tokens first so the two sequences
+        // sit at different positions when batched together.
+        let _ = m.decode_step(&[3], &[0], &[0]);
+        let _ = m.decode_step(&[4], &[0], &[1]);
+        let logits = m.decode_step_batch(&[(0, 5), (1, 9)]);
+        assert_eq!((logits.rows(), logits.cols()), (2, m.spec.vocab));
+        assert_eq!(m.kv[0].len_of(0).unwrap(), 3);
+        assert_eq!(m.kv[0].len_of(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn serving_engine_round_trip_releases_kv() {
+        let mut m = TinyLlm::synthetic(ModelSpec::tiny(), 64, KernelKind::Serial);
+        let t0 = ServingEngine::prefill(&mut m, 7, &[1, 2, 3]);
+        assert!(t0 < m.spec.vocab);
+        let next = ServingEngine::decode_batch(&mut m, &[(7, t0)]);
+        assert_eq!(next.len(), 1);
+        let free_before = m.kv[0].table.free_pages();
+        ServingEngine::release(&mut m, 7);
+        assert!(m.kv[0].table.free_pages() > free_before);
+        assert!(m.kv.iter().all(|s| s.table.check_invariants()));
+    }
+}

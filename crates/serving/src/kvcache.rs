@@ -82,6 +82,13 @@ impl PagedKvCache {
         tokens.div_ceil(self.page_tokens)
     }
 
+    /// Would a reservation of `tokens` tokens succeed right now? The
+    /// admission-control predicate used by both serving backends.
+    #[must_use]
+    pub fn can_reserve(&self, tokens: usize) -> bool {
+        self.pages_for(tokens.max(1)) <= self.free.len()
+    }
+
     /// Register a new sequence with `prompt_tokens` already present
     /// (prefill). Allocates all pages up front; on OOM nothing is
     /// allocated.

@@ -15,10 +15,20 @@
 //!   kernel model + KV precision + runtime overheads.
 //! * [`decode`] — per-decode-step latency with the paper's three-way
 //!   breakdown (GEMM / Attention / Others).
+//! * [`request`] — the shared serving API surface: [`Request`]
+//!   workloads, [`Completion`] records with a status enum
+//!   (`Finished` / `TimedOut` / `Rejected`), [`RunStats`], and the
+//!   validating [`SchedulerConfig::builder`].
 //! * [`scheduler`] — a continuous-batching request scheduler
 //!   (Orca-style iteration-level scheduling, conservative admission
-//!   against the paged allocator) that *runs* the serving loop and
-//!   produces request latencies and sustained throughput.
+//!   against the paged allocator) that *runs* the serving loop against
+//!   modelled costs and produces request latencies and sustained
+//!   throughput — the *simulation* backend.
+//! * [`runtime`] — the *executable* backend of the same API:
+//!   [`runtime::ServingRuntime`] drives a real [`runtime::ServingEngine`]
+//!   (e.g. `lq_engine::TinyLlm` over the persistent `LiquidGemm` pool)
+//!   with batched prefill and iteration-level batched decode, measuring
+//!   wall-clock time instead of modelling it.
 //! * [`throughput`] — the 80 GB memory budget, feasible-batch search,
 //!   and peak-throughput scan that regenerates Table 1.
 //!
@@ -32,6 +42,8 @@
 pub mod attention;
 pub mod decode;
 pub mod kvcache;
+pub mod request;
+pub mod runtime;
 pub mod scheduler;
 pub mod system;
 mod telemetry;
@@ -39,6 +51,10 @@ pub mod throughput;
 
 pub use decode::{decode_step, StepBreakdown};
 pub use kvcache::{KvCacheError, PagedKvCache};
-pub use scheduler::{run_schedule, Request, RunStats, SchedulerConfig};
+pub use request::{
+    Completion, CompletionStatus, Request, RunStats, SchedulerConfig, SchedulerConfigError,
+};
+pub use runtime::{PromptRequest, ServingEngine, ServingRuntime};
+pub use scheduler::run_schedule;
 pub use system::{ServingSystem, SystemId};
 pub use throughput::{max_feasible_batch, peak_throughput, PeakResult};

@@ -1,0 +1,405 @@
+//! Shared request/completion types and the scheduler configuration —
+//! one API surface for both scheduler backends.
+//!
+//! The *simulated* backend ([`crate::scheduler::run_schedule`]) advances
+//! modelled time from the cost model; the *executable* backend
+//! ([`crate::runtime::ServingRuntime`]) runs real batched GEMMs on the
+//! persistent pool and advances measured time. Both consume [`Request`]
+//! workloads under a [`SchedulerConfig`] and produce [`RunStats`] of
+//! [`Completion`] records, so an experiment written against one backend
+//! runs unchanged against the other.
+
+use std::fmt;
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Caller-chosen id (unique).
+    pub id: u64,
+    /// Prompt length (tokens).
+    pub prompt_len: usize,
+    /// Tokens to generate (≥ 1).
+    pub output_len: usize,
+    /// Arrival time (seconds).
+    pub arrival: f64,
+    /// Optional deadline, in seconds *after arrival*. A request that
+    /// has not produced its last token within the deadline is evicted
+    /// (its KV pages released) and completes as
+    /// [`CompletionStatus::TimedOut`]. `None` means no deadline.
+    pub deadline: Option<f64>,
+}
+
+impl Request {
+    /// A request with no deadline.
+    #[must_use]
+    pub fn new(id: u64, prompt_len: usize, output_len: usize, arrival: f64) -> Self {
+        assert!(prompt_len >= 1, "empty prompt");
+        assert!(output_len >= 1, "must generate at least one token");
+        assert!(arrival.is_finite() && arrival >= 0.0, "bad arrival");
+        Self {
+            id,
+            prompt_len,
+            output_len,
+            arrival,
+            deadline: None,
+        }
+    }
+
+    /// Attach a deadline (seconds after arrival, finite and positive).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        assert!(deadline.is_finite() && deadline >= 0.0, "bad deadline");
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Absolute expiry instant, if a deadline is set.
+    #[must_use]
+    pub fn expiry(&self) -> Option<f64> {
+        self.deadline.map(|d| self.arrival + d)
+    }
+}
+
+/// How a request left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStatus {
+    /// All `output_len` tokens were produced.
+    Finished,
+    /// The deadline expired first; any KV pages were released.
+    TimedOut,
+    /// The bounded queue was full at arrival (or the reservation can
+    /// never fit); the request was never admitted.
+    Rejected,
+}
+
+/// Completion record for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Request id.
+    pub id: u64,
+    /// When the request was admitted (prefill started). For requests
+    /// that never ran (`Rejected`, or `TimedOut` while still queued)
+    /// this equals `finished_at`.
+    pub admitted_at: f64,
+    /// When the request left the system (last token, eviction, or
+    /// rejection).
+    pub finished_at: f64,
+    /// Arrival time (copied from the request).
+    pub arrival: f64,
+    /// Outcome.
+    pub status: CompletionStatus,
+    /// Tokens actually generated (equals `output_len` iff `Finished`).
+    pub generated: u64,
+}
+
+impl Completion {
+    /// Queueing + service latency (time in system).
+    #[must_use]
+    pub fn latency(&self) -> f64 {
+        self.finished_at - self.arrival
+    }
+
+    /// Time spent waiting for admission.
+    #[must_use]
+    pub fn queue_delay(&self) -> f64 {
+        self.admitted_at - self.arrival
+    }
+}
+
+/// Aggregate results of a scheduling run (either backend).
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Per-request completions, in the order they left the system.
+    pub completions: Vec<Completion>,
+    /// Total generated tokens.
+    pub generated_tokens: u64,
+    /// Wall-clock makespan (seconds — modelled or measured, per
+    /// backend).
+    pub makespan: f64,
+    /// Largest concurrent batch observed.
+    pub peak_batch: usize,
+    /// Decode iterations executed.
+    pub decode_steps: u64,
+}
+
+impl RunStats {
+    /// Empty stats (the accumulator both backends start from).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            completions: Vec::new(),
+            generated_tokens: 0,
+            makespan: 0.0,
+            peak_batch: 0,
+            decode_steps: 0,
+        }
+    }
+
+    /// Sustained generation throughput (tokens/s).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0.0 {
+            0.0
+        } else {
+            self.generated_tokens as f64 / self.makespan
+        }
+    }
+
+    /// Completions with a given status.
+    #[must_use]
+    pub fn count(&self, status: CompletionStatus) -> usize {
+        self.completions
+            .iter()
+            .filter(|c| c.status == status)
+            .count()
+    }
+
+    /// Requests that produced all their tokens.
+    #[must_use]
+    pub fn finished(&self) -> usize {
+        self.count(CompletionStatus::Finished)
+    }
+
+    /// Requests evicted on deadline expiry.
+    #[must_use]
+    pub fn timed_out(&self) -> usize {
+        self.count(CompletionStatus::TimedOut)
+    }
+
+    /// Requests refused at the queue.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.count(CompletionStatus::Rejected)
+    }
+
+    fn finished_latencies(&self) -> Vec<f64> {
+        self.completions
+            .iter()
+            .filter(|c| c.status == CompletionStatus::Finished)
+            .map(Completion::latency)
+            .collect()
+    }
+
+    /// Mean end-to-end latency over *finished* requests.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        let ls = self.finished_latencies();
+        if ls.is_empty() {
+            return 0.0;
+        }
+        ls.iter().sum::<f64>() / ls.len() as f64
+    }
+
+    /// p-th percentile latency (p in [0,100]) over *finished* requests.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p));
+        let mut ls = self.finished_latencies();
+        if ls.is_empty() {
+            return 0.0;
+        }
+        ls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((p / 100.0) * (ls.len() - 1) as f64).round() as usize;
+        ls[idx]
+    }
+}
+
+/// Scheduler configuration, shared by both backends. Construct via
+/// [`SchedulerConfig::builder`] (validated) or [`Default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Hard cap on concurrent sequences.
+    pub max_batch: usize,
+    /// Tokens per KV page.
+    pub page_tokens: usize,
+    /// Bounded-queue capacity: a request arriving while this many are
+    /// already waiting completes immediately as
+    /// [`CompletionStatus::Rejected`]. `usize::MAX` (the default)
+    /// disables backpressure.
+    pub max_queue: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 256,
+            page_tokens: 16,
+            max_queue: usize::MAX,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Start building a validated configuration.
+    #[must_use]
+    pub fn builder() -> SchedulerConfigBuilder {
+        SchedulerConfigBuilder::default()
+    }
+}
+
+/// Invalid [`SchedulerConfig`] parameters (mirrors the
+/// `ParallelConfig::builder()` / `ConfigError` pattern in `lq-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerConfigError {
+    /// `max_batch == 0`: no sequence could ever run.
+    ZeroMaxBatch,
+    /// `page_tokens == 0`: KV pages would hold no tokens.
+    ZeroPageTokens,
+    /// `max_queue == 0`: every request would be rejected on arrival.
+    ZeroQueueCap,
+}
+
+impl fmt::Display for SchedulerConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerConfigError::ZeroMaxBatch => write!(f, "max_batch must be >= 1"),
+            SchedulerConfigError::ZeroPageTokens => write!(f, "page_tokens must be >= 1"),
+            SchedulerConfigError::ZeroQueueCap => write!(f, "max_queue must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerConfigError {}
+
+/// Builder for [`SchedulerConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfigBuilder {
+    max_batch: usize,
+    page_tokens: usize,
+    max_queue: usize,
+}
+
+impl Default for SchedulerConfigBuilder {
+    fn default() -> Self {
+        let d = SchedulerConfig::default();
+        Self {
+            max_batch: d.max_batch,
+            page_tokens: d.page_tokens,
+            max_queue: d.max_queue,
+        }
+    }
+}
+
+impl SchedulerConfigBuilder {
+    /// Concurrent-sequence cap (validated ≥ 1).
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Tokens per KV page (validated ≥ 1).
+    #[must_use]
+    pub fn page_tokens(mut self, n: usize) -> Self {
+        self.page_tokens = n;
+        self
+    }
+
+    /// Waiting-queue capacity (validated ≥ 1).
+    #[must_use]
+    pub fn max_queue(mut self, n: usize) -> Self {
+        self.max_queue = n;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SchedulerConfig, SchedulerConfigError> {
+        if self.max_batch == 0 {
+            return Err(SchedulerConfigError::ZeroMaxBatch);
+        }
+        if self.page_tokens == 0 {
+            return Err(SchedulerConfigError::ZeroPageTokens);
+        }
+        if self.max_queue == 0 {
+            return Err(SchedulerConfigError::ZeroQueueCap);
+        }
+        Ok(SchedulerConfig {
+            max_batch: self.max_batch,
+            page_tokens: self.page_tokens,
+            max_queue: self.max_queue,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_each_field() {
+        assert_eq!(
+            SchedulerConfig::builder().max_batch(0).build(),
+            Err(SchedulerConfigError::ZeroMaxBatch)
+        );
+        assert_eq!(
+            SchedulerConfig::builder().page_tokens(0).build(),
+            Err(SchedulerConfigError::ZeroPageTokens)
+        );
+        assert_eq!(
+            SchedulerConfig::builder().max_queue(0).build(),
+            Err(SchedulerConfigError::ZeroQueueCap)
+        );
+        let ok = SchedulerConfig::builder()
+            .max_batch(8)
+            .page_tokens(32)
+            .max_queue(4)
+            .build()
+            .unwrap();
+        assert_eq!((ok.max_batch, ok.page_tokens, ok.max_queue), (8, 32, 4));
+    }
+
+    #[test]
+    fn builder_errors_display() {
+        assert!(SchedulerConfigError::ZeroMaxBatch
+            .to_string()
+            .contains("max_batch"));
+        assert!(SchedulerConfigError::ZeroQueueCap
+            .to_string()
+            .contains("max_queue"));
+    }
+
+    #[test]
+    fn request_deadline_and_expiry() {
+        let r = Request::new(1, 16, 8, 2.0);
+        assert_eq!(r.expiry(), None);
+        let r = r.with_deadline(3.0);
+        assert_eq!(r.expiry(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_output_rejected() {
+        let _ = Request::new(1, 16, 0, 0.0);
+    }
+
+    #[test]
+    fn stats_count_by_status() {
+        let mk = |status, latency: f64| Completion {
+            id: 0,
+            admitted_at: 0.0,
+            finished_at: latency,
+            arrival: 0.0,
+            status,
+            generated: 0,
+        };
+        let stats = RunStats {
+            completions: vec![
+                mk(CompletionStatus::Finished, 1.0),
+                mk(CompletionStatus::Finished, 3.0),
+                mk(CompletionStatus::TimedOut, 9.0),
+                mk(CompletionStatus::Rejected, 0.0),
+            ],
+            generated_tokens: 10,
+            makespan: 5.0,
+            peak_batch: 2,
+            decode_steps: 4,
+        };
+        assert_eq!(stats.finished(), 2);
+        assert_eq!(stats.timed_out(), 1);
+        assert_eq!(stats.rejected(), 1);
+        // Latency stats consider finished requests only.
+        assert!((stats.mean_latency() - 2.0).abs() < 1e-12);
+        assert_eq!(stats.latency_percentile(100.0), 3.0);
+        assert_eq!(stats.throughput(), 2.0);
+    }
+}

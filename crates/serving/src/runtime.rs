@@ -1,0 +1,539 @@
+//! Executable continuous-batching serving runtime — the *measured*
+//! backend of the shared serving API in [`crate::request`].
+//!
+//! Where [`crate::scheduler::run_schedule`] advances modelled time from
+//! the cost model, [`ServingRuntime`] drives a real engine: admission
+//! control against the same [`PagedKvCache`] reservation rule, batched
+//! prefill on admission, and iteration-level decode in which every
+//! running sequence contributes one row to a single M=batch forward
+//! pass per iteration — on `lq_engine::TinyLlm` that stacks all live
+//! sequences into one activation matrix per layer and submits it as one
+//! GEMM to the shared `Arc<LiquidGemm>` pool (the CPU analogue of the
+//! paper's batched decode GEMMs, Figure 10 / Table 1).
+//!
+//! The runtime is generic over [`ServingEngine`] so `lq-serving` does
+//! not depend on `lq-engine` (which depends back on this crate for the
+//! KV page tables); `TinyLlm` implements the trait in `lq-engine`.
+//!
+//! Time is a virtual clock in seconds: it advances by the *measured*
+//! wall-clock duration of each prefill/decode call and jumps forward
+//! over idle gaps to the next arrival. Request latencies therefore
+//! reflect real compute while arrival schedules stay reproducible —
+//! makespan is (compute time) + (idle gaps), never inflated by host
+//! scheduling between runs.
+//!
+//! Robustness mirrors the simulation backend exactly: per-request
+//! deadlines evict with clean KV-page release
+//! ([`CompletionStatus::TimedOut`]), a bounded queue rejects arrivals
+//! when full ([`CompletionStatus::Rejected`]), and per-request
+//! latency / queue-delay histograms are recorded in telemetry.
+
+use crate::kvcache::{PagedKvCache, SeqId};
+use crate::request::{Completion, CompletionStatus, Request, RunStats, SchedulerConfig};
+use crate::telemetry::SchedMetrics;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// The model-side contract the runtime schedules over.
+///
+/// Implementations own their KV state per sequence; the runtime owns
+/// admission (so an engine sized for at least the runtime's KV token
+/// budget never sees OOM).
+pub trait ServingEngine {
+    /// Register `id`, run prefill over `prompt` (one M=prompt-length
+    /// pass), and return the first generated token.
+    fn prefill(&mut self, id: SeqId, prompt: &[usize]) -> usize;
+
+    /// One batched decode iteration: for each `(id, last_token)` slot,
+    /// feed `last_token` to sequence `id` and return its next token.
+    /// All slots advance in a single M=batch forward pass.
+    fn decode_batch(&mut self, slots: &[(SeqId, usize)]) -> Vec<usize>;
+
+    /// Drop sequence `id` and release its engine-side KV pages. Called
+    /// on finish and on deadline eviction.
+    fn release(&mut self, id: SeqId);
+}
+
+/// A [`Request`] paired with its actual prompt tokens.
+#[derive(Debug, Clone)]
+pub struct PromptRequest {
+    /// Scheduling metadata (shared with the simulation backend).
+    pub meta: Request,
+    /// Prompt token ids (length must equal `meta.prompt_len`).
+    pub prompt: Vec<usize>,
+}
+
+impl PromptRequest {
+    /// Pair a request with its prompt tokens.
+    #[must_use]
+    pub fn new(meta: Request, prompt: Vec<usize>) -> Self {
+        assert_eq!(
+            meta.prompt_len,
+            prompt.len(),
+            "prompt_len must match the prompt"
+        );
+        Self { meta, prompt }
+    }
+}
+
+struct Running {
+    id: u64,
+    admitted_at: f64,
+    arrival: f64,
+    output_len: usize,
+    produced: usize,
+    last_token: usize,
+    expiry: Option<f64>,
+}
+
+/// Executable continuous-batching runtime over a [`ServingEngine`].
+///
+/// Owns the admission-control page table: a request is admitted only
+/// when its full `prompt + output` reservation fits (conservative, no
+/// preemption), exactly the rule the simulation backend applies.
+pub struct ServingRuntime {
+    cfg: SchedulerConfig,
+    kv: PagedKvCache,
+}
+
+impl ServingRuntime {
+    /// Build a runtime whose admission table holds `kv_budget_tokens`
+    /// tokens in pages of `cfg.page_tokens`. The engine's own KV stores
+    /// must hold at least as many tokens per layer.
+    #[must_use]
+    pub fn new(cfg: SchedulerConfig, kv_budget_tokens: usize) -> Self {
+        let kv = PagedKvCache::new(kv_budget_tokens as u64, cfg.page_tokens, 1);
+        Self { cfg, kv }
+    }
+
+    /// The admission page table (tests assert leak-freedom on it).
+    #[must_use]
+    pub fn kv(&self) -> &PagedKvCache {
+        &self.kv
+    }
+
+    /// Record one completion, mirroring it into telemetry.
+    fn complete(stats: &mut RunStats, metrics: &Option<SchedMetrics>, c: Completion) {
+        if let Some(m) = metrics {
+            match c.status {
+                CompletionStatus::Finished => {
+                    m.completed.inc();
+                    m.request_latency_ns.record_secs(c.latency());
+                    m.queue_delay_ns.record_secs(c.queue_delay());
+                }
+                CompletionStatus::TimedOut => m.timed_out.inc(),
+                CompletionStatus::Rejected => m.rejected.inc(),
+            }
+        }
+        stats.completions.push(c);
+    }
+
+    /// Run the serving loop to completion over `requests` (any arrival
+    /// order), driving `engine` with real batched forward passes.
+    ///
+    /// Every request completes exactly once — as `Finished`, `TimedOut`
+    /// (deadline expired; pages released on eviction), or `Rejected`
+    /// (bounded queue full at arrival, or a reservation that could
+    /// never fit the KV budget). After the run all pages are back on
+    /// the free list.
+    pub fn run<E: ServingEngine>(
+        &mut self,
+        engine: &mut E,
+        requests: Vec<PromptRequest>,
+    ) -> RunStats {
+        let mut arrivals = requests;
+        arrivals.sort_by(|a, b| a.meta.arrival.partial_cmp(&b.meta.arrival).expect("finite"));
+        arrivals.reverse(); // pop() takes the earliest
+
+        let metrics = SchedMetrics::resolve();
+        let mut now = 0.0f64;
+        let mut pending: VecDeque<PromptRequest> = VecDeque::new();
+        let mut running: Vec<Running> = Vec::new();
+        let mut stats = RunStats::empty();
+
+        loop {
+            // 0. Ingest arrivals up to the current clock; reject on a
+            //    full queue or an impossible reservation.
+            while arrivals.last().is_some_and(|r| r.meta.arrival <= now) {
+                let req = arrivals.pop().expect("checked non-empty");
+                let need = req.meta.prompt_len + req.meta.output_len;
+                let impossible = self.kv.pages_for(need) > self.kv.total_pages();
+                if impossible || pending.len() >= self.cfg.max_queue {
+                    Self::complete(
+                        &mut stats,
+                        &metrics,
+                        Completion {
+                            id: req.meta.id,
+                            admitted_at: req.meta.arrival,
+                            finished_at: req.meta.arrival,
+                            arrival: req.meta.arrival,
+                            status: CompletionStatus::Rejected,
+                            generated: 0,
+                        },
+                    );
+                } else {
+                    pending.push_back(req);
+                }
+            }
+
+            // 0b. Expire queued requests whose deadline already passed.
+            pending.retain(|req| {
+                let expired = req.meta.expiry().is_some_and(|e| now > e);
+                if expired {
+                    Self::complete(
+                        &mut stats,
+                        &metrics,
+                        Completion {
+                            id: req.meta.id,
+                            admitted_at: now,
+                            finished_at: now,
+                            arrival: req.meta.arrival,
+                            status: CompletionStatus::TimedOut,
+                            generated: 0,
+                        },
+                    );
+                }
+                !expired
+            });
+
+            // 1. Admit while the conservative reservation fits, then
+            //    prefill the admitted cohort back-to-back (each prefill
+            //    is one M=prompt-length batch through the engine).
+            let mut admitted: Vec<PromptRequest> = Vec::new();
+            while running.len() + admitted.len() < self.cfg.max_batch {
+                let Some(req) = pending.front() else { break };
+                let need = req.meta.prompt_len + req.meta.output_len;
+                if !self.kv.can_reserve(need) {
+                    if let Some(m) = &metrics {
+                        m.blocked.inc();
+                    }
+                    break; // FCFS head-of-line blocking
+                }
+                self.kv
+                    .add_sequence(req.meta.id, need)
+                    .expect("reservation checked");
+                admitted.push(pending.pop_front().expect("front exists"));
+            }
+            if !admitted.is_empty() {
+                let admit_time = now;
+                let t0 = Instant::now();
+                let first_tokens: Vec<usize> = admitted
+                    .iter()
+                    .map(|req| engine.prefill(req.meta.id, &req.prompt))
+                    .collect();
+                let dt = t0.elapsed().as_secs_f64();
+                now += dt;
+                if let Some(m) = &metrics {
+                    m.admitted.add(admitted.len() as u64);
+                    m.prefill_ns.record_secs(dt);
+                    m.queue_len.set(pending.len() as f64);
+                }
+                stats.generated_tokens += admitted.len() as u64;
+                for (req, tok) in admitted.into_iter().zip(first_tokens) {
+                    running.push(Running {
+                        id: req.meta.id,
+                        admitted_at: admit_time,
+                        arrival: req.meta.arrival,
+                        output_len: req.meta.output_len,
+                        produced: 1, // prefill emitted the first token
+                        last_token: tok,
+                        expiry: req.meta.expiry(),
+                    });
+                }
+            }
+            stats.peak_batch = stats.peak_batch.max(running.len());
+
+            // 2. Evict running sequences past their deadline, releasing
+            //    engine and admission pages before the next iteration.
+            let mut i = 0;
+            while i < running.len() {
+                if running[i].expiry.is_some_and(|e| now > e) {
+                    let r = running.swap_remove(i);
+                    engine.release(r.id);
+                    self.kv.free_sequence(r.id).expect("was admitted");
+                    Self::complete(
+                        &mut stats,
+                        &metrics,
+                        Completion {
+                            id: r.id,
+                            admitted_at: r.admitted_at,
+                            finished_at: now,
+                            arrival: r.arrival,
+                            status: CompletionStatus::TimedOut,
+                            generated: r.produced as u64,
+                        },
+                    );
+                } else {
+                    i += 1;
+                }
+            }
+
+            // 2b. Retire sequences that finished at prefill
+            //     (output_len == 1) or in the previous iteration.
+            let mut i = 0;
+            while i < running.len() {
+                if running[i].produced >= running[i].output_len {
+                    let r = running.swap_remove(i);
+                    engine.release(r.id);
+                    self.kv.free_sequence(r.id).expect("was admitted");
+                    Self::complete(
+                        &mut stats,
+                        &metrics,
+                        Completion {
+                            id: r.id,
+                            admitted_at: r.admitted_at,
+                            finished_at: now,
+                            arrival: r.arrival,
+                            status: CompletionStatus::Finished,
+                            generated: r.output_len as u64,
+                        },
+                    );
+                } else {
+                    i += 1;
+                }
+            }
+
+            if running.is_empty() {
+                if !pending.is_empty() {
+                    // Impossible-fit requests were rejected at ingest,
+                    // so a waiting request with an empty device always
+                    // admits on the next pass.
+                    continue;
+                }
+                match arrivals.last() {
+                    Some(req) => {
+                        now = now.max(req.meta.arrival);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // 3. One real decode iteration: all running sequences in a
+            //    single M=batch forward pass.
+            let slots: Vec<(SeqId, usize)> = running.iter().map(|r| (r.id, r.last_token)).collect();
+            let t0 = Instant::now();
+            let next = engine.decode_batch(&slots);
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(next.len(), slots.len(), "engine returned wrong batch");
+            now += dt;
+            if let Some(m) = &metrics {
+                m.batch_size.record(running.len() as u64);
+                m.decode_step_ns.record_secs(dt);
+            }
+            stats.decode_steps += 1;
+            stats.generated_tokens += running.len() as u64;
+            for (r, tok) in running.iter_mut().zip(next) {
+                r.last_token = tok;
+                r.produced += 1;
+            }
+        }
+        stats.makespan = now;
+        if let Some(m) = &metrics {
+            m.tokens_per_s.set(stats.throughput());
+            m.queue_len.set(0.0);
+        }
+        assert!(self.kv.check_invariants(), "page conservation violated");
+        assert_eq!(
+            self.kv.free_pages(),
+            self.kv.total_pages(),
+            "KV pages leaked after drain"
+        );
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Deterministic engine stub: tracks live sequences and batch
+    /// shapes so tests can assert the runtime's scheduling behaviour
+    /// without pulling in `lq-engine` (which depends on this crate).
+    struct MockEngine {
+        vocab: usize,
+        live: HashSet<SeqId>,
+        peak_batch: usize,
+        prefills: usize,
+        decode_calls: usize,
+    }
+
+    impl MockEngine {
+        fn new() -> Self {
+            Self {
+                vocab: 64,
+                live: HashSet::new(),
+                peak_batch: 0,
+                prefills: 0,
+                decode_calls: 0,
+            }
+        }
+    }
+
+    impl ServingEngine for MockEngine {
+        fn prefill(&mut self, id: SeqId, prompt: &[usize]) -> usize {
+            assert!(self.live.insert(id), "sequence {id} already live");
+            self.prefills += 1;
+            prompt.iter().sum::<usize>() % self.vocab
+        }
+
+        fn decode_batch(&mut self, slots: &[(SeqId, usize)]) -> Vec<usize> {
+            self.decode_calls += 1;
+            self.peak_batch = self.peak_batch.max(slots.len());
+            slots
+                .iter()
+                .map(|&(id, t)| {
+                    assert!(self.live.contains(&id), "decode of dead sequence {id}");
+                    (t + 1) % self.vocab
+                })
+                .collect()
+        }
+
+        fn release(&mut self, id: SeqId) {
+            assert!(self.live.remove(&id), "double release of {id}");
+        }
+    }
+
+    fn reqs(n: usize, prompt_len: usize, output_len: usize) -> Vec<PromptRequest> {
+        (0..n as u64)
+            .map(|id| {
+                PromptRequest::new(
+                    Request::new(id, prompt_len, output_len, 0.0),
+                    (0..prompt_len).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn drains_all_requests_and_releases_everything() {
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let stats = rt.run(&mut engine, reqs(10, 8, 4));
+        assert_eq!(stats.finished(), 10);
+        assert_eq!(stats.generated_tokens, 10 * 4);
+        assert!(engine.live.is_empty(), "engine leaked sequences");
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages());
+        // All 10 fit at once: 1 prefill cohort, then 3 decode rounds
+        // (prefill produced token 1 of 4).
+        assert_eq!(engine.prefills, 10);
+        assert_eq!(stats.peak_batch, 10);
+        assert_eq!(stats.decode_steps, 3);
+    }
+
+    #[test]
+    fn batch_cap_limits_concurrency() {
+        let mut engine = MockEngine::new();
+        let cfg = SchedulerConfig::builder().max_batch(3).build().unwrap();
+        let mut rt = ServingRuntime::new(cfg, 4096);
+        let stats = rt.run(&mut engine, reqs(10, 8, 4));
+        assert_eq!(stats.finished(), 10);
+        assert!(stats.peak_batch <= 3);
+        assert!(engine.peak_batch <= 3);
+    }
+
+    #[test]
+    fn kv_pressure_serialises_admission() {
+        // Budget fits exactly one request's reservation (8+4=12 tokens
+        // → 2 pages of 8): requests run one at a time.
+        let cfg = SchedulerConfig::builder().page_tokens(8).build().unwrap();
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(cfg, 16);
+        let stats = rt.run(&mut engine, reqs(5, 8, 4));
+        assert_eq!(stats.finished(), 5);
+        assert_eq!(stats.peak_batch, 1);
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_deterministically() {
+        // max_batch 1 and max_queue 1 with 4 simultaneous arrivals:
+        // the ingest pass queues the first and rejects the other three
+        // before anything is admitted.
+        let cfg = SchedulerConfig::builder()
+            .max_batch(1)
+            .max_queue(1)
+            .build()
+            .unwrap();
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(cfg, 4096);
+        let stats = rt.run(&mut engine, reqs(4, 8, 2));
+        assert_eq!(stats.finished(), 1);
+        assert_eq!(stats.rejected(), 3);
+        for c in &stats.completions {
+            if c.status == CompletionStatus::Rejected {
+                assert_eq!(c.generated, 0);
+                assert_eq!(c.latency(), 0.0);
+            }
+        }
+        assert!(engine.live.is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_times_out_after_prefill() {
+        // deadline 0.0: still admitted at t=0, but measured prefill
+        // time pushes the clock past expiry before the first decode —
+        // the request is evicted having produced exactly one token.
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let reqs = vec![PromptRequest::new(
+            Request::new(0, 4, 8, 0.0).with_deadline(0.0),
+            vec![1, 2, 3, 4],
+        )];
+        let stats = rt.run(&mut engine, reqs);
+        assert_eq!(stats.timed_out(), 1);
+        assert_eq!(stats.completions[0].generated, 1);
+        assert_eq!(stats.decode_steps, 0);
+        assert!(engine.live.is_empty(), "timed-out sequence not released");
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages());
+    }
+
+    #[test]
+    fn impossible_reservation_is_rejected() {
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 64);
+        let mut rs = reqs(1, 8, 4);
+        rs.push(PromptRequest::new(
+            Request::new(9, 100, 100, 0.0),
+            (0..100).collect(),
+        ));
+        let stats = rt.run(&mut engine, rs);
+        assert_eq!(stats.finished(), 1);
+        assert_eq!(stats.rejected(), 1);
+        assert_eq!(engine.prefills, 1, "rejected request must never prefill");
+    }
+
+    #[test]
+    fn single_token_outputs_finish_at_prefill() {
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let stats = rt.run(&mut engine, reqs(3, 8, 1));
+        assert_eq!(stats.finished(), 3);
+        assert_eq!(stats.decode_steps, 0);
+        assert_eq!(stats.generated_tokens, 3);
+    }
+
+    #[test]
+    fn staggered_arrivals_join_the_running_batch() {
+        // Second wave arrives while the first is still decoding (clock
+        // jumps to their arrival once the device idles or passes it):
+        // everything finishes, ids complete exactly once.
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let mut rs = reqs(4, 8, 64);
+        for (i, extra) in reqs(4, 8, 64).into_iter().enumerate() {
+            let id = 100 + i as u64;
+            rs.push(PromptRequest::new(
+                Request::new(id, 8, 64, 1e-7),
+                extra.prompt,
+            ));
+        }
+        let stats = rt.run(&mut engine, rs);
+        assert_eq!(stats.finished(), 8);
+        let mut ids: Vec<u64> = stats.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "each request completes exactly once");
+    }
+}

@@ -1,9 +1,10 @@
 //! Continuous-batching request scheduler (Orca-style iteration-level
-//! scheduling over the paged KV cache).
+//! scheduling over the paged KV cache) — the *simulation* backend of
+//! the shared serving API in [`crate::request`].
 //!
 //! The closed-form search in [`crate::throughput`] answers "what is the
 //! best steady-state batch"; this module *runs* the serving loop: a
-//! request queue with arrival times, conservative admission against the
+//! request queue with arrival times, admission control against the
 //! paged allocator (a request is admitted only when its full
 //! prompt+output KV reservation fits, so no preemption is ever needed),
 //! batched prefill on admission, and per-iteration decode in which every
@@ -14,7 +15,10 @@
 //! Time advances by the modelled cost of each phase (prefill /
 //! decode step) from [`crate::decode`], so the simulation produces
 //! request latencies and sustained throughput for any arrival pattern,
-//! not just the saturated regime of Table 1.
+//! not just the saturated regime of Table 1. The executable twin of
+//! this loop — real batched GEMMs on the persistent pool, measured time
+//! — is [`crate::runtime::ServingRuntime`]; both consume the same
+//! [`Request`] workloads and produce the same [`RunStats`].
 
 use crate::decode::{decode_step, prefill_time};
 use crate::kvcache::PagedKvCache;
@@ -22,128 +26,47 @@ use crate::system::ServingSystem;
 use crate::telemetry::SchedMetrics;
 use lq_models::ModelConfig;
 use lq_sim::specs::GpuSpec;
+use std::collections::VecDeque;
 
-/// One inference request.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Request {
-    /// Caller-chosen id (unique).
-    pub id: u64,
-    /// Prompt length (tokens).
-    pub prompt_len: usize,
-    /// Tokens to generate.
-    pub output_len: usize,
-    /// Arrival time (seconds).
-    pub arrival: f64,
-}
-
-/// Completion record for one request.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Completion {
-    /// Request id.
-    pub id: u64,
-    /// When the request was admitted (prefill started).
-    pub admitted_at: f64,
-    /// When the last token was produced.
-    pub finished_at: f64,
-    /// Arrival time (copied from the request).
-    pub arrival: f64,
-}
-
-impl Completion {
-    /// Queueing + service latency.
-    #[must_use]
-    pub fn latency(&self) -> f64 {
-        self.finished_at - self.arrival
-    }
-
-    /// Time spent waiting for admission.
-    #[must_use]
-    pub fn queue_delay(&self) -> f64 {
-        self.admitted_at - self.arrival
-    }
-}
-
-/// Aggregate results of a scheduling run.
-#[derive(Debug, Clone)]
-pub struct RunStats {
-    /// Per-request completions, in finish order.
-    pub completions: Vec<Completion>,
-    /// Total generated tokens.
-    pub generated_tokens: u64,
-    /// Wall-clock makespan (seconds).
-    pub makespan: f64,
-    /// Largest concurrent batch observed.
-    pub peak_batch: usize,
-    /// Decode iterations executed.
-    pub decode_steps: u64,
-}
-
-impl RunStats {
-    /// Sustained generation throughput (tokens/s).
-    #[must_use]
-    pub fn throughput(&self) -> f64 {
-        if self.makespan == 0.0 {
-            0.0
-        } else {
-            self.generated_tokens as f64 / self.makespan
-        }
-    }
-
-    /// Mean end-to-end request latency.
-    #[must_use]
-    pub fn mean_latency(&self) -> f64 {
-        if self.completions.is_empty() {
-            return 0.0;
-        }
-        self.completions
-            .iter()
-            .map(Completion::latency)
-            .sum::<f64>()
-            / self.completions.len() as f64
-    }
-
-    /// p-th percentile latency (p in [0,100]).
-    #[must_use]
-    pub fn latency_percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p));
-        if self.completions.is_empty() {
-            return 0.0;
-        }
-        let mut ls: Vec<f64> = self.completions.iter().map(Completion::latency).collect();
-        ls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let idx = ((p / 100.0) * (ls.len() - 1) as f64).round() as usize;
-        ls[idx]
-    }
-}
-
-/// Scheduler configuration.
-#[derive(Debug, Clone, Copy)]
-pub struct SchedulerConfig {
-    /// Hard cap on concurrent sequences.
-    pub max_batch: usize,
-    /// Tokens per KV page.
-    pub page_tokens: usize,
-}
-
-impl Default for SchedulerConfig {
-    fn default() -> Self {
-        Self {
-            max_batch: 256,
-            page_tokens: 16,
-        }
-    }
-}
+pub use crate::request::{
+    Completion, CompletionStatus, Request, RunStats, SchedulerConfig, SchedulerConfigBuilder,
+    SchedulerConfigError,
+};
 
 struct Running {
     id: u64,
     admitted_at: f64,
     arrival: f64,
     remaining: usize,
+    output_len: usize,
     ctx: usize,
+    expiry: Option<f64>,
+}
+
+/// Record one completion, mirroring it into telemetry.
+fn complete(stats: &mut RunStats, metrics: &Option<SchedMetrics>, c: Completion) {
+    if let Some(m) = metrics {
+        match c.status {
+            CompletionStatus::Finished => {
+                m.completed.inc();
+                m.request_latency_ns.record_secs(c.latency());
+                m.queue_delay_ns.record_secs(c.queue_delay());
+            }
+            CompletionStatus::TimedOut => m.timed_out.inc(),
+            CompletionStatus::Rejected => m.rejected.inc(),
+        }
+    }
+    stats.completions.push(c);
 }
 
 /// Run the continuous-batching loop to completion over `requests`
 /// (any arrival order; they are processed FCFS by arrival time).
+///
+/// Requests with deadlines are evicted (pages released) once modelled
+/// time passes their expiry; with `sched.max_queue` bounded, requests
+/// arriving into a full queue complete as
+/// [`CompletionStatus::Rejected`], as do requests whose reservation can
+/// never fit the KV budget.
 #[must_use]
 pub fn run_schedule(
     sys: &ServingSystem,
@@ -152,9 +75,9 @@ pub fn run_schedule(
     sched: SchedulerConfig,
     requests: &[Request],
 ) -> RunStats {
-    let mut queue: Vec<Request> = requests.to_vec();
-    queue.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
-    queue.reverse(); // pop() takes the earliest
+    let mut arrivals: Vec<Request> = requests.to_vec();
+    arrivals.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
+    arrivals.reverse(); // pop() takes the earliest
 
     // KV budget = capacity − weights − reserve, managed by the real
     // paged allocator.
@@ -166,29 +89,64 @@ pub fn run_schedule(
 
     let metrics = SchedMetrics::resolve();
     let mut now = 0.0f64;
+    let mut pending: VecDeque<Request> = VecDeque::new();
     let mut running: Vec<Running> = Vec::new();
-    let mut stats = RunStats {
-        completions: Vec::new(),
-        generated_tokens: 0,
-        makespan: 0.0,
-        peak_batch: 0,
-        decode_steps: 0,
-    };
+    let mut stats = RunStats::empty();
 
     loop {
-        // 1. Admit every queued request that has arrived and whose full
-        //    reservation fits (conservative: prompt + output, so no
-        //    preemption path is needed).
+        // 0. Move requests that have arrived into the waiting queue,
+        //    rejecting when the bounded queue is full or the request
+        //    could never fit the KV budget even alone.
+        while arrivals.last().is_some_and(|r| r.arrival <= now) {
+            let req = arrivals.pop().expect("checked non-empty");
+            let impossible = kv.pages_for(req.prompt_len + req.output_len) > kv.total_pages();
+            if impossible || pending.len() >= sched.max_queue {
+                complete(
+                    &mut stats,
+                    &metrics,
+                    Completion {
+                        id: req.id,
+                        admitted_at: req.arrival,
+                        finished_at: req.arrival,
+                        arrival: req.arrival,
+                        status: CompletionStatus::Rejected,
+                        generated: 0,
+                    },
+                );
+            } else {
+                pending.push_back(req);
+            }
+        }
+
+        // 0b. Expire queued requests whose deadline already passed.
+        pending.retain(|req| {
+            let expired = req.expiry().is_some_and(|e| now > e);
+            if expired {
+                complete(
+                    &mut stats,
+                    &metrics,
+                    Completion {
+                        id: req.id,
+                        admitted_at: now,
+                        finished_at: now,
+                        arrival: req.arrival,
+                        status: CompletionStatus::TimedOut,
+                        generated: 0,
+                    },
+                );
+            }
+            !expired
+        });
+
+        // 1. Admit every waiting request whose full reservation fits
+        //    (conservative: prompt + output, so no preemption path is
+        //    needed).
         let mut admitted: Vec<Request> = Vec::new();
         while running.len() + admitted.len() < sched.max_batch {
-            let Some(req) = queue.last().copied() else {
+            let Some(req) = pending.front().copied() else {
                 break;
             };
-            if req.arrival > now {
-                break;
-            }
-            let need = kv.pages_for(req.prompt_len + req.output_len);
-            if need > kv.free_pages() {
+            if !kv.can_reserve(req.prompt_len + req.output_len) {
                 if let Some(m) = &metrics {
                     m.blocked.inc();
                 }
@@ -196,7 +154,7 @@ pub fn run_schedule(
             }
             kv.add_sequence(req.id, req.prompt_len + req.output_len)
                 .expect("reservation checked");
-            queue.pop();
+            pending.pop_front();
             admitted.push(req);
         }
         if !admitted.is_empty() {
@@ -213,7 +171,7 @@ pub fn run_schedule(
             if let Some(m) = &metrics {
                 m.admitted.add(admitted.len() as u64);
                 m.prefill_ns.record_secs(dt);
-                m.queue_len.set(queue.len() as f64);
+                m.queue_len.set(pending.len() as f64);
             }
             for req in admitted {
                 running.push(Running {
@@ -221,15 +179,47 @@ pub fn run_schedule(
                     admitted_at: admit_time,
                     arrival: req.arrival,
                     remaining: req.output_len,
+                    output_len: req.output_len,
                     ctx: req.prompt_len,
+                    expiry: req.expiry(),
                 });
             }
         }
         stats.peak_batch = stats.peak_batch.max(running.len());
 
+        // 2. Evict running sequences whose deadline expired, releasing
+        //    their pages before the next iteration is scheduled.
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].expiry.is_some_and(|e| now > e) {
+                let r = running.swap_remove(i);
+                kv.free_sequence(r.id).expect("was admitted");
+                complete(
+                    &mut stats,
+                    &metrics,
+                    Completion {
+                        id: r.id,
+                        admitted_at: r.admitted_at,
+                        finished_at: now,
+                        arrival: r.arrival,
+                        status: CompletionStatus::TimedOut,
+                        generated: (r.output_len - r.remaining) as u64,
+                    },
+                );
+            } else {
+                i += 1;
+            }
+        }
+
         if running.is_empty() {
+            if !pending.is_empty() {
+                // Waiting requests with nothing running can only mean
+                // head-of-line blocking against sequences that no longer
+                // exist — impossible-fit requests were rejected above.
+                unreachable!("pending requests with an empty device");
+            }
             // Idle: jump to the next arrival, or finish.
-            match queue.last() {
+            match arrivals.last() {
                 Some(req) => {
                     now = now.max(req.arrival);
                     continue;
@@ -238,7 +228,7 @@ pub fn run_schedule(
             }
         }
 
-        // 2. One decode iteration for the whole running batch.
+        // 3. One decode iteration for the whole running batch.
         let mean_ctx = (running.iter().map(|r| r.ctx).sum::<usize>() / running.len()).max(1);
         let dt = decode_step(sys, spec, cfg, running.len(), mean_ctx).total();
         now += dt;
@@ -253,21 +243,24 @@ pub fn run_schedule(
             r.remaining -= 1;
         }
 
-        // 3. Retire finished sequences, freeing their pages immediately.
+        // 4. Retire finished sequences, freeing their pages immediately.
         let mut i = 0;
         while i < running.len() {
             if running[i].remaining == 0 {
                 let r = running.swap_remove(i);
                 kv.free_sequence(r.id).expect("was admitted");
-                if let Some(m) = &metrics {
-                    m.completed.inc();
-                }
-                stats.completions.push(Completion {
-                    id: r.id,
-                    admitted_at: r.admitted_at,
-                    finished_at: now,
-                    arrival: r.arrival,
-                });
+                complete(
+                    &mut stats,
+                    &metrics,
+                    Completion {
+                        id: r.id,
+                        admitted_at: r.admitted_at,
+                        finished_at: now,
+                        arrival: r.arrival,
+                        status: CompletionStatus::Finished,
+                        generated: r.output_len as u64,
+                    },
+                );
             } else {
                 i += 1;
             }
@@ -296,12 +289,7 @@ mod tests {
 
     fn batch_arrivals(n: usize) -> Vec<Request> {
         (0..n as u64)
-            .map(|id| Request {
-                id,
-                prompt_len: INPUT_LEN,
-                output_len: OUTPUT_LEN,
-                arrival: 0.0,
-            })
+            .map(|id| Request::new(id, INPUT_LEN, OUTPUT_LEN, 0.0))
             .collect()
     }
 
@@ -310,6 +298,7 @@ mod tests {
         let reqs = batch_arrivals(40);
         let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, SchedulerConfig::default(), &reqs);
         assert_eq!(stats.completions.len(), 40);
+        assert_eq!(stats.finished(), 40);
         let mut ids: Vec<u64> = stats.completions.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..40).collect::<Vec<_>>());
@@ -334,15 +323,10 @@ mod tests {
     fn light_load_has_low_queueing() {
         // Widely spaced arrivals: requests should never queue.
         let reqs: Vec<Request> = (0..5u64)
-            .map(|id| Request {
-                id,
-                prompt_len: 128,
-                output_len: 64,
-                arrival: id as f64 * 100.0,
-            })
+            .map(|id| Request::new(id, 128, 64, id as f64 * 100.0))
             .collect();
         let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, SchedulerConfig::default(), &reqs);
-        assert_eq!(stats.completions.len(), 5);
+        assert_eq!(stats.finished(), 5);
         for c in &stats.completions {
             assert!(c.queue_delay() < 1e-6, "queue delay {}", c.queue_delay());
         }
@@ -355,7 +339,7 @@ mod tests {
         // none may be lost.
         let reqs = batch_arrivals(500);
         let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, SchedulerConfig::default(), &reqs);
-        assert_eq!(stats.completions.len(), 500);
+        assert_eq!(stats.finished(), 500);
         // Later completions must show real queueing.
         let max_delay = stats
             .completions
@@ -368,13 +352,14 @@ mod tests {
     #[test]
     fn tighter_batch_cap_reduces_peak_batch() {
         let reqs = batch_arrivals(100);
-        let cfg = SchedulerConfig {
-            max_batch: 8,
-            page_tokens: 16,
-        };
+        let cfg = SchedulerConfig::builder()
+            .max_batch(8)
+            .page_tokens(16)
+            .build()
+            .unwrap();
         let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, cfg, &reqs);
         assert!(stats.peak_batch <= 8);
-        assert_eq!(stats.completions.len(), 100);
+        assert_eq!(stats.finished(), 100);
     }
 
     #[test]
@@ -425,5 +410,60 @@ mod tests {
             l.throughput(),
             q.throughput()
         );
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_and_conserves() {
+        // 300 simultaneous arrivals into a queue of 16: whatever cannot
+        // be admitted immediately or queued is rejected, everything else
+        // runs to completion, and the totals reconcile.
+        let reqs = batch_arrivals(300);
+        let cfg = SchedulerConfig::builder().max_queue(16).build().unwrap();
+        let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, cfg, &reqs);
+        assert_eq!(stats.completions.len(), 300);
+        assert!(stats.rejected() > 0, "expected rejections");
+        assert_eq!(stats.finished() + stats.rejected(), 300);
+        for c in &stats.completions {
+            if c.status == CompletionStatus::Rejected {
+                assert_eq!(c.generated, 0);
+                assert_eq!(c.latency(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deadlines_evict_and_release_pages() {
+        // Saturate the device, then give late arrivals a deadline much
+        // shorter than the queueing delay they will see: they must time
+        // out, and the early no-deadline cohort must still finish.
+        let mut reqs = batch_arrivals(200);
+        for r in reqs.iter_mut().skip(100) {
+            *r = Request::new(r.id, INPUT_LEN, OUTPUT_LEN, 0.0).with_deadline(1.0);
+        }
+        let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, SchedulerConfig::default(), &reqs);
+        assert_eq!(stats.completions.len(), 200);
+        assert!(stats.timed_out() > 0, "expected timeouts");
+        assert_eq!(stats.finished() + stats.timed_out(), 200);
+        // Page conservation is asserted inside run_schedule; here check
+        // timed-out requests produced at most partial output.
+        for c in &stats.completions {
+            if c.status == CompletionStatus::TimedOut {
+                assert!(c.generated < OUTPUT_LEN as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_reservation_is_rejected_not_wedged() {
+        // A request larger than the whole KV budget can never be
+        // admitted; it must come back Rejected instead of blocking the
+        // queue forever.
+        let reqs = vec![
+            Request::new(0, 4_000_000, 1_000_000, 0.0),
+            Request::new(1, INPUT_LEN, OUTPUT_LEN, 0.0),
+        ];
+        let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, SchedulerConfig::default(), &reqs);
+        assert_eq!(stats.rejected(), 1);
+        assert_eq!(stats.finished(), 1);
     }
 }

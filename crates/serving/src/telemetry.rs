@@ -15,7 +15,11 @@
 //! | `lq_serving_admitted_total` | counter | requests admitted |
 //! | `lq_serving_admission_blocked_total` | counter | admission attempts rejected (KV reservation did not fit) |
 //! | `lq_serving_preemptions_total` | counter | always 0 — conservative admission reserves prompt+output up front, so the scheduler never preempts; exported so dashboards can assert it |
-//! | `lq_serving_completed_total` | counter | requests completed |
+//! | `lq_serving_completed_total` | counter | requests finished normally |
+//! | `lq_serving_timed_out_total` | counter | requests evicted past their deadline (pages released) |
+//! | `lq_serving_rejected_total` | counter | requests rejected at arrival (queue full or reservation can never fit) |
+//! | `lq_serving_request_latency_ns` | histogram | per-request arrival→finish latency (finished requests) |
+//! | `lq_serving_queue_delay_ns` | histogram | per-request arrival→admission delay (finished requests) |
 //! | `lq_serving_tokens_per_s` | gauge | sustained throughput of the last run |
 //! | `lq_serving_queue_len` | gauge | waiting requests after each admission pass |
 //! | `lq_kv_page_alloc_total` | counter | KV pages allocated |
@@ -38,6 +42,10 @@ pub(crate) struct SchedMetrics {
     #[allow(dead_code)] // registered (and asserted 0) but never incremented
     pub preemptions: Arc<Counter>,
     pub completed: Arc<Counter>,
+    pub timed_out: Arc<Counter>,
+    pub rejected: Arc<Counter>,
+    pub request_latency_ns: Arc<Histogram>,
+    pub queue_delay_ns: Arc<Histogram>,
     pub tokens_per_s: Arc<Gauge>,
     pub queue_len: Arc<Gauge>,
 }
@@ -57,6 +65,10 @@ impl SchedMetrics {
             blocked: reg.counter("lq_serving_admission_blocked_total"),
             preemptions: reg.counter("lq_serving_preemptions_total"),
             completed: reg.counter("lq_serving_completed_total"),
+            timed_out: reg.counter("lq_serving_timed_out_total"),
+            rejected: reg.counter("lq_serving_rejected_total"),
+            request_latency_ns: reg.histogram("lq_serving_request_latency_ns"),
+            queue_delay_ns: reg.histogram("lq_serving_queue_delay_ns"),
             tokens_per_s: reg.gauge("lq_serving_tokens_per_s"),
             queue_len: reg.gauge("lq_serving_queue_len"),
         })

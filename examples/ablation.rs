@@ -4,10 +4,9 @@
 //!
 //! Run: `cargo run --release --example ablation`
 
-use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::{PackedLqqLinear, PackedQoqLinear};
 use liquidgemm::core::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
-use liquidgemm::core::{KernelKind, LiquidGemm};
+use liquidgemm::prelude::*;
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
 use liquidgemm::sim::pipeline_sim::ablation;

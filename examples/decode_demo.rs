@@ -5,9 +5,9 @@
 //!
 //! Run: `cargo run --release --example decode_demo`
 
-use liquidgemm::core::{KernelKind, LiquidGemm};
 use liquidgemm::engine::attention::AttnConfig;
-use liquidgemm::engine::model::{argmax, ModelSpec, TinyLlm};
+use liquidgemm::engine::model::argmax;
+use liquidgemm::prelude::*;
 use liquidgemm::quant::metrics::error_stats;
 use std::sync::Arc;
 use std::time::Instant;

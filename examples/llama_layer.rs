@@ -9,10 +9,9 @@
 //!
 //! Run: `cargo run --release --example llama_layer [-- --full]`
 
-use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::PackedLqqLinear;
 use liquidgemm::core::reference::gemm_f32_ref;
-use liquidgemm::core::{KernelKind, LiquidGemm};
+use liquidgemm::prelude::*;
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
 use liquidgemm::quant::metrics::error_stats;

@@ -10,8 +10,7 @@
 
 use liquidgemm::models::configs::MIXTRAL_8X7B;
 use liquidgemm::models::decode_layer_shapes;
-use liquidgemm::serving::scheduler::{run_schedule, Request, SchedulerConfig};
-use liquidgemm::serving::system::{ServingSystem, SystemId};
+use liquidgemm::prelude::*;
 use liquidgemm::serving::throughput::peak_throughput;
 use liquidgemm::sim::kernel_model::{KernelModel, SystemKind};
 use liquidgemm::sim::specs::H800;
@@ -80,12 +79,7 @@ fn main() {
     let mut reqs = Vec::new();
     for wave in 0..3u64 {
         for i in 0..40u64 {
-            reqs.push(Request {
-                id: wave * 40 + i,
-                prompt_len: 1024,
-                output_len: 512,
-                arrival: wave as f64 * 60.0,
-            });
+            reqs.push(Request::new(wave * 40 + i, 1024, 512, wave as f64 * 60.0));
         }
     }
     for id in [SystemId::LiquidServe, SystemId::TrtFp8, SystemId::TrtW4A16] {

@@ -3,10 +3,9 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::{PackedLqqLinear, PackedQoqLinear};
 use liquidgemm::core::reference::{gemm_f32_ref, max_abs_diff};
-use liquidgemm::core::{KernelKind, LiquidGemm};
+use liquidgemm::prelude::*;
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
 use liquidgemm::quant::metrics::error_stats;

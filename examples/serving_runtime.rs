@@ -1,0 +1,88 @@
+//! Executable continuous-batching serving: real batched GEMMs on the
+//! persistent pool, driven by the same request API as the simulator.
+//!
+//! A `TinyLlm` (every projection a W4A8 GEMM on a shared
+//! `Arc<LiquidGemm>` pool) serves a bursty workload through
+//! `ServingRuntime`: admission against the paged KV reservation rule,
+//! batched prefill, iteration-level decode where the whole running
+//! batch advances in one M=batch forward pass, deadlines, and a
+//! bounded queue.
+//!
+//! Run: `cargo run --release --example serving_runtime`
+
+use liquidgemm::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let pool = Arc::new(
+        LiquidGemm::builder()
+            .workers(4)
+            .build()
+            .expect("valid pool config"),
+    );
+    let spec = ModelSpec::tiny();
+    let mut model = TinyLlm::synthetic_with_engine(spec, 2048, KernelKind::ImFp, pool);
+
+    // A bursty workload: an opening wave, stragglers with deadlines,
+    // and a tail burst that overflows the bounded queue.
+    let mut requests = Vec::new();
+    for i in 0..8u64 {
+        let prompt: Vec<usize> = (0..12)
+            .map(|t| (i as usize * 11 + t * 3) % spec.vocab)
+            .collect();
+        requests.push(PromptRequest::new(
+            Request::new(i, prompt.len(), 24, 0.0),
+            prompt,
+        ));
+    }
+    for i in 8..12u64 {
+        let prompt: Vec<usize> = (0..8).map(|t| (i as usize * 7 + t) % spec.vocab).collect();
+        requests.push(PromptRequest::new(
+            Request::new(i, prompt.len(), 16, 0.010).with_deadline(0.002),
+            prompt,
+        ));
+    }
+    for i in 12..40u64 {
+        let prompt: Vec<usize> = (0..8).map(|t| (i as usize * 5 + t) % spec.vocab).collect();
+        requests.push(PromptRequest::new(
+            Request::new(i, prompt.len(), 16, 0.020),
+            prompt,
+        ));
+    }
+
+    let cfg = SchedulerConfig::builder()
+        .max_batch(8)
+        .page_tokens(16)
+        .max_queue(12)
+        .build()
+        .expect("valid scheduler config");
+    let mut runtime = ServingRuntime::new(cfg, 2048);
+    let stats = runtime.run(&mut model, requests);
+
+    println!("== executable continuous-batching serving (TinyLlm, ImFP, 4-worker pool) ==\n");
+    println!(
+        "  {:>3} finished   {:>3} timed out   {:>3} rejected   (of {})",
+        stats.finished(),
+        stats.timed_out(),
+        stats.rejected(),
+        stats.completions.len()
+    );
+    println!(
+        "  {} tokens in {:.1} ms  →  {:.0} tok/s sustained",
+        stats.generated_tokens,
+        stats.makespan * 1e3,
+        stats.throughput()
+    );
+    println!(
+        "  peak batch {}   decode iterations {}   mean latency {:.2} ms   p95 {:.2} ms",
+        stats.peak_batch,
+        stats.decode_steps,
+        stats.mean_latency() * 1e3,
+        stats.latency_percentile(95.0) * 1e3
+    );
+    println!(
+        "\n  KV pages after drain: {}/{} free (leak-free)",
+        runtime.kv().free_pages(),
+        runtime.kv().total_pages()
+    );
+}

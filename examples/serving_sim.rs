@@ -8,9 +8,8 @@
 
 use liquidgemm::models::configs::{LLAMA2_70B, LLAMA2_7B, LLAMA3_8B, MIXTRAL_8X7B};
 use liquidgemm::models::ModelConfig;
+use liquidgemm::prelude::*;
 use liquidgemm::serving::decode::decode_step;
-use liquidgemm::serving::kvcache::PagedKvCache;
-use liquidgemm::serving::system::{ServingSystem, SystemId};
 use liquidgemm::serving::throughput::{peak_throughput, INPUT_LEN, OUTPUT_LEN};
 use liquidgemm::sim::specs::H800;
 

@@ -16,14 +16,11 @@
 //! * `lq-sim::pipeline_sim` — modelled per-resource busy time (TMA /
 //!   CUDA cores / Tensor cores) for each pipelining discipline.
 
-use liquidgemm::core::api::W4A8Weights;
 use liquidgemm::core::packed::PackedLqqLinear;
-use liquidgemm::core::{KernelKind, LiquidGemm};
 use liquidgemm::models::configs::LLAMA2_7B;
+use liquidgemm::prelude::*;
 use liquidgemm::quant::act::QuantizedActivations;
 use liquidgemm::quant::mat::Mat;
-use liquidgemm::serving::scheduler::{run_schedule, Request, SchedulerConfig};
-use liquidgemm::serving::system::{ServingSystem, SystemId};
 use liquidgemm::sim::pipeline_sim::ablation;
 use liquidgemm::sim::specs::H800;
 use liquidgemm::telemetry;
@@ -62,11 +59,13 @@ fn main() {
     // ── 2. Instrumented serving loop: continuous-batching decode ────
     let sys = ServingSystem::of(SystemId::LiquidServe);
     let requests: Vec<Request> = (0..96)
-        .map(|i| Request {
-            id: i,
-            prompt_len: 128 + (i as usize % 5) * 64,
-            output_len: 64 + (i as usize % 3) * 32,
-            arrival: i as f64 * 0.002,
+        .map(|i| {
+            Request::new(
+                i,
+                128 + (i as usize % 5) * 64,
+                64 + (i as usize % 3) * 32,
+                i as f64 * 0.002,
+            )
         })
         .collect();
     let stats = run_schedule(

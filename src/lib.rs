@@ -30,9 +30,11 @@
 //!
 //! ## Quickstart
 //!
+//! The [`prelude`] re-exports the handle-based API — one import path
+//! for the GEMM runtime, the weight types, and the serving runtime:
+//!
 //! ```
-//! use liquidgemm::core::{KernelKind, LiquidGemm};
-//! use liquidgemm::core::api::W4A8Weights;
+//! use liquidgemm::prelude::*;
 //! use liquidgemm::core::packed::PackedLqqLinear;
 //! use liquidgemm::quant::act::QuantizedActivations;
 //! use liquidgemm::quant::mat::Mat;
@@ -64,3 +66,22 @@ pub use lq_serving as serving;
 pub use lq_sim as sim;
 pub use lq_swar as swar;
 pub use lq_telemetry as telemetry;
+
+/// The handle-based API in one import: `use liquidgemm::prelude::*;`.
+///
+/// Covers the three things nearly every program touches — the
+/// persistent GEMM runtime ([`LiquidGemm`] + [`KernelKind`] +
+/// [`W4A8Weights`]), the executable model ([`TinyLlm`]), and the
+/// serving API shared by the simulated and executable schedulers
+/// ([`Request`] / [`Completion`] / [`RunStats`] / [`SchedulerConfig`],
+/// [`run_schedule`], [`ServingRuntime`]).
+pub mod prelude {
+    pub use lq_core::{GemmOutput, KernelKind, LiquidGemm, LiquidGemmBuilder, W4A8Weights};
+    pub use lq_engine::{ModelSpec, TinyLlm};
+    pub use lq_serving::kvcache::SeqId;
+    pub use lq_serving::runtime::{PromptRequest, ServingEngine, ServingRuntime};
+    pub use lq_serving::{
+        run_schedule, Completion, CompletionStatus, PagedKvCache, Request, RunStats,
+        SchedulerConfig, SchedulerConfigError, ServingSystem, SystemId,
+    };
+}

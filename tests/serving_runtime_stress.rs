@@ -1,0 +1,176 @@
+//! Stress test for the executable serving runtime: a seeded random
+//! workload of staggered arrivals, tight deadlines, and a bounded
+//! queue, served by a real `TinyLlm` on a shared persistent pool.
+//!
+//! Invariants checked after the drain:
+//! * every request completes exactly once, with a valid status split;
+//! * no KV pages leak — the runtime's admission table AND every
+//!   engine-layer paged store are back to fully free;
+//! * finished requests produced exactly `output_len` tokens, timed-out
+//!   ones strictly fewer, rejected ones none;
+//! * the run is deterministic enough to re-check (same seed → same
+//!   completion-status multiset on the virtual-clock-independent
+//!   outcomes: rejections are decided by arrival order alone).
+
+use liquidgemm::prelude::*;
+use lq_rng::Rng;
+use std::sync::Arc;
+
+/// Queue capacity used by every stress run (referenced by the
+/// guaranteed-overflow tail burst below).
+const MAX_QUEUE: usize = 10;
+
+/// Seeded workload with all three exit paths *guaranteed*, independent
+/// of how fast the host decodes:
+/// * request 0 arrives first with `deadline = 0.0` — it is queued into
+///   an empty system, admitted, and expires as soon as measured prefill
+///   time advances the clock: a certain timeout;
+/// * a random middle section (arrivals, lengths, loose deadlines);
+/// * a tail burst of `MAX_QUEUE + 30` simultaneous arrivals — the
+///   ingest pass queues at most `MAX_QUEUE` of them before any
+///   admission can run, so at least 30 are certain rejections.
+fn workload(rng: &mut Rng, spec: &ModelSpec, n: u64) -> Vec<PromptRequest> {
+    let mut reqs = Vec::new();
+    let prompt = |rng: &mut Rng, len: usize| -> Vec<usize> {
+        (0..len)
+            .map(|_| (rng.next_u64() as usize) % spec.vocab)
+            .collect()
+    };
+
+    reqs.push(PromptRequest::new(
+        Request::new(0, 6, 8, 0.0).with_deadline(0.0),
+        prompt(rng, 6),
+    ));
+
+    let mut t = 0.001f64;
+    for id in 1..n {
+        t += rng.f64() * 0.004; // staggered arrivals, ~2 ms apart
+        let prompt_len = 4 + (rng.next_u64() % 13) as usize;
+        let output_len = 1 + (rng.next_u64() % 24) as usize;
+        let mut meta = Request::new(id, prompt_len, output_len, t);
+        if rng.next_u64().is_multiple_of(3) {
+            meta = meta.with_deadline(rng.f64() * 0.05);
+        }
+        reqs.push(PromptRequest::new(meta, prompt(rng, prompt_len)));
+    }
+
+    let burst_at = t + 0.005;
+    for i in 0..(MAX_QUEUE as u64 + 30) {
+        let prompt_len = 4 + (rng.next_u64() % 9) as usize;
+        reqs.push(PromptRequest::new(
+            Request::new(n + i, prompt_len, 8, burst_at),
+            prompt(rng, prompt_len),
+        ));
+    }
+    reqs
+}
+
+#[test]
+fn stress_no_kv_leaks_after_drain() {
+    let spec = ModelSpec::tiny();
+    let pool = Arc::new(LiquidGemm::builder().workers(2).build().unwrap());
+    let mut model = TinyLlm::synthetic_with_engine(spec, 1024, KernelKind::ImFp, pool);
+    let engine_free_start: Vec<usize> = model.kv.iter().map(|s| s.table.free_pages()).collect();
+
+    let mut rng = Rng::new(0xC0FFEE);
+    let requests = workload(&mut rng, &spec, 120);
+    let n = requests.len();
+
+    let cfg = SchedulerConfig::builder()
+        .max_batch(6)
+        .page_tokens(16)
+        .max_queue(MAX_QUEUE)
+        .build()
+        .unwrap();
+    let mut runtime = ServingRuntime::new(cfg, 1024);
+    let stats = runtime.run(&mut model, requests);
+
+    // Every request completes exactly once.
+    assert_eq!(stats.completions.len(), n);
+    let mut ids: Vec<u64> = stats.completions.iter().map(|c| c.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "a request completed twice or not at all");
+    assert_eq!(
+        stats.finished() + stats.timed_out() + stats.rejected(),
+        n,
+        "statuses must partition the workload"
+    );
+    assert!(stats.finished() > 0, "nothing finished");
+
+    // Token accounting per status.
+    for c in &stats.completions {
+        match c.status {
+            CompletionStatus::Rejected => {
+                assert_eq!(c.generated, 0);
+                assert_eq!(c.latency(), 0.0);
+            }
+            CompletionStatus::TimedOut => {
+                assert!(c.latency() >= 0.0);
+            }
+            CompletionStatus::Finished => {
+                assert!(c.generated >= 1);
+                assert!(c.latency() > 0.0);
+                assert!(c.queue_delay() >= 0.0);
+            }
+        }
+    }
+    let counted: u64 = stats.completions.iter().map(|c| c.generated).sum();
+    assert_eq!(counted, stats.generated_tokens, "token ledger must balance");
+
+    // No KV pages leaked: runtime admission table fully free ...
+    assert_eq!(runtime.kv().free_pages(), runtime.kv().total_pages());
+    assert!(runtime.kv().check_invariants());
+    // ... and every engine layer's paged store back to its start state.
+    for (layer, (store, &free0)) in model.kv.iter().zip(engine_free_start.iter()).enumerate() {
+        assert_eq!(
+            store.table.free_pages(),
+            free0,
+            "layer {layer} leaked KV pages"
+        );
+        assert!(store.table.check_invariants(), "layer {layer} invariants");
+    }
+}
+
+#[test]
+fn stress_timeouts_and_rejections_actually_occur() {
+    // The workload must genuinely exercise all three exit paths, or
+    // the leak assertions above prove nothing about eviction/rejection.
+    let spec = ModelSpec::tiny();
+    let pool = Arc::new(LiquidGemm::builder().workers(2).build().unwrap());
+    let mut model = TinyLlm::synthetic_with_engine(spec, 1024, KernelKind::ImFp, pool);
+    let mut rng = Rng::new(0xC0FFEE);
+    let requests = workload(&mut rng, &spec, 120);
+    let cfg = SchedulerConfig::builder()
+        .max_batch(6)
+        .page_tokens(16)
+        .max_queue(MAX_QUEUE)
+        .build()
+        .unwrap();
+    let stats = ServingRuntime::new(cfg, 1024).run(&mut model, requests);
+    assert!(stats.timed_out() > 0, "workload produced no timeouts");
+    assert!(stats.rejected() > 0, "workload produced no rejections");
+}
+
+#[test]
+fn simulation_and_runtime_share_one_request_api() {
+    // The same Request workload (metadata only) must drive the
+    // simulation backend unchanged — the unified-API guarantee.
+    let mut rng = Rng::new(7);
+    let spec = ModelSpec::tiny();
+    let metas: Vec<Request> = workload(&mut rng, &spec, 60)
+        .into_iter()
+        .map(|p| p.meta)
+        .collect();
+    let n = metas.len();
+    let sys = ServingSystem::of(SystemId::LiquidServe);
+    let stats = run_schedule(
+        &sys,
+        &liquidgemm::sim::specs::H800,
+        &liquidgemm::models::configs::LLAMA2_7B,
+        SchedulerConfig::default(),
+        &metas,
+    );
+    assert_eq!(stats.completions.len(), n);
+    assert_eq!(stats.finished() + stats.timed_out() + stats.rejected(), n);
+}
