@@ -2,10 +2,15 @@
 //! counterpart of Figure 12's per-kernel comparison), plus the
 //! pool-amortisation sweep: per-call worker spawn vs one persistent
 //! pool across decode-to-prefill batch sizes — the CPU-measured
-//! counterpart of the paper's persistent-kernel argument (§5.4).
+//! counterpart of the paper's persistent-kernel argument (§5.4) — and a
+//! pool-balance audit of the work-stealing scheduler (per-worker
+//! jobs/busy-ns/steals and the max/min busy-ns ratio).
 //!
 //! Plain main (no criterion: the sandbox is offline); `--json` dumps
-//! the telemetry registry to `BENCH_gemm_kernels.json`.
+//! the telemetry registry to `BENCH_gemm_kernels.json`. `--smoke` runs
+//! only the balance audit on tiny shapes and exits non-zero if the
+//! busy-ns max/min ratio across workers exceeds [`BALANCE_GATE`] — the
+//! release-mode CI gate for scheduler fairness regressions.
 
 use std::hint::black_box;
 
@@ -23,6 +28,11 @@ use lq_quant::mat::Mat;
 
 const N: usize = 512;
 const K: usize = 2048;
+
+/// Busy-ns max/min ratio above which `--smoke` fails the run: with
+/// round-robin placement plus stealing, workers should stay within 2×
+/// of each other even on a single hardware core.
+const BALANCE_GATE: f64 = 2.0;
 
 /// Per-call-spawn vs persistent-pool ImFP latency across batch sizes.
 /// At decode shapes (M ≤ 8) thread spawn+join dominates the tiny GEMM,
@@ -82,8 +92,61 @@ fn pool_amortisation(lqq: &PackedLqqLinear) {
     }
 }
 
+/// Drive `calls` ImFP GEMMs on a fresh 4-worker pool and audit how
+/// evenly the work-stealing scheduler spread them: per-worker
+/// jobs/busy-ns/steals from [`WorkerPool::worker_stats`], plus the
+/// max/min busy-ns ratio. The ratio lands in the `--json` dump as the
+/// `lq_pool_busy_balance_ratio` gauge so the committed snapshot records
+/// scheduler fairness alongside the steal counters.
+///
+/// [`WorkerPool::worker_stats`]: lq_core::runtime::WorkerPool::worker_stats
+fn pool_balance(weights: &W4A8Weights, k: usize, m: usize, task_rows: usize, calls: usize) -> f64 {
+    let lg = LiquidGemm::builder()
+        .workers(4)
+        .task_rows(task_rows)
+        .build()
+        .expect("valid config");
+    let x = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.05).sin());
+    let qa = QuantizedActivations::quantize(&x, None);
+    for _ in 0..calls {
+        black_box(lg.gemm(&qa.q, &qa.scales, weights, KernelKind::ImFp));
+    }
+    let stats = lg.pool().worker_stats();
+    println!("\npool_balance (M={m} K={k}, task_rows={task_rows}, {calls} ImFP calls, 4 workers)");
+    print_header(&[("worker", 6), ("jobs", 8), ("busy", 10), ("steals", 8)]);
+    for (id, s) in stats.iter().enumerate() {
+        print_row(&[
+            (id.to_string(), 6),
+            (s.jobs.to_string(), 8),
+            (fmt_time(s.busy_ns as f64 * 1e-9), 10),
+            (s.steals.to_string(), 8),
+        ]);
+    }
+    let max = stats.iter().map(|s| s.busy_ns).max().unwrap_or(0);
+    let min = stats.iter().map(|s| s.busy_ns).min().unwrap_or(0).max(1);
+    let ratio = max as f64 / min as f64;
+    println!("busy-ns max/min ratio: {ratio:.2} (gate: {BALANCE_GATE:.1})");
+    lq_telemetry::registry()
+        .gauge("lq_pool_busy_balance_ratio")
+        .set(ratio);
+    ratio
+}
+
 fn main() {
     let _json = lq_bench::json_dump("gemm_kernels");
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI smoke gate: tiny shapes so the whole run is sub-second in
+        // release mode, but enough calls that every worker sees work.
+        let w = Mat::from_fn(128, 256, |r, c| ((r * 256 + c) as f32 * 0.11).sin());
+        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+        let ratio = pool_balance(&weights, 256, 8, 2, 64);
+        if ratio > BALANCE_GATE {
+            eprintln!("FAIL: busy-ns max/min ratio {ratio:.2} exceeds gate {BALANCE_GATE:.1}");
+            std::process::exit(1);
+        }
+        println!("smoke OK");
+        return;
+    }
     let w = Mat::from_fn(N, K, |r, c| ((r * K + c) as f32 * 0.11).sin());
     let x = Mat::from_fn(32, K, |r, c| ((r + c) as f32 * 0.07).cos());
     let qa = QuantizedActivations::quantize(&x, None);
@@ -115,4 +178,5 @@ fn main() {
     });
 
     pool_amortisation(&lqq);
+    pool_balance(&W4A8Weights::Lqq(lqq), K, 64, 16, 24);
 }

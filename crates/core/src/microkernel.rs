@@ -1,13 +1,27 @@
-//! Hot-loop primitives: raw SWAR dequantization and dot-product
-//! microkernels.
+//! Hot-loop primitives: raw SWAR dequantization and the register-tiled
+//! INT8 microkernel.
 //!
-//! These are the *uncounted* twins of the audited paths in `lq-quant` —
-//! same arithmetic, zero bookkeeping, `#[inline(always)]`, written so
-//! LLVM autovectorises the reduction loops. Bit-exact equivalence with
-//! the audited implementations is asserted by tests here and property
-//! tests in `tests/`.
+//! The dequant halves are the *uncounted* twins of the audited paths in
+//! `lq-quant` — same arithmetic, zero bookkeeping, `#[inline(always)]`.
+//! The MMA half is a BLIS-style MR×NR register-tile microkernel: the
+//! activation block is staged into [`APanels`] (row-major `MR`-row
+//! panels plus the `m % MR` tail) and [`mk_i8_4x4`] / [`mk_i8_1x4`]
+//! run each of the tile's accumulator chains as a full-`kc` reduction
+//! over *contiguous* operand streams, the one shape LLVM's loop
+//! vectoriser turns into widening-multiply SIMD reductions without
+//! intrinsics (the workspace forbids `unsafe`). We measured the
+//! alternative K-major interleaved packing
+//! (`lq_layout::pack::pack_a_panels_kmajor`) with fixed 16-wide
+//! chunked unrolling: the strided lane access defeats the vectoriser's
+//! reduction pattern and the per-chunk horizontal sums dominate, so it
+//! benches 2–5× slower than the contiguous form on both baseline
+//! SSE2 and AVX-512 — the layout stays in `lq-layout` as the measured
+//! counterexample. Bit-exact equivalence with the audited
+//! implementations and with `reference.rs` is asserted by tests here
+//! and property tests in `tests/`.
 
 use lq_quant::lqq::LqqGroup;
+use lq_quant::mat::Mat;
 use lq_quant::qoq::QoqGroup;
 
 /// Lane mask selecting the low nibble of every byte.
@@ -109,22 +123,185 @@ pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     acc
 }
 
-/// Four-way unrolled INT8 dot for the serial kernels' M-loop: computes
-/// the dot of `w` against four activation rows at once, improving reuse
-/// of the dequantized weight buffer.
-#[inline]
-pub fn dot_i8_x4(w: &[i8], a0: &[i8], a1: &[i8], a2: &[i8], a3: &[i8]) -> [i32; 4] {
-    debug_assert!(a0.len() == w.len() && a1.len() == w.len());
-    debug_assert!(a2.len() == w.len() && a3.len() == w.len());
-    let mut acc = [0i32; 4];
-    for i in 0..w.len() {
-        let wv = i32::from(w[i]);
-        acc[0] += wv * i32::from(a0[i]);
-        acc[1] += wv * i32::from(a1[i]);
-        acc[2] += wv * i32::from(a2[i]);
-        acc[3] += wv * i32::from(a3[i]);
+/// Token rows per register-tile panel (the microkernel's M dimension).
+pub const MR: usize = 4;
+/// Output channels per register tile (the microkernel's N dimension).
+pub const NR: usize = 4;
+/// Activation block staged for the register-tiled microkernel: an owned
+/// row-major copy viewed as `m / MR` panels of `MR` consecutive token
+/// rows plus `m % MR` tail rows for the 1×NR edge kernel. Rows stay
+/// contiguous — the microkernel's accumulator chains each reduce over a
+/// contiguous stream, the shape LLVM vectorises (see the module doc for
+/// the measured K-major counterexample). Staging cost is one pass over
+/// the block — the same copy the pre-tiling kernels paid to clone the
+/// activation matrix into the worker-pool call context.
+#[derive(Debug, Clone)]
+pub struct APanels {
+    m: usize,
+    k: usize,
+    rows: Vec<i8>,
+}
+
+impl APanels {
+    /// Stage a row-major `m×k` INT8 activation matrix.
+    #[must_use]
+    pub fn pack(x: &Mat<i8>) -> Self {
+        APanels {
+            m: x.rows(),
+            k: x.cols(),
+            rows: x.as_slice().to_vec(),
+        }
     }
-    acc
+
+    /// Token count.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Reduction length.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of complete MR-row panels.
+    #[must_use]
+    pub fn panel_count(&self) -> usize {
+        self.m / MR
+    }
+
+    /// Number of tail tokens not covered by a full panel.
+    #[must_use]
+    pub fn tail_count(&self) -> usize {
+        self.m % MR
+    }
+
+    /// K-range `[k0, k1)` of token row `i` (contiguous, row-major).
+    #[must_use]
+    pub fn row_kslice(&self, i: usize, k0: usize, k1: usize) -> &[i8] {
+        &self.rows[i * self.k + k0..i * self.k + k1]
+    }
+
+    /// Accumulator length for one NR-channel strip over every token:
+    /// an `MR×NR` block per panel plus an `NR` block per tail token.
+    #[must_use]
+    pub fn acc_len(&self) -> usize {
+        self.panel_count() * MR * NR + self.tail_count() * NR
+    }
+}
+
+/// The MR×NR register-tile microkernel: `MR` contiguous activation row
+/// slices against `NR` row-major weight rows (`w_block`, stride `kc`),
+/// accumulating into `acc[nr * MR + mr]`. This is the CPU stand-in for
+/// the tensor-core INT8 MMA tile: 16 live i32 accumulator chains, each
+/// weight byte load shared across MR token chains and each activation
+/// load shared across NR channel chains. Every chain reduces over two
+/// contiguous streams for the whole `kc`, so LLVM vectorises each
+/// channel's four chains as widening-multiply SIMD reductions with a
+/// single horizontal sum at the end (no fixed-width chunking — see the
+/// module doc for why the chunked K-major form loses).
+#[inline]
+pub fn mk_i8_4x4(a: [&[i8]; MR], w_block: &[i8], kc: usize, acc: &mut [i32; MR * NR]) {
+    debug_assert!(a.iter().all(|r| r.len() == kc));
+    debug_assert_eq!(w_block.len(), kc * NR);
+    let (a0, a1, a2, a3) = (a[0], a[1], a[2], a[3]);
+    for nr in 0..NR {
+        let wv = &w_block[nr * kc..(nr + 1) * kc];
+        let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+        for t in 0..kc {
+            let w = i32::from(wv[t]);
+            s0 += w * i32::from(a0[t]);
+            s1 += w * i32::from(a1[t]);
+            s2 += w * i32::from(a2[t]);
+            s3 += w * i32::from(a3[t]);
+        }
+        acc[nr * MR] += s0;
+        acc[nr * MR + 1] += s1;
+        acc[nr * MR + 2] += s2;
+        acc[nr * MR + 3] += s3;
+    }
+}
+
+/// 1×NR edge kernel for tail tokens and M=1 decode: one contiguous
+/// activation row against `NR` weight rows, each activation load shared
+/// across NR accumulator chains (`acc[nr]`), each chain a full-`kc`
+/// contiguous reduction.
+#[inline]
+pub fn mk_i8_1x4(a_row: &[i8], w_block: &[i8], kc: usize, acc: &mut [i32; NR]) {
+    debug_assert_eq!(a_row.len(), kc);
+    debug_assert_eq!(w_block.len(), kc * NR);
+    let (w0, w1, w2) = (
+        &w_block[..kc],
+        &w_block[kc..2 * kc],
+        &w_block[2 * kc..3 * kc],
+    );
+    let w3 = &w_block[3 * kc..4 * kc];
+    let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+    for t in 0..kc {
+        let a = i32::from(a_row[t]);
+        s0 += a * i32::from(w0[t]);
+        s1 += a * i32::from(w1[t]);
+        s2 += a * i32::from(w2[t]);
+        s3 += a * i32::from(w3[t]);
+    }
+    acc[0] += s0;
+    acc[1] += s1;
+    acc[2] += s2;
+    acc[3] += s3;
+}
+
+/// Accumulate one dequantized weight strip (`NR` rows × `kc` columns,
+/// row-major, covering K range `[k0, k0+kc)`) against *every* token of
+/// `a`. `acc` is laid out panel-first — panel `p` owns
+/// `acc[p*MR*NR + nr*MR + mr]`, then tail token `t` owns
+/// `acc[panel_count*MR*NR + t*NR + nr]` — total [`APanels::acc_len`].
+#[inline]
+pub fn accumulate_strip(a: &APanels, k0: usize, kc: usize, w_block: &[i8], acc: &mut [i32]) {
+    debug_assert_eq!(w_block.len(), NR * kc);
+    debug_assert_eq!(acc.len(), a.acc_len());
+    for p in 0..a.panel_count() {
+        let rows = [
+            a.row_kslice(p * MR, k0, k0 + kc),
+            a.row_kslice(p * MR + 1, k0, k0 + kc),
+            a.row_kslice(p * MR + 2, k0, k0 + kc),
+            a.row_kslice(p * MR + 3, k0, k0 + kc),
+        ];
+        let tile: &mut [i32; MR * NR] = (&mut acc[p * MR * NR..(p + 1) * MR * NR])
+            .try_into()
+            .expect("panel acc tile");
+        mk_i8_4x4(rows, w_block, kc, tile);
+    }
+    let base = a.panel_count() * MR * NR;
+    for t in 0..a.tail_count() {
+        let ar = a.row_kslice(a.panel_count() * MR + t, k0, k0 + kc);
+        let tile: &mut [i32; NR] = (&mut acc[base + t * NR..base + (t + 1) * NR])
+            .try_into()
+            .expect("tail acc tile");
+        mk_i8_1x4(ar, w_block, kc, tile);
+    }
+}
+
+/// Scatter channel lane `nr` of a strip accumulator (laid out as in
+/// [`accumulate_strip`]) into a length-`m` output row, applying
+/// per-token activation scales and the channel scale in the same
+/// `(acc · act) · ch` order as `epilogue::apply_scales_column`.
+#[inline]
+pub fn scatter_channel(a: &APanels, acc: &[i32], nr: usize, act: &[f32], ch: f32, out: &mut [f32]) {
+    debug_assert_eq!(acc.len(), a.acc_len());
+    debug_assert_eq!(act.len(), a.m());
+    debug_assert_eq!(out.len(), a.m());
+    for p in 0..a.panel_count() {
+        for mr in 0..MR {
+            let tok = p * MR + mr;
+            out[tok] = acc[p * MR * NR + nr * MR + mr] as f32 * act[tok] * ch;
+        }
+    }
+    let base = a.panel_count() * MR * NR;
+    for t in 0..a.tail_count() {
+        let tok = a.panel_count() * MR + t;
+        out[tok] = acc[base + t * NR + nr] as f32 * act[tok] * ch;
+    }
 }
 
 /// f32 dot product (FP16/FP8/W4A16 baselines).
@@ -232,10 +409,114 @@ mod tests {
             .map(|(&x, &y)| i32::from(x) * i32::from(y))
             .sum();
         assert_eq!(dot_i8(&a, &b), want);
-        let four = dot_i8_x4(&a, &b, &b, &a, &a);
-        assert_eq!(four[0], want);
-        assert_eq!(four[1], want);
-        assert_eq!(four[2], dot_i8(&a, &a));
+    }
+
+    fn naive_tile(x: &Mat<i8>, w: &[Vec<i8>]) -> Vec<i32> {
+        let mut out = vec![0i32; x.rows() * w.len()];
+        for i in 0..x.rows() {
+            for (j, wj) in w.iter().enumerate() {
+                out[i * w.len() + j] = dot_i8(x.row(i), wj);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn accumulate_strip_matches_naive_across_shapes() {
+        let mut rng = lq_rng::Rng::new(0xA11E5);
+        for &(m, kc) in &[
+            (1usize, 7usize),
+            (3, 16),
+            (4, 16),
+            (5, 31),
+            (8, 48),
+            (9, 1),
+            (13, 130),
+        ] {
+            let x = Mat::from_vec(m, kc, rng.vec_i8(m * kc, -128, 127));
+            let a = APanels::pack(&x);
+            let w: Vec<Vec<i8>> = (0..NR).map(|_| rng.vec_i8(kc, -128, 127)).collect();
+            let w_block: Vec<i8> = w.iter().flatten().copied().collect();
+            let mut acc = vec![0i32; a.acc_len()];
+            accumulate_strip(&a, 0, kc, &w_block, &mut acc);
+            let want = naive_tile(&x, &w);
+            for p in 0..a.panel_count() {
+                for mr in 0..MR {
+                    for nr in 0..NR {
+                        assert_eq!(
+                            acc[p * MR * NR + nr * MR + mr],
+                            want[(p * MR + mr) * NR + nr],
+                            "m={m} kc={kc} p={p} mr={mr} nr={nr}"
+                        );
+                    }
+                }
+            }
+            let base = a.panel_count() * MR * NR;
+            for t in 0..a.tail_count() {
+                for nr in 0..NR {
+                    assert_eq!(
+                        acc[base + t * NR + nr],
+                        want[(a.panel_count() * MR + t) * NR + nr],
+                        "m={m} kc={kc} tail t={t} nr={nr}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_strip_splits_k_exactly() {
+        let mut rng = lq_rng::Rng::new(0x5EED);
+        let (m, k) = (6, 100);
+        let x = Mat::from_vec(m, k, rng.vec_i8(m * k, -128, 127));
+        let a = APanels::pack(&x);
+        let w: Vec<Vec<i8>> = (0..NR).map(|_| rng.vec_i8(k, -128, 127)).collect();
+        let mut whole = vec![0i32; a.acc_len()];
+        let w_block: Vec<i8> = w.iter().flatten().copied().collect();
+        accumulate_strip(&a, 0, k, &w_block, &mut whole);
+        // Same reduction split at an unaligned K boundary.
+        let mut split = vec![0i32; a.acc_len()];
+        let cut = 37;
+        let head: Vec<i8> = w.iter().flat_map(|r| r[..cut].iter().copied()).collect();
+        let tail: Vec<i8> = w.iter().flat_map(|r| r[cut..].iter().copied()).collect();
+        accumulate_strip(&a, 0, cut, &head, &mut split);
+        accumulate_strip(&a, cut, k - cut, &tail, &mut split);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn microkernel_survives_extreme_inputs() {
+        // K=8192 of (-128 × -128) stays within i32 per accumulator lane.
+        let k = 8192;
+        let x = Mat::from_vec(MR + 1, k, vec![-128i8; (MR + 1) * k]);
+        let a = APanels::pack(&x);
+        let w_block = vec![-128i8; NR * k];
+        let mut acc = vec![0i32; a.acc_len()];
+        accumulate_strip(&a, 0, k, &w_block, &mut acc);
+        for &v in &acc {
+            assert_eq!(v, (k as i32) * 16384);
+        }
+    }
+
+    #[test]
+    fn scatter_channel_applies_scales_per_token() {
+        let mut rng = lq_rng::Rng::new(0xCAFE);
+        let (m, k) = (7, 24);
+        let x = Mat::from_vec(m, k, rng.vec_i8(m * k, -128, 127));
+        let a = APanels::pack(&x);
+        let w: Vec<Vec<i8>> = (0..NR).map(|_| rng.vec_i8(k, -128, 127)).collect();
+        let w_block: Vec<i8> = w.iter().flatten().copied().collect();
+        let mut acc = vec![0i32; a.acc_len()];
+        accumulate_strip(&a, 0, k, &w_block, &mut acc);
+        let act: Vec<f32> = (0..m).map(|i| 0.5 + i as f32 * 0.25).collect();
+        for (nr, wj) in w.iter().enumerate() {
+            let ch = 0.125 * (nr as f32 + 1.0);
+            let mut out = vec![0.0f32; m];
+            scatter_channel(&a, &acc, nr, &act, ch, &mut out);
+            for i in 0..m {
+                assert_eq!(out[i], dot_i8(x.row(i), wj) as f32 * act[i] * ch);
+            }
+        }
     }
 
     #[test]

@@ -58,7 +58,9 @@ use std::sync::Arc;
 
 use lq_quant::mat::Mat;
 
-use crate::microkernel::{dequant_group_lqq, dequant_group_qoq, dot_i8, dot_i8_x4};
+use crate::microkernel::{
+    accumulate_strip, dequant_group_lqq, dequant_group_qoq, scatter_channel, APanels, NR,
+};
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
 use crate::runtime::{CallCtx, Job, Reply, WorkerPool};
 use crate::serial::MAX_GROUP;
@@ -344,78 +346,75 @@ impl TileQuant {
 }
 
 /// Compute `Yᵀ` rows `[0, rows)` of a staged tile into `out_t` (length
-/// `rows·m`): the fused dequant+MMA job body (Flat and ImFP).
+/// `rows·m`): the fused dequant+MMA job body (Flat and ImFP). Channels
+/// are walked NR at a time: each group is dequantized for the whole
+/// NR-row strip, then [`accumulate_strip`] runs the MR×NR register-tile
+/// microkernel over every packed activation panel.
 pub(crate) fn compute_rows_staged(
     q: &TileQuant,
     words: &[u32],
     rows: usize,
-    x: &Mat<i8>,
+    a: &APanels,
     act_scales: &[f32],
     out_t: &mut [f32],
 ) {
-    let m = x.rows();
+    let m = a.m();
     let group = q.group;
     let groups_per_row = q.k / group;
-    let mut buf = [0i8; MAX_GROUP];
-    let mut acc = vec![0i32; m];
-    for j in 0..rows {
+    let mut wbuf = vec![0i8; NR * group];
+    let mut acc = vec![0i32; a.acc_len()];
+    for jb in (0..rows).step_by(NR) {
+        let nr = NR.min(rows - jb);
+        if nr < NR {
+            // Unused strip rows stay zero: their lanes are never read back.
+            wbuf.fill(0);
+        }
         acc.fill(0);
         for g in 0..groups_per_row {
-            q.dequant_group(words, j, g, &mut buf[..group]);
-            let k0 = g * group;
-            accumulate(&mut acc, x, k0, k0 + group, &buf[..group]);
+            for r in 0..nr {
+                let dst = &mut wbuf[r * group..(r + 1) * group];
+                q.dequant_group(words, jb + r, g, dst);
+            }
+            accumulate_strip(a, g * group, group, &wbuf, &mut acc);
         }
-        let ch = q.channel_scales[j];
-        let row = &mut out_t[j * m..(j + 1) * m];
-        for (i, o) in row.iter_mut().enumerate() {
-            *o = acc[i] as f32 * act_scales[i] * ch;
+        for r in 0..nr {
+            let ch = q.channel_scales[jb + r];
+            let row = &mut out_t[(jb + r) * m..(jb + r + 1) * m];
+            scatter_channel(a, &acc, r, act_scales, ch, row);
         }
     }
 }
 
-/// ExCP stage 3 job body: dot products from a materialised INT8 tile.
+/// ExCP stage 3 job body: register-tiled MMA from a materialised INT8
+/// tile (row-major, so full NR-row strips feed the microkernel in
+/// place).
 pub(crate) fn mma_rows(
     tile: &[i8],
     k: usize,
     channel_scales: &[f32],
-    x: &Mat<i8>,
+    a: &APanels,
     act_scales: &[f32],
     out_t: &mut [f32],
 ) {
-    let m = x.rows();
-    let mut acc = vec![0i32; m];
-    for (j, &ch) in channel_scales.iter().enumerate() {
+    let m = a.m();
+    let rows = channel_scales.len();
+    let mut acc = vec![0i32; a.acc_len()];
+    let mut pad = vec![0i8; NR * k];
+    for jb in (0..rows).step_by(NR) {
+        let nr = NR.min(rows - jb);
         acc.fill(0);
-        let wrow = &tile[j * k..(j + 1) * k];
-        accumulate(&mut acc, x, 0, k, wrow);
-        let row = &mut out_t[j * m..(j + 1) * m];
-        for (i, o) in row.iter_mut().enumerate() {
-            *o = acc[i] as f32 * act_scales[i] * ch;
+        if nr == NR {
+            accumulate_strip(a, 0, k, &tile[jb * k..(jb + NR) * k], &mut acc);
+        } else {
+            pad[..nr * k].copy_from_slice(&tile[jb * k..(jb + nr) * k]);
+            pad[nr * k..].fill(0);
+            accumulate_strip(a, 0, k, &pad, &mut acc);
         }
-    }
-}
-
-#[inline]
-fn accumulate(acc: &mut [i32], x: &Mat<i8>, k0: usize, k1: usize, w_buf: &[i8]) {
-    let m = acc.len();
-    let mut i = 0;
-    while i + 4 <= m {
-        let r = dot_i8_x4(
-            w_buf,
-            &x.row(i)[k0..k1],
-            &x.row(i + 1)[k0..k1],
-            &x.row(i + 2)[k0..k1],
-            &x.row(i + 3)[k0..k1],
-        );
-        acc[i] += r[0];
-        acc[i + 1] += r[1];
-        acc[i + 2] += r[2];
-        acc[i + 3] += r[3];
-        i += 4;
-    }
-    while i < m {
-        acc[i] += dot_i8(w_buf, &x.row(i)[k0..k1]);
-        i += 1;
+        for r in 0..nr {
+            let ch = channel_scales[jb + r];
+            let row = &mut out_t[(jb + r) * m..(jb + r + 1) * m];
+            scatter_channel(a, &acc, r, act_scales, ch, row);
+        }
     }
 }
 
@@ -447,7 +446,9 @@ fn make_ctx(
     let (reply_tx, reply_rx) = bounded(tasks.max(1));
     let epoch = pool.next_epoch();
     let ctx = Arc::new(CallCtx {
-        x: x.clone(),
+        // One pass over the block — the same cost the pre-tiling runtime
+        // paid to clone `x` into the call context.
+        a: APanels::pack(x),
         act_scales: act_scales.to_vec(),
         reply: reply_tx,
         recycle,
@@ -577,8 +578,9 @@ pub fn w4a8_imfp(
 /// Dequant jobs that materialise whole INT8 tiles → MMA jobs that
 /// re-read them. Each tile crosses the injector queue twice and the
 /// INT8 intermediate makes the RF↔SMEM round trip — the overhead the
-/// paper measures against ImFP. A Dequant job whose MMA forward finds
-/// the queue full runs the MMA inline (the pool's steal path).
+/// paper measures against ImFP. A Dequant job forwards its MMA job onto
+/// the executing worker's own deque (LIFO, so the tile is still hot);
+/// idle workers may steal it from the tail.
 #[must_use]
 pub fn w4a8_excp(
     pool: &WorkerPool,

@@ -4,23 +4,48 @@
 //! The paper keeps one kernel resident on the GPU and lets long-lived
 //! warp groups *pull* tile work, so no launch pays setup cost twice.
 //! The CPU analog: [`LiquidGemm`] owns a [`WorkerPool`] of persistent
-//! threads created once at `build()`; every `gemm` call stages tile
-//! jobs onto the pool's bounded MPMC injector queue (the in-tree
-//! [`crate::sync`] channel — its condvar wait is the park/unpark
-//! idling) and collects per-tile results off a per-call reply channel.
-//! `lq_sim::persistent::{makespan_wave, makespan_persistent}` is the
-//! analytical model of exactly this wave-launch vs persistent-pool
-//! trade-off.
+//! threads created once at `build()`; every `gemm` call places tile
+//! jobs onto the pool and collects per-tile results off a per-call
+//! reply channel. `lq_sim::persistent::{makespan_wave,
+//! makespan_persistent}` is the analytical model of exactly this
+//! wave-launch vs persistent-pool trade-off.
+//!
+//! ## Work-stealing tile scheduler
+//!
+//! Jobs no longer funnel through a single shared MPMC queue (which let
+//! whichever worker won the condvar race drain everything — the ~5×
+//! busy-ns imbalance in the pre-PR-4 bench snapshot). Instead each
+//! worker owns a deque and work flows three ways:
+//!
+//! * **Placement**: external submissions are dealt round-robin onto the
+//!   workers' deques (`push_front`), so every worker has a designated
+//!   share and is woken directly (its deque's condvar) — the CPU image
+//!   of QServe-style static warp assignment.
+//! * **LIFO local / FIFO steal**: an owner pops its own deque from the
+//!   back — so a job it *forwarded to itself* (the ExCP Dequant→MMA
+//!   hop) runs next while the tile is cache-hot — while thieves steal
+//!   from the front, taking the work the owner would reach last.
+//! * **Stealing**: a worker that finds its own deque and the global
+//!   injector empty sweeps the other deques before parking with a
+//!   short timeout (work conservation even when a wakeup is missed).
+//!   Steals are counted per worker ([`WorkerPool::worker_stats`] and
+//!   `lq_pool_steal_total{worker=…}`).
+//!
+//! Total queued jobs are bounded by `queue_depth`: external submitters
+//! block on the capacity gate, restoring the old bounded-injector
+//! backpressure. Worker self-forwards are exempt (a worker blocking on
+//! its own pool's capacity would deadlock) — the transient excess is at
+//! most one job per worker.
 //!
 //! Why jobs are fully owned: `lq-core` forbids `unsafe`, so the
 //! rayon-style lifetime-erased scoped pool is off the table. Instead
 //! each job carries its staged packed words (`Vec<u32>` — the copy the
 //! ImFP producer already made into the SMEM ring), an owned dequant
 //! recipe ([`crate::pipeline::TileQuant`], a few bytes per group), and
-//! an `Arc` of the per-call context (activations + scales + reply
-//! sender). Workers compute into owned output chunks and send them
-//! back; the caller assembles and transposes. Integer accumulation is
-//! exact, so results stay bit-identical to the serial kernels no
+//! an `Arc` of the per-call context (packed activation panels, scales,
+//! reply sender). Workers compute into owned output chunks and send
+//! them back; the caller assembles and transposes. Integer accumulation
+//! is exact, so results stay bit-identical to the serial kernels no
 //! matter which worker runs which tile in which order.
 //!
 //! Epoch stamps: every call takes a fresh epoch from the pool's
@@ -28,37 +53,43 @@
 //! mix-up (each call has a private reply channel, so in release this is
 //! belt and braces).
 //!
-//! Shutdown: dropping the pool enqueues one `Shutdown` poison pill per
-//! worker (disconnect-based shutdown cannot work — workers hold
-//! injector `Sender` clones so ExCP dequant jobs can forward their MMA
-//! half) and joins every thread. A panic inside a job is caught with
-//! `catch_unwind`, reported to the calling thread as a `Panicked`
-//! reply (which re-panics there), and the worker keeps serving.
+//! Shutdown: dropping the pool flips the shared `shutdown` flag and
+//! wakes everyone; a worker exits only when the flag is set *and* no
+//! jobs remain queued anywhere (drain-and-exit — a LIFO deque would
+//! pop a poison pill before older queued work, so pills are gone). A
+//! panic inside a job is caught with `catch_unwind`, reported to the
+//! calling thread as a `Panicked` reply (which re-panics there), and
+//! the worker keeps serving.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 use lq_telemetry::Gauge;
 
 use crate::api::{GemmOutput, KernelKind, W4A8Weights};
+use crate::microkernel::APanels;
 use crate::pipeline::{
     compute_rows_staged, mma_rows, w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ConfigError,
     ParallelConfig, TileQuant,
 };
 use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
-use crate::sync::{bounded, Receiver, Sender, TrySendError};
+use crate::sync::{bounded, Sender};
 use crate::telemetry::{PipeMetrics, WorkerMetrics};
 
 /// Per-call shared state a tile job needs beyond its own tile: the
-/// quantized activations, the reply channel, and (for the staged
+/// packed activations, the reply channel, and (for the staged
 /// variants) the free-ring sender that recycles word buffers.
 pub(crate) struct CallCtx {
-    /// INT8 activations (`M×K`), cloned per call so jobs are `'static`.
-    pub(crate) x: Mat<i8>,
+    /// INT8 activations packed into register-tile panels — built once
+    /// per call so jobs are `'static` (the same single pass over the
+    /// block that cloning the matrix used to cost).
+    pub(crate) a: APanels,
     /// Per-token activation scales.
     pub(crate) act_scales: Vec<f32>,
     /// Where finished tiles go.
@@ -83,7 +114,7 @@ pub(crate) enum Reply {
     Panicked,
 }
 
-/// One unit of work on the injector queue.
+/// One unit of work on a worker deque.
 pub(crate) enum Job {
     /// Fused dequant+MMA over a staged tile (Flat and ImFP variants).
     Compute {
@@ -111,15 +142,120 @@ pub(crate) enum Job {
     },
     /// Test-only: panic inside the worker (exercises containment).
     Panic { reply: Sender<Reply> },
-    /// Poison pill: the receiving worker exits.
-    Shutdown,
 }
 
-/// Persistent worker threads plus the shared injector queue they pull
-/// tile jobs from. Created once by [`LiquidGemm::builder`]; dropped
-/// workers are joined via poison pills.
+/// One worker's deque plus the condvar its owner parks on. The deque
+/// mutex doubles as the park lock, so a push under the lock followed by
+/// `notify_one` can never lose a wakeup.
+struct WorkerDeque {
+    q: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+impl WorkerDeque {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Global pool accounting behind one small mutex: the total queued-job
+/// count (for the capacity gate and `queue_len`) and the shutdown flag.
+struct Ctrl {
+    queued: usize,
+    shutdown: bool,
+}
+
+/// Lifetime counters of one worker, always on (plain relaxed atomics —
+/// no dependency on `lq-telemetry` being enabled) so benches and the CI
+/// smoke gate can audit load balance on any build.
+#[derive(Default)]
+struct WorkerCounters {
+    jobs: AtomicU64,
+    busy_ns: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// Snapshot of one worker's lifetime counters
+/// (see [`WorkerPool::worker_stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Nanoseconds spent executing jobs.
+    pub busy_ns: u64,
+    /// Jobs this worker stole from another worker's deque.
+    pub steals: u64,
+}
+
+/// State shared by submitters and every worker thread.
+struct Shared {
+    locals: Vec<WorkerDeque>,
+    /// Global FIFO for jobs with no designated worker (currently the
+    /// panic-injection probe); checked after the own deque.
+    injector: WorkerDeque,
+    ctrl: Mutex<Ctrl>,
+    /// Submitters park here when `queued == cap`.
+    space: Condvar,
+    cap: usize,
+    rr: AtomicUsize,
+    stats: Vec<WorkerCounters>,
+}
+
+impl Shared {
+    /// Account one queued job, blocking while the pool is at capacity.
+    fn gate_and_count(&self) {
+        let mut c = self.ctrl.lock().expect("pool ctrl poisoned");
+        while c.queued >= self.cap {
+            c = self.space.wait(c).expect("pool ctrl poisoned");
+        }
+        c.queued += 1;
+    }
+
+    /// Account one queued job without the capacity gate (worker
+    /// self-forwards — blocking inside a worker would deadlock).
+    fn count_unchecked(&self) {
+        self.ctrl.lock().expect("pool ctrl poisoned").queued += 1;
+    }
+
+    /// Account one dequeued job and release a blocked submitter.
+    fn note_pop(&self) {
+        let mut c = self.ctrl.lock().expect("pool ctrl poisoned");
+        c.queued -= 1;
+        drop(c);
+        self.space.notify_one();
+    }
+
+    /// Push a job onto worker `w`'s deque from *outside* (placement):
+    /// `push_front`, so the owner — which pops from the back — runs
+    /// external jobs in arrival order while its own forwards (pushed to
+    /// the back) stay LIFO.
+    fn place(&self, w: usize, job: Job) {
+        let d = &self.locals[w];
+        d.q.lock().expect("worker deque poisoned").push_front(job);
+        d.cv.notify_one();
+    }
+
+    /// Push a job onto the executing worker's own deque (`push_back` —
+    /// it will be popped next, cache-hot, unless a thief takes it).
+    fn push_local(&self, w: usize, job: Job) {
+        self.count_unchecked();
+        let d = &self.locals[w];
+        d.q.lock().expect("worker deque poisoned").push_back(job);
+        // The owner is busy executing; this wakes nobody today, but
+        // keeps the invariant that every push signals its deque.
+        d.cv.notify_one();
+    }
+}
+
+/// Persistent worker threads plus the per-worker deques they pull tile
+/// jobs from (work-stealing; see the module docs). Created once by
+/// [`LiquidGemm::builder`]; drop drains all queues and joins every
+/// thread.
 pub struct WorkerPool {
-    injector: Sender<Job>,
+    shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
     live: Arc<AtomicUsize>,
@@ -129,22 +265,31 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     pub(crate) fn new(workers: usize, queue_depth: usize) -> Self {
-        let (injector, rx) = bounded(queue_depth);
+        let shared = Arc::new(Shared {
+            locals: (0..workers).map(|_| WorkerDeque::new()).collect(),
+            injector: WorkerDeque::new(),
+            ctrl: Mutex::new(Ctrl {
+                queued: 0,
+                shutdown: false,
+            }),
+            space: Condvar::new(),
+            cap: queue_depth,
+            rr: AtomicUsize::new(0),
+            stats: (0..workers).map(|_| WorkerCounters::default()).collect(),
+        });
         let live = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(workers);
         for id in 0..workers {
-            let rx = rx.clone();
-            let tx = injector.clone();
+            let shared = Arc::clone(&shared);
             let live = Arc::clone(&live);
             let h = std::thread::Builder::new()
                 .name(format!("lq-pool-{id}"))
-                .spawn(move || worker_loop(id, &rx, &tx, &live))
+                .spawn(move || worker_loop(id, &shared, &live))
                 .expect("spawn pool worker");
             handles.push(h);
         }
-        drop(rx);
         Self {
-            injector,
+            shared,
             handles,
             workers,
             live,
@@ -153,17 +298,31 @@ impl WorkerPool {
         }
     }
 
-    /// Enqueue a job, blocking when the injector queue is full (the
-    /// natural backpressure bounding staged-tile memory).
+    /// Place a job, blocking when the pool is at capacity (the natural
+    /// backpressure bounding staged-tile memory). Placement is
+    /// round-robin across worker deques, so load is spread at enqueue
+    /// time and stealing only handles the stragglers.
     pub(crate) fn submit(&self, job: Job) {
-        if self.injector.send(job).is_err() {
-            unreachable!("worker pool queue disconnected while pool alive");
+        self.shared.gate_and_count();
+        match job {
+            // Jobs with no tile affinity go to the global injector.
+            j @ Job::Panic { .. } => {
+                let d = &self.shared.injector;
+                d.q.lock().expect("pool injector poisoned").push_back(j);
+                for w in &self.shared.locals {
+                    w.cv.notify_one();
+                }
+            }
+            j => {
+                let w = self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.workers;
+                self.shared.place(w, j);
+            }
         }
         if lq_telemetry::enabled() {
             let g = self
                 .depth_gauge
                 .get_or_init(|| lq_telemetry::registry().gauge("lq_pool_queue_depth"));
-            g.set(self.injector.len() as f64);
+            g.set(self.queue_len() as f64);
         }
     }
 
@@ -184,10 +343,26 @@ impl WorkerPool {
         self.live.load(Ordering::SeqCst)
     }
 
-    /// Jobs currently queued (racy; for occupancy gauges).
+    /// Jobs currently queued across all deques (racy; for occupancy
+    /// gauges).
     #[must_use]
     pub fn queue_len(&self) -> usize {
-        self.injector.len()
+        self.shared.ctrl.lock().expect("pool ctrl poisoned").queued
+    }
+
+    /// Per-worker lifetime counters (jobs, busy-ns, steals) — the raw
+    /// material for load-balance audits independent of telemetry.
+    #[must_use]
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared
+            .stats
+            .iter()
+            .map(|s| WorkerStats {
+                jobs: s.jobs.load(Ordering::Relaxed),
+                busy_ns: s.busy_ns.load(Ordering::Relaxed),
+                steals: s.steals.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Test probe: the shared live-worker counter, observable after the
@@ -201,10 +376,13 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // One pill per worker; each worker consumes exactly one and
-        // exits, after finishing whatever jobs are still queued ahead.
-        for _ in 0..self.handles.len() {
-            let _ = self.injector.send(Job::Shutdown);
+        self.shared
+            .ctrl
+            .lock()
+            .expect("pool ctrl poisoned")
+            .shutdown = true;
+        for d in &self.shared.locals {
+            d.cv.notify_all();
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -221,31 +399,96 @@ impl Drop for LiveGuard {
     }
 }
 
-fn worker_loop(id: usize, rx: &Receiver<Job>, injector: &Sender<Job>, live: &Arc<AtomicUsize>) {
+/// How long an idle worker sleeps before re-sweeping the other deques.
+/// Placement notifies the designated worker directly, so this timeout
+/// only bounds how stale a *steal* opportunity can go unnoticed.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Find the next job: own deque (LIFO) → global injector → steal sweep
+/// (FIFO from the victim's front) → park. Returns `None` when the pool
+/// is shutting down and every queue has drained.
+fn take_job(shared: &Shared, id: usize) -> Option<(Job, bool)> {
+    loop {
+        if let Some(j) = shared.locals[id]
+            .q
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_back()
+        {
+            return Some((j, false));
+        }
+        if let Some(j) = shared
+            .injector
+            .q
+            .lock()
+            .expect("pool injector poisoned")
+            .pop_front()
+        {
+            return Some((j, false));
+        }
+        for off in 1..shared.locals.len() {
+            let victim = (id + off) % shared.locals.len();
+            if let Some(j) = shared.locals[victim]
+                .q
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+            {
+                return Some((j, true));
+            }
+        }
+        {
+            let c = shared.ctrl.lock().expect("pool ctrl poisoned");
+            if c.shutdown && c.queued == 0 {
+                return None;
+            }
+        }
+        // Park on the own deque's condvar; the guard re-check under the
+        // same lock closes the push-vs-park race. The timeout covers
+        // jobs that appeared on *other* deques after the sweep.
+        let q = shared.locals[id].q.lock().expect("worker deque poisoned");
+        if q.is_empty() {
+            let _ = shared.locals[id]
+                .cv
+                .wait_timeout(q, PARK_TIMEOUT)
+                .expect("worker deque poisoned");
+        }
+    }
+}
+
+fn worker_loop(id: usize, shared: &Arc<Shared>, live: &Arc<AtomicUsize>) {
     live.fetch_add(1, Ordering::SeqCst);
     let _guard = LiveGuard(Arc::clone(live));
     // Per-worker metric handles, resolved once the first time telemetry
     // is observed enabled (label: worker id).
     let mut wm: Option<WorkerMetrics> = None;
-    loop {
-        let job = match rx.recv() {
-            Ok(j) => j,
-            Err(_) => break,
-        };
-        if matches!(job, Job::Shutdown) {
-            break;
-        }
+    while let Some((job, stolen)) = take_job(shared, id) {
+        shared.note_pop();
         if wm.is_none() && lq_telemetry::enabled() {
             wm = WorkerMetrics::resolve(id);
         }
-        execute(job, wm.as_ref(), injector);
+        if stolen {
+            shared.stats[id].steals.fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = &wm {
+                w.steals.inc();
+            }
+        }
+        let t0 = std::time::Instant::now();
+        execute(job, shared, id);
+        let ns = t0.elapsed().as_nanos() as u64;
+        shared.stats[id].jobs.fetch_add(1, Ordering::Relaxed);
+        shared.stats[id].busy_ns.fetch_add(ns, Ordering::Relaxed);
+        if let Some(w) = &wm {
+            w.busy_ns.add(ns);
+            w.job_ns.record(ns);
+            w.jobs.inc();
+        }
     }
 }
 
 /// Run one job to completion, containing panics and reporting the
 /// outcome on the call's reply channel.
-fn execute(job: Job, wm: Option<&WorkerMetrics>, injector: &Sender<Job>) {
-    let start = wm.map(|_| std::time::Instant::now());
+fn execute(job: Job, shared: &Shared, id: usize) {
     match job {
         Job::Compute {
             ctx,
@@ -259,9 +502,9 @@ fn execute(job: Job, wm: Option<&WorkerMetrics>, injector: &Sender<Job>) {
                     .metrics
                     .as_ref()
                     .map(|mx| mx.task_ns_compute.span_owned());
-                let m = ctx.x.rows();
+                let m = ctx.a.m();
                 let mut out = vec![0.0f32; rows * m];
-                compute_rows_staged(&quant, &words, rows, &ctx.x, &ctx.act_scales, &mut out);
+                compute_rows_staged(&quant, &words, rows, &ctx.a, &ctx.act_scales, &mut out);
                 out
             }));
             finish_tile(&ctx, j0, res, Some(words));
@@ -277,7 +520,7 @@ fn execute(job: Job, wm: Option<&WorkerMetrics>, injector: &Sender<Job>) {
                 let _span = ctx
                     .metrics
                     .as_ref()
-                    .map(|mx| mx.task_ns_dequant.span_owned());
+                    .and_then(|mx| mx.task_ns_dequant.as_ref().map(|h| h.span_owned()));
                 quant.materialize(&words, rows)
             }));
             match res {
@@ -285,27 +528,19 @@ fn execute(job: Job, wm: Option<&WorkerMetrics>, injector: &Sender<Job>) {
                     if let Some(rec) = &ctx.recycle {
                         let _ = rec.send(words);
                     }
-                    let mma = Job::Mma {
-                        ctx,
-                        j0,
-                        k,
-                        tile,
-                        channel_scales,
-                    };
-                    // Forward the second hop. If the injector is full,
-                    // run the MMA inline instead of blocking — a
-                    // bounded queue plus blocking forwards from inside
-                    // workers could deadlock; this is also the pool's
-                    // "steal" path (counted per worker).
-                    match injector.try_send(mma) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => {
-                            if let Some(w) = wm {
-                                w.inline_mma.inc();
-                            }
-                            execute(j, wm, injector);
-                        }
-                    }
+                    // Forward the second hop onto our own deque: popped
+                    // next (LIFO) while the materialised tile is still
+                    // cache-hot, or stolen by an idle worker.
+                    shared.push_local(
+                        id,
+                        Job::Mma {
+                            ctx,
+                            j0,
+                            k,
+                            tile,
+                            channel_scales,
+                        },
+                    );
                 }
                 Err(_) => {
                     let _ = ctx.reply.send(Reply::Panicked);
@@ -320,10 +555,13 @@ fn execute(job: Job, wm: Option<&WorkerMetrics>, injector: &Sender<Job>) {
             channel_scales,
         } => {
             let res = catch_unwind(AssertUnwindSafe(|| {
-                let _span = ctx.metrics.as_ref().map(|mx| mx.task_ns_mma.span_owned());
-                let m = ctx.x.rows();
+                let _span = ctx
+                    .metrics
+                    .as_ref()
+                    .and_then(|mx| mx.task_ns_mma.as_ref().map(|h| h.span_owned()));
+                let m = ctx.a.m();
                 let mut out = vec![0.0f32; channel_scales.len() * m];
-                mma_rows(&tile, k, &channel_scales, &ctx.x, &ctx.act_scales, &mut out);
+                mma_rows(&tile, k, &channel_scales, &ctx.a, &ctx.act_scales, &mut out);
                 out
             }));
             finish_tile(&ctx, j0, res, None);
@@ -333,13 +571,6 @@ fn execute(job: Job, wm: Option<&WorkerMetrics>, injector: &Sender<Job>) {
             debug_assert!(res.is_err());
             let _ = reply.send(Reply::Panicked);
         }
-        Job::Shutdown => unreachable!("pills are consumed in worker_loop"),
-    }
-    if let (Some(w), Some(t0)) = (wm, start) {
-        let ns = t0.elapsed().as_nanos() as u64;
-        w.busy_ns.add(ns);
-        w.job_ns.record(ns);
-        w.jobs.inc();
     }
 }
 

@@ -14,8 +14,9 @@
 use lq_quant::fp8::decode_lut;
 use lq_quant::mat::Mat;
 
-use crate::epilogue::apply_scales_column;
-use crate::microkernel::{dequant_group_lqq, dequant_group_qoq, dot_f32, dot_i8, dot_i8_x4};
+use crate::microkernel::{
+    accumulate_strip, dequant_group_lqq, dequant_group_qoq, dot_f32, scatter_channel, APanels, NR,
+};
 use crate::packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
@@ -23,64 +24,58 @@ use crate::packed::{
 /// Largest group size the stack-allocated dequant buffer supports.
 pub const MAX_GROUP: usize = 256;
 
-/// Accumulate `acc[i] += dot(w_buf, x_rows[i][k0..k1])` for all tokens,
-/// 4-way unrolled over tokens for weight-buffer reuse.
+/// Scatter an NR-channel strip accumulator into output columns
+/// `jb..jb+nr` with the epilogue scales applied.
 #[inline]
-fn accumulate_tokens(acc: &mut [i32], x: &Mat<i8>, k0: usize, k1: usize, w_buf: &[i8]) {
-    let m = acc.len();
-    let mut i = 0;
-    while i + 4 <= m {
-        let r = dot_i8_x4(
-            w_buf,
-            &x.row(i)[k0..k1],
-            &x.row(i + 1)[k0..k1],
-            &x.row(i + 2)[k0..k1],
-            &x.row(i + 3)[k0..k1],
-        );
-        acc[i] += r[0];
-        acc[i + 1] += r[1];
-        acc[i + 2] += r[2];
-        acc[i + 3] += r[3];
-        i += 4;
-    }
-    while i < m {
-        acc[i] += dot_i8(w_buf, &x.row(i)[k0..k1]);
-        i += 1;
+fn write_strip(
+    out: &mut Mat<f32>,
+    jb: usize,
+    nr: usize,
+    a: &APanels,
+    acc: &[i32],
+    scales: (&[f32], &[f32]),
+) {
+    let (act_scales, ch) = scales;
+    let mut col = vec![0.0f32; a.m()];
+    for r in 0..nr {
+        scatter_channel(a, acc, r, act_scales, ch[jb + r], &mut col);
+        for (i, &v) in col.iter().enumerate() {
+            out.set(i, jb + r, v);
+        }
     }
 }
 
-/// Write one output column with the epilogue scales applied.
-#[inline]
-fn write_column(out: &mut Mat<f32>, j: usize, acc: &[i32], act_scales: &[f32], ch_scale: f32) {
-    let mut col = vec![0.0f32; acc.len()];
-    apply_scales_column(acc, act_scales, ch_scale, &mut col);
-    for (i, v) in col.into_iter().enumerate() {
-        out.set(i, j, v);
-    }
-}
-
-/// LiquidGEMM W4A8, serial: per group, the LQQ two-instruction dequant
-/// fills a register-file-sized buffer that is immediately consumed by
-/// the INT8 dot microkernel (no round trip through a bigger staging
-/// buffer — the ImFP data path, minus the parallelism).
+/// LiquidGEMM W4A8, serial: per NR-channel strip, per group, the LQQ
+/// two-instruction dequant fills a register-file-sized buffer that is
+/// immediately consumed by the MR×NR register-tile microkernel (the
+/// ImFP data path, minus the parallelism).
 #[must_use]
 pub fn w4a8_lqq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedLqqLinear) -> Mat<f32> {
     assert_eq!(x.cols(), w.k, "K mismatch");
     assert_eq!(act_scales.len(), x.rows(), "one scale per token");
     assert!(w.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    let a = APanels::pack(x);
     let m = x.rows();
     let mut out = Mat::zeros(m, w.n);
-    let mut buf = [0i8; MAX_GROUP];
-    let mut acc = vec![0i32; m];
-    for j in 0..w.n {
+    let mut wbuf = vec![0i8; NR * w.group];
+    let mut acc = vec![0i32; a.acc_len()];
+    for jb in (0..w.n).step_by(NR) {
+        let nr = NR.min(w.n - jb);
+        if nr < NR {
+            // Unused strip rows stay zero: they multiply into lanes the
+            // writeback never reads.
+            wbuf.fill(0);
+        }
         acc.fill(0);
         for g in 0..w.groups_per_row() {
-            let params = w.group_params(j, g);
-            dequant_group_lqq(w.group_words(j, g), params, &mut buf[..w.group]);
-            let k0 = g * w.group;
-            accumulate_tokens(&mut acc, x, k0, k0 + w.group, &buf[..w.group]);
+            for r in 0..nr {
+                let params = w.group_params(jb + r, g);
+                let dst = &mut wbuf[r * w.group..(r + 1) * w.group];
+                dequant_group_lqq(w.group_words(jb + r, g), params, dst);
+            }
+            accumulate_strip(&a, g * w.group, w.group, &wbuf, &mut acc);
         }
-        write_column(&mut out, j, &acc, act_scales, w.channel_scales[j]);
+        write_strip(&mut out, jb, nr, &a, &acc, (act_scales, &w.channel_scales));
     }
     out
 }
@@ -93,36 +88,54 @@ pub fn w4a8_qoq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedQoqLinear) -> 
     assert_eq!(x.cols(), w.k, "K mismatch");
     assert_eq!(act_scales.len(), x.rows(), "one scale per token");
     assert!(w.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    let a = APanels::pack(x);
     let m = x.rows();
     let mut out = Mat::zeros(m, w.n);
-    let mut buf = [0i8; MAX_GROUP];
-    let mut acc = vec![0i32; m];
-    for j in 0..w.n {
+    let mut wbuf = vec![0i8; NR * w.group];
+    let mut acc = vec![0i32; a.acc_len()];
+    for jb in (0..w.n).step_by(NR) {
+        let nr = NR.min(w.n - jb);
+        if nr < NR {
+            wbuf.fill(0);
+        }
         acc.fill(0);
         for g in 0..w.groups_per_row() {
-            let params = w.group_params(j, g);
-            dequant_group_qoq(w.group_words(j, g), params, &mut buf[..w.group]);
-            let k0 = g * w.group;
-            accumulate_tokens(&mut acc, x, k0, k0 + w.group, &buf[..w.group]);
+            for r in 0..nr {
+                let params = w.group_params(jb + r, g);
+                let dst = &mut wbuf[r * w.group..(r + 1) * w.group];
+                dequant_group_qoq(w.group_words(jb + r, g), params, dst);
+            }
+            accumulate_strip(&a, g * w.group, w.group, &wbuf, &mut acc);
         }
-        write_column(&mut out, j, &acc, act_scales, w.channel_scales[j]);
+        write_strip(&mut out, jb, nr, &a, &acc, (act_scales, &w.channel_scales));
     }
     out
 }
 
 /// W8A8, serial: the symmetric-GEMM baseline — no dequantization in the
-/// main loop at all (paper, Figure 3 right).
+/// main loop at all (paper, Figure 3 right). The weight matrix is
+/// row-major, so a full NR-row strip feeds the microkernel in place.
 #[must_use]
 pub fn w8a8_serial(x: &Mat<i8>, act_scales: &[f32], w: &W8A8Linear) -> Mat<f32> {
     assert_eq!(x.cols(), w.q.cols(), "K mismatch");
     assert_eq!(act_scales.len(), x.rows(), "one scale per token");
-    let (m, k) = (x.rows(), x.cols());
-    let mut out = Mat::zeros(m, w.q.rows());
-    let mut acc = vec![0i32; m];
-    for j in 0..w.q.rows() {
+    let a = APanels::pack(x);
+    let (m, k, n) = (x.rows(), x.cols(), w.q.rows());
+    let mut out = Mat::zeros(m, n);
+    let mut acc = vec![0i32; a.acc_len()];
+    let mut pad = vec![0i8; NR * k];
+    for jb in (0..n).step_by(NR) {
+        let nr = NR.min(n - jb);
         acc.fill(0);
-        accumulate_tokens(&mut acc, x, 0, k, w.q.row(j));
-        write_column(&mut out, j, &acc, act_scales, w.channel_scales[j]);
+        if nr == NR {
+            let block = &w.q.as_slice()[jb * k..(jb + NR) * k];
+            accumulate_strip(&a, 0, k, block, &mut acc);
+        } else {
+            pad[..nr * k].copy_from_slice(&w.q.as_slice()[jb * k..(jb + nr) * k]);
+            pad[nr * k..].fill(0);
+            accumulate_strip(&a, 0, k, &pad, &mut acc);
+        }
+        write_strip(&mut out, jb, nr, &a, &acc, (act_scales, &w.channel_scales));
     }
     out
 }

@@ -13,21 +13,24 @@
 //! | `lq_pipeline_task_ns{role}` | histogram | per-task span in each role |
 //! | `lq_pipeline_stall_total{role="load"}` | counter | would-block events on the stage ring (the CPU analog of a warp-group stall) |
 //! | `lq_pipeline_tasks_total` | counter | tasks executed |
-//! | `lq_pipeline_queue_depth{queue="task"}` | gauge | injector occupancy after each submit |
+//! | `lq_pipeline_queue_depth{queue="task"}` | gauge | queued-job count after each submit |
 //!
 //! plus the pool-level families (labeled per `worker`):
 //!
 //! | metric | kind | meaning |
 //! |--------|------|---------|
-//! | `lq_pool_queue_depth` | gauge | injector occupancy after each submit |
+//! | `lq_pool_queue_depth` | gauge | queued-job count after each submit |
 //! | `lq_pool_jobs_total{worker}` | counter | jobs executed by each worker |
-//! | `lq_pool_busy_ns_total{worker}` | counter | time each worker spent executing (vs parked) |
-//! | `lq_pool_inline_mma_total{worker}` | counter | ExCP MMA halves run inline because the queue was full (the steal path) |
+//! | `lq_pool_busy_ns_total{worker}` | counter | time each worker spent executing (vs parked) — the per-worker occupancy the balance gate audits |
+//! | `lq_pool_steal_total{worker}` | counter | jobs this worker stole from another worker's deque |
 //! | `lq_pool_job_ns{worker}` | histogram | per-job latency |
 //!
 //! Roles mirror the paper's warp groups: `load` is the staging caller
 //! (TMA), `compute` the fused dequant+MMA job (Flat/ImFP),
-//! `dequant`/`mma` the split ExCP job halves.
+//! `dequant`/`mma` the split ExCP job halves. The `dequant` and `mma`
+//! series are registered *only* for the `excp` variant — the only one
+//! whose pipeline has those roles — so exports never carry dead
+//! always-zero series for `flat`/`imfp`.
 
 use std::sync::Arc;
 
@@ -42,8 +45,11 @@ pub(crate) struct PipeMetrics {
     pub depth_task: Arc<Gauge>,
     pub task_ns_load: Arc<Histogram>,
     pub task_ns_compute: Arc<Histogram>,
-    pub task_ns_dequant: Arc<Histogram>,
-    pub task_ns_mma: Arc<Histogram>,
+    /// ExCP only — `flat`/`imfp` have no dequant role, and registering
+    /// the series there would export misleading always-zero histograms.
+    pub task_ns_dequant: Option<Arc<Histogram>>,
+    /// ExCP only (see `task_ns_dequant`).
+    pub task_ns_mma: Option<Arc<Histogram>>,
 }
 
 impl PipeMetrics {
@@ -58,6 +64,7 @@ impl PipeMetrics {
         fn role<'a>(variant: &'a str, r: &'a str) -> [(&'a str, &'a str); 2] {
             [("variant", variant), ("role", r)]
         }
+        let split = variant == "excp";
         Some(Self {
             tasks: reg.counter_with("lq_pipeline_tasks_total", &v),
             stall_load: reg.counter_with("lq_pipeline_stall_total", &role(variant, "load")),
@@ -67,8 +74,10 @@ impl PipeMetrics {
             ),
             task_ns_load: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "load")),
             task_ns_compute: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "compute")),
-            task_ns_dequant: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "dequant")),
-            task_ns_mma: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "mma")),
+            task_ns_dequant: split
+                .then(|| reg.histogram_with("lq_pipeline_task_ns", &role(variant, "dequant"))),
+            task_ns_mma: split
+                .then(|| reg.histogram_with("lq_pipeline_task_ns", &role(variant, "mma"))),
         })
     }
 }
@@ -78,7 +87,7 @@ impl PipeMetrics {
 pub(crate) struct WorkerMetrics {
     pub jobs: Arc<Counter>,
     pub busy_ns: Arc<Counter>,
-    pub inline_mma: Arc<Counter>,
+    pub steals: Arc<Counter>,
     pub job_ns: Arc<Histogram>,
 }
 
@@ -95,7 +104,7 @@ impl WorkerMetrics {
         Some(Self {
             jobs: reg.counter_with("lq_pool_jobs_total", &l),
             busy_ns: reg.counter_with("lq_pool_busy_ns_total", &l),
-            inline_mma: reg.counter_with("lq_pool_inline_mma_total", &l),
+            steals: reg.counter_with("lq_pool_steal_total", &l),
             job_ns: reg.histogram_with("lq_pool_job_ns", &l),
         })
     }

@@ -12,7 +12,7 @@
 use lq_layout::tiles::{TileConfig, TileIter};
 use lq_quant::mat::Mat;
 
-use crate::microkernel::{dequant_group_lqq, dot_i8};
+use crate::microkernel::{dequant_group_lqq, mk_i8_1x4, NR};
 use crate::packed::PackedLqqLinear;
 use crate::serial::MAX_GROUP;
 
@@ -40,7 +40,7 @@ pub fn w4a8_lqq_tiled(
     let (m, n, k) = (x.rows(), w.n, w.k);
     let mut out = Mat::zeros(m, n);
     let mut acc = vec![0i32; tile.mt * tile.nt];
-    let mut buf = [0i8; MAX_GROUP];
+    let mut wbuf = vec![0i8; NR * w.group];
     let groups_per_kt = tile.kt / w.group;
 
     for t in TileIter::new(tile, m, n) {
@@ -49,22 +49,37 @@ pub fn w4a8_lqq_tiled(
         // Main loop over K in Kt steps (the pipelined loop on GPU).
         let mut k0 = 0;
         while k0 < k {
-            for j in 0..tw {
-                let row = t.n0 + j;
+            // Channels NR at a time: each group is dequantized for the
+            // whole strip, then the 1×NR microkernel shares every
+            // activation load across the strip's accumulators.
+            for jb in (0..tw).step_by(NR) {
+                let nr = NR.min(tw - jb);
+                if nr < NR {
+                    // Unused strip rows stay zero: their lanes are
+                    // computed but never read back.
+                    wbuf.fill(0);
+                }
                 for g in 0..groups_per_kt {
                     let k_abs = k0 + g * w.group;
                     if k_abs >= k {
                         break;
                     }
                     let gi = k_abs / w.group;
-                    dequant_group_lqq(
-                        w.group_words(row, gi),
-                        w.group_params(row, gi),
-                        &mut buf[..w.group],
-                    );
+                    for r in 0..nr {
+                        let row = t.n0 + jb + r;
+                        dequant_group_lqq(
+                            w.group_words(row, gi),
+                            w.group_params(row, gi),
+                            &mut wbuf[r * w.group..(r + 1) * w.group],
+                        );
+                    }
                     for i in 0..th {
                         let xrow = &x.row(t.m0 + i)[k_abs..k_abs + w.group];
-                        acc[i * tw + j] += dot_i8(&buf[..w.group], xrow);
+                        let mut strip = [0i32; NR];
+                        mk_i8_1x4(xrow, &wbuf, w.group, &mut strip);
+                        for r in 0..nr {
+                            acc[i * tw + jb + r] += strip[r];
+                        }
                     }
                 }
             }
