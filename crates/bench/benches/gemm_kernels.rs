@@ -10,7 +10,10 @@
 //! the telemetry registry to `BENCH_gemm_kernels.json`. `--smoke` runs
 //! only the balance audit on tiny shapes and exits non-zero if the
 //! busy-ns max/min ratio across workers exceeds [`BALANCE_GATE`] — the
-//! release-mode CI gate for scheduler fairness regressions.
+//! release-mode CI gate for scheduler fairness regressions — or if a
+//! fault-free run records any job retry (retries may only come from
+//! the self-healing path, so a nonzero count here means a worker
+//! panicked spontaneously).
 
 use std::hint::black_box;
 
@@ -97,10 +100,18 @@ fn pool_amortisation(lqq: &PackedLqqLinear) {
 /// jobs/busy-ns/steals from [`WorkerPool::worker_stats`], plus the
 /// max/min busy-ns ratio. The ratio lands in the `--json` dump as the
 /// `lq_pool_busy_balance_ratio` gauge so the committed snapshot records
-/// scheduler fairness alongside the steal counters.
+/// scheduler fairness alongside the steal counters. Also returns the
+/// total job-retry count — on a fault-free run it must be 0 (the
+/// `--smoke` gate).
 ///
 /// [`WorkerPool::worker_stats`]: lq_core::runtime::WorkerPool::worker_stats
-fn pool_balance(weights: &W4A8Weights, k: usize, m: usize, task_rows: usize, calls: usize) -> f64 {
+fn pool_balance(
+    weights: &W4A8Weights,
+    k: usize,
+    m: usize,
+    task_rows: usize,
+    calls: usize,
+) -> (f64, u64) {
     let lg = LiquidGemm::builder()
         .workers(4)
         .task_rows(task_rows)
@@ -113,23 +124,33 @@ fn pool_balance(weights: &W4A8Weights, k: usize, m: usize, task_rows: usize, cal
     }
     let stats = lg.pool().worker_stats();
     println!("\npool_balance (M={m} K={k}, task_rows={task_rows}, {calls} ImFP calls, 4 workers)");
-    print_header(&[("worker", 6), ("jobs", 8), ("busy", 10), ("steals", 8)]);
+    print_header(&[
+        ("worker", 6),
+        ("jobs", 8),
+        ("busy", 10),
+        ("steals", 8),
+        ("restarts", 9),
+        ("retries", 8),
+    ]);
     for (id, s) in stats.iter().enumerate() {
         print_row(&[
             (id.to_string(), 6),
             (s.jobs.to_string(), 8),
             (fmt_time(s.busy_ns as f64 * 1e-9), 10),
             (s.steals.to_string(), 8),
+            (s.restarts.to_string(), 9),
+            (s.retries.to_string(), 8),
         ]);
     }
     let max = stats.iter().map(|s| s.busy_ns).max().unwrap_or(0);
     let min = stats.iter().map(|s| s.busy_ns).min().unwrap_or(0).max(1);
     let ratio = max as f64 / min as f64;
-    println!("busy-ns max/min ratio: {ratio:.2} (gate: {BALANCE_GATE:.1})");
+    let retries: u64 = stats.iter().map(|s| s.retries).sum();
+    println!("busy-ns max/min ratio: {ratio:.2} (gate: {BALANCE_GATE:.1}), retries: {retries}");
     lq_telemetry::registry()
         .gauge("lq_pool_busy_balance_ratio")
         .set(ratio);
-    ratio
+    (ratio, retries)
 }
 
 fn main() {
@@ -139,9 +160,13 @@ fn main() {
         // release mode, but enough calls that every worker sees work.
         let w = Mat::from_fn(128, 256, |r, c| ((r * 256 + c) as f32 * 0.11).sin());
         let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let ratio = pool_balance(&weights, 256, 8, 2, 64);
+        let (ratio, retries) = pool_balance(&weights, 256, 8, 2, 64);
         if ratio > BALANCE_GATE {
             eprintln!("FAIL: busy-ns max/min ratio {ratio:.2} exceeds gate {BALANCE_GATE:.1}");
+            std::process::exit(1);
+        }
+        if retries != 0 {
+            eprintln!("FAIL: {retries} job retries on a fault-free run (spontaneous worker panic)");
             std::process::exit(1);
         }
         println!("smoke OK");
@@ -178,5 +203,5 @@ fn main() {
     });
 
     pool_amortisation(&lqq);
-    pool_balance(&W4A8Weights::Lqq(lqq), K, 64, 16, 24);
+    let _ = pool_balance(&W4A8Weights::Lqq(lqq), K, 64, 16, 24);
 }

@@ -64,8 +64,9 @@ mod telemetry;
 pub mod tiled;
 
 pub use api::{GemmOutput, KernelKind, ParallelConfig, W4A8Weights};
+pub use lq_chaos::{FaultAction, FaultInjector, FaultPlan, FaultStats};
 pub use packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
 pub use pipeline::{ConfigError, Dequant, PackedW4A8, ParallelConfigBuilder};
-pub use runtime::{LiquidGemm, LiquidGemmBuilder, WorkerPool};
+pub use runtime::{LiquidGemm, LiquidGemmBuilder, WorkerPool, WorkerStats};

@@ -459,7 +459,9 @@ fn make_ctx(
 }
 
 /// Collect exactly `tasks` tile replies and assemble the `M×N` output.
-/// Re-panics if any job panicked in a worker.
+/// Re-panics if any job panicked in a worker *and* exhausted the
+/// pool's retry budget (transient faults are retried and never reach
+/// here; see the self-healing notes in [`crate::runtime`]).
 fn collect_tiles(rx: &Receiver<Reply>, tasks: usize, m: usize, n: usize, epoch: u64) -> Mat<f32> {
     let mut y_t = vec![0.0f32; n * m];
     for _ in 0..tasks {
@@ -469,7 +471,9 @@ fn collect_tiles(rx: &Receiver<Reply>, tasks: usize, m: usize, n: usize, epoch: 
                 let dst = j0 * m;
                 y_t[dst..dst + out.len()].copy_from_slice(&out);
             }
-            Ok(Reply::Panicked) => panic!("LiquidGemm worker panicked while executing a tile job"),
+            Ok(Reply::Panicked) => {
+                panic!("LiquidGemm tile job panicked on every retry (deterministic bug)")
+            }
             Err(_) => unreachable!("reply channel closed before all tiles arrived"),
         }
     }

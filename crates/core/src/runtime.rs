@@ -56,10 +56,36 @@
 //! Shutdown: dropping the pool flips the shared `shutdown` flag and
 //! wakes everyone; a worker exits only when the flag is set *and* no
 //! jobs remain queued anywhere (drain-and-exit — a LIFO deque would
-//! pop a poison pill before older queued work, so pills are gone). A
-//! panic inside a job is caught with `catch_unwind`, reported to the
-//! calling thread as a `Panicked` reply (which re-panics there), and
-//! the worker keeps serving.
+//! pop a poison pill before older queued work, so pills are gone).
+//!
+//! ## Self-healing (quarantine, retry, respawn)
+//!
+//! A panic inside a job is caught with `catch_unwind`, but instead of
+//! propagating to the caller the pool heals itself:
+//!
+//! 1. The job's owned fields survive the unwind (the caught closure
+//!    only *borrows* them), so the worker reconstructs the job and
+//!    requeues it on the global injector for another worker —
+//!    non-blocking, with a small attempts-proportional backoff, up to
+//!    [`MAX_JOB_RETRIES`] times. Integer accumulation keeps the
+//!    retried result bit-exact with the serial kernels.
+//! 2. The panicked worker is quarantined: it records the restart
+//!    (`worker_stats().restarts`, `lq_pool_worker_restarts_total`),
+//!    spawns its own replacement thread under the lifecycle lock
+//!    (skipped when shutdown has begun), and exits. Replacement
+//!    handles register in the same lifecycle state drop joins, so no
+//!    thread is ever leaked.
+//! 3. Only when a job exhausts its retry budget does the caller see a
+//!    `Panicked` reply (which re-panics there — a deterministic bug,
+//!    not a transient fault).
+//!
+//! Fault injection for tests threads a shared
+//! [`lq_chaos::FaultInjector`] through [`LiquidGemmBuilder::fault_injector`]:
+//! workers consult it before each *fresh* job (retries are exempt, so
+//! injected panics model transient faults and recovery stays
+//! deterministic) and submitters consult it for stall bursts. Without
+//! an injector every hook is one `Option` check — the PR 4 hot path is
+//! unchanged.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -68,6 +94,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use lq_chaos::{FaultAction, FaultInjector};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 use lq_telemetry::Gauge;
@@ -80,7 +107,7 @@ use crate::pipeline::{
 };
 use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
 use crate::sync::{bounded, Sender};
-use crate::telemetry::{PipeMetrics, WorkerMetrics};
+use crate::telemetry::{pool_fault_metrics, PipeMetrics, WorkerMetrics};
 
 /// Per-call shared state a tile job needs beyond its own tile: the
 /// packed activations, the reply channel, and (for the staged
@@ -144,11 +171,45 @@ pub(crate) enum Job {
     Panic { reply: Sender<Reply> },
 }
 
+impl Job {
+    /// Last resort when the retry budget is exhausted: report the
+    /// failure on the job's reply channel so the caller un-blocks
+    /// (and re-panics — see `collect_tiles`).
+    fn abandon(self) {
+        let reply = match self {
+            Job::Compute { ctx, .. } | Job::Dequant { ctx, .. } | Job::Mma { ctx, .. } => {
+                ctx.reply.clone()
+            }
+            Job::Panic { reply } => reply,
+        };
+        let _ = reply.send(Reply::Panicked);
+    }
+}
+
+/// How many times a panicked job is retried on another worker before
+/// its caller sees the failure. Injected (transient) faults never
+/// recur on retry; a *deterministic* bug exhausts the budget fast
+/// instead of looping forever.
+const MAX_JOB_RETRIES: u8 = 3;
+
+/// A queued job plus its retry count. Fresh submissions and worker
+/// self-forwards start at 0; each panic-requeue increments it.
+pub(crate) struct Tracked {
+    job: Job,
+    attempts: u8,
+}
+
+impl Tracked {
+    fn fresh(job: Job) -> Self {
+        Self { job, attempts: 0 }
+    }
+}
+
 /// One worker's deque plus the condvar its owner parks on. The deque
 /// mutex doubles as the park lock, so a push under the lock followed by
 /// `notify_one` can never lose a wakeup.
 struct WorkerDeque {
-    q: Mutex<VecDeque<Job>>,
+    q: Mutex<VecDeque<Tracked>>,
     cv: Condvar,
 }
 
@@ -176,6 +237,8 @@ struct WorkerCounters {
     jobs: AtomicU64,
     busy_ns: AtomicU64,
     steals: AtomicU64,
+    restarts: AtomicU64,
+    retries: AtomicU64,
 }
 
 /// Snapshot of one worker's lifetime counters
@@ -188,13 +251,32 @@ pub struct WorkerStats {
     pub busy_ns: u64,
     /// Jobs this worker stole from another worker's deque.
     pub steals: u64,
+    /// Times a worker slot was respawned after a panic quarantined its
+    /// thread (counters are per *slot*, so they survive the respawn).
+    pub restarts: u64,
+    /// Panicked jobs this worker slot requeued for another attempt.
+    pub retries: u64,
+}
+
+/// Thread handles plus the shutdown latch they are joined through.
+/// Workers respawn their own replacements, so handles live in shared
+/// state (not on [`WorkerPool`]): a respawner registers its
+/// replacement under this lock, and drop flips `shutting_down` and
+/// takes every handle under the same lock — either the replacement is
+/// registered before the take (and gets joined) or the respawner sees
+/// the flag and spawns nothing. No handle escapes.
+#[derive(Default)]
+struct Lifecycle {
+    shutting_down: bool,
+    handles: Vec<JoinHandle<()>>,
 }
 
 /// State shared by submitters and every worker thread.
 struct Shared {
     locals: Vec<WorkerDeque>,
-    /// Global FIFO for jobs with no designated worker (currently the
-    /// panic-injection probe); checked after the own deque.
+    /// Global FIFO for jobs with no designated worker (the
+    /// panic-injection probe and panic-requeued retries); checked
+    /// after the own deque.
     injector: WorkerDeque,
     ctrl: Mutex<Ctrl>,
     /// Submitters park here when `queued == cap`.
@@ -202,6 +284,10 @@ struct Shared {
     cap: usize,
     rr: AtomicUsize,
     stats: Vec<WorkerCounters>,
+    lifecycle: Mutex<Lifecycle>,
+    /// Fault-injection hook; `None` (one branch per site) in
+    /// production builds.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl Shared {
@@ -234,7 +320,9 @@ impl Shared {
     /// the back) stay LIFO.
     fn place(&self, w: usize, job: Job) {
         let d = &self.locals[w];
-        d.q.lock().expect("worker deque poisoned").push_front(job);
+        d.q.lock()
+            .expect("worker deque poisoned")
+            .push_front(Tracked::fresh(job));
         d.cv.notify_one();
     }
 
@@ -243,10 +331,28 @@ impl Shared {
     fn push_local(&self, w: usize, job: Job) {
         self.count_unchecked();
         let d = &self.locals[w];
-        d.q.lock().expect("worker deque poisoned").push_back(job);
+        d.q.lock()
+            .expect("worker deque poisoned")
+            .push_back(Tracked::fresh(job));
         // The owner is busy executing; this wakes nobody today, but
         // keeps the invariant that every push signals its deque.
         d.cv.notify_one();
+    }
+
+    /// Requeue a panicked job on the global injector for any worker to
+    /// pick up. Never takes the capacity gate (a quarantined worker
+    /// blocking on its own pool would deadlock); the transient excess
+    /// is at most one job per restart.
+    fn requeue(&self, t: Tracked) {
+        self.count_unchecked();
+        self.injector
+            .q
+            .lock()
+            .expect("pool injector poisoned")
+            .push_back(t);
+        for w in &self.locals {
+            w.cv.notify_one();
+        }
     }
 }
 
@@ -256,7 +362,6 @@ impl Shared {
 /// thread.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
     workers: usize,
     live: Arc<AtomicUsize>,
     epoch: AtomicU64,
@@ -264,7 +369,17 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
+    /// A pool with no fault injector (tests and internal callers).
+    #[cfg(test)]
     pub(crate) fn new(workers: usize, queue_depth: usize) -> Self {
+        Self::with_faults(workers, queue_depth, None)
+    }
+
+    pub(crate) fn with_faults(
+        workers: usize,
+        queue_depth: usize,
+        fault: Option<Arc<FaultInjector>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             locals: (0..workers).map(|_| WorkerDeque::new()).collect(),
             injector: WorkerDeque::new(),
@@ -276,21 +391,15 @@ impl WorkerPool {
             cap: queue_depth,
             rr: AtomicUsize::new(0),
             stats: (0..workers).map(|_| WorkerCounters::default()).collect(),
+            lifecycle: Mutex::new(Lifecycle::default()),
+            fault,
         });
         let live = Arc::new(AtomicUsize::new(0));
-        let mut handles = Vec::with_capacity(workers);
         for id in 0..workers {
-            let shared = Arc::clone(&shared);
-            let live = Arc::clone(&live);
-            let h = std::thread::Builder::new()
-                .name(format!("lq-pool-{id}"))
-                .spawn(move || worker_loop(id, &shared, &live))
-                .expect("spawn pool worker");
-            handles.push(h);
+            spawn_worker(&shared, &live, id);
         }
         Self {
             shared,
-            handles,
             workers,
             live,
             epoch: AtomicU64::new(0),
@@ -303,12 +412,21 @@ impl WorkerPool {
     /// round-robin across worker deques, so load is spread at enqueue
     /// time and stealing only handles the stragglers.
     pub(crate) fn submit(&self, job: Job) {
+        if let Some(f) = &self.shared.fault {
+            if let Some(d) = f.on_submit() {
+                // Injected submitter stall: models an injector-full
+                // burst upstream of the capacity gate.
+                std::thread::sleep(d);
+            }
+        }
         self.shared.gate_and_count();
         match job {
             // Jobs with no tile affinity go to the global injector.
             j @ Job::Panic { .. } => {
                 let d = &self.shared.injector;
-                d.q.lock().expect("pool injector poisoned").push_back(j);
+                d.q.lock()
+                    .expect("pool injector poisoned")
+                    .push_back(Tracked::fresh(j));
                 for w in &self.shared.locals {
                     w.cv.notify_one();
                 }
@@ -361,6 +479,8 @@ impl WorkerPool {
                 jobs: s.jobs.load(Ordering::Relaxed),
                 busy_ns: s.busy_ns.load(Ordering::Relaxed),
                 steals: s.steals.load(Ordering::Relaxed),
+                restarts: s.restarts.load(Ordering::Relaxed),
+                retries: s.retries.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -381,10 +501,23 @@ impl Drop for WorkerPool {
             .lock()
             .expect("pool ctrl poisoned")
             .shutdown = true;
+        // Latch out further respawns, then take every handle spawned
+        // so far — construction-time workers and panic replacements
+        // alike (see [`Lifecycle`] for why this cannot race a
+        // respawn).
+        let handles = {
+            let mut lc = self
+                .shared
+                .lifecycle
+                .lock()
+                .expect("pool lifecycle poisoned");
+            lc.shutting_down = true;
+            std::mem::take(&mut lc.handles)
+        };
         for d in &self.shared.locals {
             d.cv.notify_all();
         }
-        for h in self.handles.drain(..) {
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -404,10 +537,28 @@ impl Drop for LiveGuard {
 /// only bounds how stale a *steal* opportunity can go unnoticed.
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
+/// Spawn (or respawn) the worker thread for slot `id`, registering its
+/// handle in the shared lifecycle state so drop can join it. A respawn
+/// that loses the race with shutdown spawns nothing — the remaining
+/// workers (or nobody, if the caller is gone) drain the queues.
+fn spawn_worker(shared: &Arc<Shared>, live: &Arc<AtomicUsize>, id: usize) {
+    let mut lc = shared.lifecycle.lock().expect("pool lifecycle poisoned");
+    if lc.shutting_down {
+        return;
+    }
+    let sh = Arc::clone(shared);
+    let lv = Arc::clone(live);
+    let h = std::thread::Builder::new()
+        .name(format!("lq-pool-{id}"))
+        .spawn(move || worker_loop(id, &sh, &lv))
+        .expect("spawn pool worker");
+    lc.handles.push(h);
+}
+
 /// Find the next job: own deque (LIFO) → global injector → steal sweep
 /// (FIFO from the victim's front) → park. Returns `None` when the pool
 /// is shutting down and every queue has drained.
-fn take_job(shared: &Shared, id: usize) -> Option<(Job, bool)> {
+fn take_job(shared: &Shared, id: usize) -> Option<(Tracked, bool)> {
     loop {
         if let Some(j) = shared.locals[id]
             .q
@@ -462,7 +613,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, live: &Arc<AtomicUsize>) {
     // Per-worker metric handles, resolved once the first time telemetry
     // is observed enabled (label: worker id).
     let mut wm: Option<WorkerMetrics> = None;
-    while let Some((job, stolen)) = take_job(shared, id) {
+    while let Some((tracked, stolen)) = take_job(shared, id) {
         shared.note_pop();
         if wm.is_none() && lq_telemetry::enabled() {
             wm = WorkerMetrics::resolve(id);
@@ -473,22 +624,94 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, live: &Arc<AtomicUsize>) {
                 w.steals.inc();
             }
         }
+        let Tracked { job, attempts } = tracked;
+        // Retries are exempt from injection: a scheduled fault is
+        // transient by definition, so the retried job runs clean and
+        // recovery is as deterministic as the fault itself.
+        let force_panic = match &shared.fault {
+            Some(f) => match f.on_worker_job(attempts > 0) {
+                FaultAction::Panic => true,
+                FaultAction::Stall(d) => {
+                    std::thread::sleep(d);
+                    false
+                }
+                FaultAction::None => false,
+            },
+            None => false,
+        };
         let t0 = std::time::Instant::now();
-        execute(job, shared, id);
-        let ns = t0.elapsed().as_nanos() as u64;
-        shared.stats[id].jobs.fetch_add(1, Ordering::Relaxed);
-        shared.stats[id].busy_ns.fetch_add(ns, Ordering::Relaxed);
-        if let Some(w) = &wm {
-            w.busy_ns.add(ns);
-            w.job_ns.record(ns);
-            w.jobs.inc();
+        match execute(job, shared, id, force_panic) {
+            JobOutcome::Done => {
+                let ns = t0.elapsed().as_nanos() as u64;
+                shared.stats[id].jobs.fetch_add(1, Ordering::Relaxed);
+                shared.stats[id].busy_ns.fetch_add(ns, Ordering::Relaxed);
+                if let Some(w) = &wm {
+                    w.busy_ns.add(ns);
+                    w.job_ns.record(ns);
+                    w.jobs.inc();
+                }
+            }
+            JobOutcome::Panicked(retry) => {
+                heal(shared, live, id, retry, attempts);
+                return;
+            }
         }
     }
 }
 
-/// Run one job to completion, containing panics and reporting the
-/// outcome on the call's reply channel.
-fn execute(job: Job, shared: &Shared, id: usize) {
+/// The quarantine-and-respawn path a worker takes after a job panicked
+/// under it: requeue the surviving job (bounded retries with a small
+/// attempts-proportional backoff) or abandon it to its caller, record
+/// the restart, spawn this slot's replacement, and let the quarantined
+/// thread exit (its caller `return`s out of [`worker_loop`]).
+fn heal(
+    shared: &Arc<Shared>,
+    live: &Arc<AtomicUsize>,
+    id: usize,
+    retry: Option<Job>,
+    attempts: u8,
+) {
+    shared.stats[id].restarts.fetch_add(1, Ordering::Relaxed);
+    let fm = pool_fault_metrics();
+    if let Some(m) = &fm {
+        m.restarts.inc();
+    }
+    if let Some(job) = retry {
+        if attempts < MAX_JOB_RETRIES {
+            shared.stats[id].retries.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &fm {
+                m.retries.inc();
+            }
+            // Backoff before handing the job to a peer: transient
+            // faults (the only kind the injector models) clear on
+            // their own; deterministic bugs exhaust the budget fast.
+            std::thread::sleep(Duration::from_micros(50u64 << attempts));
+            shared.requeue(Tracked {
+                job,
+                attempts: attempts + 1,
+            });
+        } else {
+            job.abandon();
+        }
+    }
+    spawn_worker(shared, live, id);
+}
+
+/// What became of one job attempt. On `Panicked` the job's owned
+/// fields survived the unwind (the caught closure only borrowed them),
+/// so the reconstructed job can be retried on another worker;
+/// `Panicked(None)` means the job has nothing to retry (the
+/// test-injected [`Job::Panic`] probe, which already replied).
+enum JobOutcome {
+    Done,
+    Panicked(Option<Job>),
+}
+
+/// Run one job attempt, containing panics. `force_panic` is the fault
+/// injector's verdict for this attempt — raised *inside* the caught
+/// closure so the injected fault takes the exact path a real mid-job
+/// panic would.
+fn execute(job: Job, shared: &Shared, id: usize, force_panic: bool) -> JobOutcome {
     match job {
         Job::Compute {
             ctx,
@@ -498,6 +721,9 @@ fn execute(job: Job, shared: &Shared, id: usize) {
             quant,
         } => {
             let res = catch_unwind(AssertUnwindSafe(|| {
+                if force_panic {
+                    panic!("injected fault: worker panic mid-Compute");
+                }
                 let _span = ctx
                     .metrics
                     .as_ref()
@@ -507,7 +733,19 @@ fn execute(job: Job, shared: &Shared, id: usize) {
                 compute_rows_staged(&quant, &words, rows, &ctx.a, &ctx.act_scales, &mut out);
                 out
             }));
-            finish_tile(&ctx, j0, res, Some(words));
+            match res {
+                Ok(out) => {
+                    finish_tile(&ctx, j0, out, Some(words));
+                    JobOutcome::Done
+                }
+                Err(_) => JobOutcome::Panicked(Some(Job::Compute {
+                    ctx,
+                    j0,
+                    rows,
+                    words,
+                    quant,
+                })),
+            }
         }
         Job::Dequant {
             ctx,
@@ -517,6 +755,9 @@ fn execute(job: Job, shared: &Shared, id: usize) {
             quant,
         } => {
             let res = catch_unwind(AssertUnwindSafe(|| {
+                if force_panic {
+                    panic!("injected fault: worker panic mid-Dequant");
+                }
                 let _span = ctx
                     .metrics
                     .as_ref()
@@ -541,10 +782,15 @@ fn execute(job: Job, shared: &Shared, id: usize) {
                             channel_scales,
                         },
                     );
+                    JobOutcome::Done
                 }
-                Err(_) => {
-                    let _ = ctx.reply.send(Reply::Panicked);
-                }
+                Err(_) => JobOutcome::Panicked(Some(Job::Dequant {
+                    ctx,
+                    j0,
+                    rows,
+                    words,
+                    quant,
+                })),
             }
         }
         Job::Mma {
@@ -555,6 +801,9 @@ fn execute(job: Job, shared: &Shared, id: usize) {
             channel_scales,
         } => {
             let res = catch_unwind(AssertUnwindSafe(|| {
+                if force_panic {
+                    panic!("injected fault: worker panic mid-Mma");
+                }
                 let _span = ctx
                     .metrics
                     .as_ref()
@@ -564,43 +813,47 @@ fn execute(job: Job, shared: &Shared, id: usize) {
                 mma_rows(&tile, k, &channel_scales, &ctx.a, &ctx.act_scales, &mut out);
                 out
             }));
-            finish_tile(&ctx, j0, res, None);
+            match res {
+                Ok(out) => {
+                    finish_tile(&ctx, j0, out, None);
+                    JobOutcome::Done
+                }
+                Err(_) => JobOutcome::Panicked(Some(Job::Mma {
+                    ctx,
+                    j0,
+                    k,
+                    tile,
+                    channel_scales,
+                })),
+            }
         }
         Job::Panic { reply } => {
             let res = catch_unwind(|| panic!("injected worker panic"));
             debug_assert!(res.is_err());
             let _ = reply.send(Reply::Panicked);
+            // The probe quarantines its worker like any real panic, so
+            // tests exercising it also exercise respawn — but there is
+            // no job to retry.
+            JobOutcome::Panicked(None)
         }
     }
 }
 
-/// Common tail of Compute/Mma jobs: count the task, recycle the stage
-/// buffer, reply. Reply-send failures mean the caller is gone (it
-/// panicked or was dropped) and are deliberately ignored.
-fn finish_tile(
-    ctx: &Arc<CallCtx>,
-    j0: usize,
-    res: std::thread::Result<Vec<f32>>,
-    words: Option<Vec<u32>>,
-) {
-    match res {
-        Ok(out) => {
-            if let Some(mx) = &ctx.metrics {
-                mx.tasks.inc();
-            }
-            if let (Some(rec), Some(buf)) = (&ctx.recycle, words) {
-                let _ = rec.send(buf);
-            }
-            let _ = ctx.reply.send(Reply::Done {
-                j0,
-                out,
-                epoch: ctx.epoch,
-            });
-        }
-        Err(_) => {
-            let _ = ctx.reply.send(Reply::Panicked);
-        }
+/// Common tail of successful Compute/Mma jobs: count the task, recycle
+/// the stage buffer, reply. Reply-send failures mean the caller is
+/// gone (it panicked or was dropped) and are deliberately ignored.
+fn finish_tile(ctx: &Arc<CallCtx>, j0: usize, out: Vec<f32>, words: Option<Vec<u32>>) {
+    if let Some(mx) = &ctx.metrics {
+        mx.tasks.inc();
     }
+    if let (Some(rec), Some(buf)) = (&ctx.recycle, words) {
+        let _ = rec.send(buf);
+    }
+    let _ = ctx.reply.send(Reply::Done {
+        j0,
+        out,
+        epoch: ctx.epoch,
+    });
 }
 
 /// Long-lived handle over the persistent worker pool — the redesigned
@@ -744,6 +997,7 @@ pub struct LiquidGemmBuilder {
     task_rows: usize,
     stages: usize,
     queue_depth: usize,
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for LiquidGemmBuilder {
@@ -754,6 +1008,7 @@ impl Default for LiquidGemmBuilder {
             task_rows: 8,
             stages: 8,
             queue_depth: 64,
+            fault: None,
         }
     }
 }
@@ -788,6 +1043,16 @@ impl LiquidGemmBuilder {
         self
     }
 
+    /// Install a [`FaultInjector`] (chaos testing): workers consult it
+    /// before each fresh job and submitters before each submission.
+    /// Without one — the default — every hook is a single `Option`
+    /// check on the hot path.
+    #[must_use]
+    pub fn fault_injector(mut self, inj: Arc<FaultInjector>) -> Self {
+        self.fault = Some(inj);
+        self
+    }
+
     /// Validate and spawn the pool.
     pub fn build(self) -> Result<LiquidGemm, ConfigError> {
         let defaults = ParallelConfig::builder()
@@ -799,7 +1064,7 @@ impl LiquidGemmBuilder {
             return Err(ConfigError::ZeroQueueDepth);
         }
         Ok(LiquidGemm {
-            pool: WorkerPool::new(defaults.workers, self.queue_depth),
+            pool: WorkerPool::with_faults(defaults.workers, self.queue_depth, self.fault),
             defaults,
         })
     }
@@ -894,5 +1159,118 @@ mod tests {
         let got = lg.gemm(&x, &s, &w, KernelKind::ImFp).y;
         assert_eq!(max_abs_diff(&got, &want), 0.0);
         drop(lg); // and still joins cleanly
+    }
+
+    fn stats_sum(lg: &LiquidGemm) -> (u64, u64) {
+        let s = lg.pool().worker_stats();
+        (
+            s.iter().map(|w| w.restarts).sum(),
+            s.iter().map(|w| w.retries).sum(),
+        )
+    }
+
+    #[test]
+    fn injected_panic_during_queued_job_is_retried_bit_exact() {
+        // The very first fresh job panics mid-execution: the dying
+        // worker must requeue it, respawn, and the caller must see a
+        // bit-exact result — never the panic.
+        let inj = Arc::new(FaultInjector::new(
+            lq_chaos::FaultPlan::quiet().worker_panics_at(&[0]),
+        ));
+        let lg = LiquidGemm::builder()
+            .workers(2)
+            .fault_injector(Arc::clone(&inj))
+            .build()
+            .unwrap();
+        let (x, s, w) = fixture(5, 23, 128);
+        let want = lg.gemm(&x, &s, &w, KernelKind::Serial).y;
+        let got = lg.gemm(&x, &s, &w, KernelKind::ImFp).y;
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
+        assert_eq!(inj.stats().worker_panics, 1, "fault did not fire");
+        let (restarts, retries) = stats_sum(&lg);
+        assert_eq!(restarts, 1, "restart not counted in worker_stats");
+        assert_eq!(retries, 1, "retry not counted in worker_stats");
+    }
+
+    #[test]
+    fn panic_storm_all_workers_die_once_pool_still_drains() {
+        // One scheduled panic per worker slot, spread across the job
+        // stream: every worker dies (at least) once, every job still
+        // completes, every variant stays bit-exact.
+        const WORKERS: usize = 3;
+        let inj = Arc::new(FaultInjector::new(
+            lq_chaos::FaultPlan::quiet().worker_panics_at(&[0, 2, 4]),
+        ));
+        let lg = LiquidGemm::builder()
+            .workers(WORKERS)
+            .fault_injector(Arc::clone(&inj))
+            .build()
+            .unwrap();
+        let (x, s, w) = fixture(7, 31, 128);
+        let want = lg.gemm(&x, &s, &w, KernelKind::Serial).y;
+        for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
+            assert_eq!(
+                max_abs_diff(&lg.gemm(&x, &s, &w, kind).y, &want),
+                0.0,
+                "{kind:?}"
+            );
+        }
+        assert_eq!(inj.stats().worker_panics, 3);
+        let (restarts, retries) = stats_sum(&lg);
+        assert_eq!(restarts, 3);
+        assert_eq!(retries, 3);
+        // Replacements bring the pool back to full strength.
+        for _ in 0..200 {
+            if lg.pool().live_workers() == WORKERS {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(lg.pool().live_workers(), WORKERS);
+        // And the healed pool still drops cleanly (joins replacements).
+        let probe = lg.pool().live_probe();
+        drop(lg);
+        assert_eq!(probe.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn panic_racing_shutdown_leaks_no_thread() {
+        // A worker panic (probe) races pool drop from another thread:
+        // whether the respawn wins or loses the race with the shutdown
+        // latch, every thread must be joined.
+        for _ in 0..20 {
+            let lg = Arc::new(LiquidGemm::builder().workers(2).build().unwrap());
+            let probe = lg.pool().live_probe();
+            let h = {
+                let lg = Arc::clone(&lg);
+                std::thread::spawn(move || lg.inject_worker_panic())
+            };
+            drop(lg); // the last Arc may drop here or in the thread
+            h.join().unwrap();
+            assert_eq!(probe.load(std::sync::atomic::Ordering::SeqCst), 0);
+        }
+    }
+
+    #[test]
+    fn worker_stalls_and_submit_stalls_only_delay() {
+        let inj = Arc::new(FaultInjector::new(
+            lq_chaos::FaultPlan::quiet()
+                .worker_stall_at(1, 100)
+                .submit_stall_at(0, 100),
+        ));
+        let lg = LiquidGemm::builder()
+            .workers(2)
+            .fault_injector(Arc::clone(&inj))
+            .build()
+            .unwrap();
+        let (x, s, w) = fixture(4, 16, 64);
+        let want = lg.gemm(&x, &s, &w, KernelKind::Serial).y;
+        assert_eq!(
+            max_abs_diff(&lg.gemm(&x, &s, &w, KernelKind::ImFp).y, &want),
+            0.0
+        );
+        let st = inj.stats();
+        assert_eq!((st.worker_stalls, st.submit_stalls), (1, 1));
+        assert_eq!(stats_sum(&lg), (0, 0), "stalls must not restart workers");
     }
 }

@@ -24,6 +24,8 @@
 //! | `lq_pool_busy_ns_total{worker}` | counter | time each worker spent executing (vs parked) — the per-worker occupancy the balance gate audits |
 //! | `lq_pool_steal_total{worker}` | counter | jobs this worker stole from another worker's deque |
 //! | `lq_pool_job_ns{worker}` | histogram | per-job latency |
+//! | `lq_pool_worker_restarts_total` | counter | worker threads quarantined and respawned after a job panic |
+//! | `lq_pool_job_retries_total` | counter | panicked jobs requeued for another attempt (0 in any fault-free run — the CI smoke bench gates on it) |
 //!
 //! Roles mirror the paper's warp groups: `load` is the staging caller
 //! (TMA), `compute` the fused dequant+MMA job (Flat/ImFP),
@@ -108,6 +110,27 @@ impl WorkerMetrics {
             job_ns: reg.histogram_with("lq_pool_job_ns", &l),
         })
     }
+}
+
+/// Pool self-healing counters (unlabeled — restarts are rare enough
+/// that per-worker series would be noise).
+pub(crate) struct PoolFaultMetrics {
+    pub restarts: Arc<Counter>,
+    pub retries: Arc<Counter>,
+}
+
+/// Resolve the self-healing counters, or `None` when telemetry is off.
+/// Resolved at each restart (not cached): the path only runs after a
+/// panic, where a registry lookup is noise.
+pub(crate) fn pool_fault_metrics() -> Option<PoolFaultMetrics> {
+    if !lq_telemetry::enabled() {
+        return None;
+    }
+    let reg = registry();
+    Some(PoolFaultMetrics {
+        restarts: reg.counter("lq_pool_worker_restarts_total"),
+        retries: reg.counter("lq_pool_job_retries_total"),
+    })
 }
 
 /// Whole-call span for `lq_gemm_ns{variant=...}` (None when disabled).

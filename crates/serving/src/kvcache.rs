@@ -8,6 +8,9 @@
 //! 4-bit-weight systems trade weight memory for batch size in Table 1.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use lq_chaos::FaultInjector;
 
 use crate::telemetry::kv as kv_metrics;
 
@@ -33,6 +36,9 @@ pub struct PagedKvCache {
     free: Vec<u32>,
     total_pages: usize,
     tables: HashMap<SeqId, SeqState>,
+    /// Chaos hook: scheduled allocation denials (`None` in production
+    /// — one branch per allocation).
+    fault: Option<Arc<FaultInjector>>,
 }
 
 #[derive(Debug)]
@@ -55,7 +61,20 @@ impl PagedKvCache {
             free: (0..total_pages as u32).rev().collect(),
             total_pages,
             tables: HashMap::new(),
+            fault: None,
         }
+    }
+
+    /// Install a [`FaultInjector`] whose KV-alloc site can deny page
+    /// allocations (reported as [`KvCacheError::OutOfMemory`], exactly
+    /// like real exhaustion — callers must already handle it).
+    pub fn set_fault_injector(&mut self, inj: Arc<FaultInjector>) {
+        self.fault = Some(inj);
+    }
+
+    /// Consult the chaos hook for one allocation attempt.
+    fn alloc_denied(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.on_kv_alloc())
     }
 
     /// Total physical pages.
@@ -97,7 +116,7 @@ impl PagedKvCache {
             return Err(KvCacheError::DuplicateSequence);
         }
         let need = self.pages_for(prompt_tokens.max(1));
-        if need > self.free.len() {
+        if need > self.free.len() || self.alloc_denied() {
             if let Some(m) = kv_metrics() {
                 m.oom.inc();
             }
@@ -126,6 +145,12 @@ impl PagedKvCache {
             st.tokens + 1 > st.pages.len() * self.page_tokens
         };
         if needs_page {
+            if self.alloc_denied() {
+                if let Some(m) = kv_metrics() {
+                    m.oom.inc();
+                }
+                return Err(KvCacheError::OutOfMemory);
+            }
             let Some(page) = self.free.pop() else {
                 if let Some(m) = kv_metrics() {
                     m.oom.inc();

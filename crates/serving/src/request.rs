@@ -68,8 +68,13 @@ pub enum CompletionStatus {
     /// The deadline expired first; any KV pages were released.
     TimedOut,
     /// The bounded queue was full at arrival (or the reservation can
-    /// never fit); the request was never admitted.
+    /// never fit); the request was never admitted. Also the ingest
+    /// verdict for malformed requests (non-finite arrival/deadline).
     Rejected,
+    /// An unrecoverable engine or allocation error mid-flight: the
+    /// request's KV pages were fully released and the rest of the
+    /// batch kept running. Only the executable backend produces this.
+    Failed,
 }
 
 /// Completion record for one request.
@@ -172,6 +177,13 @@ impl RunStats {
         self.count(CompletionStatus::Rejected)
     }
 
+    /// Requests that died on an engine/allocation error (pages
+    /// released, batch kept running).
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.count(CompletionStatus::Failed)
+    }
+
     fn finished_latencies(&self) -> Vec<f64> {
         self.completions
             .iter()
@@ -198,7 +210,9 @@ impl RunStats {
         if ls.is_empty() {
             return 0.0;
         }
-        ls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // total_cmp: latencies derive from user-supplied arrival times,
+        // and a NaN here must not panic the stats path.
+        ls.sort_by(f64::total_cmp);
         let idx = ((p / 100.0) * (ls.len() - 1) as f64).round() as usize;
         ls[idx]
     }

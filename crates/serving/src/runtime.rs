@@ -27,12 +27,57 @@
 //! ([`CompletionStatus::TimedOut`]), a bounded queue rejects arrivals
 //! when full ([`CompletionStatus::Rejected`]), and per-request
 //! latency / queue-delay histograms are recorded in telemetry.
+//!
+//! ## Failure containment
+//!
+//! The serving loop is the unit that must stay up, so engine calls go
+//! through the [`ServingEngine`] `try_*` wrappers, which catch unwinds
+//! at the call boundary and surface them as [`EngineError`]s. A failed
+//! prefill kills only that request; a failed decode step kills the
+//! running batch (the engine's state for those sequences is unknown) —
+//! in both cases every KV page is released and the request completes
+//! as [`CompletionStatus::Failed`] instead of unwinding through the
+//! loop. Denied KV allocations (e.g. an injected fault from
+//! [`ServingRuntime::with_fault_injector`]) take the same path.
+//! Malformed requests with non-finite arrival or deadline are rejected
+//! at ingest — a NaN arrival used to panic the arrival sort.
 
 use crate::kvcache::{PagedKvCache, SeqId};
 use crate::request::{Completion, CompletionStatus, Request, RunStats, SchedulerConfig};
 use crate::telemetry::SchedMetrics;
+use lq_chaos::FaultInjector;
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// An engine call that panicked; caught at the runtime boundary by the
+/// [`ServingEngine`] `try_*` wrappers and mapped to
+/// [`CompletionStatus::Failed`].
+#[derive(Debug, Clone)]
+pub struct EngineError {
+    message: String,
+}
+
+impl EngineError {
+    fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "engine panicked".to_string());
+        Self { message }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine call panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// The model-side contract the runtime schedules over.
 ///
@@ -52,6 +97,27 @@ pub trait ServingEngine {
     /// Drop sequence `id` and release its engine-side KV pages. Called
     /// on finish and on deadline eviction.
     fn release(&mut self, id: SeqId);
+
+    /// [`Self::prefill`] with unwind containment: a panicking engine
+    /// becomes an [`EngineError`] instead of tearing down the loop.
+    fn try_prefill(&mut self, id: SeqId, prompt: &[usize]) -> Result<usize, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.prefill(id, prompt)))
+            .map_err(|p| EngineError::from_panic(p.as_ref()))
+    }
+
+    /// [`Self::decode_batch`] with unwind containment.
+    fn try_decode_batch(&mut self, slots: &[(SeqId, usize)]) -> Result<Vec<usize>, EngineError> {
+        catch_unwind(AssertUnwindSafe(|| self.decode_batch(slots)))
+            .map_err(|p| EngineError::from_panic(p.as_ref()))
+    }
+
+    /// [`Self::release`] with unwind containment. Used on the failure
+    /// path, where the engine may hold no state for `id` (a prefill
+    /// that panicked half-registered) and its own release assertions
+    /// must not escalate the cleanup into another unwind.
+    fn try_release(&mut self, id: SeqId) {
+        let _ = catch_unwind(AssertUnwindSafe(|| self.release(id)));
+    }
 }
 
 /// A [`Request`] paired with its actual prompt tokens.
@@ -106,6 +172,22 @@ impl ServingRuntime {
         Self { cfg, kv }
     }
 
+    /// Like [`Self::new`], but with a [`FaultInjector`] wired into the
+    /// admission page table: scheduled `kv_denials` make `add_sequence`
+    /// / `append_token` fail artificially, exercising the
+    /// [`CompletionStatus::Failed`] path. With a quiet plan (or via
+    /// [`Self::new`]) the hook is a `None` branch.
+    #[must_use]
+    pub fn with_fault_injector(
+        cfg: SchedulerConfig,
+        kv_budget_tokens: usize,
+        inj: Arc<FaultInjector>,
+    ) -> Self {
+        let mut rt = Self::new(cfg, kv_budget_tokens);
+        rt.kv.set_fault_injector(inj);
+        rt
+    }
+
     /// The admission page table (tests assert leak-freedom on it).
     #[must_use]
     pub fn kv(&self) -> &PagedKvCache {
@@ -123,6 +205,7 @@ impl ServingRuntime {
                 }
                 CompletionStatus::TimedOut => m.timed_out.inc(),
                 CompletionStatus::Rejected => m.rejected.inc(),
+                CompletionStatus::Failed => m.failed.inc(),
             }
         }
         stats.completions.push(c);
@@ -132,24 +215,51 @@ impl ServingRuntime {
     /// order), driving `engine` with real batched forward passes.
     ///
     /// Every request completes exactly once — as `Finished`, `TimedOut`
-    /// (deadline expired; pages released on eviction), or `Rejected`
-    /// (bounded queue full at arrival, or a reservation that could
-    /// never fit the KV budget). After the run all pages are back on
-    /// the free list.
+    /// (deadline expired; pages released on eviction), `Rejected`
+    /// (bounded queue full at arrival, a reservation that could never
+    /// fit the KV budget, or malformed non-finite timing), or `Failed`
+    /// (engine panic or denied KV allocation mid-flight; pages fully
+    /// released). After the run all pages are back on the free list.
     pub fn run<E: ServingEngine>(
         &mut self,
         engine: &mut E,
         requests: Vec<PromptRequest>,
     ) -> RunStats {
-        let mut arrivals = requests;
-        arrivals.sort_by(|a, b| a.meta.arrival.partial_cmp(&b.meta.arrival).expect("finite"));
+        let metrics = SchedMetrics::resolve();
+        let mut stats = RunStats::empty();
+
+        // Validate timing at ingest: a NaN arrival must not reach the
+        // sort below (`partial_cmp(...).expect` here used to panic the
+        // whole run), and a NaN deadline would silently never expire.
+        let mut arrivals: Vec<PromptRequest> = Vec::with_capacity(requests.len());
+        for req in requests {
+            let bad_arrival = !req.meta.arrival.is_finite();
+            let bad_deadline = req.meta.deadline.is_some_and(|d| !d.is_finite());
+            if bad_arrival || bad_deadline {
+                // Timestamps are zeroed so NaN cannot leak into
+                // latency statistics either.
+                Self::complete(
+                    &mut stats,
+                    &metrics,
+                    Completion {
+                        id: req.meta.id,
+                        admitted_at: 0.0,
+                        finished_at: 0.0,
+                        arrival: 0.0,
+                        status: CompletionStatus::Rejected,
+                        generated: 0,
+                    },
+                );
+            } else {
+                arrivals.push(req);
+            }
+        }
+        arrivals.sort_by(|a, b| a.meta.arrival.total_cmp(&b.meta.arrival));
         arrivals.reverse(); // pop() takes the earliest
 
-        let metrics = SchedMetrics::resolve();
         let mut now = 0.0f64;
         let mut pending: VecDeque<PromptRequest> = VecDeque::new();
         let mut running: Vec<Running> = Vec::new();
-        let mut stats = RunStats::empty();
 
         loop {
             // 0. Ingest arrivals up to the current clock; reject on a
@@ -209,27 +319,70 @@ impl ServingRuntime {
                     }
                     break; // FCFS head-of-line blocking
                 }
-                self.kv
-                    .add_sequence(req.meta.id, need)
-                    .expect("reservation checked");
+                if self.kv.add_sequence(req.meta.id, need).is_err() {
+                    // `can_reserve` just passed, so this is a denied
+                    // allocation (fault injection): fail the request
+                    // cleanly and keep admitting the rest.
+                    let req = pending.pop_front().expect("front exists");
+                    Self::complete(
+                        &mut stats,
+                        &metrics,
+                        Completion {
+                            id: req.meta.id,
+                            admitted_at: now,
+                            finished_at: now,
+                            arrival: req.meta.arrival,
+                            status: CompletionStatus::Failed,
+                            generated: 0,
+                        },
+                    );
+                    continue;
+                }
                 admitted.push(pending.pop_front().expect("front exists"));
             }
             if !admitted.is_empty() {
                 let admit_time = now;
+                let n_admitted = admitted.len();
                 let t0 = Instant::now();
-                let first_tokens: Vec<usize> = admitted
-                    .iter()
-                    .map(|req| engine.prefill(req.meta.id, &req.prompt))
-                    .collect();
+                // Prefill the cohort one request at a time so a panic
+                // inside the engine fails only the request that caused
+                // it: its reservation and any half-registered engine
+                // state are released, the rest of the cohort proceeds.
+                let mut prefilled: Vec<(PromptRequest, usize)> = Vec::with_capacity(n_admitted);
+                let mut failed: Vec<PromptRequest> = Vec::new();
+                for req in admitted {
+                    match engine.try_prefill(req.meta.id, &req.prompt) {
+                        Ok(tok) => prefilled.push((req, tok)),
+                        Err(_) => {
+                            engine.try_release(req.meta.id);
+                            self.kv.free_sequence(req.meta.id).expect("was admitted");
+                            failed.push(req);
+                        }
+                    }
+                }
                 let dt = t0.elapsed().as_secs_f64();
                 now += dt;
                 if let Some(m) = &metrics {
-                    m.admitted.add(admitted.len() as u64);
+                    m.admitted.add(n_admitted as u64);
                     m.prefill_ns.record_secs(dt);
                     m.queue_len.set(pending.len() as f64);
                 }
-                stats.generated_tokens += admitted.len() as u64;
-                for (req, tok) in admitted.into_iter().zip(first_tokens) {
+                for req in failed {
+                    Self::complete(
+                        &mut stats,
+                        &metrics,
+                        Completion {
+                            id: req.meta.id,
+                            admitted_at: admit_time,
+                            finished_at: now,
+                            arrival: req.meta.arrival,
+                            status: CompletionStatus::Failed,
+                            generated: 0,
+                        },
+                    );
+                }
+                stats.generated_tokens += prefilled.len() as u64;
+                for (req, tok) in prefilled {
                     running.push(Running {
                         id: req.meta.id,
                         admitted_at: admit_time,
@@ -313,19 +466,45 @@ impl ServingRuntime {
             //    single M=batch forward pass.
             let slots: Vec<(SeqId, usize)> = running.iter().map(|r| (r.id, r.last_token)).collect();
             let t0 = Instant::now();
-            let next = engine.decode_batch(&slots);
+            let res = engine.try_decode_batch(&slots);
             let dt = t0.elapsed().as_secs_f64();
-            assert_eq!(next.len(), slots.len(), "engine returned wrong batch");
             now += dt;
-            if let Some(m) = &metrics {
-                m.batch_size.record(running.len() as u64);
-                m.decode_step_ns.record_secs(dt);
-            }
-            stats.decode_steps += 1;
-            stats.generated_tokens += running.len() as u64;
-            for (r, tok) in running.iter_mut().zip(next) {
-                r.last_token = tok;
-                r.produced += 1;
+            match res {
+                Ok(next) => {
+                    assert_eq!(next.len(), slots.len(), "engine returned wrong batch");
+                    if let Some(m) = &metrics {
+                        m.batch_size.record(running.len() as u64);
+                        m.decode_step_ns.record_secs(dt);
+                    }
+                    stats.decode_steps += 1;
+                    stats.generated_tokens += running.len() as u64;
+                    for (r, tok) in running.iter_mut().zip(next) {
+                        r.last_token = tok;
+                        r.produced += 1;
+                    }
+                }
+                Err(_) => {
+                    // A panic mid-batch leaves the engine's state for
+                    // every running sequence unknown: fail the whole
+                    // batch with full release and keep serving what is
+                    // still queued.
+                    for r in running.drain(..) {
+                        engine.try_release(r.id);
+                        self.kv.free_sequence(r.id).expect("was admitted");
+                        Self::complete(
+                            &mut stats,
+                            &metrics,
+                            Completion {
+                                id: r.id,
+                                admitted_at: r.admitted_at,
+                                finished_at: now,
+                                arrival: r.arrival,
+                                status: CompletionStatus::Failed,
+                                generated: r.produced as u64,
+                            },
+                        );
+                    }
+                }
             }
         }
         stats.makespan = now;
@@ -535,5 +714,141 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 8, "each request completes exactly once");
+    }
+
+    /// [`MockEngine`] wrapper that panics on schedule: at prefill of
+    /// chosen ids, or at the n-th decode call — before touching the
+    /// inner engine, so prefill panics leave no half-registered state
+    /// while decode panics leave the batch live (the runtime must
+    /// release it through `try_release`).
+    struct FaultyEngine {
+        inner: MockEngine,
+        panic_prefill_ids: HashSet<SeqId>,
+        panic_decode_call: Option<usize>,
+        decode_calls: usize,
+    }
+
+    impl FaultyEngine {
+        fn new(panic_prefill_ids: &[SeqId], panic_decode_call: Option<usize>) -> Self {
+            Self {
+                inner: MockEngine::new(),
+                panic_prefill_ids: panic_prefill_ids.iter().copied().collect(),
+                panic_decode_call,
+                decode_calls: 0,
+            }
+        }
+    }
+
+    impl ServingEngine for FaultyEngine {
+        fn prefill(&mut self, id: SeqId, prompt: &[usize]) -> usize {
+            assert!(
+                !self.panic_prefill_ids.contains(&id),
+                "injected fault: prefill panic for sequence {id}"
+            );
+            self.inner.prefill(id, prompt)
+        }
+
+        fn decode_batch(&mut self, slots: &[(SeqId, usize)]) -> Vec<usize> {
+            let call = self.decode_calls;
+            self.decode_calls += 1; // counts panicked calls too
+            if self.panic_decode_call == Some(call) {
+                panic!("injected fault: decode panic at call {call}");
+            }
+            self.inner.decode_batch(slots)
+        }
+
+        fn release(&mut self, id: SeqId) {
+            self.inner.release(id);
+        }
+    }
+
+    #[test]
+    fn nan_arrival_or_deadline_is_rejected_not_panicking() {
+        // Regression: a NaN arrival used to blow up the ingest sort via
+        // `partial_cmp(...).expect("finite")`.
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let mut rs = reqs(2, 8, 4);
+        rs[0].meta.arrival = f64::NAN;
+        // `with_deadline` validates, so poke the field directly —
+        // modelling a caller that bypasses the constructors.
+        let mut bad_deadline = PromptRequest::new(Request::new(7, 8, 4, 0.0), (0..8).collect());
+        bad_deadline.meta.deadline = Some(f64::NAN);
+        rs.push(bad_deadline);
+        let mut inf_arrival = PromptRequest::new(Request::new(8, 8, 4, 0.0), (0..8).collect());
+        inf_arrival.meta.arrival = f64::INFINITY;
+        rs.push(inf_arrival);
+        let stats = rt.run(&mut engine, rs);
+        assert_eq!(
+            stats.rejected(),
+            3,
+            "NaN arrival, NaN deadline, inf arrival"
+        );
+        assert_eq!(stats.finished(), 1);
+        for c in &stats.completions {
+            assert!(c.latency().is_finite(), "NaN leaked into latency");
+        }
+        assert!(engine.live.is_empty());
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages());
+    }
+
+    #[test]
+    fn prefill_panic_fails_only_that_request() {
+        let mut engine = FaultyEngine::new(&[2], None);
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let stats = rt.run(&mut engine, reqs(5, 8, 4));
+        assert_eq!(stats.failed(), 1);
+        assert_eq!(stats.finished(), 4);
+        let failed: Vec<u64> = stats
+            .completions
+            .iter()
+            .filter(|c| c.status == CompletionStatus::Failed)
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(failed, [2]);
+        assert!(engine.inner.live.is_empty(), "engine leaked sequences");
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages(), "pages leaked");
+    }
+
+    #[test]
+    fn decode_panic_fails_batch_but_later_arrivals_still_serve() {
+        // First wave of 3 dies on its first decode call; a later wave
+        // must still be admitted and finish — the loop survives.
+        let mut engine = FaultyEngine::new(&[], Some(0));
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let mut rs = reqs(3, 8, 4);
+        for i in 0..3u64 {
+            rs.push(PromptRequest::new(
+                Request::new(100 + i, 8, 4, 1e9),
+                (0..8).collect(),
+            ));
+        }
+        let stats = rt.run(&mut engine, rs);
+        assert_eq!(stats.failed(), 3, "whole first batch failed");
+        assert_eq!(stats.finished(), 3, "second wave unaffected");
+        for c in &stats.completions {
+            if c.status == CompletionStatus::Failed {
+                assert_eq!(c.generated, 1, "prefill token counted before the fault");
+            }
+        }
+        assert!(engine.inner.live.is_empty(), "engine leaked sequences");
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages(), "pages leaked");
+    }
+
+    #[test]
+    fn injected_kv_denial_fails_request_and_releases_everything() {
+        use lq_chaos::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+
+        let inj = Arc::new(FaultInjector::new(FaultPlan::quiet().kv_denials_at(&[0])));
+        let mut engine = MockEngine::new();
+        let mut rt =
+            ServingRuntime::with_fault_injector(SchedulerConfig::default(), 4096, Arc::clone(&inj));
+        let stats = rt.run(&mut engine, reqs(4, 8, 4));
+        assert_eq!(stats.failed(), 1, "first admission denied");
+        assert_eq!(stats.finished(), 3);
+        assert_eq!(inj.stats().kv_denials, 1);
+        assert!(engine.live.is_empty());
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages());
     }
 }

@@ -54,6 +54,9 @@ fn complete(stats: &mut RunStats, metrics: &Option<SchedMetrics>, c: Completion)
             }
             CompletionStatus::TimedOut => m.timed_out.inc(),
             CompletionStatus::Rejected => m.rejected.inc(),
+            // The simulation backend has no real engine to fail, but
+            // the shared completion path still mirrors the status.
+            CompletionStatus::Failed => m.failed.inc(),
         }
     }
     stats.completions.push(c);
@@ -66,7 +69,7 @@ fn complete(stats: &mut RunStats, metrics: &Option<SchedMetrics>, c: Completion)
 /// time passes their expiry; with `sched.max_queue` bounded, requests
 /// arriving into a full queue complete as
 /// [`CompletionStatus::Rejected`], as do requests whose reservation can
-/// never fit the KV budget.
+/// never fit the KV budget or whose arrival/deadline is non-finite.
 #[must_use]
 pub fn run_schedule(
     sys: &ServingSystem,
@@ -75,8 +78,33 @@ pub fn run_schedule(
     sched: SchedulerConfig,
     requests: &[Request],
 ) -> RunStats {
-    let mut arrivals: Vec<Request> = requests.to_vec();
-    arrivals.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
+    let metrics = SchedMetrics::resolve();
+    let mut stats = RunStats::empty();
+
+    // Validate timing at ingest: a NaN arrival must not reach the sort
+    // below (`partial_cmp(...).expect` here used to panic the whole
+    // run), and a NaN deadline would silently never expire. Timestamps
+    // are zeroed so NaN cannot leak into latency statistics either.
+    let mut arrivals: Vec<Request> = Vec::with_capacity(requests.len());
+    for req in requests {
+        if !req.arrival.is_finite() || req.deadline.is_some_and(|d| !d.is_finite()) {
+            complete(
+                &mut stats,
+                &metrics,
+                Completion {
+                    id: req.id,
+                    admitted_at: 0.0,
+                    finished_at: 0.0,
+                    arrival: 0.0,
+                    status: CompletionStatus::Rejected,
+                    generated: 0,
+                },
+            );
+        } else {
+            arrivals.push(*req);
+        }
+    }
+    arrivals.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
     arrivals.reverse(); // pop() takes the earliest
 
     // KV budget = capacity − weights − reserve, managed by the real
@@ -87,11 +115,9 @@ pub fn run_schedule(
     let bytes_per_token = cfg.kv_bytes_per_token(sys.attention.kv.bytes()).max(1.0) as usize;
     let mut kv = PagedKvCache::new(kv_budget as u64, sched.page_tokens, bytes_per_token);
 
-    let metrics = SchedMetrics::resolve();
     let mut now = 0.0f64;
     let mut pending: VecDeque<Request> = VecDeque::new();
     let mut running: Vec<Running> = Vec::new();
-    let mut stats = RunStats::empty();
 
     loop {
         // 0. Move requests that have arrived into the waiting queue,
@@ -450,6 +476,21 @@ mod tests {
             if c.status == CompletionStatus::TimedOut {
                 assert!(c.generated < OUTPUT_LEN as u64);
             }
+        }
+    }
+
+    #[test]
+    fn nan_arrival_or_deadline_is_rejected_not_panicking() {
+        // Regression: a NaN arrival used to blow up the ingest sort via
+        // `partial_cmp(...).expect("finite")`.
+        let mut reqs = batch_arrivals(3);
+        reqs[0].arrival = f64::NAN;
+        reqs[1].deadline = Some(f64::NAN);
+        let stats = run_schedule(&sys(), &H800, &LLAMA2_7B, SchedulerConfig::default(), &reqs);
+        assert_eq!(stats.rejected(), 2);
+        assert_eq!(stats.finished(), 1);
+        for c in &stats.completions {
+            assert!(c.latency().is_finite(), "NaN leaked into latency");
         }
     }
 

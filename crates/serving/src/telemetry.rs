@@ -17,7 +17,8 @@
 //! | `lq_serving_preemptions_total` | counter | always 0 — conservative admission reserves prompt+output up front, so the scheduler never preempts; exported so dashboards can assert it |
 //! | `lq_serving_completed_total` | counter | requests finished normally |
 //! | `lq_serving_timed_out_total` | counter | requests evicted past their deadline (pages released) |
-//! | `lq_serving_rejected_total` | counter | requests rejected at arrival (queue full or reservation can never fit) |
+//! | `lq_serving_rejected_total` | counter | requests rejected at arrival (queue full, reservation can never fit, or malformed non-finite timing) |
+//! | `lq_serving_failed_total` | counter | requests killed by an unrecoverable engine/allocation error (KV pages fully released) |
 //! | `lq_serving_request_latency_ns` | histogram | per-request arrival→finish latency (finished requests) |
 //! | `lq_serving_queue_delay_ns` | histogram | per-request arrival→admission delay (finished requests) |
 //! | `lq_serving_tokens_per_s` | gauge | sustained throughput of the last run |
@@ -44,6 +45,7 @@ pub(crate) struct SchedMetrics {
     pub completed: Arc<Counter>,
     pub timed_out: Arc<Counter>,
     pub rejected: Arc<Counter>,
+    pub failed: Arc<Counter>,
     pub request_latency_ns: Arc<Histogram>,
     pub queue_delay_ns: Arc<Histogram>,
     pub tokens_per_s: Arc<Gauge>,
@@ -67,6 +69,7 @@ impl SchedMetrics {
             completed: reg.counter("lq_serving_completed_total"),
             timed_out: reg.counter("lq_serving_timed_out_total"),
             rejected: reg.counter("lq_serving_rejected_total"),
+            failed: reg.counter("lq_serving_failed_total"),
             request_latency_ns: reg.histogram("lq_serving_request_latency_ns"),
             queue_delay_ns: reg.histogram("lq_serving_queue_delay_ns"),
             tokens_per_s: reg.gauge("lq_serving_tokens_per_s"),

@@ -1,0 +1,75 @@
+//! Chaos demo: inject deterministic worker panics into the persistent
+//! GEMM pool and watch it self-heal — quarantine the panicked worker,
+//! retry the lost tile job, respawn a replacement — with the result
+//! staying bit-exact against the serial kernel.
+//!
+//! Run: `cargo run --release --example chaos [seed]`
+//!
+//! The whole fault schedule derives from one seed, so any run replays
+//! exactly: same seed, same panics at the same job indices, same
+//! recovery ledger.
+
+use liquidgemm::core::packed::PackedLqqLinear;
+use liquidgemm::core::reference::max_abs_diff;
+use liquidgemm::prelude::*;
+use liquidgemm::quant::act::QuantizedActivations;
+use liquidgemm::quant::mat::Mat;
+use std::sync::Arc;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    // One seed → one deterministic schedule across every fault site.
+    let plan = FaultPlan::from_seed(seed);
+    println!("seed {seed}:");
+    println!("  worker panics at job indices {:?}", plan.worker_panics);
+    println!("  worker stalls (index, µs)     {:?}", plan.worker_stalls);
+    println!("  submit stalls (index, µs)     {:?}", plan.submit_stalls);
+    let inj = Arc::new(FaultInjector::new(plan));
+
+    // A pool with the injector wired in: scheduled jobs panic mid-tile;
+    // the pool quarantines the worker, retries the job (retries run
+    // clean — the fault is transient), and respawns the thread.
+    let (m, n, k) = (24, 256, 1024);
+    let w = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.013).sin() * 0.5);
+    let x = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.029).cos());
+    let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+    let qa = QuantizedActivations::quantize(&x, None);
+
+    let lg = LiquidGemm::builder()
+        .workers(3)
+        .fault_injector(Arc::clone(&inj))
+        .build()
+        .expect("valid config");
+
+    let serial = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial).y;
+    if !inj.plan().worker_panics.is_empty() {
+        println!("\n(any panic backtrace below is the injected fault being contained)");
+    }
+    let healed = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp).y;
+    println!(
+        "\nImFP under faults vs serial: max |diff| = {} (must be 0)",
+        max_abs_diff(&healed, &serial)
+    );
+
+    let fired = inj.stats();
+    println!(
+        "faults fired: {} panics, {} stalls, {} submit stalls",
+        fired.worker_panics, fired.worker_stalls, fired.submit_stalls
+    );
+    println!("\nper-worker healing ledger:");
+    println!("  worker  jobs  restarts  retries");
+    for (id, s) in lg.pool().worker_stats().iter().enumerate() {
+        println!(
+            "  {id:>6}  {jobs:>4}  {restarts:>8}  {retries:>7}",
+            jobs = s.jobs,
+            restarts = s.restarts,
+            retries = s.retries
+        );
+    }
+    assert_eq!(max_abs_diff(&healed, &serial), 0.0, "healed GEMM diverged");
+    println!("\npool healed every injected fault; result bit-exact. ✓");
+}

@@ -27,6 +27,10 @@
 //! * [`telemetry`] — zero-dependency metrics: relaxed-atomic counters,
 //!   gauges, log₂ histograms, RAII spans, and a global registry with
 //!   Prometheus-text and JSON exporters (see README § Observability).
+//! * [`chaos`] — deterministic, seed-driven fault injection: one
+//!   [`chaos::FaultPlan`] schedules worker panics, stalls, denied KV
+//!   allocations, and engine panics by event index, so any failing run
+//!   replays bit-identically from its seed (see DESIGN.md § 9).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use lq_chaos as chaos;
 pub use lq_core as core;
 pub use lq_engine as engine;
 pub use lq_layout as layout;
@@ -76,10 +81,11 @@ pub use lq_telemetry as telemetry;
 /// ([`Request`] / [`Completion`] / [`RunStats`] / [`SchedulerConfig`],
 /// [`run_schedule`], [`ServingRuntime`]).
 pub mod prelude {
+    pub use lq_chaos::{FaultAction, FaultInjector, FaultPlan, FaultStats};
     pub use lq_core::{GemmOutput, KernelKind, LiquidGemm, LiquidGemmBuilder, W4A8Weights};
     pub use lq_engine::{ModelSpec, TinyLlm};
     pub use lq_serving::kvcache::SeqId;
-    pub use lq_serving::runtime::{PromptRequest, ServingEngine, ServingRuntime};
+    pub use lq_serving::runtime::{EngineError, PromptRequest, ServingEngine, ServingRuntime};
     pub use lq_serving::{
         run_schedule, Completion, CompletionStatus, PagedKvCache, Request, RunStats,
         SchedulerConfig, SchedulerConfigError, ServingSystem, SystemId,

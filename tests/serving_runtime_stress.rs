@@ -113,6 +113,7 @@ fn stress_no_kv_leaks_after_drain() {
                 assert!(c.latency() > 0.0);
                 assert!(c.queue_delay() >= 0.0);
             }
+            CompletionStatus::Failed => unreachable!("no faults injected"),
         }
     }
     let counted: u64 = stats.completions.iter().map(|c| c.generated).sum();
