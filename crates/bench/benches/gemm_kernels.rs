@@ -13,7 +13,9 @@
 //! release-mode CI gate for scheduler fairness regressions — or if a
 //! fault-free run records any job retry (retries may only come from
 //! the self-healing path, so a nonzero count here means a worker
-//! panicked spontaneously).
+//! panicked spontaneously). With `--trace <path>` the smoke run also
+//! records scheduler events, writes a validated Chrome trace, and
+//! fails unless every worker traced at least one `job_start`.
 
 use std::hint::black_box;
 
@@ -155,6 +157,7 @@ fn pool_balance(
 
 fn main() {
     let _json = lq_bench::json_dump("gemm_kernels");
+    let mut trace = lq_bench::trace_dump();
     if std::env::args().any(|a| a == "--smoke") {
         // CI smoke gate: tiny shapes so the whole run is sub-second in
         // release mode, but enough calls that every worker sees work.
@@ -168,6 +171,32 @@ fn main() {
         if retries != 0 {
             eprintln!("FAIL: {retries} job retries on a fault-free run (spontaneous worker panic)");
             std::process::exit(1);
+        }
+        if trace.active() {
+            // Trace-smoke gate: the exported Chrome JSON must validate
+            // (flush panics otherwise) and every pool worker must have
+            // recorded at least one job_start — round-robin placement
+            // guarantees all four see work on a 256-job run.
+            let events = trace.flush();
+            let mut active = std::collections::BTreeSet::new();
+            for ev in &events {
+                if ev.kind == lq_trace::EventKind::JobStart {
+                    if let lq_trace::Track::Worker(w) = ev.track {
+                        active.insert(w);
+                    }
+                }
+            }
+            for w in 0..4u32 {
+                if !active.contains(&w) {
+                    eprintln!("FAIL: worker {w} recorded no job_start in the traced smoke run");
+                    std::process::exit(1);
+                }
+            }
+            println!(
+                "trace smoke OK: {} events, job starts on all {} workers",
+                events.len(),
+                active.len()
+            );
         }
         println!("smoke OK");
         return;

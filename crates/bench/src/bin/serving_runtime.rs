@@ -9,11 +9,14 @@
 //! decode, the no-continuous-batching baseline) and `max_batch = 8` —
 //! measuring real wall-clock makespans on a real `TinyLlm`.
 //!
-//! Run: `cargo run --release -p lq-bench --bin serving_runtime [-- --json]`
+//! Run: `cargo run --release -p lq-bench --bin serving_runtime \
+//!   [-- --json] [-- --trace trace.json]`
 //!
 //! `--json` enables telemetry (batch-size / decode-step / request
 //! latency histograms, KV gauges, pool counters) and writes
-//! `BENCH_serving_runtime.json` on exit.
+//! `BENCH_serving_runtime.json` on exit. `--trace <path>` enables
+//! causal event tracing and writes a Perfetto-loadable Chrome trace
+//! of the whole sweep on exit.
 
 use lq_bench::{fmt_time, print_header, print_row};
 use lq_core::{KernelKind, LiquidGemm};
@@ -51,6 +54,9 @@ fn serve(pool: &Arc<LiquidGemm>, spec: ModelSpec, max_batch: usize) -> RunStats 
 
 fn main() {
     let _json = lq_bench::json_dump("serving_runtime");
+    // `--trace <path>`: record every pool/serving event of the sweep
+    // and write a Perfetto-loadable Chrome trace on exit.
+    let _trace = lq_bench::trace_dump();
     let spec = ModelSpec::tiny();
     let pool = Arc::new(
         LiquidGemm::builder()

@@ -26,7 +26,10 @@
 //!
 //! Binaries accept `--json`: it enables [`lq_telemetry`] for the run
 //! and dumps the global registry as `BENCH_<name>.json` on exit (see
-//! [`json_dump`]).
+//! [`json_dump`]). The pool and serving harnesses additionally accept
+//! `--trace <path>`: it enables [`lq_trace`] and writes a
+//! Perfetto-loadable Chrome trace-event JSON on exit (see
+//! [`trace_dump`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -121,6 +124,80 @@ impl Drop for JsonDumpGuard {
                 Ok(()) => eprintln!("telemetry snapshot written to {path}"),
                 Err(e) => eprintln!("failed to write {path}: {e}"),
             }
+        }
+    }
+}
+
+/// Handle the shared `--trace <path>` flag: when present in `argv`,
+/// causal event tracing ([`lq_trace`]) is enabled for the whole run and
+/// the returned guard drains the global tracer when dropped, exports a
+/// Chrome trace-event JSON document, self-validates it, and writes it
+/// to `<path>` (open at <https://ui.perfetto.dev>). Without the flag
+/// this is inert: every record site stays on its one-relaxed-load noop
+/// branch, so timings are unperturbed.
+#[must_use]
+pub fn trace_dump() -> TraceDumpGuard {
+    let mut args = std::env::args();
+    let mut path = None;
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            path = args.next();
+        }
+    }
+    if path.is_some() {
+        lq_trace::enable();
+    }
+    TraceDumpGuard { path }
+}
+
+/// Guard from [`trace_dump`]; exports and writes on drop, or earlier
+/// (with the events handed back) via [`TraceDumpGuard::flush`].
+pub struct TraceDumpGuard {
+    path: Option<String>,
+}
+
+impl TraceDumpGuard {
+    /// Was `--trace <path>` given?
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Drain the tracer now, validate + write the Chrome JSON export,
+    /// and return the drained events so callers can gate on them (the
+    /// `--smoke` per-worker coverage check). Idempotent — the drop path
+    /// becomes a no-op afterwards.
+    ///
+    /// # Panics
+    /// If the export fails its own JSON validation or the file cannot
+    /// be written: a trace the viewer cannot load must fail loudly.
+    pub fn flush(&mut self) -> Vec<lq_trace::Event> {
+        let Some(path) = self.path.take() else {
+            return Vec::new();
+        };
+        let events = lq_trace::take_events();
+        let json = lq_trace::chrome::export(&events);
+        lq_trace::json::validate(&json)
+            .unwrap_or_else(|e| panic!("chrome trace export is invalid JSON: {e}"));
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        let dropped = lq_trace::dropped_total();
+        eprintln!(
+            "chrome trace ({} events{}) written to {path} — open at https://ui.perfetto.dev",
+            events.len(),
+            if dropped == 0 {
+                String::new()
+            } else {
+                format!(", {dropped} dropped at the rings")
+            },
+        );
+        events
+    }
+}
+
+impl Drop for TraceDumpGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            let _ = self.flush();
         }
     }
 }

@@ -210,6 +210,20 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
+    /// Count one fired fault and put it on the trace timeline
+    /// (`FaultFired`, `a` = site index as laid out in [`FaultStats`],
+    /// `b` = the scheduled event index that fired) so injected faults
+    /// line up against the pool/serving events they perturb.
+    fn fire(&self, site: usize, scheduled: u64) {
+        self.fired[site].fetch_add(1, Ordering::Relaxed);
+        lq_trace::record(
+            lq_trace::EventKind::FaultFired,
+            lq_trace::Track::Control,
+            site as u64,
+            scheduled,
+        );
+    }
+
     /// Build the runtime for `plan`.
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
@@ -250,11 +264,11 @@ impl FaultInjector {
         }
         let i = self.worker_ctr.fetch_add(1, Ordering::Relaxed);
         if self.worker_panics.contains(&i) {
-            self.fired[0].fetch_add(1, Ordering::Relaxed);
+            self.fire(0, i);
             return FaultAction::Panic;
         }
         if let Some(&us) = self.worker_stalls.get(&i) {
-            self.fired[1].fetch_add(1, Ordering::Relaxed);
+            self.fire(1, i);
             return FaultAction::Stall(Duration::from_micros(us));
         }
         FaultAction::None
@@ -266,7 +280,7 @@ impl FaultInjector {
     pub fn on_submit(&self) -> Option<Duration> {
         let i = self.submit_ctr.fetch_add(1, Ordering::Relaxed);
         self.submit_stalls.get(&i).map(|&us| {
-            self.fired[2].fetch_add(1, Ordering::Relaxed);
+            self.fire(2, i);
             Duration::from_micros(us)
         })
     }
@@ -278,7 +292,7 @@ impl FaultInjector {
         let i = self.kv_ctr.fetch_add(1, Ordering::Relaxed);
         let deny = self.kv_denials.contains(&i);
         if deny {
-            self.fired[3].fetch_add(1, Ordering::Relaxed);
+            self.fire(3, i);
         }
         deny
     }
@@ -291,7 +305,7 @@ impl FaultInjector {
         let i = self.engine_ctr.fetch_add(1, Ordering::Relaxed);
         let boom = self.engine_panics.contains(&i);
         if boom {
-            self.fired[4].fetch_add(1, Ordering::Relaxed);
+            self.fire(4, i);
         }
         boom
     }

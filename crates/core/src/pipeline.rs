@@ -502,10 +502,20 @@ pub fn w4a8_flat_parallel(
     for t in 0..tasks {
         let j0 = t * task_rows;
         let j1 = (j0 + task_rows).min(n);
+        let load_t0 = lq_trace::enabled().then(std::time::Instant::now);
         let words = {
             let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
             w.rows_words(j0, j1).to_vec()
         };
+        if let Some(t0) = load_t0 {
+            lq_trace::span(
+                lq_trace::EventKind::StageLoad,
+                lq_trace::Track::Control,
+                j0 as u64,
+                0,
+                t0,
+            );
+        }
         pool.submit(Job::Compute {
             ctx: Arc::clone(&ctx),
             j0,
@@ -556,10 +566,20 @@ pub fn w4a8_imfp(
         let j1 = (j0 + task_rows).min(n);
         let stall = metrics.as_ref().map(|mx| &mx.stall_load);
         let mut buf = recv_counting(&free_rx, stall).expect("free ring closed");
+        let load_t0 = lq_trace::enabled().then(std::time::Instant::now);
         {
             let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
             buf.clear();
             buf.extend_from_slice(w.rows_words(j0, j1));
+        }
+        if let Some(t0) = load_t0 {
+            lq_trace::span(
+                lq_trace::EventKind::StageLoad,
+                lq_trace::Track::Control,
+                j0 as u64,
+                0,
+                t0,
+            );
         }
         pool.submit(Job::Compute {
             ctx: Arc::clone(&ctx),
@@ -611,10 +631,20 @@ pub fn w4a8_excp(
         let j1 = (j0 + task_rows).min(n);
         let stall = metrics.as_ref().map(|mx| &mx.stall_load);
         let mut buf = recv_counting(&free_rx, stall).expect("free ring closed");
+        let load_t0 = lq_trace::enabled().then(std::time::Instant::now);
         {
             let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
             buf.clear();
             buf.extend_from_slice(w.rows_words(j0, j1));
+        }
+        if let Some(t0) = load_t0 {
+            lq_trace::span(
+                lq_trace::EventKind::StageLoad,
+                lq_trace::Track::Control,
+                j0 as u64,
+                0,
+                t0,
+            );
         }
         pool.submit(Job::Dequant {
             ctx: Arc::clone(&ctx),

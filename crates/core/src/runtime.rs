@@ -192,16 +192,51 @@ impl Job {
 /// instead of looping forever.
 const MAX_JOB_RETRIES: u8 = 3;
 
-/// A queued job plus its retry count. Fresh submissions and worker
-/// self-forwards start at 0; each panic-requeue increments it.
+/// A queued job plus its retry count and trace identity. Fresh
+/// submissions and worker self-forwards start at 0 attempts; each
+/// panic-requeue increments it. `id`/`corr` are 0 unless tracing was
+/// enabled at enqueue time; both survive retries, so a retried job's
+/// whole history shares one timeline in the trace.
 pub(crate) struct Tracked {
     job: Job,
     attempts: u8,
+    /// Process-unique trace job ID (0 = untraced).
+    id: u64,
+    /// Causal correlation ID captured from the submitting thread's
+    /// [`lq_trace::corr_scope`] (0 = none).
+    corr: u64,
 }
 
 impl Tracked {
     fn fresh(job: Job) -> Self {
-        Self { job, attempts: 0 }
+        let (id, corr) = if lq_trace::enabled() {
+            (lq_trace::fresh_job_id(), lq_trace::current_corr())
+        } else {
+            (0, 0)
+        };
+        Self {
+            job,
+            attempts: 0,
+            id,
+            corr,
+        }
+    }
+
+    /// A worker self-forward (the ExCP Dequant→MMA hop): new job, but
+    /// the *submitting request's* correlation — the worker thread's own
+    /// scope is not the causal parent.
+    fn forward(job: Job, corr: u64) -> Self {
+        let id = if lq_trace::enabled() {
+            lq_trace::fresh_job_id()
+        } else {
+            0
+        };
+        Self {
+            job,
+            attempts: 0,
+            id,
+            corr,
+        }
     }
 }
 
@@ -318,22 +353,30 @@ impl Shared {
     /// `push_front`, so the owner — which pops from the back — runs
     /// external jobs in arrival order while its own forwards (pushed to
     /// the back) stay LIFO.
-    fn place(&self, w: usize, job: Job) {
+    fn place(&self, w: usize, t: Tracked) {
         let d = &self.locals[w];
-        d.q.lock()
-            .expect("worker deque poisoned")
-            .push_front(Tracked::fresh(job));
+        d.q.lock().expect("worker deque poisoned").push_front(t);
         d.cv.notify_one();
     }
 
     /// Push a job onto the executing worker's own deque (`push_back` —
     /// it will be popped next, cache-hot, unless a thief takes it).
-    fn push_local(&self, w: usize, job: Job) {
+    /// `corr` is the forwarding job's correlation ID (the worker
+    /// thread's own trace scope is not the causal parent).
+    fn push_local(&self, w: usize, job: Job, corr: u64) {
         self.count_unchecked();
+        let t = Tracked::forward(job, corr);
+        if t.id != 0 {
+            lq_trace::record_corr(
+                lq_trace::EventKind::JobSubmit,
+                lq_trace::Track::Worker(w as u32),
+                corr,
+                t.id,
+                w as u64,
+            );
+        }
         let d = &self.locals[w];
-        d.q.lock()
-            .expect("worker deque poisoned")
-            .push_back(Tracked::fresh(job));
+        d.q.lock().expect("worker deque poisoned").push_back(t);
         // The owner is busy executing; this wakes nobody today, but
         // keeps the invariant that every push signals its deque.
         d.cv.notify_one();
@@ -420,20 +463,31 @@ impl WorkerPool {
             }
         }
         self.shared.gate_and_count();
-        match job {
+        let t = Tracked::fresh(job);
+        match t {
             // Jobs with no tile affinity go to the global injector.
-            j @ Job::Panic { .. } => {
+            t @ Tracked {
+                job: Job::Panic { .. },
+                ..
+            } => {
                 let d = &self.shared.injector;
-                d.q.lock()
-                    .expect("pool injector poisoned")
-                    .push_back(Tracked::fresh(j));
+                d.q.lock().expect("pool injector poisoned").push_back(t);
                 for w in &self.shared.locals {
                     w.cv.notify_one();
                 }
             }
-            j => {
+            t => {
                 let w = self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.workers;
-                self.shared.place(w, j);
+                if t.id != 0 {
+                    lq_trace::record_corr(
+                        lq_trace::EventKind::JobSubmit,
+                        lq_trace::Track::Control,
+                        t.corr,
+                        t.id,
+                        w as u64,
+                    );
+                }
+                self.shared.place(w, t);
             }
         }
         if lq_telemetry::enabled() {
@@ -624,7 +678,21 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, live: &Arc<AtomicUsize>) {
                 w.steals.inc();
             }
         }
-        let Tracked { job, attempts } = tracked;
+        let Tracked {
+            job,
+            attempts,
+            id: job_id,
+            corr,
+        } = tracked;
+        if job_id != 0 {
+            lq_trace::record_corr(
+                lq_trace::EventKind::JobStart,
+                lq_trace::Track::Worker(id as u32),
+                corr,
+                job_id,
+                u64::from(stolen),
+            );
+        }
         // Retries are exempt from injection: a scheduled fault is
         // transient by definition, so the retried job runs clean and
         // recovery is as deterministic as the fault itself.
@@ -640,11 +708,22 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, live: &Arc<AtomicUsize>) {
             None => false,
         };
         let t0 = std::time::Instant::now();
-        match execute(job, shared, id, force_panic) {
+        match execute(job, shared, id, corr, force_panic) {
             JobOutcome::Done => {
                 let ns = t0.elapsed().as_nanos() as u64;
                 shared.stats[id].jobs.fetch_add(1, Ordering::Relaxed);
                 shared.stats[id].busy_ns.fetch_add(ns, Ordering::Relaxed);
+                if job_id != 0 {
+                    lq_trace::span_full(
+                        lq_trace::EventKind::JobFinish,
+                        lq_trace::Track::Worker(id as u32),
+                        corr,
+                        job_id,
+                        0,
+                        t0,
+                        0,
+                    );
+                }
                 if let Some(w) = &wm {
                     w.busy_ns.add(ns);
                     w.job_ns.record(ns);
@@ -652,7 +731,7 @@ fn worker_loop(id: usize, shared: &Arc<Shared>, live: &Arc<AtomicUsize>) {
                 }
             }
             JobOutcome::Panicked(retry) => {
-                heal(shared, live, id, retry, attempts);
+                heal(shared, live, id, retry, attempts, job_id, corr);
                 return;
             }
         }
@@ -670,8 +749,17 @@ fn heal(
     id: usize,
     retry: Option<Job>,
     attempts: u8,
+    job_id: u64,
+    corr: u64,
 ) {
     shared.stats[id].restarts.fetch_add(1, Ordering::Relaxed);
+    lq_trace::record_corr(
+        lq_trace::EventKind::WorkerQuarantine,
+        lq_trace::Track::Worker(id as u32),
+        corr,
+        job_id,
+        0,
+    );
     let fm = pool_fault_metrics();
     if let Some(m) = &fm {
         m.restarts.inc();
@@ -682,6 +770,15 @@ fn heal(
             if let Some(m) = &fm {
                 m.retries.inc();
             }
+            if job_id != 0 {
+                lq_trace::record_corr(
+                    lq_trace::EventKind::JobRetry,
+                    lq_trace::Track::Worker(id as u32),
+                    corr,
+                    job_id,
+                    u64::from(attempts) + 1,
+                );
+            }
             // Backoff before handing the job to a peer: transient
             // faults (the only kind the injector models) clear on
             // their own; deterministic bugs exhaust the budget fast.
@@ -689,12 +786,21 @@ fn heal(
             shared.requeue(Tracked {
                 job,
                 attempts: attempts + 1,
+                id: job_id,
+                corr,
             });
         } else {
             job.abandon();
         }
     }
     spawn_worker(shared, live, id);
+    lq_trace::record_corr(
+        lq_trace::EventKind::WorkerRespawn,
+        lq_trace::Track::Worker(id as u32),
+        corr,
+        0,
+        0,
+    );
 }
 
 /// What became of one job attempt. On `Panicked` the job's owned
@@ -710,8 +816,23 @@ enum JobOutcome {
 /// Run one job attempt, containing panics. `force_panic` is the fault
 /// injector's verdict for this attempt — raised *inside* the caught
 /// closure so the injected fault takes the exact path a real mid-job
-/// panic would.
-fn execute(job: Job, shared: &Shared, id: usize, force_panic: bool) -> JobOutcome {
+/// panic would. `corr` is the job's causal correlation ID (stage spans
+/// must carry the submitting request's scope, not the worker's).
+fn execute(job: Job, shared: &Shared, id: usize, corr: u64, force_panic: bool) -> JobOutcome {
+    let stage_t0 = lq_trace::enabled().then(std::time::Instant::now);
+    let stage_span = |kind: lq_trace::EventKind, j0: usize, rows: usize| {
+        if let Some(t0) = stage_t0 {
+            lq_trace::span_full(
+                kind,
+                lq_trace::Track::Worker(id as u32),
+                corr,
+                j0 as u64,
+                rows as u64,
+                t0,
+                0,
+            );
+        }
+    };
     match job {
         Job::Compute {
             ctx,
@@ -735,6 +856,7 @@ fn execute(job: Job, shared: &Shared, id: usize, force_panic: bool) -> JobOutcom
             }));
             match res {
                 Ok(out) => {
+                    stage_span(lq_trace::EventKind::StageCompute, j0, rows);
                     finish_tile(&ctx, j0, out, Some(words));
                     JobOutcome::Done
                 }
@@ -766,6 +888,7 @@ fn execute(job: Job, shared: &Shared, id: usize, force_panic: bool) -> JobOutcom
             }));
             match res {
                 Ok((tile, k, channel_scales)) => {
+                    stage_span(lq_trace::EventKind::StageDequant, j0, rows);
                     if let Some(rec) = &ctx.recycle {
                         let _ = rec.send(words);
                     }
@@ -781,6 +904,7 @@ fn execute(job: Job, shared: &Shared, id: usize, force_panic: bool) -> JobOutcom
                             tile,
                             channel_scales,
                         },
+                        corr,
                     );
                     JobOutcome::Done
                 }
@@ -815,6 +939,7 @@ fn execute(job: Job, shared: &Shared, id: usize, force_panic: bool) -> JobOutcom
             }));
             match res {
                 Ok(out) => {
+                    stage_span(lq_trace::EventKind::StageMma, j0, channel_scales.len());
                     finish_tile(&ctx, j0, out, None);
                     JobOutcome::Done
                 }

@@ -142,6 +142,12 @@ impl PromptRequest {
     }
 }
 
+/// The serving runtime's virtual clock (seconds) as trace-event
+/// virtual-timestamp nanoseconds.
+fn vns(t: f64) -> u64 {
+    (t * 1e9) as u64
+}
+
 struct Running {
     id: u64,
     admitted_at: f64,
@@ -194,8 +200,21 @@ impl ServingRuntime {
         &self.kv
     }
 
-    /// Record one completion, mirroring it into telemetry.
+    /// Record one completion, mirroring it into telemetry and onto the
+    /// request's trace track.
     fn complete(stats: &mut RunStats, metrics: &Option<SchedMetrics>, c: Completion) {
+        lq_trace::record_virtual(
+            lq_trace::EventKind::ReqComplete,
+            lq_trace::Track::Request(c.id),
+            vns(c.finished_at),
+            match c.status {
+                CompletionStatus::Finished => 0,
+                CompletionStatus::TimedOut => 1,
+                CompletionStatus::Rejected => 2,
+                CompletionStatus::Failed => 3,
+            },
+            c.generated,
+        );
         if let Some(m) = metrics {
             match c.status {
                 CompletionStatus::Finished => {
@@ -238,6 +257,13 @@ impl ServingRuntime {
             if bad_arrival || bad_deadline {
                 // Timestamps are zeroed so NaN cannot leak into
                 // latency statistics either.
+                lq_trace::record_virtual(
+                    lq_trace::EventKind::ReqIngest,
+                    lq_trace::Track::Request(req.meta.id),
+                    0,
+                    req.meta.prompt_len as u64,
+                    req.meta.output_len as u64,
+                );
                 Self::complete(
                     &mut stats,
                     &metrics,
@@ -266,6 +292,13 @@ impl ServingRuntime {
             //    full queue or an impossible reservation.
             while arrivals.last().is_some_and(|r| r.meta.arrival <= now) {
                 let req = arrivals.pop().expect("checked non-empty");
+                lq_trace::record_virtual(
+                    lq_trace::EventKind::ReqIngest,
+                    lq_trace::Track::Request(req.meta.id),
+                    vns(req.meta.arrival),
+                    req.meta.prompt_len as u64,
+                    req.meta.output_len as u64,
+                );
                 let need = req.meta.prompt_len + req.meta.output_len;
                 let impossible = self.kv.pages_for(need) > self.kv.total_pages();
                 if impossible || pending.len() >= self.cfg.max_queue {
@@ -338,7 +371,25 @@ impl ServingRuntime {
                     );
                     continue;
                 }
-                admitted.push(pending.pop_front().expect("front exists"));
+                let req = pending.pop_front().expect("front exists");
+                if lq_trace::enabled() {
+                    let t = lq_trace::Track::Request(req.meta.id);
+                    lq_trace::record_virtual(
+                        lq_trace::EventKind::ReqAdmit,
+                        t,
+                        vns(now),
+                        need as u64,
+                        0,
+                    );
+                    lq_trace::record_virtual(
+                        lq_trace::EventKind::KvReserve,
+                        t,
+                        vns(now),
+                        self.kv.pages_for(need) as u64,
+                        0,
+                    );
+                }
+                admitted.push(req);
             }
             if !admitted.is_empty() {
                 let admit_time = now;
@@ -351,11 +402,36 @@ impl ServingRuntime {
                 let mut prefilled: Vec<(PromptRequest, usize)> = Vec::with_capacity(n_admitted);
                 let mut failed: Vec<PromptRequest> = Vec::new();
                 for req in admitted {
-                    match engine.try_prefill(req.meta.id, &req.prompt) {
+                    // Scope the request ID over the engine call so every
+                    // pool job its GEMMs submit carries it; the prefill
+                    // span itself is timed per request (telemetry keeps
+                    // the cohort-level histogram below).
+                    let _corr = lq_trace::enabled().then(|| lq_trace::corr_scope(req.meta.id));
+                    let pt0 = lq_trace::enabled().then(Instant::now);
+                    let res = engine.try_prefill(req.meta.id, &req.prompt);
+                    if let Some(pt0) = pt0 {
+                        lq_trace::span_full(
+                            lq_trace::EventKind::ReqPrefill,
+                            lq_trace::Track::Request(req.meta.id),
+                            req.meta.id,
+                            0,
+                            0,
+                            pt0,
+                            vns(admit_time),
+                        );
+                    }
+                    match res {
                         Ok(tok) => prefilled.push((req, tok)),
                         Err(_) => {
                             engine.try_release(req.meta.id);
                             self.kv.free_sequence(req.meta.id).expect("was admitted");
+                            lq_trace::record_virtual(
+                                lq_trace::EventKind::KvRelease,
+                                lq_trace::Track::Request(req.meta.id),
+                                vns(now),
+                                0,
+                                0,
+                            );
                             failed.push(req);
                         }
                     }
@@ -404,6 +480,13 @@ impl ServingRuntime {
                     let r = running.swap_remove(i);
                     engine.release(r.id);
                     self.kv.free_sequence(r.id).expect("was admitted");
+                    lq_trace::record_virtual(
+                        lq_trace::EventKind::KvRelease,
+                        lq_trace::Track::Request(r.id),
+                        vns(now),
+                        0,
+                        0,
+                    );
                     Self::complete(
                         &mut stats,
                         &metrics,
@@ -429,6 +512,13 @@ impl ServingRuntime {
                     let r = running.swap_remove(i);
                     engine.release(r.id);
                     self.kv.free_sequence(r.id).expect("was admitted");
+                    lq_trace::record_virtual(
+                        lq_trace::EventKind::KvRelease,
+                        lq_trace::Track::Request(r.id),
+                        vns(now),
+                        0,
+                        0,
+                    );
                     Self::complete(
                         &mut stats,
                         &metrics,
@@ -465,10 +555,33 @@ impl ServingRuntime {
             // 3. One real decode iteration: all running sequences in a
             //    single M=batch forward pass.
             let slots: Vec<(SeqId, usize)> = running.iter().map(|r| (r.id, r.last_token)).collect();
+            // One synthetic correlation ID per batched step: the GEMM
+            // jobs of this forward pass belong to every request in the
+            // batch, so they carry the step ID and each request's
+            // `ReqDecodeIter` span repeats it as the join key.
+            let step_corr = if lq_trace::enabled() {
+                lq_trace::fresh_batch_corr()
+            } else {
+                0
+            };
+            let _corr = (step_corr != 0).then(|| lq_trace::corr_scope(step_corr));
             let t0 = Instant::now();
             let res = engine.try_decode_batch(&slots);
             let dt = t0.elapsed().as_secs_f64();
             now += dt;
+            if step_corr != 0 {
+                for &(id, _) in &slots {
+                    lq_trace::span_full(
+                        lq_trace::EventKind::ReqDecodeIter,
+                        lq_trace::Track::Request(id),
+                        step_corr,
+                        step_corr,
+                        slots.len() as u64,
+                        t0,
+                        vns(now),
+                    );
+                }
+            }
             match res {
                 Ok(next) => {
                     assert_eq!(next.len(), slots.len(), "engine returned wrong batch");
@@ -491,6 +604,13 @@ impl ServingRuntime {
                     for r in running.drain(..) {
                         engine.try_release(r.id);
                         self.kv.free_sequence(r.id).expect("was admitted");
+                        lq_trace::record_virtual(
+                            lq_trace::EventKind::KvRelease,
+                            lq_trace::Track::Request(r.id),
+                            vns(now),
+                            0,
+                            0,
+                        );
                         Self::complete(
                             &mut stats,
                             &metrics,
@@ -511,6 +631,14 @@ impl ServingRuntime {
         if let Some(m) = &metrics {
             m.tokens_per_s.set(stats.throughput());
             m.queue_len.set(0.0);
+            // Conservative admission reserves prompt+output up front,
+            // so nothing in this loop can preempt; the exported
+            // `lq_serving_preemptions_total` counter must still read 0.
+            assert_eq!(
+                m.preemptions.get(),
+                0,
+                "conservative admission must never preempt"
+            );
         }
         assert!(self.kv.check_invariants(), "page conservation violated");
         assert_eq!(

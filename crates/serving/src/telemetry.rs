@@ -40,7 +40,12 @@ pub(crate) struct SchedMetrics {
     pub prefill_ns: Arc<Histogram>,
     pub admitted: Arc<Counter>,
     pub blocked: Arc<Counter>,
-    #[allow(dead_code)] // registered (and asserted 0) but never incremented
+    /// Always 0 by design: conservative admission reserves the full
+    /// `prompt + output` KV budget up front, so no admitted request is
+    /// ever preempted. The counter stays exported (dashboards alert on
+    /// any nonzero value) and the runtime *reads* it at end of run to
+    /// assert the invariant — see `ServingRuntime::run` and the
+    /// `preemptions_stay_zero_through_stress_run` stress test.
     pub preemptions: Arc<Counter>,
     pub completed: Arc<Counter>,
     pub timed_out: Arc<Counter>,

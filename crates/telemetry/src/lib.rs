@@ -142,6 +142,35 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_quantile_lines_exact_format() {
+        // Pin the quantile-line text byte-for-byte: dashboards scrape
+        // it, so format drift is a breaking change. Samples [1,2,3,
+        // 1000] in log₂ buckets: rank ⌈0.5·4⌉=2 lands in bucket (1,3]
+        // (upper edge 3); ranks ⌈0.95·4⌉=⌈0.99·4⌉=4 land in (511,1023]
+        // and clamp to the observed max 1000.
+        enable();
+        let reg = Registry::new();
+        let h = reg.histogram("t_q_ns");
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("t_q_ns{quantile=\"0.5\"} 3\n"), "{prom}");
+        assert!(prom.contains("t_q_ns{quantile=\"0.95\"} 1000\n"), "{prom}");
+        assert!(prom.contains("t_q_ns{quantile=\"0.99\"} 1000\n"), "{prom}");
+        // Quantile lines come after _count and compose with existing
+        // labels (sorted labels first, quantile appended last).
+        let lr = Registry::new();
+        lr.histogram_with("t_ql_ns", &[("role", "mma")]).record(7);
+        let lp = lr.to_prometheus();
+        let tail = "t_ql_ns_count{role=\"mma\"} 1\n\
+                    t_ql_ns{role=\"mma\",quantile=\"0.5\"} 7\n\
+                    t_ql_ns{role=\"mma\",quantile=\"0.95\"} 7\n\
+                    t_ql_ns{role=\"mma\",quantile=\"0.99\"} 7\n";
+        assert!(lp.ends_with(tail), "{lp}");
+    }
+
+    #[test]
     fn labeled_handles_are_shared() {
         let reg = Registry::new();
         let a = reg.counter_with("t_shared_total", &[("a", "1"), ("b", "2")]);

@@ -191,6 +191,18 @@ impl Registry {
                 labels: key.labels.clone(),
             };
             let _ = writeln!(out, "{} {}", count_key.full(), snap.count);
+            // Summary-style quantile lines so dashboards get p50/p95/p99
+            // without PromQL bucket math (log₂ edges make
+            // histogram_quantile coarse anyway). Values are the upper
+            // edge of the holding bucket, like `snapshot().quantile`.
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    key.with_extra_label("quantile", label),
+                    snap.quantile(q)
+                );
+            }
         }
         out
     }

@@ -31,6 +31,10 @@
 //!   [`chaos::FaultPlan`] schedules worker panics, stalls, denied KV
 //!   allocations, and engine panics by event index, so any failing run
 //!   replays bit-identically from its seed (see DESIGN.md § 9).
+//! * [`trace`] — causal event tracing: runtime-gated per-thread ring
+//!   buffers of pool/pipeline/serving/fault events correlated by
+//!   request and job IDs, a Chrome trace-event (Perfetto) exporter,
+//!   and a critical-path analyzer (see DESIGN.md § 10).
 //!
 //! ## Quickstart
 //!
@@ -71,6 +75,7 @@ pub use lq_serving as serving;
 pub use lq_sim as sim;
 pub use lq_swar as swar;
 pub use lq_telemetry as telemetry;
+pub use lq_trace as trace;
 
 /// The handle-based API in one import: `use liquidgemm::prelude::*;`.
 ///

@@ -134,6 +134,35 @@ fn stress_no_kv_leaks_after_drain() {
 }
 
 #[test]
+fn preemptions_stay_zero_through_stress_run() {
+    // `lq_serving_preemptions_total` is exported as a standing
+    // invariant, not an event count: conservative admission reserves
+    // the full prompt+output KV budget up front, so the scheduler can
+    // never preempt. Drive the full stress workload (timeouts,
+    // rejections, KV pressure) with telemetry ON and assert the
+    // counter still reads 0 — if any future scheduling change starts
+    // preempting, this is the test that goes red.
+    liquidgemm::telemetry::enable();
+    let spec = ModelSpec::tiny();
+    let pool = Arc::new(LiquidGemm::builder().workers(2).build().unwrap());
+    let mut model = TinyLlm::synthetic_with_engine(spec, 1024, KernelKind::ImFp, pool);
+    let mut rng = Rng::new(0xC0FFEE);
+    let requests = workload(&mut rng, &spec, 120);
+    let cfg = SchedulerConfig::builder()
+        .max_batch(6)
+        .page_tokens(16)
+        .max_queue(MAX_QUEUE)
+        .build()
+        .unwrap();
+    let stats = ServingRuntime::new(cfg, 1024).run(&mut model, requests);
+    assert!(stats.finished() > 0 && stats.timed_out() > 0 && stats.rejected() > 0);
+    let preempted = liquidgemm::telemetry::registry()
+        .counter("lq_serving_preemptions_total")
+        .get();
+    assert_eq!(preempted, 0, "conservative admission must never preempt");
+}
+
+#[test]
 fn stress_timeouts_and_rejections_actually_occur() {
     // The workload must genuinely exercise all three exit paths, or
     // the leak assertions above prove nothing about eviction/rejection.
