@@ -8,14 +8,16 @@
 //!
 //! Plain main (no criterion: the sandbox is offline); `--json` dumps
 //! the telemetry registry to `BENCH_gemm_kernels.json`. `--smoke` runs
-//! only the balance audit on tiny shapes and exits non-zero if the
-//! busy-ns max/min ratio across workers exceeds [`BALANCE_GATE`] — the
-//! release-mode CI gate for scheduler fairness regressions — or if a
-//! fault-free run records any job retry (retries may only come from
-//! the self-healing path, so a nonzero count here means a worker
-//! panicked spontaneously). With `--trace <path>` the smoke run also
-//! records scheduler events, writes a validated Chrome trace, and
-//! fails unless every worker traced at least one `job_start`.
+//! the balance audit on tiny shapes once per registered dequant
+//! backend (each on a fresh 4-worker pool) and exits non-zero if any
+//! backend's busy-ns max/min ratio exceeds [`BALANCE_GATE`] — the
+//! release-mode CI gate for scheduler fairness regressions — if any
+//! worker ran zero jobs, or if a fault-free run records any job retry
+//! (retries may only come from the self-healing path, so a nonzero
+//! count here means a worker panicked spontaneously). With
+//! `--trace <path>` the smoke run also records scheduler events,
+//! writes a validated Chrome trace, and fails unless every worker
+//! traced at least one `job_start`.
 
 use std::hint::black_box;
 
@@ -25,9 +27,10 @@ use lq_core::packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
 use lq_core::serial::{
-    fp16_serial, fp8_serial, w4a16_serial, w4a8_lqq_serial, w4a8_qoq_serial, w8a8_serial,
+    fp16_serial, fp8_serial, w4a16_serial, w4a8_lqq_serial, w4a8_qoq_serial, w4a8_serial,
+    w8a8_serial,
 };
-use lq_core::{KernelKind, LiquidGemm};
+use lq_core::{registry, KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 
@@ -44,7 +47,7 @@ const BALANCE_GATE: f64 = 2.0;
 /// so the persistent pool must win by a wide margin; by M = 64 the
 /// compute amortises the overhead and the gap narrows.
 fn pool_amortisation(lqq: &PackedLqqLinear) {
-    let weights = W4A8Weights::Lqq(lqq.clone());
+    let weights = W4A8Weights::lqq(lqq.clone());
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
     // The legacy per-call path spawned `ParallelConfig::default().workers`
     // scoped threads on every GEMM, independent of machine size; the
@@ -113,7 +116,8 @@ fn pool_balance(
     m: usize,
     task_rows: usize,
     calls: usize,
-) -> (f64, u64) {
+) -> (f64, u64, u64) {
+    let backend = weights.backend().label();
     let lg = LiquidGemm::builder()
         .workers(4)
         .task_rows(task_rows)
@@ -125,7 +129,10 @@ fn pool_balance(
         black_box(lg.gemm(&qa.q, &qa.scales, weights, KernelKind::ImFp));
     }
     let stats = lg.pool().worker_stats();
-    println!("\npool_balance (M={m} K={k}, task_rows={task_rows}, {calls} ImFP calls, 4 workers)");
+    println!(
+        "\npool_balance (backend={backend}, M={m} K={k}, task_rows={task_rows}, \
+         {calls} ImFP calls, 4 workers)"
+    );
     print_header(&[
         ("worker", 6),
         ("jobs", 8),
@@ -148,11 +155,12 @@ fn pool_balance(
     let min = stats.iter().map(|s| s.busy_ns).min().unwrap_or(0).max(1);
     let ratio = max as f64 / min as f64;
     let retries: u64 = stats.iter().map(|s| s.retries).sum();
+    let min_jobs = stats.iter().map(|s| s.jobs).min().unwrap_or(0);
     println!("busy-ns max/min ratio: {ratio:.2} (gate: {BALANCE_GATE:.1}), retries: {retries}");
     lq_telemetry::registry()
-        .gauge("lq_pool_busy_balance_ratio")
+        .gauge_with("lq_pool_busy_balance_ratio", &[("backend", backend)])
         .set(ratio);
-    (ratio, retries)
+    (ratio, retries, min_jobs)
 }
 
 fn main() {
@@ -160,17 +168,30 @@ fn main() {
     let mut trace = lq_bench::trace_dump();
     if std::env::args().any(|a| a == "--smoke") {
         // CI smoke gate: tiny shapes so the whole run is sub-second in
-        // release mode, but enough calls that every worker sees work.
+        // release mode, but enough calls that every worker sees work —
+        // once per registered dequant backend, each on a fresh pool.
         let w = Mat::from_fn(128, 256, |r, c| ((r * 256 + c) as f32 * 0.11).sin());
-        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-        let (ratio, retries) = pool_balance(&weights, 256, 8, 2, 64);
-        if ratio > BALANCE_GATE {
-            eprintln!("FAIL: busy-ns max/min ratio {ratio:.2} exceeds gate {BALANCE_GATE:.1}");
-            std::process::exit(1);
-        }
-        if retries != 0 {
-            eprintln!("FAIL: {retries} job retries on a fault-free run (spontaneous worker panic)");
-            std::process::exit(1);
+        for backend in registry() {
+            let id = backend.id();
+            let weights = W4A8Weights::quantize(&w, 64, id);
+            let (ratio, retries, min_jobs) = pool_balance(&weights, 256, 8, 2, 64);
+            if ratio > BALANCE_GATE {
+                eprintln!(
+                    "FAIL[{id}]: busy-ns max/min ratio {ratio:.2} exceeds gate {BALANCE_GATE:.1}"
+                );
+                std::process::exit(1);
+            }
+            if min_jobs == 0 {
+                eprintln!("FAIL[{id}]: a worker ran zero jobs in the smoke run");
+                std::process::exit(1);
+            }
+            if retries != 0 {
+                eprintln!(
+                    "FAIL[{id}]: {retries} job retries on a fault-free run \
+                     (spontaneous worker panic)"
+                );
+                std::process::exit(1);
+            }
         }
         if trace.active() {
             // Trace-smoke gate: the exported Chrome JSON must validate
@@ -231,6 +252,26 @@ fn main() {
         black_box(fp8_serial(&x, &f8));
     });
 
+    // The four registered W4A8 dequant backends on identical shapes:
+    // serial (pure dequant cost) and pooled ImFP (overlap) side by
+    // side — the CPU-real counterpart of the cost-model sweep.
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+    let lg = LiquidGemm::builder()
+        .workers(workers)
+        .task_rows(16)
+        .build()
+        .expect("valid config");
+    println!("\nbackend_sweep (N={N} K={K} M=32, serial + ImFP x {workers} workers)");
+    for backend in registry() {
+        let weights = W4A8Weights::quantize(&w, 64, backend.id());
+        bench_case(&format!("w4a8[{}]_serial", backend.id()), 10, || {
+            black_box(w4a8_serial(&qa.q, &qa.scales, weights.as_dyn()));
+        });
+        bench_case(&format!("w4a8[{}]_imfp", backend.id()), 10, || {
+            black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp));
+        });
+    }
+
     pool_amortisation(&lqq);
-    let _ = pool_balance(&W4A8Weights::Lqq(lqq), K, 64, 16, 24);
+    let _ = pool_balance(&W4A8Weights::lqq(lqq), K, 64, 16, 24);
 }

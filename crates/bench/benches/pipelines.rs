@@ -35,7 +35,7 @@ fn main() {
         .stages(2 * workers)
         .build()
         .expect("valid config");
-    let weights = W4A8Weights::Lqq(lqq.clone());
+    let weights = W4A8Weights::lqq(lqq.clone());
 
     println!("pipeline_m64 (N={N} K={K} workers={workers})");
     bench_case("serial", 10, || {

@@ -40,7 +40,7 @@ fn main() {
         .stages(2 * workers)
         .build()
         .expect("valid config");
-    let weights = W4A8Weights::Lqq(lqq.clone());
+    let weights = W4A8Weights::lqq(lqq.clone());
 
     println!("== CPU kernel wall-clock, {n}x{k} weights, {workers} workers ==\n");
     print_header(&[

@@ -1,16 +1,22 @@
 //! Shared argument types of the kernel API.
 //!
 //! The front door is the handle-based [`crate::LiquidGemm`] API
-//! (`LiquidGemm::builder().workers(n).build()?` →
+//! (`LiquidGemm::builder().workers(n).backend(id).build()?` →
 //! `lg.gemm(&x, &scales, &weights, kind)`), which owns a persistent
 //! worker pool. This module holds the types every call site shares:
 //! the [`KernelKind`] pipeline selector, the [`W4A8Weights`]
-//! scheme-tagged weight container, and the [`GemmOutput`] result.
+//! backend-agnostic weight handle, and the [`GemmOutput`] result.
 
+use std::fmt;
+use std::sync::Arc;
+
+use lq_quant::backend::{resolve, BackendId, PackedWeights};
 use lq_quant::mat::Mat;
 
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
-pub use crate::pipeline::{Dequant, PackedW4A8, ParallelConfig};
+pub use crate::pipeline::ParallelConfig;
+#[allow(deprecated)]
+pub use crate::pipeline::{Dequant, PackedW4A8};
 
 /// Pipeline strategy for the W4A8 kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,50 +32,96 @@ pub enum KernelKind {
     ImFp,
 }
 
-/// W4A8 weights in either second-level scheme.
-#[derive(Debug, Clone)]
-pub enum W4A8Weights {
-    /// LiquidQuant weights.
-    Lqq(PackedLqqLinear),
-    /// QServe/QoQ weights.
-    Qoq(PackedQoqLinear),
+/// W4A8 weights packed by any registered [`lq_quant::KernelBackend`].
+///
+/// A cheap-to-clone handle (`Arc` inside) over the backend-specific
+/// packed representation. Construct with [`W4A8Weights::quantize`] (or
+/// through [`crate::LiquidGemm::pack_weights`], which uses the
+/// handle's configured backend), or wrap an already-packed linear with
+/// [`W4A8Weights::lqq`] / [`W4A8Weights::qoq`] / [`W4A8Weights::from_arc`].
+#[derive(Clone)]
+pub struct W4A8Weights {
+    packed: Arc<dyn PackedWeights>,
 }
 
 impl W4A8Weights {
+    /// Quantize and pack FP32 weights with the backend registered for
+    /// `id` (group size `group` along K).
+    #[must_use]
+    pub fn quantize(w: &Mat<f32>, group: usize, id: BackendId) -> Self {
+        Self {
+            packed: resolve(id).pack(w, group),
+        }
+    }
+
+    /// Wrap already-packed LiquidQuant weights.
+    #[must_use]
+    pub fn lqq(w: PackedLqqLinear) -> Self {
+        Self {
+            packed: Arc::new(w),
+        }
+    }
+
+    /// Wrap already-packed QServe/QoQ weights.
+    #[must_use]
+    pub fn qoq(w: PackedQoqLinear) -> Self {
+        Self {
+            packed: Arc::new(w),
+        }
+    }
+
+    /// Wrap any packed representation (e.g. straight from
+    /// [`lq_quant::KernelBackend::pack`]).
+    #[must_use]
+    pub fn from_arc(packed: Arc<dyn PackedWeights>) -> Self {
+        Self { packed }
+    }
+
+    /// Which backend packed these weights.
+    #[must_use]
+    pub fn backend(&self) -> BackendId {
+        self.packed.backend()
+    }
+
     /// Output channels.
     #[must_use]
     pub fn n(&self) -> usize {
-        match self {
-            W4A8Weights::Lqq(w) => w.n,
-            W4A8Weights::Qoq(w) => w.n,
-        }
+        self.packed.n()
     }
 
     /// Reduction dim.
     #[must_use]
     pub fn k(&self) -> usize {
-        match self {
-            W4A8Weights::Lqq(w) => w.k,
-            W4A8Weights::Qoq(w) => w.k,
-        }
+        self.packed.k()
     }
 
-    /// The dequantization algorithm these weights require.
+    /// Quantization group size along K.
     #[must_use]
-    pub fn dequant(&self) -> Dequant {
-        match self {
-            W4A8Weights::Lqq(_) => Dequant::Lqq,
-            W4A8Weights::Qoq(_) => Dequant::Qoq,
-        }
+    pub fn group(&self) -> usize {
+        self.packed.group()
     }
 
-    /// Borrow as the scheme-tagged reference the pipeline kernels take.
+    /// Packed-weight memory footprint in bytes.
     #[must_use]
-    pub fn packed(&self) -> PackedW4A8<'_> {
-        match self {
-            W4A8Weights::Lqq(w) => PackedW4A8::Lqq(w),
-            W4A8Weights::Qoq(w) => PackedW4A8::Qoq(w),
-        }
+    pub fn weight_bytes(&self) -> usize {
+        self.packed.weight_bytes()
+    }
+
+    /// The trait-object view the kernels consume.
+    #[must_use]
+    pub fn as_dyn(&self) -> &dyn PackedWeights {
+        self.packed.as_ref()
+    }
+}
+
+impl fmt::Debug for W4A8Weights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("W4A8Weights")
+            .field("backend", &self.packed.backend())
+            .field("n", &self.packed.n())
+            .field("k", &self.packed.k())
+            .field("group", &self.packed.group())
+            .finish()
     }
 }
 
@@ -93,10 +145,10 @@ mod tests {
         let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.19).sin());
         let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.03).cos());
         let qa = QuantizedActivations::quantize(&xf, None);
-        let w = W4A8Weights::Lqq(PackedLqqLinear::quantize(&wf, 64));
+        let w = W4A8Weights::lqq(PackedLqqLinear::quantize(&wf, 64));
         assert_eq!(w.n(), n);
         assert_eq!(w.k(), k);
-        assert_eq!(w.dequant(), Dequant::Lqq);
+        assert_eq!(w.backend(), BackendId::Lqq);
         let lg = LiquidGemm::builder()
             .workers(3)
             .task_rows(5)
@@ -107,6 +159,21 @@ mod tests {
         for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
             let y = lg.gemm(&qa.q, &qa.scales, &w, kind).y;
             assert_eq!(max_abs_diff(&y, &base), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn quantize_routes_through_the_registry() {
+        let wf = Mat::from_fn(8, 128, |r, c| ((r * 128 + c) as f32 * 0.03).cos());
+        for id in BackendId::all() {
+            let w = W4A8Weights::quantize(&wf, 64, id);
+            assert_eq!(w.backend(), id);
+            assert_eq!((w.n(), w.k(), w.group()), (8, 128, 64));
+            assert!(w.weight_bytes() > 0);
+            // Clones share the packed representation.
+            let c = w.clone();
+            assert_eq!(c.backend(), id);
+            assert!(format!("{w:?}").contains("W4A8Weights"));
         }
     }
 }

@@ -32,7 +32,7 @@ mod tests {
     #[test]
     fn fused_equals_manual_two_step() {
         let (x, w) = fixture(6, 24, 128);
-        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+        let weights = W4A8Weights::lqq(PackedLqqLinear::quantize(&w, 64));
         let lg = handle();
         let fused = lg.gemm_f32(&x, &weights, None, KernelKind::Serial);
         let qa = QuantizedActivations::quantize(&x, None);
@@ -43,7 +43,7 @@ mod tests {
     #[test]
     fn fused_output_tracks_fp32() {
         let (x, w) = fixture(8, 32, 256);
-        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+        let weights = W4A8Weights::lqq(PackedLqqLinear::quantize(&w, 64));
         let y = handle().gemm_f32(&x, &weights, None, KernelKind::Serial).y;
         let e = error_stats(&gemm_f32_ref(&x, &w), &y);
         assert!(e.sqnr_db > 25.0, "sqnr {}", e.sqnr_db);
@@ -60,7 +60,7 @@ mod tests {
         }
         let cal = calibrate(&x, &w, 7);
         let w_s = smooth_weights(&w, &cal.scales);
-        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w_s, 64));
+        let weights = W4A8Weights::lqq(PackedLqqLinear::quantize(&w_s, 64));
         let y = handle()
             .gemm_f32(&x, &weights, Some(&cal.scales), KernelKind::Serial)
             .y;
@@ -73,7 +73,7 @@ mod tests {
     fn k_mismatch_panics() {
         let (x, _) = fixture(2, 4, 64);
         let w = Mat::from_fn(4, 128, |_, _| 0.1);
-        let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+        let weights = W4A8Weights::lqq(PackedLqqLinear::quantize(&w, 64));
         let _ = handle().gemm_f32(&x, &weights, None, KernelKind::Serial);
     }
 }

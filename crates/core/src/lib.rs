@@ -15,7 +15,11 @@
 //!
 //! Module map:
 //! * [`packed`] — kernel-ready weight containers for every precision the
-//!   paper benchmarks (W4A8-LQQ, W4A8-QoQ, W8A8, W4A16, FP16, FP8).
+//!   paper benchmarks (W4A8-LQQ, W4A8-QoQ, W8A8, W4A16, FP16, FP8),
+//!   plus re-exports of the four registered W4A8 backends' containers
+//!   (LQQ, QoQ, LUT, codebook — see [`lq_quant::backend`]). Every W4A8
+//!   kernel entry point takes `&dyn` [`PackedWeights`], so any registry
+//!   backend runs on any pipeline.
 //! * [`microkernel`] — the raw (uncounted) SWAR dequant paths and the
 //!   integer/float dot-product kernels.
 //! * [`reference`] — naive GEMM oracles used by every test.
@@ -65,8 +69,14 @@ pub mod tiled;
 
 pub use api::{GemmOutput, KernelKind, ParallelConfig, W4A8Weights};
 pub use lq_chaos::{FaultAction, FaultInjector, FaultPlan, FaultStats};
-pub use packed::{
-    Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
+pub use lq_quant::backend::{
+    registry, resolve, BackendCost, BackendId, KernelBackend, PackedWeights, TileDequant,
 };
-pub use pipeline::{ConfigError, Dequant, PackedW4A8, ParallelConfigBuilder};
+pub use packed::{
+    Fp16Linear, Fp8Linear, PackedCodebookLinear, PackedLqqLinear, PackedLutLinear, PackedQoqLinear,
+    W4A16Linear, W8A8Linear,
+};
+pub use pipeline::{ConfigError, ParallelConfigBuilder};
+#[allow(deprecated)]
+pub use pipeline::{Dequant, PackedW4A8};
 pub use runtime::{LiquidGemm, LiquidGemmBuilder, WorkerPool, WorkerStats};

@@ -20,94 +20,15 @@
 //! implementations and with `reference.rs` is asserted by tests here
 //! and property tests in `tests/`.
 
-use lq_quant::lqq::LqqGroup;
 use lq_quant::mat::Mat;
-use lq_quant::qoq::QoqGroup;
 
-/// Lane mask selecting the low nibble of every byte.
-const NIB: u32 = 0x0F0F_0F0F;
-/// MSB-of-every-byte mask (the LQQ XOR constant).
-const MSB: u32 = 0x8080_8080;
-/// Low-7-bits-of-every-byte mask (carryless subtract).
-const LO7: u32 = 0x7F7F_7F7F;
-
-/// LQQ fast dequantization of one packed word (8 elements):
-/// unpack + `IMAD` + `XOR`. Returns `(lo, hi)` registers whose bytes are
-/// the INT8 bit patterns of elements `0..4` and `4..8` in consumption
-/// order (the pack step pre-interleaved them).
-#[inline(always)]
-#[must_use]
-pub fn dequant8_lqq_raw(word: u32, s: u32, a_packed: u32) -> (u32, u32) {
-    let lo = ((word & NIB).wrapping_mul(s).wrapping_add(a_packed)) ^ MSB;
-    let hi = (((word >> 4) & NIB).wrapping_mul(s).wrapping_add(a_packed)) ^ MSB;
-    (lo, hi)
-}
-
-/// Carryless byte-wise subtract — the sequence Hopper must emit for the
-/// missing `vsub4` (7 ALU ops; see `lq_swar::vadd::vsub4_lowered`).
-#[inline(always)]
-#[must_use]
-fn vsub4_raw(a: u32, b: u32) -> u32 {
-    let t = (a | MSB).wrapping_sub(b & LO7);
-    t ^ ((a ^ !b) & MSB)
-}
-
-/// QoQ baseline dequantization of one packed word: unpack + multiply +
-/// emulated byte-wise subtract. Same output convention as
-/// [`dequant8_lqq_raw`]; ~2.7× the instruction count.
-#[inline(always)]
-#[must_use]
-pub fn dequant8_qoq_raw(word: u32, s: u32, zs_packed: u32) -> (u32, u32) {
-    let lo = vsub4_raw((word & NIB).wrapping_mul(s), zs_packed);
-    let hi = vsub4_raw(((word >> 4) & NIB).wrapping_mul(s), zs_packed);
-    (lo, hi)
-}
-
-/// Dequantize a full LQQ group of packed words into an INT8 buffer.
-///
-/// `words` holds `group_len/8` interleave-packed words; `out` receives
-/// `group_len` INT8 values in logical order.
-#[inline]
-pub fn dequant_group_lqq(words: &[u32], params: LqqGroup, out: &mut [i8]) {
-    debug_assert_eq!(words.len() * 8, out.len());
-    let s = u32::from(params.s_u8);
-    let a = u32::from(params.offset_a()) * 0x0101_0101;
-    for (w, chunk) in words.iter().zip(out.chunks_exact_mut(8)) {
-        let (lo, hi) = dequant8_lqq_raw(*w, s, a);
-        let lo = lo.to_le_bytes();
-        let hi = hi.to_le_bytes();
-        chunk[0] = lo[0] as i8;
-        chunk[1] = lo[1] as i8;
-        chunk[2] = lo[2] as i8;
-        chunk[3] = lo[3] as i8;
-        chunk[4] = hi[0] as i8;
-        chunk[5] = hi[1] as i8;
-        chunk[6] = hi[2] as i8;
-        chunk[7] = hi[3] as i8;
-    }
-}
-
-/// Dequantize a full QoQ group of packed words into an INT8 buffer
-/// (baseline path with the emulated byte-subtract).
-#[inline]
-pub fn dequant_group_qoq(words: &[u32], params: QoqGroup, out: &mut [i8]) {
-    debug_assert_eq!(words.len() * 8, out.len());
-    let s = u32::from(params.s_u8);
-    let zs = u32::from(params.zs()) * 0x0101_0101;
-    for (w, chunk) in words.iter().zip(out.chunks_exact_mut(8)) {
-        let (lo, hi) = dequant8_qoq_raw(*w, s, zs);
-        let lo = lo.to_le_bytes();
-        let hi = hi.to_le_bytes();
-        chunk[0] = lo[0] as i8;
-        chunk[1] = lo[1] as i8;
-        chunk[2] = lo[2] as i8;
-        chunk[3] = lo[3] as i8;
-        chunk[4] = hi[0] as i8;
-        chunk[5] = hi[1] as i8;
-        chunk[6] = hi[2] as i8;
-        chunk[7] = hi[3] as i8;
-    }
-}
+// The SWAR group-dequant primitives moved to `lq_quant::dequant` with
+// the kernel-backend redesign (the algorithm is a property of the
+// packed weights now); re-exported here so kernel code and downstream
+// crates keep their import paths.
+pub use lq_quant::dequant::{
+    dequant8_lqq_raw, dequant8_qoq_raw, dequant_group_lqq, dequant_group_qoq,
+};
 
 /// INT8 dot product with i32 accumulation — the CPU stand-in for the
 /// tensor-core INT8 MMA. Written as a plain indexed loop so LLVM emits
@@ -319,85 +240,6 @@ pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lq_layout::pack::pack_interleaved8;
-    use lq_swar::audit::CountingAlu;
-
-    #[test]
-    fn raw_lqq_matches_audited_path() {
-        for seed in 0..64u32 {
-            let vals: Vec<u8> = (0..8)
-                .map(|i| ((seed.wrapping_mul(31) + i * 7) % 16) as u8)
-                .collect();
-            let p = LqqGroup {
-                s_u8: 1 + (seed % 16) as u8,
-                min_i8: -119 + (seed % 200) as i8,
-            };
-            // Skip parameter combos that violate the LQQ invariant
-            // (only reachable with adversarial params, not real quantization).
-            if vals
-                .iter()
-                .any(|&v| u16::from(v) * u16::from(p.s_u8) + u16::from(p.offset_a()) > 255)
-            {
-                continue;
-            }
-            let word = pack_interleaved8(&vals);
-            let s = u32::from(p.s_u8);
-            let a = u32::from(p.offset_a()) * 0x0101_0101;
-            let (lo, hi) = dequant8_lqq_raw(word, s, a);
-            for i in 0..4 {
-                assert_eq!(lo.to_le_bytes()[i] as i8, p.dequant_scalar(vals[i]));
-                assert_eq!(hi.to_le_bytes()[i] as i8, p.dequant_scalar(vals[4 + i]));
-            }
-        }
-    }
-
-    #[test]
-    fn raw_qoq_matches_audited_path() {
-        let mut alu = CountingAlu::new();
-        for seed in 0..64u32 {
-            let vals: Vec<u8> = (0..8)
-                .map(|i| ((seed.wrapping_mul(17) + i * 5) % 16) as u8)
-                .collect();
-            let p = QoqGroup {
-                s_u8: 1 + (seed % 16) as u8,
-                z: (seed % 16) as u8,
-            };
-            let word = pack_interleaved8(&vals);
-            let s = u32::from(p.s_u8);
-            let zs = u32::from(p.zs()) * 0x0101_0101;
-            let (lo, hi) = dequant8_qoq_raw(word, s, zs);
-            // Cross-check against the counted lowering, lane by lane.
-            let _ = &mut alu;
-            for i in 0..4 {
-                assert_eq!(lo.to_le_bytes()[i] as i8, p.dequant_scalar(vals[i]));
-                assert_eq!(hi.to_le_bytes()[i] as i8, p.dequant_scalar(vals[4 + i]));
-            }
-        }
-    }
-
-    #[test]
-    fn group_dequant_lqq_roundtrip() {
-        let group: Vec<i8> = (0..64).map(|i| ((i * 37) % 239 - 119) as i8).collect();
-        let (p, codes) = LqqGroup::quantize(&group);
-        let words: Vec<u32> = codes.chunks_exact(8).map(pack_interleaved8).collect();
-        let mut out = vec![0i8; 64];
-        dequant_group_lqq(&words, p, &mut out);
-        for (i, &c) in codes.iter().enumerate() {
-            assert_eq!(out[i], p.dequant_scalar(c), "elem {i}");
-        }
-    }
-
-    #[test]
-    fn group_dequant_qoq_roundtrip() {
-        let group: Vec<i8> = (0..64).map(|i| ((i * 53) % 239 - 119) as i8).collect();
-        let (p, codes) = QoqGroup::quantize(&group);
-        let words: Vec<u32> = codes.chunks_exact(8).map(pack_interleaved8).collect();
-        let mut out = vec![0i8; 64];
-        dequant_group_qoq(&words, p, &mut out);
-        for (i, &c) in codes.iter().enumerate() {
-            assert_eq!(out[i], p.dequant_scalar(c), "elem {i}");
-        }
-    }
 
     #[test]
     fn dot_products_match_naive() {

@@ -1,178 +1,24 @@
 //! Kernel-ready weight containers, one per precision the paper
 //! benchmarks (Figures 5, 12; Table 1).
 //!
-//! Each container stores the weights in the exact memory format its
-//! kernel streams, plus the scale metadata its epilogue needs, and
-//! reports its weight-memory footprint for the serving simulator's
-//! memory accounting.
+//! The W4A8 containers ([`PackedLqqLinear`], [`PackedQoqLinear`]) live
+//! in `lq-quant` since the kernel-backend redesign (they are part of
+//! the [`lq_quant::backend`] registry together with the LUT and
+//! codebook backends) and are re-exported here unchanged. The
+//! remaining baseline precisions keep their containers in this module:
+//! each stores the weights in the exact memory format its kernel
+//! streams, plus the scale metadata its epilogue needs, and reports
+//! its weight-memory footprint for the serving simulator's memory
+//! accounting.
 
-use lq_layout::dual_mma::DualMmaWeights;
 use lq_quant::fp16::F16;
 use lq_quant::fp8::f32_to_e4m3;
 use lq_quant::level1::quantize_per_channel_i8;
-use lq_quant::lqq::{LqqGroup, LqqTensor};
 use lq_quant::mat::Mat;
-use lq_quant::qoq::{QoqGroup, QoqTensor};
-use lq_quant::weights::{Level2, QuantScheme, QuantizedLinear};
 
-/// W4A8 weights with LiquidQuant parameters, packed in the dual-MMA
-/// layout — what the LiquidGEMM kernels consume.
-#[derive(Debug, Clone)]
-pub struct PackedLqqLinear {
-    /// Output channels.
-    pub n: usize,
-    /// Reduction dim.
-    pub k: usize,
-    /// Group size along K (multiple of 8).
-    pub group: usize,
-    /// Interleave-packed UINT4 words, dual-MMA layout.
-    pub words: DualMmaWeights,
-    /// Per-group LQQ parameters, `n × k/group` row-major.
-    pub groups: Vec<LqqGroup>,
-    /// Level-1 per-channel scales (length `n`).
-    pub channel_scales: Vec<f32>,
-}
-
-impl PackedLqqLinear {
-    /// Pack from the offline quantization result. Panics if the linear
-    /// was quantized with a different scheme.
-    #[must_use]
-    pub fn from_quantized(q: &QuantizedLinear) -> Self {
-        let Level2::Lqq(t) = &q.level2 else {
-            panic!("expected an LQQ-quantized linear");
-        };
-        Self::from_tensor(t, q.channel_scales.iter().map(|s| s.scale).collect())
-    }
-
-    /// Pack directly from an [`LqqTensor`] plus channel scales.
-    #[must_use]
-    pub fn from_tensor(t: &LqqTensor, channel_scales: Vec<f32>) -> Self {
-        assert_eq!(channel_scales.len(), t.rows());
-        assert_eq!(t.group() % 8, 0, "group size must be a multiple of 8");
-        let words = DualMmaWeights::pack(&t.values, t.rows(), t.cols());
-        Self {
-            n: t.rows(),
-            k: t.cols(),
-            group: t.group(),
-            words,
-            groups: t.groups.clone(),
-            channel_scales,
-        }
-    }
-
-    /// Quantize FP weights end-to-end (level-1 + LQQ level-2 + pack).
-    #[must_use]
-    pub fn quantize(w: &Mat<f32>, group: usize) -> Self {
-        let q = QuantizedLinear::quantize(w, group, QuantScheme::Lqq, None);
-        Self::from_quantized(&q)
-    }
-
-    /// Groups per row.
-    #[must_use]
-    pub fn groups_per_row(&self) -> usize {
-        self.k / self.group
-    }
-
-    /// Group parameters for `(row, group_index)`.
-    #[inline]
-    #[must_use]
-    pub fn group_params(&self, row: usize, g: usize) -> LqqGroup {
-        self.groups[row * self.groups_per_row() + g]
-    }
-
-    /// Packed words of group `g` of `row` (length `group/8`).
-    #[inline]
-    #[must_use]
-    pub fn group_words(&self, row: usize, g: usize) -> &[u32] {
-        self.words
-            .row_kslice(row, g * self.group, (g + 1) * self.group)
-    }
-
-    /// Weight bytes (4-bit payload + group params + channel scales) —
-    /// the serving simulator's memory model.
-    #[must_use]
-    pub fn weight_bytes(&self) -> usize {
-        self.words.packed_bytes() + self.groups.len() * 2 + self.channel_scales.len() * 4
-    }
-}
-
-/// W4A8 weights with QoQ parameters (the QServe baseline kernel's
-/// format). Same packing; different per-group metadata and dequant path.
-#[derive(Debug, Clone)]
-pub struct PackedQoqLinear {
-    /// Output channels.
-    pub n: usize,
-    /// Reduction dim.
-    pub k: usize,
-    /// Group size along K (multiple of 8).
-    pub group: usize,
-    /// Interleave-packed UINT4 words.
-    pub words: DualMmaWeights,
-    /// Per-group QoQ parameters.
-    pub groups: Vec<QoqGroup>,
-    /// Level-1 per-channel scales.
-    pub channel_scales: Vec<f32>,
-}
-
-impl PackedQoqLinear {
-    /// Pack from the offline quantization result (QoQ scheme).
-    #[must_use]
-    pub fn from_quantized(q: &QuantizedLinear) -> Self {
-        let Level2::Qoq(t) = &q.level2 else {
-            panic!("expected a QoQ-quantized linear");
-        };
-        Self::from_tensor(t, q.channel_scales.iter().map(|s| s.scale).collect())
-    }
-
-    /// Pack directly from a [`QoqTensor`] plus channel scales.
-    #[must_use]
-    pub fn from_tensor(t: &QoqTensor, channel_scales: Vec<f32>) -> Self {
-        assert_eq!(t.group() % 8, 0, "group size must be a multiple of 8");
-        let words = DualMmaWeights::pack(&t.values, t.rows(), t.cols());
-        Self {
-            n: t.rows(),
-            k: t.cols(),
-            group: t.group(),
-            words,
-            groups: t.groups.clone(),
-            channel_scales,
-        }
-    }
-
-    /// Quantize FP weights end-to-end with the QoQ scheme.
-    #[must_use]
-    pub fn quantize(w: &Mat<f32>, group: usize) -> Self {
-        let q = QuantizedLinear::quantize(w, group, QuantScheme::Qoq, None);
-        Self::from_quantized(&q)
-    }
-
-    /// Groups per row.
-    #[must_use]
-    pub fn groups_per_row(&self) -> usize {
-        self.k / self.group
-    }
-
-    /// Group parameters for `(row, group_index)`.
-    #[inline]
-    #[must_use]
-    pub fn group_params(&self, row: usize, g: usize) -> QoqGroup {
-        self.groups[row * self.groups_per_row() + g]
-    }
-
-    /// Packed words of group `g` of `row`.
-    #[inline]
-    #[must_use]
-    pub fn group_words(&self, row: usize, g: usize) -> &[u32] {
-        self.words
-            .row_kslice(row, g * self.group, (g + 1) * self.group)
-    }
-
-    /// Weight bytes.
-    #[must_use]
-    pub fn weight_bytes(&self) -> usize {
-        self.words.packed_bytes() + self.groups.len() * 2 + self.channel_scales.len() * 4
-    }
-}
+pub use lq_quant::codebook::PackedCodebookLinear;
+pub use lq_quant::lut::PackedLutLinear;
+pub use lq_quant::packed::{PackedLqqLinear, PackedQoqLinear};
 
 /// W8A8 weights: plain INT8 rows, per-channel scales, no second level.
 #[derive(Debug, Clone)]
@@ -324,21 +170,6 @@ mod tests {
     }
 
     #[test]
-    fn lqq_pack_preserves_values() {
-        let w = weights(8, 128);
-        let q = QuantizedLinear::quantize(&w, 64, QuantScheme::Lqq, None);
-        let p = PackedLqqLinear::from_quantized(&q);
-        assert_eq!((p.n, p.k, p.group), (8, 128, 64));
-        // Unpacked words must equal the tensor's values.
-        let Level2::Lqq(t) = &q.level2 else {
-            unreachable!()
-        };
-        assert_eq!(p.words.unpack_all(), t.values);
-        assert_eq!(p.groups_per_row(), 2);
-        assert_eq!(p.group_words(3, 1).len(), 8);
-    }
-
-    #[test]
     fn weight_bytes_ordering_matches_precisions() {
         let w = weights(16, 256);
         let w4 = PackedLqqLinear::quantize(&w, 64).weight_bytes();
@@ -365,13 +196,5 @@ mod tests {
                 );
             }
         }
-    }
-
-    #[test]
-    #[should_panic(expected = "expected an LQQ-quantized linear")]
-    fn wrong_scheme_panics() {
-        let w = weights(2, 64);
-        let q = QuantizedLinear::quantize(&w, 64, QuantScheme::Qoq, None);
-        let _ = PackedLqqLinear::from_quantized(&q);
     }
 }

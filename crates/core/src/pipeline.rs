@@ -56,18 +56,14 @@
 use std::fmt;
 use std::sync::Arc;
 
+use lq_quant::backend::{PackedWeights, TileDequant};
 use lq_quant::mat::Mat;
 
-use crate::microkernel::{
-    accumulate_strip, dequant_group_lqq, dequant_group_qoq, scatter_channel, APanels, NR,
-};
+use crate::microkernel::{accumulate_strip, scatter_channel, APanels, NR};
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
 use crate::runtime::{CallCtx, Job, Reply, WorkerPool};
-use crate::serial::MAX_GROUP;
 use crate::sync::{bounded, Receiver, Sender};
 use crate::telemetry::{call_span, recv_counting, PipeMetrics};
-use lq_quant::lqq::LqqGroup;
-use lq_quant::qoq::QoqGroup;
 
 /// Parallel execution parameters.
 ///
@@ -196,6 +192,10 @@ impl ParallelConfigBuilder {
 }
 
 /// Which dequantization algorithm a W4A8 kernel variant uses.
+#[deprecated(
+    since = "0.7.0",
+    note = "use lq_quant::BackendId — every registered backend is a dequant algorithm now"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dequant {
     /// LiquidQuant fast path.
@@ -204,10 +204,16 @@ pub enum Dequant {
     Qoq,
 }
 
-/// A borrowed W4A8 weight source in either second-level scheme — the
-/// single argument that replaced the old `Option<&PackedLqqLinear>,
-/// Option<&PackedQoqLinear>` pair, so "no weights" and "two weights"
-/// are unrepresentable.
+/// A borrowed W4A8 weight source in either second-level scheme.
+///
+/// Superseded by the [`lq_quant::backend::PackedWeights`] trait: every
+/// kernel entry point now takes `&dyn PackedWeights`, which a
+/// `&PackedLqqLinear` / `&PackedQoqLinear` coerces to directly — this
+/// enum survives only as a migration shim (use [`PackedW4A8::as_dyn`]).
+#[deprecated(
+    since = "0.7.0",
+    note = "pass the packed linear as &dyn lq_quant::PackedWeights instead"
+)]
 #[derive(Clone, Copy)]
 pub enum PackedW4A8<'a> {
     /// LiquidQuant weights.
@@ -216,32 +222,33 @@ pub enum PackedW4A8<'a> {
     Qoq(&'a PackedQoqLinear),
 }
 
+#[allow(deprecated)]
 impl<'a> PackedW4A8<'a> {
+    /// The trait-object view every kernel now consumes.
+    #[must_use]
+    pub fn as_dyn(&self) -> &'a dyn PackedWeights {
+        match self {
+            PackedW4A8::Lqq(w) => *w,
+            PackedW4A8::Qoq(w) => *w,
+        }
+    }
+
     /// Output channels.
     #[must_use]
     pub fn n(&self) -> usize {
-        match self {
-            PackedW4A8::Lqq(w) => w.n,
-            PackedW4A8::Qoq(w) => w.n,
-        }
+        self.as_dyn().n()
     }
 
     /// Reduction dim.
     #[must_use]
     pub fn k(&self) -> usize {
-        match self {
-            PackedW4A8::Lqq(w) => w.k,
-            PackedW4A8::Qoq(w) => w.k,
-        }
+        self.as_dyn().k()
     }
 
     /// Quantization group size.
     #[must_use]
     pub fn group(&self) -> usize {
-        match self {
-            PackedW4A8::Lqq(w) => w.group,
-            PackedW4A8::Qoq(w) => w.group,
-        }
+        self.as_dyn().group()
     }
 
     /// The dequantization algorithm these weights require.
@@ -257,101 +264,18 @@ impl<'a> PackedW4A8<'a> {
     /// stage copies into a staging buffer).
     #[must_use]
     pub fn rows_words(&self, r0: usize, r1: usize) -> &'a [u32] {
-        match self {
-            PackedW4A8::Lqq(w) => w.words.rows_words(r0, r1),
-            PackedW4A8::Qoq(w) => w.words.rows_words(r0, r1),
-        }
-    }
-
-    /// Owned dequant recipe for rows `[j0, j1)`: group params and
-    /// channel scales copied out so a pool job needs no borrow of the
-    /// weight matrix.
-    pub(crate) fn tile_quant(&self, j0: usize, j1: usize) -> TileQuant {
-        let k = self.k();
-        let group = self.group();
-        let gpr = k / group;
-        let (params, channel_scales) = match self {
-            PackedW4A8::Lqq(w) => (
-                TileParams::Lqq(
-                    (j0..j1)
-                        .flat_map(|j| (0..gpr).map(move |g| w.group_params(j, g)))
-                        .collect(),
-                ),
-                w.channel_scales[j0..j1].to_vec(),
-            ),
-            PackedW4A8::Qoq(w) => (
-                TileParams::Qoq(
-                    (j0..j1)
-                        .flat_map(|j| (0..gpr).map(move |g| w.group_params(j, g)))
-                        .collect(),
-                ),
-                w.channel_scales[j0..j1].to_vec(),
-            ),
-        };
-        TileQuant {
-            k,
-            group,
-            params,
-            channel_scales,
-        }
-    }
-}
-
-/// Per-row-group quantization parameters for one staged tile.
-enum TileParams {
-    Lqq(Vec<LqqGroup>),
-    Qoq(Vec<QoqGroup>),
-}
-
-/// Everything a worker needs to dequantize a staged tile of packed
-/// words without borrowing the weight matrix: group parameters and
-/// channel scales for `rows` consecutive output channels.
-pub(crate) struct TileQuant {
-    k: usize,
-    group: usize,
-    params: TileParams,
-    channel_scales: Vec<f32>,
-}
-
-impl TileQuant {
-    /// Dequantize group `g` of tile-relative row `j_rel` from `words`.
-    fn dequant_group(&self, words: &[u32], j_rel: usize, g: usize, out: &mut [i8]) {
-        let wpr = self.k / 8;
-        let wpg = self.group / 8;
-        let off = j_rel * wpr + g * wpg;
-        let slice = &words[off..off + wpg];
-        let gpr = self.k / self.group;
-        match &self.params {
-            TileParams::Lqq(p) => dequant_group_lqq(slice, p[j_rel * gpr + g], out),
-            TileParams::Qoq(p) => dequant_group_qoq(slice, p[j_rel * gpr + g], out),
-        }
-    }
-
-    /// ExCP stage 2: fully materialise the INT8 tile — the "write back
-    /// to SMEM" the paper identifies as ExCP's overhead. Returns the
-    /// tile, `k`, and the channel scales the MMA stage needs.
-    pub(crate) fn materialize(&self, words: &[u32], rows: usize) -> (Vec<i8>, usize, Vec<f32>) {
-        let mut buf = [0i8; MAX_GROUP];
-        let (k, group) = (self.k, self.group);
-        let mut tile = vec![0i8; rows * k];
-        for j in 0..rows {
-            for g in 0..k / group {
-                self.dequant_group(words, j, g, &mut buf[..group]);
-                let dst = j * k + g * group;
-                tile[dst..dst + group].copy_from_slice(&buf[..group]);
-            }
-        }
-        (tile, k, self.channel_scales.clone())
+        self.as_dyn().rows_words(r0, r1)
     }
 }
 
 /// Compute `Yᵀ` rows `[0, rows)` of a staged tile into `out_t` (length
 /// `rows·m`): the fused dequant+MMA job body (Flat and ImFP). Channels
 /// are walked NR at a time: each group is dequantized for the whole
-/// NR-row strip, then [`accumulate_strip`] runs the MR×NR register-tile
-/// microkernel over every packed activation panel.
+/// NR-row strip by the backend's [`TileDequant`] recipe, then
+/// [`accumulate_strip`] runs the MR×NR register-tile microkernel over
+/// every packed activation panel.
 pub(crate) fn compute_rows_staged(
-    q: &TileQuant,
+    q: &dyn TileDequant,
     words: &[u32],
     rows: usize,
     a: &APanels,
@@ -359,8 +283,8 @@ pub(crate) fn compute_rows_staged(
     out_t: &mut [f32],
 ) {
     let m = a.m();
-    let group = q.group;
-    let groups_per_row = q.k / group;
+    let group = q.group();
+    let groups_per_row = q.k() / group;
     let mut wbuf = vec![0i8; NR * group];
     let mut acc = vec![0i32; a.acc_len()];
     for jb in (0..rows).step_by(NR) {
@@ -378,7 +302,7 @@ pub(crate) fn compute_rows_staged(
             accumulate_strip(a, g * group, group, &wbuf, &mut acc);
         }
         for r in 0..nr {
-            let ch = q.channel_scales[jb + r];
+            let ch = q.channel_scales()[jb + r];
             let row = &mut out_t[(jb + r) * m..(jb + r + 1) * m];
             scatter_channel(a, &acc, r, act_scales, ch, row);
         }
@@ -489,12 +413,13 @@ pub fn w4a8_flat_parallel(
     pool: &WorkerPool,
     x: &Mat<i8>,
     act_scales: &[f32],
-    w: PackedW4A8<'_>,
+    w: &dyn PackedWeights,
     cfg: ParallelConfig,
 ) -> Mat<f32> {
     check_shapes(x, act_scales, w.k());
-    let _call = call_span("flat");
-    let metrics = PipeMetrics::resolve("flat").map(Arc::new);
+    let backend = w.backend().label();
+    let _call = call_span("flat", backend);
+    let metrics = PipeMetrics::resolve("flat", backend).map(Arc::new);
     let (m, n) = (x.rows(), w.n());
     let task_rows = cfg.task_rows.max(1);
     let tasks = n.div_ceil(task_rows);
@@ -521,7 +446,7 @@ pub fn w4a8_flat_parallel(
             j0,
             rows: j1 - j0,
             words,
-            quant: w.tile_quant(j0, j1),
+            quant: w.tile_dequant(j0, j1),
         });
         if let Some(mx) = &metrics {
             mx.depth_task.set(pool.queue_len() as f64);
@@ -543,12 +468,13 @@ pub fn w4a8_imfp(
     pool: &WorkerPool,
     x: &Mat<i8>,
     act_scales: &[f32],
-    w: PackedW4A8<'_>,
+    w: &dyn PackedWeights,
     cfg: ParallelConfig,
 ) -> Mat<f32> {
     check_shapes(x, act_scales, w.k());
-    let _call = call_span("imfp");
-    let metrics = PipeMetrics::resolve("imfp").map(Arc::new);
+    let backend = w.backend().label();
+    let _call = call_span("imfp", backend);
+    let metrics = PipeMetrics::resolve("imfp", backend).map(Arc::new);
     let (m, n) = (x.rows(), w.n());
     let task_rows = cfg.task_rows.max(1);
     let tasks = n.div_ceil(task_rows);
@@ -586,7 +512,7 @@ pub fn w4a8_imfp(
             j0,
             rows: j1 - j0,
             words: buf,
-            quant: w.tile_quant(j0, j1),
+            quant: w.tile_dequant(j0, j1),
         });
         if let Some(mx) = &metrics {
             mx.depth_task.set(pool.queue_len() as f64);
@@ -610,12 +536,13 @@ pub fn w4a8_excp(
     pool: &WorkerPool,
     x: &Mat<i8>,
     act_scales: &[f32],
-    w: PackedW4A8<'_>,
+    w: &dyn PackedWeights,
     cfg: ParallelConfig,
 ) -> Mat<f32> {
     check_shapes(x, act_scales, w.k());
-    let _call = call_span("excp");
-    let metrics = PipeMetrics::resolve("excp").map(Arc::new);
+    let backend = w.backend().label();
+    let _call = call_span("excp", backend);
+    let metrics = PipeMetrics::resolve("excp", backend).map(Arc::new);
     let (m, n) = (x.rows(), w.n());
     let task_rows = cfg.task_rows.max(1);
     let tasks = n.div_ceil(task_rows);
@@ -651,7 +578,7 @@ pub fn w4a8_excp(
             j0,
             rows: j1 - j0,
             words: buf,
-            quant: w.tile_quant(j0, j1),
+            quant: w.tile_dequant(j0, j1),
         });
         if let Some(mx) = &metrics {
             mx.depth_task.set(pool.queue_len() as f64);
@@ -696,7 +623,7 @@ mod tests {
         let want = w4a8_lqq_serial(&x, &s, &lqq);
         for workers in [1, 2, 4] {
             let pool = WorkerPool::new(workers, 16);
-            let got = w4a8_imfp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(5, 3));
+            let got = w4a8_imfp(&pool, &x, &s, &lqq, cfg(5, 3));
             assert_eq!(max_abs_diff(&got, &want), 0.0, "workers={workers}");
         }
     }
@@ -706,7 +633,7 @@ mod tests {
         let (x, s, lqq, _) = fixture(6, 20, 192);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
         let pool = WorkerPool::new(4, 16);
-        let got = w4a8_excp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(3, 2));
+        let got = w4a8_excp(&pool, &x, &s, &lqq, cfg(3, 2));
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
@@ -715,7 +642,7 @@ mod tests {
         let (x, s, lqq, _) = fixture(5, 17, 64);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
         let pool = WorkerPool::new(3, 16);
-        let got = w4a8_flat_parallel(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(4, 2));
+        let got = w4a8_flat_parallel(&pool, &x, &s, &lqq, cfg(4, 2));
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
@@ -726,11 +653,37 @@ mod tests {
         let pool = WorkerPool::new(2, 16);
         let c = cfg(4, 2);
         for got in [
-            w4a8_imfp(&pool, &x, &s, PackedW4A8::Qoq(&qoq), c),
-            w4a8_excp(&pool, &x, &s, PackedW4A8::Qoq(&qoq), c),
-            w4a8_flat_parallel(&pool, &x, &s, PackedW4A8::Qoq(&qoq), c),
+            w4a8_imfp(&pool, &x, &s, &qoq, c),
+            w4a8_excp(&pool, &x, &s, &qoq, c),
+            w4a8_flat_parallel(&pool, &x, &s, &qoq, c),
         ] {
             assert_eq!(max_abs_diff(&got, &want), 0.0);
+        }
+    }
+
+    #[test]
+    fn every_backend_runs_every_pipeline_bit_exact_vs_its_serial() {
+        use lq_quant::backend::registry;
+        let (x, s, _, _) = fixture(5, 22, 128);
+        let wf = Mat::from_fn(22, 128, |r, c| ((r * 128 + c) as f32 * 0.05).cos());
+        let pool = WorkerPool::new(3, 16);
+        let c = cfg(5, 2);
+        for backend in registry() {
+            let packed = backend.pack(&wf, 64);
+            let w = packed.as_ref();
+            let want = crate::serial::w4a8_serial(&x, &s, w);
+            for (name, got) in [
+                ("imfp", w4a8_imfp(&pool, &x, &s, w, c)),
+                ("excp", w4a8_excp(&pool, &x, &s, w, c)),
+                ("flat", w4a8_flat_parallel(&pool, &x, &s, w, c)),
+            ] {
+                assert_eq!(
+                    max_abs_diff(&got, &want),
+                    0.0,
+                    "backend {} variant {name}",
+                    backend.id()
+                );
+            }
         }
     }
 
@@ -739,7 +692,7 @@ mod tests {
         let (x, s, lqq, _) = fixture(3, 10, 64);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
         let pool = WorkerPool::new(2, 16);
-        let got = w4a8_imfp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(7, 2));
+        let got = w4a8_imfp(&pool, &x, &s, &lqq, cfg(7, 2));
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
@@ -748,7 +701,7 @@ mod tests {
         let (x, s, lqq, _) = fixture(2, 4, 64);
         let want = w4a8_lqq_serial(&x, &s, &lqq);
         let pool = WorkerPool::new(16, 32);
-        let got = w4a8_imfp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), cfg(4, 8));
+        let got = w4a8_imfp(&pool, &x, &s, &lqq, cfg(4, 8));
         assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
@@ -761,18 +714,15 @@ mod tests {
         let c = cfg(4, 2);
         for _ in 0..8 {
             assert_eq!(
-                max_abs_diff(&w4a8_imfp(&pool, &x, &s, PackedW4A8::Lqq(&lqq), c), &want_l),
+                max_abs_diff(&w4a8_imfp(&pool, &x, &s, &lqq, c), &want_l),
                 0.0
             );
             assert_eq!(
-                max_abs_diff(&w4a8_excp(&pool, &x, &s, PackedW4A8::Qoq(&qoq), c), &want_q),
+                max_abs_diff(&w4a8_excp(&pool, &x, &s, &qoq, c), &want_q),
                 0.0
             );
             assert_eq!(
-                max_abs_diff(
-                    &w4a8_flat_parallel(&pool, &x, &s, PackedW4A8::Lqq(&lqq), c),
-                    &want_l
-                ),
+                max_abs_diff(&w4a8_flat_parallel(&pool, &x, &s, &lqq, c), &want_l),
                 0.0
             );
         }

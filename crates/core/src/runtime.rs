@@ -41,8 +41,8 @@
 //! rayon-style lifetime-erased scoped pool is off the table. Instead
 //! each job carries its staged packed words (`Vec<u32>` — the copy the
 //! ImFP producer already made into the SMEM ring), an owned dequant
-//! recipe ([`crate::pipeline::TileQuant`], a few bytes per group), and
-//! an `Arc` of the per-call context (packed activation panels, scales,
+//! recipe (a boxed [`lq_quant::TileDequant`], a few bytes per group),
+//! and an `Arc` of the per-call context (packed activation panels, scales,
 //! reply sender). Workers compute into owned output chunks and send
 //! them back; the caller assembles and transposes. Integer accumulation
 //! is exact, so results stay bit-identical to the serial kernels no
@@ -96,6 +96,7 @@ use std::time::Duration;
 
 use lq_chaos::{FaultAction, FaultInjector};
 use lq_quant::act::QuantizedActivations;
+use lq_quant::backend::{BackendId, TileDequant};
 use lq_quant::mat::Mat;
 use lq_telemetry::Gauge;
 
@@ -103,9 +104,9 @@ use crate::api::{GemmOutput, KernelKind, W4A8Weights};
 use crate::microkernel::APanels;
 use crate::pipeline::{
     compute_rows_staged, mma_rows, w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ConfigError,
-    ParallelConfig, TileQuant,
+    ParallelConfig,
 };
-use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
+use crate::serial::w4a8_serial;
 use crate::sync::{bounded, Sender};
 use crate::telemetry::{pool_fault_metrics, PipeMetrics, WorkerMetrics};
 
@@ -149,7 +150,7 @@ pub(crate) enum Job {
         j0: usize,
         rows: usize,
         words: Vec<u32>,
-        quant: TileQuant,
+        quant: Box<dyn TileDequant>,
     },
     /// ExCP stage 2: materialise the INT8 tile, then forward an [`Job::Mma`].
     Dequant {
@@ -157,7 +158,7 @@ pub(crate) enum Job {
         j0: usize,
         rows: usize,
         words: Vec<u32>,
-        quant: TileQuant,
+        quant: Box<dyn TileDequant>,
     },
     /// ExCP stage 3: dot products from a materialised INT8 tile.
     Mma {
@@ -851,7 +852,14 @@ fn execute(job: Job, shared: &Shared, id: usize, corr: u64, force_panic: bool) -
                     .map(|mx| mx.task_ns_compute.span_owned());
                 let m = ctx.a.m();
                 let mut out = vec![0.0f32; rows * m];
-                compute_rows_staged(&quant, &words, rows, &ctx.a, &ctx.act_scales, &mut out);
+                compute_rows_staged(
+                    quant.as_ref(),
+                    &words,
+                    rows,
+                    &ctx.a,
+                    &ctx.act_scales,
+                    &mut out,
+                );
                 out
             }));
             match res {
@@ -988,14 +996,19 @@ fn finish_tile(ctx: &Arc<CallCtx>, j0: usize, out: Vec<f32>, words: Option<Vec<u
 /// every GEMM through it:
 ///
 /// ```
-/// use lq_core::{KernelKind, LiquidGemm, PackedLqqLinear, W4A8Weights};
+/// use lq_core::{KernelKind, LiquidGemm};
 /// use lq_quant::act::QuantizedActivations;
 /// use lq_quant::mat::Mat;
+/// use lq_quant::BackendId;
 ///
 /// let x = Mat::from_fn(2, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin());
 /// let w = Mat::from_fn(8, 64, |r, c| ((r * 64 + c) as f32 * 0.05).cos());
-/// let lg = LiquidGemm::builder().workers(2).build().unwrap();
-/// let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+/// let lg = LiquidGemm::builder()
+///     .workers(2)
+///     .backend(BackendId::Lqq) // or Qoq, Lut, Codebook
+///     .build()
+///     .unwrap();
+/// let weights = lg.pack_weights(&w, 64);
 /// let qa = QuantizedActivations::quantize(&x, None);
 /// let y = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp);
 /// assert_eq!(y.y.rows(), 2);
@@ -1003,6 +1016,7 @@ fn finish_tile(ctx: &Arc<CallCtx>, j0: usize, out: Vec<f32>, words: Option<Vec<u
 pub struct LiquidGemm {
     pool: WorkerPool,
     defaults: ParallelConfig,
+    backend: BackendId,
 }
 
 impl LiquidGemm {
@@ -1033,6 +1047,21 @@ impl LiquidGemm {
         self.pool.workers()
     }
 
+    /// The kernel backend this handle packs weights with (set via
+    /// [`LiquidGemmBuilder::backend`]; default [`BackendId::Lqq`]).
+    #[must_use]
+    pub fn backend(&self) -> BackendId {
+        self.backend
+    }
+
+    /// Quantize and pack FP32 weights with this handle's configured
+    /// backend — the builder-driven path that replaced per-scheme
+    /// constructor calls at every quantize site.
+    #[must_use]
+    pub fn pack_weights(&self, w: &Mat<f32>, group: usize) -> W4A8Weights {
+        W4A8Weights::quantize(w, group, self.backend)
+    }
+
     /// Run `Y = X·Wᵀ` with this handle's default tiling.
     #[must_use]
     pub fn gemm(
@@ -1057,14 +1086,12 @@ impl LiquidGemm {
         kind: KernelKind,
         cfg: ParallelConfig,
     ) -> GemmOutput {
-        let y = match (kind, weights) {
-            (KernelKind::Serial, W4A8Weights::Lqq(w)) => w4a8_lqq_serial(x, act_scales, w),
-            (KernelKind::Serial, W4A8Weights::Qoq(w)) => w4a8_qoq_serial(x, act_scales, w),
-            (KernelKind::FlatParallel, _) => {
-                w4a8_flat_parallel(&self.pool, x, act_scales, weights.packed(), cfg)
-            }
-            (KernelKind::ExCp, _) => w4a8_excp(&self.pool, x, act_scales, weights.packed(), cfg),
-            (KernelKind::ImFp, _) => w4a8_imfp(&self.pool, x, act_scales, weights.packed(), cfg),
+        let w = weights.as_dyn();
+        let y = match kind {
+            KernelKind::Serial => w4a8_serial(x, act_scales, w),
+            KernelKind::FlatParallel => w4a8_flat_parallel(&self.pool, x, act_scales, w, cfg),
+            KernelKind::ExCp => w4a8_excp(&self.pool, x, act_scales, w, cfg),
+            KernelKind::ImFp => w4a8_imfp(&self.pool, x, act_scales, w, cfg),
         };
         GemmOutput { y }
     }
@@ -1122,6 +1149,7 @@ pub struct LiquidGemmBuilder {
     task_rows: usize,
     stages: usize,
     queue_depth: usize,
+    backend: BackendId,
     fault: Option<Arc<FaultInjector>>,
 }
 
@@ -1133,6 +1161,7 @@ impl Default for LiquidGemmBuilder {
             task_rows: 8,
             stages: 8,
             queue_depth: 64,
+            backend: BackendId::Lqq,
             fault: None,
         }
     }
@@ -1168,6 +1197,16 @@ impl LiquidGemmBuilder {
         self
     }
 
+    /// Kernel backend used by [`LiquidGemm::pack_weights`] (per-layer
+    /// runtime selection: any [`lq_quant::registry`] entry). Default
+    /// [`BackendId::Lqq`]. Weights packed elsewhere carry their own
+    /// backend and run on any handle.
+    #[must_use]
+    pub fn backend(mut self, id: BackendId) -> Self {
+        self.backend = id;
+        self
+    }
+
     /// Install a [`FaultInjector`] (chaos testing): workers consult it
     /// before each fresh job and submitters before each submission.
     /// Without one — the default — every hook is a single `Option`
@@ -1191,6 +1230,7 @@ impl LiquidGemmBuilder {
         Ok(LiquidGemm {
             pool: WorkerPool::with_faults(defaults.workers, self.queue_depth, self.fault),
             defaults,
+            backend: self.backend,
         })
     }
 }
@@ -1205,8 +1245,31 @@ mod tests {
         let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.13).sin() * 1.5);
         let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.04).cos());
         let qa = QuantizedActivations::quantize(&xf, None);
-        let w = W4A8Weights::Lqq(crate::packed::PackedLqqLinear::quantize(&wf, 64));
+        let w = W4A8Weights::lqq(crate::packed::PackedLqqLinear::quantize(&wf, 64));
         (qa.q, qa.scales, w)
+    }
+
+    #[test]
+    fn builder_backend_selection_packs_and_runs_every_backend() {
+        let (m, n, k) = (4, 16, 128);
+        let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.13).sin() * 1.5);
+        let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.04).cos());
+        let qa = QuantizedActivations::quantize(&xf, None);
+        for id in BackendId::all() {
+            let lg = LiquidGemm::builder()
+                .workers(2)
+                .backend(id)
+                .build()
+                .unwrap();
+            assert_eq!(lg.backend(), id);
+            let w = lg.pack_weights(&wf, 64);
+            assert_eq!(w.backend(), id);
+            let want = lg.gemm(&qa.q, &qa.scales, &w, KernelKind::Serial).y;
+            for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
+                let got = lg.gemm(&qa.q, &qa.scales, &w, kind).y;
+                assert_eq!(max_abs_diff(&got, &want), 0.0, "{id} {kind:?}");
+            }
+        }
     }
 
     #[test]

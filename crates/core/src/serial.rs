@@ -11,18 +11,20 @@
 //! Integer kernels are bit-exact against `reference::gemm_i8_ref` on the
 //! dequantized weights; float kernels match to rounding tolerance.
 
+use lq_quant::backend::PackedWeights;
 use lq_quant::fp8::decode_lut;
 use lq_quant::mat::Mat;
 
 use crate::microkernel::{
-    accumulate_strip, dequant_group_lqq, dequant_group_qoq, dot_f32, scatter_channel, APanels, NR,
+    accumulate_strip, dequant_group_lqq, dot_f32, scatter_channel, APanels, NR,
 };
 use crate::packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
 
-/// Largest group size the stack-allocated dequant buffer supports.
-pub const MAX_GROUP: usize = 256;
+/// Largest group size the stack-allocated dequant buffer supports
+/// (defined next to the backend traits; re-exported for kernel users).
+pub use lq_quant::backend::MAX_GROUP;
 
 /// Scatter an NR-channel strip accumulator into output columns
 /// `jb..jb+nr` with the epilogue scales applied.
@@ -45,39 +47,53 @@ fn write_strip(
     }
 }
 
-/// LiquidGEMM W4A8, serial: per NR-channel strip, per group, the LQQ
-/// two-instruction dequant fills a register-file-sized buffer that is
-/// immediately consumed by the MR×NR register-tile microkernel (the
-/// ImFP data path, minus the parallelism).
+/// W4A8 serial kernel over any registered backend: per NR-channel
+/// strip, per group, the backend's dequantization fills a
+/// register-file-sized buffer that is immediately consumed by the
+/// MR×NR register-tile microkernel (the ImFP data path, minus the
+/// parallelism).
+///
+/// The loop structure, accumulation order, and epilogue are identical
+/// for every backend, so two backends that dequantize to the same INT8
+/// tile bytes produce bit-identical outputs.
 #[must_use]
-pub fn w4a8_lqq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedLqqLinear) -> Mat<f32> {
-    assert_eq!(x.cols(), w.k, "K mismatch");
+pub fn w4a8_serial(x: &Mat<i8>, act_scales: &[f32], w: &dyn PackedWeights) -> Mat<f32> {
+    let (n, k, group) = (w.n(), w.k(), w.group());
+    assert_eq!(x.cols(), k, "K mismatch");
     assert_eq!(act_scales.len(), x.rows(), "one scale per token");
-    assert!(w.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    assert!(group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    let groups_per_row = k / group;
+    let ch = w.channel_scales();
     let a = APanels::pack(x);
     let m = x.rows();
-    let mut out = Mat::zeros(m, w.n);
-    let mut wbuf = vec![0i8; NR * w.group];
+    let mut out = Mat::zeros(m, n);
+    let mut wbuf = vec![0i8; NR * group];
     let mut acc = vec![0i32; a.acc_len()];
-    for jb in (0..w.n).step_by(NR) {
-        let nr = NR.min(w.n - jb);
+    for jb in (0..n).step_by(NR) {
+        let nr = NR.min(n - jb);
         if nr < NR {
             // Unused strip rows stay zero: they multiply into lanes the
             // writeback never reads.
             wbuf.fill(0);
         }
         acc.fill(0);
-        for g in 0..w.groups_per_row() {
+        for g in 0..groups_per_row {
             for r in 0..nr {
-                let params = w.group_params(jb + r, g);
-                let dst = &mut wbuf[r * w.group..(r + 1) * w.group];
-                dequant_group_lqq(w.group_words(jb + r, g), params, dst);
+                let dst = &mut wbuf[r * group..(r + 1) * group];
+                w.dequant_row_group(jb + r, g, dst);
             }
-            accumulate_strip(&a, g * w.group, w.group, &wbuf, &mut acc);
+            accumulate_strip(&a, g * group, group, &wbuf, &mut acc);
         }
-        write_strip(&mut out, jb, nr, &a, &acc, (act_scales, &w.channel_scales));
+        write_strip(&mut out, jb, nr, &a, &acc, (act_scales, ch));
     }
     out
+}
+
+/// LiquidGEMM W4A8, serial: the generic strip kernel driven by the LQQ
+/// two-instruction sweet dequantization.
+#[must_use]
+pub fn w4a8_lqq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedLqqLinear) -> Mat<f32> {
+    w4a8_serial(x, act_scales, w)
 }
 
 /// QServe-baseline W4A8, serial: identical loop structure, but each
@@ -85,31 +101,7 @@ pub fn w4a8_lqq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedLqqLinear) -> 
 /// elements instead of 7).
 #[must_use]
 pub fn w4a8_qoq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedQoqLinear) -> Mat<f32> {
-    assert_eq!(x.cols(), w.k, "K mismatch");
-    assert_eq!(act_scales.len(), x.rows(), "one scale per token");
-    assert!(w.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
-    let a = APanels::pack(x);
-    let m = x.rows();
-    let mut out = Mat::zeros(m, w.n);
-    let mut wbuf = vec![0i8; NR * w.group];
-    let mut acc = vec![0i32; a.acc_len()];
-    for jb in (0..w.n).step_by(NR) {
-        let nr = NR.min(w.n - jb);
-        if nr < NR {
-            wbuf.fill(0);
-        }
-        acc.fill(0);
-        for g in 0..w.groups_per_row() {
-            for r in 0..nr {
-                let params = w.group_params(jb + r, g);
-                let dst = &mut wbuf[r * w.group..(r + 1) * w.group];
-                dequant_group_qoq(w.group_words(jb + r, g), params, dst);
-            }
-            accumulate_strip(&a, g * w.group, w.group, &wbuf, &mut acc);
-        }
-        write_strip(&mut out, jb, nr, &a, &acc, (act_scales, &w.channel_scales));
-    }
-    out
+    w4a8_serial(x, act_scales, w)
 }
 
 /// W8A8, serial: the symmetric-GEMM baseline — no dequantization in the
@@ -337,6 +329,45 @@ mod tests {
             max_abs_diff(&b, &ideal)
         );
         assert!(max_abs_diff(&a, &b) < tol);
+    }
+
+    #[test]
+    fn lut_serial_is_bit_exact_vs_lqq_serial() {
+        // LUT tables reproduce the SWAR register bytes exactly, so the
+        // generic kernel over a LUT-packed linear must match the LQQ
+        // path bit-for-bit.
+        let (m, n, k) = (5, 7, 128);
+        let (_, wf) = fixture(m, n, k);
+        let (xq, xs) = quantized_inputs(m, k);
+        let lqq = PackedLqqLinear::quantize(&wf, 64);
+        let lut = crate::packed::PackedLutLinear::quantize(&wf, 64);
+        let a = w4a8_serial(&xq, &xs, &lqq);
+        let b = w4a8_serial(&xq, &xs, &lut);
+        assert_eq!(max_abs_diff(&a, &b), 0.0, "LUT must match LQQ bit-exactly");
+    }
+
+    #[test]
+    fn codebook_serial_matches_its_own_dequantized_reference() {
+        // Codebook is lossy vs fp32, but the kernel must be bit-exact
+        // against an integer GEMM over its own reconstruction.
+        let (m, n, k) = (4, 6, 128);
+        let (_, wf) = fixture(m, n, k);
+        let (xq, xs) = quantized_inputs(m, k);
+        let cb = crate::packed::PackedCodebookLinear::quantize(&wf, 64);
+        let got = w4a8_serial(&xq, &xs, &cb);
+        let mut w_i8 = Mat::zeros(n, k);
+        let mut row = vec![0i8; 64];
+        for j in 0..n {
+            for g in 0..k / 64 {
+                cb.dequant_row_group(j, g, &mut row);
+                for (c, &v) in row.iter().enumerate() {
+                    w_i8.set(j, g * 64 + c, v);
+                }
+            }
+        }
+        let acc = gemm_i8_ref(&xq, &w_i8);
+        let want = epilogue_ref(&acc, &xs, cb.channel_scales());
+        assert_eq!(max_abs_diff(&got, &want), 0.0);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! once per GEMM call — and only when recording is enabled, so the
 //! disabled path costs one relaxed load per call (the "noop recorder").
 //!
-//! Exported families (labeled `variant="flat"|"excp"|"imfp"`):
+//! Exported families (labeled `variant="flat"|"excp"|"imfp"` and
+//! `backend="lqq"|"qoq"|"lut"|"codebook"` — the [`lq_quant::BackendId`]
+//! the call dispatched to, so per-backend counters and histograms never
+//! alias):
 //!
 //! | metric | kind | meaning |
 //! |--------|------|---------|
@@ -55,31 +58,42 @@ pub(crate) struct PipeMetrics {
 }
 
 impl PipeMetrics {
-    /// Resolve handles for `variant`, or `None` when telemetry is off
-    /// (instrumentation then compiles down to `if let Some` misses).
-    pub(crate) fn resolve(variant: &str) -> Option<Self> {
+    /// Resolve handles for `variant` under dequant backend `backend`
+    /// (a [`lq_quant::BackendId`] label, e.g. `"lqq"`), or `None` when
+    /// telemetry is off (instrumentation then compiles down to
+    /// `if let Some` misses). Per-backend series let one export compare
+    /// the same pipeline across dequant algorithms.
+    pub(crate) fn resolve(variant: &str, backend: &str) -> Option<Self> {
         if !lq_telemetry::enabled() {
             return None;
         }
         let reg = registry();
-        let v = [("variant", variant)];
-        fn role<'a>(variant: &'a str, r: &'a str) -> [(&'a str, &'a str); 2] {
-            [("variant", variant), ("role", r)]
+        let v = [("variant", variant), ("backend", backend)];
+        fn role<'a>(variant: &'a str, backend: &'a str, r: &'a str) -> [(&'a str, &'a str); 3] {
+            [("variant", variant), ("backend", backend), ("role", r)]
         }
         let split = variant == "excp";
         Some(Self {
             tasks: reg.counter_with("lq_pipeline_tasks_total", &v),
-            stall_load: reg.counter_with("lq_pipeline_stall_total", &role(variant, "load")),
+            stall_load: reg
+                .counter_with("lq_pipeline_stall_total", &role(variant, backend, "load")),
             depth_task: reg.gauge_with(
                 "lq_pipeline_queue_depth",
-                &[("variant", variant), ("queue", "task")],
+                &[
+                    ("variant", variant),
+                    ("backend", backend),
+                    ("queue", "task"),
+                ],
             ),
-            task_ns_load: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "load")),
-            task_ns_compute: reg.histogram_with("lq_pipeline_task_ns", &role(variant, "compute")),
-            task_ns_dequant: split
-                .then(|| reg.histogram_with("lq_pipeline_task_ns", &role(variant, "dequant"))),
+            task_ns_load: reg
+                .histogram_with("lq_pipeline_task_ns", &role(variant, backend, "load")),
+            task_ns_compute: reg
+                .histogram_with("lq_pipeline_task_ns", &role(variant, backend, "compute")),
+            task_ns_dequant: split.then(|| {
+                reg.histogram_with("lq_pipeline_task_ns", &role(variant, backend, "dequant"))
+            }),
             task_ns_mma: split
-                .then(|| reg.histogram_with("lq_pipeline_task_ns", &role(variant, "mma"))),
+                .then(|| reg.histogram_with("lq_pipeline_task_ns", &role(variant, backend, "mma"))),
         })
     }
 }
@@ -133,11 +147,12 @@ pub(crate) fn pool_fault_metrics() -> Option<PoolFaultMetrics> {
     })
 }
 
-/// Whole-call span for `lq_gemm_ns{variant=...}` (None when disabled).
-pub(crate) fn call_span(variant: &str) -> Option<OwnedSpan> {
+/// Whole-call span for `lq_gemm_ns{variant=...,backend=...}` (None
+/// when disabled).
+pub(crate) fn call_span(variant: &str, backend: &str) -> Option<OwnedSpan> {
     lq_telemetry::enabled().then(|| {
         registry()
-            .histogram_with("lq_gemm_ns", &[("variant", variant)])
+            .histogram_with("lq_gemm_ns", &[("variant", variant), ("backend", backend)])
             .span_owned()
     })
 }

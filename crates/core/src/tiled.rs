@@ -10,38 +10,41 @@
 //! models honest: this kernel is bit-exact against the flat serial one.
 
 use lq_layout::tiles::{TileConfig, TileIter};
+use lq_quant::backend::PackedWeights;
 use lq_quant::mat::Mat;
 
-use crate::microkernel::{dequant_group_lqq, mk_i8_1x4, NR};
+use crate::microkernel::{mk_i8_1x4, NR};
 use crate::packed::PackedLqqLinear;
 use crate::serial::MAX_GROUP;
 
-/// Tiled W4A8 GEMM with LiquidQuant dequantization.
+/// Tiled W4A8 GEMM over any registered backend's dequantization.
 ///
 /// `tile.kt` must be a multiple of the quantization group size; tiles
 /// iterate in the persistent-kernel row-major order.
 #[must_use]
-pub fn w4a8_lqq_tiled(
+pub fn w4a8_tiled(
     x: &Mat<i8>,
     act_scales: &[f32],
-    w: &PackedLqqLinear,
+    w: &dyn PackedWeights,
     tile: TileConfig,
 ) -> Mat<f32> {
-    assert_eq!(x.cols(), w.k, "K mismatch");
+    let (n, k, group) = (w.n(), w.k(), w.group());
+    assert_eq!(x.cols(), k, "K mismatch");
     assert_eq!(act_scales.len(), x.rows(), "one scale per token");
-    assert!(w.group <= MAX_GROUP, "group size exceeds MAX_GROUP");
+    assert!(group <= MAX_GROUP, "group size exceeds MAX_GROUP");
     assert_eq!(
-        tile.kt % w.group,
+        tile.kt % group,
         0,
         "Kt={} must be a multiple of the group size {}",
         tile.kt,
-        w.group
+        group
     );
-    let (m, n, k) = (x.rows(), w.n, w.k);
+    let m = x.rows();
+    let ch_scales = w.channel_scales();
     let mut out = Mat::zeros(m, n);
     let mut acc = vec![0i32; tile.mt * tile.nt];
-    let mut wbuf = vec![0i8; NR * w.group];
-    let groups_per_kt = tile.kt / w.group;
+    let mut wbuf = vec![0i8; NR * group];
+    let groups_per_kt = tile.kt / group;
 
     for t in TileIter::new(tile, m, n) {
         let (th, tw) = (t.height(), t.width());
@@ -60,23 +63,19 @@ pub fn w4a8_lqq_tiled(
                     wbuf.fill(0);
                 }
                 for g in 0..groups_per_kt {
-                    let k_abs = k0 + g * w.group;
+                    let k_abs = k0 + g * group;
                     if k_abs >= k {
                         break;
                     }
-                    let gi = k_abs / w.group;
+                    let gi = k_abs / group;
                     for r in 0..nr {
                         let row = t.n0 + jb + r;
-                        dequant_group_lqq(
-                            w.group_words(row, gi),
-                            w.group_params(row, gi),
-                            &mut wbuf[r * w.group..(r + 1) * w.group],
-                        );
+                        w.dequant_row_group(row, gi, &mut wbuf[r * group..(r + 1) * group]);
                     }
                     for i in 0..th {
-                        let xrow = &x.row(t.m0 + i)[k_abs..k_abs + w.group];
+                        let xrow = &x.row(t.m0 + i)[k_abs..k_abs + group];
                         let mut strip = [0i32; NR];
-                        mk_i8_1x4(xrow, &wbuf, w.group, &mut strip);
+                        mk_i8_1x4(xrow, &wbuf, group, &mut strip);
                         for r in 0..nr {
                             acc[i * tw + jb + r] += strip[r];
                         }
@@ -89,12 +88,24 @@ pub fn w4a8_lqq_tiled(
         for i in 0..th {
             let a = act_scales[t.m0 + i];
             for j in 0..tw {
-                let ch = w.channel_scales[t.n0 + j];
+                let ch = ch_scales[t.n0 + j];
                 out.set(t.m0 + i, t.n0 + j, acc[i * tw + j] as f32 * a * ch);
             }
         }
     }
     out
+}
+
+/// Tiled W4A8 GEMM with LiquidQuant dequantization (the historical
+/// entry point; delegates to the backend-generic [`w4a8_tiled`]).
+#[must_use]
+pub fn w4a8_lqq_tiled(
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    w: &PackedLqqLinear,
+    tile: TileConfig,
+) -> Mat<f32> {
+    w4a8_tiled(x, act_scales, w, tile)
 }
 
 #[cfg(test)]
@@ -154,6 +165,28 @@ mod tests {
             },
         );
         assert_eq!(max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn tiled_matches_serial_for_every_backend() {
+        use lq_quant::backend::registry;
+        let (x, s, _) = fixture(6, 24, 256);
+        let wf = Mat::from_fn(24, 256, |r, c| ((r * 256 + c) as f32 * 0.009).cos());
+        for backend in registry() {
+            let packed = backend.pack(&wf, 64);
+            let want = crate::serial::w4a8_serial(&x, &s, packed.as_ref());
+            let got = w4a8_tiled(
+                &x,
+                &s,
+                packed.as_ref(),
+                TileConfig {
+                    mt: 4,
+                    nt: 10,
+                    kt: 128,
+                },
+            );
+            assert_eq!(max_abs_diff(&got, &want), 0.0, "backend {}", backend.id());
+        }
     }
 
     #[test]

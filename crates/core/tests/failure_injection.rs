@@ -26,7 +26,7 @@ fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, PackedLqqLinear)
 #[test]
 fn degenerate_configs_terminate_and_agree() {
     let (x, s, w) = fixture(3, 10, 128);
-    let weights = W4A8Weights::Lqq(w);
+    let weights = W4A8Weights::lqq(w);
     let lg = LiquidGemm::builder().workers(4).build().unwrap();
     let base = lg.gemm(&x, &s, &weights, KernelKind::Serial).y;
     for cfg in [
@@ -71,7 +71,7 @@ fn worker_panic_propagates_not_deadlocks() {
     // strong claim is that the pool still works and drops cleanly.
     assert!(result.is_ok(), "containment must not poison the caller");
     let (x, s, w) = fixture(2, 8, 64);
-    let weights = W4A8Weights::Lqq(w);
+    let weights = W4A8Weights::lqq(w);
     let base = lg.gemm(&x, &s, &weights, KernelKind::Serial).y;
     let y = lg.gemm(&x, &s, &weights, KernelKind::ImFp).y;
     assert_eq!(max_abs_diff(&y, &base), 0.0);
@@ -141,7 +141,7 @@ fn scheduler_survives_dying_worker() {
 #[test]
 fn minimum_size_problem() {
     let (x, s, w) = fixture(1, 1, 64);
-    let weights = W4A8Weights::Lqq(w);
+    let weights = W4A8Weights::lqq(w);
     let lg = LiquidGemm::builder()
         .workers(4)
         .task_rows(8)
@@ -161,7 +161,7 @@ fn minimum_size_problem() {
 #[test]
 fn shared_weights_across_concurrent_gemms() {
     let (x, s, w) = fixture(4, 24, 128);
-    let weights = Arc::new(W4A8Weights::Lqq(w));
+    let weights = Arc::new(W4A8Weights::lqq(w));
     let lg = Arc::new(
         LiquidGemm::builder()
             .workers(2)

@@ -103,7 +103,7 @@ fn pipelines_equal_serial() {
             .expect("randomized config in valid range");
         let t = LqqTensor::quantize(&w_l1, 32);
         let ch: Vec<f32> = (0..w_l1.rows()).map(|_| 0.1).collect();
-        let packed = W4A8Weights::Lqq(PackedLqqLinear::from_tensor(&t, ch));
+        let packed = W4A8Weights::lqq(PackedLqqLinear::from_tensor(&t, ch));
         let base = lg
             .gemm_with(&x, &scales, &packed, KernelKind::Serial, cfg)
             .y;

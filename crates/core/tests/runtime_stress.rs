@@ -50,8 +50,8 @@ fn build_cases() -> Vec<Case> {
             Case {
                 x: qa.q,
                 scales: qa.scales,
-                lqq: W4A8Weights::Lqq(lqq),
-                qoq: W4A8Weights::Qoq(qoq),
+                lqq: W4A8Weights::lqq(lqq),
+                qoq: W4A8Weights::qoq(qoq),
                 want_lqq,
                 want_qoq,
             }

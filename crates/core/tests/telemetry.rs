@@ -31,16 +31,19 @@ fn imfp_stall_counters_monotone_across_runs() {
     let _guard = EXCLUSIVE.lock().unwrap();
     lq_telemetry::enable();
     let reg = lq_telemetry::registry();
-    let stall_names: Vec<(&str, [(&str, &str); 2])> = ["load", "compute"]
+    let stall_names: Vec<(&str, [(&str, &str); 3])> = ["load", "compute"]
         .iter()
         .map(|r| {
             (
                 "lq_pipeline_stall_total",
-                [("variant", "imfp"), ("role", *r)],
+                [("variant", "imfp"), ("backend", "lqq"), ("role", *r)],
             )
         })
         .collect();
-    let tasks = reg.counter_with("lq_pipeline_tasks_total", &[("variant", "imfp")]);
+    let tasks = reg.counter_with(
+        "lq_pipeline_tasks_total",
+        &[("variant", "imfp"), ("backend", "lqq")],
+    );
 
     let lg = LiquidGemm::builder().workers(3).build().unwrap();
     let mut rng = Rng::new(0x5ECD);
@@ -61,12 +64,9 @@ fn imfp_stall_counters_monotone_across_runs() {
             .unwrap();
 
         let tasks_before = tasks.get();
-        let weights = W4A8Weights::Lqq(w);
+        let want = w4a8_lqq_serial(&x, &s, &w);
+        let weights = W4A8Weights::lqq(w);
         let got = lg.gemm_with(&x, &s, &weights, KernelKind::ImFp, cfg).y;
-        let want = match &weights {
-            W4A8Weights::Lqq(w) => w4a8_lqq_serial(&x, &s, w),
-            W4A8Weights::Qoq(_) => unreachable!(),
-        };
         assert_eq!(max_abs_diff(&got, &want), 0.0, "round {round}");
 
         let expected_tasks = n.div_ceil(task_rows) as u64;
@@ -95,14 +95,15 @@ fn gemm_call_histogram_counts_calls() {
     lq_telemetry::enable();
     let mut rng = Rng::new(7);
     let (x, s, w) = fixture(&mut rng, 3, 12, 128);
-    let weights = W4A8Weights::Lqq(w);
+    let weights = W4A8Weights::lqq(w);
     let lg = LiquidGemm::builder()
         .workers(2)
         .task_rows(4)
         .stages(2)
         .build()
         .unwrap();
-    let hist = lq_telemetry::registry().histogram_with("lq_gemm_ns", &[("variant", "imfp")]);
+    let hist = lq_telemetry::registry()
+        .histogram_with("lq_gemm_ns", &[("variant", "imfp"), ("backend", "lqq")]);
     let before = hist.count();
     let a = lg.gemm(&x, &s, &weights, KernelKind::ImFp).y;
     let b = lg.gemm(&x, &s, &weights, KernelKind::ImFp).y;
@@ -119,7 +120,7 @@ fn pool_metrics_are_exported() {
     let reg = lq_telemetry::registry();
     let mut rng = Rng::new(11);
     let (x, s, w) = fixture(&mut rng, 2, 16, 64);
-    let weights = W4A8Weights::Lqq(w);
+    let weights = W4A8Weights::lqq(w);
     // Fresh single-worker pool: all jobs land on worker 0.
     let lg = LiquidGemm::builder()
         .workers(1)

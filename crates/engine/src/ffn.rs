@@ -75,7 +75,7 @@ pub fn ffn_reference(gate_up: &Mat<f32>, down: &Mat<f32>, inter: usize, h: &Mat<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lq_core::packed::PackedLqqLinear;
+    use lq_core::BackendId;
     use lq_quant::metrics::error_stats;
 
     #[test]
@@ -97,8 +97,8 @@ mod tests {
         });
         let h = Mat::from_fn(m, hidden, |r, c| ((r * hidden + c) as f32 * 0.029).sin());
         let w = FfnWeights {
-            gate_up: W4A8Weights::Lqq(PackedLqqLinear::quantize(&gate_up, 32)),
-            down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, 32)),
+            gate_up: W4A8Weights::quantize(&gate_up, 32, BackendId::Lqq),
+            down: W4A8Weights::quantize(&down, 32, BackendId::Lqq),
             inter,
         };
         let lg = LiquidGemm::builder().build().unwrap();
@@ -118,8 +118,8 @@ mod tests {
         let down = Mat::from_fn(hidden, inter, |r, c| ((r + c) as f32 * 0.03).cos() * 0.4);
         let h = Mat::from_fn(m, hidden, |r, c| ((r * c) as f32 * 0.01).sin());
         let w = FfnWeights {
-            gate_up: W4A8Weights::Lqq(PackedLqqLinear::quantize(&gate_up, 32)),
-            down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, 32)),
+            gate_up: W4A8Weights::quantize(&gate_up, 32, BackendId::Lqq),
+            down: W4A8Weights::quantize(&down, 32, BackendId::Lqq),
             inter,
         };
         let lg = LiquidGemm::builder()
@@ -139,8 +139,8 @@ mod tests {
         let gate_up = Mat::from_fn(64, 32, |_, _| 0.1);
         let down = Mat::from_fn(32, 32, |_, _| 0.1);
         let w = FfnWeights {
-            gate_up: W4A8Weights::Lqq(PackedLqqLinear::quantize(&gate_up, 32)),
-            down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, 32)),
+            gate_up: W4A8Weights::quantize(&gate_up, 32, BackendId::Lqq),
+            down: W4A8Weights::quantize(&down, 32, BackendId::Lqq),
             inter: 32,
         };
         let h = Mat::zeros(2, 64);

@@ -273,7 +273,7 @@ mod tests {
     use super::*;
     use crate::kv::KvQuantizer;
     use crate::model::synth_mat;
-    use lq_core::packed::PackedLqqLinear;
+    use lq_core::BackendId;
     use lq_quant::metrics::error_stats;
 
     fn build_pair(hidden: usize, inter: usize, cfg: AttnConfig) -> (DecoderLayer, ReferenceLayer) {
@@ -286,11 +286,11 @@ mod tests {
         let layer = DecoderLayer {
             cfg,
             weights: LayerWeights {
-                qkv: W4A8Weights::Lqq(PackedLqqLinear::quantize(&qkv, 32)),
-                o: W4A8Weights::Lqq(PackedLqqLinear::quantize(&o, 32)),
+                qkv: W4A8Weights::quantize(&qkv, 32, BackendId::Lqq),
+                o: W4A8Weights::quantize(&o, 32, BackendId::Lqq),
                 ffn: FfnWeights {
-                    gate_up: W4A8Weights::Lqq(PackedLqqLinear::quantize(&gate_up, 32)),
-                    down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, 32)),
+                    gate_up: W4A8Weights::quantize(&gate_up, 32, BackendId::Lqq),
+                    down: W4A8Weights::quantize(&down, 32, BackendId::Lqq),
                     inter,
                 },
                 attn_norm: attn_norm.clone(),

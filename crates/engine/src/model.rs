@@ -8,7 +8,6 @@ use crate::kv::{KvQuantizer, PagedKvStore};
 use crate::layer::{DecoderLayer, LayerWeights, ReferenceLayer};
 use crate::norm::rmsnorm;
 use lq_core::api::W4A8Weights;
-use lq_core::packed::PackedLqqLinear;
 use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
@@ -121,11 +120,11 @@ impl TinyLlm {
             layers.push(DecoderLayer {
                 cfg: a,
                 weights: LayerWeights {
-                    qkv: W4A8Weights::Lqq(PackedLqqLinear::quantize(&qkv, spec.group)),
-                    o: W4A8Weights::Lqq(PackedLqqLinear::quantize(&o, spec.group)),
+                    qkv: engine.pack_weights(&qkv, spec.group),
+                    o: engine.pack_weights(&o, spec.group),
                     ffn: FfnWeights {
-                        gate_up: W4A8Weights::Lqq(PackedLqqLinear::quantize(&gate_up, spec.group)),
-                        down: W4A8Weights::Lqq(PackedLqqLinear::quantize(&down, spec.group)),
+                        gate_up: engine.pack_weights(&gate_up, spec.group),
+                        down: engine.pack_weights(&down, spec.group),
                         inter: spec.inter,
                     },
                     attn_norm: vec![1.0; spec.hidden],
@@ -142,7 +141,7 @@ impl TinyLlm {
             embed: synth_mat(spec.vocab, spec.hidden, 7, 0.7),
             layers,
             final_norm: vec![1.0; spec.hidden],
-            lm_head: W4A8Weights::Lqq(PackedLqqLinear::quantize(&lm_head_f, spec.group)),
+            lm_head: engine.pack_weights(&lm_head_f, spec.group),
             kv,
             kind,
             engine,

@@ -29,26 +29,49 @@
 //!   [`weights::QuantizedLinear`] ready for the GEMM kernels.
 //! * [`metrics`] — quantization-error metrics (MSE, SQNR, max-abs,
 //!   cosine) used by the accuracy harness.
+//! * [`backend`] — the pluggable kernel-backend layer: the
+//!   [`backend::KernelBackend`] / [`backend::PackedWeights`] /
+//!   [`backend::TileDequant`] traits and the [`backend::BackendId`]-keyed
+//!   registry every kernel dispatches through.
+//! * [`dequant`] — the uncounted hot-loop SWAR group dequantization the
+//!   LQQ/QoQ backends and kernels share.
+//! * [`packed`] — dual-MMA-packed weight containers for the LQQ and QoQ
+//!   backends.
+//! * [`lut`] — the LUT-GEMM-style backend: per-group 16-entry INT8
+//!   dequant tables indexed by the 4-bit codes (bit-exact vs LQQ).
+//! * [`codebook`] — the CodeGEMM-style backend: a shared codebook of
+//!   INT8 sub-vectors indexed by 8-bit codes (SQNR-bounded).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod act;
+pub mod backend;
+pub mod codebook;
+pub mod dequant;
 pub mod fp16;
 pub mod fp8;
 pub mod kv4;
 pub mod level1;
 pub mod lqq;
+pub mod lut;
 pub mod mat;
 pub mod metrics;
+pub mod packed;
 pub mod qoq;
 pub mod smooth;
 pub mod w4f16;
 pub mod weights;
 
 pub use act::{quantize_token, QuantizedActivations};
+pub use backend::{
+    registry, resolve, BackendCost, BackendId, KernelBackend, PackedWeights, TileDequant,
+};
+pub use codebook::PackedCodebookLinear;
 pub use level1::{quantize_per_channel_i8, ChannelScale, PROTECTIVE_MAX};
 pub use lqq::{LqqGroup, LqqTensor};
+pub use lut::PackedLutLinear;
 pub use mat::Mat;
+pub use packed::{PackedLqqLinear, PackedQoqLinear};
 pub use qoq::QoqGroup;
 pub use weights::{QuantScheme, QuantizedLinear};

@@ -1,0 +1,207 @@
+//! Kernel-ready W4A8 weight containers for the two SWAR dequant
+//! schemes, packed in the dual-MMA layout (paper, Section 5.2).
+//!
+//! Each container stores the weights in the exact memory format its
+//! kernel streams, plus the scale metadata its epilogue needs, and
+//! reports its weight-memory footprint for the serving simulator's
+//! memory accounting. They moved here from `lq-core` together with the
+//! backend trait layer ([`crate::backend`]) so that a quant scheme, its
+//! packed container, and its [`crate::backend::KernelBackend`] entry
+//! live in one crate; `lq-core` re-exports them unchanged.
+
+use crate::lqq::{LqqGroup, LqqTensor};
+use crate::mat::Mat;
+use crate::qoq::{QoqGroup, QoqTensor};
+use crate::weights::{Level2, QuantScheme, QuantizedLinear};
+use lq_layout::dual_mma::DualMmaWeights;
+
+/// W4A8 weights with LiquidQuant parameters, packed in the dual-MMA
+/// layout — what the LiquidGEMM kernels consume.
+#[derive(Debug, Clone)]
+pub struct PackedLqqLinear {
+    /// Output channels.
+    pub n: usize,
+    /// Reduction dim.
+    pub k: usize,
+    /// Group size along K (multiple of 8).
+    pub group: usize,
+    /// Interleave-packed UINT4 words, dual-MMA layout.
+    pub words: DualMmaWeights,
+    /// Per-group LQQ parameters, `n × k/group` row-major.
+    pub groups: Vec<LqqGroup>,
+    /// Level-1 per-channel scales (length `n`).
+    pub channel_scales: Vec<f32>,
+}
+
+impl PackedLqqLinear {
+    /// Pack from the offline quantization result. Panics if the linear
+    /// was quantized with a different scheme.
+    #[must_use]
+    pub fn from_quantized(q: &QuantizedLinear) -> Self {
+        let Level2::Lqq(t) = &q.level2 else {
+            panic!("expected an LQQ-quantized linear");
+        };
+        Self::from_tensor(t, q.channel_scales.iter().map(|s| s.scale).collect())
+    }
+
+    /// Pack directly from an [`LqqTensor`] plus channel scales.
+    #[must_use]
+    pub fn from_tensor(t: &LqqTensor, channel_scales: Vec<f32>) -> Self {
+        assert_eq!(channel_scales.len(), t.rows());
+        assert_eq!(t.group() % 8, 0, "group size must be a multiple of 8");
+        let words = DualMmaWeights::pack(&t.values, t.rows(), t.cols());
+        Self {
+            n: t.rows(),
+            k: t.cols(),
+            group: t.group(),
+            words,
+            groups: t.groups.clone(),
+            channel_scales,
+        }
+    }
+
+    /// Quantize FP weights end-to-end (level-1 + LQQ level-2 + pack).
+    #[must_use]
+    pub fn quantize(w: &Mat<f32>, group: usize) -> Self {
+        let q = QuantizedLinear::quantize(w, group, QuantScheme::Lqq, None);
+        Self::from_quantized(&q)
+    }
+
+    /// Groups per row.
+    #[must_use]
+    pub fn groups_per_row(&self) -> usize {
+        self.k / self.group
+    }
+
+    /// Group parameters for `(row, group_index)`.
+    #[inline]
+    #[must_use]
+    pub fn group_params(&self, row: usize, g: usize) -> LqqGroup {
+        self.groups[row * self.groups_per_row() + g]
+    }
+
+    /// Packed words of group `g` of `row` (length `group/8`).
+    #[inline]
+    #[must_use]
+    pub fn group_words(&self, row: usize, g: usize) -> &[u32] {
+        self.words
+            .row_kslice(row, g * self.group, (g + 1) * self.group)
+    }
+
+    /// Weight bytes (4-bit payload + group params + channel scales) —
+    /// the serving simulator's memory model.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.words.packed_bytes() + self.groups.len() * 2 + self.channel_scales.len() * 4
+    }
+}
+
+/// W4A8 weights with QoQ parameters (the QServe baseline kernel's
+/// format). Same packing; different per-group metadata and dequant path.
+#[derive(Debug, Clone)]
+pub struct PackedQoqLinear {
+    /// Output channels.
+    pub n: usize,
+    /// Reduction dim.
+    pub k: usize,
+    /// Group size along K (multiple of 8).
+    pub group: usize,
+    /// Interleave-packed UINT4 words.
+    pub words: DualMmaWeights,
+    /// Per-group QoQ parameters.
+    pub groups: Vec<QoqGroup>,
+    /// Level-1 per-channel scales.
+    pub channel_scales: Vec<f32>,
+}
+
+impl PackedQoqLinear {
+    /// Pack from the offline quantization result (QoQ scheme).
+    #[must_use]
+    pub fn from_quantized(q: &QuantizedLinear) -> Self {
+        let Level2::Qoq(t) = &q.level2 else {
+            panic!("expected a QoQ-quantized linear");
+        };
+        Self::from_tensor(t, q.channel_scales.iter().map(|s| s.scale).collect())
+    }
+
+    /// Pack directly from a [`QoqTensor`] plus channel scales.
+    #[must_use]
+    pub fn from_tensor(t: &QoqTensor, channel_scales: Vec<f32>) -> Self {
+        assert_eq!(t.group() % 8, 0, "group size must be a multiple of 8");
+        let words = DualMmaWeights::pack(&t.values, t.rows(), t.cols());
+        Self {
+            n: t.rows(),
+            k: t.cols(),
+            group: t.group(),
+            words,
+            groups: t.groups.clone(),
+            channel_scales,
+        }
+    }
+
+    /// Quantize FP weights end-to-end with the QoQ scheme.
+    #[must_use]
+    pub fn quantize(w: &Mat<f32>, group: usize) -> Self {
+        let q = QuantizedLinear::quantize(w, group, QuantScheme::Qoq, None);
+        Self::from_quantized(&q)
+    }
+
+    /// Groups per row.
+    #[must_use]
+    pub fn groups_per_row(&self) -> usize {
+        self.k / self.group
+    }
+
+    /// Group parameters for `(row, group_index)`.
+    #[inline]
+    #[must_use]
+    pub fn group_params(&self, row: usize, g: usize) -> QoqGroup {
+        self.groups[row * self.groups_per_row() + g]
+    }
+
+    /// Packed words of group `g` of `row`.
+    #[inline]
+    #[must_use]
+    pub fn group_words(&self, row: usize, g: usize) -> &[u32] {
+        self.words
+            .row_kslice(row, g * self.group, (g + 1) * self.group)
+    }
+
+    /// Weight bytes.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.words.packed_bytes() + self.groups.len() * 2 + self.channel_scales.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(n: usize, k: usize) -> Mat<f32> {
+        Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.17).sin() * 2.0)
+    }
+
+    #[test]
+    fn lqq_pack_preserves_values() {
+        let w = weights(8, 128);
+        let q = QuantizedLinear::quantize(&w, 64, QuantScheme::Lqq, None);
+        let p = PackedLqqLinear::from_quantized(&q);
+        assert_eq!((p.n, p.k, p.group), (8, 128, 64));
+        // Unpacked words must equal the tensor's values.
+        let Level2::Lqq(t) = &q.level2 else {
+            unreachable!()
+        };
+        assert_eq!(p.words.unpack_all(), t.values);
+        assert_eq!(p.groups_per_row(), 2);
+        assert_eq!(p.group_words(3, 1).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected an LQQ-quantized linear")]
+    fn wrong_scheme_panics() {
+        let w = weights(2, 64);
+        let q = QuantizedLinear::quantize(&w, 64, QuantScheme::Qoq, None);
+        let _ = PackedLqqLinear::from_quantized(&q);
+    }
+}

@@ -116,6 +116,25 @@ impl PrecisionCfg {
         overlap_dq: true,
         mt_max: 256,
     };
+
+    /// Build a cost-model configuration from a registered kernel
+    /// backend's [`lq_quant::BackendCost`] descriptor, so one sweep
+    /// prices every backend in `lq_quant::backend::registry()` on the
+    /// same shapes.
+    ///
+    /// All registered backends target INT8 tensor cores; overlapped
+    /// backends get the large `(W·Xᵀ)ᵀ` tile (mt 256), serial ones the
+    /// Ampere-style 64-row tile (matching [`Self::QSERVE_W4A8`]).
+    #[must_use]
+    pub fn from_backend(cost: &lq_quant::BackendCost) -> PrecisionCfg {
+        PrecisionCfg {
+            weight_bytes: cost.weight_bytes_per_elem,
+            tc: TcKind::Int8,
+            alpha: cost.alpha,
+            overlap_dq: cost.overlap_dq,
+            mt_max: if cost.overlap_dq { 256 } else { 64 },
+        }
+    }
 }
 
 /// The three terms of Eq. 6 plus the composed total, in seconds.
@@ -357,5 +376,64 @@ mod tests {
     #[should_panic(expected = "degenerate shape")]
     fn zero_shape_panics() {
         let _ = gemm_cost(&H100, GemmShape { m: 0, n: 1, k: 1 }, PrecisionCfg::W8A8);
+    }
+
+    #[test]
+    fn from_backend_reproduces_the_builtin_configs() {
+        use lq_quant::backend::{LqqBackend, QoqBackend};
+        use lq_quant::KernelBackend;
+        let lqq = PrecisionCfg::from_backend(&LqqBackend.cost());
+        assert_eq!(lqq.tc, PrecisionCfg::LIQUID_W4A8.tc);
+        assert_eq!(lqq.alpha, PrecisionCfg::LIQUID_W4A8.alpha);
+        assert_eq!(lqq.overlap_dq, PrecisionCfg::LIQUID_W4A8.overlap_dq);
+        assert_eq!(lqq.mt_max, PrecisionCfg::LIQUID_W4A8.mt_max);
+        // BackendCost amortises group metadata into the byte rate; the
+        // hand-written const uses the nominal 0.5 B/elem.
+        assert!((lqq.weight_bytes - PrecisionCfg::LIQUID_W4A8.weight_bytes).abs() < 0.05);
+        let qoq = PrecisionCfg::from_backend(&QoqBackend.cost());
+        assert_eq!(qoq.alpha, PrecisionCfg::QSERVE_W4A8.alpha);
+        assert_eq!(qoq.overlap_dq, PrecisionCfg::QSERVE_W4A8.overlap_dq);
+        assert_eq!(qoq.mt_max, PrecisionCfg::QSERVE_W4A8.mt_max);
+    }
+
+    #[test]
+    fn registry_sweep_orders_backends_sanely() {
+        use lq_quant::backend::registry;
+        let costs: Vec<(lq_quant::BackendId, CostBreakdown)> = registry()
+            .iter()
+            .map(|b| {
+                (
+                    b.id(),
+                    gemm_cost(&H100, SHAPE, PrecisionCfg::from_backend(&b.cost())),
+                )
+            })
+            .collect();
+        let total = |id: &str| {
+            costs
+                .iter()
+                .find(|(b, _)| b.label() == id)
+                .map(|(_, c)| c.total)
+                .unwrap()
+        };
+        // Compute-bound at M = 256: the serial-dequant QoQ baseline must
+        // be the slowest by a wide margin, and the cheap overlapped
+        // dequant paths (LQQ, LUT) must beat it by the paper's factor.
+        assert!(total("qoq") / total("lqq") > 2.0);
+        assert!(total("qoq") / total("lut") > 2.0);
+        // Codebook weights are the smallest (2 b/elem effective), so the
+        // memory-bound decode shape must favour it.
+        let decode = GemmShape { m: 4, ..SHAPE };
+        let cb = gemm_cost(
+            &H100,
+            decode,
+            PrecisionCfg::from_backend(&lq_quant::resolve(lq_quant::BackendId::Codebook).cost()),
+        );
+        let lqq = gemm_cost(
+            &H100,
+            decode,
+            PrecisionCfg::from_backend(&lq_quant::resolve(lq_quant::BackendId::Lqq).cost()),
+        );
+        assert!(cb.memory_bound());
+        assert!(cb.total < lqq.total, "{} vs {}", cb.total, lqq.total);
     }
 }

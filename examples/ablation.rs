@@ -41,7 +41,7 @@ fn main() {
         .stages(2 * workers)
         .build()
         .expect("valid config");
-    let weights = W4A8Weights::Lqq(lqq.clone());
+    let weights = W4A8Weights::lqq(lqq.clone());
 
     let t_base = median(3, || {
         std::hint::black_box(w4a8_qoq_serial(&qa.q, &qa.scales, &qoq));
@@ -72,6 +72,23 @@ fn main() {
         t_base / t_imfp
     );
     println!("  ImFP over ExCP: {:.2}x", t_excp / t_imfp);
+
+    println!("\n== Dequant-backend sweep (ImFP, {workers} workers, same shapes) ==\n");
+    for backend in registry() {
+        let bw = W4A8Weights::quantize(&w, 64, backend.id());
+        let t = median(3, || {
+            std::hint::black_box(lg.gemm(&qa.q, &qa.scales, &bw, KernelKind::ImFp));
+        });
+        let c = backend.cost();
+        println!(
+            "  {:8} : {:8.2} ms  (model alpha {:4.2}, {:.3} B/elem, overlap {})",
+            backend.id().to_string(),
+            t * 1e3,
+            c.alpha,
+            c.weight_bytes_per_elem,
+            c.overlap_dq
+        );
+    }
 
     println!("\n== Simulated ablation (H800 warp-group pipeline model) ==\n");
     println!("  batch   Baseline      +LQQ     +ExCP     +ImFP   LQQ-gain  ImFP-gain");

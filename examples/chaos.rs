@@ -9,7 +9,6 @@
 //! exactly: same seed, same panics at the same job indices, same
 //! recovery ledger.
 
-use liquidgemm::core::packed::PackedLqqLinear;
 use liquidgemm::core::reference::max_abs_diff;
 use liquidgemm::prelude::*;
 use liquidgemm::quant::act::QuantizedActivations;
@@ -36,7 +35,7 @@ fn main() {
     let (m, n, k) = (24, 256, 1024);
     let w = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.013).sin() * 0.5);
     let x = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.029).cos());
-    let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
+    let weights = W4A8Weights::quantize(&w, 64, BackendId::Lqq);
     let qa = QuantizedActivations::quantize(&x, None);
 
     let lg = LiquidGemm::builder()

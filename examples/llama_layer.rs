@@ -9,7 +9,6 @@
 //!
 //! Run: `cargo run --release --example llama_layer [-- --full]`
 
-use liquidgemm::core::packed::PackedLqqLinear;
 use liquidgemm::core::reference::gemm_f32_ref;
 use liquidgemm::prelude::*;
 use liquidgemm::quant::act::QuantizedActivations;
@@ -30,7 +29,7 @@ fn make_linear(name: &'static str, n: usize, k: usize, seed: usize) -> Linear {
     });
     Linear {
         name,
-        packed: W4A8Weights::Lqq(PackedLqqLinear::quantize(&fp, 64)),
+        packed: W4A8Weights::quantize(&fp, 64, BackendId::Lqq),
         fp,
     }
 }

@@ -1,9 +1,8 @@
-//! Quickstart: quantize a linear layer with LiquidQuant and run the
-//! W4A8 GEMM through every kernel variant.
+//! Quickstart: quantize a linear layer through a registered dequant
+//! backend and run the W4A8 GEMM through every kernel variant.
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use liquidgemm::core::packed::{PackedLqqLinear, PackedQoqLinear};
 use liquidgemm::core::reference::{gemm_f32_ref, max_abs_diff};
 use liquidgemm::prelude::*;
 use liquidgemm::quant::act::QuantizedActivations;
@@ -18,13 +17,23 @@ fn main() {
     let x = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.029).cos() * 2.0);
     println!("GEMM: Y[{m}x{n}] = X[{m}x{k}] . W^T[{k}x{n}]\n");
 
-    // Offline: two-level LiquidQuant quantization + dual-MMA packing.
+    // One LiquidGemm handle owns the persistent worker pool; the
+    // builder also selects the dequant backend every pack_weights call
+    // routes through.
+    let lg = LiquidGemm::builder()
+        .backend(BackendId::Lqq)
+        .build()
+        .expect("valid config");
+
+    // Offline: quantize + pack through the configured backend
+    // (two-level LiquidQuant quantization + dual-MMA packing).
     let t0 = Instant::now();
-    let lqq = PackedLqqLinear::quantize(&w, 64);
+    let weights = lg.pack_weights(&w, 64);
     println!(
-        "quantized W to 4-bit in {:.1} ms ({} KiB packed vs {} KiB fp32)",
+        "quantized W to 4-bit via '{}' in {:.1} ms ({} KiB packed vs {} KiB fp32)",
+        weights.backend(),
         t0.elapsed().as_secs_f64() * 1e3,
-        lqq.weight_bytes() / 1024,
+        weights.weight_bytes() / 1024,
         n * k * 4 / 1024
     );
 
@@ -32,11 +41,7 @@ fn main() {
     let qa = QuantizedActivations::quantize(&x, None);
 
     // The FP32 oracle and the quantization error of the W4A8 result.
-    // One LiquidGemm handle owns the persistent worker pool; build it
-    // once and reuse it for every call below.
-    let lg = LiquidGemm::builder().build().expect("valid config");
     let oracle = gemm_f32_ref(&x, &w);
-    let weights = W4A8Weights::Lqq(lqq.clone());
     let y = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::Serial).y;
     let e = error_stats(&oracle, &y);
     println!(
@@ -59,15 +64,25 @@ fn main() {
         println!("  {kind:?}: {:.2} ms", dt * 1e3);
     }
 
-    // The QoQ baseline kernel: same accuracy class, more ALU work.
-    let qoq = W4A8Weights::Qoq(PackedQoqLinear::quantize(&w, 64));
-    let t0 = Instant::now();
-    let yq = lg.gemm(&qa.q, &qa.scales, &qoq, KernelKind::Serial).y;
-    let dt = t0.elapsed().as_secs_f64();
-    let eq = error_stats(&oracle, &yq);
-    println!(
-        "\nQoQ baseline (serial): {:.2} ms, SQNR {:.1} dB — same grid, more instructions",
-        dt * 1e3,
-        eq.sqnr_db
-    );
+    // Every registered dequant backend runs on the same pipelines; the
+    // SWAR-family backends (lqq, qoq, lut) agree with the FP32 oracle
+    // to the same SQNR, the codebook backend trades accuracy for
+    // 2-bit-effective weights.
+    println!("\ndequant backends (ImFP, same shapes):");
+    for backend in registry() {
+        let t0 = Instant::now();
+        let bw = W4A8Weights::quantize(&w, 64, backend.id());
+        let pack_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let yb = lg.gemm(&qa.q, &qa.scales, &bw, KernelKind::ImFp).y;
+        let dt = t0.elapsed().as_secs_f64();
+        let eb = error_stats(&oracle, &yb);
+        println!(
+            "  {:8} {:34} pack {pack_ms:7.1} ms, gemm {:.2} ms, SQNR {:5.1} dB",
+            backend.id().to_string(),
+            backend.name(),
+            dt * 1e3,
+            eb.sqnr_db
+        );
+    }
 }

@@ -16,7 +16,6 @@
 //! * `lq-sim::pipeline_sim` — modelled per-resource busy time (TMA /
 //!   CUDA cores / Tensor cores) for each pipelining discipline.
 
-use liquidgemm::core::packed::PackedLqqLinear;
 use liquidgemm::models::configs::LLAMA2_7B;
 use liquidgemm::prelude::*;
 use liquidgemm::quant::act::QuantizedActivations;
@@ -35,10 +34,9 @@ fn main() {
     let mut rng = Rng::new(42);
     let (m, n, k) = (8, 256, 512);
     let w = Mat::from_fn(n, k, |_, _| rng.range_f32(-1.0, 1.0));
-    let lqq = PackedLqqLinear::quantize(&w, 64);
     let x = Mat::from_fn(m, k, |_, _| rng.range_f32(-2.0, 2.0));
     let qa = QuantizedActivations::quantize(&x, None);
-    let weights = W4A8Weights::Lqq(lqq);
+    let weights = W4A8Weights::quantize(&w, 64, BackendId::Lqq);
     // One persistent pool serves every call — its per-worker counters
     // (lq_pool_jobs_total, lq_pool_busy_ns_total) accumulate below.
     let lg = LiquidGemm::builder()

@@ -43,7 +43,6 @@
 //!
 //! ```
 //! use liquidgemm::prelude::*;
-//! use liquidgemm::core::packed::PackedLqqLinear;
 //! use liquidgemm::quant::act::QuantizedActivations;
 //! use liquidgemm::quant::mat::Mat;
 //!
@@ -51,14 +50,15 @@
 //! let w = Mat::from_fn(32, 64, |r, c| ((r * 64 + c) as f32 * 0.1).sin());
 //! let x = Mat::from_fn(4, 64, |r, c| ((r + c) as f32 * 0.2).cos());
 //!
-//! // Offline: two-level LiquidQuant quantization + dual-MMA packing.
-//! let weights = W4A8Weights::Lqq(PackedLqqLinear::quantize(&w, 64));
-//! // Online: per-token INT8 activation quantization.
-//! let qa = QuantizedActivations::quantize(&x, None);
 //! // Build the persistent GEMM runtime once (it owns a worker pool,
-//! // the paper's persistent-kernel scheduling), then reuse it for
-//! // every call — here the implicit fine-grained pipeline.
-//! let lg = LiquidGemm::builder().build().unwrap();
+//! // the paper's persistent-kernel scheduling) and pick the dequant
+//! // backend — LiquidQuant here; any `BackendId` works on any pipeline.
+//! let lg = LiquidGemm::builder().backend(BackendId::Lqq).build().unwrap();
+//! // Offline: quantize + pack through the configured backend.
+//! let weights = lg.pack_weights(&w, 64);
+//! // Online: per-token INT8 activation quantization, then the implicit
+//! // fine-grained pipeline.
+//! let qa = QuantizedActivations::quantize(&x, None);
 //! let out = lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp);
 //! assert_eq!((out.y.rows(), out.y.cols()), (4, 32));
 //! ```
@@ -79,16 +79,21 @@ pub use lq_trace as trace;
 
 /// The handle-based API in one import: `use liquidgemm::prelude::*;`.
 ///
-/// Covers the three things nearly every program touches — the
+/// Covers the four things nearly every program touches — the
 /// persistent GEMM runtime ([`LiquidGemm`] + [`KernelKind`] +
-/// [`W4A8Weights`]), the executable model ([`TinyLlm`]), and the
-/// serving API shared by the simulated and executable schedulers
-/// ([`Request`] / [`Completion`] / [`RunStats`] / [`SchedulerConfig`],
+/// [`W4A8Weights`]), the pluggable dequant-backend registry
+/// ([`BackendId`] / [`KernelBackend`] / [`registry`] / [`resolve`]),
+/// the executable model ([`TinyLlm`]), and the serving API shared by
+/// the simulated and executable schedulers ([`Request`] /
+/// [`Completion`] / [`RunStats`] / [`SchedulerConfig`],
 /// [`run_schedule`], [`ServingRuntime`]).
 pub mod prelude {
     pub use lq_chaos::{FaultAction, FaultInjector, FaultPlan, FaultStats};
     pub use lq_core::{GemmOutput, KernelKind, LiquidGemm, LiquidGemmBuilder, W4A8Weights};
     pub use lq_engine::{ModelSpec, TinyLlm};
+    pub use lq_quant::backend::{
+        registry, resolve, BackendCost, BackendId, KernelBackend, PackedWeights,
+    };
     pub use lq_serving::kvcache::SeqId;
     pub use lq_serving::runtime::{EngineError, PromptRequest, ServingEngine, ServingRuntime};
     pub use lq_serving::{

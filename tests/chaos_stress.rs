@@ -269,7 +269,7 @@ fn survivors_are_bit_exact_with_fault_free_baseline() {
 fn pool_gemm_under_injected_panics_is_bit_exact_with_serial() {
     let x = Mat::from_fn(24, 384, |r, c| ((r * 384 + c) as f32 * 0.011).sin());
     let w = Mat::from_fn(96, 384, |r, c| ((r * 384 + c) as f32 * 0.007).cos() * 0.5);
-    let weights = W4A8Weights::Lqq(liquidgemm::core::packed::PackedLqqLinear::quantize(&w, 64));
+    let weights = W4A8Weights::lqq(liquidgemm::core::packed::PackedLqqLinear::quantize(&w, 64));
     let qa = QuantizedActivations::quantize(&x, None);
     let cfg = ParallelConfig::builder()
         .task_rows(4)

@@ -35,7 +35,7 @@ fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, W4A8Weights) {
     (
         qa.q,
         qa.scales,
-        W4A8Weights::Lqq(PackedLqqLinear::quantize(&wf, 64)),
+        W4A8Weights::lqq(PackedLqqLinear::quantize(&wf, 64)),
     )
 }
 
