@@ -1,5 +1,6 @@
 //! Executable serving runtime: batched continuous decode vs sequential
-//! per-request decode on the *same* persistent GEMM pool.
+//! per-request decode on the *same* persistent GEMM pool, plus the
+//! router overload study.
 //!
 //! The paper's system claim (Table 1, Figure 10) is that serving
 //! throughput comes from batching decode GEMMs: one M=batch GEMM per
@@ -9,26 +10,47 @@
 //! decode, the no-continuous-batching baseline) and `max_batch = 8` —
 //! measuring real wall-clock makespans on a real `TinyLlm`.
 //!
+//! The second half scales out: a 2-replica [`ServingRouter`] is driven
+//! with an open-loop Poisson trace at **2× the measured sustainable
+//! rate** (mixed Low/Normal/High tiers, SLO-tiered admission,
+//! priority-KV preemption, tight KV budget) to show graceful
+//! degradation — high-priority p99 stays bounded while low-priority
+//! work is shed and preempted — and a deterministic preemption probe
+//! pins the preemption path itself.
+//!
 //! Run: `cargo run --release -p lq-bench --bin serving_runtime \
-//!   [-- --json] [-- --trace trace.json]`
+//!   [-- --json] [-- --smoke] [-- --trace trace.json]`
 //!
 //! `--json` enables telemetry (batch-size / decode-step / request
-//! latency histograms, KV gauges, pool counters) and writes
-//! `BENCH_serving_runtime.json` on exit. `--trace <path>` enables
-//! causal event tracing and writes a Perfetto-loadable Chrome trace
-//! of the whole sweep on exit.
+//! latency histograms, per-replica serving families, KV gauges, pool
+//! counters) and writes `BENCH_serving_runtime.json` on exit.
+//! `--smoke` turns the overload findings into hard gates (preemptions
+//! fired, every request accounted, high-p99 bound, goodput floor, zero
+//! fault-free pool retries) for CI. `--trace <path>` writes a
+//! Perfetto-loadable Chrome trace of the whole sweep on exit.
 
 use lq_bench::{fmt_time, print_header, print_row};
 use lq_core::{KernelKind, LiquidGemm};
 use lq_engine::{ModelSpec, TinyLlm};
+use lq_router::{ServingRouter, TierMix, TraceConfig};
 use lq_serving::runtime::{PromptRequest, ServingRuntime};
-use lq_serving::{Request, RunStats, SchedulerConfig};
+use lq_serving::{
+    AdmissionPolicy, CompletionStatus, PreemptionPolicy, Priority, Request, RunStats,
+    SchedulerConfig,
+};
 use std::sync::Arc;
 
 const REQUESTS: usize = 16;
 const PROMPT_LEN: usize = 16;
 const OUTPUT_LEN: usize = 64;
 const ENGINE_PAGES: usize = 4096;
+
+/// Replicas in the overload study.
+const REPLICAS: usize = 2;
+/// Offered load relative to the measured sustainable rate.
+const OVERLOAD_FACTOR: f64 = 2.0;
+/// Approximate arrivals in the overload trace.
+const OVERLOAD_ARRIVALS: f64 = 60.0;
 
 fn workload(spec: &ModelSpec) -> Vec<PromptRequest> {
     (0..REQUESTS as u64)
@@ -52,7 +74,128 @@ fn serve(pool: &Arc<LiquidGemm>, spec: ModelSpec, max_batch: usize) -> RunStats 
     ServingRuntime::new(cfg, ENGINE_PAGES * 16).run(&mut model, workload(&spec))
 }
 
+/// Deterministic preemption probe: a Low request sized to fill the
+/// whole admission table is decoding when a High request arrives —
+/// under `PriorityKv` the only way in is eviction, so `preemptions`
+/// must move and both requests must still finish with a leak-free
+/// table. Returns `(preemptions, finished)`.
+fn preemption_probe(pool: &Arc<LiquidGemm>, spec: ModelSpec) -> (u64, usize) {
+    let mut model =
+        TinyLlm::synthetic_with_engine(spec, ENGINE_PAGES, KernelKind::ImFp, Arc::clone(pool));
+    let prompt = |id: usize| -> Vec<usize> { (0..8).map(|t| (id * 29 + t) % spec.vocab).collect() };
+    let requests = vec![
+        PromptRequest::new(
+            Request::new(0, 8, 24, 0.0).with_priority(Priority::Low),
+            prompt(0),
+        ),
+        PromptRequest::new(
+            Request::new(1, 8, 8, 1e-12).with_priority(Priority::High),
+            prompt(1),
+        ),
+    ];
+    let mut rt = ServingRuntime::builder()
+        .page_tokens(16)
+        .kv_budget_tokens(32) // Low's 8+24 reservation takes every page
+        .preemption(PreemptionPolicy::PriorityKv)
+        .build()
+        .expect("valid probe config");
+    let stats = rt.run(&mut model, requests);
+    assert_eq!(rt.kv().free_pages(), rt.kv().total_pages(), "probe leaked");
+    (stats.preemptions, stats.finished())
+}
+
+struct OverloadResult {
+    offered_rate: f64,
+    goodput: f64,
+    preemptions: u64,
+    low_shed: usize,
+    tier_p99: [f64; 3],
+    tier_finished: [usize; 3],
+    completions: usize,
+    arrivals: usize,
+    unserved: usize,
+    per_replica: Vec<(u64, f64, u64)>, // (routed, goodput, preemptions)
+}
+
+/// Drive the 2-replica router at `OVERLOAD_FACTOR`× the measured
+/// sustainable rate with a 25/45/30 Low/Normal/High Poisson mix,
+/// SLO-tiered admission, priority-KV preemption, and a KV budget tight
+/// enough that preemption (not `max_batch`) is the binding constraint.
+fn overload(pool: &Arc<LiquidGemm>, spec: ModelSpec, sustainable_tok_s: f64) -> OverloadResult {
+    // Mean output below is ~12 tokens, so sustainable requests/s per
+    // cluster = token throughput / mean output × replicas.
+    let mean_output = 12.0;
+    let sustainable_rate = sustainable_tok_s / mean_output * REPLICAS as f64;
+    let offered_rate = OVERLOAD_FACTOR * sustainable_rate;
+    let mut trace_cfg = TraceConfig::poisson(offered_rate, OVERLOAD_ARRIVALS / offered_rate);
+    trace_cfg.mix = TierMix {
+        low_pct: 25,
+        normal_pct: 45,
+        high_pct: 30,
+    };
+    trace_cfg.prompt_len = (8, 16);
+    trace_cfg.output_len = (8, 16);
+    let requests = trace_cfg
+        .generate_prompts(0x0E_1D0A, spec.vocab)
+        .expect("valid trace config");
+    let arrivals = requests.len();
+
+    let router = ServingRouter::builder()
+        .replicas(REPLICAS)
+        .runtime(
+            ServingRuntime::builder()
+                .max_batch(8)
+                .page_tokens(16)
+                .max_queue(8)
+                .admission(AdmissionPolicy::SloTiered {
+                    low_share_pct: 25,
+                    normal_share_pct: 60,
+                })
+                .preemption(PreemptionPolicy::PriorityKv)
+                .max_prefill_tokens(32)
+                // 12 pages: ~6 concurrent reservations, below
+                // max_batch, so KV pressure (and preemption) binds.
+                .kv_budget_tokens(192),
+        )
+        .build()
+        .expect("valid router config");
+    let out = router.run(
+        |_replica| {
+            TinyLlm::synthetic_with_engine(spec, ENGINE_PAGES, KernelKind::ImFp, Arc::clone(pool))
+        },
+        requests,
+    );
+    let merged = out.merged();
+    let tier_p99 = [
+        merged.tier_latency_percentile(Priority::Low, 99.0),
+        merged.tier_latency_percentile(Priority::Normal, 99.0),
+        merged.tier_latency_percentile(Priority::High, 99.0),
+    ];
+    let tier_finished = [
+        merged.tier_count(Priority::Low, CompletionStatus::Finished),
+        merged.tier_count(Priority::Normal, CompletionStatus::Finished),
+        merged.tier_count(Priority::High, CompletionStatus::Finished),
+    ];
+    OverloadResult {
+        offered_rate,
+        goodput: merged.goodput(),
+        preemptions: merged.preemptions,
+        low_shed: merged.tier_count(Priority::Low, CompletionStatus::Rejected),
+        tier_p99,
+        tier_finished,
+        completions: merged.completions.len(),
+        arrivals,
+        unserved: out.unserved.len(),
+        per_replica: out
+            .replicas
+            .iter()
+            .map(|r| (r.routed, r.stats.goodput(), r.stats.preemptions))
+            .collect(),
+    }
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let _json = lq_bench::json_dump("serving_runtime");
     // `--trace <path>`: record every pool/serving event of the sweep
     // and write a Perfetto-loadable Chrome trace on exit.
@@ -111,4 +254,120 @@ fn main() {
         speedup >= 2.0,
         "batched continuous decode must be >= 2x sequential (got {speedup:.2}x)"
     );
+
+    // == Preemption probe ==
+    let (probe_preemptions, probe_finished) = preemption_probe(&pool, spec);
+    println!(
+        "\npreemption probe: {probe_preemptions} preemption(s), \
+         {probe_finished}/2 finished (victim re-queued and completed)"
+    );
+
+    // == Router overload ==
+    println!(
+        "\n== Router overload: {REPLICAS} replicas, Poisson at \
+         {OVERLOAD_FACTOR}x sustainable, 25/45/30 low/normal/high, \
+         SLO-tiered admission + priority-KV preemption ==\n"
+    );
+    let ov = overload(&pool, spec, batched);
+    print_header(&[("tier", 7), ("finished", 9), ("p99 lat", 10)]);
+    for tier in [Priority::Low, Priority::Normal, Priority::High] {
+        print_row(&[
+            (tier.label().to_string(), 7),
+            (format!("{}", ov.tier_finished[tier.index()]), 9),
+            (fmt_time(ov.tier_p99[tier.index()]), 10),
+        ]);
+    }
+    println!(
+        "\noffered {:.0} req/s | goodput {:.0} tok/s | {} preemptions | \
+         {} low-tier rejections | {}/{} completions",
+        ov.offered_rate, ov.goodput, ov.preemptions, ov.low_shed, ov.completions, ov.arrivals
+    );
+    for (i, (routed, goodput, preempt)) in ov.per_replica.iter().enumerate() {
+        println!(
+            "  replica {i}: {routed} routed, {goodput:.0} tok/s goodput, {preempt} preemptions"
+        );
+    }
+    if lq_telemetry::enabled() {
+        let reg = lq_telemetry::registry();
+        reg.gauge("lq_bench_router_offered_req_per_s")
+            .set(ov.offered_rate);
+        reg.gauge("lq_bench_router_goodput_tok_per_s")
+            .set(ov.goodput);
+        reg.gauge("lq_bench_router_preemptions")
+            .set(ov.preemptions as f64);
+        reg.gauge("lq_bench_router_low_rejected")
+            .set(ov.low_shed as f64);
+        for tier in [Priority::Low, Priority::Normal, Priority::High] {
+            reg.gauge_with("lq_bench_router_p99_latency_s", &[("tier", tier.label())])
+                .set(ov.tier_p99[tier.index()]);
+        }
+        for (i, (routed, goodput, preempt)) in ov.per_replica.iter().enumerate() {
+            let id = i.to_string();
+            let labels = [("replica", id.as_str())];
+            reg.gauge_with("lq_bench_router_replica_routed", &labels)
+                .set(*routed as f64);
+            reg.gauge_with("lq_bench_router_replica_goodput_tok_per_s", &labels)
+                .set(*goodput);
+            reg.gauge_with("lq_bench_router_replica_preemptions", &labels)
+                .set(*preempt as f64);
+        }
+    }
+
+    if smoke {
+        // CI overload gate: graceful degradation, not collapse.
+        let mut fails = Vec::new();
+        if probe_preemptions < 1 || probe_finished != 2 {
+            fails.push(format!(
+                "preemption probe: {probe_preemptions} preemptions, {probe_finished}/2 finished"
+            ));
+        }
+        if ov.completions + ov.unserved != ov.arrivals || ov.unserved != 0 {
+            fails.push(format!(
+                "request accounting: {} completions + {} unserved != {} arrivals",
+                ov.completions, ov.unserved, ov.arrivals
+            ));
+        }
+        if ov.low_shed + (ov.preemptions as usize) == 0 {
+            fails.push("overload shed nothing: no low-tier rejection and no preemption".into());
+        }
+        // High-priority p99 stays bounded by the lower tiers' service
+        // under 2x overload (checked only when both sides finished
+        // enough requests for a stable percentile).
+        let high_p99 = ov.tier_p99[Priority::High.index()];
+        let worst_lower =
+            ov.tier_p99[Priority::Low.index()].max(ov.tier_p99[Priority::Normal.index()]);
+        if ov.tier_finished[Priority::High.index()] >= 5
+            && ov.tier_finished[Priority::Low.index()] + ov.tier_finished[Priority::Normal.index()]
+                >= 5
+            && high_p99 > worst_lower
+        {
+            fails.push(format!(
+                "high-tier p99 {high_p99:.4}s above lower-tier p99 {worst_lower:.4}s"
+            ));
+        }
+        // Goodput floor: the overloaded cluster must keep a healthy
+        // fraction of its measured single-replica capacity.
+        if ov.goodput < 0.3 * batched {
+            fails.push(format!(
+                "goodput {:.0} tok/s under 30% of capacity {batched:.0} tok/s",
+                ov.goodput
+            ));
+        }
+        if lq_telemetry::enabled() {
+            let retries = lq_telemetry::registry()
+                .counter("lq_pool_job_retries_total")
+                .get();
+            if retries != 0 {
+                fails.push(format!("{retries} fault-free pool retries"));
+            }
+        }
+        if fails.is_empty() {
+            println!("\nsmoke OK: overload degraded gracefully");
+        } else {
+            for f in &fails {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -29,6 +29,7 @@
 //! | submit | `WorkerPool::submit`, before the capacity gate | stall the submitter (models an injector-full burst) |
 //! | KV alloc | `PagedKvCache` page allocation | deny with `OutOfMemory` |
 //! | engine call | test engines' prefill/decode entry | request a panic (exercises the runtime's `try_*` containment) |
+//! | replica step | `lq-router` replica scheduler loop | halt the whole replica at a scheduled decode step (router failover) |
 //!
 //! All hooks are threaded through as `Option<&FaultInjector>`-shaped
 //! state; with no injector installed the hot path costs one `None`
@@ -76,6 +77,13 @@ pub struct FaultPlan {
     pub kv_denials: Vec<u64>,
     /// Engine-call indices (prefill/decode entry) that panic.
     pub engine_panics: Vec<u64>,
+    /// `(replica, step)`: whole-replica failures — replica `replica`
+    /// halts at its decode-step `step` (router-level failover site;
+    /// counts per-replica steps, independent of the indexed sites
+    /// above). Not drawn by [`FaultPlan::from_seed`], which predates
+    /// the router; use [`FaultPlan::replica_kill_at`] or
+    /// [`FaultPlan::from_seed_with_replicas`].
+    pub replica_kills: Vec<(u64, u64)>,
 }
 
 impl FaultPlan {
@@ -112,6 +120,7 @@ impl FaultPlan {
             submit_stalls: draw_stalls(&mut rng, 2, 32),
             kv_denials: draw_set(&mut rng, 4, 40),
             engine_panics: draw_set(&mut rng, 2, 64),
+            replica_kills: Vec::new(),
         }
     }
 
@@ -150,6 +159,32 @@ impl FaultPlan {
         self
     }
 
+    /// Kill `replica` at its decode-step `step` (router failover).
+    #[must_use]
+    pub fn replica_kill_at(mut self, replica: u64, step: u64) -> Self {
+        self.replica_kills.push((replica, step));
+        self
+    }
+
+    /// Draw a replica-kill-only schedule from `seed`: kills exactly one
+    /// of `replicas` at an early decode step. The base sites stay
+    /// quiet, so router failover sweeps isolate replica death from
+    /// intra-replica faults. Deterministic per seed, like
+    /// [`FaultPlan::from_seed`] (which is left untouched so existing
+    /// seeded suites replay identically).
+    #[must_use]
+    pub fn from_seed_with_replicas(seed: u64, replicas: u64) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        let mut rng = Rng::new(seed ^ 0x5EED_D00F_5EED_D00F);
+        let victim = rng.below(replicas);
+        let step = rng.range_u64(1, 12);
+        Self {
+            seed,
+            ..Self::default()
+        }
+        .replica_kill_at(victim, step)
+    }
+
     /// True when the plan schedules no fault at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -158,6 +193,7 @@ impl FaultPlan {
             && self.submit_stalls.is_empty()
             && self.kv_denials.is_empty()
             && self.engine_panics.is_empty()
+            && self.replica_kills.is_empty()
     }
 }
 
@@ -175,6 +211,8 @@ pub struct FaultStats {
     pub kv_denials: u64,
     /// Engine-call panics requested.
     pub engine_panics: u64,
+    /// Whole-replica kills fired.
+    pub replica_kills: u64,
 }
 
 impl FaultStats {
@@ -186,6 +224,7 @@ impl FaultStats {
             + self.submit_stalls
             + self.kv_denials
             + self.engine_panics
+            + self.replica_kills
     }
 }
 
@@ -202,11 +241,12 @@ pub struct FaultInjector {
     submit_stalls: HashMap<u64, u64>,
     kv_denials: HashSet<u64>,
     engine_panics: HashSet<u64>,
+    replica_kills: HashMap<u64, (u64, AtomicU64)>,
     worker_ctr: AtomicU64,
     submit_ctr: AtomicU64,
     kv_ctr: AtomicU64,
     engine_ctr: AtomicU64,
-    fired: [AtomicU64; 5],
+    fired: [AtomicU64; 6],
 }
 
 impl FaultInjector {
@@ -233,6 +273,11 @@ impl FaultInjector {
             submit_stalls: plan.submit_stalls.iter().copied().collect(),
             kv_denials: plan.kv_denials.iter().copied().collect(),
             engine_panics: plan.engine_panics.iter().copied().collect(),
+            replica_kills: plan
+                .replica_kills
+                .iter()
+                .map(|&(r, s)| (r, (s, AtomicU64::new(0))))
+                .collect(),
             plan,
             worker_ctr: AtomicU64::new(0),
             submit_ctr: AtomicU64::new(0),
@@ -310,6 +355,24 @@ impl FaultInjector {
         boom
     }
 
+    /// Consult the replica-step site: replica `replica` reports one
+    /// scheduler-loop step; `true` means the whole replica halts now
+    /// (router failover takes over). Each scheduled kill fires once —
+    /// the step the counter reaches the plan's index — and keeps
+    /// answering `true` afterwards (a dead replica stays dead).
+    /// Replicas with no scheduled kill run free without counting.
+    #[must_use]
+    pub fn on_replica_step(&self, replica: u64) -> bool {
+        let Some((step, ctr)) = self.replica_kills.get(&replica) else {
+            return false;
+        };
+        let i = ctr.fetch_add(1, Ordering::Relaxed);
+        if i == *step {
+            self.fire(5, *step);
+        }
+        i >= *step
+    }
+
     /// Snapshot of faults actually fired so far.
     #[must_use]
     pub fn stats(&self) -> FaultStats {
@@ -319,6 +382,7 @@ impl FaultInjector {
             submit_stalls: self.fired[2].load(Ordering::Relaxed),
             kv_denials: self.fired[3].load(Ordering::Relaxed),
             engine_panics: self.fired[4].load(Ordering::Relaxed),
+            replica_kills: self.fired[5].load(Ordering::Relaxed),
         }
     }
 }
@@ -394,6 +458,42 @@ mod tests {
         assert_eq!(inj.on_submit(), Some(Duration::from_micros(25)));
         assert_eq!(inj.on_submit(), None);
         assert_eq!(inj.stats().total(), 3);
+    }
+
+    #[test]
+    fn replica_site_kills_at_step_and_stays_dead() {
+        let inj = FaultInjector::new(FaultPlan::quiet().replica_kill_at(1, 2));
+        // Replica 0 has no scheduled kill: runs free.
+        for _ in 0..10 {
+            assert!(!inj.on_replica_step(0));
+        }
+        // Replica 1 survives steps 0..2, dies at 2, stays dead.
+        assert!(!inj.on_replica_step(1));
+        assert!(!inj.on_replica_step(1));
+        assert!(inj.on_replica_step(1));
+        assert!(inj.on_replica_step(1));
+        // The kill fired exactly once.
+        assert_eq!(inj.stats().replica_kills, 1);
+        assert_eq!(inj.stats().total(), 1);
+    }
+
+    #[test]
+    fn seeded_replica_plans_are_deterministic_and_bounded() {
+        for seed in 0..32 {
+            let p = FaultPlan::from_seed_with_replicas(seed, 3);
+            assert_eq!(p, FaultPlan::from_seed_with_replicas(seed, 3));
+            assert_eq!(p.replica_kills.len(), 1);
+            let (r, s) = p.replica_kills[0];
+            assert!(r < 3);
+            assert!((1..12).contains(&s));
+            // Base sites stay quiet: replica death is isolated.
+            assert!(p.worker_panics.is_empty() && p.kv_denials.is_empty());
+        }
+        // All replicas get picked as victim across seeds.
+        let victims: HashSet<u64> = (0..32)
+            .map(|s| FaultPlan::from_seed_with_replicas(s, 3).replica_kills[0].0)
+            .collect();
+        assert_eq!(victims.len(), 3);
     }
 
     #[test]

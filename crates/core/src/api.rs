@@ -15,8 +15,6 @@ use lq_quant::mat::Mat;
 
 use crate::packed::{PackedLqqLinear, PackedQoqLinear};
 pub use crate::pipeline::ParallelConfig;
-#[allow(deprecated)]
-pub use crate::pipeline::{Dequant, PackedW4A8};
 
 /// Pipeline strategy for the W4A8 kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -77,6 +77,4 @@ pub use packed::{
     W4A16Linear, W8A8Linear,
 };
 pub use pipeline::{ConfigError, ParallelConfigBuilder};
-#[allow(deprecated)]
-pub use pipeline::{Dequant, PackedW4A8};
 pub use runtime::{LiquidGemm, LiquidGemmBuilder, WorkerPool, WorkerStats};

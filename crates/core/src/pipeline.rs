@@ -60,7 +60,6 @@ use lq_quant::backend::{PackedWeights, TileDequant};
 use lq_quant::mat::Mat;
 
 use crate::microkernel::{accumulate_strip, scatter_channel, APanels, NR};
-use crate::packed::{PackedLqqLinear, PackedQoqLinear};
 use crate::runtime::{CallCtx, Job, Reply, WorkerPool};
 use crate::sync::{bounded, Receiver, Sender};
 use crate::telemetry::{call_span, recv_counting, PipeMetrics};
@@ -188,83 +187,6 @@ impl ParallelConfigBuilder {
             task_rows: self.task_rows,
             stages: self.stages,
         })
-    }
-}
-
-/// Which dequantization algorithm a W4A8 kernel variant uses.
-#[deprecated(
-    since = "0.7.0",
-    note = "use lq_quant::BackendId — every registered backend is a dequant algorithm now"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Dequant {
-    /// LiquidQuant fast path.
-    Lqq,
-    /// QServe/QoQ emulated path.
-    Qoq,
-}
-
-/// A borrowed W4A8 weight source in either second-level scheme.
-///
-/// Superseded by the [`lq_quant::backend::PackedWeights`] trait: every
-/// kernel entry point now takes `&dyn PackedWeights`, which a
-/// `&PackedLqqLinear` / `&PackedQoqLinear` coerces to directly — this
-/// enum survives only as a migration shim (use [`PackedW4A8::as_dyn`]).
-#[deprecated(
-    since = "0.7.0",
-    note = "pass the packed linear as &dyn lq_quant::PackedWeights instead"
-)]
-#[derive(Clone, Copy)]
-pub enum PackedW4A8<'a> {
-    /// LiquidQuant weights.
-    Lqq(&'a PackedLqqLinear),
-    /// QServe/QoQ weights.
-    Qoq(&'a PackedQoqLinear),
-}
-
-#[allow(deprecated)]
-impl<'a> PackedW4A8<'a> {
-    /// The trait-object view every kernel now consumes.
-    #[must_use]
-    pub fn as_dyn(&self) -> &'a dyn PackedWeights {
-        match self {
-            PackedW4A8::Lqq(w) => *w,
-            PackedW4A8::Qoq(w) => *w,
-        }
-    }
-
-    /// Output channels.
-    #[must_use]
-    pub fn n(&self) -> usize {
-        self.as_dyn().n()
-    }
-
-    /// Reduction dim.
-    #[must_use]
-    pub fn k(&self) -> usize {
-        self.as_dyn().k()
-    }
-
-    /// Quantization group size.
-    #[must_use]
-    pub fn group(&self) -> usize {
-        self.as_dyn().group()
-    }
-
-    /// The dequantization algorithm these weights require.
-    #[must_use]
-    pub fn dequant(&self) -> Dequant {
-        match self {
-            PackedW4A8::Lqq(_) => Dequant::Lqq,
-            PackedW4A8::Qoq(_) => Dequant::Qoq,
-        }
-    }
-
-    /// Packed words of rows `[r0, r1)` (contiguous — the tile the Load
-    /// stage copies into a staging buffer).
-    #[must_use]
-    pub fn rows_words(&self, r0: usize, r1: usize) -> &'a [u32] {
-        self.as_dyn().rows_words(r0, r1)
     }
 }
 
@@ -592,6 +514,7 @@ pub fn w4a8_excp(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packed::{PackedLqqLinear, PackedQoqLinear};
     use crate::reference::max_abs_diff;
     use crate::serial::{w4a8_lqq_serial, w4a8_qoq_serial};
     use lq_quant::act::QuantizedActivations;

@@ -1,0 +1,753 @@
+//! # lq-router — sharded multi-replica serving router
+//!
+//! Scales the single-replica [`lq_serving::runtime::ServingRuntime`]
+//! out to N replicas, each with its own engine, KV admission table,
+//! and `{replica="<n>"}`-labelled telemetry — the CPU analogue of a
+//! multi-GPU serving deployment in the paper's system evaluation.
+//!
+//! * [`traffic`] — seeded open-loop arrival traces (Poisson / bursty /
+//!   diurnal, tier mixes) for overload experiments.
+//! * [`ServingRouter`] — shards a workload across replicas under a
+//!   [`RoutingPolicy`] (round-robin, least-loaded, affinity) and an
+//!   optional prefill/decode [`Disaggregation`] split, runs every
+//!   replica on its own thread (`std::thread::scope`), and fails over:
+//!   when a replica halts mid-run (an `lq-chaos` replica-kill fault),
+//!   its evacuated requests — running sequences with KV fully
+//!   released, queued work, future arrivals — re-route to the
+//!   survivors in the next wave.
+//!
+//! Routing is computed *before* a wave runs, from request metadata and
+//! the alive set only. Surviving replicas therefore receive exactly
+//! the same wave-0 shard whether or not another replica dies, which is
+//! what makes the chaos failover tests bit-exact.
+//!
+//! Telemetry (when [`lq_telemetry::enable`] is on):
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `lq_router_routed_total{replica}` | counter | requests assigned to each replica (all waves) |
+//! | `lq_router_failovers_total` | counter | whole-replica failures absorbed |
+//! | `lq_router_rerouted_total` | counter | requests re-routed to survivors after a failover |
+//!
+//! Trace events (when `lq-trace` is recording): `RouterRoute` per
+//! shard decision, `ReplicaKill` per absorbed failure, `ReqReroute`
+//! on each re-queued request's own track — so a request's causal
+//! timeline survives the cross-replica hop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod traffic;
+
+pub use traffic::{ArrivalPattern, TierMix, TraceConfig, TraceConfigError};
+
+use lq_chaos::FaultInjector;
+use lq_serving::runtime::{
+    DrainedRun, PromptRequest, ServingConfigError, ServingEngine, ServingRuntime,
+    ServingRuntimeBuilder,
+};
+use lq_serving::RunStats;
+use std::fmt;
+use std::sync::Arc;
+
+/// How the router picks a replica for each request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Rotate through the candidate replicas in arrival order.
+    RoundRobin,
+    /// Send each request to the candidate with the fewest reserved
+    /// tokens (`prompt + output`) assigned so far this wave — the
+    /// default, and the best at absorbing a failed replica's load.
+    #[default]
+    LeastLoaded,
+    /// `id % candidates`: the same request id always lands on the same
+    /// replica (prefix-cache-style session stickiness) as long as the
+    /// alive set is unchanged.
+    Affinity,
+}
+
+/// Optional prefill/decode disaggregation at the router layer: a
+/// dedicated pool absorbs long-prompt (prefill-heavy) requests so
+/// decode replicas keep short queues — the cluster-level counterpart
+/// of the per-replica `max_prefill_tokens` budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Disaggregation {
+    /// Every replica serves every request.
+    #[default]
+    Unified,
+    /// Replicas `0..prefill_replicas` serve requests with
+    /// `prompt_len >= prompt_threshold`; the rest serve short-prompt
+    /// traffic. If one pool is entirely dead, its traffic falls back
+    /// to any alive replica rather than being dropped.
+    PrefillDecode {
+        /// Size of the long-prompt pool (1..replicas).
+        prefill_replicas: usize,
+        /// Prompt length at which a request is prefill-heavy.
+        prompt_threshold: usize,
+    },
+}
+
+/// Invalid [`ServingRouter::builder`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterConfigError {
+    /// `replicas == 0`.
+    ZeroReplicas,
+    /// `PrefillDecode` with an empty prefill or decode pool.
+    BadDisaggregation,
+    /// The per-replica runtime template failed validation.
+    Runtime(ServingConfigError),
+}
+
+impl fmt::Display for RouterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterConfigError::ZeroReplicas => write!(f, "replicas must be >= 1"),
+            RouterConfigError::BadDisaggregation => {
+                write!(f, "PrefillDecode needs 1 <= prefill_replicas < replicas")
+            }
+            RouterConfigError::Runtime(e) => write!(f, "replica runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterConfigError {}
+
+impl From<ServingConfigError> for RouterConfigError {
+    fn from(e: ServingConfigError) -> Self {
+        RouterConfigError::Runtime(e)
+    }
+}
+
+/// Per-replica outcome of a [`ServingRouter::run`].
+#[derive(Debug, Clone)]
+pub struct ReplicaReport {
+    /// Replica index.
+    pub replica: usize,
+    /// Requests assigned to this replica across all waves.
+    pub routed: u64,
+    /// Whether a replica-kill fault halted it (dead replicas take no
+    /// further waves).
+    pub killed: bool,
+    /// This replica's completions and counters, merged across waves
+    /// (`makespan` sums over its waves; each wave restarts the
+    /// replica's virtual clock).
+    pub stats: RunStats,
+}
+
+/// Aggregate outcome of a [`ServingRouter::run`].
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    /// One report per replica.
+    pub replicas: Vec<ReplicaReport>,
+    /// Whole-replica failures absorbed.
+    pub failovers: u64,
+    /// Requests re-routed to survivors after a failover.
+    pub rerouted: u64,
+    /// Scheduling waves executed (1 = no failover).
+    pub waves: u32,
+    /// Requests left unserved because every replica died. Empty
+    /// whenever at least one replica survives.
+    pub unserved: Vec<PromptRequest>,
+}
+
+impl RouterStats {
+    /// Cluster-level view: all completions concatenated, token and
+    /// step counters summed, makespan and peak batch taken as the max
+    /// over replicas (replicas run concurrently).
+    #[must_use]
+    pub fn merged(&self) -> RunStats {
+        let mut out = RunStats::empty();
+        for r in &self.replicas {
+            out.completions.extend(r.stats.completions.iter().copied());
+            out.generated_tokens += r.stats.generated_tokens;
+            out.makespan = out.makespan.max(r.stats.makespan);
+            out.peak_batch = out.peak_batch.max(r.stats.peak_batch);
+            out.decode_steps += r.stats.decode_steps;
+            out.preemptions += r.stats.preemptions;
+            out.preempted_tokens += r.stats.preempted_tokens;
+        }
+        out
+    }
+}
+
+fn merge_into(into: &mut RunStats, from: RunStats) {
+    into.completions.extend(from.completions);
+    into.generated_tokens += from.generated_tokens;
+    into.makespan += from.makespan;
+    into.peak_batch = into.peak_batch.max(from.peak_batch);
+    into.decode_steps += from.decode_steps;
+    into.preemptions += from.preemptions;
+    into.preempted_tokens += from.preempted_tokens;
+}
+
+/// Shards a workload across N [`ServingRuntime`] replicas with
+/// failover. Construct via [`ServingRouter::builder`].
+pub struct ServingRouter {
+    replicas: usize,
+    policy: RoutingPolicy,
+    disagg: Disaggregation,
+    template: ServingRuntimeBuilder,
+    injector: Option<Arc<FaultInjector>>,
+}
+
+impl ServingRouter {
+    /// Start building a validated router.
+    #[must_use]
+    pub fn builder() -> ServingRouterBuilder {
+        ServingRouterBuilder::default()
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Shard assignment for `requests` with every replica alive, as
+    /// `(request id, replica)` in arrival order — exactly the wave-0
+    /// assignment [`Self::run`] would use.
+    #[must_use]
+    pub fn route_preview(&self, requests: &[PromptRequest]) -> Vec<(u64, usize)> {
+        let mut sorted: Vec<&PromptRequest> = requests.iter().collect();
+        sorted.sort_by(|a, b| a.meta.arrival.total_cmp(&b.meta.arrival));
+        let alive = vec![true; self.replicas];
+        let assignment = self.assign(&sorted, &alive);
+        sorted
+            .iter()
+            .zip(assignment)
+            .map(|(pr, r)| (pr.meta.id, r))
+            .collect()
+    }
+
+    /// Pick a replica for each request (already sorted by arrival)
+    /// from request metadata and the alive set only — no timing
+    /// dependence, so survivors' shards are identical with and
+    /// without a concurrent replica kill.
+    fn assign(&self, reqs: &[&PromptRequest], alive: &[bool]) -> Vec<usize> {
+        let n = self.replicas;
+        let all: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+        assert!(!all.is_empty(), "assign requires an alive replica");
+        let mut load = vec![0u64; n];
+        let mut rr = 0usize;
+        reqs.iter()
+            .map(|pr| {
+                let pool: Vec<usize> = match self.disagg {
+                    Disaggregation::Unified => all.clone(),
+                    Disaggregation::PrefillDecode {
+                        prefill_replicas,
+                        prompt_threshold,
+                    } => {
+                        let range = if pr.meta.prompt_len >= prompt_threshold {
+                            0..prefill_replicas
+                        } else {
+                            prefill_replicas..n
+                        };
+                        let pool: Vec<usize> = range.filter(|&i| alive[i]).collect();
+                        if pool.is_empty() {
+                            all.clone() // whole pool dead: any survivor
+                        } else {
+                            pool
+                        }
+                    }
+                };
+                let r = match self.policy {
+                    RoutingPolicy::RoundRobin => {
+                        let r = pool[rr % pool.len()];
+                        rr += 1;
+                        r
+                    }
+                    RoutingPolicy::LeastLoaded => *pool
+                        .iter()
+                        .min_by_key(|&&i| (load[i], i))
+                        .expect("pool is non-empty"),
+                    RoutingPolicy::Affinity => pool[pr.meta.id as usize % pool.len()],
+                };
+                load[r] += (pr.meta.prompt_len + pr.meta.output_len) as u64;
+                r
+            })
+            .collect()
+    }
+
+    /// Serve `requests` across the replicas. `make_engine(i)` builds
+    /// replica `i`'s engine (each replica owns one engine and one
+    /// runtime for the whole run, across failover waves).
+    ///
+    /// Each wave shards the outstanding requests over the alive
+    /// replicas and runs them concurrently (one OS thread per replica
+    /// via `std::thread::scope`). A replica halted by its
+    /// `on_replica_step` chaos site is marked dead — dead stays dead —
+    /// and everything it evacuated (running sequences with KV fully
+    /// released, queued work, future arrivals) re-routes to the
+    /// survivors in the next wave, keeping each request's original
+    /// arrival time and trace track. Requests are lost only if every
+    /// replica dies ([`RouterStats::unserved`]).
+    pub fn run<E: ServingEngine + Send>(
+        &self,
+        mut make_engine: impl FnMut(usize) -> E,
+        requests: Vec<PromptRequest>,
+    ) -> RouterStats {
+        let n = self.replicas;
+        let mut engines: Vec<E> = (0..n).map(&mut make_engine).collect();
+        let mut runtimes: Vec<ServingRuntime> = (0..n)
+            .map(|i| {
+                self.template
+                    .clone()
+                    .replica(i as u32)
+                    .build()
+                    .expect("template validated at router build")
+            })
+            .collect();
+        let mut alive = vec![true; n];
+        let mut reports: Vec<ReplicaReport> = (0..n)
+            .map(|i| ReplicaReport {
+                replica: i,
+                routed: 0,
+                killed: false,
+                stats: RunStats::empty(),
+            })
+            .collect();
+        let mut failovers = 0u64;
+        let mut rerouted = 0u64;
+        let mut waves = 0u32;
+        let mut unserved: Vec<PromptRequest> = Vec::new();
+        let mut carry = requests;
+
+        // Each wave either drains its shards or shrinks the alive set
+        // (a dead replica stays dead), so the loop terminates after at
+        // most `n` failovers; the cap is a backstop for a misbehaving
+        // engine that halts without a kill.
+        while !carry.is_empty() {
+            if !alive.iter().any(|&a| a) || waves > n as u32 {
+                unserved = carry;
+                break;
+            }
+            carry.sort_by(|a, b| a.meta.arrival.total_cmp(&b.meta.arrival));
+            let assignment = {
+                let sorted: Vec<&PromptRequest> = carry.iter().collect();
+                self.assign(&sorted, &alive)
+            };
+            if waves > 0 {
+                rerouted += carry.len() as u64;
+            }
+            let mut shards: Vec<Vec<PromptRequest>> = (0..n).map(|_| Vec::new()).collect();
+            for (pr, r) in carry.drain(..).zip(assignment) {
+                reports[r].routed += 1;
+                if lq_trace::enabled() {
+                    lq_trace::record_virtual(
+                        lq_trace::EventKind::RouterRoute,
+                        lq_trace::Track::Control,
+                        (pr.meta.arrival * 1e9) as u64,
+                        r as u64,
+                        pr.meta.id,
+                    );
+                }
+                shards[r].push(pr);
+            }
+            waves += 1;
+
+            // One thread per alive, non-idle replica; scoped so the
+            // engines and runtimes stay borrowed, not moved.
+            let injector = &self.injector;
+            let results: Vec<Option<DrainedRun>> = std::thread::scope(|s| {
+                let handles: Vec<_> = engines
+                    .iter_mut()
+                    .zip(runtimes.iter_mut())
+                    .zip(shards)
+                    .enumerate()
+                    .map(|(i, ((engine, rt), shard))| {
+                        if shard.is_empty() || !alive[i] {
+                            return None;
+                        }
+                        let inj = injector.clone();
+                        Some(s.spawn(move || {
+                            let mut halt = move |_steps: u64| {
+                                inj.as_ref().is_some_and(|j| j.on_replica_step(i as u64))
+                            };
+                            rt.run_with_halt(engine, shard, &mut halt)
+                        }))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("replica thread panicked")))
+                    .collect()
+            });
+
+            for (i, res) in results.into_iter().enumerate() {
+                let Some(run) = res else { continue };
+                merge_into(&mut reports[i].stats, run.stats);
+                if run.halted {
+                    alive[i] = false;
+                    reports[i].killed = true;
+                    failovers += 1;
+                    if lq_trace::enabled() {
+                        lq_trace::record_virtual(
+                            lq_trace::EventKind::ReplicaKill,
+                            lq_trace::Track::Control,
+                            0,
+                            i as u64,
+                            run.evacuated.len() as u64,
+                        );
+                        for pr in &run.evacuated {
+                            lq_trace::record_virtual(
+                                lq_trace::EventKind::ReqReroute,
+                                lq_trace::Track::Request(pr.meta.id),
+                                (pr.meta.arrival * 1e9) as u64,
+                                i as u64,
+                                0,
+                            );
+                        }
+                    }
+                    carry.extend(run.evacuated);
+                }
+            }
+        }
+
+        if lq_telemetry::enabled() {
+            let reg = lq_telemetry::registry();
+            for r in &reports {
+                let id = r.replica.to_string();
+                reg.counter_with("lq_router_routed_total", &[("replica", id.as_str())])
+                    .add(r.routed);
+            }
+            reg.counter("lq_router_failovers_total").add(failovers);
+            reg.counter("lq_router_rerouted_total").add(rerouted);
+        }
+
+        RouterStats {
+            replicas: reports,
+            failovers,
+            rerouted,
+            waves,
+            unserved,
+        }
+    }
+}
+
+/// Validating builder for [`ServingRouter`]. Per-replica runtime knobs
+/// pass through a [`ServingRuntimeBuilder`] template (cloned per
+/// replica with its own `replica` label); router-level knobs pick the
+/// shard policy, disaggregation split, and chaos injector.
+#[derive(Clone)]
+pub struct ServingRouterBuilder {
+    replicas: usize,
+    policy: RoutingPolicy,
+    disagg: Disaggregation,
+    template: ServingRuntimeBuilder,
+    injector: Option<Arc<FaultInjector>>,
+}
+
+impl Default for ServingRouterBuilder {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            policy: RoutingPolicy::default(),
+            disagg: Disaggregation::default(),
+            template: ServingRuntimeBuilder::default(),
+            injector: None,
+        }
+    }
+}
+
+impl ServingRouterBuilder {
+    /// Number of replicas (validated ≥ 1; default 2).
+    #[must_use]
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Shard-selection policy (default [`RoutingPolicy::LeastLoaded`]).
+    #[must_use]
+    pub fn policy(mut self, p: RoutingPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Prefill/decode split (default [`Disaggregation::Unified`]).
+    #[must_use]
+    pub fn disaggregation(mut self, d: Disaggregation) -> Self {
+        self.disagg = d;
+        self
+    }
+
+    /// Replace the whole per-replica runtime template.
+    #[must_use]
+    pub fn runtime(mut self, template: ServingRuntimeBuilder) -> Self {
+        self.template = template;
+        self
+    }
+
+    /// Wire a [`FaultInjector`] into the cluster: its `replica_kills`
+    /// sites halt whole replicas (router failover) and its KV-denial
+    /// sites reach every replica's admission table.
+    #[must_use]
+    pub fn fault_injector(mut self, inj: Arc<FaultInjector>) -> Self {
+        self.template = self.template.fault_injector(Arc::clone(&inj));
+        self.injector = Some(inj);
+        self
+    }
+
+    /// Validate and build the router. The runtime template is
+    /// test-built once here so every later per-replica build is
+    /// infallible.
+    pub fn build(self) -> Result<ServingRouter, RouterConfigError> {
+        if self.replicas == 0 {
+            return Err(RouterConfigError::ZeroReplicas);
+        }
+        if let Disaggregation::PrefillDecode {
+            prefill_replicas, ..
+        } = self.disagg
+        {
+            if prefill_replicas == 0 || prefill_replicas >= self.replicas {
+                return Err(RouterConfigError::BadDisaggregation);
+            }
+        }
+        self.template.clone().build()?;
+        Ok(ServingRouter {
+            replicas: self.replicas,
+            policy: self.policy,
+            disagg: self.disagg,
+            template: self.template,
+            injector: self.injector,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lq_chaos::FaultPlan;
+    use lq_serving::kvcache::SeqId;
+    use lq_serving::{Request, SchedulerConfigError};
+    use std::collections::HashMap;
+
+    /// Per-sequence deterministic engine: the next token depends only
+    /// on `(id, previous token)`, so a sequence's history is identical
+    /// whatever replica or batch it runs in.
+    struct PerSeqEngine {
+        live: HashMap<SeqId, usize>,
+    }
+
+    impl PerSeqEngine {
+        fn new(_replica: usize) -> Self {
+            Self {
+                live: HashMap::new(),
+            }
+        }
+
+        fn step(id: SeqId, prev: usize) -> usize {
+            (id as usize * 131 + prev * 31 + 7) % 97
+        }
+    }
+
+    impl ServingEngine for PerSeqEngine {
+        fn prefill(&mut self, id: SeqId, prompt: &[usize]) -> usize {
+            let tok = Self::step(id, prompt.iter().sum::<usize>() % 97);
+            assert!(self.live.insert(id, tok).is_none(), "{id} already live");
+            tok
+        }
+
+        fn decode_batch(&mut self, slots: &[(SeqId, usize)]) -> Vec<usize> {
+            slots
+                .iter()
+                .map(|&(id, prev)| {
+                    assert!(self.live.contains_key(&id), "decode of dead {id}");
+                    let tok = Self::step(id, prev);
+                    self.live.insert(id, tok);
+                    tok
+                })
+                .collect()
+        }
+
+        fn release(&mut self, id: SeqId) {
+            assert!(self.live.remove(&id).is_some(), "double release of {id}");
+        }
+    }
+
+    fn preqs(n: usize) -> Vec<PromptRequest> {
+        (0..n as u64)
+            .map(|id| PromptRequest::new(Request::new(id, 8, 4, 0.0), (0..8).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            ServingRouter::builder().replicas(0).build().err(),
+            Some(RouterConfigError::ZeroReplicas)
+        );
+        assert_eq!(
+            ServingRouter::builder()
+                .replicas(2)
+                .disaggregation(Disaggregation::PrefillDecode {
+                    prefill_replicas: 2,
+                    prompt_threshold: 64,
+                })
+                .build()
+                .err(),
+            Some(RouterConfigError::BadDisaggregation)
+        );
+        // Template validation flows through.
+        assert_eq!(
+            ServingRouter::builder()
+                .runtime(ServingRuntime::builder().max_batch(0))
+                .build()
+                .err(),
+            Some(RouterConfigError::Runtime(ServingConfigError::Scheduler(
+                SchedulerConfigError::ZeroMaxBatch
+            )))
+        );
+        assert!(ServingRouter::builder().replicas(3).build().is_ok());
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let router = ServingRouter::builder()
+            .replicas(2)
+            .policy(RoutingPolicy::RoundRobin)
+            .build()
+            .unwrap();
+        let plan = router.route_preview(&preqs(8));
+        let to0 = plan.iter().filter(|&&(_, r)| r == 0).count();
+        assert_eq!(to0, 4, "round-robin must split 8 requests 4/4");
+        for w in plan.windows(2) {
+            assert_ne!(w[0].1, w[1].1, "consecutive requests alternate");
+        }
+    }
+
+    #[test]
+    fn least_loaded_absorbs_token_imbalance() {
+        let router = ServingRouter::builder().replicas(2).build().unwrap();
+        // One huge request then four small ones: the big one pins a
+        // replica, the small ones pile onto the other until it
+        // catches up in reserved tokens.
+        let mut reqs = vec![PromptRequest::new(
+            Request::new(0, 64, 64, 0.0),
+            (0..64).collect(),
+        )];
+        reqs.extend((1..5u64).map(|id| {
+            PromptRequest::new(Request::new(id, 8, 8, id as f64 * 1e-6), (0..8).collect())
+        }));
+        let plan = router.route_preview(&reqs);
+        assert_eq!(plan[0], (0, 0), "first request to the first replica");
+        // 128 tokens on replica 0 vs 16 each: all four land on 1.
+        for &(id, r) in &plan[1..] {
+            assert_eq!(r, 1, "request {id} should avoid the loaded replica");
+        }
+    }
+
+    #[test]
+    fn affinity_is_sticky() {
+        let router = ServingRouter::builder()
+            .replicas(3)
+            .policy(RoutingPolicy::Affinity)
+            .build()
+            .unwrap();
+        let plan = router.route_preview(&preqs(9));
+        for &(id, r) in &plan {
+            assert_eq!(r, id as usize % 3, "affinity is id mod alive-count");
+        }
+    }
+
+    #[test]
+    fn disaggregation_pools_long_prompts() {
+        let router = ServingRouter::builder()
+            .replicas(3)
+            .policy(RoutingPolicy::RoundRobin)
+            .disaggregation(Disaggregation::PrefillDecode {
+                prefill_replicas: 1,
+                prompt_threshold: 32,
+            })
+            .build()
+            .unwrap();
+        let mut reqs = Vec::new();
+        for id in 0..4u64 {
+            reqs.push(PromptRequest::new(
+                Request::new(id, 64, 4, 0.0),
+                (0..64).collect(),
+            ));
+            reqs.push(PromptRequest::new(
+                Request::new(100 + id, 8, 4, 0.0),
+                (0..8).collect(),
+            ));
+        }
+        for (id, r) in router.route_preview(&reqs) {
+            if id < 100 {
+                assert_eq!(r, 0, "long prompt {id} belongs to the prefill pool");
+            } else {
+                assert!(r >= 1, "short prompt {id} belongs to the decode pool");
+            }
+        }
+    }
+
+    #[test]
+    fn all_requests_complete_across_replicas() {
+        let router = ServingRouter::builder().replicas(3).build().unwrap();
+        let out = router.run(PerSeqEngine::new, preqs(12));
+        assert_eq!(out.waves, 1);
+        assert_eq!(out.failovers, 0);
+        assert!(out.unserved.is_empty());
+        let merged = out.merged();
+        assert_eq!(merged.finished(), 12);
+        let routed: u64 = out.replicas.iter().map(|r| r.routed).sum();
+        assert_eq!(routed, 12);
+        // Least-loaded over identical requests spreads evenly.
+        for r in &out.replicas {
+            assert_eq!(r.routed, 4);
+            assert!(!r.killed);
+        }
+    }
+
+    #[test]
+    fn replica_kill_fails_over_and_everything_completes() {
+        let inj = Arc::new(FaultInjector::new(FaultPlan::quiet().replica_kill_at(0, 2)));
+        let router = ServingRouter::builder()
+            .replicas(2)
+            .fault_injector(Arc::clone(&inj))
+            .build()
+            .unwrap();
+        // Long outputs so replica 0 is mid-decode at its kill step.
+        let reqs: Vec<PromptRequest> = (0..6u64)
+            .map(|id| PromptRequest::new(Request::new(id, 8, 16, 0.0), (0..8).collect()))
+            .collect();
+        let out = router.run(PerSeqEngine::new, reqs);
+        assert_eq!(out.failovers, 1);
+        assert!(out.replicas[0].killed);
+        assert!(!out.replicas[1].killed);
+        assert!(out.rerouted > 0, "victims must re-route");
+        assert!(out.waves >= 2);
+        assert!(out.unserved.is_empty());
+        assert_eq!(inj.stats().replica_kills, 1);
+        // Every request completes exactly once, on some replica.
+        let merged = out.merged();
+        assert_eq!(merged.finished(), 6);
+        let mut ids: Vec<u64> = merged.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+        // Evacuated work was accounted as discarded, not generated.
+        assert!(merged.preempted_tokens > 0);
+        assert_eq!(
+            merged.generated_tokens,
+            merged.completions.iter().map(|c| c.generated).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn all_replicas_dead_reports_unserved() {
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::quiet()
+                .replica_kill_at(0, 0)
+                .replica_kill_at(1, 0),
+        ));
+        let router = ServingRouter::builder()
+            .replicas(2)
+            .fault_injector(inj)
+            .build()
+            .unwrap();
+        let out = router.run(PerSeqEngine::new, preqs(4));
+        assert_eq!(out.failovers, 2);
+        assert_eq!(out.unserved.len(), 4, "no survivor: requests are unserved");
+        assert_eq!(out.merged().completions.len(), 0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Open-loop arrival-trace generation for the serving router.
+//!
+//! Serving papers evaluate under *open-loop* load: requests arrive on
+//! their own schedule whether or not the system keeps up (the paper's
+//! Figure 11 sweeps exactly this). This module draws reproducible
+//! arrival traces from an [`ArrivalPattern`] — stationary Poisson,
+//! bursty on/off, or a diurnal sinusoid — by Lewis–Shedler thinning of
+//! a homogeneous Poisson process at the pattern's peak rate, so every
+//! pattern shares one exact sampler. All randomness comes from
+//! [`lq_rng::Rng`]; the same seed always yields the same trace.
+//!
+//! [`TierMix`] splits the trace across [`Priority`] tiers and
+//! [`TraceConfig::generate_prompts`] attaches seeded prompt tokens,
+//! producing [`PromptRequest`]s ready for
+//! [`crate::ServingRouter::run`].
+
+use lq_rng::Rng;
+use lq_serving::runtime::PromptRequest;
+use lq_serving::{Priority, Request};
+
+/// Arrival-rate process for an open-loop trace (requests per second of
+/// virtual time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Stationary Poisson arrivals at `rate` req/s.
+    Poisson {
+        /// Mean arrival rate (req/s), > 0.
+        rate: f64,
+    },
+    /// On/off bursts: `burst_rate` for the first `burst_fraction` of
+    /// every `period`, `base_rate` for the rest — the "spiky" trace
+    /// that exercises admission control.
+    Bursty {
+        /// Off-burst rate (req/s), ≥ 0.
+        base_rate: f64,
+        /// In-burst rate (req/s), ≥ `base_rate`.
+        burst_rate: f64,
+        /// Burst cycle length (seconds), > 0.
+        period: f64,
+        /// Fraction of each period spent bursting, in (0, 1).
+        burst_fraction: f64,
+    },
+    /// Sinusoidal day/night swing around `mean_rate`:
+    /// `rate(t) = mean_rate + swing * sin(2πt / period)`.
+    Diurnal {
+        /// Mean arrival rate (req/s), > 0.
+        mean_rate: f64,
+        /// Peak deviation from the mean (req/s), ≤ `mean_rate` so the
+        /// rate never goes negative.
+        swing: f64,
+        /// Cycle length (seconds), > 0.
+        period: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Instantaneous arrival rate at time `t` (req/s).
+    #[must_use]
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalPattern::Poisson { rate } => rate,
+            ArrivalPattern::Bursty {
+                base_rate,
+                burst_rate,
+                period,
+                burst_fraction,
+            } => {
+                let phase = (t / period).fract();
+                if phase < burst_fraction {
+                    burst_rate
+                } else {
+                    base_rate
+                }
+            }
+            ArrivalPattern::Diurnal {
+                mean_rate,
+                swing,
+                period,
+            } => mean_rate + swing * (std::f64::consts::TAU * t / period).sin(),
+        }
+    }
+
+    /// Upper bound on [`Self::rate_at`] — the thinning envelope.
+    #[must_use]
+    pub fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalPattern::Poisson { rate } => rate,
+            ArrivalPattern::Bursty {
+                base_rate,
+                burst_rate,
+                ..
+            } => burst_rate.max(base_rate),
+            ArrivalPattern::Diurnal {
+                mean_rate, swing, ..
+            } => mean_rate + swing,
+        }
+    }
+
+    fn validate(&self) -> Result<(), TraceConfigError> {
+        let ok = match *self {
+            ArrivalPattern::Poisson { rate } => rate > 0.0 && rate.is_finite(),
+            ArrivalPattern::Bursty {
+                base_rate,
+                burst_rate,
+                period,
+                burst_fraction,
+            } => {
+                base_rate >= 0.0
+                    && burst_rate >= base_rate
+                    && burst_rate > 0.0
+                    && burst_rate.is_finite()
+                    && period > 0.0
+                    && period.is_finite()
+                    && (0.0..1.0).contains(&burst_fraction)
+                    && burst_fraction > 0.0
+            }
+            ArrivalPattern::Diurnal {
+                mean_rate,
+                swing,
+                period,
+            } => {
+                mean_rate > 0.0
+                    && mean_rate.is_finite()
+                    && (0.0..=mean_rate).contains(&swing)
+                    && period > 0.0
+                    && period.is_finite()
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(TraceConfigError::BadPattern)
+        }
+    }
+}
+
+/// Share of the trace per [`Priority`] tier, in percent (must sum to
+/// 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierMix {
+    /// Percent of arrivals at [`Priority::Low`].
+    pub low_pct: u8,
+    /// Percent of arrivals at [`Priority::Normal`].
+    pub normal_pct: u8,
+    /// Percent of arrivals at [`Priority::High`].
+    pub high_pct: u8,
+}
+
+impl Default for TierMix {
+    /// Everything at [`Priority::Normal`] — the pre-router workload.
+    fn default() -> Self {
+        Self {
+            low_pct: 0,
+            normal_pct: 100,
+            high_pct: 0,
+        }
+    }
+}
+
+impl TierMix {
+    /// Draw a tier according to the mix.
+    fn draw(&self, rng: &mut Rng) -> Priority {
+        let x = rng.below(100) as u8;
+        if x < self.low_pct {
+            Priority::Low
+        } else if x < self.low_pct + self.normal_pct {
+            Priority::Normal
+        } else {
+            Priority::High
+        }
+    }
+}
+
+/// Invalid [`TraceConfig`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceConfigError {
+    /// A pattern parameter is out of range (non-positive rate/period,
+    /// burst fraction outside (0,1), or a diurnal swing above the
+    /// mean).
+    BadPattern,
+    /// `duration <= 0` or non-finite.
+    BadDuration,
+    /// Tier percentages do not sum to 100.
+    BadTierMix,
+    /// A prompt/output length range is empty or starts at 0.
+    BadLengthRange,
+}
+
+impl std::fmt::Display for TraceConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceConfigError::BadPattern => write!(f, "arrival-pattern parameter out of range"),
+            TraceConfigError::BadDuration => write!(f, "duration must be finite and > 0"),
+            TraceConfigError::BadTierMix => write!(f, "tier percentages must sum to 100"),
+            TraceConfigError::BadLengthRange => {
+                write!(f, "length ranges must be non-empty and start at >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceConfigError {}
+
+/// A complete open-loop workload description: arrival process, tier
+/// mix, and request-shape ranges. [`Self::generate`] turns it into a
+/// concrete seeded trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Arrival-rate process.
+    pub pattern: ArrivalPattern,
+    /// Trace length (seconds of virtual time).
+    pub duration: f64,
+    /// Priority-tier split.
+    pub mix: TierMix,
+    /// Prompt lengths drawn uniformly from `[min, max]` (inclusive).
+    pub prompt_len: (usize, usize),
+    /// Output lengths drawn uniformly from `[min, max]` (inclusive).
+    pub output_len: (usize, usize),
+    /// Deadline attached to [`Priority::High`] requests (seconds after
+    /// arrival); `None` leaves every tier deadline-free.
+    pub high_deadline: Option<f64>,
+}
+
+impl TraceConfig {
+    /// A stationary-Poisson config with uniform 8–32 token prompts and
+    /// 4–16 token outputs, all [`Priority::Normal`].
+    #[must_use]
+    pub fn poisson(rate: f64, duration: f64) -> Self {
+        Self {
+            pattern: ArrivalPattern::Poisson { rate },
+            duration,
+            mix: TierMix::default(),
+            prompt_len: (8, 32),
+            output_len: (4, 16),
+            high_deadline: None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), TraceConfigError> {
+        self.pattern.validate()?;
+        if !(self.duration.is_finite() && self.duration > 0.0) {
+            return Err(TraceConfigError::BadDuration);
+        }
+        let sum = self.mix.low_pct as u32 + self.mix.normal_pct as u32 + self.mix.high_pct as u32;
+        if sum != 100 {
+            return Err(TraceConfigError::BadTierMix);
+        }
+        let (p0, p1) = self.prompt_len;
+        let (o0, o1) = self.output_len;
+        if p0 == 0 || p1 < p0 || o0 == 0 || o1 < o0 {
+            return Err(TraceConfigError::BadLengthRange);
+        }
+        Ok(())
+    }
+
+    /// Draw the arrival trace for this config from `seed`
+    /// (deterministic: same seed, same trace). Request ids are dense
+    /// from 0 in arrival order.
+    ///
+    /// Arrivals come from Lewis–Shedler thinning: candidate points are
+    /// a homogeneous Poisson process at [`ArrivalPattern::peak_rate`],
+    /// each kept with probability `rate_at(t) / peak_rate`, which
+    /// yields an exact inhomogeneous Poisson process for any bounded
+    /// rate function.
+    pub fn generate(&self, seed: u64) -> Result<Vec<Request>, TraceConfigError> {
+        self.validate()?;
+        let mut rng = Rng::new(seed ^ 0x7AFF_1C00_7AFF_1C00);
+        let peak = self.pattern.peak_rate();
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let mut id = 0u64;
+        loop {
+            // Exponential(peak) gap; 1 - f64() keeps ln away from 0.
+            t += -(1.0 - rng.f64()).ln() / peak;
+            if t >= self.duration {
+                break;
+            }
+            if rng.f64() * peak > self.pattern.rate_at(t) {
+                continue; // thinned out
+            }
+            let tier = self.mix.draw(&mut rng);
+            // Ranges are inclusive; `range_usize` is half-open.
+            let prompt_len = rng.range_usize(self.prompt_len.0, self.prompt_len.1 + 1);
+            let output_len = rng.range_usize(self.output_len.0, self.output_len.1 + 1);
+            let mut req = Request::new(id, prompt_len, output_len, t).with_priority(tier);
+            if tier == Priority::High {
+                if let Some(d) = self.high_deadline {
+                    req = req.with_deadline(d);
+                }
+            }
+            out.push(req);
+            id += 1;
+        }
+        Ok(out)
+    }
+
+    /// [`Self::generate`] plus seeded prompt tokens in `[0, vocab)` —
+    /// the form [`crate::ServingRouter::run`] consumes.
+    pub fn generate_prompts(
+        &self,
+        seed: u64,
+        vocab: usize,
+    ) -> Result<Vec<PromptRequest>, TraceConfigError> {
+        assert!(vocab >= 1, "empty vocabulary");
+        let metas = self.generate(seed)?;
+        let mut rng = Rng::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+        Ok(metas
+            .into_iter()
+            .map(|meta| {
+                let prompt = (0..meta.prompt_len)
+                    .map(|_| rng.below(vocab as u64) as usize)
+                    .collect();
+                PromptRequest::new(meta, prompt)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_trace_is_seeded_and_rate_matched() {
+        let cfg = TraceConfig::poisson(50.0, 20.0);
+        let a = cfg.generate(42).unwrap();
+        let b = cfg.generate(42).unwrap();
+        assert_eq!(a, b, "same seed must replay the same trace");
+        let c = cfg.generate(43).unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+        // ~1000 expected arrivals; 5 sigma ≈ 158.
+        let n = a.len() as f64;
+        assert!((n - 1000.0).abs() < 160.0, "got {n} arrivals for E=1000");
+        // Arrivals are sorted, in range, and densely id'd.
+        for (i, w) in a.windows(2).enumerate() {
+            assert!(w[0].arrival <= w[1].arrival);
+            assert_eq!(a[i].id, i as u64);
+        }
+        assert!(a.iter().all(|r| r.arrival < 20.0));
+    }
+
+    #[test]
+    fn tier_mix_splits_approximately() {
+        let mut cfg = TraceConfig::poisson(100.0, 20.0);
+        cfg.mix = TierMix {
+            low_pct: 25,
+            normal_pct: 45,
+            high_pct: 30,
+        };
+        cfg.high_deadline = Some(5.0);
+        let trace = cfg.generate(7).unwrap();
+        let n = trace.len() as f64;
+        let share = |p: Priority| trace.iter().filter(|r| r.priority == p).count() as f64 / n;
+        assert!((share(Priority::Low) - 0.25).abs() < 0.05);
+        assert!((share(Priority::Normal) - 0.45).abs() < 0.05);
+        assert!((share(Priority::High) - 0.30).abs() < 0.05);
+        // Only High carries the deadline.
+        for r in &trace {
+            assert_eq!(r.deadline.is_some(), r.priority == Priority::High);
+        }
+    }
+
+    #[test]
+    fn bursty_and_diurnal_rates_modulate() {
+        let b = ArrivalPattern::Bursty {
+            base_rate: 10.0,
+            burst_rate: 100.0,
+            period: 1.0,
+            burst_fraction: 0.2,
+        };
+        assert_eq!(b.rate_at(0.1), 100.0);
+        assert_eq!(b.rate_at(0.5), 10.0);
+        assert_eq!(b.rate_at(1.1), 100.0); // periodic
+        assert_eq!(b.peak_rate(), 100.0);
+        let d = ArrivalPattern::Diurnal {
+            mean_rate: 50.0,
+            swing: 30.0,
+            period: 4.0,
+        };
+        assert!((d.rate_at(1.0) - 80.0).abs() < 1e-9); // peak at quarter period
+        assert!((d.rate_at(3.0) - 20.0).abs() < 1e-9); // trough
+        assert_eq!(d.peak_rate(), 80.0);
+        // Thinning actually concentrates bursty arrivals in-burst.
+        let cfg = TraceConfig {
+            pattern: b,
+            duration: 50.0,
+            mix: TierMix::default(),
+            prompt_len: (8, 8),
+            output_len: (4, 4),
+            high_deadline: None,
+        };
+        let trace = cfg.generate(11).unwrap();
+        let in_burst = trace
+            .iter()
+            .filter(|r| (r.arrival / 1.0).fract() < 0.2)
+            .count() as f64;
+        let frac = in_burst / trace.len() as f64;
+        // Bursts carry 100*0.2 / (100*0.2 + 10*0.8) ≈ 71% of arrivals.
+        assert!(frac > 0.6, "burst fraction {frac} too low");
+    }
+
+    #[test]
+    fn generate_prompts_matches_meta() {
+        let cfg = TraceConfig::poisson(20.0, 5.0);
+        let reqs = cfg.generate_prompts(3, 64).unwrap();
+        assert!(!reqs.is_empty());
+        for pr in &reqs {
+            assert_eq!(pr.prompt.len(), pr.meta.prompt_len);
+            assert!(pr.prompt.iter().all(|&t| t < 64));
+        }
+        // Deterministic too.
+        assert_eq!(reqs.len(), cfg.generate_prompts(3, 64).unwrap().len());
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_parameters() {
+        assert_eq!(
+            TraceConfig::poisson(0.0, 10.0).generate(0).err(),
+            Some(TraceConfigError::BadPattern)
+        );
+        assert_eq!(
+            TraceConfig::poisson(10.0, 0.0).generate(0).err(),
+            Some(TraceConfigError::BadDuration)
+        );
+        let mut bad_mix = TraceConfig::poisson(10.0, 1.0);
+        bad_mix.mix = TierMix {
+            low_pct: 50,
+            normal_pct: 50,
+            high_pct: 50,
+        };
+        assert_eq!(
+            bad_mix.generate(0).err(),
+            Some(TraceConfigError::BadTierMix)
+        );
+        let mut bad_len = TraceConfig::poisson(10.0, 1.0);
+        bad_len.prompt_len = (0, 4);
+        assert_eq!(
+            bad_len.generate(0).err(),
+            Some(TraceConfigError::BadLengthRange)
+        );
+        let bad_diurnal = TraceConfig {
+            pattern: ArrivalPattern::Diurnal {
+                mean_rate: 10.0,
+                swing: 20.0,
+                period: 1.0,
+            },
+            ..TraceConfig::poisson(10.0, 1.0)
+        };
+        assert_eq!(
+            bad_diurnal.generate(0).err(),
+            Some(TraceConfigError::BadPattern)
+        );
+    }
+}

@@ -16,9 +16,11 @@
 //! * [`decode`] — per-decode-step latency with the paper's three-way
 //!   breakdown (GEMM / Attention / Others).
 //! * [`request`] — the shared serving API surface: [`Request`]
-//!   workloads, [`Completion`] records with a status enum
-//!   (`Finished` / `TimedOut` / `Rejected`), [`RunStats`], and the
-//!   validating [`SchedulerConfig::builder`].
+//!   workloads with [`Priority`] tiers, [`Completion`] records with a
+//!   status enum (`Finished` / `TimedOut` / `Rejected`), [`RunStats`],
+//!   the validating [`SchedulerConfig::builder`] with
+//!   [`AdmissionPolicy`] (SLO-tiered queue shedding) and
+//!   [`PreemptionPolicy`] (priority-KV preemption) knobs.
 //! * [`scheduler`] — a continuous-batching request scheduler
 //!   (Orca-style iteration-level scheduling, conservative admission
 //!   against the paged allocator) that *runs* the serving loop against
@@ -52,9 +54,13 @@ pub mod throughput;
 pub use decode::{decode_step, StepBreakdown};
 pub use kvcache::{KvCacheError, PagedKvCache};
 pub use request::{
-    Completion, CompletionStatus, Request, RunStats, SchedulerConfig, SchedulerConfigError,
+    AdmissionPolicy, Completion, CompletionStatus, PreemptionPolicy, Priority, Request, RunStats,
+    SchedulerConfig, SchedulerConfigError,
 };
-pub use runtime::{PromptRequest, ServingEngine, ServingRuntime};
+pub use runtime::{
+    DrainedRun, PromptRequest, ServingConfigError, ServingEngine, ServingRuntime,
+    ServingRuntimeBuilder,
+};
 pub use scheduler::run_schedule;
 pub use system::{ServingSystem, SystemId};
 pub use throughput::{max_feasible_batch, peak_throughput, PeakResult};

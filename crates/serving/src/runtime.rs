@@ -43,7 +43,10 @@
 //! at ingest — a NaN arrival used to panic the arrival sort.
 
 use crate::kvcache::{PagedKvCache, SeqId};
-use crate::request::{Completion, CompletionStatus, Request, RunStats, SchedulerConfig};
+use crate::request::{
+    Completion, CompletionStatus, PreemptionPolicy, Priority, Request, RunStats, SchedulerConfig,
+    SchedulerConfigError,
+};
 use crate::telemetry::SchedMetrics;
 use lq_chaos::FaultInjector;
 use std::collections::VecDeque;
@@ -148,24 +151,49 @@ fn vns(t: f64) -> u64 {
     (t * 1e9) as u64
 }
 
+/// A sequence currently decoding. The full [`PromptRequest`] rides
+/// along so a preempted or evacuated sequence can re-queue and restart
+/// from prefill with its original metadata.
 struct Running {
-    id: u64,
+    req: PromptRequest,
     admitted_at: f64,
-    arrival: f64,
-    output_len: usize,
     produced: usize,
     last_token: usize,
-    expiry: Option<f64>,
+}
+
+impl Running {
+    fn id(&self) -> u64 {
+        self.req.meta.id
+    }
+}
+
+/// Result of [`ServingRuntime::run_with_halt`]: the completions of the
+/// run plus whatever was still in flight when the halt tripped.
+#[derive(Debug)]
+pub struct DrainedRun {
+    /// Completions of everything that left the system before the halt.
+    pub stats: RunStats,
+    /// Requests evacuated mid-flight (running sequences — KV fully
+    /// released — plus queued and not-yet-arrived ones), ready to
+    /// resubmit to another runtime. Empty when `halted` is false.
+    pub evacuated: Vec<PromptRequest>,
+    /// Whether the halt predicate stopped the loop (false: normal
+    /// drain).
+    pub halted: bool,
 }
 
 /// Executable continuous-batching runtime over a [`ServingEngine`].
 ///
 /// Owns the admission-control page table: a request is admitted only
-/// when its full `prompt + output` reservation fits (conservative, no
-/// preemption), exactly the rule the simulation backend applies.
+/// when its full `prompt + output` reservation fits — conservatively
+/// under [`PreemptionPolicy::Never`], or by evicting strictly
+/// lower-priority running sequences under
+/// [`PreemptionPolicy::PriorityKv`]. Construct via
+/// [`ServingRuntime::builder`] (validated) or [`ServingRuntime::new`].
 pub struct ServingRuntime {
     cfg: SchedulerConfig,
     kv: PagedKvCache,
+    replica: Option<u32>,
 }
 
 impl ServingRuntime {
@@ -175,7 +203,11 @@ impl ServingRuntime {
     #[must_use]
     pub fn new(cfg: SchedulerConfig, kv_budget_tokens: usize) -> Self {
         let kv = PagedKvCache::new(kv_budget_tokens as u64, cfg.page_tokens, 1);
-        Self { cfg, kv }
+        Self {
+            cfg,
+            kv,
+            replica: None,
+        }
     }
 
     /// Like [`Self::new`], but with a [`FaultInjector`] wired into the
@@ -194,10 +226,25 @@ impl ServingRuntime {
         rt
     }
 
+    /// Start building a validated runtime (mirrors
+    /// `LiquidGemm::builder()`): scheduler knobs, KV budget, replica
+    /// label, and fault injector in one fluent chain.
+    #[must_use]
+    pub fn builder() -> ServingRuntimeBuilder {
+        ServingRuntimeBuilder::default()
+    }
+
     /// The admission page table (tests assert leak-freedom on it).
     #[must_use]
     pub fn kv(&self) -> &PagedKvCache {
         &self.kv
+    }
+
+    /// The replica label this runtime reports telemetry under (set by
+    /// [`ServingRuntimeBuilder::replica`]; `None` = unlabelled).
+    #[must_use]
+    pub fn replica(&self) -> Option<u32> {
+        self.replica
     }
 
     /// Record one completion, mirroring it into telemetry and onto the
@@ -235,16 +282,41 @@ impl ServingRuntime {
     ///
     /// Every request completes exactly once — as `Finished`, `TimedOut`
     /// (deadline expired; pages released on eviction), `Rejected`
-    /// (bounded queue full at arrival, a reservation that could never
-    /// fit the KV budget, or malformed non-finite timing), or `Failed`
-    /// (engine panic or denied KV allocation mid-flight; pages fully
-    /// released). After the run all pages are back on the free list.
+    /// (queue occupancy over the request's tier cap at arrival, a
+    /// reservation that could never fit the KV budget, or malformed
+    /// non-finite timing), or `Failed` (engine panic or denied KV
+    /// allocation mid-flight; pages fully released). After the run all
+    /// pages are back on the free list.
+    ///
+    /// Admission scans tiers strictly High→Low (FCFS within a tier);
+    /// under [`PreemptionPolicy::PriorityKv`] a blocked reservation may
+    /// evict strictly lower-priority running sequences (full KV
+    /// release, victim re-queued to the front of its tier to restart
+    /// from prefill), counted in `lq_serving_preemptions_total` and
+    /// [`RunStats::preemptions`].
     pub fn run<E: ServingEngine>(
         &mut self,
         engine: &mut E,
         requests: Vec<PromptRequest>,
     ) -> RunStats {
-        let metrics = SchedMetrics::resolve();
+        self.run_with_halt(engine, requests, &mut |_| false).stats
+    }
+
+    /// [`Self::run`] with a halt predicate, consulted once per
+    /// scheduler pass with the decode-step count so far. When it
+    /// returns `true` the replica stops dead: every running sequence is
+    /// released (KV fully freed; its produced tokens are discarded into
+    /// [`RunStats::preempted_tokens`]) and handed back in
+    /// [`DrainedRun::evacuated`] together with everything still queued
+    /// or yet to arrive — the router's whole-replica-failure evacuation
+    /// path. With a never-true predicate this is exactly [`Self::run`].
+    pub fn run_with_halt<E: ServingEngine>(
+        &mut self,
+        engine: &mut E,
+        requests: Vec<PromptRequest>,
+        halt: &mut dyn FnMut(u64) -> bool,
+    ) -> DrainedRun {
+        let metrics = SchedMetrics::resolve_for(self.replica);
         let mut stats = RunStats::empty();
 
         // Validate timing at ingest: a NaN arrival must not reach the
@@ -274,6 +346,7 @@ impl ServingRuntime {
                         arrival: 0.0,
                         status: CompletionStatus::Rejected,
                         generated: 0,
+                        priority: req.meta.priority,
                     },
                 );
             } else {
@@ -284,12 +357,27 @@ impl ServingRuntime {
         arrivals.reverse(); // pop() takes the earliest
 
         let mut now = 0.0f64;
-        let mut pending: VecDeque<PromptRequest> = VecDeque::new();
+        // One FCFS queue per tier (indexed by `Priority::index`);
+        // admission scans them High→Low.
+        let mut pending: [VecDeque<PromptRequest>; 3] = Default::default();
+        let pending_total =
+            |p: &[VecDeque<PromptRequest>; 3]| p.iter().map(VecDeque::len).sum::<usize>();
         let mut running: Vec<Running> = Vec::new();
+        let mut halted = false;
 
         loop {
-            // 0. Ingest arrivals up to the current clock; reject on a
-            //    full queue or an impossible reservation.
+            // Halt gate (whole-replica failure under the router): the
+            // predicate sees the decode-step count so chaos plans can
+            // kill a replica at an exact step.
+            if halt(stats.decode_steps) {
+                halted = true;
+                break;
+            }
+
+            // 0. Ingest arrivals up to the current clock; reject on an
+            //    impossible reservation or when queue occupancy is at
+            //    the arriving tier's cap (SLO-tiered admission sheds
+            //    low-priority work first; FCFS uses one shared cap).
             while arrivals.last().is_some_and(|r| r.meta.arrival <= now) {
                 let req = arrivals.pop().expect("checked non-empty");
                 lq_trace::record_virtual(
@@ -301,7 +389,8 @@ impl ServingRuntime {
                 );
                 let need = req.meta.prompt_len + req.meta.output_len;
                 let impossible = self.kv.pages_for(need) > self.kv.total_pages();
-                if impossible || pending.len() >= self.cfg.max_queue {
+                let tier = req.meta.priority;
+                if impossible || pending_total(&pending) >= self.cfg.queue_cap(tier) {
                     Self::complete(
                         &mut stats,
                         &metrics,
@@ -312,84 +401,193 @@ impl ServingRuntime {
                             arrival: req.meta.arrival,
                             status: CompletionStatus::Rejected,
                             generated: 0,
+                            priority: tier,
                         },
                     );
                 } else {
-                    pending.push_back(req);
+                    pending[tier.index()].push_back(req);
                 }
             }
 
             // 0b. Expire queued requests whose deadline already passed.
-            pending.retain(|req| {
-                let expired = req.meta.expiry().is_some_and(|e| now > e);
-                if expired {
-                    Self::complete(
-                        &mut stats,
-                        &metrics,
-                        Completion {
-                            id: req.meta.id,
-                            admitted_at: now,
-                            finished_at: now,
-                            arrival: req.meta.arrival,
-                            status: CompletionStatus::TimedOut,
-                            generated: 0,
-                        },
-                    );
-                }
-                !expired
-            });
-
-            // 1. Admit while the conservative reservation fits, then
-            //    prefill the admitted cohort back-to-back (each prefill
-            //    is one M=prompt-length batch through the engine).
-            let mut admitted: Vec<PromptRequest> = Vec::new();
-            while running.len() + admitted.len() < self.cfg.max_batch {
-                let Some(req) = pending.front() else { break };
-                let need = req.meta.prompt_len + req.meta.output_len;
-                if !self.kv.can_reserve(need) {
-                    if let Some(m) = &metrics {
-                        m.blocked.inc();
+            for q in pending.iter_mut() {
+                q.retain(|req| {
+                    let expired = req.meta.expiry().is_some_and(|e| now > e);
+                    if expired {
+                        Self::complete(
+                            &mut stats,
+                            &metrics,
+                            Completion {
+                                id: req.meta.id,
+                                admitted_at: now,
+                                finished_at: now,
+                                arrival: req.meta.arrival,
+                                status: CompletionStatus::TimedOut,
+                                generated: 0,
+                                priority: req.meta.priority,
+                            },
+                        );
                     }
-                    break; // FCFS head-of-line blocking
+                    !expired
+                });
+            }
+
+            // 1. Admit while the reservation fits — strict priority
+            //    (High→Low, FCFS within a tier, no bypass below a
+            //    blocked tier), bounded by the per-pass prefill-token
+            //    budget — then prefill the admitted cohort back-to-back
+            //    (each prefill is one M=prompt-length batch through the
+            //    engine).
+            let mut admitted: Vec<PromptRequest> = Vec::new();
+            let mut prefill_budget = self.cfg.max_prefill_tokens;
+            'admission: for tier in Priority::DESCENDING {
+                loop {
+                    if running.len() + admitted.len() >= self.cfg.max_batch {
+                        break 'admission;
+                    }
+                    let (head_id, prompt_len, need) = match pending[tier.index()].front() {
+                        Some(h) => (
+                            h.meta.id,
+                            h.meta.prompt_len,
+                            h.meta.prompt_len + h.meta.output_len,
+                        ),
+                        None => break, // tier drained: scan the next
+                    };
+                    if !admitted.is_empty() && prompt_len > prefill_budget {
+                        // Prefill/decode disaggregation: the pass's
+                        // prompt budget is spent — let the running
+                        // batch decode before taking more prefill work.
+                        // (The first admission always proceeds, so a
+                        // long prompt cannot livelock.)
+                        break 'admission;
+                    }
+                    if !self.kv.can_reserve(need) {
+                        // Under PriorityKv, evict strictly lower-
+                        // priority running sequences — lowest tier
+                        // first, newest admission first — but only when
+                        // eviction can actually free enough pages.
+                        let mut preempted = false;
+                        if self.cfg.preemption == PreemptionPolicy::PriorityKv {
+                            let mut victims: Vec<u64> = Vec::new();
+                            {
+                                let mut cand: Vec<&Running> = running
+                                    .iter()
+                                    .filter(|r| r.req.meta.priority < tier)
+                                    .collect();
+                                cand.sort_by(|a, b| {
+                                    a.req
+                                        .meta
+                                        .priority
+                                        .cmp(&b.req.meta.priority)
+                                        .then(b.admitted_at.total_cmp(&a.admitted_at))
+                                });
+                                let need_pages = self.kv.pages_for(need);
+                                let mut reclaim = self.kv.free_pages();
+                                for r in cand {
+                                    if reclaim >= need_pages {
+                                        break;
+                                    }
+                                    reclaim +=
+                                        self.kv.page_table(r.id()).expect("victim is live").len();
+                                    victims.push(r.id());
+                                }
+                                if reclaim < need_pages {
+                                    // Even evicting every lower-priority
+                                    // sequence would not fit: thrashing
+                                    // them buys nothing.
+                                    victims.clear();
+                                }
+                            }
+                            for vid in victims {
+                                let pos = running
+                                    .iter()
+                                    .position(|r| r.id() == vid)
+                                    .expect("victim is running");
+                                let v = running.swap_remove(pos);
+                                engine.release(vid);
+                                self.kv.free_sequence(vid).expect("was admitted");
+                                if lq_trace::enabled() {
+                                    let t = lq_trace::Track::Request(vid);
+                                    lq_trace::record_virtual(
+                                        lq_trace::EventKind::ReqPreempt,
+                                        t,
+                                        vns(now),
+                                        v.produced as u64,
+                                        head_id,
+                                    );
+                                    lq_trace::record_virtual(
+                                        lq_trace::EventKind::KvRelease,
+                                        t,
+                                        vns(now),
+                                        0,
+                                        0,
+                                    );
+                                }
+                                if let Some(m) = &metrics {
+                                    m.preemptions.inc();
+                                }
+                                stats.preemptions += 1;
+                                // The victim's generated-so-far tokens
+                                // are discarded work: it restarts from
+                                // prefill, so move them out of the
+                                // goodput ledger.
+                                stats.preempted_tokens += v.produced as u64;
+                                stats.generated_tokens -= v.produced as u64;
+                                // Front of its own tier's queue: the
+                                // victim re-admits ahead of its peers,
+                                // original arrival preserved.
+                                pending[v.req.meta.priority.index()].push_front(v.req);
+                                preempted = true;
+                            }
+                        }
+                        if !(preempted && self.kv.can_reserve(need)) {
+                            if let Some(m) = &metrics {
+                                m.blocked.inc();
+                            }
+                            break 'admission; // strict priority: no bypass
+                        }
+                    }
+                    if self.kv.add_sequence(head_id, need).is_err() {
+                        // `can_reserve` just passed, so this is a denied
+                        // allocation (fault injection): fail the request
+                        // cleanly and keep admitting the rest.
+                        let req = pending[tier.index()].pop_front().expect("front exists");
+                        Self::complete(
+                            &mut stats,
+                            &metrics,
+                            Completion {
+                                id: req.meta.id,
+                                admitted_at: now,
+                                finished_at: now,
+                                arrival: req.meta.arrival,
+                                status: CompletionStatus::Failed,
+                                generated: 0,
+                                priority: req.meta.priority,
+                            },
+                        );
+                        continue;
+                    }
+                    let req = pending[tier.index()].pop_front().expect("front exists");
+                    if lq_trace::enabled() {
+                        let t = lq_trace::Track::Request(req.meta.id);
+                        lq_trace::record_virtual(
+                            lq_trace::EventKind::ReqAdmit,
+                            t,
+                            vns(now),
+                            need as u64,
+                            0,
+                        );
+                        lq_trace::record_virtual(
+                            lq_trace::EventKind::KvReserve,
+                            t,
+                            vns(now),
+                            self.kv.pages_for(need) as u64,
+                            0,
+                        );
+                    }
+                    prefill_budget = prefill_budget.saturating_sub(prompt_len);
+                    admitted.push(req);
                 }
-                if self.kv.add_sequence(req.meta.id, need).is_err() {
-                    // `can_reserve` just passed, so this is a denied
-                    // allocation (fault injection): fail the request
-                    // cleanly and keep admitting the rest.
-                    let req = pending.pop_front().expect("front exists");
-                    Self::complete(
-                        &mut stats,
-                        &metrics,
-                        Completion {
-                            id: req.meta.id,
-                            admitted_at: now,
-                            finished_at: now,
-                            arrival: req.meta.arrival,
-                            status: CompletionStatus::Failed,
-                            generated: 0,
-                        },
-                    );
-                    continue;
-                }
-                let req = pending.pop_front().expect("front exists");
-                if lq_trace::enabled() {
-                    let t = lq_trace::Track::Request(req.meta.id);
-                    lq_trace::record_virtual(
-                        lq_trace::EventKind::ReqAdmit,
-                        t,
-                        vns(now),
-                        need as u64,
-                        0,
-                    );
-                    lq_trace::record_virtual(
-                        lq_trace::EventKind::KvReserve,
-                        t,
-                        vns(now),
-                        self.kv.pages_for(need) as u64,
-                        0,
-                    );
-                }
-                admitted.push(req);
             }
             if !admitted.is_empty() {
                 let admit_time = now;
@@ -441,7 +639,7 @@ impl ServingRuntime {
                 if let Some(m) = &metrics {
                     m.admitted.add(n_admitted as u64);
                     m.prefill_ns.record_secs(dt);
-                    m.queue_len.set(pending.len() as f64);
+                    m.queue_len.set(pending_total(&pending) as f64);
                 }
                 for req in failed {
                     Self::complete(
@@ -454,19 +652,17 @@ impl ServingRuntime {
                             arrival: req.meta.arrival,
                             status: CompletionStatus::Failed,
                             generated: 0,
+                            priority: req.meta.priority,
                         },
                     );
                 }
                 stats.generated_tokens += prefilled.len() as u64;
                 for (req, tok) in prefilled {
                     running.push(Running {
-                        id: req.meta.id,
+                        req,
                         admitted_at: admit_time,
-                        arrival: req.meta.arrival,
-                        output_len: req.meta.output_len,
                         produced: 1, // prefill emitted the first token
                         last_token: tok,
-                        expiry: req.meta.expiry(),
                     });
                 }
             }
@@ -476,13 +672,13 @@ impl ServingRuntime {
             //    engine and admission pages before the next iteration.
             let mut i = 0;
             while i < running.len() {
-                if running[i].expiry.is_some_and(|e| now > e) {
+                if running[i].req.meta.expiry().is_some_and(|e| now > e) {
                     let r = running.swap_remove(i);
-                    engine.release(r.id);
-                    self.kv.free_sequence(r.id).expect("was admitted");
+                    engine.release(r.id());
+                    self.kv.free_sequence(r.id()).expect("was admitted");
                     lq_trace::record_virtual(
                         lq_trace::EventKind::KvRelease,
-                        lq_trace::Track::Request(r.id),
+                        lq_trace::Track::Request(r.id()),
                         vns(now),
                         0,
                         0,
@@ -491,12 +687,13 @@ impl ServingRuntime {
                         &mut stats,
                         &metrics,
                         Completion {
-                            id: r.id,
+                            id: r.id(),
                             admitted_at: r.admitted_at,
                             finished_at: now,
-                            arrival: r.arrival,
+                            arrival: r.req.meta.arrival,
                             status: CompletionStatus::TimedOut,
                             generated: r.produced as u64,
+                            priority: r.req.meta.priority,
                         },
                     );
                 } else {
@@ -508,13 +705,13 @@ impl ServingRuntime {
             //     (output_len == 1) or in the previous iteration.
             let mut i = 0;
             while i < running.len() {
-                if running[i].produced >= running[i].output_len {
+                if running[i].produced >= running[i].req.meta.output_len {
                     let r = running.swap_remove(i);
-                    engine.release(r.id);
-                    self.kv.free_sequence(r.id).expect("was admitted");
+                    engine.release(r.id());
+                    self.kv.free_sequence(r.id()).expect("was admitted");
                     lq_trace::record_virtual(
                         lq_trace::EventKind::KvRelease,
-                        lq_trace::Track::Request(r.id),
+                        lq_trace::Track::Request(r.id()),
                         vns(now),
                         0,
                         0,
@@ -523,12 +720,13 @@ impl ServingRuntime {
                         &mut stats,
                         &metrics,
                         Completion {
-                            id: r.id,
+                            id: r.id(),
                             admitted_at: r.admitted_at,
                             finished_at: now,
-                            arrival: r.arrival,
+                            arrival: r.req.meta.arrival,
                             status: CompletionStatus::Finished,
-                            generated: r.output_len as u64,
+                            generated: r.req.meta.output_len as u64,
+                            priority: r.req.meta.priority,
                         },
                     );
                 } else {
@@ -537,7 +735,7 @@ impl ServingRuntime {
             }
 
             if running.is_empty() {
-                if !pending.is_empty() {
+                if pending_total(&pending) > 0 {
                     // Impossible-fit requests were rejected at ingest,
                     // so a waiting request with an empty device always
                     // admits on the next pass.
@@ -554,7 +752,8 @@ impl ServingRuntime {
 
             // 3. One real decode iteration: all running sequences in a
             //    single M=batch forward pass.
-            let slots: Vec<(SeqId, usize)> = running.iter().map(|r| (r.id, r.last_token)).collect();
+            let slots: Vec<(SeqId, usize)> =
+                running.iter().map(|r| (r.id(), r.last_token)).collect();
             // One synthetic correlation ID per batched step: the GEMM
             // jobs of this forward pass belong to every request in the
             // batch, so they carry the step ID and each request's
@@ -602,11 +801,11 @@ impl ServingRuntime {
                     // batch with full release and keep serving what is
                     // still queued.
                     for r in running.drain(..) {
-                        engine.try_release(r.id);
-                        self.kv.free_sequence(r.id).expect("was admitted");
+                        engine.try_release(r.id());
+                        self.kv.free_sequence(r.id()).expect("was admitted");
                         lq_trace::record_virtual(
                             lq_trace::EventKind::KvRelease,
-                            lq_trace::Track::Request(r.id),
+                            lq_trace::Track::Request(r.id()),
                             vns(now),
                             0,
                             0,
@@ -615,30 +814,53 @@ impl ServingRuntime {
                             &mut stats,
                             &metrics,
                             Completion {
-                                id: r.id,
+                                id: r.id(),
                                 admitted_at: r.admitted_at,
                                 finished_at: now,
-                                arrival: r.arrival,
+                                arrival: r.req.meta.arrival,
                                 status: CompletionStatus::Failed,
                                 generated: r.produced as u64,
+                                priority: r.req.meta.priority,
                             },
                         );
                     }
                 }
             }
         }
+
+        let mut evacuated: Vec<PromptRequest> = Vec::new();
+        if halted {
+            // Whole-replica failure: release every running sequence
+            // (tokens produced so far are discarded — the router
+            // restarts the request elsewhere from prefill) and hand
+            // back everything queued or yet to arrive.
+            for r in running.drain(..) {
+                // The replica is "dead": its engine state is suspect,
+                // so release through the unwind-contained wrapper.
+                engine.try_release(r.id());
+                self.kv.free_sequence(r.id()).expect("was admitted");
+                lq_trace::record_virtual(
+                    lq_trace::EventKind::KvRelease,
+                    lq_trace::Track::Request(r.id()),
+                    vns(now),
+                    0,
+                    0,
+                );
+                stats.preempted_tokens += r.produced as u64;
+                stats.generated_tokens -= r.produced as u64;
+                evacuated.push(r.req);
+            }
+            for q in pending.iter_mut() {
+                evacuated.extend(q.drain(..));
+            }
+            arrivals.reverse(); // back to earliest-first
+            evacuated.extend(arrivals);
+        }
+
         stats.makespan = now;
         if let Some(m) = &metrics {
             m.tokens_per_s.set(stats.throughput());
             m.queue_len.set(0.0);
-            // Conservative admission reserves prompt+output up front,
-            // so nothing in this loop can preempt; the exported
-            // `lq_serving_preemptions_total` counter must still read 0.
-            assert_eq!(
-                m.preemptions.get(),
-                0,
-                "conservative admission must never preempt"
-            );
         }
         assert!(self.kv.check_invariants(), "page conservation violated");
         assert_eq!(
@@ -646,7 +868,157 @@ impl ServingRuntime {
             self.kv.total_pages(),
             "KV pages leaked after drain"
         );
-        stats
+        DrainedRun {
+            stats,
+            evacuated,
+            halted,
+        }
+    }
+}
+
+/// Invalid [`ServingRuntime::builder`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingConfigError {
+    /// A scheduler knob failed validation.
+    Scheduler(SchedulerConfigError),
+    /// `kv_budget_tokens == 0`: nothing could ever be admitted.
+    ZeroKvBudget,
+}
+
+impl fmt::Display for ServingConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingConfigError::Scheduler(e) => write!(f, "scheduler config: {e}"),
+            ServingConfigError::ZeroKvBudget => write!(f, "kv_budget_tokens must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServingConfigError {}
+
+impl From<SchedulerConfigError> for ServingConfigError {
+    fn from(e: SchedulerConfigError) -> Self {
+        ServingConfigError::Scheduler(e)
+    }
+}
+
+/// Validating builder for [`ServingRuntime`] — the serving-side mirror
+/// of `LiquidGemm::builder()`. Scheduler knobs pass through to
+/// [`SchedulerConfig::builder`] (same validation), plus the runtime's
+/// own KV budget, replica telemetry label, and fault injector.
+#[derive(Clone)]
+pub struct ServingRuntimeBuilder {
+    cfg: SchedulerConfig,
+    kv_budget_tokens: usize,
+    fault_injector: Option<Arc<FaultInjector>>,
+    replica: Option<u32>,
+}
+
+impl Default for ServingRuntimeBuilder {
+    fn default() -> Self {
+        Self {
+            cfg: SchedulerConfig::default(),
+            kv_budget_tokens: 4096,
+            fault_injector: None,
+            replica: None,
+        }
+    }
+}
+
+impl ServingRuntimeBuilder {
+    /// Replace all scheduler knobs with an already-built configuration.
+    #[must_use]
+    pub fn scheduler(mut self, cfg: SchedulerConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Concurrent-sequence cap (validated ≥ 1).
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.cfg.max_batch = n;
+        self
+    }
+
+    /// Tokens per KV page (validated ≥ 1).
+    #[must_use]
+    pub fn page_tokens(mut self, n: usize) -> Self {
+        self.cfg.page_tokens = n;
+        self
+    }
+
+    /// Waiting-queue capacity (validated ≥ 1).
+    #[must_use]
+    pub fn max_queue(mut self, n: usize) -> Self {
+        self.cfg.max_queue = n;
+        self
+    }
+
+    /// Queue-admission policy (validated, e.g. `SloTiered` requires a
+    /// bounded queue).
+    #[must_use]
+    pub fn admission(mut self, p: crate::request::AdmissionPolicy) -> Self {
+        self.cfg.admission = p;
+        self
+    }
+
+    /// KV-pressure preemption policy.
+    #[must_use]
+    pub fn preemption(mut self, p: PreemptionPolicy) -> Self {
+        self.cfg.preemption = p;
+        self
+    }
+
+    /// Prompt-token budget per admission pass (validated ≥ 1).
+    #[must_use]
+    pub fn max_prefill_tokens(mut self, n: usize) -> Self {
+        self.cfg.max_prefill_tokens = n;
+        self
+    }
+
+    /// Admission-table size in tokens (validated ≥ 1; default 4096).
+    #[must_use]
+    pub fn kv_budget_tokens(mut self, n: usize) -> Self {
+        self.kv_budget_tokens = n;
+        self
+    }
+
+    /// Wire a [`FaultInjector`] into the admission page table.
+    #[must_use]
+    pub fn fault_injector(mut self, inj: Arc<FaultInjector>) -> Self {
+        self.fault_injector = Some(inj);
+        self
+    }
+
+    /// Label this runtime's telemetry `{replica="<n>"}` (router
+    /// shards).
+    #[must_use]
+    pub fn replica(mut self, n: u32) -> Self {
+        self.replica = Some(n);
+        self
+    }
+
+    /// Validate every knob and build the runtime.
+    pub fn build(self) -> Result<ServingRuntime, ServingConfigError> {
+        // Round-trip through the scheduler builder so its validation
+        // stays the single source of truth.
+        let cfg = SchedulerConfig::builder()
+            .max_batch(self.cfg.max_batch)
+            .page_tokens(self.cfg.page_tokens)
+            .max_queue(self.cfg.max_queue)
+            .admission(self.cfg.admission)
+            .preemption(self.cfg.preemption)
+            .max_prefill_tokens(self.cfg.max_prefill_tokens)
+            .build()?;
+        if self.kv_budget_tokens == 0 {
+            return Err(ServingConfigError::ZeroKvBudget);
+        }
+        let mut rt = ServingRuntime::new(cfg, self.kv_budget_tokens);
+        if let Some(inj) = self.fault_injector {
+            rt.kv.set_fault_injector(inj);
+        }
+        rt.replica = self.replica;
+        Ok(rt)
     }
 }
 
@@ -978,5 +1350,251 @@ mod tests {
         assert_eq!(inj.stats().kv_denials, 1);
         assert!(engine.live.is_empty());
         assert_eq!(rt.kv().free_pages(), rt.kv().total_pages());
+    }
+
+    #[test]
+    fn builder_validates_and_labels() {
+        assert_eq!(
+            ServingRuntime::builder().max_batch(0).build().err(),
+            Some(ServingConfigError::Scheduler(
+                SchedulerConfigError::ZeroMaxBatch
+            ))
+        );
+        assert_eq!(
+            ServingRuntime::builder().kv_budget_tokens(0).build().err(),
+            Some(ServingConfigError::ZeroKvBudget)
+        );
+        // SloTiered validation flows through from the scheduler builder.
+        assert_eq!(
+            ServingRuntime::builder()
+                .admission(crate::request::AdmissionPolicy::SloTiered {
+                    low_share_pct: 30,
+                    normal_share_pct: 70,
+                })
+                .build()
+                .err(),
+            Some(ServingConfigError::Scheduler(
+                SchedulerConfigError::TieredNeedsBoundedQueue
+            ))
+        );
+        let rt = ServingRuntime::builder()
+            .max_batch(4)
+            .page_tokens(8)
+            .kv_budget_tokens(64)
+            .replica(3)
+            .build()
+            .unwrap();
+        assert_eq!(rt.replica(), Some(3));
+        assert_eq!(rt.kv().total_pages(), 8);
+        // Builder-made runtimes behave identically to `new`.
+        let mut rt = rt;
+        let mut engine = MockEngine::new();
+        let stats = rt.run(&mut engine, reqs(2, 4, 2));
+        assert_eq!(stats.finished(), 2);
+    }
+
+    /// A Low request sized to fill the whole KV budget is admitted
+    /// first; a High request arriving just after must preempt it under
+    /// `PriorityKv`: the victim's pages are released, it re-queues, and
+    /// both eventually finish with a leak-free table.
+    fn preemption_workload() -> Vec<PromptRequest> {
+        vec![
+            PromptRequest::new(
+                Request::new(0, 8, 24, 0.0).with_priority(Priority::Low),
+                (0..8).collect(),
+            ),
+            // Arrives after the Low prefill (any measured prefill takes
+            // longer than 1e-12 s of virtual time).
+            PromptRequest::new(
+                Request::new(1, 8, 8, 1e-12).with_priority(Priority::High),
+                (0..8).collect(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn priority_kv_preempts_low_for_high() {
+        let cfg = SchedulerConfig::builder()
+            .page_tokens(8)
+            .preemption(crate::request::PreemptionPolicy::PriorityKv)
+            .build()
+            .unwrap();
+        let mut engine = MockEngine::new();
+        // 32-token budget: Low's 8+24 reservation takes every page.
+        let mut rt = ServingRuntime::new(cfg, 32);
+        let stats = rt.run(&mut engine, preemption_workload());
+        assert!(stats.preemptions >= 1, "High must preempt Low");
+        assert!(stats.preempted_tokens >= 1, "victim had produced tokens");
+        assert_eq!(stats.finished(), 2, "victim re-queues and still finishes");
+        // The ledger stays exact: every completion's tokens are counted
+        // once, preempted work is excluded.
+        let sum: u64 = stats.completions.iter().map(|c| c.generated).sum();
+        assert_eq!(sum, stats.generated_tokens);
+        assert_eq!(sum, 24 + 8);
+        // High finished before Low (Low restarted from prefill).
+        let pos = |id: u64| stats.completions.iter().position(|c| c.id == id).unwrap();
+        assert!(pos(1) < pos(0), "preemptor finishes first");
+        assert!(engine.live.is_empty(), "engine leaked sequences");
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages(), "KV leaked");
+    }
+
+    #[test]
+    fn never_policy_blocks_instead_of_preempting() {
+        let cfg = SchedulerConfig::builder().page_tokens(8).build().unwrap();
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(cfg, 32);
+        let stats = rt.run(&mut engine, preemption_workload());
+        assert_eq!(stats.preemptions, 0, "Never must not preempt");
+        assert_eq!(stats.preempted_tokens, 0);
+        assert_eq!(stats.finished(), 2);
+        // High waited for Low instead of evicting it.
+        let pos = |id: u64| stats.completions.iter().position(|c| c.id == id).unwrap();
+        assert!(pos(0) < pos(1), "Low finishes first under Never");
+    }
+
+    #[test]
+    fn infeasible_preemption_does_not_thrash_victims() {
+        // 5-page table. Running: high0 (2 pages) + low (2 pages), one
+        // page free. high1 needs 4 pages; the only evictable victim is
+        // low (high0 is not lower-priority), and 1 free + 2 reclaimed
+        // = 3 < 4 — so evicting low buys nothing and must not happen.
+        // high1 waits for natural drain instead.
+        let cfg = SchedulerConfig::builder()
+            .page_tokens(8)
+            .preemption(crate::request::PreemptionPolicy::PriorityKv)
+            .build()
+            .unwrap();
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(cfg, 40);
+        let reqs = vec![
+            PromptRequest::new(
+                Request::new(0, 8, 8, 0.0).with_priority(Priority::Low),
+                (0..8).collect(),
+            ),
+            PromptRequest::new(
+                Request::new(1, 8, 8, 0.0).with_priority(Priority::High),
+                (0..8).collect(),
+            ),
+            PromptRequest::new(
+                Request::new(2, 8, 24, 1e-12).with_priority(Priority::High),
+                (0..8).collect(),
+            ),
+        ];
+        let stats = rt.run(&mut engine, reqs);
+        assert_eq!(stats.preemptions, 0, "pointless eviction must not fire");
+        assert_eq!(stats.finished(), 3, "high1 admits after natural drain");
+        assert!(engine.live.is_empty());
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages());
+    }
+
+    #[test]
+    fn prefill_token_budget_staggers_admission() {
+        // Four 8-token prompts with an 8-token per-pass budget: each
+        // admission pass prefills exactly one request, so the batch
+        // never reaches the unconstrained peak of 4.
+        let cfg = SchedulerConfig::builder()
+            .max_prefill_tokens(8)
+            .build()
+            .unwrap();
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(cfg, 4096);
+        let stats = rt.run(&mut engine, reqs(4, 8, 2));
+        assert_eq!(stats.finished(), 4);
+        assert!(
+            stats.peak_batch <= 2,
+            "prefill budget must stagger admission (peak {})",
+            stats.peak_batch
+        );
+        // Control: without the cap all four prefill in one pass.
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let stats = rt.run(&mut engine, reqs(4, 8, 2));
+        assert_eq!(stats.peak_batch, 4);
+    }
+
+    #[test]
+    fn tiered_admission_sheds_low_first() {
+        let cfg = SchedulerConfig::builder()
+            .max_queue(4)
+            .admission(crate::request::AdmissionPolicy::SloTiered {
+                low_share_pct: 25,
+                normal_share_pct: 50,
+            })
+            .build()
+            .unwrap();
+        // Caps: Low 1, Normal 2, High 4. Ingest order (stable sort on
+        // equal arrivals) is vector order.
+        let mk = |id, p| {
+            PromptRequest::new(
+                Request::new(id, 4, 2, 0.0).with_priority(p),
+                (0..4).collect(),
+            )
+        };
+        let reqs = vec![
+            mk(0, Priority::Low),    // occ 0 < 1: queued
+            mk(1, Priority::Low),    // occ 1 >= 1: rejected
+            mk(2, Priority::Normal), // occ 1 < 2: queued
+            mk(3, Priority::Normal), // occ 2 >= 2: rejected
+            mk(4, Priority::High),   // occ 2 < 4: queued
+            mk(5, Priority::High),   // occ 3 < 4: queued
+            mk(6, Priority::High),   // occ 4 >= 4: rejected
+        ];
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(cfg, 4096);
+        let stats = rt.run(&mut engine, reqs);
+        assert_eq!(stats.finished(), 4);
+        assert_eq!(
+            stats.tier_count(Priority::Low, CompletionStatus::Rejected),
+            1
+        );
+        assert_eq!(
+            stats.tier_count(Priority::Normal, CompletionStatus::Rejected),
+            1
+        );
+        assert_eq!(
+            stats.tier_count(Priority::High, CompletionStatus::Rejected),
+            1
+        );
+        assert!(engine.live.is_empty());
+    }
+
+    #[test]
+    fn halt_evacuates_running_and_queued_cleanly() {
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        // 4 immediate requests plus one far-future arrival that the
+        // halted replica never reaches.
+        let mut rs = reqs(4, 8, 16);
+        rs.push(PromptRequest::new(
+            Request::new(99, 8, 16, 1e9),
+            (0..8).collect(),
+        ));
+        let out = rt.run_with_halt(&mut engine, rs, &mut |steps| steps >= 2);
+        assert!(out.halted);
+        // Running batch (4) + future arrival all evacuate; nothing
+        // completed and nothing was lost.
+        assert_eq!(out.evacuated.len(), 5);
+        assert_eq!(out.stats.completions.len(), 0);
+        assert_eq!(out.stats.decode_steps, 2);
+        // Discarded work is accounted, the ledger stays consistent.
+        assert_eq!(out.stats.generated_tokens, 0);
+        assert_eq!(out.stats.preempted_tokens, 4 * 3);
+        assert!(engine.live.is_empty(), "evacuation must release engine KV");
+        assert_eq!(rt.kv().free_pages(), rt.kv().total_pages(), "KV leaked");
+        // The evacuated requests run to completion on a fresh runtime.
+        let mut engine2 = MockEngine::new();
+        let mut rt2 = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let stats = rt2.run(&mut engine2, out.evacuated);
+        assert_eq!(stats.finished(), 5);
+    }
+
+    #[test]
+    fn never_true_halt_is_exactly_run() {
+        let mut engine = MockEngine::new();
+        let mut rt = ServingRuntime::new(SchedulerConfig::default(), 4096);
+        let out = rt.run_with_halt(&mut engine, reqs(3, 8, 4), &mut |_| false);
+        assert!(!out.halted);
+        assert!(out.evacuated.is_empty());
+        assert_eq!(out.stats.finished(), 3);
     }
 }

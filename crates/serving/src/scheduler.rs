@@ -41,6 +41,7 @@ struct Running {
     output_len: usize,
     ctx: usize,
     expiry: Option<f64>,
+    priority: crate::request::Priority,
 }
 
 /// Record one completion, mirroring it into telemetry.
@@ -98,6 +99,7 @@ pub fn run_schedule(
                     arrival: 0.0,
                     status: CompletionStatus::Rejected,
                     generated: 0,
+                    priority: req.priority,
                 },
             );
         } else {
@@ -126,7 +128,10 @@ pub fn run_schedule(
         while arrivals.last().is_some_and(|r| r.arrival <= now) {
             let req = arrivals.pop().expect("checked non-empty");
             let impossible = kv.pages_for(req.prompt_len + req.output_len) > kv.total_pages();
-            if impossible || pending.len() >= sched.max_queue {
+            // The same per-tier occupancy caps as the executable
+            // backend (`SchedulerConfig::queue_cap`); under plain FCFS
+            // this is the single shared `max_queue`.
+            if impossible || pending.len() >= sched.queue_cap(req.priority) {
                 complete(
                     &mut stats,
                     &metrics,
@@ -137,6 +142,7 @@ pub fn run_schedule(
                         arrival: req.arrival,
                         status: CompletionStatus::Rejected,
                         generated: 0,
+                        priority: req.priority,
                     },
                 );
             } else {
@@ -158,6 +164,7 @@ pub fn run_schedule(
                         arrival: req.arrival,
                         status: CompletionStatus::TimedOut,
                         generated: 0,
+                        priority: req.priority,
                     },
                 );
             }
@@ -208,6 +215,7 @@ pub fn run_schedule(
                     output_len: req.output_len,
                     ctx: req.prompt_len,
                     expiry: req.expiry(),
+                    priority: req.priority,
                 });
             }
         }
@@ -230,6 +238,7 @@ pub fn run_schedule(
                         arrival: r.arrival,
                         status: CompletionStatus::TimedOut,
                         generated: (r.output_len - r.remaining) as u64,
+                        priority: r.priority,
                     },
                 );
             } else {
@@ -285,6 +294,7 @@ pub fn run_schedule(
                         arrival: r.arrival,
                         status: CompletionStatus::Finished,
                         generated: r.output_len as u64,
+                        priority: r.priority,
                     },
                 );
             } else {

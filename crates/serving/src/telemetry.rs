@@ -14,7 +14,7 @@
 //! | `lq_serving_prefill_ns` | histogram | modelled batched-prefill latency |
 //! | `lq_serving_admitted_total` | counter | requests admitted |
 //! | `lq_serving_admission_blocked_total` | counter | admission attempts rejected (KV reservation did not fit) |
-//! | `lq_serving_preemptions_total` | counter | always 0 — conservative admission reserves prompt+output up front, so the scheduler never preempts; exported so dashboards can assert it |
+//! | `lq_serving_preemptions_total` | counter | running sequences preempted under [`crate::PreemptionPolicy::PriorityKv`] (KV fully released, victim re-queued); stays 0 under `Never` — conservative admission reserves prompt+output up front |
 //! | `lq_serving_completed_total` | counter | requests finished normally |
 //! | `lq_serving_timed_out_total` | counter | requests evicted past their deadline (pages released) |
 //! | `lq_serving_rejected_total` | counter | requests rejected at arrival (queue full, reservation can never fit, or malformed non-finite timing) |
@@ -28,6 +28,11 @@
 //! | `lq_kv_oom_total` | counter | allocation attempts failed on OOM |
 //! | `lq_kv_used_pages` | gauge | pages currently pinned |
 //! | `lq_kv_live_sequences` | gauge | sequences currently registered |
+//!
+//! Under the router (`lq-router`), each replica's runtime resolves the
+//! `lq_serving_*` families with a `{replica="<n>"}` label instead of
+//! the unlabelled process-wide series, so per-shard dashboards come for
+//! free from the same family names.
 
 use std::sync::{Arc, OnceLock};
 
@@ -40,12 +45,12 @@ pub(crate) struct SchedMetrics {
     pub prefill_ns: Arc<Histogram>,
     pub admitted: Arc<Counter>,
     pub blocked: Arc<Counter>,
-    /// Always 0 by design: conservative admission reserves the full
-    /// `prompt + output` KV budget up front, so no admitted request is
-    /// ever preempted. The counter stays exported (dashboards alert on
-    /// any nonzero value) and the runtime *reads* it at end of run to
-    /// assert the invariant — see `ServingRuntime::run` and the
-    /// `preemptions_stay_zero_through_stress_run` stress test.
+    /// Running sequences preempted for a higher-priority reservation
+    /// ([`crate::PreemptionPolicy::PriorityKv`]): the victim's KV pages
+    /// are fully released and it re-queues to restart from prefill.
+    /// Under [`crate::PreemptionPolicy::Never`] this stays 0 —
+    /// conservative admission reserves prompt+output up front — and
+    /// dashboards can still alert on it.
     pub preemptions: Arc<Counter>,
     pub completed: Arc<Counter>,
     pub timed_out: Arc<Counter>,
@@ -58,27 +63,41 @@ pub(crate) struct SchedMetrics {
 }
 
 impl SchedMetrics {
-    /// Resolve handles, or `None` when telemetry is off.
+    /// Resolve unlabelled handles, or `None` when telemetry is off.
     pub(crate) fn resolve() -> Option<Self> {
+        Self::resolve_for(None)
+    }
+
+    /// Resolve handles labelled `{replica="<n>"}` (router shards), or
+    /// the unlabelled process-wide families when `replica` is `None`.
+    pub(crate) fn resolve_for(replica: Option<u32>) -> Option<Self> {
         if !lq_telemetry::enabled() {
             return None;
         }
         let reg = registry();
+        let id = replica.map(|r| r.to_string());
+        let labels: Vec<(&str, &str)> = match &id {
+            Some(v) => vec![("replica", v.as_str())],
+            None => vec![],
+        };
+        let c = |name| reg.counter_with(name, &labels);
+        let g = |name| reg.gauge_with(name, &labels);
+        let h = |name| reg.histogram_with(name, &labels);
         Some(Self {
-            batch_size: reg.histogram("lq_serving_batch_size"),
-            decode_step_ns: reg.histogram("lq_serving_decode_step_ns"),
-            prefill_ns: reg.histogram("lq_serving_prefill_ns"),
-            admitted: reg.counter("lq_serving_admitted_total"),
-            blocked: reg.counter("lq_serving_admission_blocked_total"),
-            preemptions: reg.counter("lq_serving_preemptions_total"),
-            completed: reg.counter("lq_serving_completed_total"),
-            timed_out: reg.counter("lq_serving_timed_out_total"),
-            rejected: reg.counter("lq_serving_rejected_total"),
-            failed: reg.counter("lq_serving_failed_total"),
-            request_latency_ns: reg.histogram("lq_serving_request_latency_ns"),
-            queue_delay_ns: reg.histogram("lq_serving_queue_delay_ns"),
-            tokens_per_s: reg.gauge("lq_serving_tokens_per_s"),
-            queue_len: reg.gauge("lq_serving_queue_len"),
+            batch_size: h("lq_serving_batch_size"),
+            decode_step_ns: h("lq_serving_decode_step_ns"),
+            prefill_ns: h("lq_serving_prefill_ns"),
+            admitted: c("lq_serving_admitted_total"),
+            blocked: c("lq_serving_admission_blocked_total"),
+            preemptions: c("lq_serving_preemptions_total"),
+            completed: c("lq_serving_completed_total"),
+            timed_out: c("lq_serving_timed_out_total"),
+            rejected: c("lq_serving_rejected_total"),
+            failed: c("lq_serving_failed_total"),
+            request_latency_ns: h("lq_serving_request_latency_ns"),
+            queue_delay_ns: h("lq_serving_queue_delay_ns"),
+            tokens_per_s: g("lq_serving_tokens_per_s"),
+            queue_len: g("lq_serving_queue_len"),
         })
     }
 }

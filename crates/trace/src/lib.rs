@@ -61,9 +61,13 @@
 //! | `ReqPrefill` | serving prefill (span) | 0 | 0 |
 //! | `ReqDecodeIter` | serving decode (span) | batch-step corr | batch size |
 //! | `ReqComplete` | serving completion | status (see [`status_code`]) | generated tokens |
+//! | `ReqPreempt` | serving preemption (KV released, re-queued) | tokens discarded | preemptor request id |
+//! | `ReqReroute` | router failover re-queue | source replica | 0 |
 //! | `KvReserve` | serving admission | pages reserved | 0 |
 //! | `KvRelease` | serving release | 0 | 0 |
 //! | `FaultFired` | lq-chaos injector | site index | scheduled index |
+//! | `RouterRoute` | router shard decision | replica index | request id |
+//! | `ReplicaKill` | chaos whole-replica failure | replica index | evacuated requests |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -107,9 +111,13 @@ pub enum EventKind {
     ReqPrefill,
     ReqDecodeIter,
     ReqComplete,
+    ReqPreempt,
+    ReqReroute,
     KvReserve,
     KvRelease,
     FaultFired,
+    RouterRoute,
+    ReplicaKill,
 }
 
 impl EventKind {
@@ -132,9 +140,13 @@ impl EventKind {
             EventKind::ReqPrefill => "req_prefill",
             EventKind::ReqDecodeIter => "req_decode_iter",
             EventKind::ReqComplete => "req_complete",
+            EventKind::ReqPreempt => "req_preempt",
+            EventKind::ReqReroute => "req_reroute",
             EventKind::KvReserve => "kv_reserve",
             EventKind::KvRelease => "kv_release",
             EventKind::FaultFired => "fault_fired",
+            EventKind::RouterRoute => "router_route",
+            EventKind::ReplicaKill => "replica_kill",
         }
     }
 

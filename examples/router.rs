@@ -1,0 +1,102 @@
+//! Sharded multi-replica serving with SLO tiers, preemption, and
+//! chaos-driven failover — the whole `lq-router` surface in one run.
+//!
+//! Three `TinyLlm` replicas (each its own engine over one shared
+//! persistent GEMM pool) serve a seeded open-loop Poisson trace with a
+//! 25/45/30 low/normal/high tier mix. The router shards by
+//! least-loaded tokens; each replica runs SLO-tiered admission and
+//! priority-KV preemption. Mid-run, a chaos plan kills replica 0 at
+//! its third scheduler step: its running sequences are evacuated (KV
+//! fully released) and re-route to the survivors, which finish
+//! everything.
+//!
+//! Run: `cargo run --release --example router`
+
+use liquidgemm::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let pool = Arc::new(
+        LiquidGemm::builder()
+            .workers(4)
+            .build()
+            .expect("valid pool config"),
+    );
+    let spec = ModelSpec::tiny();
+
+    // Seeded open-loop trace: ~40 Poisson arrivals, mixed tiers.
+    let mut trace = TraceConfig::poisson(400.0, 0.1);
+    trace.mix = TierMix {
+        low_pct: 25,
+        normal_pct: 45,
+        high_pct: 30,
+    };
+    trace.prompt_len = (8, 16);
+    trace.output_len = (8, 16);
+    let requests = trace
+        .generate_prompts(7, spec.vocab)
+        .expect("valid trace config");
+    let n = requests.len();
+
+    // Kill replica 0 at its 3rd scheduler step (dead stays dead).
+    let injector = Arc::new(FaultInjector::new(FaultPlan::quiet().replica_kill_at(0, 3)));
+
+    let router = ServingRouter::builder()
+        .replicas(3)
+        .policy(RoutingPolicy::LeastLoaded)
+        .runtime(
+            ServingRuntime::builder()
+                .max_batch(8)
+                .page_tokens(16)
+                .max_queue(16)
+                .admission(AdmissionPolicy::SloTiered {
+                    low_share_pct: 25,
+                    normal_share_pct: 60,
+                })
+                .preemption(PreemptionPolicy::PriorityKv)
+                .kv_budget_tokens(512),
+        )
+        .fault_injector(injector)
+        .build()
+        .expect("valid router config");
+
+    let out = router.run(
+        |_replica| TinyLlm::synthetic_with_engine(spec, 2048, KernelKind::ImFp, Arc::clone(&pool)),
+        requests,
+    );
+
+    println!("== sharded serving router (3x TinyLlm, shared 4-worker pool) ==\n");
+    for r in &out.replicas {
+        println!(
+            "  replica {}: {:>2} routed  {:>2} finished  {:>2} preemptions  {:>4.0} tok/s{}",
+            r.replica,
+            r.routed,
+            r.stats.finished(),
+            r.stats.preemptions,
+            r.stats.goodput(),
+            if r.killed { "  [KILLED]" } else { "" }
+        );
+    }
+    let merged = out.merged();
+    println!(
+        "\n  {} arrivals → {} completions ({} finished, {} rejected) in {} wave(s)",
+        n,
+        merged.completions.len(),
+        merged.finished(),
+        merged.rejected(),
+        out.waves
+    );
+    println!(
+        "  {} failover(s) absorbed, {} request(s) re-routed to survivors",
+        out.failovers, out.rerouted
+    );
+    for tier in [Priority::High, Priority::Normal, Priority::Low] {
+        println!(
+            "  {:>6}: p99 latency {:.2} ms over {} finished",
+            tier.label(),
+            merged.tier_latency_percentile(tier, 99.0) * 1e3,
+            merged.tier_count(tier, CompletionStatus::Finished),
+        );
+    }
+    assert!(out.unserved.is_empty(), "survivors must absorb everything");
+}

@@ -50,13 +50,13 @@ fn main() {
         ));
     }
 
-    let cfg = SchedulerConfig::builder()
+    let mut runtime = ServingRuntime::builder()
         .max_batch(8)
         .page_tokens(16)
         .max_queue(12)
+        .kv_budget_tokens(2048)
         .build()
-        .expect("valid scheduler config");
-    let mut runtime = ServingRuntime::new(cfg, 2048);
+        .expect("valid runtime config");
     let stats = runtime.run(&mut model, requests);
 
     println!("== executable continuous-batching serving (TinyLlm, ImFP, 4-worker pool) ==\n");

@@ -20,7 +20,12 @@
 //!   pipeline simulator.
 //! * [`models`] — the eight evaluated model architectures (shapes).
 //! * [`serving`] — paged KV cache, attention cost model, the seven
-//!   serving-system configurations, decode and throughput simulation.
+//!   serving-system configurations, decode and throughput simulation,
+//!   and the executable continuous-batching runtime with priority
+//!   tiers, SLO-aware admission, and KV-pressure preemption.
+//! * [`router`] — sharded multi-replica serving: routing policies,
+//!   prefill/decode disaggregation, open-loop arrival traces, and
+//!   chaos-driven whole-replica failover (see DESIGN.md § 12).
 //! * [`engine`] — an executable mini inference engine: RMSNorm, RoPE,
 //!   paged INT8-KV streaming attention, SwiGLU, full decoder layers and
 //!   greedy decoding, all on the W4A8 kernels.
@@ -71,6 +76,7 @@ pub use lq_engine as engine;
 pub use lq_layout as layout;
 pub use lq_models as models;
 pub use lq_quant as quant;
+pub use lq_router as router;
 pub use lq_serving as serving;
 pub use lq_sim as sim;
 pub use lq_swar as swar;
@@ -83,10 +89,11 @@ pub use lq_trace as trace;
 /// persistent GEMM runtime ([`LiquidGemm`] + [`KernelKind`] +
 /// [`W4A8Weights`]), the pluggable dequant-backend registry
 /// ([`BackendId`] / [`KernelBackend`] / [`registry`] / [`resolve`]),
-/// the executable model ([`TinyLlm`]), and the serving API shared by
+/// the executable model ([`TinyLlm`]), the serving API shared by
 /// the simulated and executable schedulers ([`Request`] /
 /// [`Completion`] / [`RunStats`] / [`SchedulerConfig`],
-/// [`run_schedule`], [`ServingRuntime`]).
+/// [`run_schedule`], [`ServingRuntime`] and its builder), and the
+/// multi-replica router ([`ServingRouter`], [`TraceConfig`]).
 pub mod prelude {
     pub use lq_chaos::{FaultAction, FaultInjector, FaultPlan, FaultStats};
     pub use lq_core::{GemmOutput, KernelKind, LiquidGemm, LiquidGemmBuilder, W4A8Weights};
@@ -94,10 +101,18 @@ pub mod prelude {
     pub use lq_quant::backend::{
         registry, resolve, BackendCost, BackendId, KernelBackend, PackedWeights,
     };
+    pub use lq_router::{
+        ArrivalPattern, Disaggregation, ReplicaReport, RouterConfigError, RouterStats,
+        RoutingPolicy, ServingRouter, ServingRouterBuilder, TierMix, TraceConfig, TraceConfigError,
+    };
     pub use lq_serving::kvcache::SeqId;
-    pub use lq_serving::runtime::{EngineError, PromptRequest, ServingEngine, ServingRuntime};
+    pub use lq_serving::runtime::{
+        DrainedRun, EngineError, PromptRequest, ServingConfigError, ServingEngine, ServingRuntime,
+        ServingRuntimeBuilder,
+    };
     pub use lq_serving::{
-        run_schedule, Completion, CompletionStatus, PagedKvCache, Request, RunStats,
-        SchedulerConfig, SchedulerConfigError, ServingSystem, SystemId,
+        run_schedule, AdmissionPolicy, Completion, CompletionStatus, PagedKvCache,
+        PreemptionPolicy, Priority, Request, RunStats, SchedulerConfig, SchedulerConfigError,
+        ServingSystem, SystemId,
     };
 }

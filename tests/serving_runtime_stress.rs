@@ -134,32 +134,75 @@ fn stress_no_kv_leaks_after_drain() {
 }
 
 #[test]
-fn preemptions_stay_zero_through_stress_run() {
-    // `lq_serving_preemptions_total` is exported as a standing
-    // invariant, not an event count: conservative admission reserves
-    // the full prompt+output KV budget up front, so the scheduler can
-    // never preempt. Drive the full stress workload (timeouts,
-    // rejections, KV pressure) with telemetry ON and assert the
-    // counter still reads 0 — if any future scheduling change starts
-    // preempting, this is the test that goes red.
+fn priority_preemption_fires_and_leaks_nothing() {
+    // `lq_serving_preemptions_total` used to be a standing always-0
+    // invariant; under `PreemptionPolicy::PriorityKv` it is a real
+    // event count. Drive a guaranteed preemption against the real
+    // engine with telemetry ON: a Low request sized to fill the whole
+    // admission table is running when a High request arrives, so High
+    // can only admit by evicting Low — then audit that the counter
+    // moved and that eviction + re-queue released every KV page at
+    // both the runtime and engine layers.
     liquidgemm::telemetry::enable();
     let spec = ModelSpec::tiny();
     let pool = Arc::new(LiquidGemm::builder().workers(2).build().unwrap());
     let mut model = TinyLlm::synthetic_with_engine(spec, 1024, KernelKind::ImFp, pool);
-    let mut rng = Rng::new(0xC0FFEE);
-    let requests = workload(&mut rng, &spec, 120);
-    let cfg = SchedulerConfig::builder()
-        .max_batch(6)
-        .page_tokens(16)
-        .max_queue(MAX_QUEUE)
-        .build()
-        .unwrap();
-    let stats = ServingRuntime::new(cfg, 1024).run(&mut model, requests);
-    assert!(stats.finished() > 0 && stats.timed_out() > 0 && stats.rejected() > 0);
-    let preempted = liquidgemm::telemetry::registry()
+    let engine_free_start: Vec<usize> = model.kv.iter().map(|s| s.table.free_pages()).collect();
+    let before = liquidgemm::telemetry::registry()
         .counter("lq_serving_preemptions_total")
         .get();
-    assert_eq!(preempted, 0, "conservative admission must never preempt");
+
+    let mut rng = Rng::new(0xBEEF);
+    let prompt = |rng: &mut Rng, len: usize| -> Vec<usize> {
+        (0..len)
+            .map(|_| (rng.next_u64() as usize) % spec.vocab)
+            .collect()
+    };
+    let requests = vec![
+        // Fills the 32-token admission table (8 + 24 = 2 pages of 16).
+        PromptRequest::new(
+            Request::new(0, 8, 24, 0.0).with_priority(Priority::Low),
+            prompt(&mut rng, 8),
+        ),
+        // Arrives mid-prefill of Low (any measured prefill outlasts
+        // 1e-12 s of virtual time): must preempt to fit.
+        PromptRequest::new(
+            Request::new(1, 8, 8, 1e-12).with_priority(Priority::High),
+            prompt(&mut rng, 8),
+        ),
+    ];
+    let mut runtime = ServingRuntime::builder()
+        .page_tokens(16)
+        .kv_budget_tokens(32)
+        .preemption(PreemptionPolicy::PriorityKv)
+        .build()
+        .unwrap();
+    let stats = runtime.run(&mut model, requests);
+
+    assert!(stats.preemptions >= 1, "High must preempt Low");
+    assert!(stats.preempted_tokens >= 1, "victim had produced tokens");
+    assert_eq!(stats.finished(), 2, "victim re-queues and still finishes");
+    let counted: u64 = stats.completions.iter().map(|c| c.generated).sum();
+    assert_eq!(counted, stats.generated_tokens, "token ledger must balance");
+    let after = liquidgemm::telemetry::registry()
+        .counter("lq_serving_preemptions_total")
+        .get();
+    assert!(
+        after - before >= stats.preemptions,
+        "preemption counter must move with RunStats"
+    );
+
+    // Zero-KV-leak audit across both allocation layers.
+    assert_eq!(runtime.kv().free_pages(), runtime.kv().total_pages());
+    assert!(runtime.kv().check_invariants());
+    for (layer, (store, &free0)) in model.kv.iter().zip(engine_free_start.iter()).enumerate() {
+        assert_eq!(
+            store.table.free_pages(),
+            free0,
+            "layer {layer} leaked KV pages across preemption"
+        );
+        assert!(store.table.check_invariants(), "layer {layer} invariants");
+    }
 }
 
 #[test]
