@@ -23,14 +23,15 @@ use std::hint::black_box;
 
 use lq_bench::{bench_case, fmt_time, measure_median, print_header, print_row};
 use lq_core::api::W4A8Weights;
+use lq_core::microkernel::dispatch_counts;
 use lq_core::packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
 use lq_core::serial::{
     fp16_serial, fp8_serial, w4a16_serial, w4a8_lqq_serial, w4a8_qoq_serial, w4a8_serial,
-    w8a8_serial,
+    w4a8_serial_with, w8a8_serial,
 };
-use lq_core::{registry, KernelKind, LiquidGemm};
+use lq_core::{registry, KernelKind, LiquidGemm, MicrokernelSet, SimdVariant};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 
@@ -41,6 +42,57 @@ const K: usize = 2048;
 /// round-robin placement plus stealing, workers should stay within 2×
 /// of each other even on a single hardware core.
 const BALANCE_GATE: f64 = 2.0;
+
+/// `--smoke` decode-latency gate: the freshly measured persistent-pool
+/// decode (M=1) median may regress at most 10% against the
+/// `lq_bench_decode_m1_ns` gauge in the committed
+/// `BENCH_gemm_kernels.json` snapshot at the workspace root. A missing
+/// file or gauge (a bootstrap run that predates the gauge) skips the
+/// gate with a note instead of failing.
+const DECODE_M1_GATE: f64 = 1.10;
+
+/// The committed decode-M1 baseline, read from the repo-root snapshot
+/// *before* the `--json` dump-on-drop overwrites it. Hand-rolled scan
+/// (the sandbox has no serde): finds the gauge key and parses the
+/// number after the colon.
+fn committed_decode_m1_baseline() -> Option<f64> {
+    let s =
+        std::fs::read_to_string(lq_bench::workspace_root().join("BENCH_gemm_kernels.json")).ok()?;
+    let key = "\"lq_bench_decode_m1_ns\":";
+    let i = s.find(key)? + key.len();
+    let rest = s[i..].trim_start_matches(' ');
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '-' | '+')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Median per-call persistent-pool ImFP decode (M=1) latency in
+/// nanoseconds, recorded into the `lq_bench_decode_m1_ns` gauge so the
+/// committed snapshot carries the baseline the smoke gate compares
+/// against.
+fn bench_decode_m1(lg: &LiquidGemm, weights: &W4A8Weights) -> f64 {
+    const CALLS: usize = 8;
+    let x = Mat::from_fn(1, K, |_, c| (c as f32 * 0.07).cos());
+    let qa = QuantizedActivations::quantize(&x, None);
+    let t = measure_median(12, || {
+        for _ in 0..CALLS {
+            black_box(lg.gemm(&qa.q, &qa.scales, weights, KernelKind::ImFp));
+        }
+    }) / CALLS as f64;
+    let ns = t * 1e9;
+    lq_telemetry::registry()
+        .gauge_with(
+            "lq_bench_decode_m1_ns",
+            &[("variant", lg.pool().microkernels().variant().label())],
+        )
+        .set(ns);
+    // Unlabelled mirror: one stable key for the smoke gate to scan.
+    lq_telemetry::registry()
+        .gauge("lq_bench_decode_m1_ns")
+        .set(ns);
+    ns
+}
 
 /// Per-call-spawn vs persistent-pool ImFP latency across batch sizes.
 /// At decode shapes (M ≤ 8) thread spawn+join dominates the tiny GEMM,
@@ -140,6 +192,7 @@ fn pool_balance(
         ("steals", 8),
         ("restarts", 9),
         ("retries", 8),
+        ("pinned", 7),
     ]);
     for (id, s) in stats.iter().enumerate() {
         print_row(&[
@@ -149,6 +202,7 @@ fn pool_balance(
             (s.steals.to_string(), 8),
             (s.restarts.to_string(), 9),
             (s.retries.to_string(), 8),
+            (s.pinned_cpu.map_or("-".into(), |c| format!("cpu{c}")), 7),
         ]);
     }
     let max = stats.iter().map(|s| s.busy_ns).max().unwrap_or(0);
@@ -163,10 +217,78 @@ fn pool_balance(
     (ratio, retries, min_jobs)
 }
 
+/// The `--smoke` decode-latency regression gate: measure persistent
+/// decode (M=1) on the full N×K shape with the auto-selected variant,
+/// compare against the committed-snapshot baseline, exit non-zero past
+/// [`DECODE_M1_GATE`].
+fn run_decode_gate(decode_baseline: Option<f64>) {
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+    let lg = LiquidGemm::builder()
+        .workers(workers)
+        .task_rows(16)
+        .build()
+        .expect("valid config");
+    let big = Mat::from_fn(N, K, |r, c| ((r * K + c) as f32 * 0.11).sin());
+    let weights = W4A8Weights::lqq(PackedLqqLinear::quantize(&big, 64));
+    let got_ns = bench_decode_m1(&lg, &weights);
+    match decode_baseline {
+        Some(base_ns) => {
+            let ratio = got_ns / base_ns;
+            println!(
+                "decode_m1: {} vs committed {} ({ratio:.2}x, gate {DECODE_M1_GATE:.2}x)",
+                fmt_time(got_ns * 1e-9),
+                fmt_time(base_ns * 1e-9)
+            );
+            if ratio > DECODE_M1_GATE {
+                eprintln!(
+                    "FAIL: decode M=1 regressed {ratio:.2}x vs committed baseline \
+                     (gate {DECODE_M1_GATE:.2}x)"
+                );
+                std::process::exit(1);
+            }
+        }
+        None => println!(
+            "decode_m1: {} (no committed lq_bench_decode_m1_ns baseline — gate skipped)",
+            fmt_time(got_ns * 1e-9)
+        ),
+    }
+}
+
 fn main() {
     let _json = lq_bench::json_dump("gemm_kernels");
     let mut trace = lq_bench::trace_dump();
+    // Read the committed decode baseline before any `--json` dump can
+    // overwrite the snapshot at exit.
+    let decode_baseline = committed_decode_m1_baseline();
+    let mk = MicrokernelSet::global();
+    println!(
+        "microkernel variant: {} (detected best: {})",
+        mk.variant().label(),
+        SimdVariant::best_available().label()
+    );
     if std::env::args().any(|a| a == "--smoke") {
+        // ISA-dispatch smoke gate: unless LQ_FORCE_SCALAR overrides it,
+        // the process-wide microkernel set must be the best variant this
+        // CPU detects — a scalar fallback on a SIMD host is a silent
+        // 3-8x perf regression the timing gates might miss on a quiet
+        // runner.
+        let forced_scalar =
+            std::env::var_os("LQ_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
+        if !forced_scalar && mk.variant() != SimdVariant::best_available() {
+            eprintln!(
+                "FAIL: global microkernel variant {} != detected best {}",
+                mk.variant().label(),
+                SimdVariant::best_available().label()
+            );
+            std::process::exit(1);
+        }
+        if forced_scalar && mk.variant() != SimdVariant::Scalar {
+            eprintln!(
+                "FAIL: LQ_FORCE_SCALAR set but global variant is {}",
+                mk.variant().label()
+            );
+            std::process::exit(1);
+        }
         // CI smoke gate: tiny shapes so the whole run is sub-second in
         // release mode, but enough calls that every worker sees work —
         // once per registered dequant backend, each on a fresh pool.
@@ -192,6 +314,30 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+        }
+        // The balance runs above dispatched real GEMMs; the dispatch
+        // counters must show the selected variant actually executed.
+        if !dispatch_counts()
+            .iter()
+            .any(|&(v, _, n)| v == mk.variant().label() && n > 0)
+        {
+            eprintln!(
+                "FAIL: no dispatches recorded for selected variant {} \
+                 (counters: {:?})",
+                mk.variant().label(),
+                dispatch_counts()
+            );
+            std::process::exit(1);
+        }
+        // Decode-latency regression gate against the committed
+        // snapshot (skipped on bootstrap runs that predate the gauge,
+        // and under LQ_FORCE_SCALAR — the committed baseline is the
+        // auto-selected SIMD variant's, which scalar legitimately
+        // cannot meet).
+        if forced_scalar {
+            println!("decode_m1 gate skipped (LQ_FORCE_SCALAR)");
+        } else {
+            run_decode_gate(decode_baseline);
         }
         if trace.active() {
             // Trace-smoke gate: the exported Chrome JSON must validate
@@ -271,6 +417,55 @@ fn main() {
             black_box(lg.gemm(&qa.q, &qa.scales, &weights, KernelKind::ImFp));
         });
     }
+
+    // Per-ISA-variant sweep (scalar baseline + every detected SIMD
+    // family, forced via the builder): serial prefill M=32 and
+    // persistent-pool decode M=1 — the EXPERIMENTS.md before/after
+    // table. The auto-selected variant additionally records the
+    // `lq_bench_decode_m1_ns` gauge the smoke gate compares against.
+    println!("\nvariant_sweep (N={N} K={K}; serial M=32, persistent ImFP decode M=1)");
+    print_header(&[("variant", 8), ("serial_m32", 11), ("decode_m1", 11)]);
+    let weights = W4A8Weights::lqq(lqq.clone());
+    for v in [SimdVariant::Scalar, SimdVariant::Avx2, SimdVariant::Vnni] {
+        let Some(vmk) = MicrokernelSet::for_variant(v) else {
+            println!("{:>8}  (not detected on this CPU)", v.label());
+            continue;
+        };
+        let t_serial = measure_median(10, || {
+            black_box(w4a8_serial_with(vmk, &qa.q, &qa.scales, &lqq));
+        });
+        let lgv = LiquidGemm::builder()
+            .workers(workers)
+            .task_rows(16)
+            .force_microkernel(v)
+            .build()
+            .expect("detected variant builds");
+        let x1 = Mat::from_fn(1, K, |_, c| (c as f32 * 0.07).cos());
+        let qa1 = QuantizedActivations::quantize(&x1, None);
+        const CALLS: usize = 8;
+        let t_decode = measure_median(12, || {
+            for _ in 0..CALLS {
+                black_box(lgv.gemm(&qa1.q, &qa1.scales, &weights, KernelKind::ImFp));
+            }
+        }) / CALLS as f64;
+        print_row(&[
+            (v.label().to_string(), 8),
+            (fmt_time(t_serial), 11),
+            (fmt_time(t_decode), 11),
+        ]);
+    }
+    let auto = LiquidGemm::builder()
+        .workers(workers)
+        .task_rows(16)
+        .build()
+        .expect("valid config");
+    let t_decode_auto = bench_decode_m1(&auto, &weights);
+    println!(
+        "decode_m1 (auto-selected {}): {}",
+        auto.pool().microkernels().variant().label(),
+        fmt_time(t_decode_auto * 1e-9)
+    );
+    drop(auto);
 
     pool_amortisation(&lqq);
     let _ = pool_balance(&W4A8Weights::lqq(lqq), K, 64, 16, 24);

@@ -96,11 +96,22 @@ pub fn bench_case(name: &str, reps: usize, f: impl FnMut()) -> f64 {
     t
 }
 
+/// The workspace root (two levels above this crate's manifest) —
+/// `BENCH_*.json` snapshots are committed there, and anchoring the
+/// path makes dumps land in the same place whether the binary runs
+/// under `cargo bench` (CWD = package root) or `cargo run`
+/// (CWD = invocation dir).
+#[must_use]
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 /// Handle the shared `--json` flag: when present in `argv`, telemetry
 /// is enabled for the whole run and the returned guard writes the
-/// global registry's JSON snapshot to `BENCH_<name>.json` when dropped
-/// (i.e. at the end of `main`). Without the flag this is inert and
-/// telemetry stays off, so timings are unperturbed.
+/// global registry's JSON snapshot to `BENCH_<name>.json` in the
+/// [`workspace_root`] when dropped (i.e. at the end of `main`).
+/// Without the flag this is inert and telemetry stays off, so timings
+/// are unperturbed.
 #[must_use]
 pub fn json_dump(name: &'static str) -> JsonDumpGuard {
     let active = std::env::args().any(|a| a == "--json");
@@ -119,10 +130,10 @@ pub struct JsonDumpGuard {
 impl Drop for JsonDumpGuard {
     fn drop(&mut self) {
         if self.active {
-            let path = format!("BENCH_{}.json", self.name);
+            let path = workspace_root().join(format!("BENCH_{}.json", self.name));
             match std::fs::write(&path, lq_telemetry::registry().to_json()) {
-                Ok(()) => eprintln!("telemetry snapshot written to {path}"),
-                Err(e) => eprintln!("failed to write {path}: {e}"),
+                Ok(()) => eprintln!("telemetry snapshot written to {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
             }
         }
     }

@@ -50,9 +50,14 @@
 //! `telemetry` module docs); disabled, instrumentation is one relaxed
 //! load per GEMM call.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly two leaf
+// modules: `simd` (explicit `core::arch` microkernels behind runtime
+// feature detection) and `affinity` (raw sched_setaffinity syscalls).
+// Everything else still cannot use it.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod api;
 pub mod epilogue;
 pub mod fused;
@@ -63,18 +68,22 @@ pub mod reference;
 pub mod runtime;
 pub mod scheduler;
 pub mod serial;
+pub mod simd;
 pub mod sync;
 mod telemetry;
 pub mod tiled;
 
+pub use affinity::PlacementPolicy;
 pub use api::{GemmOutput, KernelKind, ParallelConfig, W4A8Weights};
 pub use lq_chaos::{FaultAction, FaultInjector, FaultPlan, FaultStats};
 pub use lq_quant::backend::{
     registry, resolve, BackendCost, BackendId, KernelBackend, PackedWeights, TileDequant,
 };
+pub use microkernel::MicrokernelSet;
 pub use packed::{
     Fp16Linear, Fp8Linear, PackedCodebookLinear, PackedLqqLinear, PackedLutLinear, PackedQoqLinear,
     W4A16Linear, W8A8Linear,
 };
 pub use pipeline::{ConfigError, ParallelConfigBuilder};
 pub use runtime::{LiquidGemm, LiquidGemmBuilder, WorkerPool, WorkerStats};
+pub use simd::SimdVariant;

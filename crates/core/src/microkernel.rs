@@ -1,26 +1,44 @@
-//! Hot-loop primitives: raw SWAR dequantization and the register-tiled
-//! INT8 microkernel.
+//! Hot-loop primitives: raw SWAR dequantization, the register-tiled
+//! INT8 microkernel family, and the [`MicrokernelSet`] ISA dispatch
+//! layer.
 //!
 //! The dequant halves are the *uncounted* twins of the audited paths in
 //! `lq-quant` — same arithmetic, zero bookkeeping, `#[inline(always)]`.
-//! The MMA half is a BLIS-style MR×NR register-tile microkernel: the
-//! activation block is staged into [`APanels`] (row-major `MR`-row
-//! panels plus the `m % MR` tail) and [`mk_i8_4x4`] / [`mk_i8_1x4`]
-//! run each of the tile's accumulator chains as a full-`kc` reduction
-//! over *contiguous* operand streams, the one shape LLVM's loop
-//! vectoriser turns into widening-multiply SIMD reductions without
-//! intrinsics (the workspace forbids `unsafe`). We measured the
-//! alternative K-major interleaved packing
-//! (`lq_layout::pack::pack_a_panels_kmajor`) with fixed 16-wide
-//! chunked unrolling: the strided lane access defeats the vectoriser's
-//! reduction pattern and the per-chunk horizontal sums dominate, so it
-//! benches 2–5× slower than the contiguous form on both baseline
-//! SSE2 and AVX-512 — the layout stays in `lq-layout` as the measured
-//! counterexample. Bit-exact equivalence with the audited
-//! implementations and with `reference.rs` is asserted by tests here
-//! and property tests in `tests/`.
+//! The MMA half is a BLIS-style MR×NR register-tile microkernel family:
+//! the activation block is staged into [`APanels`] (row-major `MR`-row
+//! panels plus the `m % MR` tail) and the per-panel kernels run each of
+//! the tile's accumulator chains as a full-`kc` reduction over
+//! *contiguous* operand streams.
+//!
+//! Two kernel generations coexist behind [`MicrokernelSet`]
+//! (DESIGN.md §13):
+//!
+//! * **Scalar** — [`mk_i8_4x4`] / [`mk_i8_1x4`], plain indexed loops in
+//!   the one shape LLVM's loop vectoriser turns into widening-multiply
+//!   SIMD reductions without intrinsics. These stay as the portable
+//!   fallback *and* the bit-exactness oracle for the SIMD variants. We
+//!   measured the alternative K-major interleaved packing
+//!   (`lq_layout::pack::pack_a_panels_kmajor`) with fixed 16-wide
+//!   chunked unrolling: the strided lane access defeats the
+//!   vectoriser's reduction pattern and the per-chunk horizontal sums
+//!   dominate, so it benches 2–5× slower than the contiguous form —
+//!   the layout stays in `lq-layout` as the measured counterexample.
+//! * **Explicit SIMD** — [`crate::simd`]'s AVX2 and AVX-512-VNNI
+//!   kernels, runtime feature-detected once ([`MicrokernelSet::global`])
+//!   and selected per-job with wider, M-adaptive register shapes
+//!   (1×16 decode, 4×16/6×16 prefill). Their accumulator chains carry
+//!   8/16 i32 partial lanes that are only reduced at scatter time.
+//!
+//! Bit-exact equivalence with the audited implementations and with
+//! `reference.rs` is asserted by tests here and property tests in
+//! `tests/` (every detected variant differentially against scalar).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use lq_quant::mat::Mat;
+
+use crate::simd::{self, SimdVariant};
 
 // The SWAR group-dequant primitives moved to `lq_quant::dequant` with
 // the kernel-backend redesign (the algorithm is a property of the
@@ -61,16 +79,30 @@ pub struct APanels {
     m: usize,
     k: usize,
     rows: Vec<i8>,
+    /// The same rows biased to u8 (`x ⊕ 0x80`, i.e. `x + 128`): the
+    /// operand form `vpdpbusd` consumes (see [`crate::simd`]'s bias
+    /// trick). Built unconditionally in [`APanels::pack`] — one extra
+    /// linear pass, fused with the staging copy's cache walk.
+    biased: Vec<u8>,
 }
 
 impl APanels {
-    /// Stage a row-major `m×k` INT8 activation matrix.
+    /// Stage a row-major `m×k` INT8 activation matrix, plus the biased
+    /// (`⊕ 0x80`) copy the VNNI kernels consume. The staging walk
+    /// software-prefetches ahead of the copy cursor.
     #[must_use]
     pub fn pack(x: &Mat<i8>) -> Self {
+        let src = x.as_slice();
+        let mut biased = Vec::with_capacity(src.len());
+        for (ci, chunk) in src.chunks(64).enumerate() {
+            simd::prefetch_read(src, ci * 64 + 512);
+            biased.extend(chunk.iter().map(|&v| (v as u8) ^ 0x80));
+        }
         APanels {
             m: x.rows(),
             k: x.cols(),
-            rows: x.as_slice().to_vec(),
+            rows: src.to_vec(),
+            biased,
         }
     }
 
@@ -102,6 +134,13 @@ impl APanels {
     #[must_use]
     pub fn row_kslice(&self, i: usize, k0: usize, k1: usize) -> &[i8] {
         &self.rows[i * self.k + k0..i * self.k + k1]
+    }
+
+    /// K-range `[k0, k1)` of the *biased* (`⊕ 0x80`) copy of row `i` —
+    /// the u8 operand stream for the VNNI kernels.
+    #[must_use]
+    pub fn row_kslice_biased(&self, i: usize, k0: usize, k1: usize) -> &[u8] {
+        &self.biased[i * self.k + k0..i * self.k + k1]
     }
 
     /// Accumulator length for one NR-channel strip over every token:
@@ -235,6 +274,392 @@ pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
         acc += x * y;
     }
     acc
+}
+
+// ===========================================================================
+// MicrokernelSet — the ISA dispatch layer (DESIGN.md §13).
+// ===========================================================================
+
+/// Width of a SIMD weight strip (output channels staged and reduced
+/// together by the AVX2/VNNI kernels). The scalar kernels keep
+/// [`NR`]` = 4`.
+pub const SIMD_STRIP: usize = 16;
+
+/// Register-tile shape [`MicrokernelSet::shape`] selects for a given
+/// token count `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripShape {
+    /// Activation rows per full panel (tail rows run the 1-row kernel).
+    pub mr: usize,
+    /// Weight rows (output channels) per strip.
+    pub strip: usize,
+    /// i32 partial-sum lanes each accumulator chain carries (1 for the
+    /// scalar kernels).
+    pub lanes: usize,
+    /// Stable `MRxNR` label for telemetry and bench JSON.
+    pub label: &'static str,
+}
+
+/// One resolved microkernel family: a [`SimdVariant`] plus the strip
+/// geometry, accumulator layout, and kernels that go with it. `Copy`
+/// and two words wide — call sites thread it by value.
+///
+/// The process-wide selection happens once in [`MicrokernelSet::global`]
+/// (honouring `LQ_FORCE_SCALAR`); per-pool overrides go through
+/// `LiquidGemm::builder().force_microkernel(..)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicrokernelSet {
+    variant: SimdVariant,
+}
+
+impl Default for MicrokernelSet {
+    fn default() -> Self {
+        MicrokernelSet::global()
+    }
+}
+
+impl MicrokernelSet {
+    /// The always-available scalar family — fallback and oracle.
+    #[must_use]
+    pub const fn scalar() -> Self {
+        MicrokernelSet {
+            variant: SimdVariant::Scalar,
+        }
+    }
+
+    /// The process-wide selection: the best runtime-detected variant,
+    /// resolved once, unless `LQ_FORCE_SCALAR` is set (non-empty,
+    /// not `"0"`), which forces the scalar family.
+    #[must_use]
+    pub fn global() -> Self {
+        static GLOBAL: OnceLock<MicrokernelSet> = OnceLock::new();
+        *GLOBAL.get_or_init(|| {
+            let forced =
+                std::env::var_os("LQ_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
+            if forced {
+                MicrokernelSet::scalar()
+            } else {
+                MicrokernelSet {
+                    variant: SimdVariant::best_available(),
+                }
+            }
+        })
+    }
+
+    /// The family for a specific variant, if the running CPU supports
+    /// it (differential suites iterate [`SimdVariant::detected`]).
+    #[must_use]
+    pub fn for_variant(variant: SimdVariant) -> Option<Self> {
+        variant.available().then_some(MicrokernelSet { variant })
+    }
+
+    /// Which ISA family this set dispatches to.
+    #[must_use]
+    pub fn variant(self) -> SimdVariant {
+        self.variant
+    }
+
+    /// Output channels per weight strip ([`NR`] scalar, [`SIMD_STRIP`]
+    /// otherwise). Drivers step `n` by this and size `wbuf` with it.
+    #[must_use]
+    pub fn strip_width(self) -> usize {
+        match self.variant {
+            SimdVariant::Scalar => NR,
+            _ => SIMD_STRIP,
+        }
+    }
+
+    /// K-block the drivers dequantize per [`MicrokernelSet::accumulate`]
+    /// call: the scalar family keeps one quant group (status quo); the
+    /// SIMD families stage ~512 bytes per weight row (rounded up to a
+    /// whole number of groups, capped at `k`) so the staged strip stays
+    /// L1-resident while the per-chain lane-partial update traffic is
+    /// amortized over many dot-product instructions.
+    #[must_use]
+    pub fn kc_block(self, group: usize, k: usize) -> usize {
+        match self.variant {
+            SimdVariant::Scalar => group,
+            _ => (512usize.div_ceil(group) * group).min(k),
+        }
+    }
+
+    /// The M-adaptive register-tile shape for a job with `m` token
+    /// rows: decode (`m == 1`) runs 1×16, small prefill 4×16, large
+    /// prefill 6×16; the scalar family keeps its fixed 4×4/1×4 pair.
+    #[must_use]
+    pub fn shape(self, m: usize) -> StripShape {
+        let lanes = self.variant.lanes();
+        match self.variant {
+            SimdVariant::Scalar => StripShape {
+                mr: MR,
+                strip: NR,
+                lanes,
+                label: if m >= MR { "4x4" } else { "1x4" },
+            },
+            _ if m == 1 => StripShape {
+                mr: 1,
+                strip: SIMD_STRIP,
+                lanes,
+                label: "1x16",
+            },
+            _ if m <= 5 => StripShape {
+                mr: 4,
+                strip: SIMD_STRIP,
+                lanes,
+                label: "4x16",
+            },
+            _ => StripShape {
+                mr: 6,
+                strip: SIMD_STRIP,
+                lanes,
+                label: "6x16",
+            },
+        }
+    }
+
+    /// Accumulator length (in i32) for one strip over every token of
+    /// `a`: per-token chains of [`StripShape::lanes`] partials, plus —
+    /// VNNI only — a per-channel `Σw` compensation region at the end.
+    #[must_use]
+    pub fn acc_len(self, a: &APanels) -> usize {
+        match self.variant {
+            SimdVariant::Scalar => a.acc_len(),
+            _ => {
+                let sh = self.shape(a.m());
+                let chains = a.m() * sh.strip;
+                let wsum = if self.variant == SimdVariant::Vnni {
+                    sh.strip * sh.lanes
+                } else {
+                    0
+                };
+                chains * sh.lanes + wsum
+            }
+        }
+    }
+
+    /// Accumulate one dequantized weight strip (`strip_width()` rows ×
+    /// `kc` columns, row-major, covering K range `[k0, k0+kc)`) against
+    /// every token of `a`, into an accumulator laid out per
+    /// [`MicrokernelSet::acc_len`]. Callable any number of times with
+    /// disjoint K ranges; reduce with [`MicrokernelSet::scatter`].
+    pub fn accumulate(self, a: &APanels, k0: usize, kc: usize, w_block: &[i8], acc: &mut [i32]) {
+        if self.variant == SimdVariant::Scalar {
+            accumulate_strip(a, k0, kc, w_block, acc);
+            return;
+        }
+        let sh = self.shape(a.m());
+        let (mr, strip, lanes) = (sh.mr, sh.strip, sh.lanes);
+        debug_assert_eq!(w_block.len(), strip * kc);
+        debug_assert_eq!(acc.len(), self.acc_len(a));
+        let panels = a.m() / mr;
+        let tail = a.m() % mr;
+        let chains = a.m() * strip;
+        match self.variant {
+            SimdVariant::Scalar => unreachable!(),
+            SimdVariant::Vnni => {
+                let (body, wsum) = acc.split_at_mut(chains * lanes);
+                simd::vnni_wsum(w_block, kc, strip, wsum);
+                for p in 0..panels {
+                    let base = p * strip * mr * lanes;
+                    let r = |j: usize| a.row_kslice_biased(p * mr + j, k0, k0 + kc);
+                    match mr {
+                        1 => simd::vnni_panel(&[r(0)], w_block, kc, strip, &mut body[base..]),
+                        4 => simd::vnni_panel(
+                            &[r(0), r(1), r(2), r(3)],
+                            w_block,
+                            kc,
+                            strip,
+                            &mut body[base..],
+                        ),
+                        6 => simd::vnni_panel(
+                            &[r(0), r(1), r(2), r(3), r(4), r(5)],
+                            w_block,
+                            kc,
+                            strip,
+                            &mut body[base..],
+                        ),
+                        _ => unreachable!("unsupported MR {mr}"),
+                    }
+                }
+                for t in 0..tail {
+                    let base = (panels * strip * mr + t * strip) * lanes;
+                    let row = a.row_kslice_biased(panels * mr + t, k0, k0 + kc);
+                    simd::vnni_panel(&[row], w_block, kc, strip, &mut body[base..]);
+                }
+            }
+            SimdVariant::Avx2 => {
+                for p in 0..panels {
+                    let base = p * strip * mr * lanes;
+                    let r = |j: usize| a.row_kslice(p * mr + j, k0, k0 + kc);
+                    match mr {
+                        1 => simd::avx2_panel(&[r(0)], w_block, kc, strip, &mut acc[base..]),
+                        4 => simd::avx2_panel(
+                            &[r(0), r(1), r(2), r(3)],
+                            w_block,
+                            kc,
+                            strip,
+                            &mut acc[base..],
+                        ),
+                        6 => simd::avx2_panel(
+                            &[r(0), r(1), r(2), r(3), r(4), r(5)],
+                            w_block,
+                            kc,
+                            strip,
+                            &mut acc[base..],
+                        ),
+                        _ => unreachable!("unsupported MR {mr}"),
+                    }
+                }
+                for t in 0..tail {
+                    let base = (panels * strip * mr + t * strip) * lanes;
+                    let row = a.row_kslice(panels * mr + t, k0, k0 + kc);
+                    simd::avx2_panel(&[row], w_block, kc, strip, &mut acc[base..]);
+                }
+            }
+        }
+    }
+
+    /// Scatter channel lane `nr` of a strip accumulator into a
+    /// length-`m` output row, applying per-token activation scales and
+    /// the channel scale in the same `(acc · act) · ch` order as
+    /// `epilogue::apply_scales_column`.
+    ///
+    /// For the SIMD families this is where the per-chain lane partials
+    /// are horizontally reduced — in i64, so the VNNI biased
+    /// intermediates can never wrap before the `128·Σw` compensation is
+    /// applied. The true sums fit i32 for `K ≤ 2^17` (the same bound
+    /// the scalar kernels document), making the i64→f32 conversion
+    /// bit-identical to the scalar i32→f32.
+    pub fn scatter(
+        self,
+        a: &APanels,
+        acc: &[i32],
+        nr: usize,
+        act: &[f32],
+        ch: f32,
+        out: &mut [f32],
+    ) {
+        if self.variant == SimdVariant::Scalar {
+            scatter_channel(a, acc, nr, act, ch, out);
+            return;
+        }
+        let sh = self.shape(a.m());
+        let (mr, strip, lanes) = (sh.mr, sh.strip, sh.lanes);
+        debug_assert_eq!(acc.len(), self.acc_len(a));
+        debug_assert_eq!(act.len(), a.m());
+        debug_assert_eq!(out.len(), a.m());
+        let panels = a.m() / mr;
+        let chains = a.m() * strip;
+        let wsum: i64 = if self.variant == SimdVariant::Vnni {
+            acc[(chains + nr) * lanes..(chains + nr + 1) * lanes]
+                .iter()
+                .map(|&v| i64::from(v))
+                .sum()
+        } else {
+            0
+        };
+        for (tok, o) in out.iter_mut().enumerate() {
+            let chain = if tok < panels * mr {
+                (tok / mr) * strip * mr + nr * mr + tok % mr
+            } else {
+                panels * strip * mr + (tok - panels * mr) * strip + nr
+            };
+            let s: i64 = acc[chain * lanes..(chain + 1) * lanes]
+                .iter()
+                .map(|&v| i64::from(v))
+                .sum::<i64>()
+                - 128 * wsum;
+            debug_assert!(
+                i32::try_from(s).is_ok(),
+                "i8 GEMM accumulator exceeded i32 (K > 2^17?)"
+            );
+            *o = s as f32 * act[tok] * ch;
+        }
+    }
+
+    /// `strip_width()` dot products of one activation row's K range
+    /// `[k0, k0+kc)` against a dequantized weight strip, *added* into
+    /// `out` — the tiled kernel's per-group accumulation step.
+    /// `kc ≤ 2^14` (every quant group is).
+    pub fn dot_strip(
+        self,
+        a: &APanels,
+        row: usize,
+        k0: usize,
+        kc: usize,
+        w_block: &[i8],
+        out: &mut [i32],
+    ) {
+        match self.variant {
+            SimdVariant::Scalar => {
+                let tile: &mut [i32; NR] = (&mut out[..NR]).try_into().expect("NR strip");
+                mk_i8_1x4(a.row_kslice(row, k0, k0 + kc), w_block, kc, tile);
+            }
+            SimdVariant::Avx2 => {
+                simd::avx2_dot_strip(a.row_kslice(row, k0, k0 + kc), w_block, kc, out);
+            }
+            SimdVariant::Vnni => {
+                simd::vnni_dot_strip(a.row_kslice_biased(row, k0, k0 + kc), w_block, kc, out);
+            }
+        }
+    }
+
+    /// Bump the per-variant/per-shape dispatch counter (one count per
+    /// kernel invocation at the driver level: one serial call or one
+    /// pool job), mirrored into the
+    /// `lq_core_mk_dispatch_total{variant,shape}` telemetry counter
+    /// when recording is enabled.
+    pub fn record_dispatch(self, m: usize) {
+        let sh = self.shape(m);
+        let vi = variant_index(self.variant);
+        let si = SHAPE_LABELS
+            .iter()
+            .position(|&s| s == sh.label)
+            .expect("known shape label");
+        DISPATCH[vi][si].fetch_add(1, Ordering::Relaxed);
+        if lq_telemetry::enabled() {
+            lq_telemetry::registry()
+                .counter_with(
+                    "lq_core_mk_dispatch_total",
+                    &[("variant", self.variant.label()), ("shape", sh.label)],
+                )
+                .inc();
+        }
+    }
+}
+
+/// Every register-tile shape label the dispatcher can select.
+const SHAPE_LABELS: [&str; 5] = ["1x4", "4x4", "1x16", "4x16", "6x16"];
+
+/// Process-lifetime dispatch counters, always on (relaxed atomics) so
+/// benches and smoke gates can audit which kernels actually ran even
+/// with telemetry disabled. Indexed `[variant][shape]`.
+static DISPATCH: [[AtomicU64; 5]; 3] = [const { [const { AtomicU64::new(0) }; 5] }; 3];
+
+fn variant_index(v: SimdVariant) -> usize {
+    match v {
+        SimdVariant::Scalar => 0,
+        SimdVariant::Avx2 => 1,
+        SimdVariant::Vnni => 2,
+    }
+}
+
+/// Snapshot of the non-zero `(variant, shape, count)` dispatch counters
+/// since process start — the bench JSON and CI smoke assertions read
+/// this.
+#[must_use]
+pub fn dispatch_counts() -> Vec<(&'static str, &'static str, u64)> {
+    let variants = [SimdVariant::Scalar, SimdVariant::Avx2, SimdVariant::Vnni];
+    let mut out = Vec::new();
+    for v in variants {
+        for (si, &label) in SHAPE_LABELS.iter().enumerate() {
+            let n = DISPATCH[variant_index(v)][si].load(Ordering::Relaxed);
+            if n > 0 {
+                out.push((v.label(), label, n));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -375,5 +800,171 @@ mod tests {
         let b: Vec<f32> = (0..100).map(|i| (i as f32).cos()).collect();
         let want: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
         assert!((dot_f32(&a, &b) - want).abs() < 1e-3);
+    }
+
+    /// Every detected variant, end-to-end through
+    /// accumulate → scatter, bit-exact vs the naive i32 oracle — over
+    /// ragged M (exercising every MR and the tails), ragged K
+    /// (exercising masked/copied SIMD tails), and a split-K
+    /// accumulation at an unaligned cut.
+    #[test]
+    fn microkernel_set_variants_are_bit_exact_vs_oracle() {
+        let mut rng = lq_rng::Rng::new(0xD15BA7C4);
+        for v in SimdVariant::detected() {
+            let mk = MicrokernelSet::for_variant(v).expect("detected implies available");
+            for &(m, k) in &[
+                (1usize, 64usize),
+                (2, 96),
+                (4, 130),
+                (5, 7),
+                (6, 192),
+                (7, 33),
+                (13, 257),
+            ] {
+                let strip = mk.strip_width();
+                let x = Mat::from_vec(m, k, rng.vec_i8(m * k, -128, 127));
+                let a = APanels::pack(&x);
+                let w_rows: Vec<Vec<i8>> = (0..strip).map(|_| rng.vec_i8(k, -128, 127)).collect();
+                let mut acc = vec![0i32; mk.acc_len(&a)];
+                // Split the reduction at an arbitrary unaligned cut.
+                let cut = (k / 3).max(1).min(k - 1);
+                let cut = if k > 1 { cut } else { 0 };
+                let head: Vec<i8> = w_rows
+                    .iter()
+                    .flat_map(|r| r[..cut].iter().copied())
+                    .collect();
+                let tail: Vec<i8> = w_rows
+                    .iter()
+                    .flat_map(|r| r[cut..].iter().copied())
+                    .collect();
+                if cut > 0 {
+                    mk.accumulate(&a, 0, cut, &head, &mut acc);
+                }
+                mk.accumulate(&a, cut, k - cut, &tail, &mut acc);
+                let act: Vec<f32> = (0..m).map(|i| 0.25 + i as f32 * 0.5).collect();
+                for (nr, wj) in w_rows.iter().enumerate() {
+                    let ch = 0.0625 * (nr as f32 + 1.0);
+                    let mut out = vec![0.0f32; m];
+                    mk.scatter(&a, &acc, nr, &act, ch, &mut out);
+                    for i in 0..m {
+                        let want = dot_i8(x.row(i), wj) as f32 * act[i] * ch;
+                        assert_eq!(
+                            out[i].to_bits(),
+                            want.to_bits(),
+                            "{} m={m} k={k} nr={nr} tok={i}",
+                            v.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The extreme-input case (`all -128`, the saturation trap for
+    /// maddubs-style kernels) through every detected variant.
+    #[test]
+    fn microkernel_set_survives_extreme_inputs() {
+        for v in SimdVariant::detected() {
+            let mk = MicrokernelSet::for_variant(v).unwrap();
+            let k = 8192;
+            let m = 7;
+            let strip = mk.strip_width();
+            let x = Mat::from_vec(m, k, vec![-128i8; m * k]);
+            let a = APanels::pack(&x);
+            let w_block = vec![-128i8; strip * k];
+            let mut acc = vec![0i32; mk.acc_len(&a)];
+            mk.accumulate(&a, 0, k, &w_block, &mut acc);
+            let act = vec![1.0f32; m];
+            let mut out = vec![0.0f32; m];
+            for nr in 0..strip {
+                mk.scatter(&a, &acc, nr, &act, 1.0, &mut out);
+                for &o in &out {
+                    assert_eq!(o, (k as f32) * 16384.0, "{}", v.label());
+                }
+            }
+        }
+    }
+
+    /// `dot_strip` (the tiled kernel's primitive) against the scalar
+    /// 1×4 kernel for every detected variant.
+    #[test]
+    fn dot_strip_matches_scalar_for_all_variants() {
+        let mut rng = lq_rng::Rng::new(0x00D07);
+        for v in SimdVariant::detected() {
+            let mk = MicrokernelSet::for_variant(v).unwrap();
+            let strip = mk.strip_width();
+            for &kc in &[1usize, 16, 63, 64, 100, 256] {
+                let x = Mat::from_vec(3, kc, rng.vec_i8(3 * kc, -128, 127));
+                let a = APanels::pack(&x);
+                let w_block = rng.vec_i8(strip * kc, -128, 127);
+                let mut out = vec![7i32; strip]; // nonzero: dot_strip adds
+                mk.dot_strip(&a, 2, 0, kc, &w_block, &mut out);
+                for nr in 0..strip {
+                    let want = 7 + dot_i8(x.row(2), &w_block[nr * kc..(nr + 1) * kc]);
+                    assert_eq!(out[nr], want, "{} kc={kc} nr={nr}", v.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_and_layout_sizes_are_consistent() {
+        for v in SimdVariant::detected() {
+            let mk = MicrokernelSet::for_variant(v).unwrap();
+            for m in 1..20usize {
+                let sh = mk.shape(m);
+                assert_eq!(sh.strip, mk.strip_width());
+                assert!(SHAPE_LABELS.contains(&sh.label));
+                let x = Mat::from_vec(m, 8, vec![1i8; m * 8]);
+                let a = APanels::pack(&x);
+                // Chains cover every token exactly once.
+                if v != SimdVariant::Scalar {
+                    let wsum = if v == SimdVariant::Vnni {
+                        sh.strip * sh.lanes
+                    } else {
+                        0
+                    };
+                    assert_eq!(mk.acc_len(&a), m * sh.strip * sh.lanes + wsum);
+                }
+            }
+            // kc_block is a whole number of groups and ≥ one group.
+            for &(g, k) in &[(32usize, 2048usize), (64, 2048), (128, 256), (256, 256)] {
+                let kcb = mk.kc_block(g, k);
+                assert_eq!(kcb % g, 0, "{} g={g}", v.label());
+                assert!(kcb >= g && kcb <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_counters_record_per_shape() {
+        let mk = MicrokernelSet::scalar();
+        let before: u64 = dispatch_counts()
+            .iter()
+            .filter(|(v, s, _)| *v == "scalar" && *s == "1x4")
+            .map(|&(_, _, n)| n)
+            .sum();
+        mk.record_dispatch(1);
+        mk.record_dispatch(2);
+        let after: u64 = dispatch_counts()
+            .iter()
+            .filter(|(v, s, _)| *v == "scalar" && *s == "1x4")
+            .map(|&(_, _, n)| n)
+            .sum();
+        assert_eq!(after, before + 2);
+    }
+
+    #[test]
+    fn biased_rows_mirror_signed_rows() {
+        let mut rng = lq_rng::Rng::new(0xB1A5);
+        let x = Mat::from_vec(3, 70, rng.vec_i8(210, -128, 127));
+        let a = APanels::pack(&x);
+        for i in 0..3 {
+            let s = a.row_kslice(i, 5, 70);
+            let b = a.row_kslice_biased(i, 5, 70);
+            for (x, y) in s.iter().zip(b) {
+                assert_eq!(i32::from(*y), i32::from(*x) + 128);
+            }
+        }
     }
 }

@@ -59,8 +59,10 @@ use std::sync::Arc;
 use lq_quant::backend::{PackedWeights, TileDequant};
 use lq_quant::mat::Mat;
 
-use crate::microkernel::{accumulate_strip, scatter_channel, APanels, NR};
+use crate::affinity::PlacementPolicy;
+use crate::microkernel::{APanels, MicrokernelSet};
 use crate::runtime::{CallCtx, Job, Reply, WorkerPool};
+use crate::simd::{self, SimdVariant};
 use crate::sync::{bounded, Receiver, Sender};
 use crate::telemetry::{call_span, recv_counting, PipeMetrics};
 
@@ -80,6 +82,11 @@ pub struct ParallelConfig {
     pub task_rows: usize,
     /// Staging buffers in flight (the "SMEM stage" count).
     pub stages: usize,
+    /// Worker-to-CPU placement policy. Like `workers`, this is a
+    /// pool-sizing parameter: it takes effect when the pool is built
+    /// ([`crate::LiquidGemm::builder`]) and is ignored by per-call
+    /// overrides. Defaults to [`PlacementPolicy::Unpinned`].
+    pub placement: PlacementPolicy,
 }
 
 impl Default for ParallelConfig {
@@ -88,6 +95,7 @@ impl Default for ParallelConfig {
             workers: 4,
             task_rows: 8,
             stages: 8,
+            placement: PlacementPolicy::Unpinned,
         }
     }
 }
@@ -113,6 +121,10 @@ pub enum ConfigError {
     ZeroTaskRows,
     /// `queue_depth == 0`: the injector queue could hold no jobs.
     ZeroQueueDepth,
+    /// A microkernel variant was forced
+    /// ([`crate::LiquidGemmBuilder::force_microkernel`]) that the
+    /// running CPU does not support.
+    UnsupportedMicrokernel(SimdVariant),
 }
 
 impl fmt::Display for ConfigError {
@@ -124,6 +136,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroTaskRows => write!(f, "task_rows must be >= 1"),
             ConfigError::ZeroQueueDepth => write!(f, "queue_depth must be >= 1"),
+            ConfigError::UnsupportedMicrokernel(v) => {
+                write!(f, "microkernel variant {:?} not supported by this CPU", v)
+            }
         }
     }
 }
@@ -136,6 +151,7 @@ pub struct ParallelConfigBuilder {
     workers: usize,
     task_rows: usize,
     stages: usize,
+    placement: PlacementPolicy,
 }
 
 impl Default for ParallelConfigBuilder {
@@ -145,6 +161,7 @@ impl Default for ParallelConfigBuilder {
             workers: d.workers,
             task_rows: d.task_rows,
             stages: d.stages,
+            placement: d.placement,
         }
     }
 }
@@ -171,6 +188,15 @@ impl ParallelConfigBuilder {
         self
     }
 
+    /// Worker-to-CPU placement policy (applies at pool build time, like
+    /// `workers`; any value is valid — pinning degrades to a no-op
+    /// where the OS refuses it).
+    #[must_use]
+    pub fn placement(mut self, p: PlacementPolicy) -> Self {
+        self.placement = p;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ParallelConfig, ConfigError> {
         if self.workers == 0 {
@@ -186,17 +212,20 @@ impl ParallelConfigBuilder {
             workers: self.workers,
             task_rows: self.task_rows,
             stages: self.stages,
+            placement: self.placement,
         })
     }
 }
 
 /// Compute `Yᵀ` rows `[0, rows)` of a staged tile into `out_t` (length
 /// `rows·m`): the fused dequant+MMA job body (Flat and ImFP). Channels
-/// are walked NR at a time: each group is dequantized for the whole
-/// NR-row strip by the backend's [`TileDequant`] recipe, then
-/// [`accumulate_strip`] runs the MR×NR register-tile microkernel over
-/// every packed activation panel.
+/// are walked a `strip_width()`-row strip at a time; each K block
+/// ([`MicrokernelSet::kc_block`]) is dequantized for the whole strip by
+/// the backend's [`TileDequant`] recipe — with the next block's packed
+/// words software-prefetched — then the selected register-tile
+/// microkernel family reduces it over every packed activation panel.
 pub(crate) fn compute_rows_staged(
+    mk: MicrokernelSet,
     q: &dyn TileDequant,
     words: &[u32],
     rows: usize,
@@ -205,36 +234,52 @@ pub(crate) fn compute_rows_staged(
     out_t: &mut [f32],
 ) {
     let m = a.m();
+    mk.record_dispatch(m);
     let group = q.group();
-    let groups_per_row = q.k() / group;
-    let mut wbuf = vec![0i8; NR * group];
-    let mut acc = vec![0i32; a.acc_len()];
-    for jb in (0..rows).step_by(NR) {
-        let nr = NR.min(rows - jb);
-        if nr < NR {
-            // Unused strip rows stay zero: their lanes are never read back.
-            wbuf.fill(0);
-        }
+    let k = q.k();
+    let strip = mk.strip_width();
+    let kcb = mk.kc_block(group, k);
+    let mut wbuf = vec![0i8; strip * kcb];
+    let mut acc = vec![0i32; mk.acc_len(a)];
+    let wpr = words.len() / rows.max(1);
+    for jb in (0..rows).step_by(strip) {
+        let nr = strip.min(rows - jb);
         acc.fill(0);
-        for g in 0..groups_per_row {
-            for r in 0..nr {
-                let dst = &mut wbuf[r * group..(r + 1) * group];
-                q.dequant_group(words, jb + r, g, dst);
+        let mut k0 = 0usize;
+        while k0 < k {
+            let kc = kcb.min(k - k0);
+            if nr < strip {
+                // Unused strip rows stay zero at the current row
+                // stride: their chains are never read back.
+                wbuf.fill(0);
             }
-            accumulate_strip(a, g * group, group, &wbuf, &mut acc);
+            // Hint the next K block's packed words while this block
+            // dequantizes and reduces.
+            for r in 0..nr {
+                simd::prefetch_read(words, (jb + r) * wpr + wpr * (k0 + kc) / k.max(1));
+            }
+            let g0 = k0 / group;
+            for r in 0..nr {
+                let dst = &mut wbuf[r * kc..(r + 1) * kc];
+                for (gg, chunk) in dst.chunks_mut(group).enumerate() {
+                    q.dequant_group(words, jb + r, g0 + gg, chunk);
+                }
+            }
+            mk.accumulate(a, k0, kc, &wbuf[..strip * kc], &mut acc);
+            k0 += kc;
         }
         for r in 0..nr {
             let ch = q.channel_scales()[jb + r];
             let row = &mut out_t[(jb + r) * m..(jb + r + 1) * m];
-            scatter_channel(a, &acc, r, act_scales, ch, row);
+            mk.scatter(a, &acc, r, act_scales, ch, row);
         }
     }
 }
 
 /// ExCP stage 3 job body: register-tiled MMA from a materialised INT8
-/// tile (row-major, so full NR-row strips feed the microkernel in
-/// place).
+/// tile (row-major, so full strips feed the microkernel in place).
 pub(crate) fn mma_rows(
+    mk: MicrokernelSet,
     tile: &[i8],
     k: usize,
     channel_scales: &[f32],
@@ -243,23 +288,25 @@ pub(crate) fn mma_rows(
     out_t: &mut [f32],
 ) {
     let m = a.m();
+    mk.record_dispatch(m);
     let rows = channel_scales.len();
-    let mut acc = vec![0i32; a.acc_len()];
-    let mut pad = vec![0i8; NR * k];
-    for jb in (0..rows).step_by(NR) {
-        let nr = NR.min(rows - jb);
+    let strip = mk.strip_width();
+    let mut acc = vec![0i32; mk.acc_len(a)];
+    let mut pad = vec![0i8; strip * k];
+    for jb in (0..rows).step_by(strip) {
+        let nr = strip.min(rows - jb);
         acc.fill(0);
-        if nr == NR {
-            accumulate_strip(a, 0, k, &tile[jb * k..(jb + NR) * k], &mut acc);
+        if nr == strip {
+            mk.accumulate(a, 0, k, &tile[jb * k..(jb + strip) * k], &mut acc);
         } else {
             pad[..nr * k].copy_from_slice(&tile[jb * k..(jb + nr) * k]);
             pad[nr * k..].fill(0);
-            accumulate_strip(a, 0, k, &pad, &mut acc);
+            mk.accumulate(a, 0, k, &pad, &mut acc);
         }
         for r in 0..nr {
             let ch = channel_scales[jb + r];
             let row = &mut out_t[(jb + r) * m..(jb + r + 1) * m];
-            scatter_channel(a, &acc, r, act_scales, ch, row);
+            mk.scatter(a, &acc, r, act_scales, ch, row);
         }
     }
 }
@@ -299,6 +346,7 @@ fn make_ctx(
         reply: reply_tx,
         recycle,
         epoch,
+        mk: pool.microkernels(),
         metrics: metrics.clone(),
     });
     (ctx, reply_rx, epoch)

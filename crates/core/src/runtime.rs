@@ -37,7 +37,8 @@
 //! its own pool's capacity would deadlock) — the transient excess is at
 //! most one job per worker.
 //!
-//! Why jobs are fully owned: `lq-core` forbids `unsafe`, so the
+//! Why jobs are fully owned: `lq-core` denies `unsafe` outside the two
+//! leaf modules ([`crate::simd`], [`crate::affinity`]), so the
 //! rayon-style lifetime-erased scoped pool is off the table. Instead
 //! each job carries its staged packed words (`Vec<u32>` — the copy the
 //! ImFP producer already made into the SMEM ring), an owned dequant
@@ -100,13 +101,15 @@ use lq_quant::backend::{BackendId, TileDequant};
 use lq_quant::mat::Mat;
 use lq_telemetry::Gauge;
 
+use crate::affinity::{self, PlacementPolicy};
 use crate::api::{GemmOutput, KernelKind, W4A8Weights};
-use crate::microkernel::APanels;
+use crate::microkernel::{APanels, MicrokernelSet};
 use crate::pipeline::{
     compute_rows_staged, mma_rows, w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ConfigError,
     ParallelConfig,
 };
-use crate::serial::w4a8_serial;
+use crate::serial::w4a8_serial_with;
+use crate::simd::SimdVariant;
 use crate::sync::{bounded, Sender};
 use crate::telemetry::{pool_fault_metrics, PipeMetrics, WorkerMetrics};
 
@@ -126,6 +129,10 @@ pub(crate) struct CallCtx {
     pub(crate) recycle: Option<Sender<Vec<u32>>>,
     /// Epoch stamped on every reply of this call.
     pub(crate) epoch: u64,
+    /// Microkernel family every tile job of this call computes with
+    /// (captured from the pool at call setup — one resolved dispatch
+    /// per call, not per tile).
+    pub(crate) mk: MicrokernelSet,
     /// Per-variant pipeline metrics (None when telemetry is off).
     pub(crate) metrics: Option<Arc<PipeMetrics>>,
 }
@@ -268,13 +275,28 @@ struct Ctrl {
 /// Lifetime counters of one worker, always on (plain relaxed atomics —
 /// no dependency on `lq-telemetry` being enabled) so benches and the CI
 /// smoke gate can audit load balance on any build.
-#[derive(Default)]
 struct WorkerCounters {
     jobs: AtomicU64,
     busy_ns: AtomicU64,
     steals: AtomicU64,
     restarts: AtomicU64,
     retries: AtomicU64,
+    /// CPU this worker slot last pinned itself to; `u64::MAX` means
+    /// unpinned (no placement policy, or the OS refused the mask).
+    pinned: AtomicU64,
+}
+
+impl Default for WorkerCounters {
+    fn default() -> Self {
+        Self {
+            jobs: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            pinned: AtomicU64::new(u64::MAX),
+        }
+    }
 }
 
 /// Snapshot of one worker's lifetime counters
@@ -292,6 +314,11 @@ pub struct WorkerStats {
     pub restarts: u64,
     /// Panicked jobs this worker slot requeued for another attempt.
     pub retries: u64,
+    /// CPU this worker slot is pinned to, or `None` when unpinned
+    /// (the default [`PlacementPolicy::Unpinned`], a non-Linux host,
+    /// or an OS that refused the affinity mask). A respawned slot
+    /// re-pins to the same CPU, so the value is stable across heals.
+    pub pinned_cpu: Option<u32>,
 }
 
 /// Thread handles plus the shutdown latch they are joined through.
@@ -321,6 +348,9 @@ struct Shared {
     rr: AtomicUsize,
     stats: Vec<WorkerCounters>,
     lifecycle: Mutex<Lifecycle>,
+    /// Worker-to-CPU placement policy; each worker (and each respawned
+    /// replacement) pins itself on entry to its loop.
+    placement: PlacementPolicy,
     /// Fault-injection hook; `None` (one branch per site) in
     /// production builds.
     fault: Option<Arc<FaultInjector>>,
@@ -410,18 +440,27 @@ pub struct WorkerPool {
     live: Arc<AtomicUsize>,
     epoch: AtomicU64,
     depth_gauge: OnceLock<Arc<Gauge>>,
+    mk: MicrokernelSet,
 }
 
 impl WorkerPool {
     /// A pool with no fault injector (tests and internal callers).
     #[cfg(test)]
     pub(crate) fn new(workers: usize, queue_depth: usize) -> Self {
-        Self::with_faults(workers, queue_depth, None)
+        Self::with_faults(
+            workers,
+            queue_depth,
+            PlacementPolicy::Unpinned,
+            MicrokernelSet::global(),
+            None,
+        )
     }
 
     pub(crate) fn with_faults(
         workers: usize,
         queue_depth: usize,
+        placement: PlacementPolicy,
+        mk: MicrokernelSet,
         fault: Option<Arc<FaultInjector>>,
     ) -> Self {
         let shared = Arc::new(Shared {
@@ -436,6 +475,7 @@ impl WorkerPool {
             rr: AtomicUsize::new(0),
             stats: (0..workers).map(|_| WorkerCounters::default()).collect(),
             lifecycle: Mutex::new(Lifecycle::default()),
+            placement,
             fault,
         });
         let live = Arc::new(AtomicUsize::new(0));
@@ -448,6 +488,7 @@ impl WorkerPool {
             live,
             epoch: AtomicU64::new(0),
             depth_gauge: OnceLock::new(),
+            mk,
         }
     }
 
@@ -510,6 +551,20 @@ impl WorkerPool {
         self.workers
     }
 
+    /// The microkernel family every GEMM issued through this pool
+    /// computes with (fixed at build time; see
+    /// [`LiquidGemmBuilder::force_microkernel`]).
+    #[must_use]
+    pub fn microkernels(&self) -> MicrokernelSet {
+        self.mk
+    }
+
+    /// The worker-to-CPU placement policy the pool was built with.
+    #[must_use]
+    pub fn placement(&self) -> PlacementPolicy {
+        self.shared.placement
+    }
+
     /// Worker threads currently alive (0 after drop has joined them).
     #[must_use]
     pub fn live_workers(&self) -> usize {
@@ -536,6 +591,10 @@ impl WorkerPool {
                 steals: s.steals.load(Ordering::Relaxed),
                 restarts: s.restarts.load(Ordering::Relaxed),
                 retries: s.retries.load(Ordering::Relaxed),
+                pinned_cpu: match s.pinned.load(Ordering::Relaxed) {
+                    u64::MAX => None,
+                    cpu => Some(cpu as u32),
+                },
             })
             .collect()
     }
@@ -665,6 +724,15 @@ fn take_job(shared: &Shared, id: usize) -> Option<(Tracked, bool)> {
 fn worker_loop(id: usize, shared: &Arc<Shared>, live: &Arc<AtomicUsize>) {
     live.fetch_add(1, Ordering::SeqCst);
     let _guard = LiveGuard(Arc::clone(live));
+    // Pin per the pool's placement policy. Running here (not in the
+    // spawner) means a panic-respawned replacement re-pins itself to
+    // the same CPU automatically. A refused mask leaves the slot
+    // unpinned and is visible as `pinned_cpu: None` in worker_stats.
+    if let Some(cpu) = shared.placement.cpu_for(id, shared.locals.len()) {
+        if affinity::pin_thread(cpu) {
+            shared.stats[id].pinned.store(cpu as u64, Ordering::Relaxed);
+        }
+    }
     // Per-worker metric handles, resolved once the first time telemetry
     // is observed enabled (label: worker id).
     let mut wm: Option<WorkerMetrics> = None;
@@ -853,6 +921,7 @@ fn execute(job: Job, shared: &Shared, id: usize, corr: u64, force_panic: bool) -
                 let m = ctx.a.m();
                 let mut out = vec![0.0f32; rows * m];
                 compute_rows_staged(
+                    ctx.mk,
                     quant.as_ref(),
                     &words,
                     rows,
@@ -942,7 +1011,15 @@ fn execute(job: Job, shared: &Shared, id: usize, corr: u64, force_panic: bool) -
                     .and_then(|mx| mx.task_ns_mma.as_ref().map(|h| h.span_owned()));
                 let m = ctx.a.m();
                 let mut out = vec![0.0f32; channel_scales.len() * m];
-                mma_rows(&tile, k, &channel_scales, &ctx.a, &ctx.act_scales, &mut out);
+                mma_rows(
+                    ctx.mk,
+                    &tile,
+                    k,
+                    &channel_scales,
+                    &ctx.a,
+                    &ctx.act_scales,
+                    &mut out,
+                );
                 out
             }));
             match res {
@@ -1088,7 +1165,7 @@ impl LiquidGemm {
     ) -> GemmOutput {
         let w = weights.as_dyn();
         let y = match kind {
-            KernelKind::Serial => w4a8_serial(x, act_scales, w),
+            KernelKind::Serial => w4a8_serial_with(self.pool.microkernels(), x, act_scales, w),
             KernelKind::FlatParallel => w4a8_flat_parallel(&self.pool, x, act_scales, w, cfg),
             KernelKind::ExCp => w4a8_excp(&self.pool, x, act_scales, w, cfg),
             KernelKind::ImFp => w4a8_imfp(&self.pool, x, act_scales, w, cfg),
@@ -1150,6 +1227,8 @@ pub struct LiquidGemmBuilder {
     stages: usize,
     queue_depth: usize,
     backend: BackendId,
+    placement: PlacementPolicy,
+    microkernel: Option<SimdVariant>,
     fault: Option<Arc<FaultInjector>>,
 }
 
@@ -1162,6 +1241,8 @@ impl Default for LiquidGemmBuilder {
             stages: 8,
             queue_depth: 64,
             backend: BackendId::Lqq,
+            placement: PlacementPolicy::Unpinned,
+            microkernel: None,
             fault: None,
         }
     }
@@ -1207,6 +1288,28 @@ impl LiquidGemmBuilder {
         self
     }
 
+    /// Worker-to-CPU placement policy (default
+    /// [`PlacementPolicy::Unpinned`]). `Compact` packs workers onto the
+    /// lowest allowed CPUs (shared-cache locality); `Scatter` spreads
+    /// them across the allowed set (cache-capacity isolation). Pinning
+    /// degrades to a no-op on non-Linux hosts or when the OS refuses
+    /// the mask — check `worker_stats()[i].pinned_cpu`.
+    #[must_use]
+    pub fn placement(mut self, p: PlacementPolicy) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Force a specific microkernel ISA variant instead of the runtime
+    /// auto-detected best (bench sweeps and A/B debugging). `build()`
+    /// fails with [`ConfigError::UnsupportedMicrokernel`] when this CPU
+    /// lacks the variant's features.
+    #[must_use]
+    pub fn force_microkernel(mut self, v: SimdVariant) -> Self {
+        self.microkernel = Some(v);
+        self
+    }
+
     /// Install a [`FaultInjector`] (chaos testing): workers consult it
     /// before each fresh job and submitters before each submission.
     /// Without one — the default — every hook is a single `Option`
@@ -1223,12 +1326,25 @@ impl LiquidGemmBuilder {
             .workers(self.workers)
             .task_rows(self.task_rows)
             .stages(self.stages)
+            .placement(self.placement)
             .build()?;
         if self.queue_depth == 0 {
             return Err(ConfigError::ZeroQueueDepth);
         }
+        let mk = match self.microkernel {
+            Some(v) => {
+                MicrokernelSet::for_variant(v).ok_or(ConfigError::UnsupportedMicrokernel(v))?
+            }
+            None => MicrokernelSet::global(),
+        };
         Ok(LiquidGemm {
-            pool: WorkerPool::with_faults(defaults.workers, self.queue_depth, self.fault),
+            pool: WorkerPool::with_faults(
+                defaults.workers,
+                self.queue_depth,
+                defaults.placement,
+                mk,
+                self.fault,
+            ),
             defaults,
             backend: self.backend,
         })
@@ -1296,6 +1412,76 @@ mod tests {
         for i in 0..50 {
             let kind = [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp][i % 3];
             assert_eq!(max_abs_diff(&lg.gemm(&x, &s, &w, kind).y, &want), 0.0);
+        }
+    }
+
+    #[test]
+    fn placement_policies_pin_workers_and_stay_bit_exact() {
+        let (x, s, w) = fixture(4, 17, 128);
+        for policy in [PlacementPolicy::Compact, PlacementPolicy::Scatter] {
+            let lg = LiquidGemm::builder()
+                .workers(3)
+                .placement(policy)
+                .build()
+                .unwrap();
+            assert_eq!(lg.pool().placement(), policy);
+            let want = lg.gemm(&x, &s, &w, KernelKind::Serial).y;
+            let got = lg.gemm(&x, &s, &w, KernelKind::ImFp).y;
+            assert_eq!(max_abs_diff(&got, &want), 0.0, "{policy:?}");
+            // On Linux every worker must report its pinned CPU from
+            // the allowed set; the portable fallback reports None.
+            let allowed = crate::affinity::allowed_cpus();
+            for (id, st) in lg.pool().worker_stats().iter().enumerate() {
+                if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+                    let cpu = st
+                        .pinned_cpu
+                        .unwrap_or_else(|| panic!("{policy:?} worker {id} not pinned"));
+                    assert!(
+                        allowed.contains(&(cpu as usize)),
+                        "{policy:?} worker {id} pinned to cpu{cpu} outside allowed set"
+                    );
+                } else {
+                    assert_eq!(st.pinned_cpu, None);
+                }
+            }
+        }
+        // Unpinned pools never report a CPU.
+        let lg = LiquidGemm::builder().workers(2).build().unwrap();
+        for st in lg.pool().worker_stats() {
+            assert_eq!(st.pinned_cpu, None);
+        }
+    }
+
+    #[test]
+    fn forced_microkernel_is_validated_and_used() {
+        // Scalar is always available and must round-trip.
+        let lg = LiquidGemm::builder()
+            .workers(2)
+            .force_microkernel(SimdVariant::Scalar)
+            .build()
+            .unwrap();
+        assert_eq!(lg.pool().microkernels().variant(), SimdVariant::Scalar);
+        let (x, s, w) = fixture(3, 9, 64);
+        let want = lg.gemm(&x, &s, &w, KernelKind::Serial).y;
+        // Every detected variant builds and matches; undetected ones
+        // must be rejected with the typed error.
+        for v in [SimdVariant::Avx2, SimdVariant::Vnni] {
+            match LiquidGemm::builder()
+                .workers(2)
+                .force_microkernel(v)
+                .build()
+            {
+                Ok(lgv) => {
+                    assert!(v.available());
+                    assert_eq!(lgv.pool().microkernels().variant(), v);
+                    let got = lgv.gemm(&x, &s, &w, KernelKind::ImFp).y;
+                    assert_eq!(max_abs_diff(&got, &want), 0.0, "{v:?}");
+                }
+                Err(e) => {
+                    assert!(!v.available());
+                    assert!(matches!(e, ConfigError::UnsupportedMicrokernel(bad) if bad == v));
+                }
+            }
         }
     }
 

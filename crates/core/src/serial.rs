@@ -15,21 +15,21 @@ use lq_quant::backend::PackedWeights;
 use lq_quant::fp8::decode_lut;
 use lq_quant::mat::Mat;
 
-use crate::microkernel::{
-    accumulate_strip, dequant_group_lqq, dot_f32, scatter_channel, APanels, NR,
-};
+use crate::microkernel::{dequant_group_lqq, dot_f32, APanels, MicrokernelSet};
 use crate::packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
+use crate::simd;
 
 /// Largest group size the stack-allocated dequant buffer supports
 /// (defined next to the backend traits; re-exported for kernel users).
 pub use lq_quant::backend::MAX_GROUP;
 
-/// Scatter an NR-channel strip accumulator into output columns
-/// `jb..jb+nr` with the epilogue scales applied.
+/// Scatter a strip accumulator into output columns `jb..jb+nr` with
+/// the epilogue scales applied.
 #[inline]
-fn write_strip(
+pub(crate) fn write_strip(
+    mk: MicrokernelSet,
     out: &mut Mat<f32>,
     jb: usize,
     nr: usize,
@@ -40,51 +40,81 @@ fn write_strip(
     let (act_scales, ch) = scales;
     let mut col = vec![0.0f32; a.m()];
     for r in 0..nr {
-        scatter_channel(a, acc, r, act_scales, ch[jb + r], &mut col);
+        mk.scatter(a, acc, r, act_scales, ch[jb + r], &mut col);
         for (i, &v) in col.iter().enumerate() {
             out.set(i, jb + r, v);
         }
     }
 }
 
-/// W4A8 serial kernel over any registered backend: per NR-channel
-/// strip, per group, the backend's dequantization fills a
-/// register-file-sized buffer that is immediately consumed by the
-/// MR×NR register-tile microkernel (the ImFP data path, minus the
-/// parallelism).
+/// W4A8 serial kernel over any registered backend with the process-wide
+/// microkernel family ([`MicrokernelSet::global`]).
 ///
 /// The loop structure, accumulation order, and epilogue are identical
 /// for every backend, so two backends that dequantize to the same INT8
 /// tile bytes produce bit-identical outputs.
 #[must_use]
 pub fn w4a8_serial(x: &Mat<i8>, act_scales: &[f32], w: &dyn PackedWeights) -> Mat<f32> {
+    w4a8_serial_with(MicrokernelSet::global(), x, act_scales, w)
+}
+
+/// W4A8 serial kernel over any registered backend and an explicit
+/// microkernel family: per `strip_width()`-channel strip, per K block
+/// ([`MicrokernelSet::kc_block`] — one group for the scalar family, an
+/// L1-sized run of groups for the SIMD ones), the backend's
+/// dequantization fills a staging buffer that is immediately consumed
+/// by the register-tile microkernel (the ImFP data path, minus the
+/// parallelism). The packed source words for each strip are
+/// software-prefetched one K block ahead of the dequant walk.
+#[must_use]
+pub fn w4a8_serial_with(
+    mk: MicrokernelSet,
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    w: &dyn PackedWeights,
+) -> Mat<f32> {
     let (n, k, group) = (w.n(), w.k(), w.group());
     assert_eq!(x.cols(), k, "K mismatch");
     assert_eq!(act_scales.len(), x.rows(), "one scale per token");
     assert!(group <= MAX_GROUP, "group size exceeds MAX_GROUP");
-    let groups_per_row = k / group;
     let ch = w.channel_scales();
     let a = APanels::pack(x);
     let m = x.rows();
+    mk.record_dispatch(m);
     let mut out = Mat::zeros(m, n);
-    let mut wbuf = vec![0i8; NR * group];
-    let mut acc = vec![0i32; a.acc_len()];
-    for jb in (0..n).step_by(NR) {
-        let nr = NR.min(n - jb);
-        if nr < NR {
-            // Unused strip rows stay zero: they multiply into lanes the
-            // writeback never reads.
-            wbuf.fill(0);
-        }
+    let strip = mk.strip_width();
+    let kcb = mk.kc_block(group, k);
+    let mut wbuf = vec![0i8; strip * kcb];
+    let mut acc = vec![0i32; mk.acc_len(&a)];
+    for jb in (0..n).step_by(strip) {
+        let nr = strip.min(n - jb);
         acc.fill(0);
-        for g in 0..groups_per_row {
-            for r in 0..nr {
-                let dst = &mut wbuf[r * group..(r + 1) * group];
-                w.dequant_row_group(jb + r, g, dst);
+        let words = w.rows_words(jb, jb + nr);
+        let wpr = words.len() / nr.max(1);
+        let mut k0 = 0usize;
+        while k0 < k {
+            let kc = kcb.min(k - k0);
+            if nr < strip {
+                // Unused strip rows stay zero at the current row stride:
+                // they multiply into chains the writeback never reads.
+                wbuf.fill(0);
             }
-            accumulate_strip(&a, g * group, group, &wbuf, &mut acc);
+            // Hint the *next* K block's packed words into cache while
+            // this block dequantizes and reduces.
+            for r in 0..nr {
+                simd::prefetch_read(words, r * wpr + wpr * (k0 + kc) / k.max(1));
+            }
+            let g0 = k0 / group;
+            for r in 0..nr {
+                let dst = &mut wbuf[r * kc..(r + 1) * kc];
+                for (gg, chunk) in dst.chunks_mut(group).enumerate() {
+                    w.dequant_row_group(jb + r, g0 + gg, chunk);
+                }
+            }
+            mk.accumulate(&a, k0, kc, &wbuf[..strip * kc], &mut acc);
+            k0 += kc;
         }
-        write_strip(&mut out, jb, nr, &a, &acc, (act_scales, ch));
+        write_strip(mk, &mut out, jb, nr, &a, &acc, (act_scales, ch));
     }
     out
 }
@@ -111,23 +141,34 @@ pub fn w4a8_qoq_serial(x: &Mat<i8>, act_scales: &[f32], w: &PackedQoqLinear) -> 
 pub fn w8a8_serial(x: &Mat<i8>, act_scales: &[f32], w: &W8A8Linear) -> Mat<f32> {
     assert_eq!(x.cols(), w.q.cols(), "K mismatch");
     assert_eq!(act_scales.len(), x.rows(), "one scale per token");
+    let mk = MicrokernelSet::global();
     let a = APanels::pack(x);
     let (m, k, n) = (x.rows(), x.cols(), w.q.rows());
+    mk.record_dispatch(m);
+    let strip = mk.strip_width();
     let mut out = Mat::zeros(m, n);
-    let mut acc = vec![0i32; a.acc_len()];
-    let mut pad = vec![0i8; NR * k];
-    for jb in (0..n).step_by(NR) {
-        let nr = NR.min(n - jb);
+    let mut acc = vec![0i32; mk.acc_len(&a)];
+    let mut pad = vec![0i8; strip * k];
+    for jb in (0..n).step_by(strip) {
+        let nr = strip.min(n - jb);
         acc.fill(0);
-        if nr == NR {
-            let block = &w.q.as_slice()[jb * k..(jb + NR) * k];
-            accumulate_strip(&a, 0, k, block, &mut acc);
+        if nr == strip {
+            let block = &w.q.as_slice()[jb * k..(jb + strip) * k];
+            mk.accumulate(&a, 0, k, block, &mut acc);
         } else {
             pad[..nr * k].copy_from_slice(&w.q.as_slice()[jb * k..(jb + nr) * k]);
             pad[nr * k..].fill(0);
-            accumulate_strip(&a, 0, k, &pad, &mut acc);
+            mk.accumulate(&a, 0, k, &pad, &mut acc);
         }
-        write_strip(&mut out, jb, nr, &a, &acc, (act_scales, &w.channel_scales));
+        write_strip(
+            mk,
+            &mut out,
+            jb,
+            nr,
+            &a,
+            &acc,
+            (act_scales, &w.channel_scales),
+        );
     }
     out
 }

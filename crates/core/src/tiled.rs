@@ -13,16 +13,30 @@ use lq_layout::tiles::{TileConfig, TileIter};
 use lq_quant::backend::PackedWeights;
 use lq_quant::mat::Mat;
 
-use crate::microkernel::{mk_i8_1x4, NR};
+use crate::microkernel::{APanels, MicrokernelSet};
 use crate::packed::PackedLqqLinear;
 use crate::serial::MAX_GROUP;
 
-/// Tiled W4A8 GEMM over any registered backend's dequantization.
+/// Tiled W4A8 GEMM over any registered backend's dequantization, with
+/// the process-wide microkernel family ([`MicrokernelSet::global`]).
+#[must_use]
+pub fn w4a8_tiled(
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    w: &dyn PackedWeights,
+    tile: TileConfig,
+) -> Mat<f32> {
+    w4a8_tiled_with(MicrokernelSet::global(), x, act_scales, w, tile)
+}
+
+/// Tiled W4A8 GEMM over any registered backend's dequantization and an
+/// explicit microkernel family.
 ///
 /// `tile.kt` must be a multiple of the quantization group size; tiles
 /// iterate in the persistent-kernel row-major order.
 #[must_use]
-pub fn w4a8_tiled(
+pub fn w4a8_tiled_with(
+    mk: MicrokernelSet,
     x: &Mat<i8>,
     act_scales: &[f32],
     w: &dyn PackedWeights,
@@ -40,10 +54,13 @@ pub fn w4a8_tiled(
         group
     );
     let m = x.rows();
+    mk.record_dispatch(m);
+    let a = APanels::pack(x);
+    let strip = mk.strip_width();
     let ch_scales = w.channel_scales();
     let mut out = Mat::zeros(m, n);
     let mut acc = vec![0i32; tile.mt * tile.nt];
-    let mut wbuf = vec![0i8; NR * group];
+    let mut wbuf = vec![0i8; strip * group];
     let groups_per_kt = tile.kt / group;
 
     for t in TileIter::new(tile, m, n) {
@@ -52,12 +69,12 @@ pub fn w4a8_tiled(
         // Main loop over K in Kt steps (the pipelined loop on GPU).
         let mut k0 = 0;
         while k0 < k {
-            // Channels NR at a time: each group is dequantized for the
-            // whole strip, then the 1×NR microkernel shares every
-            // activation load across the strip's accumulators.
-            for jb in (0..tw).step_by(NR) {
-                let nr = NR.min(tw - jb);
-                if nr < NR {
+            // Channels a strip at a time: each group is dequantized for
+            // the whole strip, then the 1-row dot-strip kernel shares
+            // every activation load across the strip's accumulators.
+            for jb in (0..tw).step_by(strip) {
+                let nr = strip.min(tw - jb);
+                if nr < strip {
                     // Unused strip rows stay zero: their lanes are
                     // computed but never read back.
                     wbuf.fill(0);
@@ -72,12 +89,12 @@ pub fn w4a8_tiled(
                         let row = t.n0 + jb + r;
                         w.dequant_row_group(row, gi, &mut wbuf[r * group..(r + 1) * group]);
                     }
+                    let mut sacc = [0i32; 16];
                     for i in 0..th {
-                        let xrow = &x.row(t.m0 + i)[k_abs..k_abs + group];
-                        let mut strip = [0i32; NR];
-                        mk_i8_1x4(xrow, &wbuf, group, &mut strip);
+                        sacc[..strip].fill(0);
+                        mk.dot_strip(&a, t.m0 + i, k_abs, group, &wbuf, &mut sacc[..strip]);
                         for r in 0..nr {
-                            acc[i * tw + jb + r] += strip[r];
+                            acc[i * tw + jb + r] += sacc[r];
                         }
                     }
                 }

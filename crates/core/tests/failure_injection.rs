@@ -6,6 +6,7 @@ use lq_core::packed::PackedLqqLinear;
 use lq_core::pipeline::ParallelConfig;
 use lq_core::reference::max_abs_diff;
 use lq_core::scheduler::TaskScheduler;
+use lq_core::PlacementPolicy;
 use lq_core::{KernelKind, LiquidGemm};
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
@@ -34,21 +35,25 @@ fn degenerate_configs_terminate_and_agree() {
             workers: 1,
             task_rows: 1,
             stages: 1,
+            placement: PlacementPolicy::Unpinned,
         },
         ParallelConfig {
             workers: 8,
             task_rows: 100,
             stages: 1,
+            placement: PlacementPolicy::Unpinned,
         },
         ParallelConfig {
             workers: 2,
             task_rows: 1,
             stages: 16,
+            placement: PlacementPolicy::Unpinned,
         },
         ParallelConfig {
             workers: 16,
             task_rows: 3,
             stages: 2,
+            placement: PlacementPolicy::Unpinned,
         },
     ] {
         for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {

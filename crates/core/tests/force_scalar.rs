@@ -1,0 +1,52 @@
+//! `LQ_FORCE_SCALAR` end-to-end: with the override set, the process-wide
+//! microkernel resolution must pick the scalar family even on a host
+//! with SIMD, and every pool pipeline must still be bit-exact.
+//!
+//! This lives in its own integration-test binary because the override
+//! is read exactly once (`MicrokernelSet::global` memoises in a
+//! `OnceLock`): the variable must be set before anything in the process
+//! touches the global set, which a shared test binary cannot guarantee.
+
+use lq_core::reference::max_abs_diff;
+use lq_core::{KernelKind, LiquidGemm, MicrokernelSet, SimdVariant};
+use lq_quant::act::QuantizedActivations;
+use lq_quant::mat::Mat;
+
+#[test]
+fn force_scalar_overrides_detection_through_the_pool() {
+    // Set before first use of MicrokernelSet::global() anywhere in this
+    // process — this file's only test, so no ordering hazard.
+    std::env::set_var("LQ_FORCE_SCALAR", "1");
+    assert_eq!(
+        MicrokernelSet::global().variant(),
+        SimdVariant::Scalar,
+        "LQ_FORCE_SCALAR=1 must force the scalar family"
+    );
+
+    let (m, n, k) = (5, 23, 192);
+    let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.013).sin() * 1.4);
+    let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.007).cos());
+    let qa = QuantizedActivations::quantize(&xf, None);
+
+    let lg = LiquidGemm::builder().workers(2).build().unwrap();
+    assert_eq!(lg.pool().microkernels().variant(), SimdVariant::Scalar);
+    let w = lg.pack_weights(&wf, 64);
+    let want = lg.gemm(&qa.q, &qa.scales, &w, KernelKind::Serial).y;
+    for kind in [KernelKind::FlatParallel, KernelKind::ExCp, KernelKind::ImFp] {
+        let got = lg.gemm(&qa.q, &qa.scales, &w, kind).y;
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "{kind:?}");
+    }
+
+    // The explicit builder override still beats the env var: forcing a
+    // detected SIMD variant works, and its results match scalar.
+    if let Some(mk) = MicrokernelSet::for_variant(SimdVariant::Avx2) {
+        let lg2 = LiquidGemm::builder()
+            .workers(2)
+            .force_microkernel(mk.variant())
+            .build()
+            .unwrap();
+        assert_eq!(lg2.pool().microkernels().variant(), SimdVariant::Avx2);
+        let got = lg2.gemm(&qa.q, &qa.scales, &w, KernelKind::ImFp).y;
+        assert_eq!(max_abs_diff(&got, &want), 0.0, "forced avx2 vs scalar");
+    }
+}

@@ -12,9 +12,9 @@
 //!    request lifecycle events carry the serving loop's virtual clock,
 //!    pool events carry wall time, and GEMM jobs inherit the request /
 //!    batch-step correlation IDs;
-//! 3. export Chrome trace-event JSON (`trace_example.json` by default;
-//!    open it at <https://ui.perfetto.dev> — one track per worker, one
-//!    per request);
+//! 3. export Chrome trace-event JSON (`target/trace_example.json` by
+//!    default; open it at <https://ui.perfetto.dev> — one track per
+//!    worker, one per request);
 //! 4. run the analyzer: per-request critical paths (queue / prefill /
 //!    decode / other) and pool attribution (queueing vs steal delay vs
 //!    compute, worker-overlap ratio);
@@ -32,9 +32,11 @@ const PROMPT_LEN: usize = 12;
 const OUTPUT_LEN: usize = 24;
 
 fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "trace_example.json".to_string());
+    // Default under target/ so example runs never dirty the repo root.
+    let out = std::env::args().nth(1).unwrap_or_else(|| {
+        let _ = std::fs::create_dir_all("target");
+        "target/trace_example.json".to_string()
+    });
     telemetry::enable();
     trace::enable();
 
