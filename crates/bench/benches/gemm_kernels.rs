@@ -27,11 +27,15 @@ use lq_core::microkernel::dispatch_counts;
 use lq_core::packed::{
     Fp16Linear, Fp8Linear, PackedLqqLinear, PackedQoqLinear, W4A16Linear, W8A8Linear,
 };
+use lq_core::reference::max_abs_diff;
 use lq_core::serial::{
     fp16_serial, fp8_serial, w4a16_serial, w4a8_lqq_serial, w4a8_qoq_serial, w4a8_serial,
     w4a8_serial_with, w8a8_serial,
 };
+use lq_core::shard::{ShardedGemm, ShardedWeights};
 use lq_core::{registry, KernelKind, LiquidGemm, MicrokernelSet, SimdVariant};
+use lq_models::configs::LLAMA2_70B;
+use lq_models::shapes::decode_layer_shapes;
 use lq_quant::act::QuantizedActivations;
 use lq_quant::mat::Mat;
 
@@ -217,6 +221,124 @@ fn pool_balance(
     (ratio, retries, min_jobs)
 }
 
+/// `--smoke` sharded gate (DESIGN.md §14): on a tiny shape, a 2-shard
+/// column-parallel and row-parallel run must be **bit-exact** against
+/// the 1-shard run over the same pack, and the two shard pools'
+/// aggregate busy-ns must stay within [`BALANCE_GATE`] of each other —
+/// the balanced column plan hands each shard the same work, so a skewed
+/// shard means a scheduler or placement regression. Runs under
+/// `LQ_FORCE_SCALAR` too (the exactness argument is
+/// variant-independent).
+fn sharded_smoke_gate() {
+    let w = Mat::from_fn(129, 256, |r, c| ((r * 256 + c) as f32 * 0.11).sin());
+    let x = Mat::from_fn(8, 256, |r, c| ((r + c) as f32 * 0.07).cos());
+    let qa = QuantizedActivations::quantize(&x, None);
+    let build = |shards: usize| {
+        ShardedGemm::builder()
+            .shards(shards)
+            .workers_per_shard(2)
+            .task_rows(2)
+            .build()
+            .expect("valid shard config")
+    };
+    let tp1 = build(1);
+    let tp2 = build(2);
+    let sw1 = tp1.pack_weights(&w, 64);
+    let sw2 = tp2.pack_weights(&w, 64);
+    let want = tp1
+        .gemm(&qa.q, &qa.scales, &sw1, KernelKind::ImFp)
+        .expect("healthy shard")
+        .y;
+    for call in 0..32 {
+        let col = tp2
+            .gemm(&qa.q, &qa.scales, &sw2, KernelKind::ImFp)
+            .expect("healthy shards")
+            .y;
+        if max_abs_diff(&col, &want) != 0.0 {
+            eprintln!("FAIL: 2-shard column output differs from 1-shard (call {call})");
+            std::process::exit(1);
+        }
+        let row = tp2
+            .gemm_row(&qa.q, &qa.scales, &sw2)
+            .expect("healthy shards")
+            .y;
+        if max_abs_diff(&row, &want) != 0.0 {
+            eprintln!("FAIL: 2-shard row output differs from 1-shard (call {call})");
+            std::process::exit(1);
+        }
+    }
+    // Shard busy-balance: total busy-ns per shard pool.
+    let busy: Vec<u64> = (0..tp2.shards())
+        .map(|s| {
+            tp2.shard_pool(s)
+                .pool()
+                .worker_stats()
+                .iter()
+                .map(|w| w.busy_ns)
+                .sum()
+        })
+        .collect();
+    let max = busy.iter().copied().max().unwrap_or(0);
+    let min = busy.iter().copied().min().unwrap_or(0).max(1);
+    let ratio = max as f64 / min as f64;
+    println!("sharded busy-balance ratio: {ratio:.2} (gate: {BALANCE_GATE:.1})");
+    lq_telemetry::registry()
+        .gauge("lq_bench_shard_busy_balance_ratio")
+        .set(ratio);
+    if ratio > BALANCE_GATE {
+        eprintln!("FAIL: shard busy-ns max/min ratio {ratio:.2} exceeds gate {BALANCE_GATE:.1}");
+        std::process::exit(1);
+    }
+    println!("sharded smoke OK: 2-shard bit-exact vs 1-shard (column + row), balance {ratio:.2}");
+}
+
+/// Tensor-parallel throughput sweep on a 70B-scale layer: the Llama-2
+/// 70B attention output projection (`decode_layer_shapes`, N = K =
+/// 8192) at a decode batch of M = 8, one pack shared across shard
+/// counts 1/2/4. Records `lq_bench_sharded_ns{shards=...}` gauges for
+/// the committed snapshot — the EXPERIMENTS.md per-shard-count table.
+fn sharded_sweep() {
+    let shape = decode_layer_shapes(&LLAMA2_70B, 8).dense[1]; // O-proj
+    let (m, n, k) = (shape.m, shape.n, shape.k);
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+    println!("\nsharded_sweep (70B O-proj: M={m} N={n} K={k}, ImFP column-parallel)");
+    let w = Mat::from_fn(n, k, |r, c| (((r * 31 + c * 7) % 97) as f32 * 0.021).sin());
+    let x = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.07).cos());
+    let qa = QuantizedActivations::quantize(&x, None);
+    // One pack, re-planned per shard count — the sweep measures the
+    // sharding, not repeated quantization.
+    let packed = W4A8Weights::quantize(&w, 64, lq_core::BackendId::Lqq);
+    print_header(&[("shards", 6), ("latency", 11), ("GOP/s", 8), ("speedup", 8)]);
+    let mut base = None;
+    for shards in [1usize, 2, 4] {
+        let tp = ShardedGemm::builder()
+            .shards(shards)
+            .workers_per_shard((workers / shards).max(1))
+            .task_rows(16)
+            .build()
+            .expect("valid shard config");
+        let sw = ShardedWeights::from_weights(&packed, shards);
+        let t = measure_median(5, || {
+            black_box(
+                tp.gemm(&qa.q, &qa.scales, &sw, KernelKind::ImFp)
+                    .expect("healthy shards"),
+            );
+        });
+        let gops = (2.0 * m as f64 * n as f64 * k as f64) / t / 1e9;
+        let base_t = *base.get_or_insert(t);
+        print_row(&[
+            (shards.to_string(), 6),
+            (fmt_time(t), 11),
+            (format!("{gops:.1}"), 8),
+            (format!("{:.2}x", base_t / t), 8),
+        ]);
+        let label = shards.to_string();
+        lq_telemetry::registry()
+            .gauge_with("lq_bench_sharded_ns", &[("shards", label.as_str())])
+            .set(t * 1e9);
+    }
+}
+
 /// The `--smoke` decode-latency regression gate: measure persistent
 /// decode (M=1) on the full N×K shape with the auto-selected variant,
 /// compare against the committed-snapshot baseline, exit non-zero past
@@ -329,6 +451,10 @@ fn main() {
             );
             std::process::exit(1);
         }
+        // Tensor-parallel smoke gate: 2-shard bit-exactness + shard
+        // busy-balance (variant-independent, so it runs under
+        // LQ_FORCE_SCALAR too).
+        sharded_smoke_gate();
         // Decode-latency regression gate against the committed
         // snapshot (skipped on bootstrap runs that predate the gauge,
         // and under LQ_FORCE_SCALAR — the committed baseline is the
@@ -466,6 +592,8 @@ fn main() {
         fmt_time(t_decode_auto * 1e-9)
     );
     drop(auto);
+
+    sharded_sweep();
 
     pool_amortisation(&lqq);
     let _ = pool_balance(&W4A8Weights::lqq(lqq), K, 64, 16, 24);

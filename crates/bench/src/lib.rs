@@ -186,20 +186,27 @@ impl TraceDumpGuard {
         let Some(path) = self.path.take() else {
             return Vec::new();
         };
+        // Relative paths anchor to the workspace root (same rule as
+        // `json_dump`), so `--trace foo.json` lands in one predictable
+        // place no matter the invocation CWD; absolute paths pass
+        // through `join` untouched.
+        let path = workspace_root().join(&path);
         let events = lq_trace::take_events();
         let json = lq_trace::chrome::export(&events);
         lq_trace::json::validate(&json)
             .unwrap_or_else(|e| panic!("chrome trace export is invalid JSON: {e}"));
-        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        std::fs::write(&path, &json)
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
         let dropped = lq_trace::dropped_total();
         eprintln!(
-            "chrome trace ({} events{}) written to {path} — open at https://ui.perfetto.dev",
+            "chrome trace ({} events{}) written to {} — open at https://ui.perfetto.dev",
             events.len(),
             if dropped == 0 {
                 String::new()
             } else {
                 format!(", {dropped} dropped at the rings")
             },
+            path.display(),
         );
         events
     }

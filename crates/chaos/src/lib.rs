@@ -84,6 +84,13 @@ pub struct FaultPlan {
     /// the router; use [`FaultPlan::replica_kill_at`] or
     /// [`FaultPlan::from_seed_with_replicas`].
     pub replica_kills: Vec<(u64, u64)>,
+    /// `(shard, call)`: tensor-parallel shard-pool failures — shard
+    /// `shard` of a `ShardedGemm` dies at its `call`-th sharded GEMM
+    /// (counts per-shard calls, independent of the sites above). Not
+    /// drawn by [`FaultPlan::from_seed`]; use
+    /// [`FaultPlan::shard_kill_at`] or
+    /// [`FaultPlan::from_seed_with_shards`].
+    pub shard_kills: Vec<(u64, u64)>,
 }
 
 impl FaultPlan {
@@ -121,6 +128,7 @@ impl FaultPlan {
             kv_denials: draw_set(&mut rng, 4, 40),
             engine_panics: draw_set(&mut rng, 2, 64),
             replica_kills: Vec::new(),
+            shard_kills: Vec::new(),
         }
     }
 
@@ -185,6 +193,32 @@ impl FaultPlan {
         .replica_kill_at(victim, step)
     }
 
+    /// Kill tensor-parallel shard pool `shard` at its `call`-th
+    /// sharded GEMM (degraded-mode surfacing in `ShardedGemm`).
+    #[must_use]
+    pub fn shard_kill_at(mut self, shard: u64, call: u64) -> Self {
+        self.shard_kills.push((shard, call));
+        self
+    }
+
+    /// Draw a shard-kill-only schedule from `seed`: kills exactly one
+    /// of `shards` at an early sharded-GEMM call. All other sites stay
+    /// quiet, so sharded chaos sweeps isolate shard-pool death from
+    /// intra-pool faults. Deterministic per seed; drawn from its own
+    /// stream so existing seeded suites replay identically.
+    #[must_use]
+    pub fn from_seed_with_shards(seed: u64, shards: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let mut rng = Rng::new(seed ^ 0x7E4D_50A7_7E4D_50A7);
+        let victim = rng.below(shards);
+        let call = rng.range_u64(1, 8);
+        Self {
+            seed,
+            ..Self::default()
+        }
+        .shard_kill_at(victim, call)
+    }
+
     /// True when the plan schedules no fault at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -194,6 +228,7 @@ impl FaultPlan {
             && self.kv_denials.is_empty()
             && self.engine_panics.is_empty()
             && self.replica_kills.is_empty()
+            && self.shard_kills.is_empty()
     }
 }
 
@@ -213,6 +248,8 @@ pub struct FaultStats {
     pub engine_panics: u64,
     /// Whole-replica kills fired.
     pub replica_kills: u64,
+    /// Tensor-parallel shard-pool kills fired.
+    pub shard_kills: u64,
 }
 
 impl FaultStats {
@@ -225,6 +262,7 @@ impl FaultStats {
             + self.kv_denials
             + self.engine_panics
             + self.replica_kills
+            + self.shard_kills
     }
 }
 
@@ -242,11 +280,12 @@ pub struct FaultInjector {
     kv_denials: HashSet<u64>,
     engine_panics: HashSet<u64>,
     replica_kills: HashMap<u64, (u64, AtomicU64)>,
+    shard_kills: HashMap<u64, (u64, AtomicU64)>,
     worker_ctr: AtomicU64,
     submit_ctr: AtomicU64,
     kv_ctr: AtomicU64,
     engine_ctr: AtomicU64,
-    fired: [AtomicU64; 6],
+    fired: [AtomicU64; 7],
 }
 
 impl FaultInjector {
@@ -275,6 +314,11 @@ impl FaultInjector {
             engine_panics: plan.engine_panics.iter().copied().collect(),
             replica_kills: plan
                 .replica_kills
+                .iter()
+                .map(|&(r, s)| (r, (s, AtomicU64::new(0))))
+                .collect(),
+            shard_kills: plan
+                .shard_kills
                 .iter()
                 .map(|&(r, s)| (r, (s, AtomicU64::new(0))))
                 .collect(),
@@ -373,6 +417,25 @@ impl FaultInjector {
         i >= *step
     }
 
+    /// Consult the shard-call site: shard `shard` of a tensor-parallel
+    /// GEMM reports one sharded call; `true` means this shard pool
+    /// dies now (the sharded layer surfaces a typed `ShardFailed`
+    /// error — never a partial output). Each scheduled kill fires once
+    /// — the call the counter reaches the plan's index — and keeps
+    /// answering `true` afterwards (a dead shard stays dead). Shards
+    /// with no scheduled kill run free without counting.
+    #[must_use]
+    pub fn on_shard_call(&self, shard: u64) -> bool {
+        let Some((call, ctr)) = self.shard_kills.get(&shard) else {
+            return false;
+        };
+        let i = ctr.fetch_add(1, Ordering::Relaxed);
+        if i == *call {
+            self.fire(6, *call);
+        }
+        i >= *call
+    }
+
     /// Snapshot of faults actually fired so far.
     #[must_use]
     pub fn stats(&self) -> FaultStats {
@@ -383,6 +446,7 @@ impl FaultInjector {
             kv_denials: self.fired[3].load(Ordering::Relaxed),
             engine_panics: self.fired[4].load(Ordering::Relaxed),
             replica_kills: self.fired[5].load(Ordering::Relaxed),
+            shard_kills: self.fired[6].load(Ordering::Relaxed),
         }
     }
 }
@@ -492,6 +556,42 @@ mod tests {
         // All replicas get picked as victim across seeds.
         let victims: HashSet<u64> = (0..32)
             .map(|s| FaultPlan::from_seed_with_replicas(s, 3).replica_kills[0].0)
+            .collect();
+        assert_eq!(victims.len(), 3);
+    }
+
+    #[test]
+    fn shard_site_kills_at_call_and_stays_dead() {
+        let inj = FaultInjector::new(FaultPlan::quiet().shard_kill_at(1, 2));
+        // Shard 0 has no scheduled kill: runs free.
+        for _ in 0..10 {
+            assert!(!inj.on_shard_call(0));
+        }
+        // Shard 1 survives calls 0..2, dies at 2, stays dead.
+        assert!(!inj.on_shard_call(1));
+        assert!(!inj.on_shard_call(1));
+        assert!(inj.on_shard_call(1));
+        assert!(inj.on_shard_call(1));
+        // The kill fired exactly once.
+        assert_eq!(inj.stats().shard_kills, 1);
+        assert_eq!(inj.stats().total(), 1);
+    }
+
+    #[test]
+    fn seeded_shard_plans_are_deterministic_and_bounded() {
+        for seed in 0..32 {
+            let p = FaultPlan::from_seed_with_shards(seed, 3);
+            assert_eq!(p, FaultPlan::from_seed_with_shards(seed, 3));
+            assert_eq!(p.shard_kills.len(), 1);
+            let (r, s) = p.shard_kills[0];
+            assert!(r < 3);
+            assert!((1..8).contains(&s));
+            // All other sites stay quiet: shard death is isolated.
+            assert!(p.worker_panics.is_empty() && p.replica_kills.is_empty());
+        }
+        // All shards get picked as victim across seeds.
+        let victims: HashSet<u64> = (0..32)
+            .map(|s| FaultPlan::from_seed_with_shards(s, 3).shard_kills[0].0)
             .collect();
         assert_eq!(victims.len(), 3);
     }

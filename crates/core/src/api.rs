@@ -110,6 +110,14 @@ impl W4A8Weights {
     pub fn as_dyn(&self) -> &dyn PackedWeights {
         self.packed.as_ref()
     }
+
+    /// A shared handle on the packed representation (what
+    /// [`crate::shard::ShardedWeights`] wraps in per-shard views —
+    /// one pack, many windows).
+    #[must_use]
+    pub fn packed(&self) -> Arc<dyn PackedWeights> {
+        Arc::clone(&self.packed)
+    }
 }
 
 impl fmt::Debug for W4A8Weights {

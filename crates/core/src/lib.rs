@@ -68,6 +68,7 @@ pub mod reference;
 pub mod runtime;
 pub mod scheduler;
 pub mod serial;
+pub mod shard;
 pub mod simd;
 pub mod sync;
 mod telemetry;
@@ -86,4 +87,5 @@ pub use packed::{
 };
 pub use pipeline::{ConfigError, ParallelConfigBuilder};
 pub use runtime::{LiquidGemm, LiquidGemmBuilder, WorkerPool, WorkerStats};
+pub use shard::{ShardConfigError, ShardError, ShardedGemm, ShardedGemmBuilder, ShardedWeights};
 pub use simd::SimdVariant;

@@ -264,6 +264,27 @@ pub fn scatter_channel(a: &APanels, acc: &[i32], nr: usize, act: &[f32], ch: f32
     }
 }
 
+/// Raw-sum twin of [`scatter_channel`]: emit channel lane `nr`'s exact
+/// integer dot products (widened to i64) with **no** epilogue — the
+/// per-K-slice partials a row-parallel shard hands to the exact
+/// all-reduce, where the single final `(Σ · act) · ch` epilogue runs.
+#[inline]
+pub fn scatter_channel_raw(a: &APanels, acc: &[i32], nr: usize, out: &mut [i64]) {
+    debug_assert_eq!(acc.len(), a.acc_len());
+    debug_assert_eq!(out.len(), a.m());
+    for p in 0..a.panel_count() {
+        for mr in 0..MR {
+            let tok = p * MR + mr;
+            out[tok] = i64::from(acc[p * MR * NR + nr * MR + mr]);
+        }
+    }
+    let base = a.panel_count() * MR * NR;
+    for t in 0..a.tail_count() {
+        let tok = a.panel_count() * MR + t;
+        out[tok] = i64::from(acc[base + t * NR + nr]);
+    }
+}
+
 /// f32 dot product (FP16/FP8/W4A16 baselines).
 #[inline]
 #[must_use]
@@ -577,6 +598,46 @@ impl MicrokernelSet {
         }
     }
 
+    /// Raw-sum twin of [`MicrokernelSet::scatter`]: the same per-token
+    /// horizontal reduction (including the VNNI `128·Σw` bias
+    /// compensation, so the i64 value *is* the true signed dot
+    /// product), but written as exact i64 integers with no epilogue.
+    /// Row-parallel shards sum these across K slices before the single
+    /// final scale application — the all-reduce stays in integers, so
+    /// sharded results are bit-identical to the unsharded kernel.
+    pub fn scatter_raw(self, a: &APanels, acc: &[i32], nr: usize, out: &mut [i64]) {
+        if self.variant == SimdVariant::Scalar {
+            scatter_channel_raw(a, acc, nr, out);
+            return;
+        }
+        let sh = self.shape(a.m());
+        let (mr, strip, lanes) = (sh.mr, sh.strip, sh.lanes);
+        debug_assert_eq!(acc.len(), self.acc_len(a));
+        debug_assert_eq!(out.len(), a.m());
+        let panels = a.m() / mr;
+        let chains = a.m() * strip;
+        let wsum: i64 = if self.variant == SimdVariant::Vnni {
+            acc[(chains + nr) * lanes..(chains + nr + 1) * lanes]
+                .iter()
+                .map(|&v| i64::from(v))
+                .sum()
+        } else {
+            0
+        };
+        for (tok, o) in out.iter_mut().enumerate() {
+            let chain = if tok < panels * mr {
+                (tok / mr) * strip * mr + nr * mr + tok % mr
+            } else {
+                panels * strip * mr + (tok - panels * mr) * strip + nr
+            };
+            *o = acc[chain * lanes..(chain + 1) * lanes]
+                .iter()
+                .map(|&v| i64::from(v))
+                .sum::<i64>()
+                - 128 * wsum;
+        }
+    }
+
     /// `strip_width()` dot products of one activation row's K range
     /// `[k0, k0+kc)` against a dequantized weight strip, *added* into
     /// `out` — the tiled kernel's per-group accumulation step.
@@ -852,6 +913,49 @@ mod tests {
                             out[i].to_bits(),
                             want.to_bits(),
                             "{} m={m} k={k} nr={nr} tok={i}",
+                            v.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `scatter_raw` must emit exactly the integer sum `scatter`
+    /// applies its epilogue to: for every detected variant,
+    /// `raw as f32 * act * ch` reproduces `scatter`'s output
+    /// bit-for-bit, and `raw` equals the naive i64 dot product.
+    #[test]
+    fn scatter_raw_is_the_exact_pre_epilogue_sum() {
+        let mut rng = lq_rng::Rng::new(0x5A44_0A11);
+        for v in SimdVariant::detected() {
+            let mk = MicrokernelSet::for_variant(v).expect("detected implies available");
+            for &(m, k) in &[(1usize, 64usize), (5, 7), (7, 130), (13, 257)] {
+                let strip = mk.strip_width();
+                let x = Mat::from_vec(m, k, rng.vec_i8(m * k, -128, 127));
+                let a = APanels::pack(&x);
+                let w_rows: Vec<Vec<i8>> = (0..strip).map(|_| rng.vec_i8(k, -128, 127)).collect();
+                let w_block: Vec<i8> = w_rows.iter().flatten().copied().collect();
+                let mut acc = vec![0i32; mk.acc_len(&a)];
+                mk.accumulate(&a, 0, k, &w_block, &mut acc);
+                let act: Vec<f32> = (0..m).map(|i| 0.25 + i as f32 * 0.5).collect();
+                for (nr, wj) in w_rows.iter().enumerate() {
+                    let ch = 0.0625 * (nr as f32 + 1.0);
+                    let mut out = vec![0.0f32; m];
+                    mk.scatter(&a, &acc, nr, &act, ch, &mut out);
+                    let mut raw = vec![0i64; m];
+                    mk.scatter_raw(&a, &acc, nr, &mut raw);
+                    for i in 0..m {
+                        assert_eq!(
+                            raw[i],
+                            i64::from(dot_i8(x.row(i), wj)),
+                            "{} m={m} k={k} nr={nr} tok={i}: raw sum",
+                            v.label()
+                        );
+                        assert_eq!(
+                            out[i].to_bits(),
+                            (raw[i] as f32 * act[i] * ch).to_bits(),
+                            "{} m={m} k={k} nr={nr} tok={i}: epilogue replay",
                             v.label()
                         );
                     }

@@ -276,6 +276,59 @@ pub(crate) fn compute_rows_staged(
     }
 }
 
+/// Raw-sum twin of [`compute_rows_staged`]: the identical staged
+/// dequant + accumulate loop, but each channel row is scattered as
+/// exact i64 pre-epilogue dot products (no activation / channel
+/// scaling). Row-parallel shards run this over their K slice and sum
+/// the integer partials across shards before the single final
+/// epilogue — which is what makes the sharded result bit-identical to
+/// the unsharded kernel.
+pub(crate) fn compute_rows_staged_raw(
+    mk: MicrokernelSet,
+    q: &dyn TileDequant,
+    words: &[u32],
+    rows: usize,
+    a: &APanels,
+    out_t: &mut [i64],
+) {
+    let m = a.m();
+    mk.record_dispatch(m);
+    let group = q.group();
+    let k = q.k();
+    let strip = mk.strip_width();
+    let kcb = mk.kc_block(group, k);
+    let mut wbuf = vec![0i8; strip * kcb];
+    let mut acc = vec![0i32; mk.acc_len(a)];
+    let wpr = words.len() / rows.max(1);
+    for jb in (0..rows).step_by(strip) {
+        let nr = strip.min(rows - jb);
+        acc.fill(0);
+        let mut k0 = 0usize;
+        while k0 < k {
+            let kc = kcb.min(k - k0);
+            if nr < strip {
+                wbuf.fill(0);
+            }
+            for r in 0..nr {
+                simd::prefetch_read(words, (jb + r) * wpr + wpr * (k0 + kc) / k.max(1));
+            }
+            let g0 = k0 / group;
+            for r in 0..nr {
+                let dst = &mut wbuf[r * kc..(r + 1) * kc];
+                for (gg, chunk) in dst.chunks_mut(group).enumerate() {
+                    q.dequant_group(words, jb + r, g0 + gg, chunk);
+                }
+            }
+            mk.accumulate(a, k0, kc, &wbuf[..strip * kc], &mut acc);
+            k0 += kc;
+        }
+        for r in 0..nr {
+            let row = &mut out_t[(jb + r) * m..(jb + r + 1) * m];
+            mk.scatter_raw(a, &acc, r, row);
+        }
+    }
+}
+
 /// ExCP stage 3 job body: register-tiled MMA from a materialised INT8
 /// tile (row-major, so full strips feed the microkernel in place).
 pub(crate) fn mma_rows(
@@ -336,6 +389,19 @@ fn make_ctx(
     recycle: Option<Sender<Vec<u32>>>,
     metrics: &Option<Arc<PipeMetrics>>,
 ) -> (Arc<CallCtx>, Receiver<Reply>, u64) {
+    make_ctx_mode(pool, x, act_scales, tasks, recycle, metrics, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_ctx_mode(
+    pool: &WorkerPool,
+    x: &Mat<i8>,
+    act_scales: &[f32],
+    tasks: usize,
+    recycle: Option<Sender<Vec<u32>>>,
+    metrics: &Option<Arc<PipeMetrics>>,
+    raw: bool,
+) -> (Arc<CallCtx>, Receiver<Reply>, u64) {
     let (reply_tx, reply_rx) = bounded(tasks.max(1));
     let epoch = pool.next_epoch();
     let ctx = Arc::new(CallCtx {
@@ -348,6 +414,7 @@ fn make_ctx(
         epoch,
         mk: pool.microkernels(),
         metrics: metrics.clone(),
+        raw,
     });
     (ctx, reply_rx, epoch)
 }
@@ -365,6 +432,9 @@ fn collect_tiles(rx: &Receiver<Reply>, tasks: usize, m: usize, n: usize, epoch: 
                 let dst = j0 * m;
                 y_t[dst..dst + out.len()].copy_from_slice(&out);
             }
+            Ok(Reply::RawDone { .. }) => {
+                unreachable!("raw reply on a scaled call (ctx.raw mode mix-up)")
+            }
             Ok(Reply::Panicked) => {
                 panic!("LiquidGemm tile job panicked on every retry (deterministic bug)")
             }
@@ -372,6 +442,36 @@ fn collect_tiles(rx: &Receiver<Reply>, tasks: usize, m: usize, n: usize, epoch: 
         }
     }
     assemble_output(y_t, m, n)
+}
+
+/// Raw-mode twin of [`collect_tiles`]: collect exactly `tasks` i64
+/// tile replies into the flat `N×M` pre-epilogue buffer (no transpose,
+/// no scales — the caller all-reduces across shards first).
+fn collect_tiles_raw(
+    rx: &Receiver<Reply>,
+    tasks: usize,
+    m: usize,
+    n: usize,
+    epoch: u64,
+) -> Vec<i64> {
+    let mut y_t = vec![0i64; n * m];
+    for _ in 0..tasks {
+        match rx.recv() {
+            Ok(Reply::RawDone { j0, out, epoch: e }) => {
+                debug_assert_eq!(e, epoch, "cross-call reply mix-up");
+                let dst = j0 * m;
+                y_t[dst..dst + out.len()].copy_from_slice(&out);
+            }
+            Ok(Reply::Done { .. }) => {
+                unreachable!("scaled reply on a raw call (ctx.raw mode mix-up)")
+            }
+            Ok(Reply::Panicked) => {
+                panic!("LiquidGemm tile job panicked on every retry (deterministic bug)")
+            }
+            Err(_) => unreachable!("reply channel closed before all tiles arrived"),
+        }
+    }
+    y_t
 }
 
 /// Flat data-parallel W4A8 kernel on the persistent pool: the caller
@@ -424,6 +524,62 @@ pub fn w4a8_flat_parallel(
     }
     drop(ctx);
     collect_tiles(&reply_rx, tasks, m, n, epoch)
+}
+
+/// Flat data-parallel *raw* W4A8 partial GEMM on the persistent pool:
+/// same tile decomposition as [`w4a8_flat_parallel`], but every tile
+/// job runs in raw mode and the call returns the flat `N×M` buffer of
+/// exact i64 pre-epilogue dot products. Row-parallel sharding sums
+/// these buffers across K-slice shards (an exact integer all-reduce)
+/// and applies the activation/channel epilogue once at the end —
+/// bit-identical to an unsharded call. `act_scales` are threaded only
+/// for shape checking; they are *not* applied here.
+#[must_use]
+pub(crate) fn w4a8_flat_raw(
+    pool: &WorkerPool,
+    x: &Mat<i8>,
+    w: &dyn PackedWeights,
+    cfg: ParallelConfig,
+) -> Vec<i64> {
+    assert_eq!(x.cols(), w.k(), "K mismatch");
+    let backend = w.backend().label();
+    let _call = call_span("flat_raw", backend);
+    let metrics = PipeMetrics::resolve("flat_raw", backend).map(Arc::new);
+    let (m, n) = (x.rows(), w.n());
+    let ones = vec![1.0f32; m];
+    let task_rows = cfg.task_rows.max(1);
+    let tasks = n.div_ceil(task_rows);
+    let (ctx, reply_rx, epoch) = make_ctx_mode(pool, x, &ones, tasks, None, &metrics, true);
+    for t in 0..tasks {
+        let j0 = t * task_rows;
+        let j1 = (j0 + task_rows).min(n);
+        let load_t0 = lq_trace::enabled().then(std::time::Instant::now);
+        let words = {
+            let _span = metrics.as_ref().map(|mx| mx.task_ns_load.span_owned());
+            w.rows_words(j0, j1).to_vec()
+        };
+        if let Some(t0) = load_t0 {
+            lq_trace::span(
+                lq_trace::EventKind::StageLoad,
+                lq_trace::Track::Control,
+                j0 as u64,
+                0,
+                t0,
+            );
+        }
+        pool.submit(Job::Compute {
+            ctx: Arc::clone(&ctx),
+            j0,
+            rows: j1 - j0,
+            words,
+            quant: w.tile_dequant(j0, j1),
+        });
+        if let Some(mx) = &metrics {
+            mx.depth_task.set(pool.queue_len() as f64);
+        }
+    }
+    drop(ctx);
+    collect_tiles_raw(&reply_rx, tasks, m, n, epoch)
 }
 
 /// The implicit fine-grained pipeline (ImFP) on the persistent pool:

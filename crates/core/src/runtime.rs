@@ -105,8 +105,8 @@ use crate::affinity::{self, PlacementPolicy};
 use crate::api::{GemmOutput, KernelKind, W4A8Weights};
 use crate::microkernel::{APanels, MicrokernelSet};
 use crate::pipeline::{
-    compute_rows_staged, mma_rows, w4a8_excp, w4a8_flat_parallel, w4a8_imfp, ConfigError,
-    ParallelConfig,
+    compute_rows_staged, compute_rows_staged_raw, mma_rows, w4a8_excp, w4a8_flat_parallel,
+    w4a8_imfp, ConfigError, ParallelConfig,
 };
 use crate::serial::w4a8_serial_with;
 use crate::simd::SimdVariant;
@@ -135,6 +135,10 @@ pub(crate) struct CallCtx {
     pub(crate) mk: MicrokernelSet,
     /// Per-variant pipeline metrics (None when telemetry is off).
     pub(crate) metrics: Option<Arc<PipeMetrics>>,
+    /// Raw mode: Compute jobs skip the epilogue and reply with exact
+    /// i64 partial sums ([`Reply::RawDone`]) — the row-parallel shards'
+    /// all-reduce operands. Never set for Dequant/Mma (ExCP) calls.
+    pub(crate) raw: bool,
 }
 
 /// A finished (or failed) tile travelling back to the calling thread.
@@ -143,6 +147,14 @@ pub(crate) enum Reply {
     Done {
         j0: usize,
         out: Vec<f32>,
+        epoch: u64,
+    },
+    /// Raw-mode twin of `Done`: the same tile as exact pre-epilogue
+    /// i64 dot products (the all-reduce operand for row-parallel
+    /// sharding — f32 replies would be lossy above 2^24).
+    RawDone {
+        j0: usize,
+        out: Vec<i64>,
         epoch: u64,
     },
     /// The job panicked; the caller re-panics.
@@ -910,6 +922,12 @@ fn execute(job: Job, shared: &Shared, id: usize, corr: u64, force_panic: bool) -
             words,
             quant,
         } => {
+            // Raw-mode calls reply with exact i64 partials, scaled
+            // calls with f32 tiles; both run the same staged loop.
+            enum TileBuf {
+                Scaled(Vec<f32>),
+                Raw(Vec<i64>),
+            }
             let res = catch_unwind(AssertUnwindSafe(|| {
                 if force_panic {
                     panic!("injected fault: worker panic mid-Compute");
@@ -919,22 +937,33 @@ fn execute(job: Job, shared: &Shared, id: usize, corr: u64, force_panic: bool) -
                     .as_ref()
                     .map(|mx| mx.task_ns_compute.span_owned());
                 let m = ctx.a.m();
-                let mut out = vec![0.0f32; rows * m];
-                compute_rows_staged(
-                    ctx.mk,
-                    quant.as_ref(),
-                    &words,
-                    rows,
-                    &ctx.a,
-                    &ctx.act_scales,
-                    &mut out,
-                );
-                out
+                if ctx.raw {
+                    let mut out = vec![0i64; rows * m];
+                    compute_rows_staged_raw(ctx.mk, quant.as_ref(), &words, rows, &ctx.a, &mut out);
+                    TileBuf::Raw(out)
+                } else {
+                    let mut out = vec![0.0f32; rows * m];
+                    compute_rows_staged(
+                        ctx.mk,
+                        quant.as_ref(),
+                        &words,
+                        rows,
+                        &ctx.a,
+                        &ctx.act_scales,
+                        &mut out,
+                    );
+                    TileBuf::Scaled(out)
+                }
             }));
             match res {
-                Ok(out) => {
+                Ok(buf) => {
                     stage_span(lq_trace::EventKind::StageCompute, j0, rows);
-                    finish_tile(&ctx, j0, out, Some(words));
+                    let epoch = ctx.epoch;
+                    let reply = match buf {
+                        TileBuf::Scaled(out) => Reply::Done { j0, out, epoch },
+                        TileBuf::Raw(out) => Reply::RawDone { j0, out, epoch },
+                    };
+                    finish_tile(&ctx, reply, Some(words));
                     JobOutcome::Done
                 }
                 Err(_) => JobOutcome::Panicked(Some(Job::Compute {
@@ -1025,7 +1054,8 @@ fn execute(job: Job, shared: &Shared, id: usize, corr: u64, force_panic: bool) -
             match res {
                 Ok(out) => {
                     stage_span(lq_trace::EventKind::StageMma, j0, channel_scales.len());
-                    finish_tile(&ctx, j0, out, None);
+                    let epoch = ctx.epoch;
+                    finish_tile(&ctx, Reply::Done { j0, out, epoch }, None);
                     JobOutcome::Done
                 }
                 Err(_) => JobOutcome::Panicked(Some(Job::Mma {
@@ -1052,18 +1082,14 @@ fn execute(job: Job, shared: &Shared, id: usize, corr: u64, force_panic: bool) -
 /// Common tail of successful Compute/Mma jobs: count the task, recycle
 /// the stage buffer, reply. Reply-send failures mean the caller is
 /// gone (it panicked or was dropped) and are deliberately ignored.
-fn finish_tile(ctx: &Arc<CallCtx>, j0: usize, out: Vec<f32>, words: Option<Vec<u32>>) {
+fn finish_tile(ctx: &Arc<CallCtx>, reply: Reply, words: Option<Vec<u32>>) {
     if let Some(mx) = &ctx.metrics {
         mx.tasks.inc();
     }
     if let (Some(rec), Some(buf)) = (&ctx.recycle, words) {
         let _ = rec.send(buf);
     }
-    let _ = ctx.reply.send(Reply::Done {
-        j0,
-        out,
-        epoch: ctx.epoch,
-    });
+    let _ = ctx.reply.send(reply);
 }
 
 /// Long-lived handle over the persistent worker pool — the redesigned

@@ -1,0 +1,58 @@
+//! `LQ_FORCE_SCALAR` under tensor-parallel sharding: with the
+//! process-wide scalar override set, every shard pool must resolve the
+//! scalar microkernel family and both collectives must stay bit-exact
+//! against the unsharded scalar kernel.
+//!
+//! Own integration-test binary for the same reason as
+//! `force_scalar.rs`: the override is read once
+//! (`MicrokernelSet::global` memoises in a `OnceLock`), so the
+//! variable must be set before anything in the process touches the
+//! global set.
+
+use lq_core::reference::max_abs_diff;
+use lq_core::shard::ShardedGemm;
+use lq_core::{KernelKind, LiquidGemm, MicrokernelSet, SimdVariant};
+use lq_quant::act::QuantizedActivations;
+use lq_quant::mat::Mat;
+
+#[test]
+fn forced_scalar_sharding_is_bit_exact() {
+    // Set before the first MicrokernelSet::global() in this process —
+    // this file's only test, so no ordering hazard.
+    std::env::set_var("LQ_FORCE_SCALAR", "1");
+    assert_eq!(MicrokernelSet::global().variant(), SimdVariant::Scalar);
+
+    let (m, n, k) = (5, 37, 192);
+    let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.013).sin() * 1.4);
+    let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.007).cos());
+    let qa = QuantizedActivations::quantize(&xf, None);
+
+    let lg = LiquidGemm::builder().workers(1).build().unwrap();
+    let want = lg
+        .gemm(
+            &qa.q,
+            &qa.scales,
+            &lg.pack_weights(&wf, 64),
+            KernelKind::Serial,
+        )
+        .y;
+    for shards in [2usize, 3] {
+        let tp = ShardedGemm::builder()
+            .shards(shards)
+            .workers_per_shard(1)
+            .build()
+            .unwrap();
+        for s in 0..shards {
+            assert_eq!(
+                tp.shard_pool(s).pool().microkernels().variant(),
+                SimdVariant::Scalar,
+                "shard {s} must inherit the scalar override"
+            );
+        }
+        let sw = tp.pack_weights(&wf, 64);
+        let col = tp.gemm(&qa.q, &qa.scales, &sw, KernelKind::ImFp).unwrap().y;
+        assert_eq!(max_abs_diff(&col, &want), 0.0, "column shards={shards}");
+        let row = tp.gemm_row(&qa.q, &qa.scales, &sw).unwrap().y;
+        assert_eq!(max_abs_diff(&row, &want), 0.0, "row shards={shards}");
+    }
+}

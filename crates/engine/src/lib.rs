@@ -29,6 +29,9 @@
 //!   continuous-batching runtime can drive the real model.
 //! * [`sampling`] — greedy / temperature / top-k sampling with a
 //!   deterministic RNG.
+//! * [`tp`] — [`tp::TensorParallelEngine`]: every projection sharded
+//!   across pools (`lq_core::ShardedGemm`), so the router composes
+//!   request-sharding with intra-GEMM tensor parallelism.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +45,9 @@ pub mod norm;
 pub mod rope;
 pub mod sampling;
 pub mod serving;
+pub mod tp;
 
 pub use kv::{KvQuantizer, PagedKvStore};
 pub use layer::{DecoderLayer, LayerWeights};
 pub use model::{ModelSpec, TinyLlm};
+pub use tp::TensorParallelEngine;

@@ -1,0 +1,249 @@
+//! [`TensorParallelEngine`]: intra-GEMM tensor parallelism under the
+//! [`ServingEngine`] trait.
+//!
+//! The PR 8 router shards *requests* across engine replicas; this
+//! engine shards each *GEMM* across pools ([`lq_core::ShardedGemm`],
+//! DESIGN.md §14), so plugging it into `lq-router` composes the two
+//! axes — exactly the Megatron-style layout the paper's multi-GPU
+//! serving stack assumes (replica parallelism outside, tensor
+//! parallelism inside).
+//!
+//! The forward pass is the canonical Megatron FFN split on real sharded
+//! kernels: a **column-parallel** up-projection (output channels split,
+//! all-gather concat) feeding a **row-parallel** down-projection to
+//! vocabulary logits (reduction dim split, exact i64 all-reduce), with
+//! deterministic synthetic embeddings and greedy sampling. Both
+//! collectives record `AllGather`/`AllReduce` spans carrying the
+//! ambient request correlation, so a drained trace attributes
+//! shard-skew per request even when one GEMM spans pools.
+//!
+//! Failure semantics: a chaos-killed shard surfaces as a panic carrying
+//! the typed [`lq_core::ShardError`] message, which the serving
+//! runtime's `try_prefill`/`try_decode_batch` unwind containment turns
+//! into an `EngineError` — degraded mode, never a partial or silently
+//! wrong output.
+
+use std::collections::HashMap;
+
+use lq_core::shard::{ShardConfigError, ShardedGemm, ShardedWeights};
+use lq_core::KernelKind;
+use lq_quant::act::QuantizedActivations;
+use lq_quant::backend::BackendId;
+use lq_quant::mat::Mat;
+use lq_serving::kvcache::SeqId;
+use lq_serving::runtime::ServingEngine;
+
+use crate::model::argmax;
+
+/// A small deterministic decoder whose every projection runs
+/// tensor-parallel across shard pools. See the module docs.
+pub struct TensorParallelEngine {
+    tp: ShardedGemm,
+    /// Column-parallel up-projection (`d → d_ff`).
+    up: ShardedWeights,
+    /// Row-parallel down-projection (`d_ff → vocab`).
+    down: ShardedWeights,
+    /// Live sequences and their decode positions.
+    seqs: HashMap<SeqId, usize>,
+    vocab: usize,
+    d: usize,
+}
+
+/// Model geometry: `d = 64`, `d_ff = 128`, `vocab = 32`, group 64 —
+/// big enough to exercise ragged column splits and multi-group row
+/// splits at shard counts 1–4, small enough for tests.
+const D: usize = 64;
+const D_FF: usize = 128;
+const VOCAB: usize = 32;
+const GROUP: usize = 64;
+
+impl TensorParallelEngine {
+    /// Build an engine with `shards` pools of `workers_per_shard`
+    /// workers each, weights packed by `backend`.
+    ///
+    /// # Errors
+    /// [`ShardConfigError`] on invalid pool parameters.
+    pub fn new(
+        shards: usize,
+        workers_per_shard: usize,
+        backend: BackendId,
+    ) -> Result<Self, ShardConfigError> {
+        let tp = ShardedGemm::builder()
+            .shards(shards)
+            .workers_per_shard(workers_per_shard)
+            .backend(backend)
+            .build()?;
+        let w_up = Mat::from_fn(D_FF, D, |r, c| ((r * D + c) as f32 * 0.037).sin());
+        let w_down = Mat::from_fn(VOCAB, D_FF, |r, c| ((r * D_FF + c) as f32 * 0.021).cos());
+        let up = tp.pack_weights(&w_up, GROUP);
+        let down = tp.pack_weights(&w_down, GROUP);
+        Ok(Self {
+            tp,
+            up,
+            down,
+            seqs: HashMap::new(),
+            vocab: VOCAB,
+            d: D,
+        })
+    }
+
+    /// The sharded layer (shard liveness, per-shard pool stats).
+    #[must_use]
+    pub fn sharded(&self) -> &ShardedGemm {
+        &self.tp
+    }
+
+    /// Swap in a differently-configured sharded layer (e.g. one armed
+    /// with a chaos [`lq_core::FaultInjector`]) and re-plan the weight
+    /// splits for its shard count. The weights themselves are
+    /// deterministic, so decode output is unchanged.
+    pub fn replace_sharded(&mut self, tp: ShardedGemm) {
+        let w_up = Mat::from_fn(D_FF, D, |r, c| ((r * D + c) as f32 * 0.037).sin());
+        let w_down = Mat::from_fn(VOCAB, D_FF, |r, c| ((r * D_FF + c) as f32 * 0.021).cos());
+        self.up = tp.pack_weights(&w_up, GROUP);
+        self.down = tp.pack_weights(&w_down, GROUP);
+        self.tp = tp;
+    }
+
+    /// Vocabulary size (argmax domain of the logits).
+    #[must_use]
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Live (non-released) sequences — the engine-side leak audit.
+    #[must_use]
+    pub fn live_sequences(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Deterministic synthetic embedding of `token` at `pos`.
+    fn embed_into(&self, token: usize, pos: usize, row: &mut [f32]) {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = ((token * 31 + pos * 7 + c) as f32 * 0.11).sin();
+        }
+    }
+
+    /// One tensor-parallel forward pass: `M` (token, pos) rows →
+    /// `M` next tokens. Column-parallel up-projection, row-parallel
+    /// down-projection, greedy argmax. Panics (with the typed
+    /// [`lq_core::ShardError`] message) when a shard pool is dead; the
+    /// serving runtime's unwind containment converts that into an
+    /// `EngineError`.
+    fn forward(&self, toks: &[(usize, usize)]) -> Vec<usize> {
+        let m = toks.len();
+        let mut x = Mat::zeros(m, self.d);
+        for (i, &(t, p)) in toks.iter().enumerate() {
+            self.embed_into(t, p, x.row_mut(i));
+        }
+        let qa = QuantizedActivations::quantize(&x, None);
+        let h = self
+            .tp
+            .gemm(&qa.q, &qa.scales, &self.up, KernelKind::ImFp)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .y;
+        let qh = QuantizedActivations::quantize(&h, None);
+        let logits = self
+            .tp
+            .gemm_row(&qh.q, &qh.scales, &self.down)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .y;
+        (0..m).map(|i| argmax(logits.row(i))).collect()
+    }
+}
+
+impl ServingEngine for TensorParallelEngine {
+    fn prefill(&mut self, id: SeqId, prompt: &[usize]) -> usize {
+        // One M = prompt-length pass; the last row's argmax is the
+        // first generated token (the earlier rows exercise the batched
+        // ragged-M path, mirroring a real prefill).
+        let toks: Vec<(usize, usize)> = prompt.iter().copied().zip(0..).collect();
+        let next = *self.forward(&toks).last().expect("non-empty prompt");
+        self.seqs.insert(id, prompt.len());
+        next
+    }
+
+    fn decode_batch(&mut self, slots: &[(SeqId, usize)]) -> Vec<usize> {
+        let toks: Vec<(usize, usize)> = slots
+            .iter()
+            .map(|&(id, t)| (t, *self.seqs.get(&id).expect("live sequence")))
+            .collect();
+        let next = self.forward(&toks);
+        for &(id, _) in slots {
+            *self.seqs.get_mut(&id).expect("live sequence") += 1;
+        }
+        next
+    }
+
+    fn release(&mut self, id: SeqId) {
+        self.seqs.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_engine_decodes_identically_at_every_shard_count() {
+        // The same prompt must generate the same tokens whether the
+        // GEMMs run unsharded or split 2/3/4 ways — intra-GEMM
+        // parallelism is invisible to the serving layer.
+        let run = |shards: usize| {
+            let mut e = TensorParallelEngine::new(shards, 1, BackendId::Lqq).unwrap();
+            let mut out = vec![e.prefill(0, &[3, 1, 4, 1, 5])];
+            for _ in 0..6 {
+                let last = *out.last().unwrap();
+                out.push(e.decode_batch(&[(0, last)])[0]);
+            }
+            e.release(0);
+            assert_eq!(e.live_sequences(), 0);
+            out
+        };
+        let want = run(1);
+        for shards in [2usize, 3, 4] {
+            assert_eq!(run(shards), want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn batched_decode_matches_sequential() {
+        let mut e = TensorParallelEngine::new(2, 1, BackendId::Lqq).unwrap();
+        let a = e.prefill(1, &[2, 7]);
+        let b = e.prefill(2, &[9]);
+        let batched = e.decode_batch(&[(1, a), (2, b)]);
+        // Replay the same steps one sequence at a time.
+        let mut e2 = TensorParallelEngine::new(2, 1, BackendId::Lqq).unwrap();
+        let a2 = e2.prefill(1, &[2, 7]);
+        let b2 = e2.prefill(2, &[9]);
+        assert_eq!((a2, b2), (a, b));
+        let sa = e2.decode_batch(&[(1, a2)]);
+        let sb = e2.decode_batch(&[(2, b2)]);
+        assert_eq!(batched, vec![sa[0], sb[0]]);
+    }
+
+    #[test]
+    fn killed_shard_becomes_a_contained_engine_error() {
+        use lq_core::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+
+        let inj = Arc::new(FaultInjector::new(FaultPlan::quiet().shard_kill_at(0, 0)));
+        let tp = lq_core::ShardedGemm::builder()
+            .shards(2)
+            .workers_per_shard(1)
+            .fault_injector(inj)
+            .build()
+            .unwrap();
+        // Rebuild the engine around the chaos-armed layer.
+        let mut e = TensorParallelEngine::new(2, 1, BackendId::Lqq).unwrap();
+        e.replace_sharded(tp);
+        let err = e.try_prefill(5, &[1, 2]).unwrap_err();
+        assert!(
+            err.to_string().contains("shard 0"),
+            "typed shard failure must surface: {err}"
+        );
+        assert_eq!(e.sharded().live_shards(), 1);
+        // The failed prefill never registered the sequence.
+        assert_eq!(e.live_sequences(), 0);
+    }
+}

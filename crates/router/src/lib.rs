@@ -33,6 +33,13 @@
 //! shard decision, `ReplicaKill` per absorbed failure, `ReqReroute`
 //! on each re-queued request's own track — so a request's causal
 //! timeline survives the cross-replica hop.
+//!
+//! The router composes with *intra-GEMM* tensor parallelism: hand the
+//! engine factory an `lq_engine::tp::TensorParallelEngine` (every
+//! projection split across `lq_core::shard::ShardedGemm` pools,
+//! DESIGN.md §14) and requests shard across replicas while each
+//! replica's GEMMs shard across pools — the two axes are independent,
+//! and `tests/shard_chaos.rs` drives them together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -767,16 +767,26 @@ impl ServingRuntime {
             let t0 = Instant::now();
             let res = engine.try_decode_batch(&slots);
             let dt = t0.elapsed().as_secs_f64();
+            // The span duration must be the *virtual-clock* advance of
+            // this step, not a fresh `Instant` measurement: the
+            // per-request critical-path decomposition
+            // (`lq_trace::analyze::request_paths`) sums these spans
+            // against virtual completion times, and an `Instant` read
+            // taken after `now += dt` would overshoot the advance by
+            // the recording overhead, breaking the exact-sum invariant.
+            let step_v0 = vns(now);
             now += dt;
             if step_corr != 0 {
+                let step_dur = vns(now).saturating_sub(step_v0);
                 for &(id, _) in &slots {
-                    lq_trace::span_full(
+                    lq_trace::span_exact(
                         lq_trace::EventKind::ReqDecodeIter,
                         lq_trace::Track::Request(id),
                         step_corr,
                         step_corr,
                         slots.len() as u64,
                         t0,
+                        step_dur,
                         vns(now),
                     );
                 }

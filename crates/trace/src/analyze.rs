@@ -16,6 +16,11 @@
 //!   `lq_serving_request_latency_ns` histogram's per-request sample by
 //!   construction, which is what the acceptance check in
 //!   `examples/trace.rs` pins to within 5%.
+//! * [`shard_collectives`] — per-collective shard-skew attribution for
+//!   tensor-parallel GEMM calls: each `AllGather`/`AllReduce` barrier
+//!   emits one span per shard, and the wait the barrier pays is the
+//!   slowest-minus-fastest gap (`skew_ns`). A well-balanced sharded
+//!   layer keeps `skew_ns` small relative to `slowest_ns`.
 
 use crate::{Event, EventKind, Track};
 use std::collections::HashMap;
@@ -189,6 +194,75 @@ pub fn request_paths(events: &[Event]) -> Vec<RequestPath> {
     out
 }
 
+/// One tensor-parallel collective (all shards of one barrier) and its
+/// skew attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCollective {
+    /// Correlation ID the collective's spans carried.
+    pub corr: u64,
+    /// `AllGather` (column-parallel concat) or `AllReduce`
+    /// (row-parallel exact sum).
+    pub kind: EventKind,
+    /// Shard count (`b` on every span of the group).
+    pub shards: u64,
+    /// Slowest shard's span duration — the barrier's cost.
+    pub slowest_ns: u64,
+    /// Fastest shard's span duration.
+    pub fastest_ns: u64,
+    /// `slowest - fastest`: wall time the fastest shard spent waiting
+    /// on the barrier (shard-skew wait).
+    pub skew_ns: u64,
+}
+
+/// Group `AllGather`/`AllReduce` spans into per-call collectives and
+/// attribute shard-skew wait time.
+///
+/// Spans group by `(corr, kind)` and then chunk in start-time order
+/// into groups of `b` (the shard count each span carries) — valid
+/// because a sharded GEMM call joins all its shards before returning,
+/// so same-correlation calls never interleave. Trailing partial groups
+/// (a call in flight at drain) are dropped.
+#[must_use]
+pub fn shard_collectives(events: &[Event]) -> Vec<ShardCollective> {
+    let mut groups: HashMap<(u64, bool), Vec<&Event>> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::AllGather => groups.entry((ev.corr, false)).or_default().push(ev),
+            EventKind::AllReduce => groups.entry((ev.corr, true)).or_default().push(ev),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    for ((corr, reduce), mut evs) in groups {
+        evs.sort_by_key(|e| e.ts_ns);
+        let mut at = 0;
+        while at < evs.len() {
+            let shards = evs[at].b.max(1) as usize;
+            if at + shards > evs.len() {
+                break; // call still in flight at drain
+            }
+            let chunk = &evs[at..at + shards];
+            let slowest = chunk.iter().map(|e| e.dur_ns).max().unwrap_or(0);
+            let fastest = chunk.iter().map(|e| e.dur_ns).min().unwrap_or(0);
+            out.push(ShardCollective {
+                corr,
+                kind: if reduce {
+                    EventKind::AllReduce
+                } else {
+                    EventKind::AllGather
+                },
+                shards: shards as u64,
+                slowest_ns: slowest,
+                fastest_ns: fastest,
+                skew_ns: slowest - fastest,
+            });
+            at += shards;
+        }
+    }
+    out.sort_unstable_by_key(|c| (c.corr, c.kind as u64, c.slowest_ns));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +345,59 @@ mod tests {
             p.total_ns,
             "decomposition must sum to the total"
         );
+    }
+
+    fn coll(kind: EventKind, corr: u64, ts: u64, dur: u64, shard: u64, shards: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: dur,
+            vts_ns: 0,
+            kind,
+            track: Track::Control,
+            corr,
+            a: shard,
+            b: shards,
+        }
+    }
+
+    #[test]
+    fn shard_collectives_attribute_skew_per_call() {
+        let evs = [
+            // Call 1 (corr 9): 2-shard all-gather, durations 100/140.
+            coll(EventKind::AllGather, 9, 10, 140, 0, 2),
+            coll(EventKind::AllGather, 9, 12, 100, 1, 2),
+            // Call 2 (corr 9, same corr — later in time): durations 200/200.
+            coll(EventKind::AllGather, 9, 500, 200, 0, 2),
+            coll(EventKind::AllGather, 9, 501, 200, 1, 2),
+            // A 3-shard all-reduce on another correlation.
+            coll(EventKind::AllReduce, 4, 50, 300, 0, 3),
+            coll(EventKind::AllReduce, 4, 51, 250, 1, 3),
+            coll(EventKind::AllReduce, 4, 52, 330, 2, 3),
+            // In-flight at drain: only 1 of 2 spans present — dropped.
+            coll(EventKind::AllGather, 7, 900, 50, 0, 2),
+        ];
+        let cs = shard_collectives(&evs);
+        assert_eq!(cs.len(), 3);
+        let reduce = cs.iter().find(|c| c.kind == EventKind::AllReduce).unwrap();
+        assert_eq!((reduce.corr, reduce.shards), (4, 3));
+        assert_eq!(
+            (reduce.slowest_ns, reduce.fastest_ns, reduce.skew_ns),
+            (330, 250, 80)
+        );
+        let gathers: Vec<_> = cs
+            .iter()
+            .filter(|c| c.kind == EventKind::AllGather)
+            .collect();
+        assert_eq!(gathers.len(), 2);
+        assert!(gathers.iter().all(|c| c.corr == 9));
+        assert_eq!(gathers[0].skew_ns, 40);
+        assert_eq!(gathers[1].skew_ns, 0);
+    }
+
+    #[test]
+    fn shard_collectives_ignore_unrelated_events() {
+        let evs = [e(EventKind::JobSubmit, Track::Control, 0, 0, 0, 1, 0)];
+        assert!(shard_collectives(&evs).is_empty());
     }
 
     #[test]

@@ -68,6 +68,8 @@
 //! | `FaultFired` | lq-chaos injector | site index | scheduled index |
 //! | `RouterRoute` | router shard decision | replica index | request id |
 //! | `ReplicaKill` | chaos whole-replica failure | replica index | evacuated requests |
+//! | `AllGather` | sharded GEMM column concat (span, one per shard) | shard index | shard count |
+//! | `AllReduce` | sharded GEMM exact i64 sum (span, one per shard) | shard index | shard count |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -118,6 +120,8 @@ pub enum EventKind {
     FaultFired,
     RouterRoute,
     ReplicaKill,
+    AllGather,
+    AllReduce,
 }
 
 impl EventKind {
@@ -147,6 +151,8 @@ impl EventKind {
             EventKind::FaultFired => "fault_fired",
             EventKind::RouterRoute => "router_route",
             EventKind::ReplicaKill => "replica_kill",
+            EventKind::AllGather => "all_gather",
+            EventKind::AllReduce => "all_reduce",
         }
     }
 
@@ -163,6 +169,8 @@ impl EventKind {
                 | EventKind::StageMma
                 | EventKind::ReqPrefill
                 | EventKind::ReqDecodeIter
+                | EventKind::AllGather
+                | EventKind::AllReduce
         )
     }
 }
@@ -509,6 +517,42 @@ fn record_at(kind: EventKind, track: Track, a: u64, b: u64, dur_ns: u64, vts_ns:
 #[inline]
 pub fn span(kind: EventKind, track: Track, a: u64, b: u64, started: Instant) {
     span_full(kind, track, current_corr(), a, b, started, 0);
+}
+
+/// [`span_full`] with an explicit duration instead of one measured
+/// from `started` to now. Used where the caller accounts time on a
+/// clock of its own — e.g. the serving runtime's virtual clock, whose
+/// per-request decomposition must sum *exactly* to the request's
+/// virtual latency: re-measuring the duration with `Instant` here
+/// would overshoot the virtual advance by the recording overhead.
+#[allow(clippy::too_many_arguments)]
+pub fn span_exact(
+    kind: EventKind,
+    track: Track,
+    corr: u64,
+    a: u64,
+    b: u64,
+    started: Instant,
+    dur_ns: u64,
+    vts_ns: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    let t = tracer();
+    t.push(
+        my_shard(),
+        Event {
+            ts_ns: t.ns_at(started),
+            dur_ns,
+            vts_ns,
+            kind,
+            track,
+            corr,
+            a,
+            b,
+        },
+    );
 }
 
 /// [`span`] with explicit correlation and virtual timestamp.

@@ -32,10 +32,14 @@ const PROMPT_LEN: usize = 12;
 const OUTPUT_LEN: usize = 24;
 
 fn main() {
-    // Default under target/ so example runs never dirty the repo root.
+    // Default under the workspace's target/ — anchored to the manifest
+    // dir, not the CWD, so `cargo run --example trace` lands in the
+    // same place from any invocation directory and never dirties the
+    // repo root.
     let out = std::env::args().nth(1).unwrap_or_else(|| {
-        let _ = std::fs::create_dir_all("target");
-        "target/trace_example.json".to_string()
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target");
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join("trace_example.json").display().to_string()
     });
     telemetry::enable();
     trace::enable();

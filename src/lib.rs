@@ -96,8 +96,11 @@ pub use lq_trace as trace;
 /// multi-replica router ([`ServingRouter`], [`TraceConfig`]).
 pub mod prelude {
     pub use lq_chaos::{FaultAction, FaultInjector, FaultPlan, FaultStats};
-    pub use lq_core::{GemmOutput, KernelKind, LiquidGemm, LiquidGemmBuilder, W4A8Weights};
-    pub use lq_engine::{ModelSpec, TinyLlm};
+    pub use lq_core::{
+        GemmOutput, KernelKind, LiquidGemm, LiquidGemmBuilder, ShardConfigError, ShardError,
+        ShardedGemm, ShardedGemmBuilder, ShardedWeights, W4A8Weights,
+    };
+    pub use lq_engine::{ModelSpec, TensorParallelEngine, TinyLlm};
     pub use lq_quant::backend::{
         registry, resolve, BackendCost, BackendId, KernelBackend, PackedWeights,
     };

@@ -1,0 +1,197 @@
+//! Shard-kill chaos for tensor-parallel GEMM (DESIGN.md §14): a
+//! 20-seed sweep of mid-workload shard kills
+//! ([`FaultPlan::from_seed_with_shards`]) against a 3-shard
+//! [`ShardedGemm`], plus the serving-side containment path through
+//! [`TensorParallelEngine`].
+//!
+//! Invariants per seed (mirrors `router_failover.rs`):
+//! * every call *before* the scheduled kill is bit-exact against the
+//!   unsharded kernel — chaos arming alone perturbs nothing;
+//! * the killed call and every later call return the typed
+//!   [`ShardError::ShardFailed`] naming the planned victim — never a
+//!   partial or silently wrong output;
+//! * the kill fires exactly once and the shard stays dead
+//!   (`live_shards` drops by one and stays there);
+//! * under the serving runtime, the failure is contained as an
+//!   `EngineError` and the engine-side sequence audit drains to zero —
+//!   no KV/state leaks.
+
+use liquidgemm::core::reference::max_abs_diff;
+use liquidgemm::prelude::*;
+use liquidgemm::quant::act::QuantizedActivations;
+use liquidgemm::quant::mat::Mat;
+use std::sync::Arc;
+
+const SHARDS: usize = 3;
+const CALLS: usize = 10;
+
+fn fixture(m: usize, n: usize, k: usize) -> (Mat<i8>, Vec<f32>, Mat<f32>) {
+    let xf = Mat::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.013).sin() * 1.3);
+    let wf = Mat::from_fn(n, k, |r, c| ((r * k + c) as f32 * 0.009).cos());
+    let qa = QuantizedActivations::quantize(&xf, None);
+    (qa.q, qa.scales, wf)
+}
+
+#[test]
+fn seeded_shard_kills_surface_typed_errors_never_wrong_output() {
+    let (x, scales, wf) = fixture(3, 29, 128);
+    let reference = LiquidGemm::builder().workers(1).build().unwrap();
+    let want = reference
+        .gemm(
+            &x,
+            &scales,
+            &reference.pack_weights(&wf, 64),
+            KernelKind::Serial,
+        )
+        .y;
+
+    for seed in 0..20u64 {
+        let plan = FaultPlan::from_seed_with_shards(seed, SHARDS as u64);
+        let (victim, kill_call) = plan.shard_kills[0];
+        assert!((1..8).contains(&kill_call), "seed {seed}: call out of band");
+        let inj = Arc::new(FaultInjector::new(plan));
+        let tp = ShardedGemm::builder()
+            .shards(SHARDS)
+            .workers_per_shard(1)
+            .fault_injector(Arc::clone(&inj))
+            .build()
+            .unwrap();
+        let sw = tp.pack_weights(&wf, 64);
+
+        let mut failures = 0u64;
+        for call in 0..CALLS as u64 {
+            // Alternate collectives so both error paths see the kill.
+            let got = if call % 2 == 0 {
+                tp.gemm(&x, &scales, &sw, KernelKind::ImFp)
+            } else {
+                tp.gemm_row(&x, &scales, &sw)
+            };
+            if call < kill_call {
+                // Before the kill: armed chaos must perturb nothing.
+                let y =
+                    got.unwrap_or_else(|e| panic!("seed {seed}: call {call} failed early: {e}"));
+                assert_eq!(
+                    max_abs_diff(&y.y, &want),
+                    0.0,
+                    "seed {seed}: pre-kill call {call} not bit-exact"
+                );
+            } else {
+                // At and after the kill: typed error naming the planned
+                // victim, never a (possibly wrong) output.
+                failures += 1;
+                assert_eq!(
+                    got.err(),
+                    Some(ShardError::ShardFailed {
+                        shard: victim as usize
+                    }),
+                    "seed {seed}: call {call}"
+                );
+            }
+        }
+        assert_eq!(failures, CALLS as u64 - kill_call, "seed {seed}");
+        assert_eq!(inj.stats().shard_kills, 1, "seed {seed}: fires once");
+        assert_eq!(tp.live_shards(), SHARDS - 1, "seed {seed}: stays dead");
+    }
+}
+
+#[test]
+fn router_composes_request_sharding_with_intra_gemm_sharding() {
+    // Two independent parallelism axes at once: the router shards
+    // requests across 2 replicas, and each replica's engine shards
+    // every GEMM across 2 pools. All requests must finish, and the
+    // composed run must generate the same tokens as a single
+    // unsharded-engine replica (the engine is deterministic and
+    // sharding is bit-exact, so composition is invisible).
+    let requests = |n: u64| -> Vec<PromptRequest> {
+        (0..n)
+            .map(|id| {
+                PromptRequest::new(
+                    Request::new(id, 4, 6, id as f64 * 0.0003),
+                    (0..4).map(|t| (id as usize * 7 + t) % 32).collect(),
+                )
+            })
+            .collect()
+    };
+    let run = |replicas: usize, shards: usize| {
+        let router = ServingRouter::builder()
+            .replicas(replicas)
+            .policy(RoutingPolicy::RoundRobin)
+            .build()
+            .unwrap();
+        let out = router.run(
+            move |_replica| TensorParallelEngine::new(shards, 1, BackendId::Lqq).unwrap(),
+            requests(6),
+        );
+        let merged = out.merged();
+        assert_eq!(merged.finished(), 6);
+        let mut tokens: Vec<(u64, u64)> = merged
+            .completions
+            .iter()
+            .map(|c| (c.id, c.generated))
+            .collect();
+        tokens.sort_unstable();
+        tokens
+    };
+    let composed = run(2, 2);
+    let flat = run(1, 1);
+    assert_eq!(composed, flat, "composition must not change the workload");
+}
+
+#[test]
+fn shard_kill_under_serving_runtime_is_contained_and_leak_free() {
+    for seed in 0..20u64 {
+        let plan = FaultPlan::from_seed_with_shards(seed, 2);
+        let (victim, _) = plan.shard_kills[0];
+        let inj = Arc::new(FaultInjector::new(plan));
+        let tp = ShardedGemm::builder()
+            .shards(2)
+            .workers_per_shard(1)
+            .backend(BackendId::Lqq)
+            .fault_injector(Arc::clone(&inj))
+            .build()
+            .unwrap();
+        let mut engine = TensorParallelEngine::new(2, 1, BackendId::Lqq).unwrap();
+        engine.replace_sharded(tp);
+
+        // Drive prefill/decode until the kill lands; every failure must
+        // arrive as a contained EngineError carrying the typed shard
+        // message, and the failed call must not register state.
+        let mut errors = 0u64;
+        let mut live: Vec<SeqId> = Vec::new();
+        for id in 0..12u64 {
+            match engine.try_prefill(id, &[1, 2, 3]) {
+                Ok(tok) => {
+                    match engine.try_decode_batch(&[(id, tok)]) {
+                        Ok(next) => assert_eq!(next.len(), 1, "seed {seed}"),
+                        Err(e) => {
+                            errors += 1;
+                            assert!(
+                                e.to_string().contains(&format!("shard {victim}")),
+                                "seed {seed}: untyped decode error: {e}"
+                            );
+                        }
+                    }
+                    live.push(id);
+                }
+                Err(e) => {
+                    errors += 1;
+                    assert!(
+                        e.to_string().contains(&format!("shard {victim}")),
+                        "seed {seed}: untyped prefill error: {e}"
+                    );
+                }
+            }
+        }
+        assert!(errors > 0, "seed {seed}: the kill must land within 12 reqs");
+        assert_eq!(inj.stats().shard_kills, 1, "seed {seed}");
+        assert_eq!(engine.sharded().live_shards(), 1, "seed {seed}");
+
+        // Leak audit: every successful registration releases cleanly;
+        // failed prefills never registered anything.
+        assert_eq!(engine.live_sequences(), live.len(), "seed {seed}");
+        for id in live {
+            ServingEngine::release(&mut engine, id);
+        }
+        assert_eq!(engine.live_sequences(), 0, "seed {seed}: leaked KV");
+    }
+}

@@ -185,6 +185,121 @@ fn serving_trace_is_virtually_ordered_per_request() {
 }
 
 #[test]
+fn sharded_collective_spans_pair_per_call() {
+    let _g = trace_lock();
+    tr::enable();
+    let _ = tr::take_events();
+
+    const SHARDS: usize = 3;
+    let tp = ShardedGemm::builder()
+        .shards(SHARDS)
+        .workers_per_shard(1)
+        .build()
+        .unwrap();
+    let (x, s, _) = fixture(4, 31, 128);
+    let wf = Mat::from_fn(31, 128, |r, c| ((r * 128 + c) as f32 * 0.04).cos());
+    let sw = tp.pack_weights(&wf, 64);
+    for _ in 0..2 {
+        tp.gemm(&x, &s, &sw, KernelKind::ImFp).unwrap();
+        tp.gemm_row(&x, &s, &sw).unwrap();
+    }
+    drop(tp);
+
+    let evs = tr::take_events();
+    for kind in [tr::EventKind::AllGather, tr::EventKind::AllReduce] {
+        let mut spans: Vec<&tr::Event> = evs.iter().filter(|e| e.kind == kind).collect();
+        assert_eq!(
+            spans.len(),
+            2 * SHARDS,
+            "{}: one span per shard per call",
+            kind.name()
+        );
+        // Chunked in start order, every call's group carries the full
+        // shard set exactly once and the correct shard count.
+        spans.sort_by_key(|e| e.ts_ns);
+        for (call, chunk) in spans.chunks(SHARDS).enumerate() {
+            let mut shards: Vec<u64> = chunk.iter().map(|e| e.a).collect();
+            shards.sort_unstable();
+            assert_eq!(
+                shards,
+                (0..SHARDS as u64).collect::<Vec<_>>(),
+                "{} call {call}: shard set",
+                kind.name()
+            );
+            assert!(
+                chunk.iter().all(|e| e.b == SHARDS as u64),
+                "{} call {call}: shard count on every span",
+                kind.name()
+            );
+        }
+    }
+
+    // The analyzer groups them into 2 + 2 collectives with sane skew.
+    let colls = tr::analyze::shard_collectives(&evs);
+    assert_eq!(colls.len(), 4);
+    for c in &colls {
+        assert_eq!(c.shards, SHARDS as u64);
+        assert_eq!(c.skew_ns, c.slowest_ns - c.fastest_ns);
+        assert!(c.slowest_ns >= c.fastest_ns);
+    }
+}
+
+#[test]
+fn critical_paths_still_sum_exactly_when_gemms_span_pools() {
+    let _g = trace_lock();
+    tr::enable();
+    let _ = tr::take_events();
+
+    // A serving run whose every GEMM is tensor-parallel across 2 pools.
+    let mut engine = TensorParallelEngine::new(2, 1, BackendId::Lqq).unwrap();
+    let vocab = engine.vocab();
+    let mut rng = Rng::new(0x7ACE_5A4D);
+    let requests: Vec<PromptRequest> = (0..6u64)
+        .map(|id| {
+            let prompt_len = 3 + (rng.next_u64() % 5) as usize;
+            let prompt = (0..prompt_len)
+                .map(|_| (rng.next_u64() as usize) % vocab)
+                .collect();
+            PromptRequest::new(Request::new(id, prompt_len, 4, id as f64 * 0.0004), prompt)
+        })
+        .collect();
+    let cfg = SchedulerConfig::builder().max_batch(3).build().unwrap();
+    let stats = ServingRuntime::new(cfg, 1024).run(&mut engine, requests);
+    assert_eq!(stats.completions.len(), 6);
+    drop(engine);
+
+    let evs = tr::take_events();
+    // Intra-GEMM collectives happened inside the serving run and
+    // inherited its correlation IDs.
+    let gathers: Vec<&tr::Event> = evs
+        .iter()
+        .filter(|e| e.kind == tr::EventKind::AllGather)
+        .collect();
+    let reduces: Vec<&tr::Event> = evs
+        .iter()
+        .filter(|e| e.kind == tr::EventKind::AllReduce)
+        .collect();
+    assert!(!gathers.is_empty() && !reduces.is_empty());
+    assert!(
+        gathers.iter().chain(&reduces).any(|e| e.corr != 0),
+        "collective spans must inherit the serving correlation"
+    );
+
+    // The per-request decomposition invariant survives intra-GEMM
+    // sharding: segments still sum exactly to the measured latency.
+    let paths = tr::analyze::request_paths(&evs);
+    assert_eq!(paths.len(), 6);
+    for p in &paths {
+        assert_eq!(
+            p.queue_ns + p.prefill_ns + p.decode_ns + p.other_ns,
+            p.total_ns,
+            "request {} decomposition does not sum under sharding",
+            p.id
+        );
+    }
+}
+
+#[test]
 fn ring_overflow_drops_oldest_and_counts_in_telemetry() {
     liquidgemm::telemetry::enable();
     tr::enable();
